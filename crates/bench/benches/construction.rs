@@ -1,0 +1,116 @@
+//! Criterion benches of the circuit-construction code paths: direct term
+//! circuits (Fig. 2), per-term block-encodings (Section IV), Pauli
+//! decomposition (the usual strategy's preprocessing) and SCB → Pauli
+//! expansion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghs_core::{block_encode_term, direct_term_circuit, term_lcu, DirectOptions};
+use ghs_math::{c64, CMatrix, Complex64};
+use ghs_operators::{HermitianTerm, PauliSum, ScbOp, ScbString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_term(num_qubits: usize, rng: &mut StdRng) -> HermitianTerm {
+    let ops: Vec<ScbOp> = (0..num_qubits)
+        .map(|_| {
+            let all = ScbOp::ALL;
+            all[rng.gen_range(0..all.len())]
+        })
+        .collect();
+    let string = ScbString::new(ops);
+    if string.is_hermitian() {
+        HermitianTerm::bare(rng.gen_range(-1.0..1.0), string)
+    } else {
+        HermitianTerm::paired(c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)), string)
+    }
+}
+
+fn bench_direct_term_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_term_circuit");
+    for &n in &[8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let term = random_term(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("linear", n), &term, |b, term| {
+            b.iter(|| direct_term_circuit(term, 0.37, &DirectOptions::linear()))
+        });
+        group.bench_with_input(BenchmarkId::new("pyramidal", n), &term, |b, term| {
+            b.iter(|| direct_term_circuit(term, 0.37, &DirectOptions::pyramidal()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_encoding");
+    for &n in &[4usize, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(100 + n as u64);
+        let term = random_term(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("term_lcu", n), &term, |b, term| {
+            b.iter(|| term_lcu(term))
+        });
+        group.bench_with_input(BenchmarkId::new("prepare_select", n), &term, |b, term| {
+            b.iter(|| block_encode_term(term, ghs_circuit::LadderStyle::Linear))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pauli_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pauli_decomposition");
+    for &n in &[3usize, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(7 + n as u64);
+        let dim = 1usize << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for col in r..dim {
+                let v = if r == col {
+                    c64(rng.gen_range(-1.0..1.0), 0.0)
+                } else {
+                    c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+                };
+                m[(r, col)] = v;
+                m[(col, r)] = v.conj();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("dense_matrix", n), &m, |b, m| {
+            b.iter(|| PauliSum::from_matrix(m, 1e-12))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scb_to_pauli_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scb_to_pauli_expansion");
+    for &k in &[6usize, 10, 14] {
+        // A term whose expansion has 2^k fragments (k ladder/number factors).
+        let ops: Vec<ScbOp> = (0..k)
+            .map(|i| if i % 2 == 0 { ScbOp::N } else { ScbOp::M })
+            .collect();
+        let string = ScbString::new(ops);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &string, |b, s| {
+            b.iter(|| s.to_pauli_sum().num_terms())
+        });
+        let _ = Complex64::ONE;
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // Keep the full-workspace bench run short: the quantities of interest are
+    // coarse scaling trends, not sub-percent timing resolution.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group!(
+    name = benches;
+    config = configured();
+    targets =
+    bench_direct_term_circuit,
+    bench_block_encoding,
+    bench_pauli_decomposition,
+    bench_scb_to_pauli_expansion
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benches of the simulation substrate: state-vector gate kernels,
+//! full direct-vs-usual Trotter slices, and the sparse exponential action
+//! used for large-register verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghs_circuit::{Circuit, ControlBit, LadderStyle};
+use ghs_core::{direct_hamiltonian_slice, usual_hamiltonian_slice, DirectOptions};
+use ghs_math::{c64, expm_multiply_minus_i_theta};
+use ghs_operators::{ScbHamiltonian, ScbOp, ScbString};
+use ghs_statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chain_hamiltonian(n: usize) -> ScbHamiltonian {
+    // Hopping chain + on-site terms, a representative mixed Hamiltonian.
+    let mut h = ScbHamiltonian::new(n);
+    for q in 0..n - 1 {
+        h.push_paired(
+            c64(0.5, 0.0),
+            ScbString::from_pairs(n, &[(q, ScbOp::SigmaDag), (q + 1, ScbOp::Sigma)]),
+        );
+    }
+    for q in 0..n {
+        h.push_bare(0.3, ScbString::with_op_on(n, ScbOp::N, &[q]));
+    }
+    h
+}
+
+fn bench_statevector_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gates");
+    for &n in &[12usize, 16, 18] {
+        let mut circuit = Circuit::new(n);
+        for q in 0..n {
+            circuit.h(q);
+        }
+        for q in 0..n - 1 {
+            circuit.cx(q, q + 1);
+        }
+        circuit.mcrx((0..4).map(ControlBit::one).collect(), n - 1, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut s = StateVector::zero_state(n);
+                s.apply_circuit(circuit);
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trotter_slice_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trotter_slice");
+    for &n in &[6usize, 10, 14] {
+        let h = chain_hamiltonian(n);
+        let direct = direct_hamiltonian_slice(&h, 0.2, &DirectOptions::linear());
+        let usual = usual_hamiltonian_slice(&h.to_pauli_sum(), 0.2, LadderStyle::Linear);
+        group.bench_with_input(BenchmarkId::new("direct", n), &direct, |b, circ| {
+            b.iter(|| {
+                let mut s = StateVector::zero_state(n);
+                s.apply_circuit(circ);
+                s.probability(0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("usual", n), &usual, |b, circ| {
+            b.iter(|| {
+                let mut s = StateVector::zero_state(n);
+                s.apply_circuit(circ);
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_exponential_action(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expm_multiply");
+    for &n in &[10usize, 14] {
+        let h = chain_hamiltonian(n).sparse_matrix();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let psi = StateVector::random_state(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| expm_multiply_minus_i_theta(h, 0.4, psi.amplitudes()))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // Keep the full-workspace bench run short: the quantities of interest are
+    // coarse scaling trends, not sub-percent timing resolution.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group!(
+    name = benches;
+    config = configured();
+    targets =
+    bench_statevector_gates,
+    bench_trotter_slice_simulation,
+    bench_sparse_exponential_action
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! # ghs-bench
+//!
+//! Benchmark harness and experiment-reproduction support for the
+//! gate-efficient Hamiltonian-simulation workspace. The `experiments` binary
+//! regenerates every table and analytic figure of the paper's evaluation
+//! (see EXPERIMENTS.md at the workspace root for the index); the Criterion
+//! benches time the heavy code paths behind them.
+
+#![warn(missing_docs)]
+
+/// Prints a fixed-width text table: a header row followed by data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join(" | "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join(" | "));
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e-3 && x.abs() < 1e6 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1.5), "1.5000");
+        assert_eq!(fmt_f(1.23e-7), "1.23e-7");
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["300".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Electronic-structure model Hamiltonians (Section V-B of the paper).
+//!
+//! Two families of models are provided:
+//!
+//! * the **Fermi–Hubbard chain**, fully parametric (`t`, `U`, size, open or
+//!   periodic), which exercises the same hopping + on-site structure the
+//!   paper's references use for low-depth material simulation;
+//! * the **H₂ / STO-3G** molecular Hamiltonian assembled from the standard
+//!   spatial one- and two-electron integrals quoted in the electronic
+//!   structure literature. The workspace never relies on the absolute
+//!   accuracy of those constants: all tests compare against internally
+//!   computed references (exact diagonalisation of the very same operator).
+//!
+//! Spin-orbital convention: spatial orbital `P` with spin `σ ∈ {↑, ↓}` maps
+//! to qubit `2P + σ` (interleaved ordering), qubit 0 being the most
+//! significant bit of basis-state indices.
+
+use ghs_math::{Complex64, SparseMatrix};
+use ghs_operators::{FermionHamiltonian, FermionTerm, LadderOp, ScbHamiltonian};
+
+/// Number of spin orbitals of a model with `n_spatial` spatial orbitals.
+pub fn spin_orbitals(n_spatial: usize) -> usize {
+    2 * n_spatial
+}
+
+/// Index of the spin orbital (spatial `p`, spin `s` with 0 = ↑, 1 = ↓).
+pub fn spin_orbital(p: usize, s: usize) -> usize {
+    2 * p + s
+}
+
+/// A second-quantised molecular/lattice model: the fermionic operator plus
+/// metadata (electron count, constant energy offset).
+#[derive(Clone, Debug)]
+pub struct ElectronicModel {
+    /// Human-readable name.
+    pub name: String,
+    /// The fermionic Hamiltonian (complete operator sum, no implicit h.c.).
+    pub fermion: FermionHamiltonian,
+    /// Number of electrons of the targeted sector.
+    pub num_electrons: usize,
+    /// Constant energy offset (e.g. nuclear repulsion), added to reported
+    /// energies but not encoded in the qubit operator.
+    pub energy_offset: f64,
+}
+
+impl ElectronicModel {
+    /// Number of spin orbitals / qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.fermion.num_modes()
+    }
+
+    /// Jordan–Wigner qubit Hamiltonian, gathered into Hermitian SCB terms
+    /// (Eq. 16 of the paper).
+    pub fn qubit_hamiltonian(&self) -> ScbHamiltonian {
+        let n = self.fermion.num_modes();
+        let raw = self.fermion.to_scb_terms_raw();
+        ScbHamiltonian::from_exact_sum(n, &raw)
+    }
+
+    /// Sparse matrix of the qubit Hamiltonian.
+    pub fn sparse_matrix(&self) -> SparseMatrix {
+        self.qubit_hamiltonian().sparse_matrix()
+    }
+
+    /// The Hartree–Fock reference determinant: the `num_electrons` lowest
+    /// spin orbitals occupied, as a computational-basis index (qubit 0 =
+    /// most significant bit).
+    pub fn hartree_fock_state(&self) -> usize {
+        let n = self.num_qubits();
+        let mut index = 0usize;
+        for q in 0..self.num_electrons {
+            index |= 1 << (n - 1 - q);
+        }
+        index
+    }
+
+    /// Exact ground-state energy (electronic + offset) by shifted power
+    /// iteration on the full Fock space.
+    pub fn exact_ground_energy(&self, iters: usize) -> f64 {
+        let (e, _) = ghs_math::min_hermitian_eigenvalue(&self.sparse_matrix(), iters);
+        e + self.energy_offset
+    }
+
+    /// Energy (including offset) of an arbitrary state vector.
+    pub fn energy_of_state(&self, amplitudes: &[Complex64]) -> f64 {
+        let h = self.sparse_matrix();
+        let hv = h.matvec(amplitudes);
+        ghs_math::vec_inner(amplitudes, &hv).re + self.energy_offset
+    }
+}
+
+/// Fermi–Hubbard chain of `sites` sites:
+/// `H = −t Σ_{⟨i,j⟩,σ}(a†_{iσ}a_{jσ} + h.c.) + U Σ_i n_{i↑}n_{i↓}`.
+pub fn hubbard_chain(sites: usize, t: f64, u: f64, periodic: bool) -> ElectronicModel {
+    assert!(sites >= 2, "need at least two sites");
+    let n = spin_orbitals(sites);
+    let mut fermion = FermionHamiltonian::new(n);
+    let add_hop = |i: usize, j: usize, fermion: &mut FermionHamiltonian| {
+        for s in 0..2 {
+            let p = spin_orbital(i, s);
+            let q = spin_orbital(j, s);
+            fermion.push(FermionTerm::one_body(Complex64::real(-t), p, q));
+            fermion.push(FermionTerm::one_body(Complex64::real(-t), q, p));
+        }
+    };
+    for i in 0..sites - 1 {
+        add_hop(i, i + 1, &mut fermion);
+    }
+    if periodic && sites > 2 {
+        add_hop(sites - 1, 0, &mut fermion);
+    }
+    for i in 0..sites {
+        // U·n_{i↑}n_{i↓} = U·a†_{i↑}a_{i↑}a†_{i↓}a_{i↓}.
+        fermion.push(FermionTerm::new(
+            Complex64::real(u),
+            vec![
+                LadderOp::create(spin_orbital(i, 0)),
+                LadderOp::annihilate(spin_orbital(i, 0)),
+                LadderOp::create(spin_orbital(i, 1)),
+                LadderOp::annihilate(spin_orbital(i, 1)),
+            ],
+        ));
+    }
+    ElectronicModel {
+        name: format!("hubbard-{sites}{}", if periodic { "-periodic" } else { "" }),
+        fermion,
+        num_electrons: sites, // half filling
+        energy_offset: 0.0,
+    }
+}
+
+/// Spatial integrals of a two-orbital molecular model:
+/// one-electron `h[p][q]` and chemists'-notation two-electron `(pq|rs)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoOrbitalIntegrals {
+    /// One-electron integrals `h_pq` (symmetric).
+    pub h1: [[f64; 2]; 2],
+    /// Two-electron integrals in chemists' notation `(pq|rs)`.
+    pub eri: [[[[f64; 2]; 2]; 2]; 2],
+    /// Nuclear repulsion.
+    pub nuclear_repulsion: f64,
+}
+
+/// The standard H₂ / STO-3G integrals at the equilibrium bond length
+/// (≈ 0.7414 Å) in the molecular-orbital (bonding `g` = 0, antibonding `u` =
+/// 1) basis, as tabulated in the quantum-computing chemistry literature.
+pub fn h2_sto3g_integrals() -> TwoOrbitalIntegrals {
+    let mut eri = [[[[0.0f64; 2]; 2]; 2]; 2];
+    // Non-zero unique values (chemists' notation, 8-fold symmetry):
+    let gggg = 0.674_489; // (gg|gg)
+    let uuuu = 0.697_397; // (uu|uu)
+    let gguu = 0.663_472; // (gg|uu) = (uu|gg)
+    let gugu = 0.181_288; // (gu|gu) = exchange
+    for (p, q, r, s, v) in [
+        (0, 0, 0, 0, gggg),
+        (1, 1, 1, 1, uuuu),
+        (0, 0, 1, 1, gguu),
+        (1, 1, 0, 0, gguu),
+        (0, 1, 0, 1, gugu),
+        (1, 0, 1, 0, gugu),
+        (0, 1, 1, 0, gugu),
+        (1, 0, 0, 1, gugu),
+    ] {
+        eri[p][q][r][s] = v;
+    }
+    TwoOrbitalIntegrals {
+        h1: [[-1.252_477, 0.0], [0.0, -0.475_934]],
+        eri,
+        nuclear_repulsion: 0.713_754,
+    }
+}
+
+/// Assembles the second-quantised Hamiltonian of a two-spatial-orbital model
+/// from its integrals:
+/// `H = Σ h_pq a†_{pσ}a_{qσ} + ½ Σ (pr|qs) a†_{pσ}a†_{qτ}a_{sτ}a_{rσ}`.
+pub fn model_from_integrals(
+    name: &str,
+    integrals: &TwoOrbitalIntegrals,
+    num_electrons: usize,
+) -> ElectronicModel {
+    let n_spatial = 2;
+    let n = spin_orbitals(n_spatial);
+    let mut fermion = FermionHamiltonian::new(n);
+    // One-body part.
+    for p in 0..n_spatial {
+        for q in 0..n_spatial {
+            let h = integrals.h1[p][q];
+            if h.abs() < 1e-14 {
+                continue;
+            }
+            for s in 0..2 {
+                fermion.push(FermionTerm::one_body(
+                    Complex64::real(h),
+                    spin_orbital(p, s),
+                    spin_orbital(q, s),
+                ));
+            }
+        }
+    }
+    // Two-body part (physicists' ⟨pq|rs⟩ = chemists' (pr|qs)).
+    for p in 0..n_spatial {
+        for q in 0..n_spatial {
+            for r in 0..n_spatial {
+                for s in 0..n_spatial {
+                    let g = integrals.eri[p][r][q][s];
+                    if g.abs() < 1e-14 {
+                        continue;
+                    }
+                    for sig in 0..2 {
+                        for tau in 0..2 {
+                            fermion.push(FermionTerm::new(
+                                Complex64::real(0.5 * g),
+                                vec![
+                                    LadderOp::create(spin_orbital(p, sig)),
+                                    LadderOp::create(spin_orbital(q, tau)),
+                                    LadderOp::annihilate(spin_orbital(s, tau)),
+                                    LadderOp::annihilate(spin_orbital(r, sig)),
+                                ],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ElectronicModel {
+        name: name.to_string(),
+        fermion,
+        num_electrons,
+        energy_offset: integrals.nuclear_repulsion,
+    }
+}
+
+/// The H₂ / STO-3G molecule (4 spin orbitals, 2 electrons).
+pub fn h2_sto3g() -> ElectronicModel {
+    model_from_integrals("H2/STO-3G", &h2_sto3g_integrals(), 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::DEFAULT_TOL;
+    use ghs_statevector::StateVector;
+
+    #[test]
+    fn hubbard_qubit_hamiltonian_is_hermitian_and_particle_conserving() {
+        let model = hubbard_chain(2, 1.0, 2.0, false);
+        let h = model.qubit_hamiltonian();
+        let m = h.matrix();
+        assert!(m.is_hermitian(DEFAULT_TOL));
+        // Particle-number conservation: ⟨x|H|y⟩ = 0 when popcount differs.
+        let dim = m.rows();
+        for r in 0..dim {
+            for c in 0..dim {
+                if (r as u64).count_ones() != (c as u64).count_ones() {
+                    assert!(m[(r, c)].abs() < DEFAULT_TOL, "H[{r},{c}] breaks particle number");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hubbard_atomic_limit_energies() {
+        // t = 0: eigenstates are occupation states; ground energy of the
+        // half-filled 2-site chain is 0 (one electron per site, no double
+        // occupancy), and the doubly-occupied states cost U.
+        let model = hubbard_chain(2, 0.0, 4.0, false);
+        let m = model.qubit_hamiltonian().matrix();
+        // |↑₀↓₀⟩ (both electrons on site 0) = occupied spin orbitals 0 and 1
+        // → index 0b1100.
+        assert!((m[(0b1100, 0b1100)].re - 4.0).abs() < DEFAULT_TOL);
+        // |↑₀↑₁⟩-type single occupancy: orbitals 0 and 2 → 0b1010, energy 0.
+        assert!(m[(0b1010, 0b1010)].abs() < DEFAULT_TOL);
+        let e = model.exact_ground_energy(500);
+        assert!(e.abs() < 1e-6);
+    }
+
+    #[test]
+    fn hubbard_two_site_ground_energy_matches_analytic() {
+        // The half-filled two-site Hubbard model has ground energy
+        // E = (U − √(U² + 16t²)) / 2.
+        let (t, u) = (1.0, 2.0);
+        let model = hubbard_chain(2, t, u, false);
+        let expect = (u - (u * u + 16.0 * t * t).sqrt()) / 2.0;
+        let e = model.exact_ground_energy(3000);
+        assert!((e - expect).abs() < 1e-4, "got {e}, expected {expect}");
+    }
+
+    #[test]
+    fn h2_hartree_fock_and_ground_energies() {
+        let model = h2_sto3g();
+        assert_eq!(model.num_qubits(), 4);
+        // The HF determinant occupies the two bonding spin orbitals.
+        assert_eq!(model.hartree_fock_state(), 0b1100);
+        let hf = StateVector::basis_state(4, model.hartree_fock_state());
+        let e_hf = model.energy_of_state(hf.amplitudes());
+        // HF total energy of H2/STO-3G is ≈ −1.117 Ha; allow a loose window
+        // since the integrals are literature-sourced.
+        assert!(e_hf < -1.0 && e_hf > -1.25, "HF energy {e_hf} out of range");
+        let e_fci = model.exact_ground_energy(3000);
+        // FCI is below HF and ≈ −1.137 Ha.
+        assert!(e_fci < e_hf);
+        assert!(e_fci < -1.1 && e_fci > -1.2, "FCI energy {e_fci} out of range");
+        // Correlation energy is on the 10–30 mHa scale.
+        assert!((e_hf - e_fci) > 0.005 && (e_hf - e_fci) < 0.05);
+    }
+
+    #[test]
+    fn h2_qubit_hamiltonian_structure() {
+        let model = h2_sto3g();
+        let h = model.qubit_hamiltonian();
+        assert!(h.matrix().is_hermitian(DEFAULT_TOL));
+        // The gathered SCB Hamiltonian is far smaller than the Pauli-LCU
+        // expansion of the same operator.
+        let pauli = h.to_pauli_sum();
+        assert!(h.num_terms() <= pauli.num_terms());
+        assert!(pauli.num_terms() >= 14, "expected the usual ~15-fragment H2 Hamiltonian");
+    }
+
+    #[test]
+    fn periodic_hubbard_has_extra_hopping() {
+        let open = hubbard_chain(3, 1.0, 1.0, false);
+        let per = hubbard_chain(3, 1.0, 1.0, true);
+        assert!(per.fermion.terms().len() > open.fermion.terms().len());
+        assert!(per.qubit_hamiltonian().matrix().is_hermitian(DEFAULT_TOL));
+    }
+}

@@ -1,0 +1,368 @@
+//! Quantum circuits: ordered gate lists over a fixed register, with the
+//! structural metrics the paper evaluates (rotation count, two-qubit count,
+//! multi-control count, depth).
+
+use crate::gate::{ControlBit, Gate, GateKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An ordered sequence of gates on `num_qubits` qubits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+/// Gate-count summary of a circuit, the quantities the paper reports for its
+/// comparisons (Section I & Table III).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceCounts {
+    /// Total number of gates (excluding global phases).
+    pub total: usize,
+    /// Non-parametrised single-qubit gates.
+    pub single_qubit_clifford: usize,
+    /// Parametrised single-qubit gates (arbitrary rotations / phases).
+    pub single_qubit_rotation: usize,
+    /// Two-qubit gates.
+    pub two_qubit: usize,
+    /// Gates acting on three or more qubits (multi-controlled).
+    pub multi_controlled: usize,
+    /// Total parametrised gates of any arity (the paper's "rotational
+    /// gates").
+    pub rotations: usize,
+    /// Circuit depth (greedy qubit-occupancy layering).
+    pub depth: usize,
+}
+
+impl Circuit {
+    /// Empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self { num_qubits, gates: Vec::new() }
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate after validating its qubit indices.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.qubits() {
+            assert!(q < self.num_qubits, "gate {gate} addresses qubit {q} out of {}", self.num_qubits);
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends every gate of `other` (registers must match).
+    pub fn append(&mut self, other: &Circuit) {
+        assert_eq!(self.num_qubits, other.num_qubits, "register size mismatch");
+        self.gates.extend(other.gates.iter().cloned());
+    }
+
+    /// Returns the inverse circuit (reversed gate order, each gate daggered).
+    pub fn dagger(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(|g| g.dagger()).collect(),
+        }
+    }
+
+    /// Repeats the circuit `times` times (used for Trotter steps).
+    pub fn repeat(&self, times: usize) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for _ in 0..times {
+            out.append(self);
+        }
+        out
+    }
+
+    /// Greedy depth: each gate occupies one layer on every qubit it touches.
+    pub fn depth(&self) -> usize {
+        let mut level: HashMap<usize, usize> = HashMap::new();
+        let mut max_depth = 0;
+        for gate in &self.gates {
+            let qs = gate.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let start = qs.iter().map(|q| *level.get(q).unwrap_or(&0)).max().unwrap_or(0);
+            let end = start + 1;
+            for q in qs {
+                level.insert(q, end);
+            }
+            max_depth = max_depth.max(end);
+        }
+        max_depth
+    }
+
+    /// Resource-count summary.
+    pub fn counts(&self) -> ResourceCounts {
+        let mut c = ResourceCounts { depth: self.depth(), ..Default::default() };
+        for g in &self.gates {
+            match g.kind() {
+                GateKind::GlobalPhase => continue,
+                GateKind::SingleQubitClifford => c.single_qubit_clifford += 1,
+                GateKind::SingleQubitRotation => c.single_qubit_rotation += 1,
+                GateKind::TwoQubit => c.two_qubit += 1,
+                GateKind::MultiControlled => c.multi_controlled += 1,
+            }
+            c.total += 1;
+            if g.is_parametrised() {
+                c.rotations += 1;
+            }
+        }
+        c
+    }
+
+    /// Number of gates of each mnemonic (e.g. `"CX" → 12`).
+    pub fn gate_histogram(&self) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(g.name()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    // ---- builder helpers -------------------------------------------------
+
+    /// Adds a Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q));
+        self
+    }
+
+    /// Adds a Pauli X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q));
+        self
+    }
+
+    /// Adds a Pauli Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y(q));
+        self
+    }
+
+    /// Adds a Pauli Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z(q));
+        self
+    }
+
+    /// Adds an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S(q));
+        self
+    }
+
+    /// Adds an S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sdg(q));
+        self
+    }
+
+    /// Adds a phase gate `P(θ)`.
+    pub fn p(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Phase { qubit: q, theta });
+        self
+    }
+
+    /// Adds `RX(θ)`.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx { qubit: q, theta });
+        self
+    }
+
+    /// Adds `RY(θ)`.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ry { qubit: q, theta });
+        self
+    }
+
+    /// Adds `RZ(θ)`.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz { qubit: q, theta });
+        self
+    }
+
+    /// Adds a CX.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx { control, target });
+        self
+    }
+
+    /// Adds a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Cz { a, b });
+        self
+    }
+
+    /// Adds a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap { a, b });
+        self
+    }
+
+    /// Adds a controlled phase `CP(θ)`.
+    pub fn cp(&mut self, control: usize, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::cp(control, target, theta));
+        self
+    }
+
+    /// Adds a keyed phase gate.
+    pub fn keyed_phase(&mut self, key: Vec<ControlBit>, theta: f64) -> &mut Self {
+        self.push(Gate::KeyedPhase { key, theta });
+        self
+    }
+
+    /// Adds a keyed Z (`CⁿZ{|a⟩}`).
+    pub fn keyed_z(&mut self, key: Vec<ControlBit>) -> &mut Self {
+        self.push(Gate::keyed_z(key));
+        self
+    }
+
+    /// Adds a multi-controlled X.
+    pub fn mcx(&mut self, controls: Vec<ControlBit>, target: usize) -> &mut Self {
+        self.push(Gate::McX { controls, target });
+        self
+    }
+
+    /// Adds a multi-controlled RX.
+    pub fn mcrx(&mut self, controls: Vec<ControlBit>, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::McRx { controls, target, theta });
+        self
+    }
+
+    /// Adds a multi-controlled RY.
+    pub fn mcry(&mut self, controls: Vec<ControlBit>, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::McRy { controls, target, theta });
+        self
+    }
+
+    /// Adds a multi-controlled RZ.
+    pub fn mcrz(&mut self, controls: Vec<ControlBit>, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::McRz { controls, target, theta });
+        self
+    }
+
+    /// Adds a global phase.
+    pub fn global_phase(&mut self, theta: f64) -> &mut Self {
+        self.push(Gate::GlobalPhase(theta));
+        self
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Circuit on {} qubits, {} gates:", self.num_qubits, self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, 0.4)
+            .cx(0, 1)
+            .h(0)
+            .mcrx(vec![ControlBit::one(2), ControlBit::zero(3)], 1, 0.7);
+        c
+    }
+
+    #[test]
+    fn push_validates_qubits() {
+        let mut c = Circuit::new(2);
+        c.h(1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn push_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    fn counts_and_histogram() {
+        let c = sample();
+        let counts = c.counts();
+        assert_eq!(counts.total, 6);
+        assert_eq!(counts.single_qubit_clifford, 2);
+        assert_eq!(counts.single_qubit_rotation, 1);
+        assert_eq!(counts.two_qubit, 2);
+        assert_eq!(counts.multi_controlled, 1);
+        assert_eq!(counts.rotations, 2);
+        let h = c.gate_histogram();
+        assert_eq!(h["CX"], 2);
+        assert_eq!(h["H"], 2);
+    }
+
+    #[test]
+    fn depth_layering() {
+        // H(0), CX(0,1): depth 2 on qubits 0-1; parallel H(2) stays depth 1.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).h(2);
+        assert_eq!(c.depth(), 2);
+        // A chain of CX gates across qubits is sequential.
+        let mut chain = Circuit::new(4);
+        chain.cx(0, 1).cx(1, 2).cx(2, 3);
+        assert_eq!(chain.depth(), 3);
+        // Disjoint CX gates are parallel.
+        let mut par = Circuit::new(4);
+        par.cx(0, 1).cx(2, 3);
+        assert_eq!(par.depth(), 1);
+    }
+
+    #[test]
+    fn dagger_reverses_and_inverts() {
+        let c = sample();
+        let d = c.dagger();
+        assert_eq!(d.len(), c.len());
+        // The first gate of the dagger is the inverse of the last gate.
+        assert_eq!(d.gates()[0], c.gates()[c.len() - 1].dagger());
+        // dagger of dagger is the original
+        assert_eq!(d.dagger(), c);
+    }
+
+    #[test]
+    fn append_and_repeat() {
+        let c = sample();
+        let mut two = Circuit::new(4);
+        two.append(&c);
+        two.append(&c);
+        assert_eq!(two, c.repeat(2));
+        assert_eq!(two.len(), 2 * c.len());
+    }
+
+    #[test]
+    fn global_phase_does_not_affect_depth() {
+        let mut c = Circuit::new(1);
+        c.global_phase(0.3);
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.counts().total, 0);
+    }
+}

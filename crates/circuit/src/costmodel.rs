@@ -1,0 +1,161 @@
+//! Analytic gate-cost models quoted by the paper (Section V-A).
+//!
+//! The paper compares the two Hamiltonian-simulation strategies by counting
+//! two-qubit gates after decomposition into a native set
+//! `{RZ, CX, P, CP}`, using the Barenco-et-al. counts it cites:
+//!
+//! * a Pauli-`Z`-string rotation `R_{Z^n}` costs `m = 2(n − 1)` two-qubit
+//!   gates (CX ladder up and down);
+//! * a multi-controlled phase `CⁿP` costs
+//!   `m = 2·(6·8(n − 5) + 48n − 212) = 192n − 904` two-qubit gates **plus one
+//!   ancilla qubit** when `n > 5`;
+//! * without the ancilla the cost is quadratic in the number of controls.
+//!
+//! These are *models*, not circuits: the exact, ancilla-free decomposition
+//! pass of [`crate::decompose`] is exponential in the control count and is
+//! used for verification at small sizes, while the functions here reproduce
+//! the paper's asymptotic comparisons (crossover at order `n > 7`,
+//! Eq. footnote 2).
+
+/// Two-qubit-gate count of a Pauli-string rotation `R_{Z^n}(θ)` acting on `n`
+/// qubits: `2(n − 1)` (CX ladder to a single qubit and back).
+pub fn rzn_two_qubit_count(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        2 * (n - 1)
+    }
+}
+
+/// Two-qubit-gate count of the paper's ancilla-assisted `CⁿP` decomposition,
+/// valid for `n > 5` controls: `2·(6·8(n−5) + 48n − 212) = 192n − 904`.
+///
+/// Returns `None` outside the validity domain stated in the paper.
+pub fn cnp_two_qubit_count_with_ancilla(n: usize) -> Option<usize> {
+    if n > 5 {
+        Some(2 * (6 * 8 * (n - 5) + 48 * n - 212))
+    } else {
+        None
+    }
+}
+
+/// Quadratic ancilla-free estimate for `CⁿP`, `≈ 2(n−1)² + 2(n−1)` two-qubit
+/// gates, the scaling the paper attributes to the no-ancilla Barenco
+/// construction. Exposed for sensitivity analyses; the crossover experiment
+/// of Section V-A uses the ancilla-assisted model above.
+pub fn cnp_two_qubit_count_quadratic(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        2 * (n - 1) * (n - 1) + 2 * (n - 1) + 2
+    }
+}
+
+/// Binomial coefficient `C(n, k)` in u128 to avoid overflow for the orders
+/// used in the scaling experiments.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+/// Number of terms produced when a single dense order-`n` term is switched
+/// from one formalism to the other (footnote 2 of the paper):
+/// `2^n − 1 = Σ_{h=1}^{n} C(n, h)`.
+pub fn switched_formalism_term_count(n: usize) -> u128 {
+    (1u128 << n) - 1
+}
+
+/// Two-qubit-gate count of the *usual* strategy for a dense problem of
+/// maximum order `n` expressed in the other formalism
+/// (footnote 2): `Σ_{h=1}^{n} 2(h − 1)·C(n, h)`.
+pub fn usual_dense_two_qubit_count(n: usize) -> u128 {
+    (1..=n)
+        .map(|h| 2 * (h as u128 - 1) * binomial(n, h))
+        .sum()
+}
+
+/// The crossover order above which the direct strategy's single `CⁿP`
+/// (ancilla model) uses fewer two-qubit gates than the usual strategy's
+/// Pauli-string expansion of a dense order-`n` term. The paper derives
+/// `n > 7`.
+pub fn direct_vs_usual_crossover_order(max_order: usize) -> Option<usize> {
+    (6..=max_order).find(|&n| {
+        let direct = cnp_two_qubit_count_with_ancilla(n).unwrap() as u128;
+        direct < usual_dense_two_qubit_count(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rzn_counts() {
+        assert_eq!(rzn_two_qubit_count(1), 0);
+        assert_eq!(rzn_two_qubit_count(2), 2);
+        assert_eq!(rzn_two_qubit_count(5), 8);
+    }
+
+    #[test]
+    fn cnp_ancilla_model_matches_paper_formula() {
+        assert_eq!(cnp_two_qubit_count_with_ancilla(5), None);
+        assert_eq!(cnp_two_qubit_count_with_ancilla(6), Some(192 * 6 - 904));
+        assert_eq!(cnp_two_qubit_count_with_ancilla(10), Some(192 * 10 - 904));
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(20, 10), 184_756);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn switched_formalism_counts() {
+        // Σ_h C(n,h) over non-empty subsets = 2^n − 1 (the paper's footnote 2).
+        for n in 1..=16 {
+            let sum: u128 = (1..=n).map(|h| binomial(n, h)).sum();
+            assert_eq!(sum, switched_formalism_term_count(n));
+        }
+    }
+
+    #[test]
+    fn crossover_with_formula_as_printed() {
+        // The paper states the crossover at order n > 7; evaluating its
+        // printed formula `192n − 904` against `Σ 2(h−1)C(n,h) = n·2^n −
+        // 2^{n+1} + 2` the direct strategy already wins at n = 6
+        // (248 < 258). We reproduce the formula as printed and record the
+        // measured crossover; see EXPERIMENTS.md (E06) for the discussion.
+        assert_eq!(direct_vs_usual_crossover_order(20), Some(6));
+        // Closed form of the usual-strategy count.
+        for n in 1..=16usize {
+            let closed = (n as u128) * (1u128 << n) + 2 - (1u128 << (n + 1));
+            assert_eq!(usual_dense_two_qubit_count(n), closed);
+        }
+        // Well above the threshold the direct model is far cheaper
+        // (exponential vs linear), which is the paper's qualitative claim.
+        assert!(
+            (cnp_two_qubit_count_with_ancilla(12).unwrap() as u128) * 10
+                < usual_dense_two_qubit_count(12)
+        );
+    }
+
+    #[test]
+    fn quadratic_model_is_monotone() {
+        let mut prev = 0;
+        for n in 1..=20 {
+            let c = cnp_two_qubit_count_quadratic(n);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Quantum gate intermediate representation.
+//!
+//! The gate set is chosen to express the paper's constructions *natively*:
+//! besides the usual one- and two-qubit gates it contains multi-controlled
+//! gates with **per-control polarity** (control on `|1⟩` or `|0⟩`), which is
+//! exactly what the `n`/`m` (number / hole) operator families of the paper
+//! turn into when exponentiated, and a keyed phase gate that models
+//! `CⁿP{|a⟩}` / `CⁿZ{|a⟩}` acting on an arbitrary computational-basis state.
+//!
+//! Simulation semantics live in `ghs-statevector`; this module only defines
+//! structure, classification and (for single-qubit gates) matrices.
+
+use ghs_math::{c64, CMatrix, Complex64};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+use std::fmt;
+
+/// A control condition on one qubit: trigger when the qubit holds `value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ControlBit {
+    /// The controlling qubit.
+    pub qubit: usize,
+    /// Required value: `1` (filled dot) or `0` (open dot).
+    pub value: u8,
+}
+
+impl ControlBit {
+    /// Control on `|1⟩`.
+    pub fn one(qubit: usize) -> Self {
+        Self { qubit, value: 1 }
+    }
+
+    /// Control on `|0⟩`.
+    pub fn zero(qubit: usize) -> Self {
+        Self { qubit, value: 0 }
+    }
+}
+
+/// A quantum gate acting on named qubits of a register.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// S†.
+    Sdg(usize),
+    /// T = diag(1, e^{iπ/4}).
+    T(usize),
+    /// T†.
+    Tdg(usize),
+    /// Single-qubit phase gate `P(θ) = diag(1, e^{iθ})` (the paper's
+    /// `exp(iθ n̂)`).
+    Phase {
+        /// Target qubit.
+        qubit: usize,
+        /// Phase angle.
+        theta: f64,
+    },
+    /// Rotation `RX(θ) = exp(-iθX/2)`.
+    Rx {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Rotation `RY(θ) = exp(-iθY/2)`.
+    Ry {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Rotation `RZ(θ) = exp(-iθZ/2)`.
+    Rz {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Controlled NOT.
+    Cx {
+        /// Control qubit (on `|1⟩`).
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled Z (symmetric).
+    Cz {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// SWAP gate.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Keyed phase: multiplies the amplitude of the single basis state
+    /// selected by `key` by `e^{iθ}`. With all-one key bits this is the usual
+    /// `Cⁿ⁻¹P(θ)`; with θ = π it is the paper's `CⁿZ{|a⟩}`.
+    KeyedPhase {
+        /// The selecting pattern (one entry per involved qubit).
+        key: Vec<ControlBit>,
+        /// Applied phase.
+        theta: f64,
+    },
+    /// Multi-controlled X with per-control polarity
+    /// (the paper's `CⁿX{|a⟩;|b⟩}` after the transition ladder).
+    McX {
+        /// Control conditions.
+        controls: Vec<ControlBit>,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Multi-controlled `RX(θ)`.
+    McRx {
+        /// Control conditions.
+        controls: Vec<ControlBit>,
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Multi-controlled `RY(θ)`.
+    McRy {
+        /// Control conditions.
+        controls: Vec<ControlBit>,
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Multi-controlled `RZ(θ)`.
+    McRz {
+        /// Control conditions.
+        controls: Vec<ControlBit>,
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Global phase `e^{iθ}` on the whole register.
+    GlobalPhase(f64),
+}
+
+/// Coarse classification used by the resource metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Non-parametrised single-qubit gate (Clifford + T).
+    SingleQubitClifford,
+    /// Parametrised single-qubit gate (rotation / phase).
+    SingleQubitRotation,
+    /// Two-qubit gate (CX, CZ, SWAP, two-qubit keyed phase).
+    TwoQubit,
+    /// Gate touching three or more qubits.
+    MultiControlled,
+    /// Global phase (no qubits).
+    GlobalPhase,
+}
+
+impl Gate {
+    /// Convenience constructor for a controlled phase `CP(θ)` (both qubits
+    /// keyed on `|1⟩`).
+    pub fn cp(control: usize, target: usize, theta: f64) -> Self {
+        Gate::KeyedPhase {
+            key: vec![ControlBit::one(control), ControlBit::one(target)],
+            theta,
+        }
+    }
+
+    /// Convenience constructor for the doubly-controlled phase `CCP(θ)`.
+    pub fn ccp(c1: usize, c2: usize, target: usize, theta: f64) -> Self {
+        Gate::KeyedPhase {
+            key: vec![ControlBit::one(c1), ControlBit::one(c2), ControlBit::one(target)],
+            theta,
+        }
+    }
+
+    /// Convenience constructor for `CⁿZ{|a⟩}`: a sign flip on the basis state
+    /// selected by `key`.
+    pub fn keyed_z(key: Vec<ControlBit>) -> Self {
+        Gate::KeyedPhase { key, theta: std::f64::consts::PI }
+    }
+
+    /// The qubits touched by the gate (controls and targets).
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Phase { qubit: q, .. }
+            | Gate::Rx { qubit: q, .. }
+            | Gate::Ry { qubit: q, .. }
+            | Gate::Rz { qubit: q, .. } => vec![*q],
+            Gate::Cx { control, target } => vec![*control, *target],
+            Gate::Cz { a, b } | Gate::Swap { a, b } => vec![*a, *b],
+            Gate::KeyedPhase { key, .. } => key.iter().map(|c| c.qubit).collect(),
+            Gate::McX { controls, target }
+            | Gate::McRx { controls, target, .. }
+            | Gate::McRy { controls, target, .. }
+            | Gate::McRz { controls, target, .. } => {
+                let mut v: Vec<usize> = controls.iter().map(|c| c.qubit).collect();
+                v.push(*target);
+                v
+            }
+            Gate::GlobalPhase(_) => vec![],
+        }
+    }
+
+    /// Classification for resource metrics.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::GlobalPhase(_) => GateKind::GlobalPhase,
+            Gate::H(_)
+            | Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::T(_)
+            | Gate::Tdg(_) => GateKind::SingleQubitClifford,
+            Gate::Phase { .. } | Gate::Rx { .. } | Gate::Ry { .. } | Gate::Rz { .. } => {
+                GateKind::SingleQubitRotation
+            }
+            _ => match self.qubits().len() {
+                0 | 1 => GateKind::SingleQubitRotation,
+                2 => GateKind::TwoQubit,
+                _ => GateKind::MultiControlled,
+            },
+        }
+    }
+
+    /// True when the gate carries a continuously-parametrised angle (the
+    /// paper's "rotational gate" count).
+    pub fn is_parametrised(&self) -> bool {
+        matches!(
+            self,
+            Gate::Phase { .. }
+                | Gate::Rx { .. }
+                | Gate::Ry { .. }
+                | Gate::Rz { .. }
+                | Gate::KeyedPhase { .. }
+                | Gate::McRx { .. }
+                | Gate::McRy { .. }
+                | Gate::McRz { .. }
+                | Gate::GlobalPhase(_)
+        )
+    }
+
+    /// Hermitian conjugate (inverse) of the gate.
+    pub fn dagger(&self) -> Gate {
+        match self {
+            Gate::S(q) => Gate::Sdg(*q),
+            Gate::Sdg(q) => Gate::S(*q),
+            Gate::T(q) => Gate::Tdg(*q),
+            Gate::Tdg(q) => Gate::T(*q),
+            Gate::Phase { qubit, theta } => Gate::Phase { qubit: *qubit, theta: -theta },
+            Gate::Rx { qubit, theta } => Gate::Rx { qubit: *qubit, theta: -theta },
+            Gate::Ry { qubit, theta } => Gate::Ry { qubit: *qubit, theta: -theta },
+            Gate::Rz { qubit, theta } => Gate::Rz { qubit: *qubit, theta: -theta },
+            Gate::KeyedPhase { key, theta } => {
+                Gate::KeyedPhase { key: key.clone(), theta: -theta }
+            }
+            Gate::McRx { controls, target, theta } => {
+                Gate::McRx { controls: controls.clone(), target: *target, theta: -theta }
+            }
+            Gate::McRy { controls, target, theta } => {
+                Gate::McRy { controls: controls.clone(), target: *target, theta: -theta }
+            }
+            Gate::McRz { controls, target, theta } => {
+                Gate::McRz { controls: controls.clone(), target: *target, theta: -theta }
+            }
+            Gate::GlobalPhase(t) => Gate::GlobalPhase(-t),
+            other => other.clone(),
+        }
+    }
+
+    /// 2×2 matrix of the *base* single-qubit operation of the gate: for
+    /// controlled gates this is the operation applied to the target when all
+    /// controls are satisfied. Returns `None` for gates without a single
+    /// target (CZ, SWAP, keyed phase, global phase).
+    pub fn base_matrix(&self) -> Option<CMatrix> {
+        let m = |rows: [[Complex64; 2]; 2]| {
+            CMatrix::from_rows(&[&rows[0], &rows[1]])
+        };
+        let zero = Complex64::ZERO;
+        let one = Complex64::ONE;
+        let i = Complex64::I;
+        Some(match self {
+            Gate::H(_) => {
+                let h = 1.0 / 2f64.sqrt();
+                m([[c64(h, 0.0), c64(h, 0.0)], [c64(h, 0.0), c64(-h, 0.0)]])
+            }
+            Gate::X(_) | Gate::Cx { .. } | Gate::McX { .. } => m([[zero, one], [one, zero]]),
+            Gate::Y(_) => m([[zero, -i], [i, zero]]),
+            Gate::Z(_) => m([[one, zero], [zero, -one]]),
+            Gate::S(_) => m([[one, zero], [zero, i]]),
+            Gate::Sdg(_) => m([[one, zero], [zero, -i]]),
+            Gate::T(_) => m([[one, zero], [zero, Complex64::cis(FRAC_PI_4)]]),
+            Gate::Tdg(_) => m([[one, zero], [zero, Complex64::cis(-FRAC_PI_4)]]),
+            Gate::Phase { theta, .. } => m([[one, zero], [zero, Complex64::cis(*theta)]]),
+            Gate::Rx { theta, .. } | Gate::McRx { theta, .. } => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                m([[c64(c, 0.0), c64(0.0, -s)], [c64(0.0, -s), c64(c, 0.0)]])
+            }
+            Gate::Ry { theta, .. } | Gate::McRy { theta, .. } => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                m([[c64(c, 0.0), c64(-s, 0.0)], [c64(s, 0.0), c64(c, 0.0)]])
+            }
+            Gate::Rz { theta, .. } | Gate::McRz { theta, .. } => m([
+                [Complex64::cis(-theta / 2.0), zero],
+                [zero, Complex64::cis(theta / 2.0)],
+            ]),
+            _ => return None,
+        })
+    }
+
+    /// Control conditions of the gate (empty for plain gates).
+    pub fn controls(&self) -> Vec<ControlBit> {
+        match self {
+            Gate::Cx { control, .. } => vec![ControlBit::one(*control)],
+            Gate::McX { controls, .. }
+            | Gate::McRx { controls, .. }
+            | Gate::McRy { controls, .. }
+            | Gate::McRz { controls, .. } => controls.clone(),
+            _ => vec![],
+        }
+    }
+
+    /// Short mnemonic used in displays and tallies.
+    pub fn name(&self) -> String {
+        match self {
+            Gate::H(_) => "H".into(),
+            Gate::X(_) => "X".into(),
+            Gate::Y(_) => "Y".into(),
+            Gate::Z(_) => "Z".into(),
+            Gate::S(_) => "S".into(),
+            Gate::Sdg(_) => "S†".into(),
+            Gate::T(_) => "T".into(),
+            Gate::Tdg(_) => "T†".into(),
+            Gate::Phase { .. } => "P".into(),
+            Gate::Rx { .. } => "RX".into(),
+            Gate::Ry { .. } => "RY".into(),
+            Gate::Rz { .. } => "RZ".into(),
+            Gate::Cx { .. } => "CX".into(),
+            Gate::Cz { .. } => "CZ".into(),
+            Gate::Swap { .. } => "SWAP".into(),
+            Gate::KeyedPhase { key, .. } => format!("C{}P", key.len().saturating_sub(1)),
+            Gate::McX { controls, .. } => format!("C{}X", controls.len()),
+            Gate::McRx { controls, .. } => format!("C{}RX", controls.len()),
+            Gate::McRy { controls, .. } => format!("C{}RY", controls.len()),
+            Gate::McRz { controls, .. } => format!("C{}RZ", controls.len()),
+            Gate::GlobalPhase(_) => "gφ".into(),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.name(), self.qubits())
+    }
+}
+
+/// Matrices of common fixed single-qubit gates, used by tests in several
+/// crates.
+pub mod matrices {
+    use super::*;
+
+    /// Hadamard matrix.
+    pub fn h() -> CMatrix {
+        Gate::H(0).base_matrix().unwrap()
+    }
+
+    /// Pauli X matrix.
+    pub fn x() -> CMatrix {
+        Gate::X(0).base_matrix().unwrap()
+    }
+
+    /// Pauli Y matrix.
+    pub fn y() -> CMatrix {
+        Gate::Y(0).base_matrix().unwrap()
+    }
+
+    /// Pauli Z matrix.
+    pub fn z() -> CMatrix {
+        Gate::Z(0).base_matrix().unwrap()
+    }
+
+    /// S matrix.
+    pub fn s() -> CMatrix {
+        Gate::S(0).base_matrix().unwrap()
+    }
+
+    /// RX(θ).
+    pub fn rx(theta: f64) -> CMatrix {
+        Gate::Rx { qubit: 0, theta }.base_matrix().unwrap()
+    }
+
+    /// RY(θ).
+    pub fn ry(theta: f64) -> CMatrix {
+        Gate::Ry { qubit: 0, theta }.base_matrix().unwrap()
+    }
+
+    /// RZ(θ).
+    pub fn rz(theta: f64) -> CMatrix {
+        Gate::Rz { qubit: 0, theta }.base_matrix().unwrap()
+    }
+
+    /// P(θ).
+    pub fn phase(theta: f64) -> CMatrix {
+        Gate::Phase { qubit: 0, theta }.base_matrix().unwrap()
+    }
+
+    /// The 4×4 CX matrix with qubit 0 as control (most-significant bit).
+    pub fn cx() -> CMatrix {
+        let mut m = CMatrix::zeros(4, 4);
+        m[(0, 0)] = Complex64::ONE;
+        m[(1, 1)] = Complex64::ONE;
+        m[(2, 3)] = Complex64::ONE;
+        m[(3, 2)] = Complex64::ONE;
+        m
+    }
+
+    /// A do-nothing placeholder kept for API symmetry.
+    pub fn identity() -> CMatrix {
+        CMatrix::identity(2)
+    }
+
+    /// Rotation by `theta` about the axis `cos φ·X + sin φ·Y` in the XY
+    /// plane: `exp(-i θ/2 (cos φ X + sin φ Y))`. This is the exact
+    /// single-rotation implementation of a complex-weighted transition
+    /// (extension of §III-A of the paper).
+    pub fn r_xy(theta: f64, phi: f64) -> CMatrix {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        CMatrix::from_rows(&[
+            &[c64(c, 0.0), c64(-s * phi.sin(), -s * phi.cos())],
+            &[c64(s * phi.sin(), -s * phi.cos()), c64(c, 0.0)],
+        ])
+    }
+
+    /// Assert helper: all listed matrices are unitary.
+    pub fn all_fixed() -> Vec<CMatrix> {
+        vec![h(), x(), y(), z(), s(), rx(0.3), ry(0.7), rz(1.1), phase(FRAC_PI_2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::DEFAULT_TOL;
+
+    #[test]
+    fn base_matrices_are_unitary() {
+        for m in matrices::all_fixed() {
+            assert!(m.is_unitary(DEFAULT_TOL));
+        }
+        assert!(matrices::r_xy(0.9, 0.4).is_unitary(DEFAULT_TOL));
+    }
+
+    #[test]
+    fn rx_is_exponential_of_x() {
+        let theta = 0.9;
+        let direct = ghs_math::expm_minus_i_theta(&matrices::x(), theta / 2.0);
+        assert!(matrices::rx(theta).approx_eq(&direct, DEFAULT_TOL));
+        let direct_y = ghs_math::expm_minus_i_theta(&matrices::y(), theta / 2.0);
+        assert!(matrices::ry(theta).approx_eq(&direct_y, DEFAULT_TOL));
+        let direct_z = ghs_math::expm_minus_i_theta(&matrices::z(), theta / 2.0);
+        assert!(matrices::rz(theta).approx_eq(&direct_z, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn r_xy_is_exponential_of_plane_axis() {
+        let (theta, phi): (f64, f64) = (1.3, 0.8);
+        let mut axis = matrices::x().scale(c64(phi.cos(), 0.0));
+        axis.add_scaled(&matrices::y(), c64(phi.sin(), 0.0));
+        let direct = ghs_math::expm_minus_i_theta(&axis, theta / 2.0);
+        assert!(matrices::r_xy(theta, phi).approx_eq(&direct, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn dagger_round_trips() {
+        let gates = vec![
+            Gate::S(0),
+            Gate::T(1),
+            Gate::Rx { qubit: 0, theta: 0.3 },
+            Gate::KeyedPhase { key: vec![ControlBit::one(0), ControlBit::zero(1)], theta: 0.5 },
+            Gate::McRy { controls: vec![ControlBit::one(2)], target: 0, theta: 1.0 },
+            Gate::Cx { control: 0, target: 1 },
+        ];
+        for g in gates {
+            assert_eq!(g.dagger().dagger(), g);
+        }
+    }
+
+    #[test]
+    fn qubit_listing_and_kind() {
+        let g = Gate::McRx {
+            controls: vec![ControlBit::one(3), ControlBit::zero(1)],
+            target: 0,
+            theta: 0.2,
+        };
+        assert_eq!(g.qubits(), vec![3, 1, 0]);
+        assert_eq!(g.kind(), GateKind::MultiControlled);
+        assert_eq!(Gate::Cx { control: 0, target: 1 }.kind(), GateKind::TwoQubit);
+        assert_eq!(Gate::H(0).kind(), GateKind::SingleQubitClifford);
+        assert_eq!(Gate::Rz { qubit: 0, theta: 0.1 }.kind(), GateKind::SingleQubitRotation);
+        assert_eq!(Gate::GlobalPhase(0.3).kind(), GateKind::GlobalPhase);
+        assert_eq!(Gate::cp(0, 1, 0.5).kind(), GateKind::TwoQubit);
+        assert_eq!(Gate::ccp(0, 1, 2, 0.5).kind(), GateKind::MultiControlled);
+    }
+
+    #[test]
+    fn parametrised_flag() {
+        assert!(Gate::Rz { qubit: 0, theta: 0.1 }.is_parametrised());
+        assert!(Gate::keyed_z(vec![ControlBit::one(0)]).is_parametrised());
+        assert!(!Gate::H(0).is_parametrised());
+        assert!(!Gate::Cx { control: 0, target: 1 }.is_parametrised());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Gate::ccp(0, 1, 2, 0.1).name(), "C2P");
+        assert_eq!(
+            Gate::McX { controls: vec![ControlBit::one(0), ControlBit::one(1)], target: 2 }.name(),
+            "C2X"
+        );
+    }
+}

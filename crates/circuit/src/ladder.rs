@@ -1,0 +1,261 @@
+//! CX "ladder" sub-circuits used by the direct Hamiltonian-simulation
+//! construction (Section III and Figs. 2, 3, 25 of the paper).
+//!
+//! Two kinds of ladders appear:
+//!
+//! * the **transition ladder** conjugates the ladder-operator (σ/σ†) qubits
+//!   so that the generalized-Bell pair `|a⟩, |b⟩` (with `b` the bitwise
+//!   complement of `a` on those qubits) differs on a single *pivot* qubit,
+//!   every other transition qubit taking a value common to both states;
+//! * the **parity ladder** collects the parity of the Pauli-family qubits
+//!   (after their local basis change) onto a single *holder* qubit.
+//!
+//! Both come in a linear variant (all CX gates share one qubit — depth
+//! `k − 1`) and the paper's pyramidal variant (pairwise tree — depth
+//! `⌈log₂ k⌉`), with the same CX count `k − 1`.
+
+use crate::circuit::Circuit;
+#[cfg(test)]
+use crate::gate::Gate;
+
+/// Ladder layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LadderStyle {
+    /// Star / chain layout: linear depth, linear CX count (Fig. 2).
+    #[default]
+    Linear,
+    /// Pairwise tree layout: logarithmic depth, same CX count (Fig. 3 / 25).
+    Pyramidal,
+}
+
+/// A transition-family basis change.
+#[derive(Clone, Debug)]
+pub struct TransitionLadder {
+    /// The CX sub-circuit (apply before the rotation; its dagger after).
+    pub circuit: Circuit,
+    /// The pivot qubit, the only transition qubit on which the two Bell
+    /// components still differ after the ladder.
+    pub pivot: usize,
+    /// For every non-pivot transition qubit, the value it takes (identically
+    /// on both Bell components) after the ladder, given the `a` bit values
+    /// supplied at construction; these become control conditions of the
+    /// central rotation.
+    pub controls: Vec<(usize, u8)>,
+}
+
+/// A Pauli-family parity accumulation.
+#[derive(Clone, Debug)]
+pub struct ParityLadder {
+    /// The CX sub-circuit (apply before the rotation; its dagger after).
+    pub circuit: Circuit,
+    /// The qubit holding the total parity after the ladder.
+    pub holder: usize,
+}
+
+/// Builds the transition ladder for the qubits carrying σ/σ† factors.
+///
+/// `qubits_with_a_bits` lists `(qubit, a_bit)` pairs, where `a_bit` is `1`
+/// for σ† and `0` for σ (Table II convention); the transition part of the
+/// term is `|a⟩⟨b|` with `b` the complement of `a` on these qubits.
+/// The first listed qubit is used as the pivot.
+///
+/// # Panics
+/// Panics when fewer than one transition qubit is supplied.
+pub fn transition_ladder(
+    num_qubits: usize,
+    qubits_with_a_bits: &[(usize, u8)],
+    style: LadderStyle,
+) -> TransitionLadder {
+    assert!(
+        !qubits_with_a_bits.is_empty(),
+        "transition ladder requires at least one transition qubit"
+    );
+    let pivot = qubits_with_a_bits[0].0;
+    let a_of = |q: usize| -> u8 {
+        qubits_with_a_bits
+            .iter()
+            .find(|&&(qq, _)| qq == q)
+            .map(|&(_, a)| a)
+            .expect("qubit present")
+    };
+    let mut circuit = Circuit::new(num_qubits);
+    let mut controls = Vec::new();
+
+    match style {
+        LadderStyle::Linear => {
+            // Star: CX(pivot → q); afterwards qubit q holds x_q ⊕ x_pivot,
+            // identical on |a⟩ and |b⟩ because both bits flip together.
+            for &(q, a) in &qubits_with_a_bits[1..] {
+                circuit.cx(pivot, q);
+                controls.push((q, a ^ a_of(pivot)));
+            }
+        }
+        LadderStyle::Pyramidal => {
+            // Pairwise reduction: repeatedly pair the still-"open" qubits
+            // (those never used as a CX target); in each pair one qubit
+            // becomes a target (now holding an invariant pair-parity) and the
+            // other stays open. The pivot is never chosen as a target, so it
+            // is the unique open qubit at the end.
+            let mut open: Vec<usize> = qubits_with_a_bits.iter().map(|&(q, _)| q).collect();
+            while open.len() > 1 {
+                let mut next_open = Vec::with_capacity(open.len().div_ceil(2));
+                let mut i = 0;
+                while i < open.len() {
+                    if i + 1 < open.len() {
+                        // Keep the pivot open if it is part of the pair.
+                        let (src, tgt) = if open[i + 1] == pivot {
+                            (open[i + 1], open[i])
+                        } else {
+                            (open[i], open[i + 1])
+                        };
+                        circuit.cx(src, tgt);
+                        controls.push((tgt, a_of(tgt) ^ a_of(src)));
+                        next_open.push(src);
+                    } else {
+                        next_open.push(open[i]);
+                    }
+                    i += 2;
+                }
+                open = next_open;
+            }
+            debug_assert_eq!(open, vec![pivot]);
+        }
+    }
+    TransitionLadder { circuit, pivot, controls }
+}
+
+/// Builds the parity ladder for the Pauli-family qubits: after the ladder the
+/// product `Z ⊗ Z ⊗ …` over these qubits is conjugated onto a single `Z` on
+/// the holder qubit. The last listed qubit is used as the holder.
+///
+/// # Panics
+/// Panics when fewer than one qubit is supplied.
+pub fn parity_ladder(num_qubits: usize, qubits: &[usize], style: LadderStyle) -> ParityLadder {
+    assert!(!qubits.is_empty(), "parity ladder requires at least one qubit");
+    let holder = *qubits.last().unwrap();
+    let mut circuit = Circuit::new(num_qubits);
+    match style {
+        LadderStyle::Linear => {
+            // Chain every qubit directly into the holder.
+            for &q in &qubits[..qubits.len() - 1] {
+                circuit.cx(q, holder);
+            }
+        }
+        LadderStyle::Pyramidal => {
+            // Reduction tree: CX(u → v) conjugates Z_u Z_v onto Z_v, so the
+            // running carrier is always the *target*; the final carrier is
+            // forced to be the holder.
+            let mut carriers: Vec<usize> = qubits.to_vec();
+            while carriers.len() > 1 {
+                let mut next = Vec::with_capacity(carriers.len().div_ceil(2));
+                let mut i = 0;
+                while i < carriers.len() {
+                    if i + 1 < carriers.len() {
+                        // The carrier that continues must end up being the
+                        // holder at the very end; prefer the later-listed
+                        // qubit as target so the holder (last) survives.
+                        let (src, tgt) = (carriers[i], carriers[i + 1]);
+                        circuit.cx(src, tgt);
+                        next.push(tgt);
+                    } else {
+                        next.push(carriers[i]);
+                    }
+                    i += 2;
+                }
+                carriers = next;
+            }
+            debug_assert_eq!(carriers, vec![holder]);
+        }
+    }
+    ParityLadder { circuit, holder }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abits(qubits: &[usize]) -> Vec<(usize, u8)> {
+        qubits.iter().enumerate().map(|(i, &q)| (q, (i % 2) as u8)).collect()
+    }
+
+    #[test]
+    fn transition_ladder_counts_and_depth() {
+        for k in 2..=16usize {
+            let qubits: Vec<usize> = (0..k).collect();
+            let lin = transition_ladder(k, &abits(&qubits), LadderStyle::Linear);
+            let pyr = transition_ladder(k, &abits(&qubits), LadderStyle::Pyramidal);
+            // Same CX count: k − 1.
+            assert_eq!(lin.circuit.len(), k - 1);
+            assert_eq!(pyr.circuit.len(), k - 1);
+            // Depth: linear vs ⌈log2 k⌉.
+            assert_eq!(lin.circuit.depth(), k - 1);
+            assert_eq!(pyr.circuit.depth(), (k as f64).log2().ceil() as usize);
+            // Both provide k − 1 control conditions (all non-pivot qubits).
+            assert_eq!(lin.controls.len(), k - 1);
+            assert_eq!(pyr.controls.len(), k - 1);
+            assert_eq!(lin.pivot, pyr.pivot);
+        }
+    }
+
+    #[test]
+    fn parity_ladder_counts_and_depth() {
+        for k in 2..=16usize {
+            let qubits: Vec<usize> = (5..5 + k).collect();
+            let lin = parity_ladder(5 + k, &qubits, LadderStyle::Linear);
+            let pyr = parity_ladder(5 + k, &qubits, LadderStyle::Pyramidal);
+            assert_eq!(lin.circuit.len(), k - 1);
+            assert_eq!(pyr.circuit.len(), k - 1);
+            assert_eq!(lin.circuit.depth(), k - 1);
+            assert_eq!(pyr.circuit.depth(), (k as f64).log2().ceil() as usize);
+            assert_eq!(lin.holder, pyr.holder);
+            assert_eq!(lin.holder, 5 + k - 1);
+        }
+    }
+
+    #[test]
+    fn single_qubit_ladders_are_empty() {
+        let t = transition_ladder(3, &[(1, 1)], LadderStyle::Pyramidal);
+        assert!(t.circuit.is_empty());
+        assert_eq!(t.pivot, 1);
+        assert!(t.controls.is_empty());
+        let p = parity_ladder(3, &[2], LadderStyle::Linear);
+        assert!(p.circuit.is_empty());
+        assert_eq!(p.holder, 2);
+    }
+
+    #[test]
+    fn ladders_only_contain_cx() {
+        let qubits: Vec<usize> = (0..9).collect();
+        for style in [LadderStyle::Linear, LadderStyle::Pyramidal] {
+            let t = transition_ladder(9, &abits(&qubits), style);
+            assert!(t.circuit.gates().iter().all(|g| matches!(g, Gate::Cx { .. })));
+            let p = parity_ladder(9, &qubits, style);
+            assert!(p.circuit.gates().iter().all(|g| matches!(g, Gate::Cx { .. })));
+        }
+    }
+
+    #[test]
+    fn pyramidal_sources_are_never_prior_targets() {
+        // The invariance argument requires every CX source to hold its
+        // original value, i.e. to never have been a target before.
+        let qubits: Vec<usize> = (0..13).collect();
+        let t = transition_ladder(13, &abits(&qubits), LadderStyle::Pyramidal);
+        let mut targeted = std::collections::HashSet::new();
+        for g in t.circuit.gates() {
+            if let Gate::Cx { control, target } = g {
+                assert!(!targeted.contains(control), "source {control} was already a target");
+                targeted.insert(*target);
+            }
+        }
+        // The pivot is never targeted.
+        assert!(!targeted.contains(&t.pivot));
+    }
+
+    #[test]
+    fn linear_controls_are_xor_with_pivot() {
+        let spec = [(2, 1u8), (4, 0u8), (7, 1u8)];
+        let lad = transition_ladder(8, &spec, LadderStyle::Linear);
+        assert_eq!(lad.pivot, 2);
+        assert_eq!(lad.controls, vec![(4, 0 ^ 1), (7, 1 ^ 1)]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # ghs-circuit
+//!
+//! Quantum-circuit intermediate representation for the gate-efficient
+//! Hamiltonian-simulation workspace: a gate set with polarity-aware
+//! multi-controls and keyed phases (the natural image of the paper's `n`/`m`
+//! operator family), circuit construction and resource metrics, the linear
+//! and pyramidal CX ladders of Figs. 2/3/25, an exact ancilla-free
+//! decomposition pass to the `{1-qubit, CX}` basis, and the analytic
+//! Barenco-style cost models the paper quotes for its comparisons.
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod costmodel;
+pub mod decompose;
+pub mod gate;
+pub mod ladder;
+pub mod qft;
+
+pub use circuit::{Circuit, ResourceCounts};
+pub use decompose::{decompose_to_cx_basis, decomposed_two_qubit_count, NativeBasis};
+pub use gate::{matrices, ControlBit, Gate, GateKind};
+pub use ladder::{parity_ladder, transition_ladder, LadderStyle, ParityLadder, TransitionLadder};
+pub use qft::{inverse_qft, qft};

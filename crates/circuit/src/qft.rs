@@ -1,0 +1,72 @@
+//! Quantum Fourier Transform circuits.
+//!
+//! The QFT is the read-out stage of Quantum Phase Estimation, which the paper
+//! names as one of the principal consumers of the Hamiltonian-simulation
+//! query (Section I) and which underlies the Grover-Adaptive-Search reading
+//! of HUBO cost functions the direct strategy originated from (§V-A-1).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::f64::consts::PI;
+
+/// Builds the QFT on the listed qubits (most-significant qubit first) of an
+/// `num_qubits`-qubit register:
+/// `|j⟩ → 2^{-m/2} Σ_k e^{2πi jk / 2^m} |k⟩`.
+///
+/// When `with_swaps` is false the output bit order is reversed (the usual
+/// trick to save the final swap network); callers that only need the QFT for
+/// an immediate inverse can skip the swaps on both sides.
+pub fn qft(num_qubits: usize, qubits: &[usize], with_swaps: bool) -> Circuit {
+    let m = qubits.len();
+    let mut c = Circuit::new(num_qubits);
+    for (i, &q) in qubits.iter().enumerate() {
+        c.h(q);
+        for (dist, &ctrl) in qubits.iter().enumerate().skip(i + 1).map(|(j, ctrl)| (j - i, ctrl)) {
+            let theta = PI / (1u64 << dist) as f64;
+            c.push(Gate::cp(ctrl, q, theta));
+        }
+    }
+    if with_swaps {
+        for i in 0..m / 2 {
+            c.swap(qubits[i], qubits[m - 1 - i]);
+        }
+    }
+    c
+}
+
+/// Inverse QFT on the listed qubits.
+pub fn inverse_qft(num_qubits: usize, qubits: &[usize], with_swaps: bool) -> Circuit {
+    qft(num_qubits, qubits, with_swaps).dagger()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_counts() {
+        let c = qft(5, &[0, 1, 2, 3, 4], true);
+        let hist = c.gate_histogram();
+        assert_eq!(hist.get("H").copied().unwrap_or(0), 5);
+        // C(5,2) = 10 controlled phases, 2 swaps.
+        assert_eq!(hist.get("C1P").copied().unwrap_or(0), 10);
+        assert_eq!(hist.get("SWAP").copied().unwrap_or(0), 2);
+    }
+
+    #[test]
+    fn inverse_is_dagger() {
+        let f = qft(3, &[0, 1, 2], true);
+        let inv = inverse_qft(3, &[0, 1, 2], true);
+        assert_eq!(inv, f.dagger());
+    }
+
+    #[test]
+    fn qft_on_subregister_leaves_other_qubits_untouched() {
+        let c = qft(6, &[2, 3, 4], false);
+        for g in c.gates() {
+            for q in g.qubits() {
+                assert!((2..=4).contains(&q));
+            }
+        }
+    }
+}

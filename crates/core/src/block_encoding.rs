@@ -1,0 +1,462 @@
+//! Block-encoding (BE) of SCB terms and Hamiltonians as Linear Combinations
+//! of Unitaries — Section IV of the paper.
+//!
+//! Every Hermitian SCB term factorises as
+//! `H_term = H_σ ⊗ H_n ⊗ P̂S` and each factor is a short LCU:
+//!
+//! * the control (n/m) projector `H_n = |c⟩⟨c| = (I − CⁿZ{|c⟩})/2`
+//!   — two unitaries (Eq. 10);
+//! * the transition part `γ|a⟩⟨b| + γ*|b⟩⟨a| = r·W{|a⟩;|b⟩;φ} − (r/2)·I −
+//!   (r/2)·CⁿZCⁿZ{|a⟩;|b⟩}` — three unitaries, where `W` is the phased
+//!   in-subspace X (`CⁿX{|a⟩;|b⟩}` for a real weight). This is the corrected
+//!   form of Eq. 11 (the paper's printed sign on the `(I + CⁿZCⁿZ)/2` term
+//!   does not reproduce `|a⟩⟨b| + h.c.`; the unitary count is unchanged);
+//! * the Pauli string is already unitary.
+//!
+//! The product gives at most `3 × 2 = 6` unitaries per term (Eq. 12). The
+//! [`BlockEncoding`] then assembles the standard PREPARE/SELECT circuit with
+//! `⌈log₂ L⌉` ancilla qubits and normalisation `λ = Σ|w_i|`.
+
+use ghs_circuit::{transition_ladder, Circuit, ControlBit, LadderStyle};
+use ghs_math::CMatrix;
+use ghs_operators::{HermitianTerm, PauliOp, ScbHamiltonian};
+use ghs_statevector::{circuit_unitary, prepare_real_amplitudes};
+
+/// The phased in-subspace X between two complementary bit patterns
+/// (`CⁿX{|a⟩;|b⟩}` generalised to `e^{iφ}|a⟩⟨b| + e^{−iφ}|b⟩⟨a| + (I −
+/// |a⟩⟨a| − |b⟩⟨b|)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransitionX {
+    /// Transition qubits with their `a` bit (σ† → 1, σ → 0); `b` is the
+    /// complement.
+    pub qubits_a: Vec<(usize, u8)>,
+    /// The phase `φ` (zero for a real-weighted term).
+    pub phase: f64,
+}
+
+/// One unitary of a term's LCU, stored structurally so it can be emitted
+/// either bare or controlled on an ancilla key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LcuUnitary {
+    /// Global phase `e^{iφ₀}` (π encodes a sign flip).
+    pub phase: f64,
+    /// Optional phased in-subspace X on the transition qubits.
+    pub transition: Option<TransitionX>,
+    /// Keyed-Z factors (`CⁿZ{|key⟩}`), each a sign flip of one basis state.
+    pub keyed_z: Vec<Vec<ControlBit>>,
+    /// Pauli factors on individual qubits.
+    pub pauli: Vec<(usize, PauliOp)>,
+}
+
+impl LcuUnitary {
+    /// The identity unitary.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Emits the unitary as a circuit on `num_system` system qubits placed at
+    /// `offset`, optionally controlled on the given ancilla key (global
+    /// indices).
+    pub fn circuit(
+        &self,
+        num_total: usize,
+        offset: usize,
+        ancilla_key: &[ControlBit],
+        ladder_style: LadderStyle,
+    ) -> Circuit {
+        let mut c = Circuit::new(num_total);
+        // Global phase / sign.
+        if self.phase.abs() > 1e-15 {
+            if ancilla_key.is_empty() {
+                c.global_phase(self.phase);
+            } else {
+                c.keyed_phase(ancilla_key.to_vec(), self.phase);
+            }
+        }
+        // Keyed-Z factors.
+        for key in &self.keyed_z {
+            let mut full: Vec<ControlBit> = key
+                .iter()
+                .map(|cb| ControlBit { qubit: cb.qubit + offset, value: cb.value })
+                .collect();
+            full.extend(ancilla_key.iter().cloned());
+            c.keyed_phase(full, std::f64::consts::PI);
+        }
+        // Pauli factors.
+        for &(q, p) in &self.pauli {
+            let gq = q + offset;
+            match p {
+                PauliOp::I => {}
+                PauliOp::X => {
+                    if ancilla_key.is_empty() {
+                        c.x(gq);
+                    } else {
+                        c.mcx(ancilla_key.to_vec(), gq);
+                    }
+                }
+                PauliOp::Y => {
+                    if ancilla_key.is_empty() {
+                        c.y(gq);
+                    } else {
+                        c.sdg(gq);
+                        c.mcx(ancilla_key.to_vec(), gq);
+                        c.s(gq);
+                    }
+                }
+                PauliOp::Z => {
+                    let mut key = vec![ControlBit::one(gq)];
+                    key.extend(ancilla_key.iter().cloned());
+                    c.keyed_phase(key, std::f64::consts::PI);
+                }
+            }
+        }
+        // Phased in-subspace X.
+        if let Some(tr) = &self.transition {
+            let spec: Vec<(usize, u8)> =
+                tr.qubits_a.iter().map(|&(q, a)| (q + offset, a)).collect();
+            let lad = transition_ladder(num_total, &spec, ladder_style);
+            let pivot = lad.pivot;
+            let pivot_a = spec
+                .iter()
+                .find(|&&(q, _)| q == pivot)
+                .map(|&(_, a)| a)
+                .expect("pivot in spec");
+            let chi = if pivot_a == 1 { tr.phase } else { -tr.phase };
+            let mut controls: Vec<ControlBit> = lad
+                .controls
+                .iter()
+                .map(|&(q, v)| ControlBit { qubit: q, value: v })
+                .collect();
+            controls.extend(ancilla_key.iter().cloned());
+            c.append(&lad.circuit);
+            if chi.abs() > 1e-15 {
+                c.rz(pivot, -chi);
+            }
+            if controls.is_empty() {
+                c.x(pivot);
+            } else {
+                c.mcx(controls, pivot);
+            }
+            if chi.abs() > 1e-15 {
+                c.rz(pivot, chi);
+            }
+            c.append(&lad.circuit.dagger());
+        }
+        c
+    }
+}
+
+/// Builds the per-term LCU `H_term = Σ_i w_i·U_i` with real weights `w_i`
+/// (signs are later absorbed as π phases). At most six unitaries for any
+/// term.
+pub fn term_lcu(term: &HermitianTerm) -> Vec<(f64, LcuUnitary)> {
+    let split = term.string.family_split();
+    let pauli: Vec<(usize, PauliOp)> = split.pauli.clone();
+    let key: Vec<ControlBit> = split
+        .controls
+        .iter()
+        .map(|&(q, v)| ControlBit { qubit: q, value: v })
+        .collect();
+
+    // σ-part factor: list of (weight, transition component, extra keyed-Zs).
+    let sigma_factor: Vec<(f64, Option<TransitionX>, Vec<Vec<ControlBit>>)> =
+        if split.transitions.is_empty() {
+            let g = if term.add_hc { 2.0 * term.coeff.re } else { term.coeff.re };
+            vec![(g, None, vec![])]
+        } else {
+            let r = term.coeff.abs();
+            let phi = term.coeff.arg();
+            let a_key: Vec<ControlBit> = split
+                .transitions
+                .iter()
+                .map(|&(q, a)| ControlBit { qubit: q, value: a })
+                .collect();
+            let b_key: Vec<ControlBit> = split
+                .transitions
+                .iter()
+                .map(|&(q, a)| ControlBit { qubit: q, value: 1 - a })
+                .collect();
+            vec![
+                (
+                    r,
+                    Some(TransitionX { qubits_a: split.transitions.clone(), phase: phi }),
+                    vec![],
+                ),
+                (-r / 2.0, None, vec![]),
+                (-r / 2.0, None, vec![a_key, b_key]),
+            ]
+        };
+
+    // n-part factor: |c⟩⟨c| = (I − CⁿZ{|c⟩})/2, or trivially 1 when empty.
+    let n_factor: Vec<(f64, Vec<Vec<ControlBit>>)> = if key.is_empty() {
+        vec![(1.0, vec![])]
+    } else {
+        vec![(0.5, vec![]), (-0.5, vec![key.clone()])]
+    };
+
+    let mut out = Vec::new();
+    for (w_sigma, trans, zs_sigma) in &sigma_factor {
+        for (w_n, zs_n) in &n_factor {
+            let weight = w_sigma * w_n;
+            if weight.abs() < 1e-15 {
+                continue;
+            }
+            let mut keyed_z = zs_sigma.clone();
+            keyed_z.extend(zs_n.iter().cloned());
+            out.push((
+                weight,
+                LcuUnitary {
+                    phase: 0.0,
+                    transition: trans.clone(),
+                    keyed_z,
+                    pauli: pauli.clone(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Number of unitaries of the per-term LCU (≤ 6, the paper's bound).
+pub fn term_lcu_unitary_count(term: &HermitianTerm) -> usize {
+    term_lcu(term).len()
+}
+
+/// A PREPARE/SELECT block-encoding circuit.
+#[derive(Clone, Debug)]
+pub struct BlockEncoding {
+    /// The full circuit on `num_ancillas + num_system` qubits, ancillas
+    /// first (most significant).
+    pub circuit: Circuit,
+    /// Number of ancilla qubits.
+    pub num_ancillas: usize,
+    /// Number of system qubits.
+    pub num_system: usize,
+    /// LCU normalisation `λ = Σ|w_i|`: the encoded block is `H/λ`.
+    pub normalization: f64,
+    /// Number of LCU unitaries.
+    pub num_unitaries: usize,
+}
+
+impl BlockEncoding {
+    /// Extracts `λ·(⟨0|_anc ⊗ I) U (|0⟩_anc ⊗ I)`, i.e. the encoded operator,
+    /// by building the dense unitary (small systems only).
+    pub fn encoded_operator(&self) -> CMatrix {
+        let u = circuit_unitary(&self.circuit);
+        let dim = 1usize << self.num_system;
+        u.block(0, 0, dim, dim).scale(ghs_math::c64(self.normalization, 0.0))
+    }
+
+    /// Frobenius distance between the encoded operator and a target matrix.
+    pub fn verification_error(&self, target: &CMatrix) -> f64 {
+        self.encoded_operator().distance(target)
+    }
+}
+
+/// Builds a block-encoding from an explicit weighted-unitary list.
+pub fn block_encode_lcu(
+    num_system: usize,
+    lcu: &[(f64, LcuUnitary)],
+    ladder_style: LadderStyle,
+) -> BlockEncoding {
+    assert!(!lcu.is_empty(), "cannot block-encode an empty LCU");
+    let count = lcu.len();
+    let num_ancillas = if count <= 1 { 0 } else { (count as f64).log2().ceil() as usize };
+    let num_total = num_ancillas + num_system;
+    let lambda: f64 = lcu.iter().map(|(w, _)| w.abs()).sum();
+
+    let mut circuit = Circuit::new(num_total);
+
+    // PREPARE on the ancillas.
+    let prepare = if num_ancillas > 0 {
+        let dim = 1usize << num_ancillas;
+        let mut amps = vec![0.0f64; dim];
+        for (i, (w, _)) in lcu.iter().enumerate() {
+            amps[i] = (w.abs() / lambda).sqrt();
+        }
+        let prep_local = prepare_real_amplitudes(&amps);
+        // The preparation circuit addresses ancilla qubits 0.. which are the
+        // leading qubits of the full register, so it can be replayed as-is
+        // after widening the register.
+        let mut widened = Circuit::new(num_total);
+        for g in prep_local.gates() {
+            widened.push(g.clone());
+        }
+        Some(widened)
+    } else {
+        None
+    };
+
+    if let Some(p) = &prepare {
+        circuit.append(p);
+    }
+
+    // SELECT: each unitary controlled on its ancilla index.
+    for (i, (w, unitary)) in lcu.iter().enumerate() {
+        let ancilla_key: Vec<ControlBit> = (0..num_ancillas)
+            .map(|q| ControlBit {
+                qubit: q,
+                value: ((i >> (num_ancillas - 1 - q)) & 1) as u8,
+            })
+            .collect();
+        let mut u = unitary.clone();
+        if *w < 0.0 {
+            // Absorb the sign as a π phase.
+            u.phase += std::f64::consts::PI;
+        }
+        circuit.append(&u.circuit(num_total, num_ancillas, &ancilla_key, ladder_style));
+    }
+
+    if let Some(p) = &prepare {
+        circuit.append(&p.dagger());
+    }
+
+    BlockEncoding {
+        circuit,
+        num_ancillas,
+        num_system,
+        normalization: lambda,
+        num_unitaries: count,
+    }
+}
+
+/// Block-encodes a single Hermitian SCB term (≤ 6 unitaries, ≤ 3 ancillas).
+pub fn block_encode_term(term: &HermitianTerm, ladder_style: LadderStyle) -> BlockEncoding {
+    block_encode_lcu(term.num_qubits(), &term_lcu(term), ladder_style)
+}
+
+/// Block-encodes a full SCB Hamiltonian by concatenating the per-term LCUs.
+pub fn block_encode_hamiltonian(
+    hamiltonian: &ScbHamiltonian,
+    ladder_style: LadderStyle,
+) -> BlockEncoding {
+    let mut lcu = Vec::new();
+    for term in hamiltonian.terms() {
+        lcu.extend(term_lcu(term));
+    }
+    block_encode_lcu(hamiltonian.num_qubits(), &lcu, ladder_style)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::{c64, Complex64};
+    use ghs_operators::{ScbOp, ScbString};
+
+    const TOL: f64 = 1e-8;
+
+    fn check_term(term: &HermitianTerm, max_unitaries: usize) {
+        let lcu = term_lcu(term);
+        assert!(
+            lcu.len() <= max_unitaries,
+            "{term}: {} unitaries > {max_unitaries}",
+            lcu.len()
+        );
+        // The weighted sum of the LCU unitaries reproduces the term matrix.
+        let n = term.num_qubits();
+        let dim = 1usize << n;
+        let mut acc = CMatrix::zeros(dim, dim);
+        for (w, u) in &lcu {
+            let circ = u.circuit(n, 0, &[], LadderStyle::Linear);
+            let um = circuit_unitary(&circ);
+            assert!(um.is_unitary(TOL), "LCU component is not unitary");
+            acc.add_scaled(&um, c64(*w, 0.0));
+        }
+        assert!(
+            acc.approx_eq(&term.matrix(), TOL),
+            "{term}: LCU sum differs from the term matrix by {}",
+            acc.distance(&term.matrix())
+        );
+        // The PREPARE/SELECT circuit block-encodes the matrix.
+        let be = block_encode_term(term, LadderStyle::Linear);
+        assert!(circuit_unitary(&be.circuit).is_unitary(TOL));
+        let err = be.verification_error(&term.matrix());
+        assert!(err < TOL, "{term}: block-encoding error {err}");
+    }
+
+    #[test]
+    fn pure_pauli_term_is_one_unitary() {
+        let term = HermitianTerm::bare(0.8, ScbString::new(vec![ScbOp::X, ScbOp::Z]));
+        assert_eq!(term_lcu_unitary_count(&term), 1);
+        check_term(&term, 1);
+    }
+
+    #[test]
+    fn projector_term_is_two_unitaries() {
+        let term = HermitianTerm::bare(-1.2, ScbString::new(vec![ScbOp::N, ScbOp::M, ScbOp::Z]));
+        assert_eq!(term_lcu_unitary_count(&term), 2);
+        check_term(&term, 2);
+    }
+
+    #[test]
+    fn transition_term_is_three_unitaries() {
+        let term = HermitianTerm::paired(
+            c64(0.7, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Y]),
+        );
+        assert_eq!(term_lcu_unitary_count(&term), 3);
+        check_term(&term, 3);
+    }
+
+    #[test]
+    fn full_family_term_is_six_unitaries() {
+        // Transitions + controls + Pauli: 3 × 2 = 6 (the paper's bound).
+        let term = HermitianTerm::paired(
+            c64(0.4, 0.0),
+            ScbString::new(vec![
+                ScbOp::N,
+                ScbOp::SigmaDag,
+                ScbOp::X,
+                ScbOp::Sigma,
+                ScbOp::M,
+            ]),
+        );
+        assert_eq!(term_lcu_unitary_count(&term), 6);
+        check_term(&term, 6);
+    }
+
+    #[test]
+    fn complex_weight_term_still_six_unitaries() {
+        let term = HermitianTerm::paired(
+            c64(0.3, -0.6),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::N, ScbOp::Sigma]),
+        );
+        assert!(term_lcu_unitary_count(&term) <= 6);
+        check_term(&term, 6);
+    }
+
+    #[test]
+    fn identity_term() {
+        let term = HermitianTerm::bare(0.9, ScbString::identity(2));
+        assert_eq!(term_lcu_unitary_count(&term), 1);
+        check_term(&term, 1);
+    }
+
+    #[test]
+    fn hamiltonian_block_encoding() {
+        let mut h = ScbHamiltonian::new(2);
+        h.push_bare(0.5, ScbString::with_op_on(2, ScbOp::Z, &[0]));
+        h.push_paired(c64(0.25, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma]));
+        h.push_bare(-0.3, ScbString::new(vec![ScbOp::N, ScbOp::N]));
+        let be = block_encode_hamiltonian(&h, LadderStyle::Linear);
+        assert!(be.num_unitaries <= 6 + 3 + 2);
+        let err = be.verification_error(&h.matrix());
+        assert!(err < TOL, "Hamiltonian BE error {err}");
+        // λ ≥ spectral norm of H (sanity: λ ≥ |largest entry|).
+        assert!(be.normalization >= h.matrix().max_norm() - 1e-12);
+        let _ = Complex64::ONE;
+    }
+
+    #[test]
+    fn pyramidal_ladders_give_same_encoding() {
+        let term = HermitianTerm::paired(
+            c64(0.4, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Sigma, ScbOp::N]),
+        );
+        let lin = block_encode_term(&term, LadderStyle::Linear);
+        let pyr = block_encode_term(&term, LadderStyle::Pyramidal);
+        assert!(lin.verification_error(&term.matrix()) < TOL);
+        assert!(pyr.verification_error(&term.matrix()) < TOL);
+        assert_eq!(lin.num_unitaries, pyr.num_unitaries);
+    }
+}

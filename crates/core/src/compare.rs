@@ -1,0 +1,168 @@
+//! Side-by-side resource comparison of the two Hamiltonian-simulation
+//! strategies (the quantities of Section I and Table III of the paper).
+
+use crate::direct::{direct_hamiltonian_slice, DirectOptions};
+use crate::usual::{usual_hamiltonian_slice, usual_rotation_count, usual_two_qubit_count};
+use ghs_circuit::{decompose_to_cx_basis, Circuit, LadderStyle, ResourceCounts};
+use ghs_operators::ScbHamiltonian;
+use std::fmt;
+
+/// Resource report of one Trotter slice under a given strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceReport {
+    /// Number of summed exponential factors (rotations per slice).
+    pub exponential_terms: usize,
+    /// Parametrised (rotation/phase) gates in the slice circuit.
+    pub rotations: usize,
+    /// Two-qubit gates in the slice circuit (before multi-control
+    /// decomposition).
+    pub two_qubit: usize,
+    /// Gates on three or more qubits (multi-controls kept native).
+    pub multi_controlled: usize,
+    /// Circuit depth (native multi-controls counted as one layer).
+    pub depth: usize,
+    /// Two-qubit gates after the exact ancilla-free decomposition of all
+    /// multi-controls (exponential in the control count; meaningful at small
+    /// orders).
+    pub two_qubit_decomposed: usize,
+}
+
+impl ResourceReport {
+    /// Builds a report from a slice circuit.
+    pub fn from_circuit(circuit: &Circuit, exponential_terms: usize) -> Self {
+        let counts: ResourceCounts = circuit.counts();
+        let decomposed = decompose_to_cx_basis(circuit).counts();
+        Self {
+            exponential_terms,
+            rotations: counts.rotations,
+            two_qubit: counts.two_qubit,
+            multi_controlled: counts.multi_controlled,
+            depth: counts.depth,
+            two_qubit_decomposed: decomposed.two_qubit,
+        }
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "terms {:4}  rot {:5}  2q {:5}  mc {:4}  depth {:5}  2q(dec) {:6}",
+            self.exponential_terms,
+            self.rotations,
+            self.two_qubit,
+            self.multi_controlled,
+            self.depth,
+            self.two_qubit_decomposed
+        )
+    }
+}
+
+/// The two strategies' reports for the same Hamiltonian.
+#[derive(Clone, Debug)]
+pub struct StrategyComparison {
+    /// Direct (SCB) strategy slice.
+    pub direct: ResourceReport,
+    /// Usual (Pauli-LCU) strategy slice.
+    pub usual: ResourceReport,
+    /// Number of Pauli fragments of the usual expansion.
+    pub pauli_fragments: usize,
+    /// Number of SCB terms.
+    pub scb_terms: usize,
+}
+
+/// Builds one Trotter slice under both strategies and reports their
+/// resources.
+pub fn compare_strategies(
+    hamiltonian: &ScbHamiltonian,
+    theta: f64,
+    opts: &DirectOptions,
+) -> StrategyComparison {
+    let direct_circuit = direct_hamiltonian_slice(hamiltonian, theta, opts);
+    let sum = hamiltonian.to_pauli_sum();
+    let usual_circuit = usual_hamiltonian_slice(&sum, theta, opts.ladder_style);
+
+    StrategyComparison {
+        direct: ResourceReport::from_circuit(&direct_circuit, hamiltonian.num_terms()),
+        usual: ResourceReport::from_circuit(&usual_circuit, usual_rotation_count(&sum)),
+        pauli_fragments: sum.num_terms(),
+        scb_terms: hamiltonian.num_terms(),
+    }
+}
+
+/// Analytic usual-strategy counts (no circuit construction), for scaling
+/// sweeps beyond what the exact decomposition can build.
+pub fn usual_analytic_counts(hamiltonian: &ScbHamiltonian) -> (usize, usize) {
+    let sum = hamiltonian.to_pauli_sum();
+    (usual_rotation_count(&sum), usual_two_qubit_count(&sum))
+}
+
+/// Helper: use the pyramidal variant everywhere for depth-focused
+/// comparisons.
+pub fn pyramidal_options() -> DirectOptions {
+    DirectOptions { ladder_style: LadderStyle::Pyramidal, ..Default::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::c64;
+    use ghs_operators::{ScbOp, ScbString};
+
+    fn high_order_sparse_hamiltonian(order: usize) -> ScbHamiltonian {
+        // One single sparse high-order boolean term n⊗n⊗…⊗n.
+        let mut h = ScbHamiltonian::new(order);
+        h.push_bare(1.0, ScbString::with_op_on(order, ScbOp::N, &(0..order).collect::<Vec<_>>()));
+        h
+    }
+
+    #[test]
+    fn direct_has_exponentially_fewer_rotations_for_sparse_hubo() {
+        for order in [3usize, 5, 7] {
+            let h = high_order_sparse_hamiltonian(order);
+            let cmp = compare_strategies(&h, 0.7, &DirectOptions::linear());
+            // Direct: one keyed phase. Usual: 2^order − 1 non-identity fragments.
+            assert_eq!(cmp.direct.rotations, 1);
+            assert_eq!(cmp.usual.exponential_terms, (1 << order) - 1);
+            assert!(cmp.usual.rotations >= cmp.usual.exponential_terms);
+            assert!(cmp.pauli_fragments == 1 << order);
+        }
+    }
+
+    #[test]
+    fn mixed_hamiltonian_comparison_is_consistent() {
+        let mut h = ScbHamiltonian::new(4);
+        h.push_paired(
+            c64(0.5, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Z, ScbOp::Sigma, ScbOp::N]),
+        );
+        h.push_bare(0.25, ScbString::with_op_on(4, ScbOp::X, &[1, 3]));
+        let cmp = compare_strategies(&h, 0.4, &DirectOptions::linear());
+        assert_eq!(cmp.scb_terms, 2);
+        assert!(cmp.pauli_fragments > 2);
+        assert!(cmp.direct.rotations <= cmp.usual.rotations);
+        // Reports render.
+        let s = format!("{}\n{}", cmp.direct, cmp.usual);
+        assert!(s.contains("terms"));
+    }
+
+    #[test]
+    fn pyramidal_reduces_depth_for_wide_terms() {
+        let order = 8;
+        let mut h = ScbHamiltonian::new(order);
+        h.push_bare(0.3, ScbString::with_op_on(order, ScbOp::Z, &(0..order).collect::<Vec<_>>()));
+        let lin = compare_strategies(&h, 0.2, &DirectOptions::linear());
+        let pyr = compare_strategies(&h, 0.2, &pyramidal_options());
+        assert!(pyr.direct.depth < lin.direct.depth);
+        assert_eq!(pyr.direct.two_qubit, lin.direct.two_qubit);
+    }
+
+    #[test]
+    fn analytic_counts_match_circuit_counts_for_diagonal_sums() {
+        let h = high_order_sparse_hamiltonian(4);
+        let (rot, two_q) = usual_analytic_counts(&h);
+        let cmp = compare_strategies(&h, 0.3, &DirectOptions::linear());
+        assert_eq!(rot, cmp.usual.rotations);
+        assert_eq!(two_q, cmp.usual.two_qubit);
+    }
+}

@@ -1,0 +1,429 @@
+//! The **direct Hamiltonian simulation** construction — the paper's central
+//! contribution (Sections II-B and III, Fig. 2).
+//!
+//! For every Hermitian term `γ·Â + h.c.` with
+//! `Â = ⊗_q Ĉ_q`, `Ĉ ∈ {I, X, Y, Z, n, m, σ, σ†}`, the circuit built here
+//! implements `exp(−iθ(γÂ + γ*Â†))` **exactly** with
+//!
+//! * one parametrised rotation,
+//! * a CX ladder over the σ/σ† (transition) qubits,
+//! * a CX parity ladder plus local basis changes over the X/Y/Z (Pauli)
+//!   qubits,
+//! * the `n`/`m` (control) qubits appearing only as control conditions of the
+//!   central rotation,
+//!
+//! which is the gate structure of Fig. 2 of the paper. Complex weights are
+//! supported either exactly (a single rotation about a tilted axis in the XY
+//! plane — an extension of §III-A) or with the paper's RX·RY Trotter split.
+
+use ghs_circuit::{
+    parity_ladder, transition_ladder, Circuit, ControlBit, Gate, LadderStyle,
+};
+use ghs_operators::{HermitianTerm, PauliOp, ScbHamiltonian};
+
+/// How to realise a term with a genuinely complex weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ComplexCoefficientMode {
+    /// One rotation about the tilted axis `cos φ·X + sin φ·Y` — exact
+    /// (extension of §III-A).
+    #[default]
+    ExactAxis,
+    /// The paper's `RX(−2Re[z]θ)·RY(−2Im[z]θ)` split, which introduces a
+    /// Trotter error between the two non-commuting rotations.
+    PaperSplit,
+}
+
+/// Options of the direct construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectOptions {
+    /// CX ladder layout (Fig. 2 linear vs Fig. 3/25 pyramidal).
+    pub ladder_style: LadderStyle,
+    /// Handling of complex weights.
+    pub complex_mode: ComplexCoefficientMode,
+}
+
+impl DirectOptions {
+    /// Linear ladders, exact complex handling.
+    pub fn linear() -> Self {
+        Self { ladder_style: LadderStyle::Linear, complex_mode: ComplexCoefficientMode::ExactAxis }
+    }
+
+    /// Pyramidal (log-depth) ladders, exact complex handling.
+    pub fn pyramidal() -> Self {
+        Self {
+            ladder_style: LadderStyle::Pyramidal,
+            complex_mode: ComplexCoefficientMode::ExactAxis,
+        }
+    }
+}
+
+/// Builds the circuit for `exp(−iθ·H_term)` following the direct strategy.
+///
+/// The result is exact (no Trotter error) except when the term has a complex
+/// weight **and** [`ComplexCoefficientMode::PaperSplit`] is selected, in
+/// which case the RX/RY split of §III-A is used.
+pub fn direct_term_circuit(term: &HermitianTerm, theta: f64, opts: &DirectOptions) -> Circuit {
+    let n = term.num_qubits();
+    let mut circuit = Circuit::new(n);
+    let split = term.string.family_split();
+
+    let coeff = term.coeff;
+    let control_bits: Vec<ControlBit> = split
+        .controls
+        .iter()
+        .map(|&(q, v)| ControlBit { qubit: q, value: v })
+        .collect();
+
+    if split.transitions.is_empty() {
+        // Hermitian string: I / Pauli / n / m factors only. With the `+ h.c.`
+        // pairing the operator is 2·Re(γ)·Â; bare terms use Re(γ) directly.
+        let g = if term.add_hc { 2.0 * coeff.re } else { coeff.re };
+        if split.pauli.is_empty() {
+            // Purely diagonal projector (or identity): a keyed phase
+            // (`exp(−iθg·|key⟩⟨key|)`), the paper's CⁿP image of n/m products.
+            if control_bits.is_empty() {
+                circuit.global_phase(-theta * g);
+            } else {
+                circuit.keyed_phase(control_bits, -theta * g);
+            }
+            return circuit;
+        }
+        // Pauli string (possibly with n/m controls): basis change, parity
+        // ladder, (controlled) RZ, uncompute.
+        let (pre, post) = pauli_basis_change(n, &split.pauli);
+        let lad = parity_ladder(n, &split.pauli_qubits(), opts.ladder_style);
+        circuit.append(&pre);
+        circuit.append(&lad.circuit);
+        if control_bits.is_empty() {
+            circuit.rz(lad.holder, 2.0 * theta * g);
+        } else {
+            circuit.mcrz(control_bits, lad.holder, 2.0 * theta * g);
+        }
+        circuit.append(&lad.circuit.dagger());
+        circuit.append(&post);
+        return circuit;
+    }
+
+    // ---- transition family present: the Fig. 2 construction -------------
+    let t_lad = transition_ladder(n, &split.transitions, opts.ladder_style);
+    let pivot = t_lad.pivot;
+    let pivot_a_bit = split
+        .transitions
+        .iter()
+        .find(|&&(q, _)| q == pivot)
+        .map(|&(_, a)| a)
+        .expect("pivot is a transition qubit");
+
+    // Rotation axis in the XY plane of the pivot:
+    //  a_pivot = 1 → γ|1⟩⟨0| + γ*|0⟩⟨1| = Re(γ)·X + Im(γ)·Y
+    //  a_pivot = 0 → γ|0⟩⟨1| + γ*|1⟩⟨0| = Re(γ)·X − Im(γ)·Y
+    let cx_coeff = coeff.re;
+    let cy_coeff = if pivot_a_bit == 1 { coeff.im } else { -coeff.im };
+    let r = (cx_coeff * cx_coeff + cy_coeff * cy_coeff).sqrt();
+    let phi = cy_coeff.atan2(cx_coeff);
+
+    // Controls of the central rotation: transition-ladder conditions plus the
+    // n/m key.
+    let mut rot_controls: Vec<ControlBit> = t_lad
+        .controls
+        .iter()
+        .map(|&(q, v)| ControlBit { qubit: q, value: v })
+        .collect();
+    rot_controls.extend(control_bits.iter().cloned());
+
+    // Pauli family: basis change + parity ladder + a CZ that folds the
+    // holder's Z into the pivot rotation's sign (RX(θ)·Z = Z·RX(−θ)).
+    let pauli_part = if split.pauli.is_empty() {
+        None
+    } else {
+        let (pre, post) = pauli_basis_change(n, &split.pauli);
+        let lad = parity_ladder(n, &split.pauli_qubits(), opts.ladder_style);
+        Some((pre, post, lad))
+    };
+
+    circuit.append(&t_lad.circuit);
+    if let Some((pre, _, lad)) = &pauli_part {
+        circuit.append(pre);
+        circuit.append(&lad.circuit);
+        circuit.cz(lad.holder, pivot);
+    }
+
+    match opts.complex_mode {
+        ComplexCoefficientMode::ExactAxis => {
+            if cy_coeff.abs() < 1e-15 {
+                // Real weight: a single (signed) RX, exactly one rotation per
+                // term as in Fig. 2.
+                emit_controlled_rx(&mut circuit, &rot_controls, pivot, 2.0 * theta * cx_coeff);
+            } else {
+                // exp(−iθr(cosφ X + sinφ Y)) = RZ(−φ)·RX(2θr)·RZ(φ) as a
+                // circuit; the outer RZ gates need no controls because they
+                // cancel when the controlled RX does not fire.
+                circuit.rz(pivot, -phi);
+                emit_controlled_rx(&mut circuit, &rot_controls, pivot, 2.0 * theta * r);
+                circuit.rz(pivot, phi);
+            }
+        }
+        ComplexCoefficientMode::PaperSplit => {
+            emit_controlled_rx(&mut circuit, &rot_controls, pivot, 2.0 * theta * cx_coeff);
+            if cy_coeff.abs() > 1e-15 {
+                if rot_controls.is_empty() {
+                    circuit.ry(pivot, 2.0 * theta * cy_coeff);
+                } else {
+                    circuit.push(Gate::McRy {
+                        controls: rot_controls.clone(),
+                        target: pivot,
+                        theta: 2.0 * theta * cy_coeff,
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some((_, post, lad)) = &pauli_part {
+        circuit.cz(lad.holder, pivot);
+        circuit.append(&lad.circuit.dagger());
+        circuit.append(post);
+    }
+    circuit.append(&t_lad.circuit.dagger());
+    circuit
+}
+
+/// Builds one first-order slice of the whole Hamiltonian:
+/// `∏_k exp(−iθ·H_k)`, one direct term circuit per summand. This is exact
+/// when all terms commute (e.g. HUBO problems) and is the elementary brick
+/// the product formulas of [`crate::trotter`] repeat.
+pub fn direct_hamiltonian_slice(
+    hamiltonian: &ScbHamiltonian,
+    theta: f64,
+    opts: &DirectOptions,
+) -> Circuit {
+    let mut circuit = Circuit::new(hamiltonian.num_qubits());
+    for term in hamiltonian.terms() {
+        circuit.append(&direct_term_circuit(term, theta, opts));
+    }
+    circuit
+}
+
+fn emit_controlled_rx(circuit: &mut Circuit, controls: &[ControlBit], target: usize, theta: f64) {
+    if controls.is_empty() {
+        circuit.rx(target, theta);
+    } else {
+        circuit.mcrx(controls.to_vec(), target, theta);
+    }
+}
+
+/// Local basis changes sending each Pauli factor to `Z` on a register of `n`
+/// qubits: `X` is conjugated by `H`, `Y` by `(S·H)` (the `S H … H S†`
+/// pattern of Fig. 2). Returns the pre- and post-rotation sub-circuits.
+fn pauli_basis_change(n: usize, paulis: &[(usize, PauliOp)]) -> (Circuit, Circuit) {
+    let mut pre = Circuit::new(n);
+    let mut post = Circuit::new(n);
+    for &(q, p) in paulis {
+        match p {
+            PauliOp::X => {
+                pre.h(q);
+                post.h(q);
+            }
+            PauliOp::Y => {
+                // D = H·S† so that D·Y·D† = Z: pre-circuit [S†, H], post [H, S].
+                pre.sdg(q);
+                pre.h(q);
+                post.h(q);
+                post.s(q);
+            }
+            PauliOp::Z | PauliOp::I => {}
+        }
+    }
+    (pre, post)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::{c64, expm_minus_i_theta, Complex64};
+    use ghs_operators::{ScbOp, ScbString};
+    use ghs_statevector::circuit_unitary;
+
+    const TOL: f64 = 1e-9;
+
+    fn verify_term(term: &HermitianTerm, theta: f64, opts: &DirectOptions) {
+        let circuit = direct_term_circuit(term, theta, opts);
+        let u = circuit_unitary(&circuit);
+        let expect = expm_minus_i_theta(&term.matrix(), theta);
+        assert!(
+            u.approx_eq(&expect, TOL),
+            "term {term} (θ = {theta}): distance {}",
+            u.distance(&expect)
+        );
+    }
+
+    #[test]
+    fn pure_pauli_strings() {
+        for ops in [
+            vec![ScbOp::X],
+            vec![ScbOp::Z, ScbOp::Z],
+            vec![ScbOp::X, ScbOp::Y, ScbOp::Z],
+            vec![ScbOp::Y, ScbOp::I, ScbOp::Y],
+        ] {
+            let term = HermitianTerm::bare(0.7, ScbString::new(ops));
+            verify_term(&term, 0.9, &DirectOptions::linear());
+            verify_term(&term, 0.9, &DirectOptions::pyramidal());
+        }
+    }
+
+    #[test]
+    fn diagonal_projector_terms() {
+        // n, n⊗n, n⊗m⊗n: keyed phases (Table III direct column).
+        for ops in [
+            vec![ScbOp::N],
+            vec![ScbOp::N, ScbOp::N],
+            vec![ScbOp::N, ScbOp::M, ScbOp::N],
+            vec![ScbOp::M, ScbOp::I, ScbOp::M],
+        ] {
+            let term = HermitianTerm::bare(-1.3, ScbString::new(ops));
+            verify_term(&term, 0.35, &DirectOptions::linear());
+        }
+    }
+
+    #[test]
+    fn identity_term_is_global_phase() {
+        let term = HermitianTerm::bare(2.0, ScbString::identity(2));
+        verify_term(&term, 0.5, &DirectOptions::linear());
+    }
+
+    #[test]
+    fn pure_transition_terms() {
+        // σ†σ + h.c., σ†σ†σσ + h.c. (the A1/A2 gates of the appendix).
+        for ops in [
+            vec![ScbOp::SigmaDag, ScbOp::Sigma],
+            vec![ScbOp::SigmaDag, ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Sigma],
+            vec![ScbOp::Sigma, ScbOp::SigmaDag, ScbOp::Sigma],
+        ] {
+            let term = HermitianTerm::paired(c64(0.8, 0.0), ScbString::new(ops));
+            verify_term(&term, 1.1, &DirectOptions::linear());
+            verify_term(&term, 1.1, &DirectOptions::pyramidal());
+        }
+    }
+
+    #[test]
+    fn transition_with_controls() {
+        // n ⊗ σ† ⊗ m ⊗ σ + h.c. — controls become rotation controls.
+        let term = HermitianTerm::paired(
+            c64(0.6, 0.0),
+            ScbString::new(vec![ScbOp::N, ScbOp::SigmaDag, ScbOp::M, ScbOp::Sigma]),
+        );
+        verify_term(&term, 0.8, &DirectOptions::linear());
+        verify_term(&term, 0.8, &DirectOptions::pyramidal());
+    }
+
+    #[test]
+    fn transition_with_pauli_string() {
+        // σ† ⊗ Z ⊗ σ + h.c. (the Jordan–Wigner one-body shape, Eq. 17).
+        let term = HermitianTerm::paired(
+            c64(0.5, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Z, ScbOp::Sigma]),
+        );
+        verify_term(&term, 1.3, &DirectOptions::linear());
+
+        // With X and Y factors too.
+        let term2 = HermitianTerm::paired(
+            c64(-0.4, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::X, ScbOp::Y, ScbOp::Sigma]),
+        );
+        verify_term(&term2, 0.45, &DirectOptions::linear());
+        verify_term(&term2, 0.45, &DirectOptions::pyramidal());
+    }
+
+    #[test]
+    fn full_mixed_family_term() {
+        // A miniature of the Fig. 2 example: n ⊗ m ⊗ X ⊗ Y ⊗ σ† ⊗ σ + h.c.
+        let term = HermitianTerm::paired(
+            c64(0.9, 0.0),
+            ScbString::new(vec![
+                ScbOp::N,
+                ScbOp::M,
+                ScbOp::X,
+                ScbOp::Y,
+                ScbOp::SigmaDag,
+                ScbOp::Sigma,
+            ]),
+        );
+        verify_term(&term, 0.27, &DirectOptions::linear());
+        verify_term(&term, 0.27, &DirectOptions::pyramidal());
+    }
+
+    #[test]
+    fn complex_coefficient_exact_axis() {
+        let term = HermitianTerm::paired(
+            c64(0.3, 0.7),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Z, ScbOp::Sigma, ScbOp::N]),
+        );
+        verify_term(&term, 0.6, &DirectOptions::linear());
+        // Pivot with a-bit 0 as well: σ first.
+        let term2 = HermitianTerm::paired(
+            c64(-0.2, 0.5),
+            ScbString::new(vec![ScbOp::Sigma, ScbOp::SigmaDag, ScbOp::M]),
+        );
+        verify_term(&term2, 0.6, &DirectOptions::pyramidal());
+    }
+
+    #[test]
+    fn complex_coefficient_paper_split_has_trotter_error() {
+        let term = HermitianTerm::paired(
+            c64(0.3, 0.7),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma]),
+        );
+        let theta = 0.8;
+        let opts = DirectOptions {
+            ladder_style: LadderStyle::Linear,
+            complex_mode: ComplexCoefficientMode::PaperSplit,
+        };
+        let u = circuit_unitary(&direct_term_circuit(&term, theta, &opts));
+        let expect = expm_minus_i_theta(&term.matrix(), theta);
+        let err = u.distance(&expect);
+        // Non-zero Trotter error, but bounded by the commutator scale.
+        assert!(err > 1e-6, "paper split should not be exact here, err = {err}");
+        assert!(err < 1.0);
+        // The exact-axis mode has no such error.
+        let u_exact =
+            circuit_unitary(&direct_term_circuit(&term, theta, &DirectOptions::linear()));
+        assert!(u_exact.approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn hamiltonian_slice_is_product_of_terms() {
+        let mut h = ScbHamiltonian::new(3);
+        h.push_bare(0.5, ScbString::with_op_on(3, ScbOp::Z, &[0]));
+        h.push_paired(c64(0.25, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::I]));
+        let theta = 0.4;
+        let slice = direct_hamiltonian_slice(&h, theta, &DirectOptions::linear());
+        let u = circuit_unitary(&slice);
+        let u0 = circuit_unitary(&direct_term_circuit(&h.terms()[0], theta, &DirectOptions::linear()));
+        let u1 = circuit_unitary(&direct_term_circuit(&h.terms()[1], theta, &DirectOptions::linear()));
+        // Circuit order: term 0 applied first → U = U1 · U0.
+        assert!(u.approx_eq(&u1.matmul(&u0), TOL));
+    }
+
+    #[test]
+    fn rotation_count_is_one_per_term() {
+        // The paper: one arbitrary rotation per summed term per slice.
+        let term = HermitianTerm::paired(
+            c64(0.9, 0.0),
+            ScbString::new(vec![
+                ScbOp::N,
+                ScbOp::M,
+                ScbOp::X,
+                ScbOp::Y,
+                ScbOp::SigmaDag,
+                ScbOp::Sigma,
+                ScbOp::Sigma,
+            ]),
+        );
+        let c = direct_term_circuit(&term, 0.3, &DirectOptions::linear());
+        let counts = c.counts();
+        // Exactly one parametrised multi-controlled rotation (plus no other
+        // parametrised gates since the coefficient is real).
+        assert_eq!(counts.rotations, 1);
+        let _ = Complex64::ONE;
+    }
+}

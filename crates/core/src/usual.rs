@@ -1,0 +1,190 @@
+//! The **usual strategy** the paper compares against (Section II-A): expand
+//! the Hamiltonian as a Linear Combination of Pauli strings and exponentiate
+//! each string with the standard basis-change + CX-ladder + RZ circuit.
+
+use ghs_circuit::{parity_ladder, Circuit, LadderStyle};
+use ghs_math::Complex64;
+use ghs_operators::{PauliOp, PauliString, PauliSum};
+
+/// Builds the standard circuit for `exp(−iθ·β·P)` for a single Pauli string
+/// `P` with real coefficient `β` (Figs. 8–10 of the paper's appendix).
+pub fn pauli_string_exponential(
+    string: &PauliString,
+    beta: f64,
+    theta: f64,
+    ladder_style: LadderStyle,
+) -> Circuit {
+    let n = string.num_qubits();
+    let mut circuit = Circuit::new(n);
+    let support = string.support();
+    if support.is_empty() {
+        // exp(−iθβ·I) is a global phase.
+        circuit.global_phase(-theta * beta);
+        return circuit;
+    }
+    // Basis change to Z on every supported qubit.
+    let mut pre = Circuit::new(n);
+    let mut post = Circuit::new(n);
+    for &q in &support {
+        match string.op(q) {
+            PauliOp::X => {
+                pre.h(q);
+                post.h(q);
+            }
+            PauliOp::Y => {
+                pre.sdg(q);
+                pre.h(q);
+                post.h(q);
+                post.s(q);
+            }
+            PauliOp::Z => {}
+            PauliOp::I => unreachable!("support excludes identity"),
+        }
+    }
+    let lad = parity_ladder(n, &support, ladder_style);
+    circuit.append(&pre);
+    circuit.append(&lad.circuit);
+    circuit.rz(lad.holder, 2.0 * theta * beta);
+    circuit.append(&lad.circuit.dagger());
+    circuit.append(&post);
+    circuit
+}
+
+/// Builds one first-order slice `∏_i exp(−iθ·β_i·P_i)` of a Pauli sum.
+///
+/// # Panics
+/// Panics when a coefficient has a non-negligible imaginary part (a Pauli
+/// expansion of a Hermitian operator always has real coefficients).
+pub fn usual_hamiltonian_slice(sum: &PauliSum, theta: f64, ladder_style: LadderStyle) -> Circuit {
+    let mut circuit = Circuit::new(sum.num_qubits());
+    for (coeff, string) in sum.terms() {
+        assert!(
+            coeff.im.abs() < 1e-9,
+            "usual-strategy slice requires real Pauli coefficients, got {coeff}"
+        );
+        circuit.append(&pauli_string_exponential(string, coeff.re, theta, ladder_style));
+    }
+    circuit
+}
+
+/// Number of arbitrary rotations of one usual-strategy slice (one per Pauli
+/// fragment — the quantity the paper contrasts with the direct strategy's
+/// one-per-term).
+pub fn usual_rotation_count(sum: &PauliSum) -> usize {
+    sum.terms()
+        .iter()
+        .filter(|(_, p)| p.weight() > 0)
+        .count()
+}
+
+/// Two-qubit-gate count of one usual-strategy slice with CX ladders:
+/// `Σ_i 2(weight_i − 1)` (the paper's `R_{Z^n}` cost model applied fragment
+/// by fragment).
+pub fn usual_two_qubit_count(sum: &PauliSum) -> usize {
+    sum.terms()
+        .iter()
+        .map(|(_, p)| {
+            let w = p.weight();
+            if w <= 1 {
+                0
+            } else {
+                2 * (w - 1)
+            }
+        })
+        .sum()
+}
+
+/// Helper for tests and experiments: the identity-coefficient of a sum (the
+/// part that only contributes a global phase).
+pub fn identity_coefficient(sum: &PauliSum) -> Complex64 {
+    sum.terms()
+        .iter()
+        .filter(|(_, p)| p.weight() == 0)
+        .map(|(c, _)| *c)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::{c64, expm_minus_i_theta};
+    use ghs_operators::{ScbOp, ScbString};
+    use ghs_statevector::circuit_unitary;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn single_string_exponentials_match_dense() {
+        for (s, beta, theta) in [
+            ("Z", 0.7, 0.9),
+            ("XX", -0.5, 0.3),
+            ("XYZ", 1.2, 0.21),
+            ("YIY", 0.4, 1.7),
+            ("ZIZI", -0.8, 0.6),
+        ] {
+            let string = PauliString::parse(s).unwrap();
+            for style in [LadderStyle::Linear, LadderStyle::Pyramidal] {
+                let c = pauli_string_exponential(&string, beta, theta, style);
+                let u = circuit_unitary(&c);
+                let expect = expm_minus_i_theta(&string.matrix().scale(c64(beta, 0.0)), theta);
+                assert!(u.approx_eq(&expect, TOL), "{s} ({style:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_string_is_global_phase() {
+        let string = PauliString::identity(2);
+        let c = pauli_string_exponential(&string, 0.5, 1.0, LadderStyle::Linear);
+        let u = circuit_unitary(&c);
+        let expect = expm_minus_i_theta(&string.matrix().scale(c64(0.5, 0.0)), 1.0);
+        assert!(u.approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn slice_of_commuting_sum_is_exact() {
+        // Diagonal sums commute term-wise, so a single slice is exact.
+        let mut sum = PauliSum::zero(3);
+        sum.push(c64(0.5, 0.0), PauliString::parse("ZZI").unwrap());
+        sum.push(c64(-0.25, 0.0), PauliString::parse("IZZ").unwrap());
+        sum.push(c64(0.75, 0.0), PauliString::parse("ZIZ").unwrap());
+        let theta = 0.8;
+        let c = usual_hamiltonian_slice(&sum, theta, LadderStyle::Linear);
+        let u = circuit_unitary(&c);
+        let expect = expm_minus_i_theta(&sum.matrix(), theta);
+        assert!(u.approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn usual_strategy_matches_direct_for_scb_term_expansion() {
+        // Expanding an SCB term into Pauli strings and exponentiating the
+        // (commuting-free) fragments generally differs from the exact
+        // exponential; but the rotation counts follow the fragment count.
+        // n ⊗ n = (II − IZ − ZI + ZZ)/4: 4 fragments, one of them identity.
+        let term_string = ScbString::new(vec![ScbOp::N, ScbOp::N]);
+        let sum = term_string.to_pauli_sum();
+        assert_eq!(sum.num_terms(), 4);
+        assert_eq!(usual_rotation_count(&sum), 3); // identity fragment excluded
+        assert_eq!(usual_two_qubit_count(&sum), 2); // only ZZ needs a ladder
+    }
+
+    #[test]
+    fn rotation_and_two_qubit_counts() {
+        let mut sum = PauliSum::zero(3);
+        sum.push(c64(1.0, 0.0), PauliString::parse("III").unwrap());
+        sum.push(c64(1.0, 0.0), PauliString::parse("ZII").unwrap());
+        sum.push(c64(1.0, 0.0), PauliString::parse("ZZI").unwrap());
+        sum.push(c64(1.0, 0.0), PauliString::parse("ZZZ").unwrap());
+        assert_eq!(usual_rotation_count(&sum), 3);
+        assert_eq!(usual_two_qubit_count(&sum), 0 + 2 + 4);
+        assert!(identity_coefficient(&sum).approx_eq(c64(1.0, 0.0), TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "real Pauli coefficients")]
+    fn complex_coefficients_rejected() {
+        let mut sum = PauliSum::zero(1);
+        sum.push(c64(0.0, 1.0), PauliString::parse("X").unwrap());
+        let _ = usual_hamiltonian_slice(&sum, 1.0, LadderStyle::Linear);
+    }
+}

@@ -1,0 +1,526 @@
+//! SCB decompositions of finite-difference matrices (Section V-C of the
+//! paper).
+//!
+//! The central object is the nearest-neighbour coupling operator `T` on a
+//! line of `N = 2^k` nodes. Writing node indices in binary, its
+//! edge pattern decomposes into exactly `k = log₂N` SCB terms,
+//!
+//! `T = Σ_{j=1}^{k} I^{⊗(k−j)} ⊗ B_j`,   `B_1 = X`,
+//! `B_j = σ† ⊗ σ^{⊗(j−1)} + h.c.` for `j ≥ 2`,
+//!
+//! which is the paper's `{(σ†σ + h.c.); (σ†σσ + h.c.); …}` family and the
+//! source of the `O(log²N)` two-qubit-gate scaling (Eq. 23). Higher
+//! dimensions are Kronecker sums of 1-D operators; the paper's explicit
+//! two-node-line (8×8) and double-layer (16×16) matrices are provided as
+//! parameterised builders, as are Dirichlet / Neumann / periodic boundary
+//! handling through per-component correction terms (Section V-C3).
+
+use ghs_math::{c64, CMatrix, Complex64};
+use ghs_operators::{
+    component_transition_term, HermitianTerm, ScbHamiltonian, ScbOp, ScbString,
+};
+
+/// Boundary condition of the 1-D discretised operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryCondition {
+    /// Homogeneous Dirichlet: the stencil is simply truncated at the ends.
+    Dirichlet,
+    /// Homogeneous Neumann (zero normal derivative) via the mirrored ghost
+    /// node: the off-diagonal weight at each end is doubled.
+    Neumann,
+    /// Periodic: the two ends are coupled.
+    Periodic,
+}
+
+/// Embeds every term of `h` into a larger register of `total` qubits with the
+/// original qubits placed at `offset` (identity elsewhere). This is the
+/// Kronecker-sum helper used to lift 1-D decompositions to 2-D/3-D grids.
+pub fn embed_hamiltonian(h: &ScbHamiltonian, total: usize, offset: usize) -> ScbHamiltonian {
+    assert!(offset + h.num_qubits() <= total, "embedding does not fit");
+    let mut out = ScbHamiltonian::new(total);
+    for term in h.terms() {
+        let mut ops = vec![ScbOp::I; total];
+        for (q, &op) in term.string.ops().iter().enumerate() {
+            ops[offset + q] = op;
+        }
+        out.push(HermitianTerm {
+            coeff: term.coeff,
+            string: ScbString::new(ops),
+            add_hc: term.add_hc,
+        });
+    }
+    out
+}
+
+/// The nearest-neighbour coupling operator `T` (adjacency of the path of
+/// `2^k` nodes, or of the cycle when `periodic`), scaled by `weight`, as an
+/// SCB Hamiltonian on `k` qubits with `k` (+1 if periodic) terms.
+pub fn neighbor_coupling(k: usize, weight: f64, periodic: bool) -> ScbHamiltonian {
+    assert!(k >= 1, "need at least one qubit");
+    let mut h = ScbHamiltonian::new(k);
+    for j in 1..=k {
+        // B_j acts on the last j qubits: qubits k−j .. k−1.
+        let start = k - j;
+        if j == 1 {
+            h.push_bare(weight, ScbString::with_op_on(k, ScbOp::X, &[k - 1]));
+        } else {
+            let mut ops = vec![ScbOp::I; k];
+            ops[start] = ScbOp::SigmaDag;
+            for q in (start + 1)..k {
+                ops[q] = ScbOp::Sigma;
+            }
+            h.push_paired(c64(weight, 0.0), ScbString::new(ops));
+        }
+    }
+    if periodic {
+        if k >= 2 {
+            // Corner coupling |0…0⟩⟨1…1| + h.c. = σ^{⊗k} + h.c.
+            let ops = vec![ScbOp::Sigma; k];
+            h.push_paired(c64(weight, 0.0), ScbString::new(ops));
+        } else {
+            // Two nodes: the periodic wrap doubles the single edge.
+            h.push_bare(weight, ScbString::with_op_on(k, ScbOp::X, &[k - 1]));
+        }
+    }
+    h
+}
+
+/// Adds `weight·(|row⟩⟨col| + h.c.)` (or `weight·|row⟩⟨row|` when
+/// `row == col`) — the per-component correction mechanism of Section V-C3
+/// used for boundary handling and inhomogeneous coefficients.
+pub fn add_component_correction(h: &mut ScbHamiltonian, row: usize, col: usize, weight: f64) {
+    h.push(component_transition_term(c64(weight, 0.0), row, col, h.num_qubits()));
+}
+
+/// The 1-D discrete Laplacian (second-derivative stencil)
+/// `∂²f/∂x² ≈ (f_{i+1} + f_{i−1} − 2f_i)/d²` on `2^k` nodes with the given
+/// boundary condition, as an SCB Hamiltonian.
+pub fn laplacian_1d(k: usize, spacing: f64, bc: BoundaryCondition) -> ScbHamiltonian {
+    let n_nodes = 1usize << k;
+    let inv_d2 = 1.0 / (spacing * spacing);
+    let mut h = neighbor_coupling(k, inv_d2, bc == BoundaryCondition::Periodic);
+    // Diagonal −2/d² on every node.
+    h.push_bare(-2.0 * inv_d2, ScbString::identity(k));
+    if bc == BoundaryCondition::Neumann {
+        // Mirrored ghost nodes double the boundary off-diagonal couplings:
+        // add one extra component at each end.
+        add_component_correction(&mut h, 0, 1, inv_d2);
+        add_component_correction(&mut h, n_nodes - 1, n_nodes - 2, inv_d2);
+    }
+    h
+}
+
+/// The 2-D discrete Laplacian on a `2^kx × 2^ky` Cartesian grid (Kronecker
+/// sum of two 1-D Laplacians), row-major node ordering with the x register
+/// first.
+pub fn laplacian_2d(
+    kx: usize,
+    ky: usize,
+    spacing: f64,
+    bc: BoundaryCondition,
+) -> ScbHamiltonian {
+    let total = kx + ky;
+    let hx = laplacian_1d(kx, spacing, bc);
+    let hy = laplacian_1d(ky, spacing, bc);
+    let mut h = embed_hamiltonian(&hx, total, 0);
+    for term in embed_hamiltonian(&hy, total, kx).terms() {
+        h.push(term.clone());
+    }
+    h
+}
+
+/// The 3-D discrete Laplacian on a `2^kx × 2^ky × 2^kz` grid.
+pub fn laplacian_3d(
+    kx: usize,
+    ky: usize,
+    kz: usize,
+    spacing: f64,
+    bc: BoundaryCondition,
+) -> ScbHamiltonian {
+    let total = kx + ky + kz;
+    let mut h = embed_hamiltonian(&laplacian_1d(kx, spacing, bc), total, 0);
+    for term in embed_hamiltonian(&laplacian_1d(ky, spacing, bc), total, kx).terms() {
+        h.push(term.clone());
+    }
+    for term in embed_hamiltonian(&laplacian_1d(kz, spacing, bc), total, kx + ky).terms() {
+        h.push(term.clone());
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Reference assembly (classical construction used to verify decompositions)
+// ---------------------------------------------------------------------------
+
+/// Classically assembled 1-D Laplacian as a dense matrix (reference).
+pub fn assemble_laplacian_1d(k: usize, spacing: f64, bc: BoundaryCondition) -> CMatrix {
+    let n = 1usize << k;
+    let inv_d2 = 1.0 / (spacing * spacing);
+    let mut m = CMatrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = c64(-2.0 * inv_d2, 0.0);
+        if i + 1 < n {
+            m[(i, i + 1)] = c64(inv_d2, 0.0);
+            m[(i + 1, i)] = c64(inv_d2, 0.0);
+        }
+    }
+    match bc {
+        BoundaryCondition::Dirichlet => {}
+        BoundaryCondition::Neumann => {
+            m[(0, 1)] += c64(inv_d2, 0.0);
+            m[(1, 0)] += c64(inv_d2, 0.0);
+            m[(n - 1, n - 2)] += c64(inv_d2, 0.0);
+            m[(n - 2, n - 1)] += c64(inv_d2, 0.0);
+        }
+        BoundaryCondition::Periodic => {
+            m[(0, n - 1)] += c64(inv_d2, 0.0);
+            m[(n - 1, 0)] += c64(inv_d2, 0.0);
+        }
+    }
+    m
+}
+
+/// Classically assembled d-dimensional Laplacian as the Kronecker sum of 1-D
+/// reference matrices.
+pub fn assemble_laplacian_nd(ks: &[usize], spacing: f64, bc: BoundaryCondition) -> CMatrix {
+    assert!(!ks.is_empty());
+    let dims: Vec<usize> = ks.iter().map(|&k| 1usize << k).collect();
+    let total: usize = dims.iter().product();
+    let mut m = CMatrix::zeros(total, total);
+    for (axis, &k) in ks.iter().enumerate() {
+        let a = assemble_laplacian_1d(k, spacing, bc);
+        // I ⊗ … ⊗ A ⊗ … ⊗ I with A at position `axis`.
+        let left: usize = dims[..axis].iter().product();
+        let right: usize = dims[axis + 1..].iter().product();
+        let mut factor = CMatrix::identity(left).kron(&a);
+        factor = factor.kron(&CMatrix::identity(right));
+        m.add_scaled(&factor, Complex64::ONE);
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// The paper's explicit multi-node-line matrices (Section V-C2)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the paper's two-node-line (8×8) matrix `A`.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoLineParams {
+    /// Diagonal of the first node line.
+    pub a1: f64,
+    /// Diagonal of the second node line.
+    pub a2: f64,
+    /// In-line coupling of the first node line.
+    pub ai1: f64,
+    /// In-line coupling of the second node line.
+    pub ai2: f64,
+    /// Coupling between the two node lines.
+    pub aj12: f64,
+}
+
+impl TwoLineParams {
+    /// The Poisson special case of Eq. 22: diagonal −4, all couplings 1.
+    pub fn poisson() -> Self {
+        Self { a1: -4.0, a2: -4.0, ai1: 1.0, ai2: 1.0, aj12: 1.0 }
+    }
+}
+
+/// The paper's two-node-line operator (Section V-C2, 2-D case) on
+/// `1 + k` qubits (`2^k` nodes per line):
+/// `A = m̂⊗(a1·I + ai1·T) + n̂⊗(a2·I + ai2·T) + aj12·X̂⊗I`.
+pub fn two_node_line_operator(k: usize, p: &TwoLineParams) -> ScbHamiltonian {
+    let total = 1 + k;
+    let mut h = ScbHamiltonian::new(total);
+    let line = |diag: f64, coupling: f64, ctrl: ScbOp, h: &mut ScbHamiltonian| {
+        // ctrl ⊗ (diag·I + coupling·T).
+        let mut inner = neighbor_coupling(k, coupling, false);
+        inner.push_bare(diag, ScbString::identity(k));
+        for term in embed_hamiltonian(&inner, total, 1).terms() {
+            let mut t = term.clone();
+            let mut ops = t.string.ops().to_vec();
+            ops[0] = ctrl;
+            t.string = ScbString::new(ops);
+            h.push(t);
+        }
+    };
+    line(p.a1, p.ai1, ScbOp::M, &mut h);
+    line(p.a2, p.ai2, ScbOp::N, &mut h);
+    h.push_bare(p.aj12, ScbString::with_op_on(total, ScbOp::X, &[0]));
+    h
+}
+
+/// Reference dense matrix of [`two_node_line_operator`]:
+/// `[[a1·I + ai1·T, aj12·I], [aj12·I, a2·I + ai2·T]]`.
+pub fn assemble_two_node_line(k: usize, p: &TwoLineParams) -> CMatrix {
+    let n = 1usize << k;
+    let t = neighbor_coupling(k, 1.0, false).matrix();
+    let block = |diag: f64, coupling: f64| -> CMatrix {
+        let mut b = CMatrix::identity(n).scale(c64(diag, 0.0));
+        b.add_scaled(&t, c64(coupling, 0.0));
+        b
+    };
+    let a1 = block(p.a1, p.ai1);
+    let a2 = block(p.a2, p.ai2);
+    let mut m = CMatrix::zeros(2 * n, 2 * n);
+    for r in 0..n {
+        for c in 0..n {
+            m[(r, c)] = a1[(r, c)];
+            m[(n + r, n + c)] = a2[(r, c)];
+        }
+        m[(r, n + r)] = c64(p.aj12, 0.0);
+        m[(n + r, r)] = c64(p.aj12, 0.0);
+    }
+    m
+}
+
+/// Parameters of the paper's double-layer (3-D, 16×16) matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct DoubleLayerParams {
+    /// Diagonals of the four node lines.
+    pub a: [f64; 4],
+    /// In-line couplings of the four node lines.
+    pub ai: [f64; 4],
+    /// Line couplings within each layer (lines 1–2 and 3–4).
+    pub aj12: f64,
+    /// Line coupling within the second layer.
+    pub aj34: f64,
+    /// Layer couplings (lines 1–3 and 2–4).
+    pub ak13: f64,
+    /// Layer coupling between lines 2 and 4.
+    pub ak24: f64,
+}
+
+impl DoubleLayerParams {
+    /// The simple Poisson-like case used in the paper (all couplings 1,
+    /// common diagonal).
+    pub fn uniform(diag: f64) -> Self {
+        Self { a: [diag; 4], ai: [1.0; 4], aj12: 1.0, aj34: 1.0, ak13: 1.0, ak24: 1.0 }
+    }
+}
+
+/// The paper's double-layer operator (3-D case) on `2 + k` qubits:
+/// four node lines selected by the two leading qubits (m̂/n̂ patterns), plus
+/// the intra-layer (`aj`) and inter-layer (`ak`) couplings.
+pub fn double_layer_operator(k: usize, p: &DoubleLayerParams) -> ScbHamiltonian {
+    let total = 2 + k;
+    let mut h = ScbHamiltonian::new(total);
+    let ctrl_ops = [
+        [ScbOp::M, ScbOp::M],
+        [ScbOp::M, ScbOp::N],
+        [ScbOp::N, ScbOp::M],
+        [ScbOp::N, ScbOp::N],
+    ];
+    for (line, ctrl) in ctrl_ops.iter().enumerate() {
+        let mut inner = neighbor_coupling(k, p.ai[line], false);
+        inner.push_bare(p.a[line], ScbString::identity(k));
+        for term in embed_hamiltonian(&inner, total, 2).terms() {
+            let mut t = term.clone();
+            let mut ops = t.string.ops().to_vec();
+            ops[0] = ctrl[0];
+            ops[1] = ctrl[1];
+            t.string = ScbString::new(ops);
+            h.push(t);
+        }
+    }
+    // Intra-layer line couplings: X on the line-selector qubit, controlled by
+    // the layer-selector qubit.
+    h.push_bare(
+        p.aj12,
+        ScbString::from_pairs(total, &[(0, ScbOp::M), (1, ScbOp::X)]),
+    );
+    h.push_bare(
+        p.aj34,
+        ScbString::from_pairs(total, &[(0, ScbOp::N), (1, ScbOp::X)]),
+    );
+    // Inter-layer couplings: X on the layer selector, controlled by the line
+    // selector.
+    h.push_bare(
+        p.ak13,
+        ScbString::from_pairs(total, &[(0, ScbOp::X), (1, ScbOp::M)]),
+    );
+    h.push_bare(
+        p.ak24,
+        ScbString::from_pairs(total, &[(0, ScbOp::X), (1, ScbOp::N)]),
+    );
+    h
+}
+
+/// Reference dense matrix of [`double_layer_operator`].
+pub fn assemble_double_layer(k: usize, p: &DoubleLayerParams) -> CMatrix {
+    let n = 1usize << k;
+    let t = neighbor_coupling(k, 1.0, false).matrix();
+    let block = |diag: f64, coupling: f64| -> CMatrix {
+        let mut b = CMatrix::identity(n).scale(c64(diag, 0.0));
+        b.add_scaled(&t, c64(coupling, 0.0));
+        b
+    };
+    let mut m = CMatrix::zeros(4 * n, 4 * n);
+    for line in 0..4 {
+        let b = block(p.a[line], p.ai[line]);
+        for r in 0..n {
+            for c in 0..n {
+                m[(line * n + r, line * n + c)] = b[(r, c)];
+            }
+        }
+    }
+    let mut couple = |l1: usize, l2: usize, w: f64| {
+        for r in 0..n {
+            m[(l1 * n + r, l2 * n + r)] += c64(w, 0.0);
+            m[(l2 * n + r, l1 * n + r)] += c64(w, 0.0);
+        }
+    };
+    couple(0, 1, p.aj12);
+    couple(2, 3, p.aj34);
+    couple(0, 2, p.ak13);
+    couple(1, 3, p.ak24);
+    m
+}
+
+/// Inhomogeneous-coefficient variant (Section V-C3 last paragraph): a
+/// per-line diagonal offset added to the two-node-line operator with a single
+/// extra controlled term per line.
+pub fn two_node_line_with_inhomogeneous_diagonal(
+    k: usize,
+    p: &TwoLineParams,
+    extra_diag_line2: f64,
+) -> ScbHamiltonian {
+    let mut h = two_node_line_operator(k, p);
+    // One extra term: extra·n̂ ⊗ I (acts only on the second node line).
+    h.push_bare(extra_diag_line2, ScbString::with_op_on(1 + k, ScbOp::N, &[0]));
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::DEFAULT_TOL;
+
+    #[test]
+    fn neighbor_coupling_matches_path_adjacency() {
+        for k in 1..=4usize {
+            let h = neighbor_coupling(k, 1.0, false);
+            assert_eq!(h.num_terms(), k, "log N terms");
+            let m = h.matrix();
+            let n = 1 << k;
+            for r in 0..n {
+                for c in 0..n {
+                    let expect = if r + 1 == c || c + 1 == r { 1.0 } else { 0.0 };
+                    assert!(
+                        m[(r, c)].approx_eq(c64(expect, 0.0), DEFAULT_TOL),
+                        "k={k} entry ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_coupling_adds_corner() {
+        let h = neighbor_coupling(3, 1.0, true);
+        assert_eq!(h.num_terms(), 4);
+        let m = h.matrix();
+        assert!(m[(0, 7)].approx_eq(c64(1.0, 0.0), DEFAULT_TOL));
+        assert!(m[(7, 0)].approx_eq(c64(1.0, 0.0), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn laplacian_1d_matches_reference_all_bcs() {
+        for bc in [
+            BoundaryCondition::Dirichlet,
+            BoundaryCondition::Neumann,
+            BoundaryCondition::Periodic,
+        ] {
+            for k in 2..=4usize {
+                let h = laplacian_1d(k, 0.5, bc);
+                let reference = assemble_laplacian_1d(k, 0.5, bc);
+                assert!(
+                    h.matrix().approx_eq(&reference, DEFAULT_TOL),
+                    "bc {bc:?}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_2d_and_3d_match_kronecker_sums() {
+        let h2 = laplacian_2d(2, 2, 1.0, BoundaryCondition::Dirichlet);
+        let r2 = assemble_laplacian_nd(&[2, 2], 1.0, BoundaryCondition::Dirichlet);
+        assert!(h2.matrix().approx_eq(&r2, DEFAULT_TOL));
+
+        let h3 = laplacian_3d(1, 1, 2, 1.0, BoundaryCondition::Periodic);
+        let r3 = assemble_laplacian_nd(&[1, 1, 2], 1.0, BoundaryCondition::Periodic);
+        assert!(h3.matrix().approx_eq(&r3, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn term_count_is_logarithmic() {
+        // 1-D Laplacian with Dirichlet: log2(N) couplings + 1 diagonal.
+        for k in 1..=6usize {
+            let h = laplacian_1d(k, 1.0, BoundaryCondition::Dirichlet);
+            assert_eq!(h.num_terms(), k + 1);
+        }
+    }
+
+    #[test]
+    fn two_node_line_matches_paper_matrix() {
+        // k = 2 → the 8×8 matrix printed in Section V-C2.
+        let p = TwoLineParams { a1: -4.0, a2: -3.0, ai1: 1.0, ai2: 0.5, aj12: 0.25 };
+        let h = two_node_line_operator(2, &p);
+        let reference = assemble_two_node_line(2, &p);
+        assert!(h.matrix().approx_eq(&reference, DEFAULT_TOL));
+        // Poisson special case.
+        let hp = two_node_line_operator(2, &TwoLineParams::poisson());
+        let rp = assemble_two_node_line(2, &TwoLineParams::poisson());
+        assert!(hp.matrix().approx_eq(&rp, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn double_layer_matches_paper_matrix() {
+        let p = DoubleLayerParams {
+            a: [-4.0, -4.5, -5.0, -5.5],
+            ai: [1.0, 0.75, 0.5, 0.25],
+            aj12: 1.0,
+            aj34: 0.8,
+            ak13: 0.6,
+            ak24: 0.4,
+        };
+        let h = double_layer_operator(2, &p);
+        let reference = assemble_double_layer(2, &p);
+        assert!(h.matrix().approx_eq(&reference, DEFAULT_TOL));
+        // Uniform Poisson-like case.
+        let hu = double_layer_operator(2, &DoubleLayerParams::uniform(-6.0));
+        let ru = assemble_double_layer(2, &DoubleLayerParams::uniform(-6.0));
+        assert!(hu.matrix().approx_eq(&ru, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn inhomogeneous_diagonal_adds_single_term() {
+        let p = TwoLineParams::poisson();
+        let base = two_node_line_operator(2, &p);
+        let inhom = two_node_line_with_inhomogeneous_diagonal(2, &p, 2.5);
+        assert_eq!(inhom.num_terms(), base.num_terms() + 1);
+        let m = inhom.matrix();
+        // Only the second node line's diagonal is shifted.
+        assert!(m[(0, 0)].approx_eq(c64(-4.0, 0.0), DEFAULT_TOL));
+        assert!(m[(4, 4)].approx_eq(c64(-4.0 + 2.5, 0.0), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn component_correction_mechanism() {
+        let mut h = neighbor_coupling(3, 1.0, false);
+        let before = h.num_terms();
+        add_component_correction(&mut h, 3, 5, 0.7);
+        assert_eq!(h.num_terms(), before + 1);
+        let m = h.matrix();
+        assert!(m[(3, 5)].approx_eq(c64(0.7, 0.0), DEFAULT_TOL));
+        assert!(m[(5, 3)].approx_eq(c64(0.7, 0.0), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn embed_preserves_matrix_structure() {
+        let h = neighbor_coupling(2, 1.0, false);
+        let e = embed_hamiltonian(&h, 3, 1);
+        let expect = CMatrix::identity(2).kron(&h.matrix());
+        assert!(e.matrix().approx_eq(&expect, DEFAULT_TOL));
+    }
+}

@@ -1,0 +1,180 @@
+//! Gate-count scaling of the finite-difference decompositions — Eq. 23 of
+//! the paper: the number of two-qubit gates of the 1-D neighbour operator's
+//! direct Hamiltonian simulation grows as `(log₂²N + log₂N)/2`, because each
+//! of the `log₂N` terms needs one more control than the previous one.
+
+use crate::decompose::{laplacian_1d, neighbor_coupling, BoundaryCondition};
+use ghs_core::{block_encode_hamiltonian, direct_hamiltonian_slice, DirectOptions};
+use ghs_math::CMatrix;
+use ghs_operators::ScbHamiltonian;
+
+/// One row of the Eq. 23 scaling table.
+#[derive(Clone, Copy, Debug)]
+pub struct FdmScalingRow {
+    /// Number of qubits `k = log₂N`.
+    pub k: usize,
+    /// Matrix size `N`.
+    pub n: usize,
+    /// Number of SCB terms of the decomposition (log₂N (+1 diagonal)).
+    pub terms: usize,
+    /// Ladder CX/CZ gates of one direct Trotter slice (multi-controls kept
+    /// native).
+    pub ladder_two_qubit: usize,
+    /// Total number of control inputs over all multi-controlled rotations of
+    /// the slice — the quantity that, under a linear-cost-per-control model,
+    /// gives the paper's `Σ_{i=1}^{log₂N} i` count.
+    pub total_controls: usize,
+    /// The paper's analytic prediction `(log₂²N + log₂N)/2` (Eq. 23).
+    pub eq23_prediction: usize,
+    /// Rotations per slice (one per term).
+    pub rotations: usize,
+}
+
+/// Builds the Eq. 23 scaling table for the 1-D neighbour operator across the
+/// given register sizes.
+pub fn fdm_scaling_table(ks: &[usize]) -> Vec<FdmScalingRow> {
+    ks.iter()
+        .map(|&k| {
+            let h = neighbor_coupling(k, 1.0, false);
+            let slice = direct_hamiltonian_slice(&h, 0.3, &DirectOptions::linear());
+            let counts = slice.counts();
+            let hist = slice.gate_histogram();
+            let ladder_two_qubit =
+                hist.get("CX").copied().unwrap_or(0) + hist.get("CZ").copied().unwrap_or(0);
+            // Count only the controls of the parametrised rotations (the
+            // `C^{j−1}RX` at the heart of each term), not the ladder CX gates.
+            let total_controls: usize = slice
+                .gates()
+                .iter()
+                .filter(|g| g.is_parametrised())
+                .map(|g| g.controls().len())
+                .sum();
+            FdmScalingRow {
+                k,
+                n: 1 << k,
+                terms: h.num_terms(),
+                ladder_two_qubit,
+                total_controls,
+                eq23_prediction: (k * k + k) / 2,
+                rotations: counts.rotations,
+            }
+        })
+        .collect()
+}
+
+/// Per-size block-encoding summary of the 1-D Laplacian (unitary count,
+/// ancilla count, verification error where a dense check is affordable).
+#[derive(Clone, Copy, Debug)]
+pub struct FdmBlockEncodingRow {
+    /// Number of qubits.
+    pub k: usize,
+    /// LCU unitaries.
+    pub unitaries: usize,
+    /// Ancilla qubits.
+    pub ancillas: usize,
+    /// Normalisation λ.
+    pub normalization: f64,
+    /// Frobenius verification error (`None` when the dense check was
+    /// skipped).
+    pub verification_error: Option<f64>,
+}
+
+/// Block-encodes the 1-D Dirichlet Laplacian for each size; sizes with
+/// `k ≤ verify_up_to` also get a dense verification.
+pub fn fdm_block_encoding_table(ks: &[usize], verify_up_to: usize) -> Vec<FdmBlockEncodingRow> {
+    ks.iter()
+        .map(|&k| {
+            let h = laplacian_1d(k, 1.0, BoundaryCondition::Dirichlet);
+            let be = block_encode_hamiltonian(&h, ghs_circuit::LadderStyle::Linear);
+            let verification_error = if k <= verify_up_to {
+                Some(be.verification_error(&h.matrix()))
+            } else {
+                None
+            };
+            FdmBlockEncodingRow {
+                k,
+                unitaries: be.num_unitaries,
+                ancillas: be.num_ancillas,
+                normalization: be.normalization,
+                verification_error,
+            }
+        })
+        .collect()
+}
+
+/// Hamiltonian-simulation accuracy of the direct construction for the 1-D
+/// Laplacian: because every term of the decomposition commutes with the
+/// diagonal but not with the others, a product formula is used; this returns
+/// the unitary error at the requested step counts (dense check, small `k`).
+pub fn fdm_simulation_errors(k: usize, t: f64, steps_list: &[usize]) -> Vec<(usize, f64)> {
+    let h = laplacian_1d(k, 1.0, BoundaryCondition::Dirichlet);
+    let m: CMatrix = h.matrix();
+    steps_list
+        .iter()
+        .map(|&steps| {
+            let c = ghs_core::direct_product_formula(
+                &h,
+                t,
+                steps,
+                ghs_core::ProductFormula::Second,
+                &DirectOptions::linear(),
+            );
+            (steps, ghs_core::unitary_error(&c, &m, t))
+        })
+        .collect()
+}
+
+/// Convenience re-export used by the experiments binary: the number of
+/// decomposition terms of an arbitrary FDM Hamiltonian.
+pub fn term_count(h: &ScbHamiltonian) -> usize {
+    h.num_terms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_follows_eq23_shape() {
+        let rows = fdm_scaling_table(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        for row in &rows {
+            // log N terms, one rotation each.
+            assert_eq!(row.terms, row.k);
+            assert_eq!(row.rotations, row.k);
+            // The control total matches Σ_{j=2}^{k}(j−1) = k(k−1)/2, which is
+            // the Eq. 23 prediction up to the linear term (the paper counts
+            // the rotation itself as needing one more two-qubit gate).
+            assert_eq!(row.total_controls, row.k * (row.k - 1) / 2);
+            assert_eq!(row.eq23_prediction, (row.k * row.k + row.k) / 2);
+            assert!(row.eq23_prediction >= row.total_controls);
+            // Ladder CX count: each term B_j (j ≥ 2) uses 2(j−1) CX.
+            let expect_ladder: usize = (2..=row.k).map(|j| 2 * (j - 1)).sum();
+            assert_eq!(row.ladder_two_qubit, expect_ladder);
+        }
+        // Quadratic-in-k growth: ratio of successive predictions tends to 1,
+        // but the absolute counts grow ~ k².
+        let last = rows.last().unwrap();
+        assert_eq!(last.eq23_prediction, (64 + 8) / 2);
+    }
+
+    #[test]
+    fn block_encoding_of_small_laplacians_verifies() {
+        let rows = fdm_block_encoding_table(&[1, 2, 3], 3);
+        for row in rows {
+            let err = row.verification_error.expect("verified sizes");
+            assert!(err < 1e-8, "k = {}: error {err}", row.k);
+            assert!(row.normalization > 0.0);
+            assert!(row.unitaries >= row.k);
+        }
+    }
+
+    #[test]
+    fn simulation_error_decreases_with_steps() {
+        let errs = fdm_simulation_errors(3, 0.7, &[1, 2, 4]);
+        assert!(errs[1].1 <= errs[0].1 + 1e-12);
+        assert!(errs[2].1 <= errs[1].1 + 1e-12);
+        // Second-order formula: error shrinks roughly ∝ 1/steps².
+        assert!(errs[2].1 < errs[0].1 / 8.0);
+        assert!(errs[2].1 < 5e-2);
+    }
+}

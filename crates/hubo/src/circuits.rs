@@ -1,0 +1,234 @@
+//! Phase-separation circuits for HUBO Hamiltonians under the two strategies
+//! of the paper, and the gate census that regenerates Table III.
+//!
+//! * **Direct strategy** (boolean formalism, Eq. 14): each monomial
+//!   `q_I ∏_{i∈I} n̂_i` exponentiates to a single multi-controlled phase gate
+//!   `C^{|I|−1}P(−γ q_I)`.
+//! * **Usual strategy** (Ising / Pauli-`Z` formalism, Eq. 13): each monomial
+//!   `q_I ∏ Ẑ_i` exponentiates to a Pauli-`Z`-string rotation
+//!   `R_{Z^{|I|}}(2γ q_I)` built from a CX ladder and one RZ.
+//!
+//! Both circuits implement exactly the same unitary (the two cost functions
+//! are equal), so the comparison is purely about gate counts — which is the
+//! content of Table III and Section V-A.
+
+use crate::problem::{HuboProblem, IsingProblem};
+use ghs_circuit::{Circuit, ControlBit, LadderStyle};
+use ghs_core::pauli_string_exponential;
+use ghs_operators::{PauliOp, PauliString};
+use std::collections::BTreeMap;
+
+/// Builds `exp(−iγ·H_P)` for a boolean-formalism HUBO using keyed phase
+/// gates (the direct strategy).
+pub fn direct_phase_separator(problem: &HuboProblem, gamma: f64) -> Circuit {
+    let n = problem.num_vars().max(1);
+    let mut c = Circuit::new(n);
+    for (vars, w) in problem.terms() {
+        if vars.is_empty() {
+            c.global_phase(-gamma * w);
+        } else {
+            let key: Vec<ControlBit> = vars.iter().map(|&v| ControlBit::one(v)).collect();
+            c.keyed_phase(key, -gamma * w);
+        }
+    }
+    c
+}
+
+/// Builds `exp(−iγ·H_P)` for an Ising-formalism problem using Pauli-`Z`
+/// string rotations (the usual strategy).
+pub fn usual_phase_separator(
+    problem: &IsingProblem,
+    gamma: f64,
+    ladder_style: LadderStyle,
+) -> Circuit {
+    let n = problem.num_vars().max(1);
+    let mut c = Circuit::new(n);
+    for (vars, w) in problem.terms() {
+        let string = PauliString::with_op_on(n, PauliOp::Z, vars);
+        c.append(&pauli_string_exponential(&string, w, gamma, ladder_style));
+    }
+    c
+}
+
+/// Abstract gate census of one strategy: gate mnemonic → count.
+pub type GateCensus = BTreeMap<String, usize>;
+
+/// One row of the Table III reproduction: the primitive being exponentiated
+/// and the gate censuses of the usual and direct strategies.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Human-readable primitive, e.g. `"Ẑ Ẑ Ẑ"` or `"n̂ n̂"`.
+    pub primitive: String,
+    /// Gate census of the usual (Pauli-`Z` rotation) strategy.
+    pub usual: GateCensus,
+    /// Gate census of the direct (multi-controlled phase) strategy.
+    pub direct: GateCensus,
+}
+
+fn census_usual(ising: &IsingProblem) -> GateCensus {
+    let mut census = GateCensus::new();
+    for (vars, _) in ising.terms() {
+        let name = match vars.len() {
+            0 => "global".to_string(),
+            d => format!("RZ{}", "Z".repeat(d - 1)),
+        };
+        *census.entry(name).or_insert(0) += 1;
+    }
+    census
+}
+
+fn census_direct(hubo: &HuboProblem) -> GateCensus {
+    let mut census = GateCensus::new();
+    for (vars, _) in hubo.terms() {
+        let name = match vars.len() {
+            0 => "global".to_string(),
+            1 => "P".to_string(),
+            d => format!("{}P", "C".repeat(d - 1)),
+        };
+        *census.entry(name).or_insert(0) += 1;
+    }
+    census
+}
+
+/// Reproduces Table III of the paper: the six primitives `Ẑ`, `ẐẐ`, `ẐẐẐ`,
+/// `n̂`, `n̂n̂`, `n̂n̂n̂`, each exponentiated by both strategies (each strategy
+/// converting the primitive to its own formalism first).
+pub fn table3_rows() -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    // Z-formalism primitives.
+    for order in 1..=3usize {
+        let mut ising = IsingProblem::new(order);
+        ising.add_term(1.0, &(0..order).collect::<Vec<_>>());
+        let hubo = ising.to_hubo();
+        rows.push(Table3Row {
+            primitive: vec!["Ẑ"; order].join(" "),
+            usual: census_usual(&ising),
+            direct: census_direct(&hubo),
+        });
+    }
+    // n-formalism primitives.
+    for order in 1..=3usize {
+        let mut hubo = HuboProblem::new(order);
+        hubo.add_term(1.0, &(0..order).collect::<Vec<_>>());
+        let ising = hubo.to_ising();
+        rows.push(Table3Row {
+            primitive: vec!["n̂"; order].join(" "),
+            usual: census_usual(&ising),
+            direct: census_direct(&hubo),
+        });
+    }
+    rows
+}
+
+/// Resource summary for a phase separator built by either strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeparatorResources {
+    /// Parametrised gates.
+    pub rotations: usize,
+    /// Two-qubit gates before multi-control decomposition.
+    pub two_qubit: usize,
+    /// Native multi-controlled gates.
+    pub multi_controlled: usize,
+    /// Depth.
+    pub depth: usize,
+}
+
+/// Resources of the direct phase separator of a problem.
+pub fn direct_separator_resources(problem: &HuboProblem, gamma: f64) -> SeparatorResources {
+    let counts = direct_phase_separator(problem, gamma).counts();
+    SeparatorResources {
+        rotations: counts.rotations,
+        two_qubit: counts.two_qubit,
+        multi_controlled: counts.multi_controlled,
+        depth: counts.depth,
+    }
+}
+
+/// Resources of the usual phase separator of the *same* problem (converted
+/// to the Ising formalism first).
+pub fn usual_separator_resources(problem: &HuboProblem, gamma: f64) -> SeparatorResources {
+    let ising = problem.to_ising();
+    let counts = usual_phase_separator(&ising, gamma, LadderStyle::Linear).counts();
+    SeparatorResources {
+        rotations: counts.rotations,
+        two_qubit: counts.two_qubit,
+        multi_controlled: counts.multi_controlled,
+        depth: counts.depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_statevector::circuit_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn direct_and_usual_separators_agree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = crate::problem::random_sparse_hubo(4, 3, 3, &mut rng);
+        let gamma = 0.8;
+        let direct = direct_phase_separator(&p, gamma);
+        let usual = usual_phase_separator(&p.to_ising(), gamma, LadderStyle::Linear);
+        let ud = circuit_unitary(&direct);
+        let uu = circuit_unitary(&usual);
+        assert!(ud.approx_eq(&uu, 1e-9), "distance {}", ud.distance(&uu));
+    }
+
+    #[test]
+    fn phase_separator_applies_cost_phases() {
+        let mut p = HuboProblem::new(3);
+        p.add_term(1.5, &[0, 2]);
+        p.add_term(-0.5, &[1]);
+        let gamma = 0.6;
+        let u = circuit_unitary(&direct_phase_separator(&p, gamma));
+        for x in 0..8usize {
+            let expect = ghs_math::Complex64::cis(-gamma * p.evaluate(x));
+            assert!(u[(x, x)].approx_eq(expect, 1e-9));
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_counts() {
+        let rows = table3_rows();
+        // Row 0: Ẑ — usual: 1 RZ; direct: 1 P (+ constant).
+        assert_eq!(rows[0].usual.get("RZ"), Some(&1));
+        assert_eq!(rows[0].direct.get("P"), Some(&1));
+        // Row 1: ẐẐ — usual: 1 RZZ; direct: 1 CP + 2 P (+ constant).
+        assert_eq!(rows[1].usual.get("RZZ"), Some(&1));
+        assert_eq!(rows[1].direct.get("CP"), Some(&1));
+        assert_eq!(rows[1].direct.get("P"), Some(&2));
+        // Row 2: ẐẐẐ — usual: 1 RZZZ; direct: 1 CCP + 3 CP + 3 P.
+        assert_eq!(rows[2].usual.get("RZZZ"), Some(&1));
+        assert_eq!(rows[2].direct.get("CCP"), Some(&1));
+        assert_eq!(rows[2].direct.get("CP"), Some(&3));
+        assert_eq!(rows[2].direct.get("P"), Some(&3));
+        // Row 3: n̂ — usual: 1 RZ (+ constant); direct: 1 P.
+        assert_eq!(rows[3].usual.get("RZ"), Some(&1));
+        assert_eq!(rows[3].direct.get("P"), Some(&1));
+        // Row 4: n̂n̂ — usual: 1 RZZ + 2 RZ; direct: 1 CP.
+        assert_eq!(rows[4].usual.get("RZZ"), Some(&1));
+        assert_eq!(rows[4].usual.get("RZ"), Some(&2));
+        assert_eq!(rows[4].direct.get("CP"), Some(&1));
+        assert_eq!(rows[4].direct.get("P"), None);
+        // Row 5: n̂n̂n̂ — usual: 1 RZZZ + 3 RZZ + 3 RZ; direct: 1 CCP.
+        assert_eq!(rows[5].usual.get("RZZZ"), Some(&1));
+        assert_eq!(rows[5].usual.get("RZZ"), Some(&3));
+        assert_eq!(rows[5].usual.get("RZ"), Some(&3));
+        assert_eq!(rows[5].direct.get("CCP"), Some(&1));
+    }
+
+    #[test]
+    fn resource_summaries_favour_direct_for_high_order_sparse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = crate::problem::random_sparse_hubo(8, 6, 2, &mut rng);
+        let d = direct_separator_resources(&p, 0.3);
+        let u = usual_separator_resources(&p, 0.3);
+        // Direct: one gate per monomial; usual: 2^6 − 1 fragments per monomial.
+        assert!(d.rotations <= p.num_terms());
+        assert!(u.rotations >= (1 << 6) - 1);
+        assert!(u.two_qubit > 0);
+        assert_eq!(d.two_qubit, 0);
+    }
+}

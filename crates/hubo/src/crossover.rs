@@ -1,0 +1,157 @@
+//! Scaling analyses of Section V-A: the two-qubit-gate crossover between the
+//! usual and direct strategies for dense order-`n` terms (footnote 2 of the
+//! paper) and the exponential gate reduction for sparse high-order problems.
+
+use crate::problem::HuboProblem;
+use ghs_circuit::costmodel::{
+    cnp_two_qubit_count_with_ancilla, rzn_two_qubit_count, switched_formalism_term_count,
+    usual_dense_two_qubit_count,
+};
+
+/// One row of the dense-term crossover analysis (E06).
+#[derive(Clone, Copy, Debug)]
+pub struct CrossoverRow {
+    /// Term order `n`.
+    pub order: usize,
+    /// Two-qubit gates of the usual strategy for a single dense order-`n`
+    /// boolean term switched to the Pauli-`Z` formalism:
+    /// `Σ_h 2(h−1)·C(n,h)`.
+    pub usual_two_qubit: u128,
+    /// Two-qubit gates of the direct strategy's single `CⁿP` under the
+    /// paper's ancilla-assisted model (`192n − 904`, valid for n > 5).
+    pub direct_two_qubit: Option<usize>,
+    /// Number of Pauli fragments the boolean term expands into.
+    pub usual_fragments: u128,
+    /// Whether the direct strategy is strictly cheaper at this order.
+    pub direct_wins: bool,
+}
+
+/// Builds the crossover table for orders `6..=max_order` (the validity
+/// domain of the paper's `CⁿP` formula).
+pub fn crossover_table(max_order: usize) -> Vec<CrossoverRow> {
+    (6..=max_order)
+        .map(|order| {
+            let usual = usual_dense_two_qubit_count(order);
+            let direct = cnp_two_qubit_count_with_ancilla(order);
+            CrossoverRow {
+                order,
+                usual_two_qubit: usual,
+                direct_two_qubit: direct,
+                usual_fragments: switched_formalism_term_count(order),
+                direct_wins: direct.map(|d| (d as u128) < usual).unwrap_or(false),
+            }
+        })
+        .collect()
+}
+
+/// The first order at which the direct strategy's model beats the usual one.
+pub fn measured_crossover(max_order: usize) -> Option<usize> {
+    crossover_table(max_order).iter().find(|r| r.direct_wins).map(|r| r.order)
+}
+
+/// One row of the sparse high-order scaling analysis (E07).
+#[derive(Clone, Copy, Debug)]
+pub struct SparseScalingRow {
+    /// Order of every monomial in the instance.
+    pub order: usize,
+    /// Number of monomials.
+    pub num_terms: usize,
+    /// Direct strategy: parametrised gates (one keyed phase per monomial).
+    pub direct_rotations: usize,
+    /// Usual strategy: parametrised gates (one per Pauli fragment).
+    pub usual_rotations: u128,
+    /// Usual strategy: two-qubit gates of the fragment ladders.
+    pub usual_two_qubit: u128,
+}
+
+/// Analytic sparse-scaling table: an instance with `num_terms` monomials of
+/// exactly `order` variables each (fragment counts assume no cross-monomial
+/// cancellation, which holds for disjoint or random supports with
+/// overwhelming probability).
+pub fn sparse_scaling_table(orders: &[usize], num_terms: usize) -> Vec<SparseScalingRow> {
+    orders
+        .iter()
+        .map(|&order| SparseScalingRow {
+            order,
+            num_terms,
+            direct_rotations: num_terms,
+            usual_rotations: num_terms as u128 * switched_formalism_term_count(order),
+            usual_two_qubit: num_terms as u128 * usual_dense_two_qubit_count(order),
+        })
+        .collect()
+}
+
+/// Measured (circuit-level) counts for an actual sparse instance — used to
+/// cross-check the analytic table at small orders.
+pub fn measured_sparse_counts(problem: &HuboProblem) -> (usize, usize, usize) {
+    let direct = crate::circuits::direct_separator_resources(problem, 0.5);
+    let usual = crate::circuits::usual_separator_resources(problem, 0.5);
+    (direct.rotations, usual.rotations, usual.two_qubit)
+}
+
+/// Two-qubit count of the usual strategy for one dense order-`n` term,
+/// re-exported convenience wrapper around the cost model (used by the
+/// experiments binary).
+pub fn usual_dense_cost(order: usize) -> u128 {
+    usual_dense_two_qubit_count(order)
+}
+
+/// Two-qubit count of a Pauli-`Z` rotation of the given weight (cost-model
+/// re-export).
+pub fn rzn_cost(weight: usize) -> usize {
+    rzn_two_qubit_count(weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn crossover_table_is_monotone_in_direct_wins() {
+        let table = crossover_table(16);
+        // Once the direct strategy wins it keeps winning (linear vs
+        // exponential growth).
+        let first_win = table.iter().position(|r| r.direct_wins).expect("a crossover exists");
+        for row in &table[first_win..] {
+            assert!(row.direct_wins);
+        }
+        // The gap grows without bound.
+        let last = table.last().unwrap();
+        assert!(last.usual_two_qubit > 100 * last.direct_two_qubit.unwrap() as u128);
+    }
+
+    #[test]
+    fn measured_crossover_matches_costmodel() {
+        assert_eq!(
+            measured_crossover(20),
+            ghs_circuit::costmodel::direct_vs_usual_crossover_order(20)
+        );
+    }
+
+    #[test]
+    fn sparse_scaling_is_exponential_for_usual_only() {
+        let rows = sparse_scaling_table(&[4, 8, 12, 16], 3);
+        for w in rows.windows(2) {
+            // Direct stays constant, usual grows by ~2^Δorder.
+            assert_eq!(w[0].direct_rotations, w[1].direct_rotations);
+            assert!(w[1].usual_rotations > 10 * w[0].usual_rotations);
+        }
+    }
+
+    #[test]
+    fn analytic_and_measured_counts_agree_at_small_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Disjoint supports so no fragments merge: 2 monomials of order 3 on
+        // 6 variables.
+        let mut p = HuboProblem::new(6);
+        p.add_term(rng.gen_range(0.5..1.5), &[0, 1, 2]);
+        p.add_term(rng.gen_range(0.5..1.5), &[3, 4, 5]);
+        let (direct_rot, usual_rot, usual_2q) = measured_sparse_counts(&p);
+        let analytic = sparse_scaling_table(&[3], 2)[0];
+        assert_eq!(direct_rot as u128, analytic.direct_rotations as u128);
+        assert_eq!(usual_rot as u128, analytic.usual_rotations);
+        assert_eq!(usual_2q as u128, analytic.usual_two_qubit);
+    }
+}

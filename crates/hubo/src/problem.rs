@@ -1,0 +1,458 @@
+//! High-order Unconstrained Binary Optimization problems in the boolean
+//! (`n̂`, Eq. 14) formalism, and instance generators for the workloads the
+//! paper's Section V-A discusses (dense low-order, sparse high-order,
+//! hypergraph max-cut, knapsack).
+
+use ghs_math::Complex64;
+use ghs_operators::{HermitianTerm, ScbHamiltonian, ScbOp, ScbString};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A HUBO cost function `C(x) = Σ_I q_I ∏_{i∈I} x_i` over boolean variables
+/// `x_i ∈ {0, 1}` (Eq. 14 of the paper; the empty set is a constant offset).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HuboProblem {
+    num_vars: usize,
+    terms: BTreeMap<Vec<usize>, f64>,
+}
+
+impl HuboProblem {
+    /// Empty problem on `num_vars` boolean variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self { num_vars, terms: BTreeMap::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds `weight · ∏_{i ∈ vars} x_i`, merging duplicate monomials. The
+    /// variable list is sorted and deduplicated (x² = x for booleans).
+    pub fn add_term(&mut self, weight: f64, vars: &[usize]) {
+        for &v in vars {
+            assert!(v < self.num_vars, "variable index out of range");
+        }
+        let mut key: Vec<usize> = vars.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        *self.terms.entry(key).or_insert(0.0) += weight;
+    }
+
+    /// Iterates `(monomial, weight)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        self.terms.iter().map(|(k, &w)| (k.as_slice(), w))
+    }
+
+    /// Number of monomials (including a possible constant).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Highest monomial degree (the HUBO order).
+    pub fn order(&self) -> usize {
+        self.terms.keys().map(|k| k.len()).max().unwrap_or(0)
+    }
+
+    /// Evaluates the cost of a boolean assignment given as a bit index
+    /// (variable 0 = most significant bit, matching the qubit convention).
+    pub fn evaluate(&self, assignment: usize) -> f64 {
+        self.terms
+            .iter()
+            .map(|(vars, w)| {
+                let all_set = vars
+                    .iter()
+                    .all(|&v| ghs_math::bits::qubit_bit(assignment, v, self.num_vars) == 1);
+                if all_set {
+                    *w
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Exhaustive minimisation (small instances): returns `(best_assignment,
+    /// best_cost)`.
+    pub fn brute_force_minimum(&self) -> (usize, f64) {
+        (0..(1usize << self.num_vars))
+            .map(|x| (x, self.evaluate(x)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("at least one assignment")
+    }
+
+    /// The problem Hamiltonian in the boolean formalism: one bare SCB term
+    /// `q_I ∏ n̂_i` per monomial (diagonal, all terms commute).
+    pub fn to_scb_hamiltonian(&self) -> ScbHamiltonian {
+        let mut h = ScbHamiltonian::new(self.num_vars.max(1));
+        for (vars, w) in &self.terms {
+            let string = if vars.is_empty() {
+                ScbString::identity(self.num_vars.max(1))
+            } else {
+                ScbString::with_op_on(self.num_vars, ScbOp::N, vars)
+            };
+            h.push(HermitianTerm::bare(*w, string));
+        }
+        h
+    }
+
+    /// Converts to the Ising / Pauli-`Z` formalism (Eq. 13) by expanding
+    /// `n̂ = (I − Ẑ)/2` monomial by monomial — the `2^k` blow-up of sparse
+    /// high-order problems discussed in Section V-A.
+    pub fn to_ising(&self) -> IsingProblem {
+        let mut ising = IsingProblem::new(self.num_vars);
+        for (vars, w) in &self.terms {
+            let k = vars.len();
+            let scale = w / (1usize << k) as f64;
+            // ∏ (I − Z_i)/2 = 2^{-k} Σ_{S⊆vars} (−1)^{|S|} Z_S.
+            for mask in 0..(1usize << k) {
+                let subset: Vec<usize> =
+                    (0..k).filter(|j| mask >> j & 1 == 1).map(|j| vars[j]).collect();
+                let sign = if subset.len() % 2 == 0 { 1.0 } else { -1.0 };
+                ising.add_term(sign * scale, &subset);
+            }
+        }
+        ising.prune(1e-12);
+        ising
+    }
+}
+
+/// A cost function in the Ising / Pauli-`Z` formalism:
+/// `C(z) = Σ_I q_I ∏_{i∈I} z_i` with `z_i ∈ {+1, −1}` (Eq. 13).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IsingProblem {
+    num_vars: usize,
+    terms: BTreeMap<Vec<usize>, f64>,
+}
+
+impl IsingProblem {
+    /// Empty problem.
+    pub fn new(num_vars: usize) -> Self {
+        Self { num_vars, terms: BTreeMap::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds `weight · ∏ z_i`.
+    pub fn add_term(&mut self, weight: f64, vars: &[usize]) {
+        for &v in vars {
+            assert!(v < self.num_vars, "variable index out of range");
+        }
+        let mut key: Vec<usize> = vars.to_vec();
+        key.sort_unstable();
+        // z² = 1: pairs cancel.
+        let mut reduced = Vec::with_capacity(key.len());
+        let mut i = 0;
+        while i < key.len() {
+            if i + 1 < key.len() && key[i] == key[i + 1] {
+                i += 2;
+            } else {
+                reduced.push(key[i]);
+                i += 1;
+            }
+        }
+        *self.terms.entry(reduced).or_insert(0.0) += weight;
+    }
+
+    /// Iterates `(monomial, weight)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        self.terms.iter().map(|(k, &w)| (k.as_slice(), w))
+    }
+
+    /// Number of monomials.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Highest monomial degree.
+    pub fn order(&self) -> usize {
+        self.terms.keys().map(|k| k.len()).max().unwrap_or(0)
+    }
+
+    /// Removes monomials with |weight| ≤ tol.
+    pub fn prune(&mut self, tol: f64) {
+        self.terms.retain(|_, w| w.abs() > tol);
+    }
+
+    /// Evaluates the cost of an assignment given as a bit index with the
+    /// convention `bit 0 ↔ z = +1`, `bit 1 ↔ z = −1` (so that the Ising and
+    /// boolean evaluations agree through `x = (1 − z)/2`).
+    pub fn evaluate(&self, assignment: usize) -> f64 {
+        self.terms
+            .iter()
+            .map(|(vars, w)| {
+                let sign: f64 = vars
+                    .iter()
+                    .map(|&v| {
+                        if ghs_math::bits::qubit_bit(assignment, v, self.num_vars) == 1 {
+                            -1.0
+                        } else {
+                            1.0
+                        }
+                    })
+                    .product();
+                w * sign
+            })
+            .sum()
+    }
+
+    /// The problem Hamiltonian in the Pauli-`Z` formalism: one bare SCB term
+    /// `q_I ∏ Ẑ_i` per monomial.
+    pub fn to_scb_hamiltonian(&self) -> ScbHamiltonian {
+        let mut h = ScbHamiltonian::new(self.num_vars.max(1));
+        for (vars, w) in &self.terms {
+            let string = if vars.is_empty() {
+                ScbString::identity(self.num_vars.max(1))
+            } else {
+                ScbString::with_op_on(self.num_vars, ScbOp::Z, vars)
+            };
+            h.push(HermitianTerm::bare(*w, string));
+        }
+        h
+    }
+
+    /// Converts to the boolean formalism by substituting `Z = I − 2n̂`.
+    pub fn to_hubo(&self) -> HuboProblem {
+        let mut hubo = HuboProblem::new(self.num_vars);
+        for (vars, w) in &self.terms {
+            let k = vars.len();
+            // ∏ (1 − 2n_i) = Σ_{S⊆vars} (−2)^{|S|} ∏_{i∈S} n_i.
+            for mask in 0..(1usize << k) {
+                let subset: Vec<usize> =
+                    (0..k).filter(|j| mask >> j & 1 == 1).map(|j| vars[j]).collect();
+                let coeff = w * (-2.0f64).powi(subset.len() as i32);
+                hubo.add_term(coeff, &subset);
+            }
+        }
+        hubo.terms.retain(|_, w| w.abs() > 1e-12);
+        hubo
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instance generators
+// ---------------------------------------------------------------------------
+
+/// Dense problem of maximum order `order`: every monomial of degree 1..=order
+/// gets a random weight.
+pub fn random_dense_hubo<R: Rng>(num_vars: usize, order: usize, rng: &mut R) -> HuboProblem {
+    let mut p = HuboProblem::new(num_vars);
+    let mut emit = |vars: &[usize], rng: &mut R| {
+        p.add_term(rng.gen_range(-1.0..1.0), vars);
+    };
+    // Enumerate all non-empty subsets of size ≤ order.
+    for mask in 1usize..(1 << num_vars) {
+        let vars: Vec<usize> = (0..num_vars).filter(|i| mask >> i & 1 == 1).collect();
+        if vars.len() <= order {
+            emit(&vars, rng);
+        }
+    }
+    p
+}
+
+/// Sparse high-order problem: `num_terms` random monomials of exactly
+/// `order` variables (the regime where the paper's direct strategy wins
+/// exponentially).
+pub fn random_sparse_hubo<R: Rng>(
+    num_vars: usize,
+    order: usize,
+    num_terms: usize,
+    rng: &mut R,
+) -> HuboProblem {
+    assert!(order <= num_vars);
+    let mut p = HuboProblem::new(num_vars);
+    for _ in 0..num_terms {
+        let mut vars: Vec<usize> = (0..num_vars).collect();
+        // Partial Fisher–Yates to pick `order` distinct variables.
+        for i in 0..order {
+            let j = rng.gen_range(i..num_vars);
+            vars.swap(i, j);
+        }
+        p.add_term(rng.gen_range(0.5..1.5), &vars[..order]);
+    }
+    p
+}
+
+/// Hypergraph max-cut (the paper's motivating example of Eq. 13): for each
+/// hyperedge `e`, the cost term rewards assignments that are not monochrome.
+/// We use the standard penalty `∏_{i∈e} z_i` on the Ising side, generated
+/// here directly in the Ising formalism.
+pub fn random_hypergraph_maxcut<R: Rng>(
+    num_vars: usize,
+    num_edges: usize,
+    edge_order: usize,
+    rng: &mut R,
+) -> IsingProblem {
+    assert!(edge_order <= num_vars);
+    let mut p = IsingProblem::new(num_vars);
+    for _ in 0..num_edges {
+        let mut vars: Vec<usize> = (0..num_vars).collect();
+        for i in 0..edge_order {
+            let j = rng.gen_range(i..num_vars);
+            vars.swap(i, j);
+        }
+        p.add_term(1.0, &vars[..edge_order]);
+    }
+    p
+}
+
+/// 0/1 knapsack as a HUBO with a quadratic capacity penalty over binary
+/// slack variables: minimise `−Σ v_i x_i + penalty·(Σ w_i x_i + Σ 2^j s_j −
+/// capacity)²`.
+pub fn knapsack_hubo(values: &[f64], weights: &[u32], capacity: u32, penalty: f64) -> HuboProblem {
+    assert_eq!(values.len(), weights.len());
+    let n_items = values.len();
+    // Slack register big enough to express any load up to the capacity.
+    let slack_bits = if capacity == 0 { 0 } else { (32 - capacity.leading_zeros()) as usize };
+    let num_vars = n_items + slack_bits;
+    let mut p = HuboProblem::new(num_vars);
+    // Objective: maximise value → minimise −value.
+    for (i, &v) in values.iter().enumerate() {
+        p.add_term(-v, &[i]);
+    }
+    // Penalty (Σ w_i x_i + Σ 2^j s_j − C)²: expand into monomials of degree
+    // ≤ 2 (boolean squares collapse).
+    let mut linear: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i, w as f64))
+        .collect();
+    for j in 0..slack_bits {
+        linear.push((n_items + j, (1u32 << j) as f64));
+    }
+    let c = capacity as f64;
+    // (Σ a_i x_i − C)² = Σ_i a_i² x_i + 2 Σ_{i<j} a_i a_j x_i x_j − 2C Σ a_i x_i + C².
+    for &(i, a) in &linear {
+        p.add_term(penalty * (a * a - 2.0 * c * a), &[i]);
+    }
+    for idx1 in 0..linear.len() {
+        for idx2 in (idx1 + 1)..linear.len() {
+            let (i, a) = linear[idx1];
+            let (j, b) = linear[idx2];
+            p.add_term(penalty * 2.0 * a * b, &[i, j]);
+        }
+    }
+    p.add_term(penalty * c * c, &[]);
+    p
+}
+
+/// Convenience: the problem Hamiltonian of a HUBO with an imaginary-free
+/// time parameter; re-exported for the QAOA driver.
+pub fn hubo_phase_hamiltonian(problem: &HuboProblem) -> ScbHamiltonian {
+    let _ = Complex64::ONE;
+    problem.to_scb_hamiltonian()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::DEFAULT_TOL;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluation_and_brute_force() {
+        let mut p = HuboProblem::new(3);
+        p.add_term(2.0, &[0]);
+        p.add_term(-3.0, &[1, 2]);
+        p.add_term(1.0, &[0, 1, 2]);
+        // x = 011 → cost = −3; x = 111 → 2 − 3 + 1 = 0.
+        assert_eq!(p.evaluate(0b011), -3.0);
+        assert_eq!(p.evaluate(0b111), 0.0);
+        let (best, cost) = p.brute_force_minimum();
+        assert_eq!(best, 0b011);
+        assert_eq!(cost, -3.0);
+    }
+
+    #[test]
+    fn duplicate_variables_collapse() {
+        let mut p = HuboProblem::new(2);
+        p.add_term(1.0, &[0, 0, 1]);
+        assert_eq!(p.order(), 2);
+        assert_eq!(p.evaluate(0b11), 1.0);
+    }
+
+    #[test]
+    fn hubo_ising_round_trip_preserves_costs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_sparse_hubo(5, 3, 4, &mut rng);
+        let ising = p.to_ising();
+        let back = ising.to_hubo();
+        for x in 0..(1usize << 5) {
+            assert!(
+                (p.evaluate(x) - ising.evaluate(x)).abs() < DEFAULT_TOL,
+                "cost mismatch at {x}"
+            );
+            assert!((p.evaluate(x) - back.evaluate(x)).abs() < DEFAULT_TOL);
+        }
+    }
+
+    #[test]
+    fn formalism_switch_blows_up_sparse_terms() {
+        // A single order-k boolean monomial becomes 2^k Ising monomials
+        // (including the constant), per Section V-A.
+        let mut p = HuboProblem::new(6);
+        p.add_term(1.0, &[0, 1, 2, 3, 4, 5]);
+        let ising = p.to_ising();
+        assert_eq!(ising.num_terms(), 1 << 6);
+    }
+
+    #[test]
+    fn hamiltonian_diagonal_matches_cost() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = random_sparse_hubo(4, 2, 5, &mut rng);
+        let h = p.to_scb_hamiltonian().matrix();
+        for x in 0..(1usize << 4) {
+            assert!((h[(x, x)].re - p.evaluate(x)).abs() < DEFAULT_TOL);
+            assert!(h[(x, x)].im.abs() < DEFAULT_TOL);
+        }
+        // Ising Hamiltonian has the same diagonal.
+        let hi = p.to_ising().to_scb_hamiltonian().matrix();
+        for x in 0..(1usize << 4) {
+            assert!((hi[(x, x)].re - p.evaluate(x)).abs() < DEFAULT_TOL);
+        }
+    }
+
+    #[test]
+    fn dense_generator_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random_dense_hubo(4, 2, &mut rng);
+        // C(4,1) + C(4,2) = 4 + 6 monomials.
+        assert_eq!(p.num_terms(), 10);
+        assert_eq!(p.order(), 2);
+    }
+
+    #[test]
+    fn sparse_generator_has_requested_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = random_sparse_hubo(10, 7, 3, &mut rng);
+        assert_eq!(p.order(), 7);
+        assert!(p.num_terms() <= 3);
+    }
+
+    #[test]
+    fn maxcut_generator_is_ising() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_hypergraph_maxcut(6, 5, 3, &mut rng);
+        assert!(p.num_terms() <= 5);
+        assert_eq!(p.order(), 3);
+    }
+
+    #[test]
+    fn knapsack_optimum_respects_capacity() {
+        // Items: values (6, 5, 4), weights (3, 2, 2), capacity 4 → best is
+        // items {1, 2} with value 9, weight 4.
+        let p = knapsack_hubo(&[6.0, 5.0, 4.0], &[3, 2, 2], 4, 10.0);
+        let (best, _) = p.brute_force_minimum();
+        let n_items = 3;
+        let picked: Vec<usize> = (0..n_items)
+            .filter(|&i| ghs_math::bits::qubit_bit(best, i, p.num_vars()) == 1)
+            .collect();
+        assert_eq!(picked, vec![1, 2]);
+        let total_weight: u32 = picked.iter().map(|&i| [3u32, 2, 2][i]).sum();
+        assert!(total_weight <= 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! Bit-string utilities shared by the operator and circuit layers.
+//!
+//! Convention: qubit `q` of an `n`-qubit register corresponds to bit
+//! `n − 1 − q` of the basis-state index, i.e. qubit 0 is the **most
+//! significant** bit. This matches the paper's notation, where the operator at
+//! tensor position 0 acts on the leftmost digit of `|bin[a]⟩`.
+
+/// Returns the value (0 or 1) of qubit `qubit` in basis-state `index` of an
+/// `n`-qubit register (qubit 0 = most significant bit).
+#[inline(always)]
+pub fn qubit_bit(index: usize, qubit: usize, n: usize) -> u8 {
+    debug_assert!(qubit < n);
+    ((index >> (n - 1 - qubit)) & 1) as u8
+}
+
+/// Sets qubit `qubit` of `index` to `value` (0 or 1).
+#[inline(always)]
+pub fn with_qubit_bit(index: usize, qubit: usize, n: usize, value: u8) -> usize {
+    let pos = n - 1 - qubit;
+    if value == 1 {
+        index | (1 << pos)
+    } else {
+        index & !(1 << pos)
+    }
+}
+
+/// Flips qubit `qubit` of `index`.
+#[inline(always)]
+pub fn flip_qubit_bit(index: usize, qubit: usize, n: usize) -> usize {
+    index ^ (1 << (n - 1 - qubit))
+}
+
+/// Converts a slice of per-qubit bit values (qubit 0 first) into a basis index.
+pub fn bits_to_index(bits: &[u8]) -> usize {
+    bits.iter().fold(0usize, |acc, &b| {
+        debug_assert!(b <= 1);
+        (acc << 1) | b as usize
+    })
+}
+
+/// Converts a basis index into per-qubit bit values (qubit 0 first).
+pub fn index_to_bits(index: usize, n: usize) -> Vec<u8> {
+    (0..n).map(|q| qubit_bit(index, q, n)).collect()
+}
+
+/// Formats a basis index as a ket string such as `|0110⟩`.
+pub fn format_ket(index: usize, n: usize) -> String {
+    let mut s = String::with_capacity(n + 2);
+    s.push('|');
+    for q in 0..n {
+        s.push(if qubit_bit(index, q, n) == 1 { '1' } else { '0' });
+    }
+    s.push('⟩');
+    s
+}
+
+/// Parity (number of ones mod 2) of `index` restricted to the given qubits.
+pub fn parity_on(index: usize, qubits: &[usize], n: usize) -> u8 {
+    qubits.iter().fold(0u8, |acc, &q| acc ^ qubit_bit(index, q, n))
+}
+
+/// Hamming weight of `index`.
+#[inline]
+pub fn popcount(index: usize) -> u32 {
+    index.count_ones()
+}
+
+/// Parses a bit string such as `"0110"` into per-qubit values.
+///
+/// Returns `None` on any character other than `0`/`1`.
+pub fn parse_bits(s: &str) -> Option<Vec<u8>> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Some(0u8),
+            '1' => Some(1u8),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_zero_is_most_significant() {
+        // |10⟩ on 2 qubits is index 2.
+        assert_eq!(bits_to_index(&[1, 0]), 2);
+        assert_eq!(qubit_bit(2, 0, 2), 1);
+        assert_eq!(qubit_bit(2, 1, 2), 0);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for idx in 0..32usize {
+            let bits = index_to_bits(idx, 5);
+            assert_eq!(bits_to_index(&bits), idx);
+        }
+    }
+
+    #[test]
+    fn with_and_flip() {
+        let idx = bits_to_index(&[1, 0, 1]);
+        assert_eq!(with_qubit_bit(idx, 1, 3, 1), bits_to_index(&[1, 1, 1]));
+        assert_eq!(with_qubit_bit(idx, 0, 3, 0), bits_to_index(&[0, 0, 1]));
+        assert_eq!(flip_qubit_bit(idx, 2, 3), bits_to_index(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn ket_formatting_and_parsing() {
+        assert_eq!(format_ket(5, 4), "|0101⟩");
+        assert_eq!(parse_bits("0101"), Some(vec![0, 1, 0, 1]));
+        assert_eq!(parse_bits("01x1"), None);
+    }
+
+    #[test]
+    fn parity_and_popcount() {
+        let idx = bits_to_index(&[1, 1, 0, 1]);
+        assert_eq!(parity_on(idx, &[0, 1], 4), 0);
+        assert_eq!(parity_on(idx, &[0, 2], 4), 1);
+        assert_eq!(popcount(idx), 3);
+    }
+
+    #[test]
+    fn paper_example_1222_1145() {
+        // The paper's §V-D example: a = 1222 = 10011000110₂ (11 bits),
+        // b = 1145 = 10001111001₂.
+        assert_eq!(bits_to_index(&parse_bits("10011000110").unwrap()), 1222);
+        assert_eq!(bits_to_index(&parse_bits("10001111001").unwrap()), 1145);
+    }
+}

@@ -1,0 +1,358 @@
+//! Minimal complex arithmetic used throughout the workspace.
+//!
+//! The workspace deliberately avoids an external complex-number dependency: the
+//! quantum-simulation kernels only need a small, predictable `Copy` type with
+//! inlined arithmetic, and owning the implementation lets the state-vector
+//! simulator control layout (`#[repr(C)]`, 16 bytes) for cache-friendly access.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for a [`Complex64`].
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// Additive identity.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline(always)]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Creates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaNs for zero input.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self { re: r * self.im.cos(), im: r * self.im.sin() }
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Multiply by the imaginary unit (cheaper than a full complex multiply).
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Self { re: -self.im, im: self.re }
+    }
+
+    /// Multiply by `-i`.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        Self { re: self.im, im: -self.re }
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// True when both parts are within `tol` of the other value's.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// True when `|z| <= tol`.
+    #[inline]
+    pub fn is_approx_zero(self, tol: f64) -> bool {
+        self.abs() <= tol
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        Self { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = c64(1.0, 2.0);
+        let b = c64(3.0, -1.0);
+        assert!((a + b).approx_eq(c64(4.0, 1.0), TOL));
+        assert!((a - b).approx_eq(c64(-2.0, 3.0), TOL));
+        assert!((a * b).approx_eq(c64(5.0, 5.0), TOL));
+        assert!((-a).approx_eq(c64(-1.0, -2.0), TOL));
+    }
+
+    #[test]
+    fn division_is_inverse_of_multiplication() {
+        let a = c64(1.5, -2.25);
+        let b = c64(-0.5, 3.0);
+        let q = a / b;
+        assert!((q * b).approx_eq(a, TOL));
+        assert!((a * a.inv()).approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = c64(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert!((a * a.conj()).approx_eq(c64(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let theta = 1.234;
+        let z = Complex64::imag(theta).exp();
+        assert!(z.approx_eq(Complex64::cis(theta), TOL));
+        // e^{iπ} = -1
+        assert!(Complex64::imag(std::f64::consts::PI)
+            .exp()
+            .approx_eq(c64(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = c64(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!((s * s).approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let z = c64(2.0, -5.0);
+        assert!(z.mul_i().approx_eq(z * Complex64::I, TOL));
+        assert!(z.mul_neg_i().approx_eq(z * -Complex64::I, TOL));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![c64(1.0, 1.0), c64(2.0, -0.5), c64(-3.0, 0.25)];
+        let s: Complex64 = v.iter().sum();
+        assert!(s.approx_eq(c64(0.0, 0.75), TOL));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1.000000-2.000000i");
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1.000000+2.000000i");
+    }
+}

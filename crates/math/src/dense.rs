@@ -1,0 +1,553 @@
+//! Dense complex matrices.
+//!
+//! These are used for exact verification of quantum circuits against their
+//! defining linear-algebra objects (Hamiltonians, unitaries, block-encodings).
+//! The matrices involved are at most `2^n × 2^n` for small `n`, so a simple
+//! row-major `Vec<Complex64>` layout with straightforward `O(n³)`
+//! multiplication is appropriate; rayon parallelises the row loop for the
+//! larger verification cases.
+
+use crate::complex::{c64, Complex64};
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Row-major dense complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices of real numbers (test helper).
+    pub fn from_real_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend(row.iter().map(|&x| c64(x, 0.0)));
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from nested row slices of complex numbers.
+    pub fn from_rows(rows: &[&[Complex64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[Complex64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    #[inline]
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Returns the `r`-th row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Complex64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor with bounds checking through the slice index.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> Complex64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: Complex64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        out
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        let data = self.data.iter().map(|z| z.conj()).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, s: Complex64) -> Self {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place scaled accumulation `self += s·other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Self, s: Complex64) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b * s;
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Self::zeros(n, m);
+        // Parallelise over output rows; the i-k-j loop order keeps the rhs row
+        // access contiguous which matters for the larger verification matrices.
+        out.data
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for p in 0..k {
+                    let a = self.data[i * k + p];
+                    if a.norm_sqr() == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[p * m..(p + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = Self::zeros(rows, cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker product of a sequence of factors, left-to-right
+    /// (`factors[0] ⊗ factors[1] ⊗ …`).
+    pub fn kron_all(factors: &[&Self]) -> Self {
+        assert!(!factors.is_empty(), "kron_all needs at least one factor");
+        let mut acc = factors[0].clone();
+        for f in &factors[1..] {
+            acc = acc.kron(f);
+        }
+        acc
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square());
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry magnitude (max norm).
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// 1-norm (maximum absolute column sum); used to scale matrix exponentials.
+    pub fn one_norm(&self) -> f64 {
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self[(r, c)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius distance `‖self − other‖_F`.
+    pub fn distance(&self, other: &Self) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Entry-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Approximate equality up to a global phase `e^{iφ}`.
+    ///
+    /// Returns the phase when it exists. This matters when comparing circuit
+    /// unitaries that legitimately differ from the target by a global phase.
+    pub fn approx_eq_up_to_phase(&self, other: &Self, tol: f64) -> Option<Complex64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        // Find the largest-magnitude entry of `other` to fix the phase.
+        let (mut best, mut idx) = (0.0, 0usize);
+        for (i, z) in other.data.iter().enumerate() {
+            if z.abs() > best {
+                best = z.abs();
+                idx = i;
+            }
+        }
+        if best <= tol {
+            return if self.max_norm() <= tol { Some(Complex64::ONE) } else { None };
+        }
+        let phase = self.data[idx] / other.data[idx];
+        if (phase.abs() - 1.0).abs() > 10.0 * tol {
+            return None;
+        }
+        if self.approx_eq(&other.scale(phase), tol) {
+            Some(phase)
+        } else {
+            None
+        }
+    }
+
+    /// True when `A A† ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.matmul(&self.dagger())
+            .approx_eq(&Self::identity(self.rows), tol)
+    }
+
+    /// True when `A ≈ A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// Extracts the sub-block with row range `r0..r0+h` and column range `c0..c0+w`.
+    pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        let mut out = Self::zeros(h, w);
+        for i in 0..h {
+            for j in 0..w {
+                out[(i, j)] = self[(r0 + i, c0 + j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix power by repeated squaring (non-negative integer exponents).
+    pub fn pow(&self, mut e: u32) -> Self {
+        assert!(self.is_square());
+        let mut base = self.clone();
+        let mut acc = Self::identity(self.rows);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.matmul(&base);
+            }
+            base = base.matmul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a + *b)
+            .collect();
+        CMatrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a - *b)
+            .collect();
+        CMatrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(16) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(16) {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[
+            &[Complex64::ZERO, c64(0.0, -1.0)],
+            &[c64(0.0, 1.0), Complex64::ZERO],
+        ])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]])
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        assert!(x.matmul(&id).approx_eq(&x, TOL));
+        assert!(id.matmul(&x).approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn pauli_algebra_xy_equals_iz() {
+        let xy = pauli_x().matmul(&pauli_y());
+        let iz = pauli_z().scale(Complex64::I);
+        assert!(xy.approx_eq(&iz, TOL));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_unitary(TOL));
+            assert!(p.is_hermitian(TOL));
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.kron(&z);
+        assert_eq!(xz.rows(), 4);
+        assert_eq!(xz.cols(), 4);
+        // (X ⊗ Z)[0,2] = X[0,1]·Z[0,0] = 1
+        assert!(xz[(0, 2)].approx_eq(Complex64::ONE, TOL));
+        assert!(xz[(1, 3)].approx_eq(c64(-1.0, 0.0), TOL));
+        assert!(xz.is_unitary(TOL));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = CMatrix::identity(2);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn dagger_and_trace() {
+        let m = CMatrix::from_rows(&[
+            &[c64(1.0, 2.0), c64(3.0, -1.0)],
+            &[c64(0.0, 1.0), c64(-2.0, 0.5)],
+        ]);
+        let d = m.dagger();
+        assert!(d[(0, 1)].approx_eq(c64(0.0, -1.0), TOL));
+        assert!(d[(1, 0)].approx_eq(c64(3.0, 1.0), TOL));
+        assert!(m.trace().approx_eq(c64(-1.0, 2.5), TOL));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = pauli_y();
+        let v = vec![c64(1.0, 0.0), c64(0.5, -0.5)];
+        let got = m.matvec(&v);
+        let as_mat = CMatrix::from_vec(2, 1, v.clone());
+        let expect = m.matmul(&as_mat);
+        assert!(got[0].approx_eq(expect[(0, 0)], TOL));
+        assert!(got[1].approx_eq(expect[(1, 0)], TOL));
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = pauli_x().kron(&pauli_z());
+        let b = m.block(0, 2, 2, 2);
+        assert!(b.approx_eq(&pauli_z(), TOL));
+    }
+
+    #[test]
+    fn pow_repeated_squaring() {
+        let x = pauli_x();
+        assert!(x.pow(0).approx_eq(&CMatrix::identity(2), TOL));
+        assert!(x.pow(2).approx_eq(&CMatrix::identity(2), TOL));
+        assert!(x.pow(5).approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn approx_eq_up_to_phase_detects_phase() {
+        let x = pauli_x();
+        let phased = x.scale(Complex64::cis(0.3));
+        let phase = phased.approx_eq_up_to_phase(&x, 1e-10).expect("phase");
+        assert!(phase.approx_eq(Complex64::cis(0.3), 1e-10));
+        assert!(x.approx_eq_up_to_phase(&pauli_z(), 1e-10).is_none());
+    }
+
+    #[test]
+    fn norms() {
+        let m = CMatrix::from_real_rows(&[&[3.0, 0.0], &[4.0, 0.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < TOL);
+        assert!((m.one_norm() - 7.0).abs() < TOL);
+        assert!((m.max_norm() - 4.0).abs() < TOL);
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal Hermitian eigenvalue routines (power iteration), used by the
+//! chemistry application to compute reference ground-state energies without
+//! pulling in an external linear-algebra dependency.
+
+use crate::complex::Complex64;
+use crate::expm::{vec_inner, vec_norm};
+use crate::sparse::SparseMatrix;
+
+/// Rayleigh quotient `⟨v|A|v⟩ / ⟨v|v⟩` (real part; `A` is assumed Hermitian).
+pub fn rayleigh_quotient(a: &SparseMatrix, v: &[Complex64]) -> f64 {
+    let av = a.matvec(v);
+    let num = vec_inner(v, &av);
+    let den = vec_norm(v).powi(2);
+    num.re / den
+}
+
+/// Largest-magnitude eigenvalue of a Hermitian matrix by power iteration.
+///
+/// Returns `(eigenvalue, eigenvector)`. Deterministic start vector; `iters`
+/// in the low hundreds suffices for the small spectral problems of the
+/// workspace.
+pub fn dominant_eigenvalue(a: &SparseMatrix, iters: usize) -> (f64, Vec<Complex64>) {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    // Deterministic, generic starting vector (non-orthogonal to almost any
+    // eigenvector).
+    let mut v: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new(1.0 + (i as f64 * 0.7311).sin(), (i as f64 * 0.2913).cos()))
+        .collect();
+    let norm = vec_norm(&v);
+    for x in &mut v {
+        *x = x.scale(1.0 / norm);
+    }
+    let mut lambda = 0.0;
+    for _ in 0..iters {
+        let mut av = a.matvec(&v);
+        let norm = vec_norm(&av);
+        if norm < 1e-300 {
+            return (0.0, v);
+        }
+        for x in &mut av {
+            *x = x.scale(1.0 / norm);
+        }
+        v = av;
+        lambda = rayleigh_quotient(a, &v);
+    }
+    (lambda, v)
+}
+
+/// Smallest eigenvalue of a Hermitian matrix via a spectral shift:
+/// power-iterate `σI − A` with `σ` an upper bound on the spectrum
+/// (Gershgorin), then un-shift.
+pub fn min_hermitian_eigenvalue(a: &SparseMatrix, iters: usize) -> (f64, Vec<Complex64>) {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    // Gershgorin upper bound: max_i (Re a_ii + Σ_{j≠i} |a_ij|).
+    let mut sigma = f64::NEG_INFINITY;
+    let mut row_diag = vec![0.0f64; n];
+    let mut row_off = vec![0.0f64; n];
+    for (r, c, v) in a.iter() {
+        if r == c {
+            row_diag[r] += v.re;
+        } else {
+            row_off[r] += v.abs();
+        }
+    }
+    for i in 0..n {
+        sigma = sigma.max(row_diag[i] + row_off[i]);
+    }
+    if !sigma.is_finite() {
+        sigma = 0.0;
+    }
+    sigma += 1.0;
+    // Shifted matrix σI − A.
+    let shifted = SparseMatrix::identity(n)
+        .scale(Complex64::real(sigma))
+        .add_scaled(a, Complex64::real(-1.0));
+    let (lam, vec) = dominant_eigenvalue(&shifted, iters);
+    (sigma - lam, vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::dense::CMatrix;
+
+    #[test]
+    fn diagonal_matrix_extremes() {
+        let d = CMatrix::from_diagonal(&[c64(-3.0, 0.0), c64(1.0, 0.0), c64(5.0, 0.0)]);
+        let s = SparseMatrix::from_dense(&d, 0.0);
+        let (max, _) = dominant_eigenvalue(&s, 300);
+        assert!((max - 5.0).abs() < 1e-6);
+        let (min, _) = min_hermitian_eigenvalue(&s, 300);
+        assert!((min + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues() {
+        let x = CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let s = SparseMatrix::from_dense(&x, 0.0);
+        let (min, v) = min_hermitian_eigenvalue(&s, 500);
+        assert!((min + 1.0).abs() < 1e-6);
+        // Eigenvector is (1, −1)/√2 up to phase.
+        let ratio = v[1] / v[0];
+        assert!((ratio.re + 1.0).abs() < 1e-4 && ratio.im.abs() < 1e-4);
+    }
+
+    #[test]
+    fn hermitian_random_matrix_bracketing() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 12;
+        let mut m = CMatrix::zeros(n, n);
+        for r in 0..n {
+            for c in r..n {
+                let v = if r == c {
+                    c64(rng.gen_range(-1.0..1.0), 0.0)
+                } else {
+                    c64(rng.gen_range(-0.3..0.3), rng.gen_range(-0.3..0.3))
+                };
+                m[(r, c)] = v;
+                m[(c, r)] = v.conj();
+            }
+        }
+        let s = SparseMatrix::from_dense(&m, 0.0);
+        let (min, vmin) = min_hermitian_eigenvalue(&s, 800);
+        let (max, _) = dominant_eigenvalue(&s, 800);
+        // Rayleigh quotients of arbitrary vectors are bracketed.
+        let probe: Vec<Complex64> = (0..n).map(|i| c64(1.0, i as f64 * 0.1)).collect();
+        let rq = rayleigh_quotient(&s, &probe);
+        assert!(min <= rq + 1e-6);
+        assert!(rq <= max.abs() + 1e-6);
+        // The returned eigenvector achieves the minimum.
+        assert!((rayleigh_quotient(&s, &vmin) - min).abs() < 1e-5);
+    }
+}

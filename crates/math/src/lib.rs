@@ -1,0 +1,33 @@
+//! # ghs-math
+//!
+//! Linear-algebra substrate for the gate-efficient Hamiltonian-simulation
+//! workspace: complex scalars, dense and sparse complex matrices, Kronecker
+//! products, matrix exponentials and exponential actions, plus bit-string
+//! utilities shared by the operator and circuit layers.
+//!
+//! Everything here is deliberately dependency-light (only `rayon` for the
+//! data-parallel kernels) so the higher layers can rely on a small, auditable
+//! numerical core.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod complex;
+pub mod dense;
+pub mod eigen;
+pub mod expm;
+pub mod sparse;
+
+pub use complex::{c64, Complex64};
+pub use dense::CMatrix;
+pub use eigen::{dominant_eigenvalue, min_hermitian_eigenvalue, rayleigh_quotient};
+pub use expm::{
+    expm, expm_minus_i_theta, expm_multiply, expm_multiply_minus_i_theta, expm_plus_i_theta,
+    vec_distance, vec_inner, vec_norm,
+};
+pub use sparse::{CooMatrix, SparseMatrix};
+
+/// Default numerical tolerance used by the verification tests of the
+/// workspace (well above accumulated round-off for ≤ 2¹⁵-dimensional
+/// problems, well below any structural error).
+pub const DEFAULT_TOL: f64 = 1e-9;

@@ -1,0 +1,372 @@
+//! Sparse complex matrices (COO construction, CSR execution).
+//!
+//! The finite-difference application and the large verification cases
+//! (e.g. the 15-qubit example term of Fig. 2 of the paper) produce matrices
+//! far too large to store densely, but with only a handful of non-zeros per
+//! row. `SparseMatrix` supports the operations needed by the workspace:
+//! scaled accumulation, Kronecker products, matrix-vector products and the
+//! Hermitian checks used by the tests.
+
+use crate::complex::Complex64;
+use crate::dense::CMatrix;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Coordinate-format builder for sparse matrices.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, Complex64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty COO matrix with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicate coordinates accumulate.
+    pub fn push(&mut self, row: usize, col: usize, value: Complex64) {
+        assert!(row < self.rows && col < self.cols, "entry out of bounds");
+        if value.norm_sqr() != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Number of (possibly duplicated) stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Converts to CSR, merging duplicate coordinates.
+    pub fn to_csr(&self) -> SparseMatrix {
+        let mut merged: HashMap<(usize, usize), Complex64> = HashMap::new();
+        for &(r, c, v) in &self.entries {
+            *merged.entry((r, c)).or_insert(Complex64::ZERO) += v;
+        }
+        let mut triplets: Vec<_> = merged
+            .into_iter()
+            .filter(|(_, v)| v.abs() > 0.0)
+            .map(|((r, c), v)| (r, c, v))
+            .collect();
+        triplets.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        for &(r, c, v) in &triplets {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        SparseMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed-sparse-row complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<Complex64>,
+}
+
+impl SparseMatrix {
+    /// The `n × n` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, Complex64::ONE);
+        }
+        coo.to_csr()
+    }
+
+    /// Builds a sparse matrix from a dense one (dropping entries below `tol`).
+    pub fn from_dense(m: &CMatrix, tol: f64) -> Self {
+        let mut coo = CooMatrix::new(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m.get(r, c);
+                if v.abs() > tol {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Builds directly from sorted triplets (testing convenience).
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, Complex64)]) -> Self {
+        let mut coo = CooMatrix::new(rows, cols);
+        for &(r, c, v) in triplets {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Complex64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1])
+                .map(move |k| (r, self.col_idx[k], self.values[k]))
+        })
+    }
+
+    /// Value at `(r, c)` (zero when not stored).
+    pub fn get(&self, r: usize, c: usize) -> Complex64 {
+        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+            if self.col_idx[k] == c {
+                return self.values[k];
+            }
+        }
+        Complex64::ZERO
+    }
+
+    /// Converts to a dense matrix (only for small shapes).
+    pub fn to_dense(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Matrix-vector product `A·v`, parallelised over rows.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        let mut out = vec![Complex64::ZERO; self.rows];
+        out.par_iter_mut().enumerate().for_each(|(r, o)| {
+            let mut acc = Complex64::ZERO;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * v[self.col_idx[k]];
+            }
+            *o = acc;
+        });
+        out
+    }
+
+    /// Scaled sum `self + s·other`.
+    pub fn add_scaled(&self, other: &Self, s: Complex64) -> Self {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut coo = CooMatrix::new(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        for (r, c, v) in other.iter() {
+            coo.push(r, c, v * s);
+        }
+        coo.to_csr()
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, s: Complex64) -> Self {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = *v * s;
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Self {
+        let mut coo = CooMatrix::new(self.cols, self.rows);
+        for (r, c, v) in self.iter() {
+            coo.push(c, r, v.conj());
+        }
+        coo.to_csr()
+    }
+
+    /// Sparse matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut coo = CooMatrix::new(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            let mut row_acc: HashMap<usize, Complex64> = HashMap::new();
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let a = self.values[k];
+                let mid = self.col_idx[k];
+                for k2 in rhs.row_ptr[mid]..rhs.row_ptr[mid + 1] {
+                    *row_acc.entry(rhs.col_idx[k2]).or_insert(Complex64::ZERO) += a * rhs.values[k2];
+                }
+            }
+            for (c, v) in row_acc {
+                coo.push(r, c, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let mut coo = CooMatrix::new(self.rows * rhs.rows, self.cols * rhs.cols);
+        for (r1, c1, v1) in self.iter() {
+            for (r2, c2, v2) in rhs.iter() {
+                coo.push(r1 * rhs.rows + r2, c1 * rhs.cols + c2, v1 * v2);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// 1-norm (max column absolute sum).
+    pub fn one_norm(&self) -> f64 {
+        let mut col_sum = vec![0.0f64; self.cols];
+        for (_, c, v) in self.iter() {
+            col_sum[c] += v.abs();
+        }
+        col_sum.into_iter().fold(0.0, f64::max)
+    }
+
+    /// True when `A ≈ A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for (r, c, v) in self.iter() {
+            if !self.get(c, r).conj().approx_eq(v, tol) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        self.add_scaled(other, Complex64::real(-1.0)).frobenius_norm() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    const TOL: f64 = 1e-12;
+
+    fn small() -> SparseMatrix {
+        SparseMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, c64(2.0, 0.0)),
+                (0, 2, c64(0.0, 1.0)),
+                (1, 1, c64(-1.0, 0.0)),
+                (2, 0, c64(0.0, -1.0)),
+                (2, 2, c64(3.0, 0.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn coo_accumulates_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, c64(1.0, 0.0));
+        coo.push(0, 0, c64(2.0, 0.0));
+        coo.push(1, 1, c64(-3.0, 0.0));
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert!(csr.get(0, 0).approx_eq(c64(3.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s = small();
+        let d = s.to_dense();
+        let s2 = SparseMatrix::from_dense(&d, 0.0);
+        assert!(s.approx_eq(&s2, TOL));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let s = small();
+        let v = vec![c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 0.5)];
+        let got = s.matvec(&v);
+        let expect = s.to_dense().matvec(&v);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!(g.approx_eq(*e, TOL));
+        }
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let a = small();
+        let b = small().dagger();
+        let got = a.matmul(&b).to_dense();
+        let expect = a.to_dense().matmul(&b.to_dense());
+        assert!(got.approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn kron_matches_dense() {
+        let a = small();
+        let id = SparseMatrix::identity(2);
+        let got = a.kron(&id).to_dense();
+        let expect = a.to_dense().kron(&CMatrix::identity(2));
+        assert!(got.approx_eq(&expect, TOL));
+    }
+
+    #[test]
+    fn hermitian_check() {
+        let s = small();
+        assert!(s.is_hermitian(TOL)); // constructed Hermitian
+        let ns = SparseMatrix::from_triplets(2, 2, &[(0, 1, c64(1.0, 0.0))]);
+        assert!(!ns.is_hermitian(TOL));
+    }
+
+    #[test]
+    fn add_scaled_and_norms() {
+        let s = small();
+        let z = s.add_scaled(&s, c64(-1.0, 0.0));
+        assert!(z.frobenius_norm() < TOL);
+        assert!(s.one_norm() > 0.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let id = SparseMatrix::identity(4);
+        let v = vec![c64(1.0, 2.0), c64(0.0, 0.0), c64(-1.0, 0.0), c64(0.5, 0.5)];
+        let got = id.matvec(&v);
+        for (g, e) in got.iter().zip(v.iter()) {
+            assert!(g.approx_eq(*e, TOL));
+        }
+    }
+}

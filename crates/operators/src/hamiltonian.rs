@@ -1,0 +1,407 @@
+//! Hermitian terms `γ·Â + h.c.` and sums of them (Eq. 5 of the paper).
+//!
+//! A [`HermitianTerm`] is the paper's elementary object: either an already
+//! Hermitian SCB string with a real weight, or a non-Hermitian string paired
+//! with its Hermitian conjugate. An [`ScbHamiltonian`] is a sum of such
+//! terms — the "natural formulation" the direct strategy exponentiates term
+//! by term.
+
+use crate::pauli::PauliSum;
+use crate::string::{ScbString, ScbTerm};
+use ghs_math::{CMatrix, Complex64, CooMatrix, SparseMatrix};
+use std::fmt;
+
+/// One Hermitian summand of a Hamiltonian in the SCB formalism.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HermitianTerm {
+    /// Weight `γ` of the string.
+    pub coeff: Complex64,
+    /// The SCB string `Â`.
+    pub string: ScbString,
+    /// When true the term represents `γ·Â + γ*·Â†`; when false it is
+    /// `γ·Â` with `Â` Hermitian and `γ` real.
+    pub add_hc: bool,
+}
+
+impl HermitianTerm {
+    /// Builds `γ·Â + h.c.` (always pairs with the conjugate).
+    pub fn paired(coeff: Complex64, string: ScbString) -> Self {
+        Self { coeff, string, add_hc: true }
+    }
+
+    /// Builds a bare Hermitian term `γ·Â` with real `γ` and Hermitian `Â`.
+    ///
+    /// # Panics
+    /// Panics if the string is not Hermitian.
+    pub fn bare(coeff: f64, string: ScbString) -> Self {
+        assert!(
+            string.is_hermitian(),
+            "bare terms require a Hermitian SCB string (no ladder operators)"
+        );
+        Self { coeff: Complex64::real(coeff), string, add_hc: false }
+    }
+
+    /// Chooses automatically: strings containing ladder operators are paired
+    /// with their Hermitian conjugate, Hermitian strings are kept bare with
+    /// the real part of the weight.
+    pub fn auto(coeff: Complex64, string: ScbString) -> Self {
+        if string.is_hermitian() {
+            Self { coeff: Complex64::real(coeff.re), string, add_hc: false }
+        } else {
+            Self { coeff, string, add_hc: true }
+        }
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.string.num_qubits()
+    }
+
+    /// The weighted strings that make up the term (`γ·Â` and, for paired
+    /// terms, `γ*·Â†`).
+    pub fn expanded(&self) -> Vec<ScbTerm> {
+        let base = ScbTerm::new(self.coeff, self.string.clone());
+        if self.add_hc {
+            let dag = base.dagger();
+            vec![base, dag]
+        } else {
+            vec![base]
+        }
+    }
+
+    /// Dense matrix of the term.
+    pub fn matrix(&self) -> CMatrix {
+        let dim = 1usize << self.num_qubits();
+        let mut acc = CMatrix::zeros(dim, dim);
+        for t in self.expanded() {
+            acc.add_scaled(&t.string.matrix(), t.coeff);
+        }
+        acc
+    }
+
+    /// Sparse matrix of the term.
+    pub fn sparse_matrix(&self) -> SparseMatrix {
+        crate::string::sparse_sum(self.num_qubits(), &self.expanded())
+    }
+
+    /// Pauli-sum (usual-strategy) expansion of the term.
+    pub fn to_pauli_sum(&self) -> PauliSum {
+        let mut acc = PauliSum::zero(self.num_qubits());
+        for t in self.expanded() {
+            acc.add_scaled(&t.string.to_pauli_sum(), t.coeff);
+        }
+        acc
+    }
+
+    /// Number of Pauli fragments of the usual-strategy expansion (after
+    /// cancellation between `Â` and `Â†`).
+    pub fn pauli_fragment_count(&self) -> usize {
+        self.to_pauli_sum().num_terms()
+    }
+
+    /// The "order" of the term: number of non-identity factors.
+    pub fn order(&self) -> usize {
+        self.string.order()
+    }
+}
+
+impl fmt::Display for HermitianTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})·{}", self.coeff, self.string)?;
+        if self.add_hc {
+            write!(f, " + h.c.")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Hamiltonian expressed as a sum of Hermitian SCB terms (Eq. 5).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScbHamiltonian {
+    num_qubits: usize,
+    terms: Vec<HermitianTerm>,
+}
+
+impl ScbHamiltonian {
+    /// Empty Hamiltonian on `n` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self { num_qubits, terms: Vec::new() }
+    }
+
+    /// Builds from a list of terms.
+    pub fn from_terms(num_qubits: usize, terms: Vec<HermitianTerm>) -> Self {
+        for t in &terms {
+            assert_eq!(t.num_qubits(), num_qubits, "mixed register sizes");
+        }
+        Self { num_qubits, terms }
+    }
+
+    /// Gathers an *exact* weighted-string sum `Σ_k γ_k Â_k` (no implicit
+    /// Hermitian conjugates; the sum itself must be Hermitian) into paired /
+    /// bare Hermitian terms — the "gathering" step of Eq. 5 of the paper.
+    ///
+    /// Strings are grouped with their Hermitian conjugates; for every
+    /// non-Hermitian string the conjugate's accumulated weight must match the
+    /// conjugate of the string's weight (this is what Hermiticity of the sum
+    /// guarantees for sums produced by e.g. the Jordan–Wigner mapping).
+    ///
+    /// # Panics
+    /// Panics when the input sum is detectably non-Hermitian (imaginary
+    /// weight on a Hermitian string, or mismatched conjugate weights).
+    pub fn from_exact_sum(num_qubits: usize, terms: &[ScbTerm]) -> Self {
+        use std::collections::BTreeMap;
+        let tol = 1e-10;
+        let mut by_string: BTreeMap<ScbString, Complex64> = BTreeMap::new();
+        for t in terms {
+            assert_eq!(t.string.num_qubits(), num_qubits, "register size mismatch");
+            *by_string.entry(t.string.clone()).or_insert(Complex64::ZERO) += t.coeff;
+        }
+        let mut h = Self::new(num_qubits);
+        let strings: Vec<ScbString> = by_string.keys().cloned().collect();
+        for s in strings {
+            let Some(&coeff) = by_string.get(&s) else { continue };
+            if coeff.abs() <= tol {
+                continue;
+            }
+            if s.is_hermitian() {
+                assert!(
+                    coeff.im.abs() <= tol,
+                    "non-Hermitian sum: imaginary weight {coeff} on Hermitian string {s}"
+                );
+                h.push(HermitianTerm::bare(coeff.re, s.clone()));
+                by_string.remove(&s);
+            } else {
+                let dag = s.dagger();
+                let dag_coeff = by_string.get(&dag).copied().unwrap_or(Complex64::ZERO);
+                assert!(
+                    dag_coeff.approx_eq(coeff.conj(), 1e-8),
+                    "non-Hermitian sum: weight of {dag} is {dag_coeff}, expected conj of {coeff}"
+                );
+                h.push(HermitianTerm::paired(coeff, s.clone()));
+                by_string.remove(&s);
+                by_string.remove(&dag);
+            }
+        }
+        h
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The terms of the sum.
+    pub fn terms(&self) -> &[HermitianTerm] {
+        &self.terms
+    }
+
+    /// Number of summed terms (the paper's per-Trotter-step rotation count).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Appends a term.
+    pub fn push(&mut self, term: HermitianTerm) {
+        assert_eq!(term.num_qubits(), self.num_qubits, "register size mismatch");
+        self.terms.push(term);
+    }
+
+    /// Appends `γ·Â + h.c.`.
+    pub fn push_paired(&mut self, coeff: Complex64, string: ScbString) {
+        self.push(HermitianTerm::paired(coeff, string));
+    }
+
+    /// Appends a bare Hermitian term.
+    pub fn push_bare(&mut self, coeff: f64, string: ScbString) {
+        self.push(HermitianTerm::bare(coeff, string));
+    }
+
+    /// Dense matrix (small registers only).
+    pub fn matrix(&self) -> CMatrix {
+        let dim = 1usize << self.num_qubits;
+        let mut acc = CMatrix::zeros(dim, dim);
+        for t in &self.terms {
+            acc.add_scaled(&t.matrix(), Complex64::ONE);
+        }
+        acc
+    }
+
+    /// Sparse matrix.
+    pub fn sparse_matrix(&self) -> SparseMatrix {
+        let dim = 1usize << self.num_qubits;
+        let mut acc = CooMatrix::new(dim, dim);
+        for t in &self.terms {
+            for (r, c, v) in t.sparse_matrix().iter() {
+                acc.push(r, c, v);
+            }
+        }
+        acc.to_csr()
+    }
+
+    /// Usual-strategy Pauli-sum of the whole Hamiltonian.
+    pub fn to_pauli_sum(&self) -> PauliSum {
+        let mut acc = PauliSum::zero(self.num_qubits);
+        for t in &self.terms {
+            acc.add_scaled(&t.to_pauli_sum(), Complex64::ONE);
+        }
+        acc
+    }
+
+    /// Sum of `|γ|` over the expanded weighted strings (used as the LCU
+    /// normalisation of block-encodings).
+    pub fn coefficient_one_norm(&self) -> f64 {
+        self.terms
+            .iter()
+            .flat_map(|t| t.expanded())
+            .map(|t| t.coeff.abs())
+            .sum()
+    }
+
+    /// True when every pair of expanded strings commutes as matrices; used to
+    /// decide whether the product formula is exact (e.g. for HUBO problems).
+    pub fn all_terms_commute(&self) -> bool {
+        let mats: Vec<SparseMatrix> = self.terms.iter().map(|t| t.sparse_matrix()).collect();
+        for i in 0..mats.len() {
+            for j in (i + 1)..mats.len() {
+                let ab = mats[i].matmul(&mats[j]);
+                let ba = mats[j].matmul(&mats[i]);
+                if !ab.approx_eq(&ba, 1e-9) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for ScbHamiltonian {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  +  ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scb::ScbOp;
+    use ghs_math::{c64, DEFAULT_TOL};
+
+    #[test]
+    fn paired_term_is_hermitian() {
+        let s = ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Z]);
+        let t = HermitianTerm::paired(c64(0.3, 0.7), s);
+        assert!(t.matrix().is_hermitian(DEFAULT_TOL));
+        assert!(t.sparse_matrix().is_hermitian(DEFAULT_TOL));
+        assert_eq!(t.expanded().len(), 2);
+    }
+
+    #[test]
+    fn bare_term_requires_hermitian_string() {
+        let s = ScbString::new(vec![ScbOp::N, ScbOp::Z]);
+        let t = HermitianTerm::bare(-1.5, s);
+        assert!(t.matrix().is_hermitian(DEFAULT_TOL));
+        assert_eq!(t.expanded().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn bare_term_panics_on_ladder() {
+        let s = ScbString::new(vec![ScbOp::Sigma]);
+        let _ = HermitianTerm::bare(1.0, s);
+    }
+
+    #[test]
+    fn auto_constructor_picks_mode() {
+        let herm = HermitianTerm::auto(c64(2.0, 5.0), ScbString::with_op_on(2, ScbOp::Z, &[0]));
+        assert!(!herm.add_hc);
+        assert!(herm.coeff.approx_eq(c64(2.0, 0.0), DEFAULT_TOL));
+        let ladder = HermitianTerm::auto(c64(2.0, 5.0), ScbString::with_op_on(2, ScbOp::Sigma, &[0]));
+        assert!(ladder.add_hc);
+    }
+
+    #[test]
+    fn hamiltonian_matrix_and_pauli_sum_agree() {
+        let mut h = ScbHamiltonian::new(3);
+        h.push_paired(
+            c64(0.5, -0.25),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Z, ScbOp::Sigma]),
+        );
+        h.push_bare(0.75, ScbString::new(vec![ScbOp::N, ScbOp::I, ScbOp::M]));
+        h.push_bare(-0.3, ScbString::with_op_on(3, ScbOp::X, &[1]));
+        assert_eq!(h.num_terms(), 3);
+        let dense = h.matrix();
+        assert!(dense.is_hermitian(DEFAULT_TOL));
+        assert!(h.sparse_matrix().to_dense().approx_eq(&dense, DEFAULT_TOL));
+        assert!(h.to_pauli_sum().matrix().approx_eq(&dense, 1e-10));
+    }
+
+    #[test]
+    fn commuting_detection() {
+        // Diagonal terms always commute.
+        let mut h = ScbHamiltonian::new(2);
+        h.push_bare(1.0, ScbString::with_op_on(2, ScbOp::N, &[0]));
+        h.push_bare(-2.0, ScbString::new(vec![ScbOp::N, ScbOp::N]));
+        assert!(h.all_terms_commute());
+        // X and Z on the same qubit do not.
+        let mut h2 = ScbHamiltonian::new(1);
+        h2.push_bare(1.0, ScbString::with_op_on(1, ScbOp::X, &[0]));
+        h2.push_bare(1.0, ScbString::with_op_on(1, ScbOp::Z, &[0]));
+        assert!(!h2.all_terms_commute());
+    }
+
+    #[test]
+    fn fragment_count_cancellation() {
+        // σ† + σ = X: the paired expansion cancels the Y components,
+        // leaving a single Pauli fragment.
+        let t = HermitianTerm::paired(c64(1.0, 0.0), ScbString::with_op_on(1, ScbOp::SigmaDag, &[0]));
+        assert_eq!(t.pauli_fragment_count(), 1);
+        // 0.5·σ†σ† + h.c. on two qubits → XX, YY, XY, YX → after pairing: XX − YY (2 fragments)
+        let t2 = HermitianTerm::paired(
+            c64(0.5, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::SigmaDag]),
+        );
+        assert_eq!(t2.pauli_fragment_count(), 2);
+    }
+
+    #[test]
+    fn from_exact_sum_gathers_conjugate_pairs() {
+        use crate::string::ScbTerm;
+        // c·(σ†⊗Z) + c̄·(σ⊗Z) + 0.5·(n⊗I)  — an exact Hermitian sum.
+        let c = c64(0.3, -0.4);
+        let a = ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Z]);
+        let terms = vec![
+            ScbTerm::new(c, a.clone()),
+            ScbTerm::new(c.conj(), a.dagger()),
+            ScbTerm::new(c64(0.5, 0.0), ScbString::with_op_on(2, ScbOp::N, &[0])),
+        ];
+        let h = ScbHamiltonian::from_exact_sum(2, &terms);
+        assert_eq!(h.num_terms(), 2);
+        let expect = crate::string::sparse_sum(2, &terms).to_dense();
+        assert!(h.matrix().approx_eq(&expect, DEFAULT_TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Hermitian")]
+    fn from_exact_sum_rejects_non_hermitian_input() {
+        use crate::string::ScbTerm;
+        let terms = vec![ScbTerm::new(c64(1.0, 0.0), ScbString::with_op_on(1, ScbOp::Sigma, &[0]))];
+        let _ = ScbHamiltonian::from_exact_sum(1, &terms);
+    }
+
+    #[test]
+    fn coefficient_one_norm() {
+        let mut h = ScbHamiltonian::new(1);
+        h.push_paired(c64(0.0, 2.0), ScbString::with_op_on(1, ScbOp::Sigma, &[0]));
+        h.push_bare(1.0, ScbString::with_op_on(1, ScbOp::Z, &[0]));
+        assert!((h.coefficient_one_norm() - 5.0).abs() < DEFAULT_TOL);
+    }
+}

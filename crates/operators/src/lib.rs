@@ -1,0 +1,29 @@
+//! # ghs-operators
+//!
+//! Operator algebra for the gate-efficient Hamiltonian-simulation workspace:
+//! the Single Component Basis `{I, X, Y, Z, n, m, σ, σ†}` of the paper, its
+//! Cayley-table closure, Pauli strings and Pauli-sum (LCU) decompositions,
+//! single-component transitions built from bit strings, Hermitian term
+//! pairing and the Jordan–Wigner mapping of fermionic ladder operators.
+//!
+//! This crate carries the *formalism* of the paper; circuit constructions
+//! live in `ghs-core` and `ghs-circuit`.
+
+#![warn(missing_docs)]
+
+pub mod fermion;
+pub mod hamiltonian;
+pub mod pauli;
+pub mod scb;
+pub mod string;
+pub mod transition;
+
+pub use fermion::{FermionHamiltonian, FermionTerm, LadderOp};
+pub use hamiltonian::{HermitianTerm, ScbHamiltonian};
+pub use pauli::{PauliString, PauliSum};
+pub use scb::{PauliOp, ScbFamily, ScbOp, ScbProduct};
+pub use string::{FamilySplit, ScbString, ScbTerm};
+pub use transition::{
+    component_transition_string, component_transition_term, sparse_hermitian_from_components,
+    transition_indices,
+};

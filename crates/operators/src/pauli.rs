@@ -1,0 +1,459 @@
+//! Pauli strings and Pauli sums (Linear Combinations of Unitaries).
+//!
+//! This is the representation used by the *usual* Hamiltonian-simulation
+//! strategy the paper compares against: every Hermitian operator is expanded
+//! as `H = Σ_i β_i P_i` over tensor products of `{I, X, Y, Z}` and each
+//! Pauli string is Trotterised separately.
+
+use crate::scb::PauliOp;
+use ghs_math::{c64, CMatrix, Complex64};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A tensor product of single-qubit Pauli operators over a fixed register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PauliString {
+    ops: Vec<PauliOp>,
+}
+
+impl PauliString {
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self { ops: vec![PauliOp::I; n] }
+    }
+
+    /// Builds a string from per-qubit operators.
+    pub fn new(ops: Vec<PauliOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Builds a string that applies `op` on the listed qubits (identity
+    /// elsewhere) of an `n`-qubit register.
+    pub fn with_op_on(n: usize, op: PauliOp, qubits: &[usize]) -> Self {
+        let mut ops = vec![PauliOp::I; n];
+        for &q in qubits {
+            assert!(q < n, "qubit index out of range");
+            ops[q] = op;
+        }
+        Self { ops }
+    }
+
+    /// Parses a string such as `"XIZY"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let ops = s
+            .chars()
+            .map(|c| match c {
+                'I' | 'i' => Some(PauliOp::I),
+                'X' | 'x' => Some(PauliOp::X),
+                'Y' | 'y' => Some(PauliOp::Y),
+                'Z' | 'z' => Some(PauliOp::Z),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self { ops })
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Per-qubit operators.
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.ops
+    }
+
+    /// Operator on a given qubit.
+    pub fn op(&self, qubit: usize) -> PauliOp {
+        self.ops[qubit]
+    }
+
+    /// Number of non-identity factors (the Pauli weight).
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|&&p| p != PauliOp::I).count()
+    }
+
+    /// Indices of non-identity factors.
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != PauliOp::I)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when every factor is `I` or `Z` (diagonal string).
+    pub fn is_diagonal(&self) -> bool {
+        self.ops.iter().all(|&p| matches!(p, PauliOp::I | PauliOp::Z))
+    }
+
+    /// Dense matrix of the string (`2^n × 2^n`).
+    pub fn matrix(&self) -> CMatrix {
+        let mut acc = CMatrix::identity(1);
+        for op in &self.ops {
+            acc = acc.kron(&op.matrix());
+        }
+        acc
+    }
+
+    /// Product of two strings: `self · rhs = phase · string`.
+    pub fn product(&self, rhs: &Self) -> (Complex64, Self) {
+        assert_eq!(self.num_qubits(), rhs.num_qubits(), "register size mismatch");
+        let mut phase = Complex64::ONE;
+        let ops = self
+            .ops
+            .iter()
+            .zip(rhs.ops.iter())
+            .map(|(&a, &b)| {
+                let (p, op) = a.product(b);
+                phase *= p;
+                op
+            })
+            .collect();
+        (phase, Self { ops })
+    }
+
+    /// True when the two strings commute.
+    pub fn commutes_with(&self, rhs: &Self) -> bool {
+        assert_eq!(self.num_qubits(), rhs.num_qubits());
+        // Two Pauli strings anti-commute iff they anti-commute on an odd
+        // number of qubits.
+        let anti = self
+            .ops
+            .iter()
+            .zip(rhs.ops.iter())
+            .filter(|(&a, &b)| {
+                a != PauliOp::I && b != PauliOp::I && a != b
+            })
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Eigenvalue `±1` of the string on computational-basis state `index`,
+    /// defined only for diagonal strings.
+    pub fn diagonal_eigenvalue(&self, index: usize) -> f64 {
+        assert!(self.is_diagonal(), "eigenvalue on basis states requires a diagonal string");
+        let n = self.num_qubits();
+        let mut sign = 1.0;
+        for (q, &op) in self.ops.iter().enumerate() {
+            if op == PauliOp::Z && ghs_math::bits::qubit_bit(index, q, n) == 1 {
+                sign = -sign;
+            }
+        }
+        sign
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in &self.ops {
+            write!(f, "{}", op.symbol())?;
+        }
+        Ok(())
+    }
+}
+
+/// A linear combination of Pauli strings `Σ_i β_i P_i`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PauliSum {
+    num_qubits: usize,
+    terms: Vec<(Complex64, PauliString)>,
+}
+
+impl PauliSum {
+    /// Empty sum on `n` qubits.
+    pub fn zero(num_qubits: usize) -> Self {
+        Self { num_qubits, terms: Vec::new() }
+    }
+
+    /// Builds a sum from explicit terms.
+    pub fn from_terms(num_qubits: usize, terms: Vec<(Complex64, PauliString)>) -> Self {
+        for (_, p) in &terms {
+            assert_eq!(p.num_qubits(), num_qubits, "mixed register sizes in PauliSum");
+        }
+        let mut s = Self { num_qubits, terms };
+        s.simplify(0.0);
+        s
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The collected terms.
+    pub fn terms(&self) -> &[(Complex64, PauliString)] {
+        &self.terms
+    }
+
+    /// Number of Pauli strings with non-zero coefficient (the paper's
+    /// "fragment" count).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Adds `coeff · string` to the sum (no automatic simplification).
+    pub fn push(&mut self, coeff: Complex64, string: PauliString) {
+        assert_eq!(string.num_qubits(), self.num_qubits);
+        self.terms.push((coeff, string));
+    }
+
+    /// Merges duplicate strings and drops coefficients with magnitude ≤ `tol`.
+    pub fn simplify(&mut self, tol: f64) {
+        let mut map: BTreeMap<PauliString, Complex64> = BTreeMap::new();
+        for (c, p) in self.terms.drain(..) {
+            *map.entry(p).or_insert(Complex64::ZERO) += c;
+        }
+        self.terms = map
+            .into_iter()
+            .filter(|(_, c)| c.abs() > tol)
+            .map(|(p, c)| (c, p))
+            .collect();
+    }
+
+    /// Adds another sum scaled by `s`.
+    pub fn add_scaled(&mut self, other: &Self, s: Complex64) {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        for (c, p) in &other.terms {
+            self.terms.push((*c * s, p.clone()));
+        }
+        self.simplify(1e-14);
+    }
+
+    /// Sum of coefficient magnitudes (the LCU normalisation `λ = Σ|β_i|`).
+    pub fn one_norm(&self) -> f64 {
+        self.terms.iter().map(|(c, _)| c.abs()).sum()
+    }
+
+    /// True when every coefficient is real (within `tol`) — required of a
+    /// Hermitian operator expanded over Hermitian Pauli strings.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.terms.iter().all(|(c, _)| c.im.abs() <= tol)
+    }
+
+    /// Dense matrix of the sum.
+    pub fn matrix(&self) -> CMatrix {
+        let dim = 1usize << self.num_qubits;
+        let mut acc = CMatrix::zeros(dim, dim);
+        for (c, p) in &self.terms {
+            acc.add_scaled(&p.matrix(), *c);
+        }
+        acc
+    }
+
+    /// Pauli decomposition of an arbitrary `2^n × 2^n` matrix using the
+    /// recursive block ("tree") approach of the paper's reference [8].
+    ///
+    /// For a matrix written in 2×2 blocks `[[A, B], [C, D]]` over the first
+    /// qubit, the coefficients factor as
+    /// `I ↔ (A+D)/2`, `Z ↔ (A−D)/2`, `X ↔ (B+C)/2`, `Y ↔ i(B−C)/2`,
+    /// recursing into the remaining qubits. Coefficients with magnitude
+    /// ≤ `tol` are pruned, which is what makes the approach efficient on the
+    /// sparse structured matrices of the applications.
+    pub fn from_matrix(m: &CMatrix, tol: f64) -> Self {
+        assert!(m.is_square(), "Pauli decomposition requires a square matrix");
+        let dim = m.rows();
+        assert!(dim.is_power_of_two(), "dimension must be a power of two");
+        let n = dim.trailing_zeros() as usize;
+        let mut terms = Vec::new();
+        let mut prefix = Vec::with_capacity(n);
+        decompose_rec(m, n, &mut prefix, &mut terms, tol);
+        Self::from_terms(n, terms)
+    }
+
+    /// Expectation value `⟨ψ|H|ψ⟩` on a state vector.
+    pub fn expectation(&self, state: &[Complex64]) -> Complex64 {
+        let m = self.matrix();
+        let hv = m.matvec(state);
+        ghs_math::vec_inner(state, &hv)
+    }
+}
+
+fn decompose_rec(
+    block: &CMatrix,
+    remaining: usize,
+    prefix: &mut Vec<PauliOp>,
+    out: &mut Vec<(Complex64, PauliString)>,
+    tol: f64,
+) {
+    if remaining == 0 {
+        let c = block[(0, 0)];
+        if c.abs() > tol {
+            out.push((c, PauliString::new(prefix.clone())));
+        }
+        return;
+    }
+    let half = block.rows() / 2;
+    let a = block.block(0, 0, half, half);
+    let b = block.block(0, half, half, half);
+    let c = block.block(half, 0, half, half);
+    let d = block.block(half, half, half, half);
+
+    let mut comb = |op: PauliOp, m: CMatrix| {
+        if m.max_norm() <= tol {
+            return;
+        }
+        prefix.push(op);
+        decompose_rec(&m, remaining - 1, prefix, out, tol);
+        prefix.pop();
+    };
+
+    let mut i_block = a.clone();
+    i_block.add_scaled(&d, Complex64::ONE);
+    comb(PauliOp::I, i_block.scale(c64(0.5, 0.0)));
+
+    let mut z_block = a;
+    z_block.add_scaled(&d, c64(-1.0, 0.0));
+    comb(PauliOp::Z, z_block.scale(c64(0.5, 0.0)));
+
+    let mut x_block = b.clone();
+    x_block.add_scaled(&c, Complex64::ONE);
+    comb(PauliOp::X, x_block.scale(c64(0.5, 0.0)));
+
+    let mut y_block = b;
+    y_block.add_scaled(&c, c64(-1.0, 0.0));
+    comb(PauliOp::Y, y_block.scale(c64(0.0, 0.5)));
+}
+
+impl fmt::Display for PauliSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, p)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({c})·{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::DEFAULT_TOL;
+
+    #[test]
+    fn parse_and_display() {
+        let p = PauliString::parse("XIZY").unwrap();
+        assert_eq!(p.num_qubits(), 4);
+        assert_eq!(p.weight(), 3);
+        assert_eq!(format!("{p}"), "XIZY");
+        assert!(PauliString::parse("XA").is_none());
+    }
+
+    #[test]
+    fn string_product_phases() {
+        let x = PauliString::parse("X").unwrap();
+        let y = PauliString::parse("Y").unwrap();
+        let (phase, z) = x.product(&y);
+        assert_eq!(z, PauliString::parse("Z").unwrap());
+        assert!(phase.approx_eq(Complex64::I, DEFAULT_TOL));
+
+        let a = PauliString::parse("XY").unwrap();
+        let b = PauliString::parse("YX").unwrap();
+        let (phase, prod) = a.product(&b);
+        // (X·Y)⊗(Y·X) = (iZ)⊗(−iZ) = Z⊗Z
+        assert_eq!(prod, PauliString::parse("ZZ").unwrap());
+        assert!(phase.approx_eq(Complex64::ONE, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn commutation_rule() {
+        let a = PauliString::parse("XX").unwrap();
+        let b = PauliString::parse("ZZ").unwrap();
+        assert!(a.commutes_with(&b)); // anti-commute on two qubits → commute
+        let c = PauliString::parse("XI").unwrap();
+        let d = PauliString::parse("ZI").unwrap();
+        assert!(!c.commutes_with(&d));
+        // Verify against matrices.
+        let ab = a.matrix().matmul(&b.matrix());
+        let ba = b.matrix().matmul(&a.matrix());
+        assert!(ab.approx_eq(&ba, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn diagonal_eigenvalues() {
+        let zz = PauliString::parse("ZZ").unwrap();
+        assert_eq!(zz.diagonal_eigenvalue(0b00), 1.0);
+        assert_eq!(zz.diagonal_eigenvalue(0b01), -1.0);
+        assert_eq!(zz.diagonal_eigenvalue(0b10), -1.0);
+        assert_eq!(zz.diagonal_eigenvalue(0b11), 1.0);
+    }
+
+    #[test]
+    fn sum_simplification() {
+        let mut s = PauliSum::zero(2);
+        s.push(c64(1.0, 0.0), PauliString::parse("XZ").unwrap());
+        s.push(c64(2.0, 0.0), PauliString::parse("XZ").unwrap());
+        s.push(c64(-3.0, 0.0), PauliString::parse("ZZ").unwrap());
+        s.push(c64(3.0, 0.0), PauliString::parse("ZZ").unwrap());
+        s.simplify(1e-12);
+        assert_eq!(s.num_terms(), 1);
+        assert!(s.terms()[0].0.approx_eq(c64(3.0, 0.0), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn from_matrix_round_trip_random() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 3usize;
+        let dim = 1 << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                m[(r, c)] = c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            }
+        }
+        let sum = PauliSum::from_matrix(&m, 1e-14);
+        assert!(sum.matrix().approx_eq(&m, 1e-10));
+    }
+
+    #[test]
+    fn from_matrix_hermitian_has_real_coeffs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let dim = 8;
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in r..dim {
+                let v = c64(rng.gen_range(-1.0..1.0), if c == r { 0.0 } else { rng.gen_range(-1.0..1.0) });
+                m[(r, c)] = v;
+                m[(c, r)] = v.conj();
+            }
+        }
+        let sum = PauliSum::from_matrix(&m, 1e-14);
+        assert!(sum.is_hermitian(1e-10));
+        assert!(sum.matrix().approx_eq(&m, 1e-10));
+    }
+
+    #[test]
+    fn from_matrix_counts_dense_worst_case() {
+        // A generic (random) matrix on n qubits has 4^n Pauli fragments.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let dim = 4;
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                m[(r, c)] = c64(rng.gen_range(0.1..1.0), rng.gen_range(0.1..1.0));
+            }
+        }
+        let sum = PauliSum::from_matrix(&m, 1e-14);
+        assert_eq!(sum.num_terms(), 16);
+    }
+
+    #[test]
+    fn one_norm_and_expectation() {
+        let mut s = PauliSum::zero(1);
+        s.push(c64(0.5, 0.0), PauliString::parse("Z").unwrap());
+        s.push(c64(-0.25, 0.0), PauliString::parse("X").unwrap());
+        assert!((s.one_norm() - 0.75).abs() < 1e-12);
+        // ⟨0|H|0⟩ = 0.5
+        let state = vec![Complex64::ONE, Complex64::ZERO];
+        assert!(s.expectation(&state).approx_eq(c64(0.5, 0.0), DEFAULT_TOL));
+    }
+}

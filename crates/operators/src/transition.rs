@@ -1,0 +1,185 @@
+//! Single-component transitions `|bin[a]⟩⟨bin[b]| + h.c.` built from SCB
+//! operators (Section V-D and Table II of the paper).
+//!
+//! This is the primitive that lets the formalism address an *arbitrary*
+//! sparse Hermitian matrix component by component: each weighted component
+//! `w_{a,b}(|a⟩⟨b| + h.c.)` is exactly one SCB string (plus its conjugate),
+//! where each qubit carries `m`, `n`, `σ` or `σ†` according to the digits of
+//! `a` and `b` (Table II).
+
+use crate::hamiltonian::{HermitianTerm, ScbHamiltonian};
+use crate::scb::ScbOp;
+use crate::string::ScbString;
+use ghs_math::bits::{bits_to_index, index_to_bits};
+use ghs_math::Complex64;
+
+/// Builds the SCB string equal to `|a⟩⟨b|` on an `n`-qubit register
+/// following Table II of the paper: per-qubit digits
+/// `(a,b) = (0,0) → m`, `(1,1) → n`, `(0,1) → σ`, `(1,0) → σ†`.
+pub fn component_transition_string(a: usize, b: usize, n: usize) -> ScbString {
+    assert!(a < (1usize << n) && b < (1usize << n), "basis index out of range");
+    let a_bits = index_to_bits(a, n);
+    let b_bits = index_to_bits(b, n);
+    let ops = a_bits
+        .iter()
+        .zip(b_bits.iter())
+        .map(|(&ab, &bb)| match (ab, bb) {
+            (0, 0) => ScbOp::M,
+            (1, 1) => ScbOp::N,
+            (0, 1) => ScbOp::Sigma,
+            (1, 0) => ScbOp::SigmaDag,
+            _ => unreachable!(),
+        })
+        .collect();
+    ScbString::new(ops)
+}
+
+/// Builds the Hermitian term `w·(|a⟩⟨b| + h.c.)` (for `a ≠ b`) or `w·|a⟩⟨a|`
+/// (for `a = b`, in which case `w` must be real for Hermiticity and only the
+/// bare projector is produced).
+pub fn component_transition_term(w: Complex64, a: usize, b: usize, n: usize) -> HermitianTerm {
+    let string = component_transition_string(a, b, n);
+    if a == b {
+        HermitianTerm::bare(w.re, string)
+    } else {
+        HermitianTerm::paired(w, string)
+    }
+}
+
+/// Builds the Hermitian SCB Hamiltonian of an arbitrary sparse Hermitian
+/// matrix given its *upper-triangle* components
+/// `H = Σ w_{a,b}(|a⟩⟨b| + h.c.) + Σ w_{a,a}|a⟩⟨a|` (Section V-D).
+///
+/// Entries with `a > b` are ignored so callers may pass a full component
+/// list without double counting; diagonal weights must be real.
+pub fn sparse_hermitian_from_components(
+    n: usize,
+    components: &[(usize, usize, Complex64)],
+) -> ScbHamiltonian {
+    let mut h = ScbHamiltonian::new(n);
+    for &(a, b, w) in components {
+        if a > b || w.abs() == 0.0 {
+            continue;
+        }
+        h.push(component_transition_term(w, a, b, n));
+    }
+    h
+}
+
+/// Recovers `(a, b)` from an SCB string made only of `{m, n, σ, σ†}`
+/// (inverse of [`component_transition_string`]); `None` when the string
+/// contains Pauli or identity factors.
+pub fn transition_indices(string: &ScbString) -> Option<(usize, usize)> {
+    let n = string.num_qubits();
+    let mut a_bits = vec![0u8; n];
+    let mut b_bits = vec![0u8; n];
+    for (q, &op) in string.ops().iter().enumerate() {
+        let (a, b) = match op {
+            ScbOp::M => (0, 0),
+            ScbOp::N => (1, 1),
+            ScbOp::Sigma => (0, 1),
+            ScbOp::SigmaDag => (1, 0),
+            _ => return None,
+        };
+        a_bits[q] = a;
+        b_bits[q] = b;
+    }
+    Some((bits_to_index(&a_bits), bits_to_index(&b_bits)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_math::{c64, CMatrix, DEFAULT_TOL};
+
+    #[test]
+    fn paper_example_1222_1145() {
+        // Section V-D: |bin[1222]⟩⟨bin[1145]| = n m m σ† n σ σ σ σ† σ† σ.
+        let s = component_transition_string(1222, 1145, 11);
+        let expected = [
+            ScbOp::N,
+            ScbOp::M,
+            ScbOp::M,
+            ScbOp::SigmaDag,
+            ScbOp::N,
+            ScbOp::Sigma,
+            ScbOp::Sigma,
+            ScbOp::Sigma,
+            ScbOp::SigmaDag,
+            ScbOp::SigmaDag,
+            ScbOp::Sigma,
+        ];
+        assert_eq!(s.ops(), &expected);
+        assert_eq!(transition_indices(&s), Some((1222, 1145)));
+    }
+
+    #[test]
+    fn string_matrix_is_the_component() {
+        let n = 3;
+        let (a, b) = (5usize, 2usize);
+        let s = component_transition_string(a, b, n);
+        let m = s.matrix();
+        let dim = 1 << n;
+        for r in 0..dim {
+            for c in 0..dim {
+                let expect = if r == a && c == b { 1.0 } else { 0.0 };
+                assert!(m[(r, c)].approx_eq(c64(expect, 0.0), DEFAULT_TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_term_fills_both_components() {
+        let t = component_transition_term(c64(0.5, -0.25), 6, 1, 3);
+        let m = t.matrix();
+        assert!(m[(6, 1)].approx_eq(c64(0.5, -0.25), DEFAULT_TOL));
+        assert!(m[(1, 6)].approx_eq(c64(0.5, 0.25), DEFAULT_TOL));
+        assert!(m.is_hermitian(DEFAULT_TOL));
+    }
+
+    #[test]
+    fn diagonal_component_is_projector() {
+        let t = component_transition_term(c64(2.0, 0.0), 3, 3, 2);
+        let m = t.matrix();
+        assert!(m[(3, 3)].approx_eq(c64(2.0, 0.0), DEFAULT_TOL));
+        assert!((m.trace() - c64(2.0, 0.0)).abs() < DEFAULT_TOL);
+    }
+
+    #[test]
+    fn sparse_hermitian_assembly_matches_dense_target() {
+        let n = 3;
+        let dim = 1 << n;
+        // Build a random sparse Hermitian matrix.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut target = CMatrix::zeros(dim, dim);
+        let mut comps = Vec::new();
+        for _ in 0..6 {
+            let a = rng.gen_range(0..dim);
+            let b = rng.gen_range(0..dim);
+            let (a, b) = (a.min(b), a.max(b));
+            let w = if a == b {
+                c64(rng.gen_range(-1.0..1.0), 0.0)
+            } else {
+                c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            };
+            // Accumulate into dense target the same way the builder will.
+            if a == b {
+                target[(a, a)] += w;
+            } else {
+                target[(a, b)] += w;
+                target[(b, a)] += w.conj();
+            }
+            comps.push((a, b, w));
+        }
+        let h = sparse_hermitian_from_components(n, &comps);
+        assert!(h.matrix().approx_eq(&target, DEFAULT_TOL));
+        assert!(h.matrix().is_hermitian(DEFAULT_TOL));
+    }
+
+    #[test]
+    fn lower_triangle_components_are_skipped() {
+        let h = sparse_hermitian_from_components(2, &[(3, 1, c64(1.0, 0.0)), (1, 3, c64(1.0, 0.0))]);
+        assert_eq!(h.num_terms(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! # ghs-statevector
+//!
+//! Parallel (rayon) state-vector simulator for the gate-efficient
+//! Hamiltonian-simulation workspace. It executes the circuit IR of
+//! `ghs-circuit` exactly and provides the utilities the verification and
+//! application layers rely on: circuit→unitary extraction, expectation
+//! values against sparse/dense operators, sampling, and state preparation
+//! helpers used by the LCU block-encodings.
+
+#![warn(missing_docs)]
+
+pub mod prepare;
+pub mod state;
+
+pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};
+pub use state::{circuit_unitary, evolve, StateVector};

@@ -1,0 +1,168 @@
+//! Exact state preparation used by the PREPARE stage of the LCU
+//! block-encodings (Section IV of the paper).
+//!
+//! The LCU ancilla registers of this workspace are small (three qubits for
+//! the ≤6-unitary per-term encoding, `⌈log₂ #terms⌉` for a full-Hamiltonian
+//! encoding), so a simple exact scheme is used: a binary tree of
+//! multi-controlled `RY` rotations fixes all amplitude magnitudes, followed
+//! by keyed phase gates fixing each basis state's phase.
+
+use ghs_circuit::{Circuit, ControlBit};
+use ghs_math::Complex64;
+
+/// Builds a circuit mapping `|0…0⟩` to `Σ_i amps[i] |i⟩` on
+/// `log₂(amps.len())` qubits. The amplitude vector must have unit norm
+/// (within `1e-9`) and a power-of-two length.
+///
+/// # Panics
+/// Panics on non-power-of-two length or a non-normalised vector.
+pub fn prepare_amplitudes(amps: &[Complex64]) -> Circuit {
+    let dim = amps.len();
+    assert!(dim.is_power_of_two() && dim >= 1, "length must be a power of two");
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    assert!((norm - 1.0).abs() < 1e-9, "amplitude vector must be normalised, got norm {norm}");
+    let n = dim.trailing_zeros() as usize;
+    let mut circuit = Circuit::new(n.max(1));
+    if n == 0 {
+        // Single amplitude: only a global phase.
+        let phase = amps[0].arg();
+        if phase.abs() > 0.0 {
+            circuit.global_phase(phase);
+        }
+        return circuit;
+    }
+
+    // Magnitude tree: for every prefix (qubit-by-qubit), rotate the next
+    // qubit by the angle splitting the probability mass of its two branches.
+    for level in 0..n {
+        for prefix in 0..(1usize << level) {
+            let (p0, p1) = branch_masses(amps, n, level, prefix);
+            if p0 + p1 < 1e-18 {
+                continue;
+            }
+            let theta = 2.0 * p1.sqrt().atan2(p0.sqrt());
+            if theta.abs() < 1e-15 {
+                continue;
+            }
+            let controls: Vec<ControlBit> = (0..level)
+                .map(|q| ControlBit { qubit: q, value: ((prefix >> (level - 1 - q)) & 1) as u8 })
+                .collect();
+            if controls.is_empty() {
+                circuit.ry(level, theta);
+            } else {
+                circuit.mcry(controls, level, theta);
+            }
+        }
+    }
+
+    // Phase layer: one keyed phase per basis state with a non-trivial phase.
+    for (i, a) in amps.iter().enumerate() {
+        if a.abs() < 1e-15 {
+            continue;
+        }
+        let phase = a.arg();
+        if phase.abs() < 1e-15 {
+            continue;
+        }
+        let key: Vec<ControlBit> = (0..n)
+            .map(|q| ControlBit { qubit: q, value: ((i >> (n - 1 - q)) & 1) as u8 })
+            .collect();
+        circuit.keyed_phase(key, phase);
+    }
+    circuit
+}
+
+/// Convenience wrapper for real amplitude vectors (signs allowed).
+pub fn prepare_real_amplitudes(amps: &[f64]) -> Circuit {
+    let c: Vec<Complex64> = amps.iter().map(|&x| Complex64::real(x)).collect();
+    prepare_amplitudes(&c)
+}
+
+/// Probability mass of the two branches below a prefix of `level` fixed bits.
+fn branch_masses(amps: &[Complex64], n: usize, level: usize, prefix: usize) -> (f64, f64) {
+    let suffix_bits = n - level - 1;
+    let mut p0 = 0.0;
+    let mut p1 = 0.0;
+    for suffix in 0..(1usize << suffix_bits) {
+        let base = prefix << (suffix_bits + 1);
+        let i0 = base | suffix;
+        let i1 = base | (1 << suffix_bits) | suffix;
+        p0 += amps[i0].norm_sqr();
+        p1 += amps[i1].norm_sqr();
+    }
+    (p0, p1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use ghs_math::c64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_roundtrip(amps: &[Complex64]) {
+        let n = amps.len().trailing_zeros() as usize;
+        let circuit = prepare_amplitudes(amps);
+        let mut s = StateVector::zero_state(n.max(1));
+        s.apply_circuit(&circuit);
+        for (i, &a) in amps.iter().enumerate() {
+            assert!(
+                s.amplitude(i).approx_eq(a, 1e-9),
+                "amplitude {i}: got {} expected {}",
+                s.amplitude(i),
+                a
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_superposition() {
+        let amp = 0.5;
+        check_roundtrip(&[c64(amp, 0.0); 4]);
+    }
+
+    #[test]
+    fn signed_real_amplitudes() {
+        let a = 0.5f64;
+        check_roundtrip(&[c64(a, 0.0), c64(-a, 0.0), c64(a, 0.0), c64(-a, 0.0)]);
+    }
+
+    #[test]
+    fn sparse_vector_with_zeros() {
+        let v = [c64(0.0, 0.0), c64(0.6, 0.0), c64(0.0, 0.0), c64(0.8, 0.0)];
+        check_roundtrip(&v);
+    }
+
+    #[test]
+    fn complex_random_vectors() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in 1..=4usize {
+            let dim = 1 << n;
+            let mut v: Vec<Complex64> =
+                (0..dim).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+            for a in &mut v {
+                *a = a.scale(1.0 / norm);
+            }
+            check_roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn real_wrapper() {
+        let v = [0.5f64, -0.5, 0.5, 0.5];
+        let c = prepare_real_amplitudes(&v);
+        let mut s = StateVector::zero_state(2);
+        s.apply_circuit(&c);
+        for (i, &x) in v.iter().enumerate() {
+            assert!(s.amplitude(i).approx_eq(c64(x, 0.0), 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "normalised")]
+    fn rejects_unnormalised_input() {
+        let _ = prepare_real_amplitudes(&[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Numerical verification that the circuit-level building blocks of
+//! `ghs-circuit` implement the unitaries they claim: the exact ancilla-free
+//! decomposition pass and the linear / pyramidal ladders of Figs. 2, 3 and 25
+//! of the paper.
+
+use ghs_circuit::{
+    decompose_to_cx_basis, matrices, parity_ladder, transition_ladder, Circuit, ControlBit, Gate,
+    LadderStyle,
+};
+use ghs_math::{c64, CMatrix, Complex64};
+use ghs_statevector::circuit_unitary;
+
+const TOL: f64 = 1e-9;
+
+fn assert_same_unitary(a: &Circuit, b: &Circuit) {
+    let ua = circuit_unitary(a);
+    let ub = circuit_unitary(b);
+    assert!(
+        ua.approx_eq(&ub, TOL),
+        "circuits differ:\n{a}\nvs\n{b}\ndistance {}",
+        ua.distance(&ub)
+    );
+}
+
+fn single(gate: Gate, n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.push(gate);
+    c
+}
+
+#[test]
+fn decomposition_preserves_two_qubit_gates() {
+    for gate in [
+        Gate::Cz { a: 0, b: 1 },
+        Gate::Swap { a: 0, b: 1 },
+        Gate::cp(0, 1, 0.7),
+        Gate::Cx { control: 1, target: 0 },
+    ] {
+        let c = single(gate, 2);
+        assert_same_unitary(&c, &decompose_to_cx_basis(&c));
+    }
+}
+
+#[test]
+fn decomposition_preserves_keyed_phase_with_polarity() {
+    let gate = Gate::KeyedPhase {
+        key: vec![ControlBit::one(0), ControlBit::zero(1), ControlBit::one(2)],
+        theta: 1.234,
+    };
+    let c = single(gate, 3);
+    assert_same_unitary(&c, &decompose_to_cx_basis(&c));
+}
+
+#[test]
+fn decomposition_preserves_mcx_and_rotations() {
+    let controls = vec![ControlBit::one(0), ControlBit::zero(2), ControlBit::one(3)];
+    for gate in [
+        Gate::McX { controls: controls.clone(), target: 1 },
+        Gate::McRz { controls: controls.clone(), target: 1, theta: 0.81 },
+        Gate::McRx { controls: controls.clone(), target: 1, theta: -0.37 },
+        Gate::McRy { controls: controls.clone(), target: 1, theta: 2.2 },
+    ] {
+        let c = single(gate, 4);
+        assert_same_unitary(&c, &decompose_to_cx_basis(&c));
+    }
+}
+
+#[test]
+fn decomposition_of_composite_circuit() {
+    let mut c = Circuit::new(4);
+    c.h(0)
+        .mcx(vec![ControlBit::one(0), ControlBit::one(1)], 2)
+        .cp(2, 3, 0.5)
+        .mcry(vec![ControlBit::zero(3)], 0, 1.0)
+        .keyed_z(vec![ControlBit::one(1), ControlBit::zero(2)]);
+    let d = decompose_to_cx_basis(&c);
+    assert_same_unitary(&c, &d);
+    // The decomposed circuit contains no gate on three or more qubits.
+    assert_eq!(d.counts().multi_controlled, 0);
+}
+
+/// The paper's controlled-rotation building blocks (appendix Figs. 13-22):
+/// a multi-controlled RX between two keyed states equals the exponential of
+/// the corresponding transition Hamiltonian.
+#[test]
+fn controlled_rx_is_transition_exponential() {
+    // exp(-i t (σ†σ + h.c.)) on 2 qubits = \CRX{|01⟩;|10⟩}(2t) in the paper's
+    // notation (Fig. 15): verify against the dense exponential.
+    let t = 0.9;
+    let mut c = Circuit::new(2);
+    // Transition ladder with pivot 0: CX(0→1) maps |01⟩,|10⟩ to |0?⟩,|1?⟩…
+    c.cx(0, 1);
+    c.mcrx(vec![ControlBit::one(1)], 0, 2.0 * t);
+    c.cx(0, 1);
+    let u = circuit_unitary(&c);
+
+    // Dense reference: H = σ†⊗σ + σ⊗σ† = |10⟩⟨01| + |01⟩⟨10|.
+    let mut h = CMatrix::zeros(4, 4);
+    h[(2, 1)] = Complex64::ONE;
+    h[(1, 2)] = Complex64::ONE;
+    let expect = ghs_math::expm_minus_i_theta(&h, t);
+    assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+}
+
+#[test]
+fn parity_ladder_conjugates_zz_to_single_z() {
+    // W (Z⊗Z⊗Z) W† = Z_holder for both ladder styles.
+    for style in [LadderStyle::Linear, LadderStyle::Pyramidal] {
+        let qubits = [0usize, 1, 2];
+        let lad = parity_ladder(3, &qubits, style);
+        let w = circuit_unitary(&lad.circuit);
+        let zzz = matrices::z().kron(&matrices::z()).kron(&matrices::z());
+        let conj = w.matmul(&zzz).matmul(&w.dagger());
+        // Z on the holder qubit only.
+        let mut expect = CMatrix::identity(1);
+        for q in 0..3 {
+            let f = if q == lad.holder { matrices::z() } else { CMatrix::identity(2) };
+            expect = expect.kron(&f);
+        }
+        assert!(conj.approx_eq(&expect, TOL));
+    }
+}
+
+#[test]
+fn transition_ladder_maps_bell_pair_to_pivot_difference() {
+    // For a = 101, b = 010 on three transition qubits, the ladder must send
+    // |a⟩ and |b⟩ to states that differ only on the pivot and agree with the
+    // advertised control pattern elsewhere.
+    let spec = [(0usize, 1u8), (1, 0), (2, 1)];
+    for style in [LadderStyle::Linear, LadderStyle::Pyramidal] {
+        let lad = transition_ladder(3, &spec, style);
+        let w = circuit_unitary(&lad.circuit);
+        let a_index = 0b101usize;
+        let b_index = 0b010usize;
+        let col = |idx: usize| -> Vec<Complex64> {
+            (0..8).map(|r| w[(r, idx)]).collect()
+        };
+        let wa = col(a_index);
+        let wb = col(b_index);
+        // Each image is still a computational-basis state.
+        let pos_a = wa.iter().position(|x| x.abs() > 0.5).unwrap();
+        let pos_b = wb.iter().position(|x| x.abs() > 0.5).unwrap();
+        assert_ne!(pos_a, pos_b);
+        // They differ exactly on the pivot bit.
+        let diff = pos_a ^ pos_b;
+        assert_eq!(diff.count_ones(), 1);
+        let pivot_mask = 1usize << (3 - 1 - lad.pivot);
+        assert_eq!(diff, pivot_mask);
+        // Both match the advertised control values on the non-pivot qubits.
+        for &(q, v) in &lad.controls {
+            let bit_a = (pos_a >> (3 - 1 - q)) & 1;
+            let bit_b = (pos_b >> (3 - 1 - q)) & 1;
+            assert_eq!(bit_a as u8, v, "{style:?}: control qubit {q}");
+            assert_eq!(bit_b as u8, v);
+        }
+    }
+}
+
+#[test]
+fn pyramidal_and_linear_ladders_give_same_term_exponential() {
+    // Build exp(-iθ (|a⟩⟨b| + h.c.)) on 4 transition qubits with both ladder
+    // styles and check they agree with the dense exponential.
+    let theta = 0.6;
+    let spec = [(0usize, 1u8), (1, 0), (2, 0), (3, 1)]; // a = 1001, b = 0110
+    let a_index = 0b1001usize;
+    let b_index = 0b0110usize;
+    let mut h = CMatrix::zeros(16, 16);
+    h[(a_index, b_index)] = Complex64::ONE;
+    h[(b_index, a_index)] = Complex64::ONE;
+    let expect = ghs_math::expm_minus_i_theta(&h, theta);
+
+    for style in [LadderStyle::Linear, LadderStyle::Pyramidal] {
+        let lad = transition_ladder(4, &spec, style);
+        let mut c = Circuit::new(4);
+        c.append(&lad.circuit);
+        let controls: Vec<ControlBit> =
+            lad.controls.iter().map(|&(q, v)| ControlBit { qubit: q, value: v }).collect();
+        c.mcrx(controls, lad.pivot, 2.0 * theta);
+        c.append(&lad.circuit.dagger());
+        let u = circuit_unitary(&c);
+        assert!(
+            u.approx_eq(&expect, TOL),
+            "{style:?}: distance {}",
+            u.distance(&expect)
+        );
+    }
+}
+
+#[test]
+fn keyed_phase_equals_projector_exponential() {
+    // exp(iθ |110⟩⟨110|) = KeyedPhase on that state.
+    let theta = 1.7;
+    let key = vec![ControlBit::one(0), ControlBit::one(1), ControlBit::zero(2)];
+    let mut c = Circuit::new(3);
+    c.keyed_phase(key, theta);
+    let u = circuit_unitary(&c);
+    let mut proj = CMatrix::zeros(8, 8);
+    proj[(0b110, 0b110)] = Complex64::ONE;
+    let expect = ghs_math::expm(&proj.scale(c64(0.0, theta)));
+    assert!(u.approx_eq(&expect, TOL));
+}

@@ -1,0 +1,57 @@
+//! Numerical verification of the QFT circuits against the DFT matrix.
+
+use ghs_circuit::{inverse_qft, qft, Circuit};
+use ghs_math::{CMatrix, Complex64};
+use ghs_statevector::circuit_unitary;
+use std::f64::consts::PI;
+
+fn dft_matrix(m: usize) -> CMatrix {
+    let dim = 1usize << m;
+    let mut out = CMatrix::zeros(dim, dim);
+    let norm = 1.0 / (dim as f64).sqrt();
+    for r in 0..dim {
+        for c in 0..dim {
+            out[(r, c)] = Complex64::from_polar(norm, 2.0 * PI * (r * c) as f64 / dim as f64);
+        }
+    }
+    out
+}
+
+#[test]
+fn qft_matches_dft_matrix() {
+    for m in 1..=4usize {
+        let qubits: Vec<usize> = (0..m).collect();
+        let c = qft(m, &qubits, true);
+        let u = circuit_unitary(&c);
+        let expect = dft_matrix(m);
+        assert!(u.approx_eq(&expect, 1e-9), "m = {m}, distance {}", u.distance(&expect));
+    }
+}
+
+#[test]
+fn inverse_qft_undoes_qft() {
+    let m = 4;
+    let qubits: Vec<usize> = (0..m).collect();
+    let mut c = Circuit::new(m);
+    c.append(&qft(m, &qubits, false));
+    c.append(&inverse_qft(m, &qubits, false));
+    let u = circuit_unitary(&c);
+    assert!(u.approx_eq(&CMatrix::identity(1 << m), 1e-9));
+}
+
+#[test]
+fn qft_without_swaps_is_bit_reversed() {
+    let m = 3;
+    let qubits: Vec<usize> = (0..m).collect();
+    let u = circuit_unitary(&qft(m, &qubits, false));
+    let expect = dft_matrix(m);
+    // Row indices are bit-reversed relative to the swapped version.
+    let reverse = |x: usize| -> usize {
+        (0..m).fold(0, |acc, b| acc | (((x >> b) & 1) << (m - 1 - b)))
+    };
+    for r in 0..(1 << m) {
+        for c in 0..(1 << m) {
+            assert!(u[(reverse(r), c)].approx_eq(expect[(r, c)], 1e-9));
+        }
+    }
+}

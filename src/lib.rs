@@ -1,0 +1,24 @@
+//! # gate-efficient-hs
+//!
+//! Facade crate of the *Gate Efficient Composition of Hamiltonian Simulation
+//! and Block-Encoding* reproduction. It re-exports the workspace crates under
+//! a single name so the examples and integration tests read naturally:
+//!
+//! * [`math`] — complex linear algebra, matrix exponentials, sparse matrices;
+//! * [`operators`] — the Single Component Basis formalism, Pauli sums,
+//!   Jordan–Wigner;
+//! * [`circuit`] — gate IR, ladders, decompositions, cost models;
+//! * [`statevector`] — the simulator;
+//! * [`core`] — direct Hamiltonian simulation, Trotter/qDRIFT, block
+//!   encodings, dilation, measurement;
+//! * [`hubo`], [`chemistry`], [`fdm`] — the three applications of Section V
+//!   of the paper.
+
+pub use ghs_chemistry as chemistry;
+pub use ghs_circuit as circuit;
+pub use ghs_core as core;
+pub use ghs_fdm as fdm;
+pub use ghs_hubo as hubo;
+pub use ghs_math as math;
+pub use ghs_operators as operators;
+pub use ghs_statevector as statevector;

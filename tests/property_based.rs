@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) over the core invariants of the library:
+//! exactness of the direct construction for arbitrary SCB terms, Pauli-sum
+//! round trips, HUBO formalism conversions, LCU block sums and Cayley-table
+//! closure.
+
+use gate_efficient_hs::core::{direct_term_circuit, term_lcu, DirectOptions};
+use gate_efficient_hs::math::{c64, expm_minus_i_theta, CMatrix, Complex64};
+use gate_efficient_hs::operators::{HermitianTerm, PauliSum, ScbOp, ScbString};
+use gate_efficient_hs::statevector::circuit_unitary;
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-8;
+
+fn arb_scb_op() -> impl Strategy<Value = ScbOp> {
+    prop_oneof![
+        Just(ScbOp::I),
+        Just(ScbOp::X),
+        Just(ScbOp::Y),
+        Just(ScbOp::Z),
+        Just(ScbOp::N),
+        Just(ScbOp::M),
+        Just(ScbOp::Sigma),
+        Just(ScbOp::SigmaDag),
+    ]
+}
+
+fn arb_string(max_qubits: usize) -> impl Strategy<Value = ScbString> {
+    prop::collection::vec(arb_scb_op(), 1..=max_qubits).prop_map(ScbString::new)
+}
+
+fn arb_term(max_qubits: usize) -> impl Strategy<Value = HermitianTerm> {
+    (arb_string(max_qubits), -1.0f64..1.0, -1.0f64..1.0).prop_map(|(s, re, im)| {
+        if s.is_hermitian() {
+            HermitianTerm::bare(re, s)
+        } else {
+            HermitianTerm::paired(c64(re, im), s)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flagship invariant: for every SCB term the direct circuit equals
+    /// the exact exponential of the term.
+    #[test]
+    fn direct_circuit_is_exact_for_arbitrary_terms(
+        term in arb_term(5),
+        theta in -2.0f64..2.0,
+    ) {
+        let circuit = direct_term_circuit(&term, theta, &DirectOptions::linear());
+        let u = circuit_unitary(&circuit);
+        let expect = expm_minus_i_theta(&term.matrix(), theta);
+        prop_assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+    }
+
+    /// The pyramidal-ladder variant implements the same unitary.
+    #[test]
+    fn pyramidal_and_linear_direct_circuits_agree(
+        term in arb_term(5),
+        theta in -1.5f64..1.5,
+    ) {
+        let lin = circuit_unitary(&direct_term_circuit(&term, theta, &DirectOptions::linear()));
+        let pyr = circuit_unitary(&direct_term_circuit(&term, theta, &DirectOptions::pyramidal()));
+        prop_assert!(lin.approx_eq(&pyr, TOL));
+    }
+
+    /// Pauli expansion of a term reproduces its matrix, and its fragment
+    /// count never exceeds 2^(number of non-Pauli factors).
+    #[test]
+    fn pauli_expansion_round_trip(term in arb_term(5)) {
+        let sum = term.to_pauli_sum();
+        prop_assert!(sum.matrix().approx_eq(&term.matrix(), 1e-7));
+        prop_assert!(sum.is_hermitian(1e-8));
+        let bound = term.string.pauli_fragment_count() * if term.add_hc { 2 } else { 1 };
+        prop_assert!(sum.num_terms() <= bound);
+    }
+
+    /// The per-term LCU (block-encoding building block) sums back to the
+    /// term with at most six unitaries.
+    #[test]
+    fn term_lcu_sums_to_term(term in arb_term(4)) {
+        let lcu = term_lcu(&term);
+        prop_assert!(lcu.len() <= 6);
+        let n = term.num_qubits();
+        let dim = 1usize << n;
+        let mut acc = CMatrix::zeros(dim, dim);
+        for (w, u) in &lcu {
+            let um = circuit_unitary(&u.circuit(n, 0, &[], gate_efficient_hs::circuit::LadderStyle::Linear));
+            prop_assert!(um.is_unitary(1e-8));
+            acc.add_scaled(&um, c64(*w, 0.0));
+        }
+        prop_assert!(acc.approx_eq(&term.matrix(), 1e-7), "distance {}", acc.distance(&term.matrix()));
+    }
+
+    /// Pauli decomposition of random Hermitian matrices round-trips.
+    #[test]
+    fn pauli_decomposition_of_random_hermitian(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (seed % 2) as usize;
+        let dim = 1usize << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in r..dim {
+                let v = if r == c {
+                    c64(rng.gen_range(-1.0..1.0), 0.0)
+                } else {
+                    c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+                };
+                m[(r, c)] = v;
+                m[(c, r)] = v.conj();
+            }
+        }
+        let sum = PauliSum::from_matrix(&m, 1e-12);
+        prop_assert!(sum.matrix().approx_eq(&m, 1e-8));
+        prop_assert!(sum.is_hermitian(1e-8));
+    }
+
+    /// Cayley-table closure: products of random SCB strings are single
+    /// weighted strings whose matrix equals the matrix product.
+    #[test]
+    fn scb_string_products_are_closed(
+        a in arb_string(4),
+        b in arb_string(4),
+    ) {
+        let n = a.num_qubits().min(b.num_qubits());
+        let a = ScbString::new(a.ops()[..n].to_vec());
+        let b = ScbString::new(b.ops()[..n].to_vec());
+        let direct = a.matrix().matmul(&b.matrix());
+        match a.product(&b) {
+            None => prop_assert!(direct.max_norm() < 1e-12),
+            Some((coeff, s)) => {
+                prop_assert!(direct.approx_eq(&s.matrix().scale(coeff), 1e-9));
+            }
+        }
+    }
+
+    /// HUBO ↔ Ising conversions preserve every assignment's cost.
+    #[test]
+    fn hubo_ising_cost_preservation(
+        weights in prop::collection::vec(-2.0f64..2.0, 1..5),
+        seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_vars = 5usize;
+        let mut p = gate_efficient_hs::hubo::HuboProblem::new(num_vars);
+        for &w in &weights {
+            let order = rng.gen_range(1..=3usize);
+            let vars: Vec<usize> = (0..order).map(|_| rng.gen_range(0..num_vars)).collect();
+            p.add_term(w, &vars);
+        }
+        let ising = p.to_ising();
+        let back = ising.to_hubo();
+        for x in 0..(1usize << num_vars) {
+            prop_assert!((p.evaluate(x) - ising.evaluate(x)).abs() < 1e-9);
+            prop_assert!((p.evaluate(x) - back.evaluate(x)).abs() < 1e-9);
+        }
+    }
+
+    /// Hermitian terms have Hermitian matrices, and their exponentials are
+    /// unitary (norm preservation of the simulator path).
+    #[test]
+    fn hermitian_terms_exponentiate_to_unitaries(term in arb_term(4), theta in -1.0f64..1.0) {
+        prop_assert!(term.matrix().is_hermitian(1e-9));
+        let u = circuit_unitary(&direct_term_circuit(&term, theta, &DirectOptions::linear()));
+        prop_assert!(u.is_unitary(1e-8));
+        let _ = Complex64::ONE;
+    }
+}

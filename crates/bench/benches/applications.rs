@@ -7,8 +7,8 @@ use ghs_chemistry::{h2_sto3g, hubbard_chain, uccsd_energy, uccsd_pool};
 use ghs_core::DirectOptions;
 use ghs_fdm::{laplacian_1d, laplacian_2d, solve_poisson, BoundaryCondition};
 use ghs_hubo::{
-    direct_phase_separator, qaoa_energy, random_sparse_hubo, usual_phase_separator,
-    QaoaParameters, SeparatorStrategy,
+    direct_phase_separator, qaoa_energy, random_sparse_hubo, usual_phase_separator, QaoaParameters,
+    SeparatorStrategy,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,13 +19,17 @@ fn bench_hubo_separators(c: &mut Criterion) {
     for &(vars, order) in &[(10usize, 4usize), (14, 6), (18, 8)] {
         let p = random_sparse_hubo(vars, order, 6, &mut rng);
         let ising = p.to_ising();
-        group.bench_with_input(BenchmarkId::new("direct", format!("{vars}v-o{order}")), &p, |b, p| {
-            b.iter(|| direct_phase_separator(p, 0.7).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("direct", format!("{vars}v-o{order}")),
+            &p,
+            |b, p| b.iter(|| direct_phase_separator(p, 0.7).len()),
+        );
         group.bench_with_input(
             BenchmarkId::new("usual", format!("{vars}v-o{order}")),
             &ising,
-            |b, ising| b.iter(|| usual_phase_separator(ising, 0.7, ghs_circuit::LadderStyle::Linear).len()),
+            |b, ising| {
+                b.iter(|| usual_phase_separator(ising, 0.7, ghs_circuit::LadderStyle::Linear).len())
+            },
         );
     }
     group.finish();
@@ -36,7 +40,10 @@ fn bench_qaoa_energy(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     for &vars in &[8usize, 12] {
         let p = random_sparse_hubo(vars, 3, 8, &mut rng);
-        let params = QaoaParameters { gammas: vec![0.4, -0.2], betas: vec![0.3, 0.1] };
+        let params = QaoaParameters {
+            gammas: vec![0.4, -0.2],
+            betas: vec![0.3, 0.1],
+        };
         group.bench_with_input(BenchmarkId::from_parameter(vars), &p, |b, p| {
             b.iter(|| qaoa_energy(p, &params, SeparatorStrategy::Direct))
         });
@@ -66,9 +73,11 @@ fn bench_chemistry(c: &mut Criterion) {
 fn bench_fdm(c: &mut Criterion) {
     let mut group = c.benchmark_group("fdm");
     for &k in &[6usize, 10] {
-        group.bench_with_input(BenchmarkId::new("laplacian_1d_decomposition", k), &k, |b, &k| {
-            b.iter(|| laplacian_1d(k, 1.0, BoundaryCondition::Dirichlet).num_terms())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("laplacian_1d_decomposition", k),
+            &k,
+            |b, &k| b.iter(|| laplacian_1d(k, 1.0, BoundaryCondition::Dirichlet).num_terms()),
+        );
     }
     group.bench_function("laplacian_2d_decomposition_8x8", |b| {
         b.iter(|| laplacian_2d(3, 3, 1.0, BoundaryCondition::Dirichlet).num_terms())

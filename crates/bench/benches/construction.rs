@@ -21,7 +21,10 @@ fn random_term(num_qubits: usize, rng: &mut StdRng) -> HermitianTerm {
     if string.is_hermitian() {
         HermitianTerm::bare(rng.gen_range(-1.0..1.0), string)
     } else {
-        HermitianTerm::paired(c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)), string)
+        HermitianTerm::paired(
+            c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+            string,
+        )
     }
 }
 

@@ -26,9 +26,7 @@ use ghs_hubo::{
     grover_adaptive_search, sparse_scaling_table, table3_rows, HuboProblem,
 };
 use ghs_math::{c64, expm_multiply_minus_i_theta, vec_distance, Complex64};
-use ghs_operators::{
-    component_transition_string, HermitianTerm, ScbOp, ScbString,
-};
+use ghs_operators::{component_transition_string, HermitianTerm, ScbOp, ScbString};
 use ghs_statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,7 +112,11 @@ fn exp_table1() {
             vec![op.symbol().to_string(), format!("{}", expansion)]
         })
         .collect();
-    print_table("E01 / Table I — Single Component Basis → Pauli mapping", &["operator", "Pauli expansion"], &rows);
+    print_table(
+        "E01 / Table I — Single Component Basis → Pauli mapping",
+        &["operator", "Pauli expansion"],
+        &rows,
+    );
 }
 
 /// E02 — Table II: single component transitions from bit strings.
@@ -144,8 +146,11 @@ fn exp_table3() {
         .iter()
         .map(|r| {
             let census = |c: &ghs_hubo::GateCensus| {
-                let mut parts: Vec<String> =
-                    c.iter().filter(|(k, _)| k.as_str() != "global").map(|(k, v)| format!("{v}×{k}")).collect();
+                let mut parts: Vec<String> = c
+                    .iter()
+                    .filter(|(k, _)| k.as_str() != "global")
+                    .map(|(k, v)| format!("{v}×{k}"))
+                    .collect();
                 parts.sort();
                 parts.join(", ")
             };
@@ -214,7 +219,14 @@ fn exp_fig2() {
     ]);
     print_table(
         "E04 / Fig. 2 — 15-qubit term: direct construction vs 2048-fragment usual expansion",
-        &["variant", "rotations", "2q gates", "multi-ctrl", "depth", "state error"],
+        &[
+            "variant",
+            "rotations",
+            "2q gates",
+            "multi-ctrl",
+            "depth",
+            "state error",
+        ],
         &rows,
     );
 }
@@ -238,7 +250,13 @@ fn exp_fig3() {
         .collect();
     print_table(
         "E05 / Fig. 3 & 25 — transition-ladder CX count and depth",
-        &["width", "linear CX", "linear depth", "pyramidal CX", "pyramidal depth"],
+        &[
+            "width",
+            "linear CX",
+            "linear depth",
+            "pyramidal CX",
+            "pyramidal depth",
+        ],
         &rows,
     );
 }
@@ -251,7 +269,9 @@ fn exp_crossover() {
             vec![
                 r.order.to_string(),
                 r.usual_two_qubit.to_string(),
-                r.direct_two_qubit.map(|d| d.to_string()).unwrap_or("-".into()),
+                r.direct_two_qubit
+                    .map(|d| d.to_string())
+                    .unwrap_or("-".into()),
                 r.usual_fragments.to_string(),
                 if r.direct_wins { "direct" } else { "usual" }.to_string(),
             ]
@@ -288,20 +308,32 @@ fn exp_hubo_scaling() {
 /// E08 — §IV block-encoding: ≤6 unitaries per term, verified.
 fn exp_block_encoding() {
     let cases: Vec<(&str, HermitianTerm)> = vec![
-        ("Pauli string X⊗Z", HermitianTerm::bare(0.8, ScbString::new(vec![ScbOp::X, ScbOp::Z]))),
+        (
+            "Pauli string X⊗Z",
+            HermitianTerm::bare(0.8, ScbString::new(vec![ScbOp::X, ScbOp::Z])),
+        ),
         (
             "projector n⊗m⊗Z",
             HermitianTerm::bare(-1.2, ScbString::new(vec![ScbOp::N, ScbOp::M, ScbOp::Z])),
         ),
         (
             "transition σ†⊗σ⊗Y",
-            HermitianTerm::paired(c64(0.7, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Y])),
+            HermitianTerm::paired(
+                c64(0.7, 0.0),
+                ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Y]),
+            ),
         ),
         (
             "full family n⊗σ†⊗X⊗σ⊗m",
             HermitianTerm::paired(
                 c64(0.4, 0.0),
-                ScbString::new(vec![ScbOp::N, ScbOp::SigmaDag, ScbOp::X, ScbOp::Sigma, ScbOp::M]),
+                ScbString::new(vec![
+                    ScbOp::N,
+                    ScbOp::SigmaDag,
+                    ScbOp::X,
+                    ScbOp::Sigma,
+                    ScbOp::M,
+                ]),
             ),
         ),
     ];
@@ -328,7 +360,7 @@ fn exp_block_encoding() {
 /// E09 — §V-B1: exact individual electronic transitions.
 fn exp_chem_exact() {
     let n = 6;
-    let cases = vec![
+    let cases = [
         ElectronicTransition::one_body(0.42, 0, 1, n),
         ElectronicTransition::one_body(0.42, 0, 5, n),
         ElectronicTransition::two_body(-0.31, 0, 1, 2, 3, n).unwrap(),
@@ -352,7 +384,13 @@ fn exp_chem_exact() {
         .collect();
     print_table(
         "E09 / §V-B1 — individual electronic transitions (direct circuits are exact)",
-        &["transition", "rotations", "2q gates", "usual fragments", "unitary error"],
+        &[
+            "transition",
+            "rotations",
+            "2q gates",
+            "usual fragments",
+            "unitary error",
+        ],
         &rows,
     );
 }
@@ -360,21 +398,31 @@ fn exp_chem_exact() {
 /// E10 — §V-B2: full-Hamiltonian Trotter error, direct vs usual grouping.
 fn exp_chem_trotter() {
     for model in [hubbard_chain(2, 1.0, 2.0, false), h2_sto3g()] {
-        let rows: Vec<Vec<String>> = trotter_error_sweep(&model, 0.5, &[1, 2, 4, 8], ProductFormula::First)
-            .iter()
-            .map(|r| {
-                vec![
-                    r.steps.to_string(),
-                    fmt_f(r.direct_error),
-                    r.direct_factors.to_string(),
-                    fmt_f(r.usual_error),
-                    r.usual_factors.to_string(),
-                ]
-            })
-            .collect();
+        let rows: Vec<Vec<String>> =
+            trotter_error_sweep(&model, 0.5, &[1, 2, 4, 8], ProductFormula::First)
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.steps.to_string(),
+                        fmt_f(r.direct_error),
+                        r.direct_factors.to_string(),
+                        fmt_f(r.usual_error),
+                        r.usual_factors.to_string(),
+                    ]
+                })
+                .collect();
         print_table(
-            &format!("E10 / §V-B2 — first-order Trotter error, {} (t = 0.5)", model.name),
-            &["steps", "direct error", "direct factors", "usual error", "usual factors"],
+            &format!(
+                "E10 / §V-B2 — first-order Trotter error, {} (t = 0.5)",
+                model.name
+            ),
+            &[
+                "steps",
+                "direct error",
+                "direct factors",
+                "usual error",
+                "usual factors",
+            ],
             &rows,
         );
     }
@@ -398,7 +446,15 @@ fn exp_fdm_scaling() {
         .collect();
     print_table(
         "E11 / Eq. 23 — 1-D neighbour operator: gate counts vs matrix size",
-        &["k", "N", "terms", "rotations", "ladder 2q", "rotation controls", "(log²N+logN)/2"],
+        &[
+            "k",
+            "N",
+            "terms",
+            "rotations",
+            "ladder 2q",
+            "rotation controls",
+            "(log²N+logN)/2",
+        ],
         &rows,
     );
 }
@@ -406,7 +462,11 @@ fn exp_fdm_scaling() {
 /// E12 — §V-C: FDM decomposition correctness, boundary conditions, BE.
 fn exp_fdm_verify() {
     let mut rows = Vec::new();
-    for bc in [BoundaryCondition::Dirichlet, BoundaryCondition::Neumann, BoundaryCondition::Periodic] {
+    for bc in [
+        BoundaryCondition::Dirichlet,
+        BoundaryCondition::Neumann,
+        BoundaryCondition::Periodic,
+    ] {
         for k in [2usize, 3] {
             let h = laplacian_1d(k, 0.5, bc);
             let reference = ghs_fdm::assemble_laplacian_1d(k, 0.5, bc);
@@ -422,7 +482,11 @@ fn exp_fdm_verify() {
     rows.push(vec![
         "paper two-node-line Poisson (8×8)".into(),
         two_line.num_terms().to_string(),
-        fmt_f(two_line.matrix().distance(&ghs_fdm::assemble_two_node_line(2, &p))),
+        fmt_f(
+            two_line
+                .matrix()
+                .distance(&ghs_fdm::assemble_two_node_line(2, &p)),
+        ),
     ]);
     print_table(
         "E12 / §V-C — FDM decompositions vs classical assembly",
@@ -468,24 +532,39 @@ fn exp_qlsp() {
     a.push(4, 6, c64(0.0, -0.6));
     let rows = vec![
         vec!["components of A".into(), a.components().len().to_string()],
-        vec!["SCB terms of σ†₀⊗A + h.c.".into(), a.dilated_term_count().to_string()],
+        vec![
+            "SCB terms of σ†₀⊗A + h.c.".into(),
+            a.dilated_term_count().to_string(),
+        ],
         vec![
             "Pauli fragments of the same dilation".into(),
             a.dilated_pauli_fragment_count().to_string(),
         ],
         vec![
             "fragment / term ratio (paper: ≥ 4)".into(),
-            format!("{:.1}", a.dilated_pauli_fragment_count() as f64 / a.dilated_term_count() as f64),
+            format!(
+                "{:.1}",
+                a.dilated_pauli_fragment_count() as f64 / a.dilated_term_count() as f64
+            ),
         ],
     ];
-    print_table("E13 / §V-E — non-Hermitian dilation for QLSP", &["quantity", "value"], &rows);
+    print_table(
+        "E13 / §V-E — non-Hermitian dilation for QLSP",
+        &["quantity", "value"],
+        &rows,
+    );
 }
 
 /// E14 — Annex C: expectation values with fewer observables.
 fn exp_measurement() {
     let term = HermitianTerm::paired(
         c64(0.25, 0.0),
-        ScbString::new(vec![ScbOp::SigmaDag, ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Sigma]),
+        ScbString::new(vec![
+            ScbOp::SigmaDag,
+            ScbOp::SigmaDag,
+            ScbOp::Sigma,
+            ScbOp::Sigma,
+        ]),
     );
     let meas = TermMeasurement::new(&term, LadderStyle::Linear);
     let mut rng = StdRng::seed_from_u64(21);
@@ -496,9 +575,15 @@ fn exp_measurement() {
     let usual_settings = TermMeasurement::usual_setting_count(&term);
     let rows = vec![
         vec!["⟨ψ|H|ψ⟩ exact".into(), fmt_f(exact)],
-        vec!["single-setting (infinite shots)".into(), fmt_f(single_setting)],
+        vec![
+            "single-setting (infinite shots)".into(),
+            fmt_f(single_setting),
+        ],
         vec!["single-setting (40k shots)".into(), fmt_f(sampled)],
-        vec!["Pauli settings needed by the usual approach".into(), usual_settings.to_string()],
+        vec![
+            "Pauli settings needed by the usual approach".into(),
+            usual_settings.to_string(),
+        ],
         vec!["direct settings needed".into(), "1".into()],
     ];
     print_table(
@@ -518,10 +603,19 @@ fn exp_ablation_complex_mode() {
     let theta = 0.8;
     let mut rows = Vec::new();
     for (label, mode) in [
-        ("exact tilted-axis rotation (extension)", ComplexCoefficientMode::ExactAxis),
-        ("paper RX·RY split (§III-A)", ComplexCoefficientMode::PaperSplit),
+        (
+            "exact tilted-axis rotation (extension)",
+            ComplexCoefficientMode::ExactAxis,
+        ),
+        (
+            "paper RX·RY split (§III-A)",
+            ComplexCoefficientMode::PaperSplit,
+        ),
     ] {
-        let opts = DirectOptions { ladder_style: LadderStyle::Linear, complex_mode: mode };
+        let opts = DirectOptions {
+            ladder_style: LadderStyle::Linear,
+            complex_mode: mode,
+        };
         let circuit = direct_term_circuit(&term, theta, &opts);
         let u = ghs_statevector::circuit_unitary(&circuit);
         let err = u.distance(&ghs_math::expm_minus_i_theta(&term.matrix(), theta));
@@ -543,7 +637,10 @@ fn exp_multi_product_formula() {
     let mut h = ghs_operators::ScbHamiltonian::new(3);
     h.push_bare(0.9, ScbString::with_op_on(3, ScbOp::X, &[0]));
     h.push_bare(0.7, ScbString::with_op_on(3, ScbOp::Z, &[0]));
-    h.push_paired(c64(0.4, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::N]));
+    h.push_paired(
+        c64(0.4, 0.0),
+        ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::N]),
+    );
     h.push_bare(-0.5, ScbString::new(vec![ScbOp::I, ScbOp::N, ScbOp::N]));
     let t = 0.9;
     let opts = DirectOptions::linear();
@@ -582,7 +679,9 @@ fn exp_grover_adaptive_search() {
     for x in 0..(1usize << 3) {
         let mut state = StateVector::basis_state(3 + m, x << m);
         state.apply_circuit(&circuit);
-        let outcome = (0..state.dim()).find(|&i| state.probability(i) > 0.99).unwrap();
+        let outcome = (0..state.dim())
+            .find(|&i| state.probability(i) > 0.99)
+            .unwrap();
         rows.push(vec![
             format!("{x:03b}"),
             fmt_f(p.evaluate(x)),
@@ -592,7 +691,12 @@ fn exp_grover_adaptive_search() {
     }
     print_table(
         "EX3 / §V-A-1 — QPE-style cost register readout (direct phase separators)",
-        &["assignment", "classical cost", "register readout", "assignment readback"],
+        &[
+            "assignment",
+            "classical cost",
+            "register readout",
+            "assignment readback",
+        ],
         &rows,
     );
     let mut rng = StdRng::seed_from_u64(17);
@@ -602,10 +706,19 @@ fn exp_grover_adaptive_search() {
         "EX3b — Grover Adaptive Search result",
         &["quantity", "value"],
         &[
-            vec!["best assignment found".into(), format!("{:03b}", result.best_assignment)],
+            vec![
+                "best assignment found".into(),
+                format!("{:03b}", result.best_assignment),
+            ],
             vec!["its cost".into(), fmt_f(result.best_cost)],
-            vec!["brute-force optimum".into(), format!("{best:03b} (cost {})", fmt_f(best_cost))],
-            vec!["Grover iterations used".into(), result.total_iterations.to_string()],
+            vec![
+                "brute-force optimum".into(),
+                format!("{best:03b} (cost {})", fmt_f(best_cost)),
+            ],
+            vec![
+                "Grover iterations used".into(),
+                result.total_iterations.to_string(),
+            ],
         ],
     );
 }

@@ -15,8 +15,8 @@ pub mod trotter_error;
 pub mod uccsd;
 
 pub use models::{
-    h2_sto3g, h2_sto3g_integrals, hubbard_chain, model_from_integrals, spin_orbital,
-    spin_orbitals, ElectronicModel, TwoOrbitalIntegrals,
+    h2_sto3g, h2_sto3g_integrals, hubbard_chain, model_from_integrals, spin_orbital, spin_orbitals,
+    ElectronicModel, TwoOrbitalIntegrals,
 };
 pub use transitions::{transition_resources, ElectronicTransition, TransitionResources};
 pub use trotter_error::{trotter_error_sweep, TrotterErrorRow};

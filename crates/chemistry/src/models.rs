@@ -253,7 +253,10 @@ mod tests {
         for r in 0..dim {
             for c in 0..dim {
                 if (r as u64).count_ones() != (c as u64).count_ones() {
-                    assert!(m[(r, c)].abs() < DEFAULT_TOL, "H[{r},{c}] breaks particle number");
+                    assert!(
+                        m[(r, c)].abs() < DEFAULT_TOL,
+                        "H[{r},{c}] breaks particle number"
+                    );
                 }
             }
         }
@@ -300,7 +303,10 @@ mod tests {
         let e_fci = model.exact_ground_energy(3000);
         // FCI is below HF and ≈ −1.137 Ha.
         assert!(e_fci < e_hf);
-        assert!(e_fci < -1.1 && e_fci > -1.2, "FCI energy {e_fci} out of range");
+        assert!(
+            e_fci < -1.1 && e_fci > -1.2,
+            "FCI energy {e_fci} out of range"
+        );
         // Correlation energy is on the 10–30 mHa scale.
         assert!((e_hf - e_fci) > 0.005 && (e_hf - e_fci) < 0.05);
     }
@@ -314,7 +320,10 @@ mod tests {
         // expansion of the same operator.
         let pauli = h.to_pauli_sum();
         assert!(h.num_terms() <= pauli.num_terms());
-        assert!(pauli.num_terms() >= 14, "expected the usual ~15-fragment H2 Hamiltonian");
+        assert!(
+            pauli.num_terms() >= 14,
+            "expected the usual ~15-fragment H2 Hamiltonian"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl ElectronicTransition {
         } else {
             HermitianTerm::paired(mapped.coeff, mapped.string)
         };
-        Self { label: format!("a†_{i} a_{j}"), term }
+        Self {
+            label: format!("a†_{i} a_{j}"),
+            term,
+        }
     }
 
     /// Two-body transition `h·a†_i a†_j a_k a_l + h.c.` on `n` spin orbitals.
@@ -42,7 +45,10 @@ impl ElectronicTransition {
         } else {
             HermitianTerm::paired(mapped.coeff, mapped.string)
         };
-        Some(Self { label: format!("a†_{i} a†_{j} a_{k} a_{l}"), term })
+        Some(Self {
+            label: format!("a†_{i} a†_{j} a_{k} a_{l}"),
+            term,
+        })
     }
 
     /// Exact evolution circuit `exp(−iθ·(h·T + h.c.))` via the direct

@@ -8,9 +8,7 @@
 
 use crate::models::ElectronicModel;
 use ghs_circuit::LadderStyle;
-use ghs_core::{
-    direct_product_formula, usual_product_formula, DirectOptions, ProductFormula,
-};
+use ghs_core::{direct_product_formula, usual_product_formula, DirectOptions, ProductFormula};
 use ghs_math::expm_multiply_minus_i_theta;
 use ghs_statevector::StateVector;
 
@@ -47,8 +45,7 @@ pub fn trotter_error_sweep(
     steps_list
         .iter()
         .map(|&steps| {
-            let direct_circ =
-                direct_product_formula(&h, t, steps, order, &DirectOptions::linear());
+            let direct_circ = direct_product_formula(&h, t, steps, order, &DirectOptions::linear());
             let usual_circ = usual_product_formula(&sum, t, steps, order, LadderStyle::Linear);
             let mut d_state = initial.clone();
             d_state.apply_circuit(&direct_circ);

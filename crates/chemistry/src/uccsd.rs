@@ -41,7 +41,10 @@ pub fn uccsd_pool(model: &ElectronicModel) -> Vec<Excitation> {
             // T = T† → T − T† = 0: not a useful excitation.
             return None;
         }
-        Some(HermitianTerm::paired(mapped.coeff * Complex64::I, mapped.string))
+        Some(HermitianTerm::paired(
+            mapped.coeff * Complex64::I,
+            mapped.string,
+        ))
     };
 
     // Singles: occupied i → virtual a with the same spin (index parity).
@@ -52,7 +55,10 @@ pub fn uccsd_pool(model: &ElectronicModel) -> Vec<Excitation> {
             }
             let f = FermionTerm::one_body(Complex64::ONE, a, i);
             if let Some(term) = anti_hermitian_term(&f) {
-                pool.push(Excitation { label: format!("{i}→{a}"), term });
+                pool.push(Excitation {
+                    label: format!("{i}→{a}"),
+                    term,
+                });
             }
         }
     }
@@ -67,7 +73,10 @@ pub fn uccsd_pool(model: &ElectronicModel) -> Vec<Excitation> {
                     }
                     let f = FermionTerm::two_body(Complex64::ONE, a, b, j, i);
                     if let Some(term) = anti_hermitian_term(&f) {
-                        pool.push(Excitation { label: format!("{i}{j}→{a}{b}"), term });
+                        pool.push(Excitation {
+                            label: format!("{i}{j}→{a}{b}"),
+                            term,
+                        });
                     }
                 }
             }
@@ -171,7 +180,12 @@ pub fn run_vqe<R: Rng>(
         }
     }
 
-    VqeResult { thetas: best_thetas, energy: best_energy, hartree_fock_energy, evaluations }
+    VqeResult {
+        thetas: best_thetas,
+        energy: best_energy,
+        hartree_fock_energy,
+        evaluations,
+    }
 }
 
 #[cfg(test)]

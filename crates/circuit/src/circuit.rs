@@ -37,7 +37,10 @@ pub struct ResourceCounts {
 impl Circuit {
     /// Empty circuit on `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Self { num_qubits, gates: Vec::new() }
+        Self {
+            num_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Register size.
@@ -63,7 +66,11 @@ impl Circuit {
     /// Appends a gate after validating its qubit indices.
     pub fn push(&mut self, gate: Gate) {
         for q in gate.qubits() {
-            assert!(q < self.num_qubits, "gate {gate} addresses qubit {q} out of {}", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "gate {gate} addresses qubit {q} out of {}",
+                self.num_qubits
+            );
         }
         self.gates.push(gate);
     }
@@ -100,7 +107,11 @@ impl Circuit {
             if qs.is_empty() {
                 continue;
             }
-            let start = qs.iter().map(|q| *level.get(q).unwrap_or(&0)).max().unwrap_or(0);
+            let start = qs
+                .iter()
+                .map(|q| *level.get(q).unwrap_or(&0))
+                .max()
+                .unwrap_or(0);
             let end = start + 1;
             for q in qs {
                 level.insert(q, end);
@@ -112,7 +123,10 @@ impl Circuit {
 
     /// Resource-count summary.
     pub fn counts(&self) -> ResourceCounts {
-        let mut c = ResourceCounts { depth: self.depth(), ..Default::default() };
+        let mut c = ResourceCounts {
+            depth: self.depth(),
+            ..Default::default()
+        };
         for g in &self.gates {
             match g.kind() {
                 GateKind::GlobalPhase => continue,
@@ -244,19 +258,31 @@ impl Circuit {
 
     /// Adds a multi-controlled RX.
     pub fn mcrx(&mut self, controls: Vec<ControlBit>, target: usize, theta: f64) -> &mut Self {
-        self.push(Gate::McRx { controls, target, theta });
+        self.push(Gate::McRx {
+            controls,
+            target,
+            theta,
+        });
         self
     }
 
     /// Adds a multi-controlled RY.
     pub fn mcry(&mut self, controls: Vec<ControlBit>, target: usize, theta: f64) -> &mut Self {
-        self.push(Gate::McRy { controls, target, theta });
+        self.push(Gate::McRy {
+            controls,
+            target,
+            theta,
+        });
         self
     }
 
     /// Adds a multi-controlled RZ.
     pub fn mcrz(&mut self, controls: Vec<ControlBit>, target: usize, theta: f64) -> &mut Self {
-        self.push(Gate::McRz { controls, target, theta });
+        self.push(Gate::McRz {
+            controls,
+            target,
+            theta,
+        });
         self
     }
 
@@ -269,7 +295,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit on {} qubits, {} gates:", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "Circuit on {} qubits, {} gates:",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -283,12 +314,11 @@ mod tests {
 
     fn sample() -> Circuit {
         let mut c = Circuit::new(4);
-        c.h(0)
-            .cx(0, 1)
-            .rz(1, 0.4)
-            .cx(0, 1)
-            .h(0)
-            .mcrx(vec![ControlBit::one(2), ControlBit::zero(3)], 1, 0.7);
+        c.h(0).cx(0, 1).rz(1, 0.4).cx(0, 1).h(0).mcrx(
+            vec![ControlBit::one(2), ControlBit::zero(3)],
+            1,
+            0.7,
+        );
         c
     }
 

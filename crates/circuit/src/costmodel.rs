@@ -76,9 +76,7 @@ pub fn switched_formalism_term_count(n: usize) -> u128 {
 /// maximum order `n` expressed in the other formalism
 /// (footnote 2): `Σ_{h=1}^{n} 2(h − 1)·C(n, h)`.
 pub fn usual_dense_two_qubit_count(n: usize) -> u128 {
-    (1..=n)
-        .map(|h| 2 * (h as u128 - 1) * binomial(n, h))
-        .sum()
+    (1..=n).map(|h| 2 * (h as u128 - 1) * binomial(n, h)).sum()
 }
 
 /// The crossover order above which the direct strategy's single `CⁿP`

@@ -73,16 +73,28 @@ fn decompose_gate(gate: &Gate, out: &mut Circuit) {
             decompose_keyed_phase(&key, std::f64::consts::PI, out);
             out.h(*target);
         }
-        Gate::McRz { controls, target, theta } => {
+        Gate::McRz {
+            controls,
+            target,
+            theta,
+        } => {
             decompose_mc_rz(controls, *target, *theta, out);
         }
-        Gate::McRx { controls, target, theta } => {
+        Gate::McRx {
+            controls,
+            target,
+            theta,
+        } => {
             // RX = H · RZ · H.
             out.h(*target);
             decompose_mc_rz(controls, *target, *theta, out);
             out.h(*target);
         }
-        Gate::McRy { controls, target, theta } => {
+        Gate::McRy {
+            controls,
+            target,
+            theta,
+        } => {
             // RY(θ) = (S H) RZ(θ) (S H)†, i.e. pre-circuit [S†, H] and
             // post-circuit [H, S] around the Z rotation.
             out.sdg(*target);
@@ -101,8 +113,11 @@ fn with_positive_controls(
     out: &mut Circuit,
     body: impl FnOnce(&[usize], &mut Circuit),
 ) {
-    let zeros: Vec<usize> =
-        controls.iter().filter(|c| c.value == 0).map(|c| c.qubit).collect();
+    let zeros: Vec<usize> = controls
+        .iter()
+        .filter(|c| c.value == 0)
+        .map(|c| c.qubit)
+        .collect();
     let qubits: Vec<usize> = controls.iter().map(|c| c.qubit).collect();
     for &q in &zeros {
         out.x(q);
@@ -141,8 +156,15 @@ fn decompose_keyed_phase(key: &[ControlBit], theta: f64, out: &mut Circuit) {
         // exp(iθ ∏ n_q) = exp(iθ/2^k Σ_S (−1)^{|S|} Z_S).
         out.global_phase(scale);
         for mask in 1usize..(1 << k) {
-            let subset: Vec<usize> = (0..k).filter(|i| mask >> i & 1 == 1).map(|i| qubits[i]).collect();
-            let sign = if subset.len() % 2 == 0 { 1.0 } else { -1.0 };
+            let subset: Vec<usize> = (0..k)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| qubits[i])
+                .collect();
+            let sign = if subset.len().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
             emit_z_parity_rotation(&subset, sign * scale, out);
         }
     });
@@ -160,9 +182,15 @@ fn decompose_mc_rz(controls: &[ControlBit], target: usize, theta: f64, out: &mut
         let k = qubits.len();
         let scale = theta / (1usize << (k + 1)) as f64;
         for mask in 0usize..(1 << k) {
-            let mut subset: Vec<usize> =
-                (0..k).filter(|i| mask >> i & 1 == 1).map(|i| qubits[i]).collect();
-            let sign = if subset.len() % 2 == 0 { 1.0 } else { -1.0 };
+            let mut subset: Vec<usize> = (0..k)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| qubits[i])
+                .collect();
+            let sign = if subset.len().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
             subset.push(target);
             // exp(−i (sign·scale) Z_{S∪t}) = parity rotation with angle −sign·scale.
             emit_z_parity_rotation(&subset, -sign * scale, out);
@@ -198,7 +226,10 @@ mod tests {
         c.swap(0, 1).cz(0, 1);
         let d = decompose_to_cx_basis(&c);
         assert_eq!(d.counts().two_qubit, 4);
-        assert!(d.gates().iter().all(|g| !matches!(g, Gate::Swap { .. } | Gate::Cz { .. })));
+        assert!(d
+            .gates()
+            .iter()
+            .all(|g| !matches!(g, Gate::Swap { .. } | Gate::Cz { .. })));
     }
 
     #[test]
@@ -225,7 +256,10 @@ mod tests {
     #[test]
     fn mcx_contains_no_multi_controlled_gates() {
         let mut c = Circuit::new(4);
-        c.mcx(vec![ControlBit::one(0), ControlBit::zero(1), ControlBit::one(2)], 3);
+        c.mcx(
+            vec![ControlBit::one(0), ControlBit::zero(1), ControlBit::one(2)],
+            3,
+        );
         let d = decompose_to_cx_basis(&c);
         assert_eq!(d.counts().multi_controlled, 0);
         assert!(d.counts().two_qubit > 0);

@@ -180,7 +180,11 @@ impl Gate {
     /// Convenience constructor for the doubly-controlled phase `CCP(θ)`.
     pub fn ccp(c1: usize, c2: usize, target: usize, theta: f64) -> Self {
         Gate::KeyedPhase {
-            key: vec![ControlBit::one(c1), ControlBit::one(c2), ControlBit::one(target)],
+            key: vec![
+                ControlBit::one(c1),
+                ControlBit::one(c2),
+                ControlBit::one(target),
+            ],
             theta,
         }
     }
@@ -188,7 +192,10 @@ impl Gate {
     /// Convenience constructor for `CⁿZ{|a⟩}`: a sign flip on the basis state
     /// selected by `key`.
     pub fn keyed_z(key: Vec<ControlBit>) -> Self {
-        Gate::KeyedPhase { key, theta: std::f64::consts::PI }
+        Gate::KeyedPhase {
+            key,
+            theta: std::f64::consts::PI,
+        }
     }
 
     /// The qubits touched by the gate (controls and targets).
@@ -210,9 +217,15 @@ impl Gate {
             Gate::Cz { a, b } | Gate::Swap { a, b } => vec![*a, *b],
             Gate::KeyedPhase { key, .. } => key.iter().map(|c| c.qubit).collect(),
             Gate::McX { controls, target }
-            | Gate::McRx { controls, target, .. }
-            | Gate::McRy { controls, target, .. }
-            | Gate::McRz { controls, target, .. } => {
+            | Gate::McRx {
+                controls, target, ..
+            }
+            | Gate::McRy {
+                controls, target, ..
+            }
+            | Gate::McRz {
+                controls, target, ..
+            } => {
                 let mut v: Vec<usize> = controls.iter().map(|c| c.qubit).collect();
                 v.push(*target);
                 v
@@ -268,22 +281,53 @@ impl Gate {
             Gate::Sdg(q) => Gate::S(*q),
             Gate::T(q) => Gate::Tdg(*q),
             Gate::Tdg(q) => Gate::T(*q),
-            Gate::Phase { qubit, theta } => Gate::Phase { qubit: *qubit, theta: -theta },
-            Gate::Rx { qubit, theta } => Gate::Rx { qubit: *qubit, theta: -theta },
-            Gate::Ry { qubit, theta } => Gate::Ry { qubit: *qubit, theta: -theta },
-            Gate::Rz { qubit, theta } => Gate::Rz { qubit: *qubit, theta: -theta },
-            Gate::KeyedPhase { key, theta } => {
-                Gate::KeyedPhase { key: key.clone(), theta: -theta }
-            }
-            Gate::McRx { controls, target, theta } => {
-                Gate::McRx { controls: controls.clone(), target: *target, theta: -theta }
-            }
-            Gate::McRy { controls, target, theta } => {
-                Gate::McRy { controls: controls.clone(), target: *target, theta: -theta }
-            }
-            Gate::McRz { controls, target, theta } => {
-                Gate::McRz { controls: controls.clone(), target: *target, theta: -theta }
-            }
+            Gate::Phase { qubit, theta } => Gate::Phase {
+                qubit: *qubit,
+                theta: -theta,
+            },
+            Gate::Rx { qubit, theta } => Gate::Rx {
+                qubit: *qubit,
+                theta: -theta,
+            },
+            Gate::Ry { qubit, theta } => Gate::Ry {
+                qubit: *qubit,
+                theta: -theta,
+            },
+            Gate::Rz { qubit, theta } => Gate::Rz {
+                qubit: *qubit,
+                theta: -theta,
+            },
+            Gate::KeyedPhase { key, theta } => Gate::KeyedPhase {
+                key: key.clone(),
+                theta: -theta,
+            },
+            Gate::McRx {
+                controls,
+                target,
+                theta,
+            } => Gate::McRx {
+                controls: controls.clone(),
+                target: *target,
+                theta: -theta,
+            },
+            Gate::McRy {
+                controls,
+                target,
+                theta,
+            } => Gate::McRy {
+                controls: controls.clone(),
+                target: *target,
+                theta: -theta,
+            },
+            Gate::McRz {
+                controls,
+                target,
+                theta,
+            } => Gate::McRz {
+                controls: controls.clone(),
+                target: *target,
+                theta: -theta,
+            },
             Gate::GlobalPhase(t) => Gate::GlobalPhase(-t),
             other => other.clone(),
         }
@@ -294,9 +338,7 @@ impl Gate {
     /// controls are satisfied. Returns `None` for gates without a single
     /// target (CZ, SWAP, keyed phase, global phase).
     pub fn base_matrix(&self) -> Option<CMatrix> {
-        let m = |rows: [[Complex64; 2]; 2]| {
-            CMatrix::from_rows(&[&rows[0], &rows[1]])
-        };
+        let m = |rows: [[Complex64; 2]; 2]| CMatrix::from_rows(&[&rows[0], &rows[1]]);
         let zero = Complex64::ZERO;
         let one = Complex64::ONE;
         let i = Complex64::I;
@@ -455,7 +497,17 @@ pub mod matrices {
 
     /// Assert helper: all listed matrices are unitary.
     pub fn all_fixed() -> Vec<CMatrix> {
-        vec![h(), x(), y(), z(), s(), rx(0.3), ry(0.7), rz(1.1), phase(FRAC_PI_2)]
+        vec![
+            h(),
+            x(),
+            y(),
+            z(),
+            s(),
+            rx(0.3),
+            ry(0.7),
+            rz(1.1),
+            phase(FRAC_PI_2),
+        ]
     }
 }
 
@@ -497,10 +549,23 @@ mod tests {
         let gates = vec![
             Gate::S(0),
             Gate::T(1),
-            Gate::Rx { qubit: 0, theta: 0.3 },
-            Gate::KeyedPhase { key: vec![ControlBit::one(0), ControlBit::zero(1)], theta: 0.5 },
-            Gate::McRy { controls: vec![ControlBit::one(2)], target: 0, theta: 1.0 },
-            Gate::Cx { control: 0, target: 1 },
+            Gate::Rx {
+                qubit: 0,
+                theta: 0.3,
+            },
+            Gate::KeyedPhase {
+                key: vec![ControlBit::one(0), ControlBit::zero(1)],
+                theta: 0.5,
+            },
+            Gate::McRy {
+                controls: vec![ControlBit::one(2)],
+                target: 0,
+                theta: 1.0,
+            },
+            Gate::Cx {
+                control: 0,
+                target: 1,
+            },
         ];
         for g in gates {
             assert_eq!(g.dagger().dagger(), g);
@@ -516,9 +581,23 @@ mod tests {
         };
         assert_eq!(g.qubits(), vec![3, 1, 0]);
         assert_eq!(g.kind(), GateKind::MultiControlled);
-        assert_eq!(Gate::Cx { control: 0, target: 1 }.kind(), GateKind::TwoQubit);
+        assert_eq!(
+            Gate::Cx {
+                control: 0,
+                target: 1
+            }
+            .kind(),
+            GateKind::TwoQubit
+        );
         assert_eq!(Gate::H(0).kind(), GateKind::SingleQubitClifford);
-        assert_eq!(Gate::Rz { qubit: 0, theta: 0.1 }.kind(), GateKind::SingleQubitRotation);
+        assert_eq!(
+            Gate::Rz {
+                qubit: 0,
+                theta: 0.1
+            }
+            .kind(),
+            GateKind::SingleQubitRotation
+        );
         assert_eq!(Gate::GlobalPhase(0.3).kind(), GateKind::GlobalPhase);
         assert_eq!(Gate::cp(0, 1, 0.5).kind(), GateKind::TwoQubit);
         assert_eq!(Gate::ccp(0, 1, 2, 0.5).kind(), GateKind::MultiControlled);
@@ -526,17 +605,29 @@ mod tests {
 
     #[test]
     fn parametrised_flag() {
-        assert!(Gate::Rz { qubit: 0, theta: 0.1 }.is_parametrised());
+        assert!(Gate::Rz {
+            qubit: 0,
+            theta: 0.1
+        }
+        .is_parametrised());
         assert!(Gate::keyed_z(vec![ControlBit::one(0)]).is_parametrised());
         assert!(!Gate::H(0).is_parametrised());
-        assert!(!Gate::Cx { control: 0, target: 1 }.is_parametrised());
+        assert!(!Gate::Cx {
+            control: 0,
+            target: 1
+        }
+        .is_parametrised());
     }
 
     #[test]
     fn names() {
         assert_eq!(Gate::ccp(0, 1, 2, 0.1).name(), "C2P");
         assert_eq!(
-            Gate::McX { controls: vec![ControlBit::one(0), ControlBit::one(1)], target: 2 }.name(),
+            Gate::McX {
+                controls: vec![ControlBit::one(0), ControlBit::one(1)],
+                target: 2
+            }
+            .name(),
             "C2X"
         );
     }

@@ -121,7 +121,11 @@ pub fn transition_ladder(
             debug_assert_eq!(open, vec![pivot]);
         }
     }
-    TransitionLadder { circuit, pivot, controls }
+    TransitionLadder {
+        circuit,
+        pivot,
+        controls,
+    }
 }
 
 /// Builds the parity ladder for the Pauli-family qubits: after the ladder the
@@ -131,7 +135,10 @@ pub fn transition_ladder(
 /// # Panics
 /// Panics when fewer than one qubit is supplied.
 pub fn parity_ladder(num_qubits: usize, qubits: &[usize], style: LadderStyle) -> ParityLadder {
-    assert!(!qubits.is_empty(), "parity ladder requires at least one qubit");
+    assert!(
+        !qubits.is_empty(),
+        "parity ladder requires at least one qubit"
+    );
     let holder = *qubits.last().unwrap();
     let mut circuit = Circuit::new(num_qubits);
     match style {
@@ -175,7 +182,11 @@ mod tests {
     use super::*;
 
     fn abits(qubits: &[usize]) -> Vec<(usize, u8)> {
-        qubits.iter().enumerate().map(|(i, &q)| (q, (i % 2) as u8)).collect()
+        qubits
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q, (i % 2) as u8))
+            .collect()
     }
 
     #[test]
@@ -228,9 +239,17 @@ mod tests {
         let qubits: Vec<usize> = (0..9).collect();
         for style in [LadderStyle::Linear, LadderStyle::Pyramidal] {
             let t = transition_ladder(9, &abits(&qubits), style);
-            assert!(t.circuit.gates().iter().all(|g| matches!(g, Gate::Cx { .. })));
+            assert!(t
+                .circuit
+                .gates()
+                .iter()
+                .all(|g| matches!(g, Gate::Cx { .. })));
             let p = parity_ladder(9, &qubits, style);
-            assert!(p.circuit.gates().iter().all(|g| matches!(g, Gate::Cx { .. })));
+            assert!(p
+                .circuit
+                .gates()
+                .iter()
+                .all(|g| matches!(g, Gate::Cx { .. })));
         }
     }
 
@@ -243,7 +262,10 @@ mod tests {
         let mut targeted = std::collections::HashSet::new();
         for g in t.circuit.gates() {
             if let Gate::Cx { control, target } = g {
-                assert!(!targeted.contains(control), "source {control} was already a target");
+                assert!(
+                    !targeted.contains(control),
+                    "source {control} was already a target"
+                );
                 targeted.insert(*target);
             }
         }
@@ -256,6 +278,7 @@ mod tests {
         let spec = [(2, 1u8), (4, 0u8), (7, 1u8)];
         let lad = transition_ladder(8, &spec, LadderStyle::Linear);
         assert_eq!(lad.pivot, 2);
-        assert_eq!(lad.controls, vec![(4, 0 ^ 1), (7, 1 ^ 1)]);
+        // Control polarities are the spec bits flipped.
+        assert_eq!(lad.controls, vec![(4, 1), (7, 0)]);
     }
 }

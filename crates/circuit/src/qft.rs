@@ -21,7 +21,12 @@ pub fn qft(num_qubits: usize, qubits: &[usize], with_swaps: bool) -> Circuit {
     let mut c = Circuit::new(num_qubits);
     for (i, &q) in qubits.iter().enumerate() {
         c.h(q);
-        for (dist, &ctrl) in qubits.iter().enumerate().skip(i + 1).map(|(j, ctrl)| (j - i, ctrl)) {
+        for (dist, &ctrl) in qubits
+            .iter()
+            .enumerate()
+            .skip(i + 1)
+            .map(|(j, ctrl)| (j - i, ctrl))
+        {
             let theta = PI / (1u64 << dist) as f64;
             c.push(Gate::cp(ctrl, q, theta));
         }

@@ -77,7 +77,10 @@ impl LcuUnitary {
         for key in &self.keyed_z {
             let mut full: Vec<ControlBit> = key
                 .iter()
-                .map(|cb| ControlBit { qubit: cb.qubit + offset, value: cb.value })
+                .map(|cb| ControlBit {
+                    qubit: cb.qubit + offset,
+                    value: cb.value,
+                })
                 .collect();
             full.extend(ancilla_key.iter().cloned());
             c.keyed_phase(full, std::f64::consts::PI);
@@ -161,7 +164,11 @@ pub fn term_lcu(term: &HermitianTerm) -> Vec<(f64, LcuUnitary)> {
     // σ-part factor: list of (weight, transition component, extra keyed-Zs).
     let sigma_factor: Vec<(f64, Option<TransitionX>, Vec<Vec<ControlBit>>)> =
         if split.transitions.is_empty() {
-            let g = if term.add_hc { 2.0 * term.coeff.re } else { term.coeff.re };
+            let g = if term.add_hc {
+                2.0 * term.coeff.re
+            } else {
+                term.coeff.re
+            };
             vec![(g, None, vec![])]
         } else {
             let r = term.coeff.abs();
@@ -174,12 +181,18 @@ pub fn term_lcu(term: &HermitianTerm) -> Vec<(f64, LcuUnitary)> {
             let b_key: Vec<ControlBit> = split
                 .transitions
                 .iter()
-                .map(|&(q, a)| ControlBit { qubit: q, value: 1 - a })
+                .map(|&(q, a)| ControlBit {
+                    qubit: q,
+                    value: 1 - a,
+                })
                 .collect();
             vec![
                 (
                     r,
-                    Some(TransitionX { qubits_a: split.transitions.clone(), phase: phi }),
+                    Some(TransitionX {
+                        qubits_a: split.transitions.clone(),
+                        phase: phi,
+                    }),
                     vec![],
                 ),
                 (-r / 2.0, None, vec![]),
@@ -244,7 +257,8 @@ impl BlockEncoding {
     pub fn encoded_operator(&self) -> CMatrix {
         let u = circuit_unitary(&self.circuit);
         let dim = 1usize << self.num_system;
-        u.block(0, 0, dim, dim).scale(ghs_math::c64(self.normalization, 0.0))
+        u.block(0, 0, dim, dim)
+            .scale(ghs_math::c64(self.normalization, 0.0))
     }
 
     /// Frobenius distance between the encoded operator and a target matrix.
@@ -261,7 +275,11 @@ pub fn block_encode_lcu(
 ) -> BlockEncoding {
     assert!(!lcu.is_empty(), "cannot block-encode an empty LCU");
     let count = lcu.len();
-    let num_ancillas = if count <= 1 { 0 } else { (count as f64).log2().ceil() as usize };
+    let num_ancillas = if count <= 1 {
+        0
+    } else {
+        (count as f64).log2().ceil() as usize
+    };
     let num_total = num_ancillas + num_system;
     let lambda: f64 = lcu.iter().map(|(w, _)| w.abs()).sum();
 
@@ -436,7 +454,10 @@ mod tests {
     fn hamiltonian_block_encoding() {
         let mut h = ScbHamiltonian::new(2);
         h.push_bare(0.5, ScbString::with_op_on(2, ScbOp::Z, &[0]));
-        h.push_paired(c64(0.25, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma]));
+        h.push_paired(
+            c64(0.25, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma]),
+        );
         h.push_bare(-0.3, ScbString::new(vec![ScbOp::N, ScbOp::N]));
         let be = block_encode_hamiltonian(&h, LadderStyle::Linear);
         assert!(be.num_unitaries <= 6 + 3 + 2);

@@ -100,7 +100,10 @@ pub fn usual_analytic_counts(hamiltonian: &ScbHamiltonian) -> (usize, usize) {
 /// Helper: use the pyramidal variant everywhere for depth-focused
 /// comparisons.
 pub fn pyramidal_options() -> DirectOptions {
-    DirectOptions { ladder_style: LadderStyle::Pyramidal, ..Default::default() }
+    DirectOptions {
+        ladder_style: LadderStyle::Pyramidal,
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +115,10 @@ mod tests {
     fn high_order_sparse_hamiltonian(order: usize) -> ScbHamiltonian {
         // One single sparse high-order boolean term n⊗n⊗…⊗n.
         let mut h = ScbHamiltonian::new(order);
-        h.push_bare(1.0, ScbString::with_op_on(order, ScbOp::N, &(0..order).collect::<Vec<_>>()));
+        h.push_bare(
+            1.0,
+            ScbString::with_op_on(order, ScbOp::N, &(0..order).collect::<Vec<_>>()),
+        );
         h
     }
 
@@ -150,7 +156,10 @@ mod tests {
     fn pyramidal_reduces_depth_for_wide_terms() {
         let order = 8;
         let mut h = ScbHamiltonian::new(order);
-        h.push_bare(0.3, ScbString::with_op_on(order, ScbOp::Z, &(0..order).collect::<Vec<_>>()));
+        h.push_bare(
+            0.3,
+            ScbString::with_op_on(order, ScbOp::Z, &(0..order).collect::<Vec<_>>()),
+        );
         let lin = compare_strategies(&h, 0.2, &DirectOptions::linear());
         let pyr = compare_strategies(&h, 0.2, &pyramidal_options());
         assert!(pyr.direct.depth < lin.direct.depth);

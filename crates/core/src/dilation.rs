@@ -9,9 +9,7 @@
 //! (Eq. 28).
 
 use ghs_math::Complex64;
-use ghs_operators::{
-    component_transition_string, HermitianTerm, ScbHamiltonian, ScbOp, ScbString,
-};
+use ghs_operators::{component_transition_string, HermitianTerm, ScbHamiltonian, ScbOp, ScbString};
 
 /// A non-Hermitian operator given by its components `w·|a⟩⟨b|` on `n` qubits.
 #[derive(Clone, Debug, Default)]
@@ -23,7 +21,10 @@ pub struct NonHermitianOperator {
 impl NonHermitianOperator {
     /// Empty operator on `n` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Self { num_qubits, components: Vec::new() }
+        Self {
+            num_qubits,
+            components: Vec::new(),
+        }
     }
 
     /// Adds the component `w·|row⟩⟨col|`.

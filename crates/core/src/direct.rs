@@ -16,9 +16,7 @@
 //! supported either exactly (a single rotation about a tilted axis in the XY
 //! plane — an extension of §III-A) or with the paper's RX·RY Trotter split.
 
-use ghs_circuit::{
-    parity_ladder, transition_ladder, Circuit, ControlBit, Gate, LadderStyle,
-};
+use ghs_circuit::{parity_ladder, transition_ladder, Circuit, ControlBit, Gate, LadderStyle};
 use ghs_operators::{HermitianTerm, PauliOp, ScbHamiltonian};
 
 /// How to realise a term with a genuinely complex weight.
@@ -45,7 +43,10 @@ pub struct DirectOptions {
 impl DirectOptions {
     /// Linear ladders, exact complex handling.
     pub fn linear() -> Self {
-        Self { ladder_style: LadderStyle::Linear, complex_mode: ComplexCoefficientMode::ExactAxis }
+        Self {
+            ladder_style: LadderStyle::Linear,
+            complex_mode: ComplexCoefficientMode::ExactAxis,
+        }
     }
 
     /// Pyramidal (log-depth) ladders, exact complex handling.
@@ -77,7 +78,11 @@ pub fn direct_term_circuit(term: &HermitianTerm, theta: f64, opts: &DirectOption
     if split.transitions.is_empty() {
         // Hermitian string: I / Pauli / n / m factors only. With the `+ h.c.`
         // pairing the operator is 2·Re(γ)·Â; bare terms use Re(γ) directly.
-        let g = if term.add_hc { 2.0 * coeff.re } else { coeff.re };
+        let g = if term.add_hc {
+            2.0 * coeff.re
+        } else {
+            coeff.re
+        };
         if split.pauli.is_empty() {
             // Purely diagonal projector (or identity): a keyed phase
             // (`exp(−iθg·|key⟩⟨key|)`), the paper's CⁿP image of n/m products.
@@ -118,7 +123,11 @@ pub fn direct_term_circuit(term: &HermitianTerm, theta: f64, opts: &DirectOption
     //  a_pivot = 1 → γ|1⟩⟨0| + γ*|0⟩⟨1| = Re(γ)·X + Im(γ)·Y
     //  a_pivot = 0 → γ|0⟩⟨1| + γ*|1⟩⟨0| = Re(γ)·X − Im(γ)·Y
     let cx_coeff = coeff.re;
-    let cy_coeff = if pivot_a_bit == 1 { coeff.im } else { -coeff.im };
+    let cy_coeff = if pivot_a_bit == 1 {
+        coeff.im
+    } else {
+        -coeff.im
+    };
     let r = (cx_coeff * cx_coeff + cy_coeff * cy_coeff).sqrt();
     let phi = cy_coeff.atan2(cx_coeff);
 
@@ -382,11 +391,13 @@ mod tests {
         let expect = expm_minus_i_theta(&term.matrix(), theta);
         let err = u.distance(&expect);
         // Non-zero Trotter error, but bounded by the commutator scale.
-        assert!(err > 1e-6, "paper split should not be exact here, err = {err}");
+        assert!(
+            err > 1e-6,
+            "paper split should not be exact here, err = {err}"
+        );
         assert!(err < 1.0);
         // The exact-axis mode has no such error.
-        let u_exact =
-            circuit_unitary(&direct_term_circuit(&term, theta, &DirectOptions::linear()));
+        let u_exact = circuit_unitary(&direct_term_circuit(&term, theta, &DirectOptions::linear()));
         assert!(u_exact.approx_eq(&expect, TOL));
     }
 
@@ -394,12 +405,23 @@ mod tests {
     fn hamiltonian_slice_is_product_of_terms() {
         let mut h = ScbHamiltonian::new(3);
         h.push_bare(0.5, ScbString::with_op_on(3, ScbOp::Z, &[0]));
-        h.push_paired(c64(0.25, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::I]));
+        h.push_paired(
+            c64(0.25, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::I]),
+        );
         let theta = 0.4;
         let slice = direct_hamiltonian_slice(&h, theta, &DirectOptions::linear());
         let u = circuit_unitary(&slice);
-        let u0 = circuit_unitary(&direct_term_circuit(&h.terms()[0], theta, &DirectOptions::linear()));
-        let u1 = circuit_unitary(&direct_term_circuit(&h.terms()[1], theta, &DirectOptions::linear()));
+        let u0 = circuit_unitary(&direct_term_circuit(
+            &h.terms()[0],
+            theta,
+            &DirectOptions::linear(),
+        ));
+        let u1 = circuit_unitary(&direct_term_circuit(
+            &h.terms()[1],
+            theta,
+            &DirectOptions::linear(),
+        ));
         // Circuit order: term 0 applied first → U = U1 · U0.
         assert!(u.approx_eq(&u1.matmul(&u0), TOL));
     }

@@ -25,9 +25,7 @@ pub use block_encoding::{
     block_encode_hamiltonian, block_encode_lcu, block_encode_term, term_lcu,
     term_lcu_unitary_count, BlockEncoding, LcuUnitary, TransitionX,
 };
-pub use compare::{
-    compare_strategies, usual_analytic_counts, ResourceReport, StrategyComparison,
-};
+pub use compare::{compare_strategies, usual_analytic_counts, ResourceReport, StrategyComparison};
 pub use dilation::NonHermitianOperator;
 pub use direct::{
     direct_hamiltonian_slice, direct_term_circuit, ComplexCoefficientMode, DirectOptions,
@@ -39,6 +37,5 @@ pub use trotter::{
     Strategy,
 };
 pub use usual::{
-    pauli_string_exponential, usual_hamiltonian_slice, usual_rotation_count,
-    usual_two_qubit_count,
+    pauli_string_exponential, usual_hamiltonian_slice, usual_rotation_count, usual_two_qubit_count,
 };

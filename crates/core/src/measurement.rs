@@ -182,7 +182,10 @@ mod tests {
         );
         // Finite-shot estimate converges to the same value.
         let est = meas.estimate(&state, 60_000, &mut rng);
-        assert!((est - exact).abs() < 0.05, "{term}: estimate {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.05,
+            "{term}: estimate {est} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -154,7 +154,13 @@ pub fn qdrift_circuit<R: Rng>(
     // conjugate doubles the spectral norm contribution).
     let weights: Vec<f64> = terms
         .iter()
-        .map(|t| if t.add_hc { 2.0 * t.coeff.abs() } else { t.coeff.abs() })
+        .map(|t| {
+            if t.add_hc {
+                2.0 * t.coeff.abs()
+            } else {
+                t.coeff.abs()
+            }
+        })
         .collect();
     let lambda: f64 = weights.iter().sum();
     let tau = lambda * t / samples as f64;
@@ -173,7 +179,11 @@ pub fn qdrift_circuit<R: Rng>(
         // Each sampled term is applied with unit-normalised coefficient so
         // that the expected generator matches t·H.
         let term = &terms[idx];
-        let scale = if weights[idx] > 0.0 { tau / weights[idx] } else { 0.0 };
+        let scale = if weights[idx] > 0.0 {
+            tau / weights[idx]
+        } else {
+            0.0
+        };
         circuit.append(&direct_term_circuit(term, scale, opts));
     }
     circuit
@@ -203,7 +213,10 @@ pub fn richardson_weights(steps: &[usize]) -> Vec<f64> {
             .unwrap();
         a.swap(col, pivot);
         let p = a[col][col];
-        assert!(p.abs() > 1e-14, "degenerate step list for Richardson weights");
+        assert!(
+            p.abs() > 1e-14,
+            "degenerate step list for Richardson weights"
+        );
         for entry in a[col].iter_mut() {
             *entry /= p;
         }
@@ -253,8 +266,7 @@ pub fn mpf_state_error(
     initial: &StateVector,
 ) -> f64 {
     let combined = mpf_state(hamiltonian, t, steps_list, opts, initial);
-    let exact =
-        expm_multiply_minus_i_theta(&hamiltonian.sparse_matrix(), t, initial.amplitudes());
+    let exact = expm_multiply_minus_i_theta(&hamiltonian.sparse_matrix(), t, initial.amplitudes());
     vec_distance(&combined, &exact)
 }
 
@@ -292,7 +304,10 @@ mod tests {
         let mut h = ScbHamiltonian::new(2);
         h.push_bare(0.9, ScbString::with_op_on(2, ScbOp::X, &[0]));
         h.push_bare(0.7, ScbString::with_op_on(2, ScbOp::Z, &[0]));
-        h.push_paired(c64(0.4, 0.0), ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma]));
+        h.push_paired(
+            c64(0.4, 0.0),
+            ScbString::new(vec![ScbOp::SigmaDag, ScbOp::Sigma]),
+        );
         h
     }
 
@@ -302,10 +317,21 @@ mod tests {
         let m = h.matrix();
         let t = 1.0;
         let opts = DirectOptions::linear();
-        let e1 = unitary_error(&direct_product_formula(&h, t, 1, ProductFormula::First, &opts), &m, t);
-        let e4 = unitary_error(&direct_product_formula(&h, t, 4, ProductFormula::First, &opts), &m, t);
-        let e16 =
-            unitary_error(&direct_product_formula(&h, t, 16, ProductFormula::First, &opts), &m, t);
+        let e1 = unitary_error(
+            &direct_product_formula(&h, t, 1, ProductFormula::First, &opts),
+            &m,
+            t,
+        );
+        let e4 = unitary_error(
+            &direct_product_formula(&h, t, 4, ProductFormula::First, &opts),
+            &m,
+            t,
+        );
+        let e16 = unitary_error(
+            &direct_product_formula(&h, t, 16, ProductFormula::First, &opts),
+            &m,
+            t,
+        );
         assert!(e4 < e1);
         assert!(e16 < e4);
         // First order: error ∝ 1/steps (within a factor).
@@ -319,12 +345,21 @@ mod tests {
         let t = 1.0;
         let steps = 4;
         let opts = DirectOptions::linear();
-        let e1 =
-            unitary_error(&direct_product_formula(&h, t, steps, ProductFormula::First, &opts), &m, t);
-        let e2 =
-            unitary_error(&direct_product_formula(&h, t, steps, ProductFormula::Second, &opts), &m, t);
-        let e4 =
-            unitary_error(&direct_product_formula(&h, t, steps, ProductFormula::Fourth, &opts), &m, t);
+        let e1 = unitary_error(
+            &direct_product_formula(&h, t, steps, ProductFormula::First, &opts),
+            &m,
+            t,
+        );
+        let e2 = unitary_error(
+            &direct_product_formula(&h, t, steps, ProductFormula::Second, &opts),
+            &m,
+            t,
+        );
+        let e4 = unitary_error(
+            &direct_product_formula(&h, t, steps, ProductFormula::Fourth, &opts),
+            &m,
+            t,
+        );
         assert!(e2 < e1);
         assert!(e4 < e2);
         assert!(e4 < 1e-3);
@@ -350,8 +385,15 @@ mod tests {
         let sum = h.to_pauli_sum();
         let t = 0.7;
         let steps = 32;
-        let direct = direct_product_formula(&h, t, steps, ProductFormula::Second, &DirectOptions::linear());
-        let usual = usual_product_formula(&sum, t, steps, ProductFormula::Second, LadderStyle::Linear);
+        let direct = direct_product_formula(
+            &h,
+            t,
+            steps,
+            ProductFormula::Second,
+            &DirectOptions::linear(),
+        );
+        let usual =
+            usual_product_formula(&sum, t, steps, ProductFormula::Second, LadderStyle::Linear);
         assert!(unitary_error(&direct, &m, t) < 1e-3);
         assert!(unitary_error(&usual, &m, t) < 1e-3);
     }

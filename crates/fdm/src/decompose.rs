@@ -16,9 +16,7 @@
 //! handling through per-component correction terms (Section V-C3).
 
 use ghs_math::{c64, CMatrix, Complex64};
-use ghs_operators::{
-    component_transition_term, HermitianTerm, ScbHamiltonian, ScbOp, ScbString,
-};
+use ghs_operators::{component_transition_term, HermitianTerm, ScbHamiltonian, ScbOp, ScbString};
 
 /// Boundary condition of the 1-D discretised operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,7 +87,12 @@ pub fn neighbor_coupling(k: usize, weight: f64, periodic: bool) -> ScbHamiltonia
 /// `row == col`) — the per-component correction mechanism of Section V-C3
 /// used for boundary handling and inhomogeneous coefficients.
 pub fn add_component_correction(h: &mut ScbHamiltonian, row: usize, col: usize, weight: f64) {
-    h.push(component_transition_term(c64(weight, 0.0), row, col, h.num_qubits()));
+    h.push(component_transition_term(
+        c64(weight, 0.0),
+        row,
+        col,
+        h.num_qubits(),
+    ));
 }
 
 /// The 1-D discrete Laplacian (second-derivative stencil)
@@ -113,12 +116,7 @@ pub fn laplacian_1d(k: usize, spacing: f64, bc: BoundaryCondition) -> ScbHamilto
 /// The 2-D discrete Laplacian on a `2^kx × 2^ky` Cartesian grid (Kronecker
 /// sum of two 1-D Laplacians), row-major node ordering with the x register
 /// first.
-pub fn laplacian_2d(
-    kx: usize,
-    ky: usize,
-    spacing: f64,
-    bc: BoundaryCondition,
-) -> ScbHamiltonian {
+pub fn laplacian_2d(kx: usize, ky: usize, spacing: f64, bc: BoundaryCondition) -> ScbHamiltonian {
     let total = kx + ky;
     let hx = laplacian_1d(kx, spacing, bc);
     let hy = laplacian_1d(ky, spacing, bc);
@@ -221,7 +219,13 @@ pub struct TwoLineParams {
 impl TwoLineParams {
     /// The Poisson special case of Eq. 22: diagonal −4, all couplings 1.
     pub fn poisson() -> Self {
-        Self { a1: -4.0, a2: -4.0, ai1: 1.0, ai2: 1.0, aj12: 1.0 }
+        Self {
+            a1: -4.0,
+            a2: -4.0,
+            ai1: 1.0,
+            ai2: 1.0,
+            aj12: 1.0,
+        }
     }
 }
 
@@ -294,7 +298,14 @@ impl DoubleLayerParams {
     /// The simple Poisson-like case used in the paper (all couplings 1,
     /// common diagonal).
     pub fn uniform(diag: f64) -> Self {
-        Self { a: [diag; 4], ai: [1.0; 4], aj12: 1.0, aj34: 1.0, ak13: 1.0, ak24: 1.0 }
+        Self {
+            a: [diag; 4],
+            ai: [1.0; 4],
+            aj12: 1.0,
+            aj34: 1.0,
+            ak13: 1.0,
+            ak24: 1.0,
+        }
     }
 }
 
@@ -386,7 +397,10 @@ pub fn two_node_line_with_inhomogeneous_diagonal(
 ) -> ScbHamiltonian {
     let mut h = two_node_line_operator(k, p);
     // One extra term: extra·n̂ ⊗ I (acts only on the second node line).
-    h.push_bare(extra_diag_line2, ScbString::with_op_on(1 + k, ScbOp::N, &[0]));
+    h.push_bare(
+        extra_diag_line2,
+        ScbString::with_op_on(1 + k, ScbOp::N, &[0]),
+    );
     h
 }
 
@@ -464,7 +478,13 @@ mod tests {
     #[test]
     fn two_node_line_matches_paper_matrix() {
         // k = 2 → the 8×8 matrix printed in Section V-C2.
-        let p = TwoLineParams { a1: -4.0, a2: -3.0, ai1: 1.0, ai2: 0.5, aj12: 0.25 };
+        let p = TwoLineParams {
+            a1: -4.0,
+            a2: -3.0,
+            ai1: 1.0,
+            ai2: 0.5,
+            aj12: 0.25,
+        };
         let h = two_node_line_operator(2, &p);
         let reference = assemble_two_node_line(2, &p);
         assert!(h.matrix().approx_eq(&reference, DEFAULT_TOL));

@@ -15,11 +15,10 @@ pub mod scaling;
 pub mod solver;
 
 pub use decompose::{
-    add_component_correction, assemble_double_layer, assemble_laplacian_1d,
-    assemble_laplacian_nd, assemble_two_node_line, double_layer_operator, embed_hamiltonian,
-    laplacian_1d, laplacian_2d, laplacian_3d, neighbor_coupling,
-    two_node_line_operator, two_node_line_with_inhomogeneous_diagonal, BoundaryCondition,
-    DoubleLayerParams, TwoLineParams,
+    add_component_correction, assemble_double_layer, assemble_laplacian_1d, assemble_laplacian_nd,
+    assemble_two_node_line, double_layer_operator, embed_hamiltonian, laplacian_1d, laplacian_2d,
+    laplacian_3d, neighbor_coupling, two_node_line_operator,
+    two_node_line_with_inhomogeneous_diagonal, BoundaryCondition, DoubleLayerParams, TwoLineParams,
 };
 pub use scaling::{
     fdm_block_encoding_table, fdm_scaling_table, fdm_simulation_errors, FdmBlockEncodingRow,

@@ -53,12 +53,7 @@ pub fn conjugate_gradient(
 /// Solves the Poisson problem `Δf = rhs` on a `d`-dimensional grid of
 /// `2^{k_i}` nodes per axis with the given boundary condition, using CG on
 /// the negated (positive-definite for Dirichlet) operator.
-pub fn solve_poisson(
-    ks: &[usize],
-    spacing: f64,
-    bc: BoundaryCondition,
-    rhs: &[f64],
-) -> Vec<f64> {
+pub fn solve_poisson(ks: &[usize], spacing: f64, bc: BoundaryCondition, rhs: &[f64]) -> Vec<f64> {
     let a: CMatrix = assemble_laplacian_nd(ks, spacing, bc);
     let dim = a.rows();
     assert_eq!(rhs.len(), dim, "right-hand side size mismatch");
@@ -95,10 +90,8 @@ mod tests {
     #[test]
     fn cg_solves_small_spd_system() {
         // A = [[4,1],[1,3]], b = [1,2].
-        let a = SparseMatrix::from_dense(
-            &CMatrix::from_real_rows(&[&[4.0, 1.0], &[1.0, 3.0]]),
-            0.0,
-        );
+        let a =
+            SparseMatrix::from_dense(&CMatrix::from_real_rows(&[&[4.0, 1.0], &[1.0, 3.0]]), 0.0);
         let b = vec![c64(1.0, 0.0), c64(2.0, 0.0)];
         let (x, iters) = conjugate_gradient(&a, &b, 1e-12, 50);
         assert!(iters <= 2);

@@ -46,7 +46,10 @@ pub fn crossover_table(max_order: usize) -> Vec<CrossoverRow> {
 
 /// The first order at which the direct strategy's model beats the usual one.
 pub fn measured_crossover(max_order: usize) -> Option<usize> {
-    crossover_table(max_order).iter().find(|r| r.direct_wins).map(|r| r.order)
+    crossover_table(max_order)
+        .iter()
+        .find(|r| r.direct_wins)
+        .map(|r| r.order)
 }
 
 /// One row of the sparse high-order scaling analysis (E07).
@@ -113,7 +116,10 @@ mod tests {
         let table = crossover_table(16);
         // Once the direct strategy wins it keeps winning (linear vs
         // exponential growth).
-        let first_win = table.iter().position(|r| r.direct_wins).expect("a crossover exists");
+        let first_win = table
+            .iter()
+            .position(|r| r.direct_wins)
+            .expect("a crossover exists");
         for row in &table[first_win..] {
             assert!(row.direct_wins);
         }

@@ -41,7 +41,8 @@ pub fn cost_register_circuit(problem: &HuboProblem, value_bits: usize, offset: f
     }
     for (j, &v) in value_qubits.iter().enumerate() {
         let weight = (1u64 << (m - 1 - j)) as f64;
-        let gamma = -2.0 * PI * weight / modulus; // separator applies exp(−iγH)
+        // The separator applies exp(−iγH).
+        let gamma = -2.0 * PI * weight / modulus;
         // Controlled phase separator: every keyed phase of the separator gets
         // the value qubit appended to its key; the constant offset becomes a
         // plain phase gate on the value qubit.
@@ -169,7 +170,12 @@ pub fn grover_adaptive_search<R: Rng>(
             best_assignment = assignment;
         }
     }
-    GasResult { best_assignment, best_cost, total_iterations, rounds }
+    GasResult {
+        best_assignment,
+        best_cost,
+        total_iterations,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +213,11 @@ mod tests {
             }
             let outcome = found.expect("deterministic readout");
             assert_eq!(decode_assignment(outcome, 3, m), x);
-            assert_eq!(decode_value(outcome, 3, m) as f64, expected_value, "x = {x:03b}");
+            assert_eq!(
+                decode_value(outcome, 3, m) as f64,
+                expected_value,
+                "x = {x:03b}"
+            );
         }
     }
 
@@ -220,7 +230,9 @@ mod tests {
         let x = 0b111usize; // C = 0 → shifted −2
         let mut state = StateVector::basis_state(3 + m, x << m);
         state.apply_circuit(&circuit);
-        let outcome = (0..state.dim()).find(|&i| state.probability(i) > 0.99).unwrap();
+        let outcome = (0..state.dim())
+            .find(|&i| state.probability(i) > 0.99)
+            .unwrap();
         assert_eq!(decode_value(outcome, 3, m), -2);
     }
 

@@ -19,12 +19,12 @@ pub use circuits::{
     direct_phase_separator, direct_separator_resources, table3_rows, usual_phase_separator,
     usual_separator_resources, GateCensus, SeparatorResources, Table3Row,
 };
-pub use gas::{
-    cost_register_circuit, decode_assignment, decode_value, grover_adaptive_search, GasResult,
-};
 pub use crossover::{
     crossover_table, measured_crossover, measured_sparse_counts, sparse_scaling_table,
     CrossoverRow, SparseScalingRow,
+};
+pub use gas::{
+    cost_register_circuit, decode_assignment, decode_value, grover_adaptive_search, GasResult,
 };
 pub use problem::{
     hubo_phase_hamiltonian, knapsack_hubo, random_dense_hubo, random_hypergraph_maxcut,

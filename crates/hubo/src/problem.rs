@@ -19,7 +19,10 @@ pub struct HuboProblem {
 impl HuboProblem {
     /// Empty problem on `num_vars` boolean variables.
     pub fn new(num_vars: usize) -> Self {
-        Self { num_vars, terms: BTreeMap::new() }
+        Self {
+            num_vars,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// Number of variables.
@@ -106,9 +109,15 @@ impl HuboProblem {
             let scale = w / (1usize << k) as f64;
             // ∏ (I − Z_i)/2 = 2^{-k} Σ_{S⊆vars} (−1)^{|S|} Z_S.
             for mask in 0..(1usize << k) {
-                let subset: Vec<usize> =
-                    (0..k).filter(|j| mask >> j & 1 == 1).map(|j| vars[j]).collect();
-                let sign = if subset.len() % 2 == 0 { 1.0 } else { -1.0 };
+                let subset: Vec<usize> = (0..k)
+                    .filter(|j| mask >> j & 1 == 1)
+                    .map(|j| vars[j])
+                    .collect();
+                let sign = if subset.len().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 ising.add_term(sign * scale, &subset);
             }
         }
@@ -128,7 +137,10 @@ pub struct IsingProblem {
 impl IsingProblem {
     /// Empty problem.
     pub fn new(num_vars: usize) -> Self {
-        Self { num_vars, terms: BTreeMap::new() }
+        Self {
+            num_vars,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// Number of variables.
@@ -221,8 +233,10 @@ impl IsingProblem {
             let k = vars.len();
             // ∏ (1 − 2n_i) = Σ_{S⊆vars} (−2)^{|S|} ∏_{i∈S} n_i.
             for mask in 0..(1usize << k) {
-                let subset: Vec<usize> =
-                    (0..k).filter(|j| mask >> j & 1 == 1).map(|j| vars[j]).collect();
+                let subset: Vec<usize> = (0..k)
+                    .filter(|j| mask >> j & 1 == 1)
+                    .map(|j| vars[j])
+                    .collect();
                 let coeff = w * (-2.0f64).powi(subset.len() as i32);
                 hubo.add_term(coeff, &subset);
             }
@@ -306,7 +320,11 @@ pub fn knapsack_hubo(values: &[f64], weights: &[u32], capacity: u32, penalty: f6
     assert_eq!(values.len(), weights.len());
     let n_items = values.len();
     // Slack register big enough to express any load up to the capacity.
-    let slack_bits = if capacity == 0 { 0 } else { (32 - capacity.leading_zeros()) as usize };
+    let slack_bits = if capacity == 0 {
+        0
+    } else {
+        (32 - capacity.leading_zeros()) as usize
+    };
     let num_vars = n_items + slack_bits;
     let mut p = HuboProblem::new(num_vars);
     // Objective: maximise value → minimise −value.

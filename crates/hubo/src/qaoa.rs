@@ -30,7 +30,10 @@ pub struct QaoaParameters {
 impl QaoaParameters {
     /// All-zero parameters for `p` layers.
     pub fn zeros(p: usize) -> Self {
-        Self { gammas: vec![0.0; p], betas: vec![0.0; p] }
+        Self {
+            gammas: vec![0.0; p],
+            betas: vec![0.0; p],
+        }
     }
 
     /// Number of layers.
@@ -45,7 +48,11 @@ pub fn qaoa_circuit(
     params: &QaoaParameters,
     strategy: SeparatorStrategy,
 ) -> Circuit {
-    assert_eq!(params.gammas.len(), params.betas.len(), "layer count mismatch");
+    assert_eq!(
+        params.gammas.len(),
+        params.betas.len(),
+        "layer count mismatch"
+    );
     let n = problem.num_vars().max(1);
     let mut c = Circuit::new(n);
     for q in 0..problem.num_vars() {
@@ -75,7 +82,9 @@ pub fn qaoa_energy(
     let circuit = qaoa_circuit(problem, params, strategy);
     let mut state = StateVector::zero_state(circuit.num_qubits());
     state.apply_circuit(&circuit);
-    (0..state.dim()).map(|x| state.probability(x) * problem.evaluate(x)).sum()
+    (0..state.dim())
+        .map(|x| state.probability(x) * problem.evaluate(x))
+        .sum()
 }
 
 /// Result of a QAOA optimisation run.
@@ -148,7 +157,12 @@ pub fn optimize_qaoa<R: Rng>(
         .map(|x| state.probability(x))
         .sum();
 
-    QaoaResult { params: best_params, energy: best_energy, optimum_probability, optimal_cost }
+    QaoaResult {
+        params: best_params,
+        energy: best_energy,
+        optimum_probability,
+        optimal_cost,
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +185,10 @@ mod tests {
     #[test]
     fn both_strategies_give_identical_energies() {
         let p = small_problem();
-        let params = QaoaParameters { gammas: vec![0.7, -0.3], betas: vec![0.4, 0.2] };
+        let params = QaoaParameters {
+            gammas: vec![0.7, -0.3],
+            betas: vec![0.4, 0.2],
+        };
         let e_direct = qaoa_energy(&p, &params, SeparatorStrategy::Direct);
         let e_usual = qaoa_energy(&p, &params, SeparatorStrategy::Usual);
         assert!((e_direct - e_usual).abs() < 1e-9);
@@ -192,7 +209,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let uniform = qaoa_energy(&p, &QaoaParameters::zeros(1), SeparatorStrategy::Direct);
         let result = optimize_qaoa(&p, 2, SeparatorStrategy::Direct, 2, 6, &mut rng);
-        assert!(result.energy < uniform - 0.1, "QAOA failed to improve: {} vs {uniform}", result.energy);
+        assert!(
+            result.energy < uniform - 0.1,
+            "QAOA failed to improve: {} vs {uniform}",
+            result.energy
+        );
         assert!(result.optimum_probability > 1.0 / 16.0);
         assert!(result.energy >= result.optimal_cost - 1e-9);
     }

@@ -48,7 +48,11 @@ pub fn format_ket(index: usize, n: usize) -> String {
     let mut s = String::with_capacity(n + 2);
     s.push('|');
     for q in 0..n {
-        s.push(if qubit_bit(index, q, n) == 1 { '1' } else { '0' });
+        s.push(if qubit_bit(index, q, n) == 1 {
+            '1'
+        } else {
+            '0'
+        });
     }
     s.push('⟩');
     s
@@ -56,7 +60,9 @@ pub fn format_ket(index: usize, n: usize) -> String {
 
 /// Parity (number of ones mod 2) of `index` restricted to the given qubits.
 pub fn parity_on(index: usize, qubits: &[usize], n: usize) -> u8 {
-    qubits.iter().fold(0u8, |acc, &q| acc ^ qubit_bit(index, q, n))
+    qubits
+        .iter()
+        .fold(0u8, |acc, &q| acc ^ qubit_bit(index, q, n))
 }
 
 /// Hamming weight of `index`.

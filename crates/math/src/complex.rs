@@ -54,7 +54,10 @@ impl Complex64 {
     /// Creates `r·e^{iθ}`.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Self { re: r * theta.cos(), im: r * theta.sin() }
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// `e^{iθ}` on the unit circle.
@@ -66,7 +69,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -91,14 +97,20 @@ impl Complex64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Complex exponential `e^z`.
     #[inline]
     pub fn exp(self) -> Self {
         let r = self.re.exp();
-        Self { re: r * self.im.cos(), im: r * self.im.sin() }
+        Self {
+            re: r * self.im.cos(),
+            im: r * self.im.sin(),
+        }
     }
 
     /// Principal square root.
@@ -112,19 +124,28 @@ impl Complex64 {
     /// Multiply by the imaginary unit (cheaper than a full complex multiply).
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        Self { re: -self.im, im: self.re }
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiply by `-i`.
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        Self { re: self.im, im: -self.re }
+        Self {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Scale by a real factor.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// True when both parts are within `tol` of the other value's.
@@ -173,7 +194,10 @@ impl Add for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -181,7 +205,10 @@ impl Sub for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -199,6 +226,8 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline]
+    // z / w computed as z · w⁻¹, which clippy flags as a suspicious `*`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -208,7 +237,10 @@ impl Neg for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -232,7 +264,10 @@ impl Div<f64> for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn div(self, rhs: f64) -> Self {
-        Self { re: self.re / rhs, im: self.im / rhs }
+        Self {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
@@ -345,7 +380,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64(1.0, 1.0), c64(2.0, -0.5), c64(-3.0, 0.25)];
+        let v = [c64(1.0, 1.0), c64(2.0, -0.5), c64(-3.0, 0.25)];
         let s: Complex64 = v.iter().sum();
         assert!(s.approx_eq(c64(0.0, 0.75), TOL));
     }

@@ -23,7 +23,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -53,7 +57,11 @@ impl CMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend(row.iter().map(|&x| c64(x, 0.0)));
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from nested row slices of complex numbers.
@@ -65,7 +73,11 @@ impl CMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -151,13 +163,21 @@ impl CMatrix {
     /// Element-wise complex conjugate.
     pub fn conj(&self) -> Self {
         let data = self.data.iter().map(|z| z.conj()).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every entry by a complex factor.
     pub fn scale(&self, s: Complex64) -> Self {
         let data = self.data.iter().map(|&z| z * s).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scaled accumulation `self += s·other`.
@@ -306,7 +326,11 @@ impl CMatrix {
             }
         }
         if best <= tol {
-            return if self.max_norm() <= tol { Some(Complex64::ONE) } else { None };
+            return if self.max_norm() <= tol {
+                Some(Complex64::ONE)
+            } else {
+                None
+            };
         }
         let phase = self.data[idx] / other.data[idx];
         if (phase.abs() - 1.0).abs() > 10.0 * tol {
@@ -335,7 +359,10 @@ impl CMatrix {
 
     /// Extracts the sub-block with row range `r0..r0+h` and column range `c0..c0+w`.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of range"
+        );
         let mut out = Self::zeros(h, w);
         for i in 0..h {
             for j in 0..w {
@@ -387,7 +414,11 @@ impl Add for &CMatrix {
             .zip(rhs.data.iter())
             .map(|(a, b)| *a + *b)
             .collect();
-        CMatrix { rows: self.rows, cols: self.cols, data }
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -402,7 +433,11 @@ impl Sub for &CMatrix {
             .zip(rhs.data.iter())
             .map(|(a, b)| *a - *b)
             .collect();
-        CMatrix { rows: self.rows, cols: self.cols, data }
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

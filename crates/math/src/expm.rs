@@ -23,7 +23,11 @@ pub fn expm(a: &CMatrix) -> CMatrix {
     assert!(a.is_square(), "expm requires a square matrix");
     let n = a.rows();
     let norm = a.one_norm();
-    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
     let scaled = a.scale(Complex64::real(1.0 / f64::powi(2.0, s as i32)));
 
     let mut result = CMatrix::identity(n);
@@ -62,7 +66,11 @@ pub fn expm_multiply(a: &SparseMatrix, scale: Complex64, v: &[Complex64]) -> Vec
     assert_eq!(a.rows(), a.cols(), "expm_multiply requires a square matrix");
     assert_eq!(a.cols(), v.len(), "dimension mismatch");
     let norm = a.one_norm() * scale.abs();
-    let s = if norm > 0.5 { (norm / 0.5).ceil() as usize } else { 1 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).ceil() as usize
+    } else {
+        1
+    };
     let step = scale / s as f64;
 
     let mut current = v.to_vec();
@@ -145,7 +153,10 @@ mod tests {
     fn exp_of_diagonal() {
         let d = CMatrix::from_diagonal(&[c64(1.0, 0.0), c64(0.0, 2.0), c64(-1.0, -1.0)]);
         let e = expm(&d);
-        for (i, &lam) in [c64(1.0, 0.0), c64(0.0, 2.0), c64(-1.0, -1.0)].iter().enumerate() {
+        for (i, &lam) in [c64(1.0, 0.0), c64(0.0, 2.0), c64(-1.0, -1.0)]
+            .iter()
+            .enumerate()
+        {
             assert!(e[(i, i)].approx_eq(lam.exp(), TOL));
         }
         assert!(e[(0, 1)].is_approx_zero(TOL));
@@ -196,7 +207,9 @@ mod tests {
         }
         let h = coo.to_csr();
         assert!(h.is_hermitian(1e-12));
-        let v: Vec<Complex64> = (0..8).map(|i| c64(1.0 / (i as f64 + 1.0), 0.1 * i as f64)).collect();
+        let v: Vec<Complex64> = (0..8)
+            .map(|i| c64(1.0 / (i as f64 + 1.0), 0.1 * i as f64))
+            .collect();
         let theta = 0.77;
         let got = expm_multiply_minus_i_theta(&h, theta, &v);
         let expect = expm_minus_i_theta(&h.to_dense(), theta).matvec(&v);

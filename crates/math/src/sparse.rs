@@ -23,7 +23,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty COO matrix with the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Adds `value` at `(row, col)`; duplicate coordinates accumulate.
@@ -68,7 +72,13 @@ impl CooMatrix {
         for r in 0..self.rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        SparseMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -85,7 +95,13 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// The `n × n` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The `n × n` identity.
@@ -194,7 +210,7 @@ impl SparseMatrix {
     pub fn scale(&self, s: Complex64) -> Self {
         let mut out = self.clone();
         for v in &mut out.values {
-            *v = *v * s;
+            *v *= s;
         }
         out
     }
@@ -218,7 +234,8 @@ impl SparseMatrix {
                 let a = self.values[k];
                 let mid = self.col_idx[k];
                 for k2 in rhs.row_ptr[mid]..rhs.row_ptr[mid + 1] {
-                    *row_acc.entry(rhs.col_idx[k2]).or_insert(Complex64::ZERO) += a * rhs.values[k2];
+                    *row_acc.entry(rhs.col_idx[k2]).or_insert(Complex64::ZERO) +=
+                        a * rhs.values[k2];
                 }
             }
             for (c, v) in row_acc {
@@ -271,7 +288,9 @@ impl SparseMatrix {
         if self.rows != other.rows || self.cols != other.cols {
             return false;
         }
-        self.add_scaled(other, Complex64::real(-1.0)).frobenius_norm() <= tol
+        self.add_scaled(other, Complex64::real(-1.0))
+            .frobenius_norm()
+            <= tol
     }
 }
 

@@ -26,7 +26,10 @@ pub struct LadderOp {
 impl LadderOp {
     /// Annihilation operator `a_mode`.
     pub fn annihilate(mode: usize) -> Self {
-        Self { mode, dagger: false }
+        Self {
+            mode,
+            dagger: false,
+        }
     }
 
     /// Creation operator `a†_mode`.
@@ -41,7 +44,11 @@ impl LadderOp {
         for q in 0..self.mode {
             ops[q] = ScbOp::Z;
         }
-        ops[self.mode] = if self.dagger { ScbOp::SigmaDag } else { ScbOp::Sigma };
+        ops[self.mode] = if self.dagger {
+            ScbOp::SigmaDag
+        } else {
+            ScbOp::Sigma
+        };
         ScbString::new(ops)
     }
 }
@@ -98,7 +105,10 @@ impl FermionTerm {
                 .ops
                 .iter()
                 .rev()
-                .map(|o| LadderOp { mode: o.mode, dagger: !o.dagger })
+                .map(|o| LadderOp {
+                    mode: o.mode,
+                    dagger: !o.dagger,
+                })
                 .collect(),
         }
     }
@@ -140,7 +150,10 @@ pub struct FermionHamiltonian {
 impl FermionHamiltonian {
     /// Empty Hamiltonian on `num_modes` spin-orbitals.
     pub fn new(num_modes: usize) -> Self {
-        Self { num_modes, terms: Vec::new() }
+        Self {
+            num_modes,
+            terms: Vec::new(),
+        }
     }
 
     /// Number of modes (qubits after Jordan–Wigner).
@@ -180,7 +193,9 @@ impl FermionHamiltonian {
         let n = self.num_modes;
         let mut h = ScbHamiltonian::new(n);
         for term in &self.terms {
-            let Some(mapped) = term.jordan_wigner(n) else { continue };
+            let Some(mapped) = term.jordan_wigner(n) else {
+                continue;
+            };
             // Eq. 16 uses h/2 (T + h.c.); here the caller supplies the full
             // weight once, so pairing uses the weight as-is and Hermitian
             // strings (diagonal products) are doubled by their own conjugate.
@@ -234,10 +249,7 @@ mod tests {
     #[test]
     fn jordan_wigner_single_operator() {
         let a2 = LadderOp::annihilate(2).jordan_wigner(4);
-        assert_eq!(
-            a2.ops(),
-            &[ScbOp::Z, ScbOp::Z, ScbOp::Sigma, ScbOp::I]
-        );
+        assert_eq!(a2.ops(), &[ScbOp::Z, ScbOp::Z, ScbOp::Sigma, ScbOp::I]);
     }
 
     #[test]
@@ -255,7 +267,10 @@ mod tests {
                 } else {
                     CMatrix::zeros(dim, dim)
                 };
-                assert!(anti.approx_eq(&expect, DEFAULT_TOL), "{{a_{i}, a†_{j}}} failed");
+                assert!(
+                    anti.approx_eq(&expect, DEFAULT_TOL),
+                    "{{a_{i}, a†_{j}}} failed"
+                );
 
                 let aj = jw_dense(LadderOp::annihilate(j), n);
                 let anti2 = &ai.matmul(&aj) + &aj.matmul(&ai);
@@ -309,7 +324,11 @@ mod tests {
             .matmul(&jw_dense(LadderOp::annihilate(2), n))
             .matmul(&jw_dense(LadderOp::annihilate(3), n))
             .scale(c64(0.7, 0.0));
-        assert!(mapped.string.matrix().scale(mapped.coeff).approx_eq(&dense, DEFAULT_TOL));
+        assert!(mapped
+            .string
+            .matrix()
+            .scale(mapped.coeff)
+            .approx_eq(&dense, DEFAULT_TOL));
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct HermitianTerm {
 impl HermitianTerm {
     /// Builds `γ·Â + h.c.` (always pairs with the conjugate).
     pub fn paired(coeff: Complex64, string: ScbString) -> Self {
-        Self { coeff, string, add_hc: true }
+        Self {
+            coeff,
+            string,
+            add_hc: true,
+        }
     }
 
     /// Builds a bare Hermitian term `γ·Â` with real `γ` and Hermitian `Â`.
@@ -38,7 +42,11 @@ impl HermitianTerm {
             string.is_hermitian(),
             "bare terms require a Hermitian SCB string (no ladder operators)"
         );
-        Self { coeff: Complex64::real(coeff), string, add_hc: false }
+        Self {
+            coeff: Complex64::real(coeff),
+            string,
+            add_hc: false,
+        }
     }
 
     /// Chooses automatically: strings containing ladder operators are paired
@@ -46,9 +54,17 @@ impl HermitianTerm {
     /// the real part of the weight.
     pub fn auto(coeff: Complex64, string: ScbString) -> Self {
         if string.is_hermitian() {
-            Self { coeff: Complex64::real(coeff.re), string, add_hc: false }
+            Self {
+                coeff: Complex64::real(coeff.re),
+                string,
+                add_hc: false,
+            }
         } else {
-            Self { coeff, string, add_hc: true }
+            Self {
+                coeff,
+                string,
+                add_hc: true,
+            }
         }
     }
 
@@ -125,7 +141,10 @@ pub struct ScbHamiltonian {
 impl ScbHamiltonian {
     /// Empty Hamiltonian on `n` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Self { num_qubits, terms: Vec::new() }
+        Self {
+            num_qubits,
+            terms: Vec::new(),
+        }
     }
 
     /// Builds from a list of terms.
@@ -159,7 +178,9 @@ impl ScbHamiltonian {
         let mut h = Self::new(num_qubits);
         let strings: Vec<ScbString> = by_string.keys().cloned().collect();
         for s in strings {
-            let Some(&coeff) = by_string.get(&s) else { continue };
+            let Some(&coeff) = by_string.get(&s) else {
+                continue;
+            };
             if coeff.abs() <= tol {
                 continue;
             }
@@ -324,7 +345,8 @@ mod tests {
         let herm = HermitianTerm::auto(c64(2.0, 5.0), ScbString::with_op_on(2, ScbOp::Z, &[0]));
         assert!(!herm.add_hc);
         assert!(herm.coeff.approx_eq(c64(2.0, 0.0), DEFAULT_TOL));
-        let ladder = HermitianTerm::auto(c64(2.0, 5.0), ScbString::with_op_on(2, ScbOp::Sigma, &[0]));
+        let ladder =
+            HermitianTerm::auto(c64(2.0, 5.0), ScbString::with_op_on(2, ScbOp::Sigma, &[0]));
         assert!(ladder.add_hc);
     }
 
@@ -362,7 +384,10 @@ mod tests {
     fn fragment_count_cancellation() {
         // σ† + σ = X: the paired expansion cancels the Y components,
         // leaving a single Pauli fragment.
-        let t = HermitianTerm::paired(c64(1.0, 0.0), ScbString::with_op_on(1, ScbOp::SigmaDag, &[0]));
+        let t = HermitianTerm::paired(
+            c64(1.0, 0.0),
+            ScbString::with_op_on(1, ScbOp::SigmaDag, &[0]),
+        );
         assert_eq!(t.pauli_fragment_count(), 1);
         // 0.5·σ†σ† + h.c. on two qubits → XX, YY, XY, YX → after pairing: XX − YY (2 fragments)
         let t2 = HermitianTerm::paired(
@@ -393,7 +418,10 @@ mod tests {
     #[should_panic(expected = "non-Hermitian")]
     fn from_exact_sum_rejects_non_hermitian_input() {
         use crate::string::ScbTerm;
-        let terms = vec![ScbTerm::new(c64(1.0, 0.0), ScbString::with_op_on(1, ScbOp::Sigma, &[0]))];
+        let terms = vec![ScbTerm::new(
+            c64(1.0, 0.0),
+            ScbString::with_op_on(1, ScbOp::Sigma, &[0]),
+        )];
         let _ = ScbHamiltonian::from_exact_sum(1, &terms);
     }
 

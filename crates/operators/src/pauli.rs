@@ -19,7 +19,9 @@ pub struct PauliString {
 impl PauliString {
     /// The all-identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        Self { ops: vec![PauliOp::I; n] }
+        Self {
+            ops: vec![PauliOp::I; n],
+        }
     }
 
     /// Builds a string from per-qubit operators.
@@ -85,7 +87,9 @@ impl PauliString {
 
     /// True when every factor is `I` or `Z` (diagonal string).
     pub fn is_diagonal(&self) -> bool {
-        self.ops.iter().all(|&p| matches!(p, PauliOp::I | PauliOp::Z))
+        self.ops
+            .iter()
+            .all(|&p| matches!(p, PauliOp::I | PauliOp::Z))
     }
 
     /// Dense matrix of the string (`2^n × 2^n`).
@@ -99,7 +103,11 @@ impl PauliString {
 
     /// Product of two strings: `self · rhs = phase · string`.
     pub fn product(&self, rhs: &Self) -> (Complex64, Self) {
-        assert_eq!(self.num_qubits(), rhs.num_qubits(), "register size mismatch");
+        assert_eq!(
+            self.num_qubits(),
+            rhs.num_qubits(),
+            "register size mismatch"
+        );
         let mut phase = Complex64::ONE;
         let ops = self
             .ops
@@ -123,9 +131,7 @@ impl PauliString {
             .ops
             .iter()
             .zip(rhs.ops.iter())
-            .filter(|(&a, &b)| {
-                a != PauliOp::I && b != PauliOp::I && a != b
-            })
+            .filter(|(&a, &b)| a != PauliOp::I && b != PauliOp::I && a != b)
             .count();
         anti % 2 == 0
     }
@@ -133,7 +139,10 @@ impl PauliString {
     /// Eigenvalue `±1` of the string on computational-basis state `index`,
     /// defined only for diagonal strings.
     pub fn diagonal_eigenvalue(&self, index: usize) -> f64 {
-        assert!(self.is_diagonal(), "eigenvalue on basis states requires a diagonal string");
+        assert!(
+            self.is_diagonal(),
+            "eigenvalue on basis states requires a diagonal string"
+        );
         let n = self.num_qubits();
         let mut sign = 1.0;
         for (q, &op) in self.ops.iter().enumerate() {
@@ -164,13 +173,20 @@ pub struct PauliSum {
 impl PauliSum {
     /// Empty sum on `n` qubits.
     pub fn zero(num_qubits: usize) -> Self {
-        Self { num_qubits, terms: Vec::new() }
+        Self {
+            num_qubits,
+            terms: Vec::new(),
+        }
     }
 
     /// Builds a sum from explicit terms.
     pub fn from_terms(num_qubits: usize, terms: Vec<(Complex64, PauliString)>) -> Self {
         for (_, p) in &terms {
-            assert_eq!(p.num_qubits(), num_qubits, "mixed register sizes in PauliSum");
+            assert_eq!(
+                p.num_qubits(),
+                num_qubits,
+                "mixed register sizes in PauliSum"
+            );
         }
         let mut s = Self { num_qubits, terms };
         s.simplify(0.0);
@@ -252,7 +268,10 @@ impl PauliSum {
     /// ≤ `tol` are pruned, which is what makes the approach efficient on the
     /// sparse structured matrices of the applications.
     pub fn from_matrix(m: &CMatrix, tol: f64) -> Self {
-        assert!(m.is_square(), "Pauli decomposition requires a square matrix");
+        assert!(
+            m.is_square(),
+            "Pauli decomposition requires a square matrix"
+        );
         let dim = m.rows();
         assert!(dim.is_power_of_two(), "dimension must be a power of two");
         let n = dim.trailing_zeros() as usize;
@@ -420,7 +439,14 @@ mod tests {
         let mut m = CMatrix::zeros(dim, dim);
         for r in 0..dim {
             for c in r..dim {
-                let v = c64(rng.gen_range(-1.0..1.0), if c == r { 0.0 } else { rng.gen_range(-1.0..1.0) });
+                let v = c64(
+                    rng.gen_range(-1.0..1.0),
+                    if c == r {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    },
+                );
                 m[(r, c)] = v;
                 m[(c, r)] = v.conj();
             }

@@ -66,7 +66,9 @@ impl FamilySplit {
 impl ScbString {
     /// The all-identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        Self { ops: vec![ScbOp::I; n] }
+        Self {
+            ops: vec![ScbOp::I; n],
+        }
     }
 
     /// Builds a string from per-qubit operators (index 0 = leftmost tensor
@@ -133,7 +135,9 @@ impl ScbString {
 
     /// Hermitian conjugate of the string (σ ↔ σ†, all other factors fixed).
     pub fn dagger(&self) -> Self {
-        Self { ops: self.ops.iter().map(|o| o.dagger()).collect() }
+        Self {
+            ops: self.ops.iter().map(|o| o.dagger()).collect(),
+        }
     }
 
     /// True when every factor is Hermitian, i.e. the string contains no
@@ -162,12 +166,10 @@ impl ScbString {
                         _ => unreachable!(),
                     },
                 )),
-                ScbFamily::Control => {
-                    split.controls.push((q, if op == ScbOp::N { 1 } else { 0 }))
-                }
-                ScbFamily::Transition => {
-                    split.transitions.push((q, if op == ScbOp::SigmaDag { 1 } else { 0 }))
-                }
+                ScbFamily::Control => split.controls.push((q, if op == ScbOp::N { 1 } else { 0 })),
+                ScbFamily::Transition => split
+                    .transitions
+                    .push((q, if op == ScbOp::SigmaDag { 1 } else { 0 })),
             }
         }
         split
@@ -201,7 +203,8 @@ impl ScbString {
     /// avoids.
     pub fn to_pauli_sum(&self) -> PauliSum {
         let n = self.num_qubits();
-        let mut terms: Vec<(Complex64, Vec<PauliOp>)> = vec![(Complex64::ONE, Vec::with_capacity(n))];
+        let mut terms: Vec<(Complex64, Vec<PauliOp>)> =
+            vec![(Complex64::ONE, Vec::with_capacity(n))];
         for op in &self.ops {
             let expansion = op.pauli_expansion();
             let mut next = Vec::with_capacity(terms.len() * expansion.len());
@@ -234,7 +237,11 @@ impl ScbString {
     /// `self · rhs = coeff · string` or zero. This is the closure property
     /// that keeps products of SCB terms from expanding (Section II-B).
     pub fn product(&self, rhs: &Self) -> Option<(Complex64, Self)> {
-        assert_eq!(self.num_qubits(), rhs.num_qubits(), "register size mismatch");
+        assert_eq!(
+            self.num_qubits(),
+            rhs.num_qubits(),
+            "register size mismatch"
+        );
         let mut coeff = Complex64::ONE;
         let mut ops = Vec::with_capacity(self.ops.len());
         for (&a, &b) in self.ops.iter().zip(rhs.ops.iter()) {
@@ -267,7 +274,10 @@ impl ScbString {
             a_bits[q] = a;
             b_bits[q] = b;
         }
-        Some((ghs_math::bits::bits_to_index(&a_bits), ghs_math::bits::bits_to_index(&b_bits)))
+        Some((
+            ghs_math::bits::bits_to_index(&a_bits),
+            ghs_math::bits::bits_to_index(&b_bits),
+        ))
     }
 }
 
@@ -305,13 +315,19 @@ impl ScbTerm {
 
     /// Hermitian conjugate `γ*·Â†`.
     pub fn dagger(&self) -> Self {
-        Self { coeff: self.coeff.conj(), string: self.string.dagger() }
+        Self {
+            coeff: self.coeff.conj(),
+            string: self.string.dagger(),
+        }
     }
 
     /// Product of two weighted strings (zero → `None`).
     pub fn product(&self, rhs: &Self) -> Option<ScbTerm> {
         let (c, s) = self.string.product(&rhs.string)?;
-        Some(ScbTerm { coeff: self.coeff * rhs.coeff * c, string: s })
+        Some(ScbTerm {
+            coeff: self.coeff * rhs.coeff * c,
+            string: s,
+        })
     }
 }
 
@@ -353,7 +369,10 @@ mod tests {
     #[test]
     fn dagger_matches_matrix_dagger() {
         let s = example_string();
-        assert!(s.dagger().matrix().approx_eq(&s.matrix().dagger(), DEFAULT_TOL));
+        assert!(s
+            .dagger()
+            .matrix()
+            .approx_eq(&s.matrix().dagger(), DEFAULT_TOL));
         assert!(!s.is_hermitian());
         assert!(ScbString::with_op_on(3, ScbOp::Z, &[0, 2]).is_hermitian());
     }
@@ -361,7 +380,10 @@ mod tests {
     #[test]
     fn sparse_matches_dense() {
         let s = example_string();
-        assert!(s.sparse_matrix().to_dense().approx_eq(&s.matrix(), DEFAULT_TOL));
+        assert!(s
+            .sparse_matrix()
+            .to_dense()
+            .approx_eq(&s.matrix(), DEFAULT_TOL));
     }
 
     #[test]
@@ -408,8 +430,11 @@ mod tests {
         assert!(c.approx_eq(Complex64::ONE, DEFAULT_TOL));
         assert_eq!(s, ScbString::new(vec![ScbOp::N, ScbOp::I]));
         // (n ⊗ I) · (m ⊗ I) = 0
-        let zero = ScbString::with_op_on(2, ScbOp::N, &[0])
-            .product(&ScbString::with_op_on(2, ScbOp::M, &[0]));
+        let zero = ScbString::with_op_on(2, ScbOp::N, &[0]).product(&ScbString::with_op_on(
+            2,
+            ScbOp::M,
+            &[0],
+        ));
         assert!(zero.is_none());
         // Verify against matrices for a non-trivial case.
         let x = ScbString::new(vec![ScbOp::X, ScbOp::Sigma]);
@@ -432,11 +457,16 @@ mod tests {
 
     #[test]
     fn scb_term_product_and_sparse_sum() {
-        let t1 = ScbTerm::new(c64(2.0, 0.0), ScbString::with_op_on(2, ScbOp::SigmaDag, &[0]));
+        let t1 = ScbTerm::new(
+            c64(2.0, 0.0),
+            ScbString::with_op_on(2, ScbOp::SigmaDag, &[0]),
+        );
         let t2 = t1.dagger();
         let sum = sparse_sum(2, &[t1.clone(), t2.clone()]);
         // 2(σ†₀ + σ₀) ⊗ I = 2 X₀ ⊗ I
-        let expect = ScbString::with_op_on(2, ScbOp::X, &[0]).matrix().scale(c64(2.0, 0.0));
+        let expect = ScbString::with_op_on(2, ScbOp::X, &[0])
+            .matrix()
+            .scale(c64(2.0, 0.0));
         assert!(sum.to_dense().approx_eq(&expect, DEFAULT_TOL));
         // product of term with its dagger: 4·(σ†σ) = 4·n
         let p = t1.product(&t2).unwrap();

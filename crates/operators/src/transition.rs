@@ -17,7 +17,10 @@ use ghs_math::Complex64;
 /// following Table II of the paper: per-qubit digits
 /// `(a,b) = (0,0) → m`, `(1,1) → n`, `(0,1) → σ`, `(1,0) → σ†`.
 pub fn component_transition_string(a: usize, b: usize, n: usize) -> ScbString {
-    assert!(a < (1usize << n) && b < (1usize << n), "basis index out of range");
+    assert!(
+        a < (1usize << n) && b < (1usize << n),
+        "basis index out of range"
+    );
     let a_bits = index_to_bits(a, n);
     let b_bits = index_to_bits(b, n);
     let ops = a_bits
@@ -179,7 +182,8 @@ mod tests {
 
     #[test]
     fn lower_triangle_components_are_skipped() {
-        let h = sparse_hermitian_from_components(2, &[(3, 1, c64(1.0, 0.0)), (1, 3, c64(1.0, 0.0))]);
+        let h =
+            sparse_hermitian_from_components(2, &[(3, 1, c64(1.0, 0.0)), (1, 3, c64(1.0, 0.0))]);
         assert_eq!(h.num_terms(), 1);
     }
 }

@@ -18,9 +18,15 @@ use ghs_math::Complex64;
 /// Panics on non-power-of-two length or a non-normalised vector.
 pub fn prepare_amplitudes(amps: &[Complex64]) -> Circuit {
     let dim = amps.len();
-    assert!(dim.is_power_of_two() && dim >= 1, "length must be a power of two");
+    assert!(
+        dim.is_power_of_two() && dim >= 1,
+        "length must be a power of two"
+    );
     let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-    assert!((norm - 1.0).abs() < 1e-9, "amplitude vector must be normalised, got norm {norm}");
+    assert!(
+        (norm - 1.0).abs() < 1e-9,
+        "amplitude vector must be normalised, got norm {norm}"
+    );
     let n = dim.trailing_zeros() as usize;
     let mut circuit = Circuit::new(n.max(1));
     if n == 0 {
@@ -45,7 +51,10 @@ pub fn prepare_amplitudes(amps: &[Complex64]) -> Circuit {
                 continue;
             }
             let controls: Vec<ControlBit> = (0..level)
-                .map(|q| ControlBit { qubit: q, value: ((prefix >> (level - 1 - q)) & 1) as u8 })
+                .map(|q| ControlBit {
+                    qubit: q,
+                    value: ((prefix >> (level - 1 - q)) & 1) as u8,
+                })
                 .collect();
             if controls.is_empty() {
                 circuit.ry(level, theta);
@@ -65,7 +74,10 @@ pub fn prepare_amplitudes(amps: &[Complex64]) -> Circuit {
             continue;
         }
         let key: Vec<ControlBit> = (0..n)
-            .map(|q| ControlBit { qubit: q, value: ((i >> (n - 1 - q)) & 1) as u8 })
+            .map(|q| ControlBit {
+                qubit: q,
+                value: ((i >> (n - 1 - q)) & 1) as u8,
+            })
             .collect();
         circuit.keyed_phase(key, phase);
     }
@@ -139,8 +151,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for n in 1..=4usize {
             let dim = 1 << n;
-            let mut v: Vec<Complex64> =
-                (0..dim).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let mut v: Vec<Complex64> = (0..dim)
+                .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
             let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
             for a in &mut v {
                 *a = a.scale(1.0 / norm);

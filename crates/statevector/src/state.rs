@@ -125,7 +125,10 @@ impl StateVector {
                 amps.push(*a * *b);
             }
         }
-        Self { num_qubits: n, amps }
+        Self {
+            num_qubits: n,
+            amps,
+        }
     }
 
     #[inline(always)]
@@ -144,7 +147,10 @@ impl StateVector {
         assert!(qubit < self.num_qubits, "qubit out of range");
         assert_eq!(u.rows(), 2);
         assert_eq!(u.cols(), 2);
-        debug_assert!(controls.iter().all(|c| c.qubit != qubit), "control equals target");
+        debug_assert!(
+            controls.iter().all(|c| c.qubit != qubit),
+            "control equals target"
+        );
         let pos = self.bit_pos(qubit);
         let stride = 1usize << pos;
         let block = stride << 1;
@@ -188,7 +194,7 @@ impl StateVector {
         let key = key.to_vec();
         let apply = |(i, a): (usize, &mut Complex64)| {
             if key.iter().all(|c| qubit_bit(i, c.qubit, n) == c.value) {
-                *a = *a * phase;
+                *a *= phase;
             }
         };
         if self.dim() >= PARALLEL_THRESHOLD {
@@ -204,7 +210,7 @@ impl StateVector {
             Gate::GlobalPhase(theta) => {
                 let p = Complex64::cis(*theta);
                 for a in &mut self.amps {
-                    *a = *a * p;
+                    *a *= p;
                 }
             }
             Gate::KeyedPhase { key, theta } => self.apply_keyed_phase(key, *theta),
@@ -231,9 +237,15 @@ impl StateVector {
                 self.apply_controlled_single_qubit(*target, &[ControlBit::one(*control)], &u);
             }
             Gate::McX { controls, target }
-            | Gate::McRx { controls, target, .. }
-            | Gate::McRy { controls, target, .. }
-            | Gate::McRz { controls, target, .. } => {
+            | Gate::McRx {
+                controls, target, ..
+            }
+            | Gate::McRy {
+                controls, target, ..
+            }
+            | Gate::McRz {
+                controls, target, ..
+            } => {
                 let u = gate.base_matrix().expect("controlled base matrix");
                 self.apply_controlled_single_qubit(*target, controls, &u);
             }
@@ -247,7 +259,11 @@ impl StateVector {
 
     /// Applies a full circuit in order.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.num_qubits, "register size mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "register size mismatch"
+        );
         for g in circuit.gates() {
             self.apply_gate(g);
         }
@@ -360,18 +376,27 @@ mod tests {
     fn cx_respects_msb_convention() {
         // |10⟩: qubit 0 (MSB) is 1, so CX(0→1) flips qubit 1 → |11⟩.
         let mut s = StateVector::basis_state(2, 0b10);
-        s.apply_gate(&Gate::Cx { control: 0, target: 1 });
+        s.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
         assert!((s.probability(0b11) - 1.0).abs() < DEFAULT_TOL);
         // |01⟩: control is 0 → unchanged.
         let mut s = StateVector::basis_state(2, 0b01);
-        s.apply_gate(&Gate::Cx { control: 0, target: 1 });
+        s.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
         assert!((s.probability(0b01) - 1.0).abs() < DEFAULT_TOL);
     }
 
     #[test]
     fn zero_polarity_controls() {
         // McX controlled on qubit 0 being |0⟩.
-        let g = Gate::McX { controls: vec![ControlBit::zero(0)], target: 1 };
+        let g = Gate::McX {
+            controls: vec![ControlBit::zero(0)],
+            target: 1,
+        };
         let mut s = StateVector::basis_state(2, 0b00);
         s.apply_gate(&g);
         assert!((s.probability(0b01) - 1.0).abs() < DEFAULT_TOL);
@@ -384,7 +409,10 @@ mod tests {
     fn keyed_phase_only_hits_selected_state() {
         let key = vec![ControlBit::one(0), ControlBit::zero(1), ControlBit::one(2)];
         let mut c = Circuit::new(3);
-        c.h(0).h(1).h(2).keyed_phase(key, std::f64::consts::FRAC_PI_2);
+        c.h(0)
+            .h(1)
+            .h(2)
+            .keyed_phase(key, std::f64::consts::FRAC_PI_2);
         let u = circuit_unitary(&c);
         // Column 0: uniform amplitudes, with phase i only on |101⟩ = index 5.
         let col0: Vec<Complex64> = (0..8).map(|r| u[(r, 0)]).collect();
@@ -452,7 +480,9 @@ mod tests {
         let mut s = StateVector::zero_state(1);
         s.apply_circuit(&c);
         let x = SparseMatrix::from_dense(&matrices::x(), 0.0);
-        assert!(s.expectation_sparse(&x).approx_eq(Complex64::ONE, DEFAULT_TOL));
+        assert!(s
+            .expectation_sparse(&x)
+            .approx_eq(Complex64::ONE, DEFAULT_TOL));
         assert!(s
             .expectation_dense(&matrices::z())
             .approx_eq(Complex64::ZERO, DEFAULT_TOL));

@@ -34,7 +34,10 @@ fn decomposition_preserves_two_qubit_gates() {
         Gate::Cz { a: 0, b: 1 },
         Gate::Swap { a: 0, b: 1 },
         Gate::cp(0, 1, 0.7),
-        Gate::Cx { control: 1, target: 0 },
+        Gate::Cx {
+            control: 1,
+            target: 0,
+        },
     ] {
         let c = single(gate, 2);
         assert_same_unitary(&c, &decompose_to_cx_basis(&c));
@@ -55,10 +58,25 @@ fn decomposition_preserves_keyed_phase_with_polarity() {
 fn decomposition_preserves_mcx_and_rotations() {
     let controls = vec![ControlBit::one(0), ControlBit::zero(2), ControlBit::one(3)];
     for gate in [
-        Gate::McX { controls: controls.clone(), target: 1 },
-        Gate::McRz { controls: controls.clone(), target: 1, theta: 0.81 },
-        Gate::McRx { controls: controls.clone(), target: 1, theta: -0.37 },
-        Gate::McRy { controls: controls.clone(), target: 1, theta: 2.2 },
+        Gate::McX {
+            controls: controls.clone(),
+            target: 1,
+        },
+        Gate::McRz {
+            controls: controls.clone(),
+            target: 1,
+            theta: 0.81,
+        },
+        Gate::McRx {
+            controls: controls.clone(),
+            target: 1,
+            theta: -0.37,
+        },
+        Gate::McRy {
+            controls: controls.clone(),
+            target: 1,
+            theta: 2.2,
+        },
     ] {
         let c = single(gate, 4);
         assert_same_unitary(&c, &decompose_to_cx_basis(&c));
@@ -99,7 +117,11 @@ fn controlled_rx_is_transition_exponential() {
     h[(2, 1)] = Complex64::ONE;
     h[(1, 2)] = Complex64::ONE;
     let expect = ghs_math::expm_minus_i_theta(&h, t);
-    assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+    assert!(
+        u.approx_eq(&expect, TOL),
+        "distance {}",
+        u.distance(&expect)
+    );
 }
 
 #[test]
@@ -114,7 +136,11 @@ fn parity_ladder_conjugates_zz_to_single_z() {
         // Z on the holder qubit only.
         let mut expect = CMatrix::identity(1);
         for q in 0..3 {
-            let f = if q == lad.holder { matrices::z() } else { CMatrix::identity(2) };
+            let f = if q == lad.holder {
+                matrices::z()
+            } else {
+                CMatrix::identity(2)
+            };
             expect = expect.kron(&f);
         }
         assert!(conj.approx_eq(&expect, TOL));
@@ -132,9 +158,7 @@ fn transition_ladder_maps_bell_pair_to_pivot_difference() {
         let w = circuit_unitary(&lad.circuit);
         let a_index = 0b101usize;
         let b_index = 0b010usize;
-        let col = |idx: usize| -> Vec<Complex64> {
-            (0..8).map(|r| w[(r, idx)]).collect()
-        };
+        let col = |idx: usize| -> Vec<Complex64> { (0..8).map(|r| w[(r, idx)]).collect() };
         let wa = col(a_index);
         let wb = col(b_index);
         // Each image is still a computational-basis state.
@@ -173,8 +197,11 @@ fn pyramidal_and_linear_ladders_give_same_term_exponential() {
         let lad = transition_ladder(4, &spec, style);
         let mut c = Circuit::new(4);
         c.append(&lad.circuit);
-        let controls: Vec<ControlBit> =
-            lad.controls.iter().map(|&(q, v)| ControlBit { qubit: q, value: v }).collect();
+        let controls: Vec<ControlBit> = lad
+            .controls
+            .iter()
+            .map(|&(q, v)| ControlBit { qubit: q, value: v })
+            .collect();
         c.mcrx(controls, lad.pivot, 2.0 * theta);
         c.append(&lad.circuit.dagger());
         let u = circuit_unitary(&c);

@@ -24,7 +24,11 @@ fn qft_matches_dft_matrix() {
         let c = qft(m, &qubits, true);
         let u = circuit_unitary(&c);
         let expect = dft_matrix(m);
-        assert!(u.approx_eq(&expect, 1e-9), "m = {m}, distance {}", u.distance(&expect));
+        assert!(
+            u.approx_eq(&expect, 1e-9),
+            "m = {m}, distance {}",
+            u.distance(&expect)
+        );
     }
 }
 
@@ -46,9 +50,8 @@ fn qft_without_swaps_is_bit_reversed() {
     let u = circuit_unitary(&qft(m, &qubits, false));
     let expect = dft_matrix(m);
     // Row indices are bit-reversed relative to the swapped version.
-    let reverse = |x: usize| -> usize {
-        (0..m).fold(0, |acc, b| acc | (((x >> b) & 1) << (m - 1 - b)))
-    };
+    let reverse =
+        |x: usize| -> usize { (0..m).fold(0, |acc, b| acc | (((x >> b) & 1) << (m - 1 - b))) };
     for r in 0..(1 << m) {
         for c in 0..(1 << m) {
             assert!(u[(reverse(r), c)].approx_eq(expect[(r, c)], 1e-9));

@@ -5,8 +5,7 @@
 //! Run with `cargo run --example chemistry_h2`.
 
 use gate_efficient_hs::chemistry::{
-    h2_sto3g, run_vqe, transition_resources, trotter_error_sweep, uccsd_pool,
-    ElectronicTransition,
+    h2_sto3g, run_vqe, transition_resources, trotter_error_sweep, uccsd_pool, ElectronicTransition,
 };
 use gate_efficient_hs::core::{DirectOptions, ProductFormula};
 use rand::rngs::StdRng;
@@ -14,7 +13,11 @@ use rand::SeedableRng;
 
 fn main() {
     let model = h2_sto3g();
-    println!("model: {} on {} spin orbitals", model.name, model.num_qubits());
+    println!(
+        "model: {} on {} spin orbitals",
+        model.name,
+        model.num_qubits()
+    );
 
     let fci = model.exact_ground_energy(4000);
     println!("exact (FCI) ground energy  : {fci:.6} Ha");
@@ -29,10 +32,16 @@ fn main() {
 
     // UCCSD-VQE.
     let pool = uccsd_pool(&model);
-    println!("UCCSD pool: {:?}", pool.iter().map(|e| e.label.clone()).collect::<Vec<_>>());
+    println!(
+        "UCCSD pool: {:?}",
+        pool.iter().map(|e| e.label.clone()).collect::<Vec<_>>()
+    );
     let mut rng = StdRng::seed_from_u64(7);
     let vqe = run_vqe(&model, &DirectOptions::linear(), 1, 24, &mut rng);
-    println!("Hartree-Fock energy        : {:.6} Ha", vqe.hartree_fock_energy);
+    println!(
+        "Hartree-Fock energy        : {:.6} Ha",
+        vqe.hartree_fock_energy
+    );
     println!(
         "UCCSD-VQE energy           : {:.6} Ha  (error vs FCI: {:.2e} Ha, {} evaluations)",
         vqe.energy,

@@ -41,7 +41,10 @@ fn main() {
         "QAOA (p = 2, direct separators): energy {:.4}, optimal cost {:.4}, P(optimum) = {:.3}",
         result.energy, result.optimal_cost, result.optimum_probability
     );
-    println!("optimised angles: γ = {:?}, β = {:?}", result.params.gammas, result.params.betas);
+    println!(
+        "optimised angles: γ = {:?}, β = {:?}",
+        result.params.gammas, result.params.betas
+    );
 
     // The same angles driven through the usual separator give the same state,
     // so the approximation ratio is construction-independent — only the gate

@@ -25,7 +25,10 @@ fn main() {
     let f = solve_poisson(&[k], spacing, BoundaryCondition::Dirichlet, &rhs);
     let res = poisson_residual(&[k], spacing, BoundaryCondition::Dirichlet, &f, &rhs);
     println!("classical CG solution residual ‖Δf − rhs‖ = {res:.2e}");
-    println!("midpoint value f(1/2) ≈ {:.5} (continuum: −0.125)", f[n / 2 - 1]);
+    println!(
+        "midpoint value f(1/2) ≈ {:.5} (continuum: −0.125)",
+        f[n / 2 - 1]
+    );
 
     // ---- 2. block-encode the operator and verify the encoded block --------
     let small = laplacian_1d(2, 1.0, BoundaryCondition::Dirichlet);

@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo run --example qlsp_dilation`.
 
-use gate_efficient_hs::core::{
-    direct_hamiltonian_slice, DirectOptions, NonHermitianOperator,
-};
+use gate_efficient_hs::core::{direct_hamiltonian_slice, DirectOptions, NonHermitianOperator};
 use gate_efficient_hs::math::{c64, expm_minus_i_theta};
 use gate_efficient_hs::statevector::circuit_unitary;
 
@@ -19,7 +17,11 @@ fn main() {
     a.push(3, 0, c64(0.75, 0.0));
     a.push(1, 3, c64(0.0, -0.6));
 
-    println!("A has {} stored components on {} qubits", a.components().len(), a.num_qubits());
+    println!(
+        "A has {} stored components on {} qubits",
+        a.components().len(),
+        a.num_qubits()
+    );
 
     // Dilate: one Hermitian SCB term per component.
     let h = a.dilate();

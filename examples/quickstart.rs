@@ -21,8 +21,14 @@ fn main() {
         c64(0.8, 0.0),
         ScbString::from_pairs(4, &[(0, ScbOp::SigmaDag), (1, ScbOp::Z), (2, ScbOp::Sigma)]),
     );
-    h.push_bare(0.5, ScbString::from_pairs(4, &[(0, ScbOp::N), (3, ScbOp::N)]));
-    h.push_bare(-0.3, ScbString::from_pairs(4, &[(1, ScbOp::X), (3, ScbOp::X)]));
+    h.push_bare(
+        0.5,
+        ScbString::from_pairs(4, &[(0, ScbOp::N), (3, ScbOp::N)]),
+    );
+    h.push_bare(
+        -0.3,
+        ScbString::from_pairs(4, &[(1, ScbOp::X), (3, ScbOp::X)]),
+    );
     println!("Hamiltonian ({} SCB terms):\n  {h}\n", h.num_terms());
 
     // ---- 2. direct Hamiltonian simulation of one term, exactly ------------

@@ -1,0 +1,433 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! real proptest cannot be fetched from crates.io. This shim implements the
+//! subset the workspace's property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`, [`strategy::Just`], range and tuple strategies,
+//! [`collection::vec`], [`prop_oneof!`], the [`proptest!`] test-definition
+//! macro with `#![proptest_config(…)]`, and the [`prop_assert!`] family.
+//!
+//! Differences from the real crate: failing cases are **not shrunk** (the
+//! failing case index and its deterministic seed are reported instead), and
+//! case generation is seeded per test name so runs are reproducible across
+//! machines. Swapping the real proptest back in is a one-line change in the
+//! workspace manifest; test sources need no changes.
+
+#![warn(missing_docs)]
+
+/// Strategies: composable recipes for generating test values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from this strategy.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                strategy: self,
+                map: f,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strategy: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.strategy.new_value(rng))
+        }
+    }
+
+    /// Type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Uniform choice among alternative strategies (the engine behind
+    /// [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives.
+        ///
+        /// # Panics
+        /// Panics when `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, usize, u64, u32, i64, i32);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Test-execution plumbing: configuration and the deterministic RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real proptest defaults to 256; this shim keeps CI short.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case generator: the stream depends only on the test
+    /// name and the case index, so failures reproduce across machines.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator for `case` of the named test.
+        pub fn deterministic(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Everything a property test usually imports, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirror of the `prop` module re-exported by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case is reported (with its index and seed) instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions over generated inputs, mirroring
+/// `proptest::proptest!`. Supports the optional leading
+/// `#![proptest_config(…)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!(config = ($config); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!(
+            config = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        // `#[test]` is among the captured attributes and is re-emitted onto
+        // the generated zero-argument function.
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest case #{case} of {} failed: {message}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(config = ($config); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(1u64), Just(2), Just(3)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -1.0f64..1.0, n in 0u64..100) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(n < 100);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(0u64..10, 1..=5usize)) {
+            prop_assert!((1..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in arb_small().prop_map(|v| v * 10)) {
+            prop_assert!(x == 10 || x == 20 || x == 30);
+            prop_assert_eq!(x % 10, 0);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(pair in (0u64..4, -1.0f64..0.0)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..=3usize);
+        let mut a = crate::test_runner::TestRng::deterministic("t", 5);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 5);
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+}

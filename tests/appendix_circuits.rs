@@ -6,9 +6,7 @@
 use gate_efficient_hs::circuit::LadderStyle;
 use gate_efficient_hs::core::{direct_term_circuit, pauli_string_exponential, DirectOptions};
 use gate_efficient_hs::math::{c64, expm_minus_i_theta, CMatrix, Complex64};
-use gate_efficient_hs::operators::{
-    HermitianTerm, PauliString, ScbOp, ScbString,
-};
+use gate_efficient_hs::operators::{HermitianTerm, PauliString, ScbOp, ScbString};
 use gate_efficient_hs::statevector::circuit_unitary;
 
 const TOL: f64 = 1e-9;
@@ -24,7 +22,10 @@ fn pauli_string_rotation_figures() {
         assert!(circuit_unitary(&c).approx_eq(&expect, TOL), "{s}");
         // Gate structure: 2(weight − 1) CX around a single RZ.
         let hist = c.gate_histogram();
-        assert_eq!(hist.get("CX").copied().unwrap_or(0), 2 * (string.weight() - 1));
+        assert_eq!(
+            hist.get("CX").copied().unwrap_or(0),
+            2 * (string.weight() - 1)
+        );
         assert_eq!(hist.get("RZ").copied().unwrap_or(0), 1);
     }
 }
@@ -48,7 +49,11 @@ fn exp_it_a1_gate() {
     expect[(2, 2)] = c64(t.cos(), 0.0);
     expect[(1, 2)] = c64(0.0, t.sin());
     expect[(2, 1)] = c64(0.0, t.sin());
-    assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+    assert!(
+        u.approx_eq(&expect, TOL),
+        "distance {}",
+        u.distance(&expect)
+    );
 }
 
 /// Fig. 19 / appendix: `e^{itA₂}` with `A₂ = σ†σ†σσ + h.c.`:
@@ -58,7 +63,12 @@ fn exp_it_a2_gate() {
     let t = 0.41;
     let term = HermitianTerm::paired(
         c64(1.0, 0.0),
-        ScbString::new(vec![ScbOp::SigmaDag, ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::Sigma]),
+        ScbString::new(vec![
+            ScbOp::SigmaDag,
+            ScbOp::SigmaDag,
+            ScbOp::Sigma,
+            ScbOp::Sigma,
+        ]),
     );
     let circuit = direct_term_circuit(&term, -t, &DirectOptions::linear());
     let u = circuit_unitary(&circuit);
@@ -69,7 +79,11 @@ fn exp_it_a2_gate() {
     expect[(b, b)] = c64(t.cos(), 0.0);
     expect[(a, b)] = c64(0.0, t.sin());
     expect[(b, a)] = c64(0.0, t.sin());
-    assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+    assert!(
+        u.approx_eq(&expect, TOL),
+        "distance {}",
+        u.distance(&expect)
+    );
 }
 
 /// Fig. 11 / 12: `e^{itH₁}` where `H₁ = a†_i a_j + h.c.` carries the
@@ -110,7 +124,11 @@ fn pairing_gate_crx_00_11() {
     expect[(3, 3)] = c64((theta / 2.0).cos(), 0.0);
     expect[(0, 3)] = c64(0.0, -(theta / 2.0).sin());
     expect[(3, 0)] = c64(0.0, -(theta / 2.0).sin());
-    assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+    assert!(
+        u.approx_eq(&expect, TOL),
+        "distance {}",
+        u.distance(&expect)
+    );
 }
 
 /// Fig. 18: `e^{−iB̂}` with `B̂ = α(σ†σ + h.c.) + β(σ†σ† + h.c.)`: the
@@ -138,7 +156,11 @@ fn combined_hopping_and_pairing_gate() {
     let mut circuit = direct_term_circuit(&hop, 1.0, &DirectOptions::linear());
     circuit.append(&direct_term_circuit(&pair, 1.0, &DirectOptions::linear()));
     let u = circuit_unitary(&circuit);
-    assert!(u.approx_eq(&expect, TOL), "distance {}", u.distance(&expect));
+    assert!(
+        u.approx_eq(&expect, TOL),
+        "distance {}",
+        u.distance(&expect)
+    );
     // The appendix matrix form: cos α / cos β diagonals.
     assert!(u[(1, 1)].approx_eq(c64(alpha.cos(), 0.0), TOL));
     assert!(u[(0, 0)].approx_eq(c64(beta.cos(), 0.0), TOL));
@@ -160,7 +182,11 @@ fn controlled_transition_gates() {
     // Control off (first qubit 0): identity block.
     for r in 0..4 {
         for c in 0..4 {
-            let e = if r == c { Complex64::ONE } else { Complex64::ZERO };
+            let e = if r == c {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             assert!(u[(r, c)].approx_eq(e, TOL));
         }
     }

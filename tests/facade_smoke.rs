@@ -1,0 +1,60 @@
+//! Smoke test of the facade wiring itself: every layer is reached through the
+//! `gate_efficient_hs::*` re-exports only, so a drifting re-export name or a
+//! facade/sub-crate type mismatch fails here even when the per-crate test
+//! suites stay green.
+
+use gate_efficient_hs::circuit::{inverse_qft, qft, Circuit};
+use gate_efficient_hs::core::{direct_term_circuit, DirectOptions};
+use gate_efficient_hs::math::{c64, expm_minus_i_theta, DEFAULT_TOL};
+use gate_efficient_hs::operators::{HermitianTerm, ScbOp, ScbString};
+use gate_efficient_hs::statevector::{circuit_unitary, StateVector};
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn bell_state_through_the_facade() {
+    let mut circuit = Circuit::new(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+
+    let mut state = StateVector::zero_state(2);
+    state.apply_circuit(&circuit);
+
+    let r = std::f64::consts::FRAC_1_SQRT_2;
+    assert!(state.amplitude(0b00).approx_eq(c64(r, 0.0), TOL));
+    assert!(state.amplitude(0b11).approx_eq(c64(r, 0.0), TOL));
+    assert!((state.probability(0b00) - 0.5).abs() < TOL);
+    assert!((state.probability(0b11) - 0.5).abs() < TOL);
+    assert!((state.norm() - 1.0).abs() < TOL);
+}
+
+#[test]
+fn direct_term_circuit_is_exact_through_the_facade() {
+    // operators → core → circuit → statevector → math, all via re-exports.
+    let term = HermitianTerm::bare(0.8, ScbString::with_op_on(3, ScbOp::Z, &[0, 2]));
+    let theta = 0.45;
+    let circuit = direct_term_circuit(&term, theta, &DirectOptions::linear());
+    let u = circuit_unitary(&circuit);
+    let expect = expm_minus_i_theta(&term.matrix(), theta);
+    assert!(
+        u.approx_eq(&expect, TOL),
+        "distance {}",
+        u.distance(&expect)
+    );
+}
+
+#[test]
+fn qft_roundtrips_through_the_facade() {
+    let n = 4;
+    let qubits: Vec<usize> = (0..n).collect();
+    let mut circuit = qft(n, &qubits, true);
+    circuit.append(&inverse_qft(n, &qubits, true));
+
+    let u = circuit_unitary(&circuit);
+    assert!(u.is_unitary(DEFAULT_TOL));
+
+    // QFT followed by its inverse restores an arbitrary basis state.
+    let mut state = StateVector::basis_state(n, 0b1011);
+    state.apply_circuit(&circuit);
+    assert!((state.probability(0b1011) - 1.0).abs() < TOL);
+}

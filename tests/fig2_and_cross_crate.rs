@@ -91,8 +91,14 @@ fn direct_and_usual_strategies_converge_on_random_mixed_hamiltonian() {
         c64(0.45, 0.0),
         ScbString::from_pairs(4, &[(0, ScbOp::SigmaDag), (1, ScbOp::Z), (2, ScbOp::Sigma)]),
     );
-    h.push_bare(0.3, ScbString::from_pairs(4, &[(1, ScbOp::X), (3, ScbOp::X)]));
-    h.push_bare(-0.7, ScbString::from_pairs(4, &[(0, ScbOp::N), (3, ScbOp::N)]));
+    h.push_bare(
+        0.3,
+        ScbString::from_pairs(4, &[(1, ScbOp::X), (3, ScbOp::X)]),
+    );
+    h.push_bare(
+        -0.7,
+        ScbString::from_pairs(4, &[(0, ScbOp::N), (3, ScbOp::N)]),
+    );
     h.push_paired(
         c64(0.2, 0.1),
         ScbString::from_pairs(4, &[(2, ScbOp::SigmaDag), (3, ScbOp::SigmaDag)]),
@@ -134,13 +140,18 @@ fn applications_compose_end_to_end() {
     hubo.add_term(-2.0, &[1]);
     let h = hubo.to_scb_hamiltonian();
     assert!(h.all_terms_commute());
-    let slice = gate_efficient_hs::core::direct_hamiltonian_slice(&h, 1.3, &DirectOptions::linear());
+    let slice =
+        gate_efficient_hs::core::direct_hamiltonian_slice(&h, 1.3, &DirectOptions::linear());
     let u = gate_efficient_hs::statevector::circuit_unitary(&slice);
     let exact = gate_efficient_hs::math::expm_minus_i_theta(&h.matrix(), 1.3);
     assert!(u.approx_eq(&exact, 1e-9));
 
     // FDM Laplacian block-encoding verifies through the same machinery.
-    let lap = gate_efficient_hs::fdm::laplacian_1d(2, 1.0, gate_efficient_hs::fdm::BoundaryCondition::Dirichlet);
+    let lap = gate_efficient_hs::fdm::laplacian_1d(
+        2,
+        1.0,
+        gate_efficient_hs::fdm::BoundaryCondition::Dirichlet,
+    );
     let be = gate_efficient_hs::core::block_encode_hamiltonian(&lap, LadderStyle::Linear);
     assert!(be.verification_error(&lap.matrix()) < 1e-8);
 

@@ -3,28 +3,13 @@
 //! used for large-register verification.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghs_bench::perf::chain_hamiltonian;
 use ghs_circuit::{Circuit, ControlBit, LadderStyle};
 use ghs_core::{direct_hamiltonian_slice, usual_hamiltonian_slice, DirectOptions};
-use ghs_math::{c64, expm_multiply_minus_i_theta};
-use ghs_operators::{ScbHamiltonian, ScbOp, ScbString};
+use ghs_math::expm_multiply_minus_i_theta;
 use ghs_statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn chain_hamiltonian(n: usize) -> ScbHamiltonian {
-    // Hopping chain + on-site terms, a representative mixed Hamiltonian.
-    let mut h = ScbHamiltonian::new(n);
-    for q in 0..n - 1 {
-        h.push_paired(
-            c64(0.5, 0.0),
-            ScbString::from_pairs(n, &[(q, ScbOp::SigmaDag), (q + 1, ScbOp::Sigma)]),
-        );
-    }
-    for q in 0..n {
-        h.push_bare(0.3, ScbString::with_op_on(n, ScbOp::N, &[q]));
-    }
-    h
-}
 
 fn bench_statevector_gates(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector_gates");
@@ -37,12 +22,33 @@ fn bench_statevector_gates(c: &mut Criterion) {
             circuit.cx(q, q + 1);
         }
         circuit.mcrx((0..4).map(ControlBit::one).collect(), n - 1, 0.3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+        group.bench_with_input(BenchmarkId::new("unfused", n), &circuit, |b, circuit| {
             b.iter(|| {
                 let mut s = StateVector::zero_state(n);
-                s.apply_circuit(circuit);
+                s.run_unfused(circuit);
                 s.probability(0)
             })
+        });
+        let fused = circuit.fused();
+        group.bench_with_input(BenchmarkId::new("fused", n), &fused, |b, fused| {
+            b.iter(|| {
+                let mut s = StateVector::zero_state(n);
+                s.apply_fused(fused);
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fusion_pass(c: &mut Criterion) {
+    // Cost of the fusion pass itself (pure circuit analysis, no simulation).
+    let mut group = c.benchmark_group("fusion_pass");
+    for &n in &[10usize, 14] {
+        let h = chain_hamiltonian(n);
+        let slice = direct_hamiltonian_slice(&h, 0.2, &DirectOptions::linear());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &slice, |b, circ| {
+            b.iter(|| circ.fused().ops().len())
         });
     }
     group.finish();
@@ -57,14 +63,14 @@ fn bench_trotter_slice_simulation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("direct", n), &direct, |b, circ| {
             b.iter(|| {
                 let mut s = StateVector::zero_state(n);
-                s.apply_circuit(circ);
+                s.run_fused(circ);
                 s.probability(0)
             })
         });
         group.bench_with_input(BenchmarkId::new("usual", n), &usual, |b, circ| {
             b.iter(|| {
                 let mut s = StateVector::zero_state(n);
-                s.apply_circuit(circ);
+                s.run_fused(circ);
                 s.probability(0)
             })
         });
@@ -99,6 +105,7 @@ criterion_group!(
     config = configured();
     targets =
     bench_statevector_gates,
+    bench_fusion_pass,
     bench_trotter_slice_simulation,
     bench_sparse_exponential_action
 );

@@ -197,7 +197,7 @@ fn exp_fig2() {
         let mut rng = StdRng::seed_from_u64(4);
         let psi = StateVector::random_state(15, &mut rng);
         let mut evolved = psi.clone();
-        evolved.apply_circuit(&circuit);
+        evolved.run_fused(&circuit);
         let exact = expm_multiply_minus_i_theta(&sparse, theta, psi.amplitudes());
         let err = vec_distance(evolved.amplitudes(), &exact);
         rows.push(vec![
@@ -678,7 +678,7 @@ fn exp_grover_adaptive_search() {
     let mut rows = Vec::new();
     for x in 0..(1usize << 3) {
         let mut state = StateVector::basis_state(3 + m, x << m);
-        state.apply_circuit(&circuit);
+        state.run_fused(&circuit);
         let outcome = (0..state.dim())
             .find(|&i| state.probability(i) > 0.99)
             .unwrap();

@@ -1,0 +1,146 @@
+//! Fused-engine microbenchmark runner.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p ghs_bench --bin microbench -- \
+//!     [--out BENCH.json] [--reps 3] \
+//!     [--baseline bench/baseline.json] [--max-regression 0.25] \
+//!     [--min-speedup deep_16:2.0]
+//! ```
+//!
+//! Runs the standard workloads (see `ghs_bench::perf::standard_workloads`)
+//! through both the per-gate and the fused simulator paths, writes the
+//! machine-readable `BENCH.json`, and exits non-zero when a `--baseline`
+//! comparison regresses by more than `--max-regression`, or when a
+//! `--min-speedup NAME:X` bound is not met.
+
+use ghs_bench::perf::{
+    compare_to_baseline, parse_baseline, results_to_json, run_workload, standard_workloads,
+};
+use ghs_bench::{fmt_f, print_table};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH.json".to_string());
+    let reps: usize = arg_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let max_regression: f64 = arg_value(&args, "--max-regression")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let min_speedups: Vec<(String, f64)> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(a, _)| *a == "--min-speedup")
+        .filter_map(|(_, v)| {
+            let (name, x) = v.split_once(':')?;
+            Some((name.to_string(), x.parse().ok()?))
+        })
+        .collect();
+
+    println!("Fused gate-application engine — microbenchmarks (best of {reps} reps)");
+    let workloads = standard_workloads();
+    let mut results = Vec::with_capacity(workloads.len());
+    for w in &workloads {
+        let r = run_workload(w, reps);
+        println!(
+            "  {:<16} n={:<2} gates={:<5} ops={:<4} ratio={:>5.2} unfused={:>8.2} ms fused={:>8.2} ms speedup={:>5.2}x",
+            r.name, r.qubits, r.gates, r.fused_ops, r.fusion_ratio, r.unfused_ms, r.fused_ms, r.speedup
+        );
+        results.push(r);
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.qubits.to_string(),
+                r.gates.to_string(),
+                r.fused_ops.to_string(),
+                fmt_f(r.fusion_ratio),
+                fmt_f(r.unfused_ms),
+                fmt_f(r.fused_ms),
+                fmt_f(r.speedup),
+                fmt_f(r.gates_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        "BENCH — per-gate vs fused execution",
+        &[
+            "workload",
+            "qubits",
+            "gates",
+            "fused ops",
+            "ratio",
+            "unfused ms",
+            "fused ms",
+            "speedup",
+            "gates/s",
+        ],
+        &rows,
+    );
+
+    let json = results_to_json(&results);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote {out}");
+
+    let mut failed = false;
+    if let Some(baseline_path) = arg_value(&args, "--baseline") {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(doc) => {
+                let baseline = parse_baseline(&doc);
+                let failures = compare_to_baseline(&results, &baseline, max_regression);
+                if failures.is_empty() {
+                    println!(
+                        "baseline check OK ({} workloads within {:.0}% of {baseline_path})",
+                        baseline.len(),
+                        max_regression * 100.0
+                    );
+                } else {
+                    for f in &failures {
+                        eprintln!("REGRESSION: {f}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    for (name, min) in &min_speedups {
+        match results.iter().find(|r| r.name == *name) {
+            Some(r) if r.speedup >= *min => {
+                println!("speedup check OK: {name} at {:.2}x >= {min:.2}x", r.speedup);
+            }
+            Some(r) => {
+                eprintln!(
+                    "SPEEDUP FAIL: {name} at {:.2}x below required {min:.2}x",
+                    r.speedup
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("SPEEDUP FAIL: unknown workload {name}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 /// Prints a fixed-width text table: a header row followed by data rows.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -1,0 +1,387 @@
+//! Microbenchmark harness for the fused gate-application engine.
+//!
+//! Runs a fixed set of representative workloads (QFT, Trotter step, QAOA
+//! layer, CX ladders, and a deep 16-qubit Trotter circuit) through both the
+//! per-gate oracle path ([`StateVector::run_unfused`]) and the fused engine,
+//! and reports wall time, gates/second and the fusion ratio as
+//! machine-readable JSON (`BENCH.json`). The committed `bench/baseline.json`
+//! is refreshed from this output; CI fails when a workload regresses against
+//! it (see [`compare_to_baseline`]).
+
+use ghs_circuit::Circuit;
+use ghs_core::{direct_product_formula, DirectOptions, ProductFormula};
+use ghs_hubo::{direct_phase_separator, random_sparse_hubo};
+use ghs_operators::{ScbHamiltonian, ScbOp, ScbString};
+use ghs_statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One named benchmark circuit.
+pub struct Workload {
+    /// Stable identifier used in `BENCH.json` and the baseline.
+    pub name: String,
+    /// The circuit to simulate.
+    pub circuit: Circuit,
+}
+
+/// Timing and fusion metrics of one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload identifier.
+    pub name: String,
+    /// Register size.
+    pub qubits: usize,
+    /// Gate count of the source circuit.
+    pub gates: usize,
+    /// Fused operation count.
+    pub fused_ops: usize,
+    /// `gates / fused_ops`.
+    pub fusion_ratio: f64,
+    /// One-off cost of the fusion pass (milliseconds).
+    pub fuse_ms: f64,
+    /// Best-of-reps wall time of the per-gate path (milliseconds).
+    pub unfused_ms: f64,
+    /// Best-of-reps wall time of the fused path (milliseconds).
+    pub fused_ms: f64,
+    /// `unfused_ms / fused_ms`.
+    pub speedup: f64,
+    /// Source gates per second through the fused path.
+    pub gates_per_sec: f64,
+}
+
+/// The hopping-chain + on-site Hamiltonian used by the Trotter workloads
+/// (and by the criterion benches): a representative mix of transition
+/// (σ†/σ) and boolean (n) terms.
+pub fn chain_hamiltonian(n: usize) -> ScbHamiltonian {
+    let mut h = ScbHamiltonian::new(n);
+    for q in 0..n - 1 {
+        h.push_paired(
+            ghs_math::c64(0.5, 0.0),
+            ScbString::from_pairs(n, &[(q, ScbOp::SigmaDag), (q + 1, ScbOp::Sigma)]),
+        );
+    }
+    for q in 0..n {
+        h.push_bare(0.3, ScbString::with_op_on(n, ScbOp::N, &[q]));
+    }
+    h
+}
+
+/// A deep ladder workload: alternating forward/backward CX chains with RZ
+/// layers between them, `layers` times.
+fn ladder_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.rz(n - 1, 0.1 + 0.01 * layer as f64);
+        for q in (0..n - 1).rev() {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+/// One QAOA sweep: direct keyed-phase separator for a random sparse HUBO
+/// followed by the RX mixer layer, repeated `p` times.
+fn qaoa_circuit(n: usize, p: usize) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(42);
+    let problem = random_sparse_hubo(n, 3, 2 * n, &mut rng);
+    let mut c = Circuit::new(n);
+    for layer in 0..p {
+        let gamma = 0.4 + 0.1 * layer as f64;
+        let beta = 0.7 - 0.1 * layer as f64;
+        c.append(&direct_phase_separator(&problem, gamma));
+        for q in 0..n {
+            c.rx(q, 2.0 * beta);
+        }
+    }
+    c
+}
+
+/// A deep random circuit: interleaved single-qubit rotations, CX pairs and
+/// controlled phases, the unstructured stress case for the fusion pass.
+fn random_dense_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..6u32) {
+            0 => {
+                c.h(q);
+            }
+            1 => {
+                c.rz(q, rng.gen_range(-1.0..1.0));
+            }
+            2 => {
+                c.ry(q, rng.gen_range(-1.0..1.0));
+            }
+            3 => {
+                let t = (q + 1 + rng.gen_range(0..n - 1)) % n;
+                c.cx(q, t);
+            }
+            4 => {
+                let t = (q + 1 + rng.gen_range(0..n - 1)) % n;
+                c.cp(q, t, rng.gen_range(-1.0..1.0));
+            }
+            _ => {
+                c.x(q);
+            }
+        }
+    }
+    c
+}
+
+/// The standard workload set recorded in `BENCH.json`.
+///
+/// * `qft_16` — full QFT with final swaps.
+/// * `trotter_step_14` — one first-order Trotter step of the hopping chain.
+/// * `qaoa_layer_16` — two QAOA sweeps of a sparse order-3 HUBO.
+/// * `ladder_12/16/20` — deep CX-ladder/RZ circuits at growing width.
+/// * `deep_16` — four Trotter steps at 16 qubits, the deep-circuit
+///   reference the CI regression gate watches most closely.
+/// * `random_16` — unstructured random circuit (fusion worst case).
+pub fn standard_workloads() -> Vec<Workload> {
+    let all = |n: usize| (0..n).collect::<Vec<_>>();
+    let mut w = Vec::new();
+    w.push(Workload {
+        name: "qft_16".into(),
+        circuit: ghs_circuit::qft(16, &all(16), true),
+    });
+    w.push(Workload {
+        name: "trotter_step_14".into(),
+        circuit: direct_product_formula(
+            &chain_hamiltonian(14),
+            0.2,
+            1,
+            ProductFormula::First,
+            &DirectOptions::linear(),
+        ),
+    });
+    w.push(Workload {
+        name: "qaoa_layer_16".into(),
+        circuit: qaoa_circuit(16, 2),
+    });
+    for n in [12usize, 16, 20] {
+        w.push(Workload {
+            name: format!("ladder_{n}"),
+            circuit: ladder_circuit(n, if n >= 20 { 6 } else { 12 }),
+        });
+    }
+    w.push(Workload {
+        name: "deep_16".into(),
+        circuit: direct_product_formula(
+            &chain_hamiltonian(16),
+            0.4,
+            4,
+            ProductFormula::First,
+            &DirectOptions::linear(),
+        ),
+    });
+    w.push(Workload {
+        name: "random_16".into(),
+        circuit: random_dense_circuit(16, 400, 7),
+    });
+    w
+}
+
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs one workload `reps` times per path and returns best-of-reps metrics.
+pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
+    let n = w.circuit.num_qubits();
+    let t0 = Instant::now();
+    let fused = w.circuit.fused();
+    let fuse_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let unfused_ms = time_best(reps, || {
+        let mut s = StateVector::zero_state(n);
+        s.run_unfused(&w.circuit);
+        std::hint::black_box(s.probability(0));
+    });
+    let fused_ms = time_best(reps, || {
+        let mut s = StateVector::zero_state(n);
+        s.apply_fused(&fused);
+        std::hint::black_box(s.probability(0));
+    });
+
+    WorkloadResult {
+        name: w.name.clone(),
+        qubits: n,
+        gates: w.circuit.len(),
+        fused_ops: fused.ops().len(),
+        fusion_ratio: fused.fusion_ratio(),
+        fuse_ms,
+        unfused_ms,
+        fused_ms,
+        speedup: unfused_ms / fused_ms.max(1e-9),
+        gates_per_sec: w.circuit.len() as f64 / (fused_ms.max(1e-9) / 1e3),
+    }
+}
+
+/// Serialises results as the `BENCH.json` document.
+pub fn results_to_json(results: &[WorkloadResult]) -> String {
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, ",
+                "\"fused_ops\": {}, \"fusion_ratio\": {:.4}, \"fuse_ms\": {:.4}, ",
+                "\"unfused_ms\": {:.4}, \"fused_ms\": {:.4}, \"speedup\": {:.4}, ",
+                "\"gates_per_sec\": {:.1}}}{}\n"
+            ),
+            r.name,
+            r.qubits,
+            r.gates,
+            r.fused_ops,
+            r.fusion_ratio,
+            r.fuse_ms,
+            r.unfused_ms,
+            r.fused_ms,
+            r.speedup,
+            r.gates_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal extraction of `(name, fused_ms)` pairs from a `BENCH.json`
+/// document (the harness's own output format; not a general JSON parser).
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"name\"").skip(1) {
+        let name = chunk
+            .split('"')
+            .nth(1)
+            .map(|s| s.to_string())
+            .unwrap_or_default();
+        let fused_ms = chunk
+            .split("\"fused_ms\"")
+            .nth(1)
+            .and_then(|rest| {
+                rest.trim_start_matches([':', ' '])
+                    .split([',', '}', '\n'])
+                    .next()
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+            })
+            .unwrap_or(f64::NAN);
+        if !name.is_empty() && fused_ms.is_finite() {
+            out.push((name, fused_ms));
+        }
+    }
+    out
+}
+
+/// Compares fresh results against a baseline: any workload whose fused wall
+/// time exceeds `baseline × (1 + max_regression)` yields one failure line.
+/// Workloads missing from either side are ignored.
+pub fn compare_to_baseline(
+    results: &[WorkloadResult],
+    baseline: &[(String, f64)],
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in results {
+        if let Some((_, base_ms)) = baseline.iter().find(|(n, _)| *n == r.name) {
+            let limit = base_ms * (1.0 + max_regression);
+            if r.fused_ms > limit {
+                failures.push(format!(
+                    "{}: fused {:.3} ms > {:.3} ms (baseline {:.3} ms + {:.0}%)",
+                    r.name,
+                    r.fused_ms,
+                    limit,
+                    base_ms,
+                    max_regression * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_through_baseline_parser() {
+        let results = vec![
+            WorkloadResult {
+                name: "a".into(),
+                qubits: 4,
+                gates: 10,
+                fused_ops: 3,
+                fusion_ratio: 10.0 / 3.0,
+                fuse_ms: 0.1,
+                unfused_ms: 2.0,
+                fused_ms: 0.5,
+                speedup: 4.0,
+                gates_per_sec: 2e4,
+            },
+            WorkloadResult {
+                name: "b".into(),
+                qubits: 5,
+                gates: 20,
+                fused_ops: 20,
+                fusion_ratio: 1.0,
+                fuse_ms: 0.2,
+                unfused_ms: 1.0,
+                fused_ms: 1.0,
+                speedup: 1.0,
+                gates_per_sec: 2e4,
+            },
+        ];
+        let json = results_to_json(&results);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "a");
+        assert!((parsed[0].1 - 0.5).abs() < 1e-9);
+        assert!((parsed[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_gate_fires_only_beyond_tolerance() {
+        let mut r = WorkloadResult {
+            name: "a".into(),
+            qubits: 4,
+            gates: 10,
+            fused_ops: 3,
+            fusion_ratio: 3.3,
+            fuse_ms: 0.1,
+            unfused_ms: 2.0,
+            fused_ms: 1.2,
+            speedup: 1.7,
+            gates_per_sec: 1e4,
+        };
+        let baseline = vec![("a".to_string(), 1.0)];
+        assert!(compare_to_baseline(&[r.clone()], &baseline, 0.25).is_empty());
+        r.fused_ms = 1.3;
+        assert_eq!(compare_to_baseline(&[r], &baseline, 0.25).len(), 1);
+    }
+
+    #[test]
+    fn workloads_are_well_formed_and_fast_on_tiny_reps() {
+        // Smoke-run the smallest workload end to end so the harness cannot
+        // rot silently.
+        let w = standard_workloads()
+            .into_iter()
+            .find(|w| w.name == "ladder_12")
+            .expect("ladder_12 present");
+        let r = run_workload(&w, 1);
+        assert_eq!(r.qubits, 12);
+        assert!(r.gates > 0 && r.fused_ops > 0);
+        assert!(r.fusion_ratio >= 1.0);
+        assert!(r.fused_ms > 0.0 && r.unfused_ms > 0.0);
+    }
+}

@@ -48,9 +48,9 @@ pub fn trotter_error_sweep(
             let direct_circ = direct_product_formula(&h, t, steps, order, &DirectOptions::linear());
             let usual_circ = usual_product_formula(&sum, t, steps, order, LadderStyle::Linear);
             let mut d_state = initial.clone();
-            d_state.apply_circuit(&direct_circ);
+            d_state.run_fused(&direct_circ);
             let mut u_state = initial.clone();
-            u_state.apply_circuit(&usual_circ);
+            u_state.run_fused(&usual_circ);
             TrotterErrorRow {
                 steps,
                 direct_error: ghs_math::vec_distance(d_state.amplitudes(), &exact),

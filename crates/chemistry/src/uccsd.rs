@@ -116,7 +116,7 @@ pub fn uccsd_energy(
 ) -> f64 {
     let circuit = uccsd_circuit(model, pool, thetas, opts);
     let mut state = StateVector::zero_state(model.num_qubits());
-    state.apply_circuit(&circuit);
+    state.run_fused(&circuit);
     model.energy_of_state(state.amplitudes())
 }
 

@@ -1,0 +1,914 @@
+//! Circuit-level gate fusion.
+//!
+//! The state-vector simulator pays one full pass over all `2^n` amplitudes
+//! per gate; on the deep Trotter/QAOA/QFT circuits this workspace produces,
+//! memory traffic — not arithmetic — dominates. This pass greedily merges
+//! runs of adjacent gates whose supports overlap into small `k`-qubit blocks
+//! (`k ≤ 3` by default, hard ceiling [`MAX_DENSE_QUBITS`]` = 5` via
+//! [`FusionOptions`]; diagonal-only blocks may grow to 10 qubits), then
+//! classifies every block into the cheapest kernel the simulator can apply
+//! in a single sweep:
+//!
+//! * [`FusedKernel::Diagonal`] — the block is diagonal in the computational
+//!   basis (phase/RZ/keyed-phase chains, and CX-ladder ∘ diagonal ∘ ladder⁻¹
+//!   motifs, which stay diagonal under permutation conjugation). Applied as
+//!   one table lookup per amplitude; diagonal-only blocks may grow beyond the
+//!   dense window since no `2^k × 2^k` matrix is ever built.
+//! * [`FusedKernel::Permutation`] — the block maps basis states to basis
+//!   states up to phase (X/CX/SWAP ladders). Applied as a phased in-place
+//!   shuffle, no matrix multiply.
+//! * [`FusedKernel::Sparse`] — the block splits the local basis into small
+//!   invariant components (two-level Givens motifs, controlled unitaries);
+//!   identity components are dropped so the untouched amplitudes are never
+//!   loaded, and each remaining component applies its own small block.
+//! * [`FusedKernel::Dense`] — a dense `2^k × 2^k` unitary (with the control
+//!   conditions of a lone multi-controlled gate kept symbolic instead of
+//!   densified).
+//! * [`FusedKernel::Gate`] — pass-through for gates too wide to densify
+//!   (e.g. an `McX` with many controls), which already have specialized
+//!   per-gate kernels in the simulator.
+//!
+//! The pass is purely structural: it never reorders non-commuting gates. A
+//! gate may only join the *latest* block touching any of its qubits; every
+//! later block is support-disjoint from the gate and therefore commutes with
+//! it.
+
+use crate::circuit::Circuit;
+use crate::gate::{ControlBit, Gate};
+use ghs_math::{CMatrix, Complex64};
+use std::collections::HashMap;
+use std::f64::consts::PI;
+
+/// Hard ceiling on the dense fusion window (`2^5 × 2^5` matrices).
+pub const MAX_DENSE_QUBITS: usize = 5;
+
+/// Entries with modulus below this are treated as structural zeros when a
+/// fused block is classified. It is a few ulps above the cancellation noise
+/// of products of unit-modulus factors, so misclassification can only occur
+/// through the (always-correct) dense fallback.
+const ZERO_TOL: f64 = 1e-15;
+
+/// Tolerance on `|entry| = 1` when recognising permutation columns.
+const ONE_TOL: f64 = 1e-12;
+
+/// Tuning knobs of the fusion pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusionOptions {
+    /// Maximum support of a block that must be densified (clamped to
+    /// [`MAX_DENSE_QUBITS`]).
+    pub max_dense_qubits: usize,
+    /// Maximum support of a diagonal-only block (its cost is a `2^k` phase
+    /// table, not a matrix, so it may exceed the dense window).
+    pub max_diagonal_qubits: usize,
+}
+
+impl Default for FusionOptions {
+    fn default() -> Self {
+        Self {
+            max_dense_qubits: 3,
+            max_diagonal_qubits: 10,
+        }
+    }
+}
+
+impl FusionOptions {
+    fn dense_limit(&self) -> usize {
+        self.max_dense_qubits.clamp(1, MAX_DENSE_QUBITS)
+    }
+
+    fn diagonal_limit(&self) -> usize {
+        self.max_diagonal_qubits.max(self.dense_limit())
+    }
+}
+
+/// The specialized form of one fused operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FusedKernel {
+    /// Multiply the amplitude of each basis state by `table[l]` where `l` is
+    /// the local index read off the op's qubits (first qubit = most
+    /// significant local bit).
+    Diagonal(Vec<Complex64>),
+    /// Phased basis-state shuffle: local state `l` maps to `targets[l]` with
+    /// phase `phases[l]`.
+    Permutation {
+        /// Image of each local basis state.
+        targets: Vec<u32>,
+        /// Phase picked up by each local basis state.
+        phases: Vec<Complex64>,
+    },
+    /// Dense `2^k × 2^k` unitary over the op's qubits, applied only where
+    /// every control (on qubits *outside* the op's support) is satisfied.
+    Dense {
+        /// Control conditions factored out of the block.
+        controls: Vec<ControlBit>,
+        /// The residual dense matrix.
+        matrix: CMatrix,
+    },
+    /// Block-sparse unitary: the local basis splits into invariant subsets,
+    /// each carrying a small dense block; identity subsets are dropped, so
+    /// amplitudes outside the listed components are never touched. This is
+    /// the natural form of ladder ∘ rotation ∘ ladder⁻¹ motifs (two-level
+    /// Givens rotations) and of fused controlled gates.
+    Sparse {
+        /// The non-identity invariant components.
+        components: Vec<SparseComponent>,
+    },
+    /// Pass-through for gates wider than the fusion window; the simulator
+    /// applies these with its specialized per-gate kernels.
+    Gate(Gate),
+}
+
+/// One invariant subset of local basis states with its dense block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseComponent {
+    /// Local basis states of the component (sorted ascending).
+    pub indices: Vec<u32>,
+    /// The `m × m` unitary acting on those states.
+    pub matrix: CMatrix,
+}
+
+/// One fused operation: a kernel plus the (sorted, ascending) qubits it acts
+/// on. For [`FusedKernel::Dense`] the control qubits are *not* part of
+/// `qubits`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedOp {
+    /// Support of the kernel, sorted ascending (qubit 0 = most significant
+    /// local bit, matching the register convention).
+    pub qubits: Vec<usize>,
+    /// The operation to apply.
+    pub kernel: FusedKernel,
+}
+
+impl FusedOp {
+    /// Short mnemonic for displays and tallies.
+    pub fn kind_name(&self) -> &'static str {
+        match &self.kernel {
+            FusedKernel::Diagonal(_) => "diag",
+            FusedKernel::Permutation { .. } => "perm",
+            FusedKernel::Dense { controls, .. } if !controls.is_empty() => "ctrl-dense",
+            FusedKernel::Dense { .. } => "dense",
+            FusedKernel::Sparse { .. } => "sparse",
+            FusedKernel::Gate(_) => "gate",
+        }
+    }
+}
+
+/// A circuit after fusion: an ordered list of fused operations plus one
+/// accumulated global phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedCircuit {
+    num_qubits: usize,
+    source_gates: usize,
+    global_phase: f64,
+    ops: Vec<FusedOp>,
+}
+
+impl FusedCircuit {
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The fused operations, in application order.
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of gates of the source circuit (global phases included).
+    pub fn source_gates(&self) -> usize {
+        self.source_gates
+    }
+
+    /// Accumulated global phase (applied once, after all ops).
+    pub fn global_phase(&self) -> f64 {
+        self.global_phase
+    }
+
+    /// Gates-per-op compression achieved by the pass (`1.0` when nothing
+    /// fused; `source_gates / ops`).
+    pub fn fusion_ratio(&self) -> f64 {
+        if self.ops.is_empty() {
+            1.0
+        } else {
+            self.source_gates as f64 / self.ops.len() as f64
+        }
+    }
+
+    /// Histogram of kernel kinds (`"diag"`, `"perm"`, `"sparse"`,
+    /// `"dense"`, `"ctrl-dense"`, `"gate"`).
+    pub fn kind_histogram(&self) -> HashMap<&'static str, usize> {
+        let mut h = HashMap::new();
+        for op in &self.ops {
+            *h.entry(op.kind_name()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+impl Circuit {
+    /// Fuses the circuit with default options. See the module docs.
+    pub fn fused(&self) -> FusedCircuit {
+        fuse(self, &FusionOptions::default())
+    }
+
+    /// Fuses the circuit with explicit options.
+    pub fn fused_with(&self, opts: &FusionOptions) -> FusedCircuit {
+        fuse(self, opts)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate normal form
+// ---------------------------------------------------------------------------
+
+/// Uniform description of a gate's action, used both to accumulate diagonal
+/// tables and to embed gates into dense block matrices.
+enum GateAction {
+    /// Single-qubit unitary on `target`, gated on `controls` (covers plain
+    /// single-qubit gates with empty controls, CX, and all `Mc*` gates).
+    Controlled {
+        controls: Vec<ControlBit>,
+        target: usize,
+        u: CMatrix,
+    },
+    /// Phase `e^{iθ}` on the basis states matching `key` (covers CZ).
+    Keyed { key: Vec<ControlBit>, theta: f64 },
+    /// Basis-state swap of two qubits.
+    SwapPair { a: usize, b: usize },
+    /// Global phase.
+    Global(f64),
+}
+
+fn gate_action(gate: &Gate) -> GateAction {
+    match gate {
+        Gate::GlobalPhase(t) => GateAction::Global(*t),
+        Gate::KeyedPhase { key, theta } => GateAction::Keyed {
+            key: key.clone(),
+            theta: *theta,
+        },
+        Gate::Cz { a, b } => GateAction::Keyed {
+            key: vec![ControlBit::one(*a), ControlBit::one(*b)],
+            theta: PI,
+        },
+        Gate::Swap { a, b } => GateAction::SwapPair { a: *a, b: *b },
+        Gate::Cx { control, target } => GateAction::Controlled {
+            controls: vec![ControlBit::one(*control)],
+            target: *target,
+            u: gate.base_matrix().expect("CX base matrix"),
+        },
+        Gate::McX { controls, target }
+        | Gate::McRx {
+            controls, target, ..
+        }
+        | Gate::McRy {
+            controls, target, ..
+        }
+        | Gate::McRz {
+            controls, target, ..
+        } => GateAction::Controlled {
+            controls: controls.clone(),
+            target: *target,
+            u: gate.base_matrix().expect("controlled base matrix"),
+        },
+        other => {
+            let q = other.qubits()[0];
+            GateAction::Controlled {
+                controls: vec![],
+                target: q,
+                u: other.base_matrix().expect("single-qubit matrix"),
+            }
+        }
+    }
+}
+
+/// True when the gate is diagonal in the computational basis.
+fn is_diagonal_gate(gate: &Gate) -> bool {
+    match gate {
+        Gate::Z(_)
+        | Gate::S(_)
+        | Gate::Sdg(_)
+        | Gate::T(_)
+        | Gate::Tdg(_)
+        | Gate::Phase { .. }
+        | Gate::Rz { .. }
+        | Gate::McRz { .. }
+        | Gate::Cz { .. }
+        | Gate::KeyedPhase { .. }
+        | Gate::GlobalPhase(_) => true,
+        Gate::H(_)
+        | Gate::X(_)
+        | Gate::Y(_)
+        | Gate::Rx { .. }
+        | Gate::Ry { .. }
+        | Gate::Cx { .. }
+        | Gate::Swap { .. }
+        | Gate::McX { .. }
+        | Gate::McRx { .. }
+        | Gate::McRy { .. } => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local embedding helpers
+// ---------------------------------------------------------------------------
+
+/// Bit value of `qubit` in local basis index `l` over the sorted `support`
+/// (support[0] = most significant local bit).
+#[inline]
+fn local_bit(l: usize, qubit: usize, support: &[usize]) -> u8 {
+    let j = support
+        .binary_search(&qubit)
+        .expect("qubit not in block support");
+    ((l >> (support.len() - 1 - j)) & 1) as u8
+}
+
+/// Local index with the bit of `qubit` forced to `value`.
+#[inline]
+fn local_with_bit(l: usize, qubit: usize, support: &[usize], value: u8) -> usize {
+    let j = support
+        .binary_search(&qubit)
+        .expect("qubit not in block support");
+    let mask = 1usize << (support.len() - 1 - j);
+    if value == 1 {
+        l | mask
+    } else {
+        l & !mask
+    }
+}
+
+/// Dense matrix of one gate embedded on the sorted `support` (which must
+/// contain every qubit of the gate).
+fn local_matrix(gate: &Gate, support: &[usize]) -> CMatrix {
+    let dim = 1usize << support.len();
+    let mut m = CMatrix::zeros(dim, dim);
+    match gate_action(gate) {
+        GateAction::Global(theta) => {
+            let p = Complex64::cis(theta);
+            for c in 0..dim {
+                m[(c, c)] = p;
+            }
+        }
+        GateAction::Keyed { key, theta } => {
+            let p = Complex64::cis(theta);
+            for c in 0..dim {
+                let hit = key
+                    .iter()
+                    .all(|k| local_bit(c, k.qubit, support) == k.value);
+                m[(c, c)] = if hit { p } else { Complex64::ONE };
+            }
+        }
+        GateAction::SwapPair { a, b } => {
+            for c in 0..dim {
+                let (ba, bb) = (local_bit(c, a, support), local_bit(c, b, support));
+                let r = local_with_bit(local_with_bit(c, a, support, bb), b, support, ba);
+                m[(r, c)] = Complex64::ONE;
+            }
+        }
+        GateAction::Controlled {
+            controls,
+            target,
+            u,
+        } => {
+            for c in 0..dim {
+                let hit = controls
+                    .iter()
+                    .all(|k| local_bit(c, k.qubit, support) == k.value);
+                if !hit {
+                    m[(c, c)] = Complex64::ONE;
+                    continue;
+                }
+                let tb = local_bit(c, target, support) as usize;
+                for out in 0..2usize {
+                    let r = local_with_bit(c, target, support, out as u8);
+                    m[(r, c)] = u[(out, tb)];
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Multiplies the diagonal phase of one diagonal gate into `table` (indexed
+/// over the sorted `support`).
+fn accumulate_diagonal(gate: &Gate, support: &[usize], table: &mut [Complex64]) {
+    match gate_action(gate) {
+        GateAction::Global(theta) => {
+            let p = Complex64::cis(theta);
+            for t in table.iter_mut() {
+                *t *= p;
+            }
+        }
+        GateAction::Keyed { key, theta } => {
+            let p = Complex64::cis(theta);
+            for (l, t) in table.iter_mut().enumerate() {
+                if key
+                    .iter()
+                    .all(|k| local_bit(l, k.qubit, support) == k.value)
+                {
+                    *t *= p;
+                }
+            }
+        }
+        GateAction::Controlled {
+            controls,
+            target,
+            u,
+        } => {
+            // Only reached for diagonal `u` (Z/S/T/Phase/RZ families).
+            for (l, t) in table.iter_mut().enumerate() {
+                if controls
+                    .iter()
+                    .all(|k| local_bit(l, k.qubit, support) == k.value)
+                {
+                    let tb = local_bit(l, target, support) as usize;
+                    *t *= u[(tb, tb)];
+                }
+            }
+        }
+        GateAction::SwapPair { .. } => unreachable!("SWAP is not diagonal"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block classification
+// ---------------------------------------------------------------------------
+
+fn is_identity_diag(table: &[Complex64]) -> bool {
+    table.iter().all(|t| *t == Complex64::ONE)
+}
+
+/// Tries to read the matrix as a diagonal.
+fn try_diagonal(m: &CMatrix) -> Option<Vec<Complex64>> {
+    let dim = m.rows();
+    for r in 0..dim {
+        for c in 0..dim {
+            if r != c && m[(r, c)].abs() > ZERO_TOL {
+                return None;
+            }
+        }
+    }
+    Some((0..dim).map(|d| m[(d, d)]).collect())
+}
+
+/// Tries to read the matrix as a phased permutation.
+fn try_permutation(m: &CMatrix) -> Option<(Vec<u32>, Vec<Complex64>)> {
+    let dim = m.rows();
+    let mut targets = vec![0u32; dim];
+    let mut phases = vec![Complex64::ZERO; dim];
+    let mut seen = vec![false; dim];
+    for c in 0..dim {
+        let mut hit: Option<usize> = None;
+        for r in 0..dim {
+            let mag = m[(r, c)].abs();
+            if mag > ZERO_TOL {
+                if hit.is_some() || (mag - 1.0).abs() > ONE_TOL {
+                    return None;
+                }
+                hit = Some(r);
+            }
+        }
+        let r = hit?;
+        if seen[r] {
+            return None;
+        }
+        seen[r] = true;
+        targets[c] = r as u32;
+        phases[c] = m[(r, c)];
+    }
+    Some((targets, phases))
+}
+
+/// Splits the local basis into invariant components of the unitary: `r` and
+/// `c` belong to the same component when `m[r,c]` or `m[c,r]` is non-zero.
+/// Identity singletons are dropped; each remaining component carries its
+/// restricted sub-matrix. This subsumes control extraction — for a
+/// controlled unitary, every basis state failing a control is an identity
+/// singleton — and is finer: it exposes the two-level (Givens) structure of
+/// ladder ∘ rotation ∘ ladder⁻¹ motifs directly.
+fn sparse_components(m: &CMatrix) -> Vec<SparseComponent> {
+    let dim = m.rows();
+    let mut comp_id = vec![usize::MAX; dim];
+    let mut members_of: Vec<Vec<usize>> = Vec::new();
+    for s in 0..dim {
+        if comp_id[s] != usize::MAX {
+            continue;
+        }
+        let id = members_of.len();
+        comp_id[s] = id;
+        let mut stack = vec![s];
+        let mut members = vec![s];
+        while let Some(c) = stack.pop() {
+            for r in 0..dim {
+                if comp_id[r] == usize::MAX
+                    && (m[(r, c)].abs() > ZERO_TOL || m[(c, r)].abs() > ZERO_TOL)
+                {
+                    comp_id[r] = id;
+                    stack.push(r);
+                    members.push(r);
+                }
+            }
+        }
+        members.sort_unstable();
+        members_of.push(members);
+    }
+    members_of
+        .into_iter()
+        .filter_map(|members| {
+            if members.len() == 1 {
+                let v = m[(members[0], members[0])];
+                if v == Complex64::ONE {
+                    return None; // untouched amplitude
+                }
+            }
+            let md = members.len();
+            let mut sub = CMatrix::zeros(md, md);
+            for (ri, &r) in members.iter().enumerate() {
+                for (ci, &c) in members.iter().enumerate() {
+                    sub[(ri, ci)] = m[(r, c)];
+                }
+            }
+            Some(SparseComponent {
+                indices: members.into_iter().map(|i| i as u32).collect(),
+                matrix: sub,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The fusion pass
+// ---------------------------------------------------------------------------
+
+enum BlockKind {
+    /// Accumulating gates that will be densified / diagonalised on flush.
+    Fusible {
+        gates: Vec<Gate>,
+        diagonal_only: bool,
+    },
+    /// A single wide gate kept as-is; never accepts merges.
+    Passthrough(Gate),
+}
+
+struct Block {
+    support: Vec<usize>, // sorted ascending
+    kind: BlockKind,
+}
+
+fn sorted_support(gate: &Gate) -> Vec<usize> {
+    let mut q = gate.qubits();
+    q.sort_unstable();
+    q
+}
+
+fn union_size(a: &[usize], b: &[usize]) -> usize {
+    let mut n = a.len();
+    for q in b {
+        if a.binary_search(q).is_err() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn merge_support(a: &mut Vec<usize>, b: &[usize]) {
+    for q in b {
+        if let Err(i) = a.binary_search(q) {
+            a.insert(i, *q);
+        }
+    }
+}
+
+/// Runs the fusion pass over a circuit.
+pub fn fuse(circuit: &Circuit, opts: &FusionOptions) -> FusedCircuit {
+    let dense_limit = opts.dense_limit();
+    let diag_limit = opts.diagonal_limit();
+
+    let mut blocks: Vec<Block> = Vec::new();
+    // Latest block index touching each qubit.
+    let mut last_block: HashMap<usize, usize> = HashMap::new();
+    let mut global_phase = 0.0f64;
+
+    for gate in circuit.gates() {
+        if let Gate::GlobalPhase(t) = gate {
+            global_phase += t;
+            continue;
+        }
+        let gq = sorted_support(gate);
+        let diag = is_diagonal_gate(gate);
+        let fusible_alone = if diag {
+            gq.len() <= diag_limit
+        } else {
+            gq.len() <= dense_limit
+        };
+
+        // The default merge target: the latest block touching any of the
+        // gate's qubits (all later blocks are support-disjoint from it).
+        let target = gq.iter().filter_map(|q| last_block.get(q).copied()).max();
+
+        let try_merge = |blocks: &mut Vec<Block>,
+                         last_block: &mut HashMap<usize, usize>,
+                         ti: usize,
+                         require_diagonal: bool|
+         -> bool {
+            let block = &mut blocks[ti];
+            if let BlockKind::Fusible {
+                gates,
+                diagonal_only,
+            } = &mut block.kind
+            {
+                if require_diagonal && !*diagonal_only {
+                    return false;
+                }
+                let union = union_size(&block.support, &gq);
+                let fits = if *diagonal_only && diag {
+                    union <= diag_limit
+                } else {
+                    union <= dense_limit
+                };
+                if fits {
+                    gates.push(gate.clone());
+                    *diagonal_only = *diagonal_only && diag;
+                    merge_support(&mut block.support, &gq);
+                    for q in &gq {
+                        last_block.insert(*q, ti);
+                    }
+                    return true;
+                }
+            }
+            false
+        };
+
+        let mut merged = false;
+        if fusible_alone {
+            if let Some(ti) = target {
+                merged = try_merge(&mut blocks, &mut last_block, ti, false);
+            }
+            // Diagonal coalescing: a diagonal gate commutes with every other
+            // diagonal, so it may also join the *newest* block (nothing is
+            // ever emitted after it) when that block is diagonal-only — even
+            // with disjoint support. This folds whole phase-separator /
+            // RZ-sweep layers into a single table sweep.
+            if !merged && diag && !blocks.is_empty() {
+                let li = blocks.len() - 1;
+                if Some(li) != target {
+                    merged = try_merge(&mut blocks, &mut last_block, li, true);
+                }
+            }
+        }
+        if !merged {
+            let kind = if fusible_alone {
+                BlockKind::Fusible {
+                    gates: vec![gate.clone()],
+                    diagonal_only: diag,
+                }
+            } else {
+                BlockKind::Passthrough(gate.clone())
+            };
+            let idx = blocks.len();
+            for q in &gq {
+                last_block.insert(*q, idx);
+            }
+            blocks.push(Block { support: gq, kind });
+        }
+    }
+
+    let ops: Vec<FusedOp> = blocks.into_iter().filter_map(emit_block).collect();
+    FusedCircuit {
+        num_qubits: circuit.num_qubits(),
+        source_gates: circuit.len(),
+        global_phase,
+        ops,
+    }
+}
+
+/// Classifies one block into its cheapest kernel. Returns `None` for blocks
+/// that reduce to the identity.
+fn emit_block(block: Block) -> Option<FusedOp> {
+    let support = block.support;
+    match block.kind {
+        BlockKind::Passthrough(gate) => Some(FusedOp {
+            qubits: support,
+            kernel: FusedKernel::Gate(gate),
+        }),
+        BlockKind::Fusible {
+            gates,
+            diagonal_only,
+        } => {
+            if diagonal_only {
+                let mut table = vec![Complex64::ONE; 1usize << support.len()];
+                for g in &gates {
+                    accumulate_diagonal(g, &support, &mut table);
+                }
+                if is_identity_diag(&table) {
+                    return None;
+                }
+                return Some(FusedOp {
+                    qubits: support,
+                    kernel: FusedKernel::Diagonal(table),
+                });
+            }
+            // Shortcut: a lone controlled single-qubit gate needs no dense
+            // block at all.
+            if gates.len() == 1 {
+                if let GateAction::Controlled {
+                    controls,
+                    target,
+                    u,
+                } = gate_action(&gates[0])
+                {
+                    return Some(FusedOp {
+                        qubits: vec![target],
+                        kernel: FusedKernel::Dense {
+                            controls,
+                            matrix: u,
+                        },
+                    });
+                }
+            }
+            let dim = 1usize << support.len();
+            let mut m = CMatrix::identity(dim);
+            for g in &gates {
+                m = local_matrix(g, &support).matmul(&m);
+            }
+            if let Some(table) = try_diagonal(&m) {
+                if is_identity_diag(&table) {
+                    return None;
+                }
+                return Some(FusedOp {
+                    qubits: support,
+                    kernel: FusedKernel::Diagonal(table),
+                });
+            }
+            if let Some((targets, phases)) = try_permutation(&m) {
+                return Some(FusedOp {
+                    qubits: support,
+                    kernel: FusedKernel::Permutation { targets, phases },
+                });
+            }
+            let components = sparse_components(&m);
+            if components.is_empty() {
+                return None; // exact identity
+            }
+            // Sparse pays off when the component blocks are markedly
+            // smaller than the full matrix; otherwise the dense gather
+            // kernel has less bookkeeping.
+            let work: usize = components
+                .iter()
+                .map(|c| c.indices.len() * c.indices.len())
+                .sum();
+            if work * 2 > dim * dim {
+                return Some(FusedOp {
+                    qubits: support,
+                    kernel: FusedKernel::Dense {
+                        controls: vec![],
+                        matrix: m,
+                    },
+                });
+            }
+            Some(FusedOp {
+                qubits: support,
+                kernel: FusedKernel::Sparse { components },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_chain_fuses_to_one_table() {
+        let mut c = Circuit::new(6);
+        c.rz(0, 0.3)
+            .p(1, 0.5)
+            .cz(0, 1)
+            .cp(2, 3, 0.7)
+            .s(4)
+            .push(Gate::T(5));
+        c.keyed_z(vec![ControlBit::one(0), ControlBit::zero(5)]);
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        assert!(matches!(f.ops()[0].kernel, FusedKernel::Diagonal(_)));
+        assert_eq!(f.ops()[0].qubits, vec![0, 1, 2, 3, 4, 5]);
+        assert!(f.fusion_ratio() > 6.9);
+    }
+
+    #[test]
+    fn cx_ladder_fuses_to_permutation() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).x(0);
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        assert!(matches!(f.ops()[0].kernel, FusedKernel::Permutation { .. }));
+    }
+
+    #[test]
+    fn ladder_conjugated_rotation_stays_diagonal() {
+        // CX-ladder ∘ RZ ∘ ladder⁻¹ is diagonal in the computational basis.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).rz(2, 0.9).cx(1, 2).cx(0, 1);
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        assert!(matches!(f.ops()[0].kernel, FusedKernel::Diagonal(_)));
+    }
+
+    #[test]
+    fn identity_blocks_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).rz(0, 0.4).rz(0, -0.4);
+        let f = c.fused();
+        // CX·CX = I is a permutation with identity targets and exact unit
+        // phases; RZ(θ)·RZ(−θ) is an exactly-one diagonal.
+        assert!(f.ops().len() <= 1);
+        for op in f.ops() {
+            match &op.kernel {
+                FusedKernel::Permutation { targets, phases } => {
+                    assert!(targets.iter().enumerate().all(|(i, t)| *t as usize == i));
+                    assert!(phases.iter().all(|p| (*p - Complex64::ONE).abs() < 1e-12));
+                }
+                FusedKernel::Diagonal(t) => {
+                    assert!(t.iter().all(|p| (*p - Complex64::ONE).abs() < 1e-12));
+                }
+                other => panic!("unexpected kernel {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn controls_are_extracted_from_dense_blocks() {
+        // A lone multi-controlled RY keeps its control structure instead of a
+        // dense 2^3 block.
+        let mut c = Circuit::new(3);
+        c.mcry(vec![ControlBit::one(0), ControlBit::zero(1)], 2, 0.7);
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        match &f.ops()[0].kernel {
+            FusedKernel::Dense { controls, matrix } => {
+                assert_eq!(controls.len(), 2);
+                assert_eq!(matrix.rows(), 2);
+                assert_eq!(f.ops()[0].qubits, vec![2]);
+            }
+            other => panic!("unexpected kernel {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_cx_pair_with_common_control_extracts_control() {
+        // CX(0,1) · CX(0,2): qubit 0 is a pure control of the fused block —
+        // but the block is also a permutation, which is preferred.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(0, 2);
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        assert!(matches!(f.ops()[0].kernel, FusedKernel::Permutation { .. }));
+    }
+
+    #[test]
+    fn wide_multicontrol_is_passthrough() {
+        let mut c = Circuit::new(8);
+        c.mcx((0..7).map(ControlBit::one).collect(), 7);
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        assert!(matches!(f.ops()[0].kernel, FusedKernel::Gate(_)));
+    }
+
+    #[test]
+    fn global_phases_accumulate() {
+        let mut c = Circuit::new(1);
+        c.global_phase(0.25).h(0).global_phase(0.5);
+        let f = c.fused();
+        assert!((f.global_phase() - 0.75).abs() < 1e-15);
+        assert_eq!(f.ops().len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_preserved_across_disjoint_blocks() {
+        // CX(0,1), CX(2,3), CX(1,2): the third gate may not merge past the
+        // second block into the first.
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3).cx(1, 2);
+        let f = c.fused_with(&FusionOptions {
+            max_dense_qubits: 3,
+            max_diagonal_qubits: 10,
+        });
+        // Either merged into the *latest* block or kept separate — never
+        // reordered before CX(2,3).
+        assert!(f.ops().len() >= 2);
+        assert_eq!(f.source_gates(), 3);
+    }
+
+    #[test]
+    fn fusion_ratio_and_histogram() {
+        let c = {
+            let mut c = Circuit::new(4);
+            c.h(0).cx(0, 1).rz(1, 0.2).cx(0, 1).h(0).cp(2, 3, 0.4);
+            c
+        };
+        let f = c.fused();
+        assert!(f.fusion_ratio() >= 2.0);
+        let hist = f.kind_histogram();
+        let total: usize = hist.values().sum();
+        assert_eq!(total, f.ops().len());
+    }
+}

@@ -13,12 +13,16 @@
 pub mod circuit;
 pub mod costmodel;
 pub mod decompose;
+pub mod fusion;
 pub mod gate;
 pub mod ladder;
 pub mod qft;
 
 pub use circuit::{Circuit, ResourceCounts};
 pub use decompose::{decompose_to_cx_basis, decomposed_two_qubit_count, NativeBasis};
+pub use fusion::{
+    fuse, FusedCircuit, FusedKernel, FusedOp, FusionOptions, SparseComponent, MAX_DENSE_QUBITS,
+};
 pub use gate::{matrices, ControlBit, Gate, GateKind};
 pub use ladder::{parity_ladder, transition_ladder, LadderStyle, ParityLadder, TransitionLadder};
 pub use qft::{inverse_qft, qft};

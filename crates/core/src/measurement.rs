@@ -131,7 +131,7 @@ impl TermMeasurement {
     /// Estimates `⟨ψ|H_term|ψ⟩` from `shots` samples.
     pub fn estimate<R: Rng>(&self, state: &StateVector, shots: usize, rng: &mut R) -> f64 {
         let mut rotated = state.clone();
-        rotated.apply_circuit(&self.basis_change);
+        rotated.run_fused(&self.basis_change);
         let samples = rotated.sample(shots, rng);
         samples.iter().map(|&s| self.contribution(s)).sum::<f64>() / shots as f64
     }
@@ -140,7 +140,7 @@ impl TermMeasurement {
     /// shots limit) — used to validate the estimator.
     pub fn exact(&self, state: &StateVector) -> f64 {
         let mut rotated = state.clone();
-        rotated.apply_circuit(&self.basis_change);
+        rotated.run_fused(&self.basis_change);
         (0..rotated.dim())
             .map(|i| rotated.probability(i) * self.contribution(i))
             .sum()

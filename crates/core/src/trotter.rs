@@ -249,7 +249,7 @@ pub fn mpf_state(
     for (&steps, &w) in steps_list.iter().zip(weights.iter()) {
         let circuit = direct_product_formula(hamiltonian, t, steps, ProductFormula::First, opts);
         let mut state = initial.clone();
-        state.apply_circuit(&circuit);
+        state.run_fused(&circuit);
         for (a, b) in acc.iter_mut().zip(state.amplitudes().iter()) {
             *a += b.scale(w);
         }
@@ -287,7 +287,7 @@ pub fn state_error(
     initial: &StateVector,
 ) -> f64 {
     let mut evolved = initial.clone();
-    evolved.apply_circuit(circuit);
+    evolved.run_fused(circuit);
     let exact = expm_multiply_minus_i_theta(hamiltonian, t, initial.amplitudes());
     vec_distance(evolved.amplitudes(), &exact)
 }

@@ -9,7 +9,7 @@
 //! * [`cost_register_circuit`] — a QPE-style circuit that writes the integer
 //!   cost `C(x) (mod 2^m)` of every basis assignment `x` into an `m`-bit
 //!   value register, using one **direct phase separator** per value bit;
-//! * [`GroverAdaptiveSearch`] — the adaptive-threshold Grover loop that
+//! * [`grover_adaptive_search`] — the adaptive-threshold Grover loop that
 //!   repeatedly marks assignments with `C(x) < threshold` (a single `Z` on
 //!   the value register's sign bit after shifting by the threshold) and
 //!   amplifies them.
@@ -161,7 +161,7 @@ pub fn grover_adaptive_search<R: Rng>(
         total_iterations += iterations;
 
         let mut state = StateVector::zero_state(total);
-        state.apply_circuit(&circuit);
+        state.run_fused(&circuit);
         let sample = state.sample(1, rng)[0];
         let assignment = decode_assignment(sample, n, m);
         let cost = problem.evaluate(assignment);
@@ -202,7 +202,7 @@ mod tests {
         for x in 0..(1usize << 3) {
             // Prepare |x⟩|0⟩ and run the cost evaluation.
             let mut state = StateVector::basis_state(3 + m, x << m);
-            state.apply_circuit(&circuit);
+            state.run_fused(&circuit);
             // The outcome must be deterministic: |x⟩|C(x) mod 16⟩.
             let expected_value = p.evaluate(x);
             let mut found = None;
@@ -229,7 +229,7 @@ mod tests {
         let circuit = cost_register_circuit(&p, m, offset);
         let x = 0b111usize; // C = 0 → shifted −2
         let mut state = StateVector::basis_state(3 + m, x << m);
-        state.apply_circuit(&circuit);
+        state.run_fused(&circuit);
         let outcome = (0..state.dim())
             .find(|&i| state.probability(i) > 0.99)
             .unwrap();

@@ -81,7 +81,7 @@ pub fn qaoa_energy(
 ) -> f64 {
     let circuit = qaoa_circuit(problem, params, strategy);
     let mut state = StateVector::zero_state(circuit.num_qubits());
-    state.apply_circuit(&circuit);
+    state.run_fused(&circuit);
     (0..state.dim())
         .map(|x| state.probability(x) * problem.evaluate(x))
         .sum()
@@ -151,7 +151,7 @@ pub fn optimize_qaoa<R: Rng>(
     let (_, optimal_cost) = problem.brute_force_minimum();
     let circuit = qaoa_circuit(problem, &best_params, strategy);
     let mut state = StateVector::zero_state(circuit.num_qubits());
-    state.apply_circuit(&circuit);
+    state.run_fused(&circuit);
     let optimum_probability = (0..state.dim())
         .filter(|&x| (problem.evaluate(x) - optimal_cost).abs() < 1e-9)
         .map(|x| state.probability(x))

@@ -259,7 +259,7 @@ impl PauliSum {
     }
 
     /// Pauli decomposition of an arbitrary `2^n × 2^n` matrix using the
-    /// recursive block ("tree") approach of the paper's reference [8].
+    /// recursive block ("tree") approach of the paper’s reference \[8\].
     ///
     /// For a matrix written in 2×2 blocks `[[A, B], [C, D]]` over the first
     /// qubit, the coefficients factor as

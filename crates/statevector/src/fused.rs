@@ -1,0 +1,560 @@
+//! Application kernels for fused circuits.
+//!
+//! [`StateVector::apply_circuit`] pays one full sweep over all `2^n`
+//! amplitudes per gate. The kernels here execute a [`FusedCircuit`] instead:
+//! each fused op touches the state once, in cache-friendly rayon-parallel
+//! chunks, with specialized sweeps for the diagonal / permutation /
+//! controlled forms that skip the dense `2^k × 2^k` multiply entirely:
+//!
+//! * diagonal ops stream one phase table; entries equal to 1 (the common
+//!   case for keyed-phase separators) are skipped outright, so untouched
+//!   amplitudes are never even loaded;
+//! * permutation ops are pre-decomposed into cycles — fixed points with unit
+//!   phase cost nothing, transpositions cost one load/store pair;
+//! * dense ops gather each `2^k` group into a stack buffer, with all control
+//!   qubits folded into a single mask compare per group.
+//!
+//! Group addresses are enumerated with the subset-iteration identity
+//! `s' = (s − mask) & mask`, which walks every index whose bits lie inside
+//! `mask` in increasing order at one subtraction per step — no per-group bit
+//! deposit loops.
+//!
+//! Known limitation: a permutation/sparse/dense op whose support includes
+//! qubit 0 (the most significant bit) spans a single contiguous chunk and
+//! therefore runs on one thread; diagonal ops avoid this via a per-amplitude
+//! parallel fallback. Fixing the general case needs non-contiguous slice
+//! splitting, which the rayon shim does not offer.
+//!
+//! [`StateVector::run_fused`] is the default execution path of the
+//! workspace; [`StateVector::run_unfused`] keeps the per-gate path alive as
+//! the correctness oracle (see `tests/property_based.rs`).
+
+use crate::state::{control_mask, parallel_threshold, StateVector};
+use ghs_circuit::{Circuit, ControlBit, FusedCircuit, FusedKernel, FusedOp};
+use ghs_math::{CMatrix, Complex64};
+use rayon::prelude::*;
+
+/// Upper bound on the dense block dimension (`2^MAX_DENSE_QUBITS`), sizing
+/// the stack gather buffers.
+const MAX_BLOCK_DIM: usize = 1 << ghs_circuit::MAX_DENSE_QUBITS;
+
+/// Minimum amplitudes per parallel chunk: keeps the per-chunk closure and
+/// buffer setup amortised even when an op only touches low-order qubits.
+const MIN_CHUNK: usize = 1 << 12;
+
+/// State dimension below which [`StateVector::run_fused`] falls back to the
+/// per-gate path: fusing costs more than it saves on tiny registers.
+const FUSED_MIN_DIM: usize = 1 << 10;
+
+/// Calls `f(s)` for every `s` whose set bits lie inside `mask` (including
+/// `0`), in increasing order.
+#[inline]
+fn for_each_subset<F: FnMut(usize)>(mask: usize, mut f: F) {
+    let mut s = 0usize;
+    loop {
+        f(s);
+        s = s.wrapping_sub(mask) & mask;
+        if s == 0 {
+            break;
+        }
+    }
+}
+
+/// Precomputed index geometry of a fused op's support within the register.
+struct Support {
+    /// Scatter offsets: local index `l` lives at `group_base + scatter[l]`.
+    scatter: Vec<usize>,
+    /// OR of the support bit masks.
+    smask: usize,
+    /// Parallel chunk width: covers whole groups and is never smaller than
+    /// [`MIN_CHUNK`] (clamped to the state dimension).
+    chunk: usize,
+}
+
+impl Support {
+    fn new(num_qubits: usize, qubits: &[usize]) -> Self {
+        let k = qubits.len();
+        // Qubits are sorted ascending, so positions are strictly descending
+        // and pos[0] is the highest bit the op touches.
+        let pos: Vec<usize> = qubits.iter().map(|q| num_qubits - 1 - q).collect();
+        let kdim = 1usize << k;
+        let scatter: Vec<usize> = (0..kdim)
+            .map(|l| {
+                let mut off = 0usize;
+                for (j, p) in pos.iter().enumerate() {
+                    if (l >> (k - 1 - j)) & 1 == 1 {
+                        off |= 1 << p;
+                    }
+                }
+                off
+            })
+            .collect();
+        let smask: usize = pos.iter().map(|p| 1usize << p).sum();
+        let span = 1usize << (pos[0] + 1);
+        let dim = 1usize << num_qubits;
+        let chunk = span.max(MIN_CHUNK).min(dim);
+        Self {
+            scatter,
+            smask,
+            chunk,
+        }
+    }
+
+    /// Mask of the group-offset bits within one chunk.
+    #[inline]
+    fn group_mask(&self) -> usize {
+        (self.chunk - 1) & !self.smask
+    }
+}
+
+/// Runs `kernel(chunk_base, chunk)` over the amplitudes in blocks of
+/// `chunk` entries, in parallel above the threshold.
+fn for_each_chunk<F>(amps: &mut [Complex64], chunk: usize, kernel: F)
+where
+    F: Fn(usize, &mut [Complex64]) + Sync,
+{
+    if amps.len() >= parallel_threshold() && amps.len() > chunk {
+        amps.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, c)| kernel(ci * chunk, c));
+    } else {
+        for (ci, c) in amps.chunks_mut(chunk).enumerate() {
+            kernel(ci * chunk, c);
+        }
+    }
+}
+
+impl StateVector {
+    /// Applies a pre-fused circuit (see [`Circuit::fused`]).
+    ///
+    /// Fuse once and reuse the [`FusedCircuit`] when applying the same
+    /// circuit to many states (e.g. columns of a unitary, QAOA sweeps).
+    pub fn apply_fused(&mut self, fused: &FusedCircuit) {
+        assert_eq!(
+            fused.num_qubits(),
+            self.num_qubits(),
+            "register size mismatch"
+        );
+        for op in fused.ops() {
+            self.apply_fused_op(op);
+        }
+        if fused.global_phase() != 0.0 {
+            let p = Complex64::cis(fused.global_phase());
+            for a in self.amplitudes_mut() {
+                *a *= p;
+            }
+        }
+    }
+
+    /// Fuses the circuit and applies it: the default execution path.
+    ///
+    /// Below 10 qubits the fusion pass itself costs more than the per-gate
+    /// simulation it accelerates (its cost is independent of the state
+    /// dimension), so small registers fall back to [`Self::run_unfused`] —
+    /// the same crossover [`crate::circuit_unitary`] uses. Call
+    /// [`Self::apply_fused`] with a pre-fused circuit to force the fused
+    /// engine at any size (and to amortise fusion across repeated
+    /// applications).
+    pub fn run_fused(&mut self, circuit: &Circuit) {
+        if self.dim() >= FUSED_MIN_DIM {
+            self.apply_fused(&circuit.fused());
+        } else {
+            self.apply_circuit(circuit);
+        }
+    }
+
+    /// Applies the circuit gate by gate, one sweep per gate: the slow,
+    /// obviously-correct oracle against which the fused path is property
+    /// tested.
+    pub fn run_unfused(&mut self, circuit: &Circuit) {
+        self.apply_circuit(circuit);
+    }
+
+    /// Applies one fused operation.
+    pub fn apply_fused_op(&mut self, op: &FusedOp) {
+        match &op.kernel {
+            FusedKernel::Gate(g) => self.apply_gate(g),
+            FusedKernel::Diagonal(table) => self.apply_fused_diagonal(&op.qubits, table),
+            FusedKernel::Permutation { targets, phases } => {
+                self.apply_fused_permutation(&op.qubits, targets, phases)
+            }
+            FusedKernel::Dense { controls, matrix } => {
+                if op.qubits.len() == 1 {
+                    // A (possibly multi-)controlled single-qubit unitary:
+                    // the existing pair-sweep kernel is already optimal.
+                    self.apply_controlled_single_qubit(op.qubits[0], controls, matrix);
+                } else {
+                    self.apply_fused_dense(&op.qubits, controls, matrix);
+                }
+            }
+            FusedKernel::Sparse { components } => self.apply_fused_sparse(&op.qubits, components),
+        }
+    }
+
+    /// One sweep, one table lookup per amplitude; local states with unit
+    /// phase are never visited.
+    fn apply_fused_diagonal(&mut self, qubits: &[usize], table: &[Complex64]) {
+        let n = self.num_qubits();
+        let sup = Support::new(n, qubits);
+        // When the op touches qubit 0 a single chunk spans the whole state
+        // and the streaming sweep below would run on one core. Diagonal ops
+        // are embarrassingly parallel per amplitude, so fall back to the
+        // per-amplitude parallel sweep in that case (matching the per-gate
+        // keyed-phase kernel's parallelism).
+        if sup.chunk == self.dim()
+            && self.dim() >= parallel_threshold()
+            && std::thread::available_parallelism().map_or(1, |p| p.get()) > 1
+        {
+            let pos: Vec<usize> = qubits.iter().map(|q| n - 1 - q).collect();
+            let table = table.to_vec();
+            self.amplitudes_mut()
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, a)| {
+                    let mut l = 0usize;
+                    for p in &pos {
+                        l = (l << 1) | ((i >> p) & 1);
+                    }
+                    *a *= table[l];
+                });
+            return;
+        }
+        let gmask = sup.group_mask();
+        // Only stream the local states whose phase is non-trivial.
+        let active: Vec<(usize, Complex64)> = table
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != Complex64::ONE)
+            .map(|(l, p)| (sup.scatter[l], *p))
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let kernel = |_base: usize, chunk: &mut [Complex64]| {
+            for &(off0, phase) in &active {
+                for_each_subset(gmask, |off| {
+                    chunk[off0 + off] *= phase;
+                });
+            }
+        };
+        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
+    }
+
+    /// Cycle-decomposed phased shuffle: fixed points with unit phase cost
+    /// nothing; a transposition is one swap plus two phase multiplies.
+    fn apply_fused_permutation(&mut self, qubits: &[usize], targets: &[u32], phases: &[Complex64]) {
+        let sup = Support::new(self.num_qubits(), qubits);
+        let gmask = sup.group_mask();
+        let kdim = targets.len();
+        // Decompose into cycles over scatter offsets; cycles whose phases
+        // are all exactly 1 (plain CX/X/SWAP ladders) move amplitudes
+        // without any arithmetic.
+        struct Cycle {
+            offs: Vec<usize>,
+            phs: Vec<Complex64>,
+            trivial: bool,
+        }
+        let mut cycles: Vec<Cycle> = Vec::new();
+        let mut fixed: Vec<(usize, Complex64)> = Vec::new();
+        let mut visited = vec![false; kdim];
+        for start in 0..kdim {
+            if visited[start] {
+                continue;
+            }
+            if targets[start] as usize == start {
+                visited[start] = true;
+                if phases[start] != Complex64::ONE {
+                    fixed.push((sup.scatter[start], phases[start]));
+                }
+                continue;
+            }
+            let mut offs = Vec::new();
+            let mut phs = Vec::new();
+            let mut l = start;
+            while !visited[l] {
+                visited[l] = true;
+                offs.push(sup.scatter[l]);
+                phs.push(phases[l]);
+                l = targets[l] as usize;
+            }
+            let trivial = phs.iter().all(|p| *p == Complex64::ONE);
+            cycles.push(Cycle { offs, phs, trivial });
+        }
+        if cycles.is_empty() && fixed.is_empty() {
+            return;
+        }
+        let kernel = |_base: usize, chunk: &mut [Complex64]| {
+            for_each_subset(gmask, |off| {
+                for cy in &cycles {
+                    let m = cy.offs.len();
+                    if cy.trivial {
+                        if m == 2 {
+                            chunk.swap(off + cy.offs[0], off + cy.offs[1]);
+                        } else {
+                            let tmp = chunk[off + cy.offs[m - 1]];
+                            for i in (1..m).rev() {
+                                chunk[off + cy.offs[i]] = chunk[off + cy.offs[i - 1]];
+                            }
+                            chunk[off + cy.offs[0]] = tmp;
+                        }
+                    } else {
+                        let tmp = chunk[off + cy.offs[m - 1]];
+                        for i in (1..m).rev() {
+                            chunk[off + cy.offs[i]] = cy.phs[i - 1] * chunk[off + cy.offs[i - 1]];
+                        }
+                        chunk[off + cy.offs[0]] = cy.phs[m - 1] * tmp;
+                    }
+                }
+                for &(o, p) in &fixed {
+                    chunk[off + o] *= p;
+                }
+            });
+        };
+        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
+    }
+
+    /// Gather → dense `2^k × 2^k` multiply → scatter, per group, honouring
+    /// controls outside the support with one mask compare per group.
+    fn apply_fused_dense(&mut self, qubits: &[usize], controls: &[ControlBit], m: &CMatrix) {
+        let n = self.num_qubits();
+        let sup = Support::new(n, qubits);
+        let gmask = sup.group_mask();
+        let kdim = 1usize << qubits.len();
+        debug_assert_eq!(m.rows(), kdim);
+        let (cmask, cval) = control_mask(controls, n);
+        let flat: Vec<Complex64> = m.data().to_vec();
+        let kernel = |base: usize, chunk: &mut [Complex64]| {
+            let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
+            for_each_subset(gmask, |off| {
+                if (base + off) & cmask != cval {
+                    return;
+                }
+                for (b, s) in buf[..kdim].iter_mut().zip(&sup.scatter) {
+                    *b = chunk[off + *s];
+                }
+                for (row, mrow) in flat.chunks_exact(kdim).enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (mc, bc) in mrow.iter().zip(&buf[..kdim]) {
+                        acc += *mc * *bc;
+                    }
+                    chunk[off + sup.scatter[row]] = acc;
+                }
+            });
+        };
+        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
+    }
+
+    /// Block-sparse sweep: each invariant component is applied on its own;
+    /// amplitudes outside every component are never loaded. Components of
+    /// size 1 (phase) and 2 (two-level rotation) are unrolled.
+    fn apply_fused_sparse(
+        &mut self,
+        qubits: &[usize],
+        components: &[ghs_circuit::SparseComponent],
+    ) {
+        let sup = Support::new(self.num_qubits(), qubits);
+        let gmask = sup.group_mask();
+        // Pre-resolve component indices to scatter offsets and flatten the
+        // small matrices.
+        struct Comp {
+            offs: Vec<usize>,
+            flat: Vec<Complex64>,
+        }
+        let comps: Vec<Comp> = components
+            .iter()
+            .map(|c| Comp {
+                offs: c.indices.iter().map(|&i| sup.scatter[i as usize]).collect(),
+                flat: c.matrix.data().to_vec(),
+            })
+            .collect();
+        let kernel = |_base: usize, chunk: &mut [Complex64]| {
+            let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
+            for_each_subset(gmask, |off| {
+                for comp in &comps {
+                    match comp.offs.len() {
+                        1 => chunk[off + comp.offs[0]] *= comp.flat[0],
+                        2 => {
+                            let (o0, o1) = (off + comp.offs[0], off + comp.offs[1]);
+                            let a0 = chunk[o0];
+                            let a1 = chunk[o1];
+                            chunk[o0] = comp.flat[0] * a0 + comp.flat[1] * a1;
+                            chunk[o1] = comp.flat[2] * a0 + comp.flat[3] * a1;
+                        }
+                        md => {
+                            for (b, o) in buf[..md].iter_mut().zip(&comp.offs) {
+                                *b = chunk[off + *o];
+                            }
+                            for (row, mrow) in comp.flat.chunks_exact(md).enumerate() {
+                                let mut acc = Complex64::ZERO;
+                                for (mc, bc) in mrow.iter().zip(&buf[..md]) {
+                                    acc += *mc * *bc;
+                                }
+                                chunk[off + comp.offs[row]] = acc;
+                            }
+                        }
+                    }
+                }
+            });
+        };
+        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_circuit(n: usize, seed: u64) -> Circuit {
+        // A deterministic mix that exercises every kernel class.
+        let mut c = Circuit::new(n);
+        let angle = |i: usize| 0.1 + 0.37 * (i as f64) + seed as f64 * 0.013;
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..n {
+            c.rz(q, angle(q));
+        }
+        c.swap(0, n - 1)
+            .cz(0, 1)
+            .cp(1, n - 1, 0.6)
+            .keyed_z(vec![ControlBit::one(0), ControlBit::zero(n - 1)])
+            .mcry(
+                vec![ControlBit::one(0), ControlBit::zero(1)],
+                n - 1,
+                angle(1),
+            )
+            .global_phase(0.3)
+            .y(1)
+            .rx(0, angle(2))
+            .ry(n - 2, angle(3))
+            .sdg(1)
+            .x(n - 1);
+        c
+    }
+
+    #[test]
+    fn subset_iteration_enumerates_exactly_the_mask() {
+        let mask = 0b1011_0100usize;
+        let mut seen = Vec::new();
+        for_each_subset(mask, |s| seen.push(s));
+        assert_eq!(seen.len(), 1 << mask.count_ones());
+        assert!(seen.iter().all(|s| s & !mask == 0));
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len());
+        assert_eq!(sorted, seen, "subsets come out in increasing order");
+    }
+
+    #[test]
+    fn fused_matches_unfused_on_mixed_circuits() {
+        for n in 2..=8 {
+            let c = mixed_circuit(n.max(3), n as u64);
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let s0 = StateVector::random_state(c.num_qubits(), &mut rng);
+            let mut fused = s0.clone();
+            // apply_fused rather than run_fused: the engine itself must be
+            // exercised even below the run_fused size crossover.
+            fused.apply_fused(&c.fused());
+            let mut unfused = s0.clone();
+            unfused.run_unfused(&c);
+            assert!(
+                fused.distance(&unfused) < 1e-12,
+                "n={n}: distance {}",
+                fused.distance(&unfused)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matches_above_parallel_threshold() {
+        let n = 13; // crosses the default 4096-amplitude threshold
+        let c = mixed_circuit(n, 7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let mut fused = s0.clone();
+        fused.run_fused(&c);
+        let mut unfused = s0.clone();
+        unfused.run_unfused(&c);
+        assert!(fused.distance(&unfused) < 1e-11);
+    }
+
+    #[test]
+    fn wide_diagonal_and_wide_control_passthrough() {
+        let n = 12;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        // Keyed phase over 11 qubits: wider than the diagonal window → must
+        // still be exact through the passthrough kernel.
+        c.keyed_z((0..n - 1).map(ControlBit::one).collect());
+        // McX with 9 controls: wider than the dense window.
+        c.mcx((0..n - 3).map(ControlBit::one).collect(), n - 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let mut fused = s0.clone();
+        fused.run_fused(&c);
+        let mut unfused = s0.clone();
+        unfused.run_unfused(&c);
+        assert!(fused.distance(&unfused) < 1e-12);
+    }
+
+    #[test]
+    fn contradictory_controls_match_no_state() {
+        // The same qubit required to be both |0⟩ and |1⟩: identity, on both
+        // paths (regression test for the mask-fold control check).
+        let n = 3;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.keyed_phase(vec![ControlBit::one(0), ControlBit::zero(0)], 1.0);
+        c.mcx(vec![ControlBit::one(1), ControlBit::zero(1)], 2);
+        let mut rng = StdRng::seed_from_u64(17);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let mut fused = s0.clone();
+        fused.apply_fused(&c.fused());
+        let mut unfused = s0.clone();
+        unfused.run_unfused(&c);
+        assert!(fused.distance(&unfused) < 1e-12);
+        // And both equal just the H layer (the contradictory gates are no-ops).
+        let mut h_only = Circuit::new(n);
+        for q in 0..n {
+            h_only.h(q);
+        }
+        let mut expect = s0.clone();
+        expect.run_unfused(&h_only);
+        assert!(unfused.distance(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn evolve_leaves_original_untouched() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s0 = StateVector::zero_state(2);
+        let s1 = crate::state::evolve(&s0, &c);
+        assert!((s0.probability(0) - 1.0).abs() < 1e-12);
+        assert!((s1.probability(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reusing_a_fused_circuit_across_states() {
+        let c = mixed_circuit(5, 1);
+        let fused = c.fused();
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s0 = StateVector::random_state(5, &mut rng);
+            let mut a = s0.clone();
+            a.apply_fused(&fused);
+            let mut b = s0.clone();
+            b.run_unfused(&c);
+            assert!(a.distance(&b) < 1e-12);
+        }
+    }
+}

@@ -9,8 +9,9 @@
 
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod prepare;
 pub mod state;
 
 pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};
-pub use state::{circuit_unitary, evolve, StateVector};
+pub use state::{circuit_unitary, evolve, parallel_threshold, StateVector};

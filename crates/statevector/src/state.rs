@@ -13,9 +13,49 @@ use ghs_math::bits::qubit_bit;
 use ghs_math::{c64, CMatrix, Complex64, SparseMatrix};
 use rand::Rng;
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Default number of amplitudes above which gate kernels switch to rayon.
+const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 12;
 
 /// Number of amplitudes above which gate kernels switch to rayon.
-const PARALLEL_THRESHOLD: usize = 1 << 12;
+///
+/// Overridable via the `GHS_PARALLEL_THRESHOLD` environment variable (read
+/// once per process): raise it on laptops where thread spawn overhead
+/// dominates small registers, lower it on many-core CI runners. Unparsable or
+/// missing values fall back to the built-in default of 4096.
+pub fn parallel_threshold() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("GHS_PARALLEL_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
+    })
+}
+
+/// Folds control/key conditions into one `(mask, value)` pair so an index
+/// satisfies all conditions iff `index & mask == value` (qubit 0 = most
+/// significant bit, matching `ghs_math::bits`).
+///
+/// A contradictory list (the same qubit required to be both `0` and `1`)
+/// matches no basis state; the returned pair `(0, 1)` then fails for every
+/// index, preserving the semantics of checking each condition in turn.
+#[inline]
+pub(crate) fn control_mask(controls: &[ControlBit], num_qubits: usize) -> (usize, usize) {
+    let mut mask = 0usize;
+    let mut value = 0usize;
+    for c in controls {
+        let bit = 1usize << (num_qubits - 1 - c.qubit);
+        let v = if c.value == 1 { bit } else { 0 };
+        if mask & bit != 0 && value & bit != v {
+            return (0, 1); // unsatisfiable
+        }
+        mask |= bit;
+        value |= v;
+    }
+    (mask, value)
+}
 
 /// A pure quantum state on `num_qubits` qubits.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +110,11 @@ impl StateVector {
     /// Amplitudes (read-only).
     pub fn amplitudes(&self) -> &[Complex64] {
         &self.amps
+    }
+
+    /// Mutable amplitude slice for the fused kernels.
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
     }
 
     /// Amplitude of one basis state.
@@ -156,16 +201,13 @@ impl StateVector {
         let block = stride << 1;
         let n = self.num_qubits;
         let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
-        let controls = controls.to_vec();
+        // Fold all control conditions into one mask compare per pair.
+        let (cmask, cval) = control_mask(controls, n);
 
         let kernel = |chunk_idx: usize, chunk: &mut [Complex64]| {
             let base = chunk_idx * block;
             for k in 0..stride {
-                let i0 = base + k;
-                if !controls
-                    .iter()
-                    .all(|c| qubit_bit(i0, c.qubit, n) == c.value)
-                {
+                if (base + k) & cmask != cval {
                     continue;
                 }
                 let a0 = chunk[k];
@@ -175,7 +217,7 @@ impl StateVector {
             }
         };
 
-        if self.dim() >= PARALLEL_THRESHOLD {
+        if self.dim() >= parallel_threshold() {
             self.amps
                 .par_chunks_mut(block)
                 .enumerate()
@@ -191,13 +233,13 @@ impl StateVector {
     pub fn apply_keyed_phase(&mut self, key: &[ControlBit], theta: f64) {
         let phase = Complex64::cis(theta);
         let n = self.num_qubits;
-        let key = key.to_vec();
+        let (kmask, kval) = control_mask(key, n);
         let apply = |(i, a): (usize, &mut Complex64)| {
-            if key.iter().all(|c| qubit_bit(i, c.qubit, n) == c.value) {
+            if i & kmask == kval {
                 *a *= phase;
             }
         };
-        if self.dim() >= PARALLEL_THRESHOLD {
+        if self.dim() >= parallel_threshold() {
             self.amps.par_iter_mut().enumerate().for_each(apply);
         } else {
             self.amps.iter_mut().enumerate().for_each(apply);
@@ -312,13 +354,21 @@ impl StateVector {
 
 /// Builds the full `2^n × 2^n` unitary matrix implemented by a circuit by
 /// applying it to every computational-basis state.
+///
+/// For registers of 10+ qubits the circuit is fused once and the fused form
+/// is reused across all `2^n` columns; below that the per-gate path is
+/// cheaper than the fusion pass itself.
 pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
     let n = circuit.num_qubits();
     let dim = 1usize << n;
+    let fused = (n >= 10).then(|| circuit.fused());
     let mut m = CMatrix::zeros(dim, dim);
     for col in 0..dim {
         let mut s = StateVector::basis_state(n, col);
-        s.apply_circuit(circuit);
+        match &fused {
+            Some(f) => s.apply_fused(f),
+            None => s.apply_circuit(circuit),
+        }
         for row in 0..dim {
             m[(row, col)] = s.amplitude(row);
         }
@@ -326,10 +376,11 @@ pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
     m
 }
 
-/// Applies a circuit to a copy of the state and returns the result.
+/// Applies a circuit to a copy of the state and returns the result (through
+/// the fused engine; see [`StateVector::run_fused`]).
 pub fn evolve(state: &StateVector, circuit: &Circuit) -> StateVector {
     let mut s = state.clone();
-    s.apply_circuit(circuit);
+    s.run_fused(circuit);
     s
 }
 

@@ -12,6 +12,7 @@ use ghs_chemistry::{
     h2_sto3g, hubbard_chain, transition_resources, trotter_error_sweep, ElectronicTransition,
 };
 use ghs_circuit::LadderStyle;
+use ghs_core::backend::{Backend, FusedStatevector};
 use ghs_core::{
     block_encode_term, direct_product_formula, direct_term_circuit, mpf_state_error, state_error,
     term_lcu_unitary_count, ComplexCoefficientMode, DirectOptions, NonHermitianOperator,
@@ -196,8 +197,7 @@ fn exp_fig2() {
         let sparse = term.sparse_matrix();
         let mut rng = StdRng::seed_from_u64(4);
         let psi = StateVector::random_state(15, &mut rng);
-        let mut evolved = psi.clone();
-        evolved.run_fused(&circuit);
+        let evolved = FusedStatevector.run(&psi, &circuit);
         let exact = expm_multiply_minus_i_theta(&sparse, theta, psi.amplitudes());
         let err = vec_distance(evolved.amplitudes(), &exact);
         rows.push(vec![
@@ -677,8 +677,7 @@ fn exp_grover_adaptive_search() {
     let circuit = cost_register_circuit(&p, m, 0.0);
     let mut rows = Vec::new();
     for x in 0..(1usize << 3) {
-        let mut state = StateVector::basis_state(3 + m, x << m);
-        state.run_fused(&circuit);
+        let state = FusedStatevector.run(&StateVector::basis_state(3 + m, x << m), &circuit);
         let outcome = (0..state.dim())
             .find(|&i| state.probability(i) > 0.99)
             .unwrap();

@@ -8,6 +8,7 @@
 
 use crate::models::ElectronicModel;
 use ghs_circuit::LadderStyle;
+use ghs_core::backend::{Backend, FusedStatevector};
 use ghs_core::{direct_product_formula, usual_product_formula, DirectOptions, ProductFormula};
 use ghs_math::expm_multiply_minus_i_theta;
 use ghs_statevector::StateVector;
@@ -35,6 +36,19 @@ pub fn trotter_error_sweep(
     steps_list: &[usize],
     order: ProductFormula,
 ) -> Vec<TrotterErrorRow> {
+    trotter_error_sweep_with(&FusedStatevector, model, t, steps_list, order)
+}
+
+/// [`trotter_error_sweep`] through an arbitrary execution [`Backend`]; with
+/// a noisy trajectory backend the rows measure the combined
+/// Trotter-plus-noise error.
+pub fn trotter_error_sweep_with(
+    backend: &dyn Backend,
+    model: &ElectronicModel,
+    t: f64,
+    steps_list: &[usize],
+    order: ProductFormula,
+) -> Vec<TrotterErrorRow> {
     let h = model.qubit_hamiltonian();
     let sparse = h.sparse_matrix();
     let sum = h.to_pauli_sum();
@@ -47,10 +61,8 @@ pub fn trotter_error_sweep(
         .map(|&steps| {
             let direct_circ = direct_product_formula(&h, t, steps, order, &DirectOptions::linear());
             let usual_circ = usual_product_formula(&sum, t, steps, order, LadderStyle::Linear);
-            let mut d_state = initial.clone();
-            d_state.run_fused(&direct_circ);
-            let mut u_state = initial.clone();
-            u_state.run_fused(&usual_circ);
+            let d_state = backend.run(&initial, &direct_circ);
+            let u_state = backend.run(&initial, &usual_circ);
             TrotterErrorRow {
                 steps,
                 direct_error: ghs_math::vec_distance(d_state.amplitudes(), &exact),

@@ -9,6 +9,7 @@
 
 use crate::models::ElectronicModel;
 use ghs_circuit::Circuit;
+use ghs_core::backend::{Backend, FusedStatevector};
 use ghs_core::{direct_term_circuit, DirectOptions};
 use ghs_math::Complex64;
 use ghs_operators::{FermionTerm, HermitianTerm};
@@ -107,16 +108,29 @@ pub fn uccsd_circuit(
     c
 }
 
-/// Energy of the ansatz at the given angles.
+/// Energy of the ansatz at the given angles (through the default fused
+/// backend; see [`uccsd_energy_with`]).
 pub fn uccsd_energy(
     model: &ElectronicModel,
     pool: &[Excitation],
     thetas: &[f64],
     opts: &DirectOptions,
 ) -> f64 {
+    uccsd_energy_with(&FusedStatevector, model, pool, thetas, opts)
+}
+
+/// Energy of the ansatz through an arbitrary execution [`Backend`]. With a
+/// stochastic backend the energy is that of one seeded trajectory (see
+/// [`Backend::run`]).
+pub fn uccsd_energy_with(
+    backend: &dyn Backend,
+    model: &ElectronicModel,
+    pool: &[Excitation],
+    thetas: &[f64],
+    opts: &DirectOptions,
+) -> f64 {
     let circuit = uccsd_circuit(model, pool, thetas, opts);
-    let mut state = StateVector::zero_state(model.num_qubits());
-    state.run_fused(&circuit);
+    let state = backend.run(&StateVector::zero_state(model.num_qubits()), &circuit);
     model.energy_of_state(state.amplitudes())
 }
 

@@ -1,0 +1,423 @@
+//! Pluggable simulation backends.
+//!
+//! Every execution path of the workspace used to be hard-wired to one dense
+//! state-vector sweep ([`StateVector::run_fused`]). The [`Backend`] trait
+//! turns that choice into an abstraction: circuit execution, expectation
+//! values and shot sampling are entry points of an interchangeable engine,
+//! and the application layers (`measurement`, `trotter`, `ghs_hubo`,
+//! `ghs_chemistry`, the benchmark binaries) are written against the trait.
+//!
+//! Three backends ship today:
+//!
+//! * [`FusedStatevector`] — the production path: gate fusion + specialized
+//!   kernels (PR 2), exact to machine precision;
+//! * [`ReferenceStatevector`] — one sweep per gate, the slow oracle the
+//!   property tests compare everything against;
+//! * [`PauliNoise`] — stochastic Pauli-noise trajectories (per-gate
+//!   depolarizing and dephasing channels), seeded and averaged over a
+//!   trajectory batch.
+//!
+//! All backends share the **batched shot engine**: [`Backend::sample`]
+//! simulates the pre-measurement state once, caches the `|amplitude|²`
+//! distribution in an alias table and draws every shot in `O(1)` from
+//! rayon-parallel, deterministically seeded chunks
+//! ([`CachedDistribution`]) — `O(2^n + shots)` instead of re-executing or
+//! re-sweeping per shot.
+//!
+//! Determinism guarantee: for a fixed backend configuration and fixed
+//! `seed`, [`Backend::sample`] returns a bit-identical shot vector across
+//! runs, thread counts and machines.
+//!
+//! ```
+//! use ghs_circuit::Circuit;
+//! use ghs_core::backend::{Backend, FusedStatevector};
+//! use ghs_statevector::StateVector;
+//!
+//! // A Bell pair only ever reads |00⟩ or |11⟩, split evenly.
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let backend = FusedStatevector;
+//! let zero = StateVector::zero_state(2);
+//! let shots = backend.sample(&zero, &bell, 4096, 7);
+//! assert!(shots.iter().all(|&s| s == 0b00 || s == 0b11));
+//! let ones = shots.iter().filter(|&&s| s == 0b11).count();
+//! assert!((ones as f64 / 4096.0 - 0.5).abs() < 0.05);
+//! // Seeded sampling is bit-identical across runs.
+//! assert_eq!(shots, backend.sample(&zero, &bell, 4096, 7));
+//! ```
+
+use ghs_circuit::{Circuit, Gate};
+use ghs_math::SparseMatrix;
+use ghs_statevector::{derive_stream_seed, CachedDistribution, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An interchangeable circuit-execution engine.
+///
+/// The trait is object-safe: application code that should stay agnostic of
+/// the engine takes `&dyn Backend`. Deterministic backends only implement
+/// [`Backend::run`]; the expectation/sampling entry points have default
+/// implementations on top of it. Stochastic backends override
+/// [`Backend::probabilities`] and [`Backend::expectation`] to average over
+/// their ensemble.
+pub trait Backend {
+    /// Stable identifier (used in logs, benchmarks and selection tables).
+    fn name(&self) -> &'static str;
+
+    /// Evolves `initial` through `circuit` and returns the final state.
+    ///
+    /// For stochastic backends this is **one** trajectory (drawn from the
+    /// backend's own seed); ensemble-averaged quantities go through
+    /// [`Backend::probabilities`] / [`Backend::expectation`].
+    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector;
+
+    /// Measurement probabilities of the evolved state in the computational
+    /// basis (ensemble-averaged for stochastic backends).
+    fn probabilities(&self, initial: &StateVector, circuit: &Circuit) -> Vec<f64> {
+        let state = self.run(initial, circuit);
+        state.amplitudes().iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Expectation value `⟨ψ|A|ψ⟩` of a Hermitian observable on the evolved
+    /// state (ensemble-averaged for stochastic backends).
+    fn expectation(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        observable: &SparseMatrix,
+    ) -> f64 {
+        self.run(initial, circuit).expectation_sparse(observable).re
+    }
+
+    /// Draws `shots` computational-basis outcomes through the batched shot
+    /// engine: the pre-measurement distribution is computed **once**, cached
+    /// in an alias table, and every shot costs `O(1)` — `O(2^n + shots)`
+    /// total, bit-identical for a fixed `seed`.
+    fn sample(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        CachedDistribution::from_probabilities(self.probabilities(initial, circuit))
+            .sample_seeded(shots, seed)
+    }
+}
+
+/// The production backend: fused gate-application engine (one cache-friendly
+/// sweep per fused op, specialized diagonal/permutation/sparse/dense
+/// kernels). Exact to machine precision; agrees with
+/// [`ReferenceStatevector`] to `1e-12` on random circuits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusedStatevector;
+
+impl Backend for FusedStatevector {
+    fn name(&self) -> &'static str {
+        "fused-statevector"
+    }
+
+    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
+        let mut s = initial.clone();
+        s.run_fused(circuit);
+        s
+    }
+
+    /// Deterministic engine: build the alias table straight from the evolved
+    /// state, skipping the intermediate probability vector of the default
+    /// (ensemble-oriented) implementation. Same table, same shot stream.
+    fn sample(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        self.run(initial, circuit).sample_cached(shots, seed)
+    }
+}
+
+/// The reference backend: one full sweep per gate, no fusion. Slow but
+/// obviously correct — the oracle the property tests pit every other backend
+/// against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReferenceStatevector;
+
+impl Backend for ReferenceStatevector {
+    fn name(&self) -> &'static str {
+        "reference-statevector"
+    }
+
+    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
+        let mut s = initial.clone();
+        s.run_unfused(circuit);
+        s
+    }
+
+    /// Deterministic engine: sample straight from the evolved state (see
+    /// [`FusedStatevector`]'s override).
+    fn sample(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        self.run(initial, circuit).sample_cached(shots, seed)
+    }
+}
+
+/// Stochastic Pauli-noise trajectory backend.
+///
+/// After every gate, each qubit in the gate's support is hit independently
+/// by two classical error channels:
+///
+/// * **depolarizing** — with probability `depolarizing`, a uniformly random
+///   Pauli (`X`, `Y` or `Z`) is applied;
+/// * **dephasing** — with probability `dephasing`, a `Z` is applied.
+///
+/// One run of the circuit under one realisation of those coin flips is a
+/// *trajectory*; ensemble quantities ([`Backend::probabilities`],
+/// [`Backend::expectation`], [`Backend::sample`]) average `trajectories`
+/// seeded trajectories. Trajectory `t` derives its RNG stream from
+/// `(seed, t)` only, so every ensemble quantity is deterministic for a fixed
+/// configuration.
+///
+/// At zero noise strength no RNG is consumed and each trajectory degenerates
+/// to the per-gate reference path, so the backend agrees with
+/// [`ReferenceStatevector`] exactly and with [`FusedStatevector`] to
+/// `1e-12` (a property test enforces this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PauliNoise {
+    /// Per-qubit probability of a uniformly random Pauli after each gate.
+    pub depolarizing: f64,
+    /// Per-qubit probability of an extra `Z` after each gate.
+    pub dephasing: f64,
+    /// Number of trajectories averaged by the ensemble entry points.
+    pub trajectories: usize,
+    /// Master seed; trajectory `t` uses the stream derived from `(seed, t)`.
+    pub seed: u64,
+}
+
+impl PauliNoise {
+    /// A depolarizing-only channel of strength `p` averaged over
+    /// `trajectories` trajectories.
+    pub fn depolarizing(p: f64, trajectories: usize, seed: u64) -> Self {
+        Self {
+            depolarizing: p,
+            dephasing: 0.0,
+            trajectories,
+            seed,
+        }
+    }
+
+    /// A dephasing-only channel of strength `p` averaged over
+    /// `trajectories` trajectories.
+    pub fn dephasing(p: f64, trajectories: usize, seed: u64) -> Self {
+        Self {
+            depolarizing: 0.0,
+            dephasing: p,
+            trajectories,
+            seed,
+        }
+    }
+
+    /// Number of trajectories, never below one. At zero noise strength every
+    /// trajectory is the same RNG-free sweep, so the ensemble collapses to a
+    /// single simulation (identical result, `1/trajectories` the cost).
+    fn ensemble(&self) -> usize {
+        if self.depolarizing <= 0.0 && self.dephasing <= 0.0 {
+            1
+        } else {
+            self.trajectories.max(1)
+        }
+    }
+
+    /// Runs one noise trajectory: gates applied one by one, error channels
+    /// sampled per gate-support qubit from the trajectory's own stream.
+    ///
+    /// The domain tag keeps trajectory streams disjoint from the shot-chunk
+    /// streams of [`CachedDistribution::sample_seeded`] even when a caller
+    /// passes the same value as backend seed and sampling seed — otherwise
+    /// the coin flips that shaped trajectory `k`'s noise would reappear as
+    /// the draws of shot chunk `k`, correlating shots with the ensemble they
+    /// sample from.
+    fn trajectory(&self, initial: &StateVector, circuit: &Circuit, index: usize) -> StateVector {
+        const TRAJECTORY_DOMAIN: u64 = 0x0074_7261_6a65_6374; // "traject"
+        let mut rng =
+            StdRng::seed_from_u64(derive_stream_seed(self.seed ^ TRAJECTORY_DOMAIN, index));
+        let mut s = initial.clone();
+        for gate in circuit.gates() {
+            s.apply_gate(gate);
+            for q in gate.qubits() {
+                // The `> 0.0` guards keep the zero-noise backend RNG-free,
+                // hence exactly equal to the reference path.
+                if self.depolarizing > 0.0 && rng.gen_bool(self.depolarizing) {
+                    let pauli = match rng.gen_range(0..3u32) {
+                        0 => Gate::X(q),
+                        1 => Gate::Y(q),
+                        _ => Gate::Z(q),
+                    };
+                    s.apply_gate(&pauli);
+                }
+                if self.dephasing > 0.0 && rng.gen_bool(self.dephasing) {
+                    s.apply_gate(&Gate::Z(q));
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Backend for PauliNoise {
+    fn name(&self) -> &'static str {
+        "pauli-noise-trajectories"
+    }
+
+    /// One trajectory (index 0). Ensemble-averaged quantities go through
+    /// [`Backend::probabilities`] / [`Backend::expectation`] /
+    /// [`Backend::sample`].
+    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
+        self.trajectory(initial, circuit, 0)
+    }
+
+    fn probabilities(&self, initial: &StateVector, circuit: &Circuit) -> Vec<f64> {
+        let t = self.ensemble();
+        let mut acc = vec![0.0f64; initial.dim()];
+        for index in 0..t {
+            let state = self.trajectory(initial, circuit, index);
+            for (a, amp) in acc.iter_mut().zip(state.amplitudes()) {
+                *a += amp.norm_sqr();
+            }
+        }
+        let inv = 1.0 / t as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    fn expectation(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        observable: &SparseMatrix,
+    ) -> f64 {
+        let t = self.ensemble();
+        (0..t)
+            .map(|index| {
+                self.trajectory(initial, circuit, index)
+                    .expectation_sparse(observable)
+                    .re
+            })
+            .sum::<f64>()
+            / t as f64
+    }
+}
+
+/// Looks a backend up by its selection name (see the README's backend
+/// table): `"fused"`, `"reference"`, or `"noisy"` (depolarizing `1%`,
+/// 10 trajectories, seed 0). Returns `None` for unknown names.
+pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
+    match name {
+        "fused" => Some(Box::new(FusedStatevector)),
+        "reference" => Some(Box::new(ReferenceStatevector)),
+        "noisy" => Some(Box::new(PauliNoise::depolarizing(0.01, 10, 0))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn fused_and_reference_agree_on_run() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let initial = StateVector::random_state(6, &mut rng);
+        let c = ghz_circuit(6);
+        let f = FusedStatevector.run(&initial, &c);
+        let r = ReferenceStatevector.run(&initial, &c);
+        assert!(f.distance(&r) < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let c = ghz_circuit(5);
+        let zero = StateVector::zero_state(5);
+        let a = FusedStatevector.sample(&zero, &c, 2000, 11);
+        let b = FusedStatevector.sample(&zero, &c, 2000, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s == 0 || s == 0b11111));
+    }
+
+    #[test]
+    fn zero_noise_trajectories_match_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let initial = StateVector::random_state(5, &mut rng);
+        let c = ghz_circuit(5);
+        let noisy = PauliNoise::depolarizing(0.0, 4, 99);
+        let r = ReferenceStatevector.run(&initial, &c);
+        assert_eq!(noisy.run(&initial, &c), r, "zero noise must be RNG-free");
+        let probs = noisy.probabilities(&initial, &c);
+        for (p, amp) in probs.iter().zip(r.amplitudes()) {
+            assert!((p - amp.norm_sqr()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn noise_decoheres_the_ghz_state() {
+        // With noise on, the GHZ sampling distribution leaks outside the two
+        // ideal outcomes.
+        let c = ghz_circuit(5);
+        let zero = StateVector::zero_state(5);
+        let noisy = PauliNoise::depolarizing(0.2, 20, 7);
+        let probs = noisy.probabilities(&zero, &c);
+        let ideal_mass = probs[0] + probs[0b11111];
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(ideal_mass < 0.999, "noise left the state untouched");
+    }
+
+    #[test]
+    fn noisy_ensemble_quantities_are_deterministic() {
+        let c = ghz_circuit(4);
+        let zero = StateVector::zero_state(4);
+        let noisy = PauliNoise {
+            depolarizing: 0.05,
+            dephasing: 0.02,
+            trajectories: 6,
+            seed: 21,
+        };
+        assert_eq!(
+            noisy.probabilities(&zero, &c),
+            noisy.probabilities(&zero, &c)
+        );
+        assert_eq!(
+            noisy.sample(&zero, &c, 500, 3),
+            noisy.sample(&zero, &c, 500, 3)
+        );
+    }
+
+    #[test]
+    fn expectation_through_trait_object() {
+        // Object safety: drive a `&dyn Backend` end to end.
+        let backend: Box<dyn Backend> = backend_by_name("fused").unwrap();
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let x = SparseMatrix::from_dense(&ghs_circuit::matrices::x(), 0.0);
+        let e = backend.expectation(&StateVector::zero_state(1), &c, &x);
+        assert!((e - 1.0).abs() < 1e-12, "⟨+|X|+⟩ = 1, got {e}");
+        assert!(backend_by_name("unknown").is_none());
+    }
+}

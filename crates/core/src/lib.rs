@@ -10,9 +10,13 @@
 //!
 //! Substrates (operator algebra, circuit IR, state-vector simulation) live in
 //! the sibling crates `ghs-operators`, `ghs-circuit` and `ghs-statevector`.
+//! Execution is abstracted behind the pluggable [`backend::Backend`] trait
+//! (fused / reference / stochastic-noise engines with a shared batched shot
+//! sampler); the application layers are written against it.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod block_encoding;
 pub mod compare;
 pub mod dilation;
@@ -21,6 +25,7 @@ pub mod measurement;
 pub mod trotter;
 pub mod usual;
 
+pub use backend::{backend_by_name, Backend, FusedStatevector, PauliNoise, ReferenceStatevector};
 pub use block_encoding::{
     block_encode_hamiltonian, block_encode_lcu, block_encode_term, term_lcu,
     term_lcu_unitary_count, BlockEncoding, LcuUnitary, TransitionX,
@@ -32,9 +37,9 @@ pub use direct::{
 };
 pub use measurement::TermMeasurement;
 pub use trotter::{
-    direct_product_formula, mpf_state, mpf_state_error, product_formula_circuit, qdrift_circuit,
-    richardson_weights, state_error, unitary_error, usual_product_formula, ProductFormula,
-    Strategy,
+    direct_product_formula, mpf_state, mpf_state_error, mpf_state_with, product_formula_circuit,
+    qdrift_circuit, richardson_weights, state_error, state_error_with, unitary_error,
+    usual_product_formula, ProductFormula, Strategy,
 };
 pub use usual::{
     pauli_string_exponential, usual_hamiltonian_slice, usual_rotation_count, usual_two_qubit_count,

@@ -7,6 +7,7 @@
 //! and measure the resulting Trotter error against the exact evolution
 //! computed by `ghs-math`.
 
+use crate::backend::Backend;
 use crate::direct::{direct_term_circuit, DirectOptions};
 use crate::usual::pauli_string_exponential;
 use ghs_circuit::{Circuit, LadderStyle};
@@ -243,13 +244,32 @@ pub fn mpf_state(
     opts: &DirectOptions,
     initial: &StateVector,
 ) -> Vec<Complex64> {
+    mpf_state_with(
+        &crate::backend::FusedStatevector,
+        hamiltonian,
+        t,
+        steps_list,
+        opts,
+        initial,
+    )
+}
+
+/// [`mpf_state`] through an arbitrary execution [`Backend`]
+/// (fused / reference / noisy trajectories).
+pub fn mpf_state_with(
+    backend: &dyn Backend,
+    hamiltonian: &ScbHamiltonian,
+    t: f64,
+    steps_list: &[usize],
+    opts: &DirectOptions,
+    initial: &StateVector,
+) -> Vec<Complex64> {
     let weights = richardson_weights(steps_list);
     let dim = initial.dim();
     let mut acc = vec![Complex64::ZERO; dim];
     for (&steps, &w) in steps_list.iter().zip(weights.iter()) {
         let circuit = direct_product_formula(hamiltonian, t, steps, ProductFormula::First, opts);
-        let mut state = initial.clone();
-        state.run_fused(&circuit);
+        let state = backend.run(initial, &circuit);
         for (a, b) in acc.iter_mut().zip(state.amplitudes().iter()) {
             *a += b.scale(w);
         }
@@ -286,8 +306,26 @@ pub fn state_error(
     t: f64,
     initial: &StateVector,
 ) -> f64 {
-    let mut evolved = initial.clone();
-    evolved.run_fused(circuit);
+    state_error_with(
+        &crate::backend::FusedStatevector,
+        circuit,
+        hamiltonian,
+        t,
+        initial,
+    )
+}
+
+/// [`state_error`] through an arbitrary execution [`Backend`]; with a noisy
+/// backend this measures the combined Trotter-plus-noise error of one
+/// trajectory.
+pub fn state_error_with(
+    backend: &dyn Backend,
+    circuit: &Circuit,
+    hamiltonian: &SparseMatrix,
+    t: f64,
+    initial: &StateVector,
+) -> f64 {
+    let evolved = backend.run(initial, circuit);
     let exact = expm_multiply_minus_i_theta(hamiltonian, t, initial.amplitudes());
     vec_distance(evolved.amplitudes(), &exact)
 }

@@ -17,6 +17,7 @@
 use crate::circuits::direct_phase_separator;
 use crate::problem::HuboProblem;
 use ghs_circuit::{inverse_qft, Circuit, ControlBit, Gate};
+use ghs_core::backend::{Backend, FusedStatevector};
 use ghs_statevector::StateVector;
 use rand::Rng;
 use std::f64::consts::PI;
@@ -138,6 +139,19 @@ pub fn grover_adaptive_search<R: Rng>(
     rounds: usize,
     rng: &mut R,
 ) -> GasResult {
+    grover_adaptive_search_with(&FusedStatevector, problem, value_bits, rounds, rng)
+}
+
+/// [`grover_adaptive_search`] through an arbitrary execution [`Backend`];
+/// each round's single measurement is drawn via the backend's batched shot
+/// engine with a seed derived from the caller's generator.
+pub fn grover_adaptive_search_with<R: Rng>(
+    backend: &dyn Backend,
+    problem: &HuboProblem,
+    value_bits: usize,
+    rounds: usize,
+    rng: &mut R,
+) -> GasResult {
     let n = problem.num_vars();
     let m = value_bits;
     let total = n + m;
@@ -160,9 +174,8 @@ pub fn grover_adaptive_search<R: Rng>(
         }
         total_iterations += iterations;
 
-        let mut state = StateVector::zero_state(total);
-        state.run_fused(&circuit);
-        let sample = state.sample(1, rng)[0];
+        let zero = StateVector::zero_state(total);
+        let sample = backend.sample(&zero, &circuit, 1, rng.next_u64())[0];
         let assignment = decode_assignment(sample, n, m);
         let cost = problem.evaluate(assignment);
         if cost < best_cost {

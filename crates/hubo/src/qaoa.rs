@@ -5,6 +5,7 @@
 use crate::circuits::{direct_phase_separator, usual_phase_separator};
 use crate::problem::HuboProblem;
 use ghs_circuit::{Circuit, LadderStyle};
+use ghs_core::backend::{Backend, FusedStatevector};
 use ghs_statevector::StateVector;
 use rand::Rng;
 
@@ -73,18 +74,48 @@ pub fn qaoa_circuit(
     c
 }
 
-/// Expected cost of the QAOA state: `Σ_x P(x)·C(x)`.
+/// Expected cost of the QAOA state: `Σ_x P(x)·C(x)` (through the default
+/// fused backend; see [`qaoa_energy_with`]).
 pub fn qaoa_energy(
     problem: &HuboProblem,
     params: &QaoaParameters,
     strategy: SeparatorStrategy,
 ) -> f64 {
+    qaoa_energy_with(&FusedStatevector, problem, params, strategy)
+}
+
+/// Expected cost of the QAOA state through an arbitrary execution
+/// [`Backend`]. With a noisy trajectory backend this is the
+/// ensemble-averaged cost under the noise channel.
+pub fn qaoa_energy_with(
+    backend: &dyn Backend,
+    problem: &HuboProblem,
+    params: &QaoaParameters,
+    strategy: SeparatorStrategy,
+) -> f64 {
     let circuit = qaoa_circuit(problem, params, strategy);
-    let mut state = StateVector::zero_state(circuit.num_qubits());
-    state.run_fused(&circuit);
-    (0..state.dim())
-        .map(|x| state.probability(x) * problem.evaluate(x))
+    let zero = StateVector::zero_state(circuit.num_qubits());
+    backend
+        .probabilities(&zero, &circuit)
+        .iter()
+        .enumerate()
+        .map(|(x, p)| p * problem.evaluate(x))
         .sum()
+}
+
+/// Draws `shots` assignments from the QAOA state through a backend's
+/// batched shot engine (`O(2^n + shots)`; bit-reproducible per seed).
+pub fn qaoa_sample(
+    backend: &dyn Backend,
+    problem: &HuboProblem,
+    params: &QaoaParameters,
+    strategy: SeparatorStrategy,
+    shots: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let circuit = qaoa_circuit(problem, params, strategy);
+    let zero = StateVector::zero_state(circuit.num_qubits());
+    backend.sample(&zero, &circuit, shots, seed)
 }
 
 /// Result of a QAOA optimisation run.
@@ -150,11 +181,13 @@ pub fn optimize_qaoa<R: Rng>(
     // Probability of hitting a brute-force optimum.
     let (_, optimal_cost) = problem.brute_force_minimum();
     let circuit = qaoa_circuit(problem, &best_params, strategy);
-    let mut state = StateVector::zero_state(circuit.num_qubits());
-    state.run_fused(&circuit);
-    let optimum_probability = (0..state.dim())
-        .filter(|&x| (problem.evaluate(x) - optimal_cost).abs() < 1e-9)
-        .map(|x| state.probability(x))
+    let zero = StateVector::zero_state(circuit.num_qubits());
+    let probs = FusedStatevector.probabilities(&zero, &circuit);
+    let optimum_probability = probs
+        .iter()
+        .enumerate()
+        .filter(|(x, _)| (problem.evaluate(*x) - optimal_cost).abs() < 1e-9)
+        .map(|(_, p)| p)
         .sum();
 
     QaoaResult {
@@ -201,6 +234,49 @@ mod tests {
         let e = qaoa_energy(&p, &params, SeparatorStrategy::Direct);
         let avg: f64 = (0..(1usize << 4)).map(|x| p.evaluate(x)).sum::<f64>() / 16.0;
         assert!((e - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_energies_agree_and_sampling_is_seeded() {
+        use ghs_core::backend::{PauliNoise, ReferenceStatevector};
+        let p = small_problem();
+        let params = QaoaParameters {
+            gammas: vec![0.5],
+            betas: vec![0.3],
+        };
+        let e_fused = qaoa_energy_with(&FusedStatevector, &p, &params, SeparatorStrategy::Direct);
+        let e_ref = qaoa_energy_with(
+            &ReferenceStatevector,
+            &p,
+            &params,
+            SeparatorStrategy::Direct,
+        );
+        assert!((e_fused - e_ref).abs() < 1e-12);
+        // A zero-strength noise backend reproduces the noiseless energy.
+        let quiet = PauliNoise::depolarizing(0.0, 3, 1);
+        let e_quiet = qaoa_energy_with(&quiet, &p, &params, SeparatorStrategy::Direct);
+        assert!((e_quiet - e_fused).abs() < 1e-12);
+        // Seeded batched sampling is reproducible and in-range.
+        let shots = qaoa_sample(
+            &FusedStatevector,
+            &p,
+            &params,
+            SeparatorStrategy::Direct,
+            2048,
+            3,
+        );
+        assert_eq!(
+            shots,
+            qaoa_sample(
+                &FusedStatevector,
+                &p,
+                &params,
+                SeparatorStrategy::Direct,
+                2048,
+                3
+            )
+        );
+        assert!(shots.iter().all(|&x| x < 16));
     }
 
     #[test]

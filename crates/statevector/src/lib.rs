@@ -11,7 +11,9 @@
 
 pub mod fused;
 pub mod prepare;
+pub mod sampling;
 pub mod state;
 
 pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};
+pub use sampling::{derive_stream_seed, CachedDistribution};
 pub use state::{circuit_unitary, evolve, parallel_threshold, StateVector};

@@ -323,7 +323,14 @@ impl StateVector {
         ghs_math::vec_inner(&self.amps, &av)
     }
 
-    /// Samples `shots` measurement outcomes in the computational basis.
+    /// Samples `shots` measurement outcomes in the computational basis by
+    /// rebuilding the cumulative table and binary-searching it per shot.
+    ///
+    /// This is the slow, obviously-correct **oracle** kept for the
+    /// statistical tests: every production call site draws through the
+    /// `O(2^n + shots)` cached alias path instead — see
+    /// [`StateVector::sample_cached`] and
+    /// [`crate::sampling::CachedDistribution`].
     pub fn sample<R: Rng>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
         let mut cumulative = Vec::with_capacity(self.dim());
         let mut acc = 0.0;

@@ -10,7 +10,9 @@
 //! * [`circuit`] — gate IR, ladders, decompositions, cost models;
 //! * [`statevector`] — the simulator;
 //! * [`core`] — direct Hamiltonian simulation, Trotter/qDRIFT, block
-//!   encodings, dilation, measurement;
+//!   encodings, dilation, measurement, and the pluggable execution
+//!   backends (fused / reference / stochastic-noise, with a shared batched
+//!   shot sampler);
 //! * [`hubo`], [`chemistry`], [`fdm`] — the three applications of Section V
 //!   of the paper.
 

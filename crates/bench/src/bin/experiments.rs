@@ -405,8 +405,10 @@ fn exp_chem_trotter() {
                     vec![
                         r.steps.to_string(),
                         fmt_f(r.direct_error),
+                        fmt_f(r.direct_energy_error),
                         r.direct_factors.to_string(),
                         fmt_f(r.usual_error),
+                        fmt_f(r.usual_energy_error),
                         r.usual_factors.to_string(),
                     ]
                 })
@@ -419,8 +421,10 @@ fn exp_chem_trotter() {
             &[
                 "steps",
                 "direct error",
+                "direct ⟨H⟩ err",
                 "direct factors",
                 "usual error",
+                "usual ⟨H⟩ err",
                 "usual factors",
             ],
             &rows,
@@ -573,6 +577,7 @@ fn exp_measurement() {
     let single_setting = meas.exact(&state);
     let sampled = meas.estimate(&state, 40_000, &mut rng);
     let usual_settings = TermMeasurement::usual_setting_count(&term);
+    let grouped_settings = TermMeasurement::grouped_setting_count(&term);
     let rows = vec![
         vec!["⟨ψ|H|ψ⟩ exact".into(), fmt_f(exact)],
         vec![
@@ -583,6 +588,10 @@ fn exp_measurement() {
         vec![
             "Pauli settings needed by the usual approach".into(),
             usual_settings.to_string(),
+        ],
+        vec![
+            "usual settings after QWC grouping".into(),
+            grouped_settings.to_string(),
         ],
         vec!["direct settings needed".into(), "1".into()],
     ];

@@ -12,10 +12,12 @@
 //! Runs the standard workloads (see `ghs_bench::perf::standard_workloads`)
 //! through their oracle and optimized paths — per-gate vs fused simulation
 //! for circuit workloads, per-shot oracle vs the batched cached sampler for
-//! the `qaoa_12_shots4096` / `noisy_trajectories_10` sampling workloads —
-//! writes the machine-readable `BENCH.json`, and exits non-zero when a
-//! `--baseline` comparison regresses by more than `--max-regression`, or
-//! when a `--min-speedup NAME:X` bound is not met.
+//! the `qaoa_12_shots4096` / `noisy_trajectories_10` sampling workloads,
+//! and sparse-matrix oracle vs the matrix-free grouped evaluator for the
+//! `uccsd_energy_h2` / `qaoa_energy_12` expectation workloads — writes the
+//! machine-readable `BENCH.json`, and exits non-zero when a `--baseline`
+//! comparison regresses by more than `--max-regression`, or when a
+//! `--min-speedup NAME:X` bound is not met.
 
 use ghs_bench::perf::{
     compare_to_baseline, parse_baseline, results_to_json, run_workload, standard_workloads,

@@ -1,5 +1,5 @@
-//! Microbenchmark harness for the fused gate-application engine and the
-//! batched shot-execution engine.
+//! Microbenchmark harness for the fused gate-application engine, the
+//! batched shot-execution engine and the matrix-free expectation engine.
 //!
 //! Runs a fixed set of representative workloads (QFT, Trotter step, QAOA
 //! layer, CX ladders, and a deep 16-qubit Trotter circuit) through both the
@@ -8,24 +8,27 @@
 //! machine-readable JSON (`BENCH.json`). Two batched-sampling workloads
 //! (`qaoa_12_shots4096`, `noisy_trajectories_10`) compare the per-shot
 //! oracle paths against the cached alias sampler / trajectory batching of
-//! the backend layer; their `unfused`/`fused` columns are the oracle and
-//! batched wall times. The committed `bench/baseline.json` is refreshed from
-//! this output; CI fails when a workload regresses against it (see
-//! [`compare_to_baseline`]).
+//! the backend layer, and two expectation workloads (`uccsd_energy_h2`,
+//! `qaoa_energy_12`) compare the sparse-matrix observable oracle against
+//! the grouped matrix-free evaluator; for all four the `unfused`/`fused`
+//! columns are the oracle and optimized wall times. The committed
+//! `bench/baseline.json` is refreshed from this output; CI fails when a
+//! workload regresses against it (see [`compare_to_baseline`]).
 
+use ghs_chemistry::{h2_sto3g, uccsd_circuit, uccsd_pool};
 use ghs_circuit::Circuit;
 use ghs_core::backend::{Backend, PauliNoise};
 use ghs_core::{direct_product_formula, DirectOptions, ProductFormula};
-use ghs_hubo::{direct_phase_separator, random_sparse_hubo};
-use ghs_operators::{ScbHamiltonian, ScbOp, ScbString};
-use ghs_statevector::StateVector;
+use ghs_hubo::{direct_phase_separator, random_sparse_hubo, HuboProblem};
+use ghs_operators::{PauliSum, ScbHamiltonian, ScbOp, ScbString};
+use ghs_statevector::{testkit, GroupedPauliSum, StateVector};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// What a workload measures: the `unfused`/`fused` columns of the report are
 /// the slow-oracle and optimized wall times of the named comparison.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadKind {
     /// Full-state circuit simulation: per-gate sweeps vs the fused engine.
     Circuit,
@@ -45,6 +48,20 @@ pub enum WorkloadKind {
         shots: usize,
         /// Per-qubit depolarizing strength after each gate.
         depolarizing: f64,
+    },
+    /// Expectation-value evaluation of the workload's Pauli-sum observable
+    /// on a pre-computed state: the status-quo per-evaluation path (sparse
+    /// materialization of the observable + generic mat-vec + inner product,
+    /// exactly what `energy_of_state`-style call sites paid before the
+    /// matrix-free engine) vs the prepared grouped evaluator's single-sweep
+    /// kernels.
+    Expectation {
+        /// Energy evaluations per timed repetition (a VQE/QAOA sweep's worth
+        /// of work, so sub-millisecond kernels time above scheduler jitter).
+        evals: usize,
+        /// The Hermitian observable evaluated against the workload's evolved
+        /// state.
+        observable: PauliSum,
     },
 }
 
@@ -116,11 +133,17 @@ fn ladder_circuit(n: usize, layers: usize) -> Circuit {
     c
 }
 
+/// The random sparse order-3 HUBO instance of the QAOA workloads (fixed
+/// seed, `2n` monomials).
+fn qaoa_problem(n: usize) -> HuboProblem {
+    let mut rng = StdRng::seed_from_u64(42);
+    random_sparse_hubo(n, 3, 2 * n, &mut rng)
+}
+
 /// One QAOA sweep: direct keyed-phase separator for a random sparse HUBO
 /// followed by the RX mixer layer, repeated `p` times.
 fn qaoa_circuit(n: usize, p: usize) -> Circuit {
-    let mut rng = StdRng::seed_from_u64(42);
-    let problem = random_sparse_hubo(n, 3, 2 * n, &mut rng);
+    let problem = qaoa_problem(n);
     let mut c = Circuit::new(n);
     for layer in 0..p {
         let gamma = 0.4 + 0.1 * layer as f64;
@@ -128,39 +151,6 @@ fn qaoa_circuit(n: usize, p: usize) -> Circuit {
         c.append(&direct_phase_separator(&problem, gamma));
         for q in 0..n {
             c.rx(q, 2.0 * beta);
-        }
-    }
-    c
-}
-
-/// A deep random circuit: interleaved single-qubit rotations, CX pairs and
-/// controlled phases, the unstructured stress case for the fusion pass.
-fn random_dense_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut c = Circuit::new(n);
-    for _ in 0..gates {
-        let q = rng.gen_range(0..n);
-        match rng.gen_range(0..6u32) {
-            0 => {
-                c.h(q);
-            }
-            1 => {
-                c.rz(q, rng.gen_range(-1.0..1.0));
-            }
-            2 => {
-                c.ry(q, rng.gen_range(-1.0..1.0));
-            }
-            3 => {
-                let t = (q + 1 + rng.gen_range(0..n - 1)) % n;
-                c.cx(q, t);
-            }
-            4 => {
-                let t = (q + 1 + rng.gen_range(0..n - 1)) % n;
-                c.cp(q, t, rng.gen_range(-1.0..1.0));
-            }
-            _ => {
-                c.x(q);
-            }
         }
     }
     c
@@ -179,6 +169,11 @@ fn random_dense_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
 ///   per-shot re-sweep oracle vs the cached alias sampler.
 /// * `noisy_trajectories_10` — 256 shots from a 10-trajectory Pauli-noise
 ///   ensemble vs one fresh trajectory per shot.
+/// * `uccsd_energy_h2` — 256 H₂/STO-3G energy evaluations of a UCCSD
+///   ansatz state: sparse-materialization-per-evaluation oracle vs the
+///   prepared matrix-free grouped engine.
+/// * `qaoa_energy_12` — 8 cost-expectation evaluations of the 12-qubit QAOA
+///   state against its ~200-fragment Ising observable, same comparison.
 pub fn standard_workloads() -> Vec<Workload> {
     let all = |n: usize| (0..n).collect::<Vec<_>>();
     let mut w = Vec::new();
@@ -223,7 +218,7 @@ pub fn standard_workloads() -> Vec<Workload> {
     });
     w.push(Workload {
         name: "random_16".into(),
-        circuit: random_dense_circuit(16, 400, 7),
+        circuit: testkit::random_circuit(16, 400, 7),
         kind: WorkloadKind::Circuit,
     });
     w.push(Workload {
@@ -244,6 +239,28 @@ pub fn standard_workloads() -> Vec<Workload> {
             trajectories: 10,
             shots: 256,
             depolarizing: 0.01,
+        },
+    });
+    // Expectation workloads: the states are an evolved UCCSD ansatz and the
+    // 12-qubit QAOA state; the observables are the models' full Hamiltonians
+    // in Pauli form.
+    let h2 = h2_sto3g();
+    let pool = uccsd_pool(&h2);
+    let thetas = vec![0.11; pool.len()];
+    w.push(Workload {
+        name: "uccsd_energy_h2".into(),
+        circuit: uccsd_circuit(&h2, &pool, &thetas, &DirectOptions::linear()),
+        kind: WorkloadKind::Expectation {
+            evals: 256,
+            observable: h2.pauli_sum(),
+        },
+    });
+    w.push(Workload {
+        name: "qaoa_energy_12".into(),
+        circuit: qaoa_circuit(12, 2),
+        kind: WorkloadKind::Expectation {
+            evals: 8,
+            observable: qaoa_problem(12).to_pauli_sum(),
         },
     });
     w
@@ -270,7 +287,7 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
     let fused = w.circuit.fused();
     let fuse_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let (unfused_ms, fused_ms, throughput_units) = match w.kind {
+    let (unfused_ms, fused_ms, throughput_units) = match &w.kind {
         WorkloadKind::Circuit => {
             let unfused_ms = time_best(reps, || {
                 let mut s = StateVector::zero_state(n);
@@ -285,6 +302,7 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             (unfused_ms, fused_ms, w.circuit.len())
         }
         WorkloadKind::Sampling { shots } => {
+            let shots = *shots;
             // Pre-measurement state computed once, outside both timers: the
             // comparison isolates the readout cost.
             let mut pre = StateVector::zero_state(n);
@@ -308,6 +326,7 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             shots,
             depolarizing,
         } => {
+            let (trajectories, shots, depolarizing) = (*trajectories, *shots, *depolarizing);
             let zero = StateVector::zero_state(n);
             let unfused_ms = time_best(reps, || {
                 // Oracle: every shot re-executes the circuit as a fresh
@@ -326,6 +345,38 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
                 std::hint::black_box(batched.sample(&zero, &w.circuit, shots, 1).len());
             });
             (unfused_ms, fused_ms, shots)
+        }
+        WorkloadKind::Expectation {
+            evals,
+            observable: sum,
+        } => {
+            let evals = *evals;
+            // State evolved once, outside both timers: the comparison
+            // isolates the per-evaluation observable cost.
+            let mut pre = StateVector::zero_state(n);
+            pre.apply_fused(&fused);
+            let unfused_ms = time_best(reps, || {
+                // Oracle: the pre-engine per-evaluation path. Every energy
+                // call site used to materialize the observable as a sparse
+                // matrix and run the generic mat-vec + inner product.
+                let mut acc = 0.0;
+                for _ in 0..evals {
+                    let sparse = sum.sparse_matrix();
+                    acc += pre.expectation_sparse(&sparse).re;
+                }
+                std::hint::black_box(acc);
+            });
+            // The grouped evaluator is prepared once per observable — the
+            // new API's contract — and swept per evaluation.
+            let grouped = GroupedPauliSum::new(sum);
+            let fused_ms = time_best(reps, || {
+                let mut acc = 0.0;
+                for _ in 0..evals {
+                    acc += grouped.expectation(pre.amplitudes()).re;
+                }
+                std::hint::black_box(acc);
+            });
+            (unfused_ms, fused_ms, evals)
         }
     };
 
@@ -535,6 +586,33 @@ mod tests {
                 r.fused_ms > 0.0 && r.unfused_ms > 0.0,
                 "{name} produced empty timings"
             );
+        }
+    }
+
+    #[test]
+    fn expectation_workloads_agree_with_their_oracle() {
+        // The perf harness must time two paths that compute the same
+        // number: matrix-free grouped vs sparse-materialized expectation on
+        // the workload's evolved state.
+        for name in ["uccsd_energy_h2", "qaoa_energy_12"] {
+            let w = standard_workloads()
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("expectation workload present");
+            let WorkloadKind::Expectation {
+                observable: ref sum,
+                ..
+            } = w.kind
+            else {
+                panic!("{name} must be an expectation workload");
+            };
+            let mut pre = StateVector::zero_state(w.circuit.num_qubits());
+            pre.run_fused(&w.circuit);
+            let oracle = pre.expectation_sparse(&sum.sparse_matrix());
+            let fast = GroupedPauliSum::new(sum).expectation(pre.amplitudes());
+            assert!((fast - oracle).abs() < 1e-10, "{name}: {fast} vs {oracle}");
+            let r = run_workload(&w, 1);
+            assert!(r.fused_ms > 0.0 && r.unfused_ms > 0.0);
         }
     }
 }

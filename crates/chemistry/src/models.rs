@@ -16,7 +16,8 @@
 //! significant bit of basis-state indices.
 
 use ghs_math::{Complex64, SparseMatrix};
-use ghs_operators::{FermionHamiltonian, FermionTerm, LadderOp, ScbHamiltonian};
+use ghs_operators::{FermionHamiltonian, FermionTerm, LadderOp, PauliSum, ScbHamiltonian};
+use ghs_statevector::GroupedPauliSum;
 
 /// Number of spin orbitals of a model with `n_spatial` spatial orbitals.
 pub fn spin_orbitals(n_spatial: usize) -> usize {
@@ -57,9 +58,24 @@ impl ElectronicModel {
         ScbHamiltonian::from_exact_sum(n, &raw)
     }
 
-    /// Sparse matrix of the qubit Hamiltonian.
+    /// Sparse matrix of the qubit Hamiltonian (the expectation **oracle**;
+    /// energy evaluation goes through [`ElectronicModel::grouped_observable`]).
     pub fn sparse_matrix(&self) -> SparseMatrix {
         self.qubit_hamiltonian().sparse_matrix()
+    }
+
+    /// Usual-strategy Pauli expansion of the qubit Hamiltonian.
+    pub fn pauli_sum(&self) -> PauliSum {
+        self.qubit_hamiltonian().to_pauli_sum()
+    }
+
+    /// The qubit Hamiltonian preprocessed for matrix-free expectation
+    /// evaluation (see [`GroupedPauliSum`]). Hot loops (VQE sweeps, Trotter
+    /// energy columns) should build this **once** and reuse it across energy
+    /// evaluations; the offset-aware entry point is
+    /// [`ElectronicModel::energy_with_observable`].
+    pub fn grouped_observable(&self) -> GroupedPauliSum {
+        GroupedPauliSum::new(&self.pauli_sum())
     }
 
     /// The Hartree–Fock reference determinant: the `num_electrons` lowest
@@ -81,8 +97,28 @@ impl ElectronicModel {
         e + self.energy_offset
     }
 
-    /// Energy (including offset) of an arbitrary state vector.
+    /// Energy (including offset) of an arbitrary state vector, evaluated
+    /// matrix-free through the grouped Pauli engine. Builds the observable
+    /// on every call; loops should prepare it once via
+    /// [`ElectronicModel::grouped_observable`] and call
+    /// [`ElectronicModel::energy_with_observable`].
     pub fn energy_of_state(&self, amplitudes: &[Complex64]) -> f64 {
+        self.energy_with_observable(&self.grouped_observable(), amplitudes)
+    }
+
+    /// Energy (including offset) against a prepared observable — the hot
+    /// path of the variational drivers.
+    pub fn energy_with_observable(
+        &self,
+        observable: &GroupedPauliSum,
+        amplitudes: &[Complex64],
+    ) -> f64 {
+        observable.expectation(amplitudes).re + self.energy_offset
+    }
+
+    /// Energy (including offset) through the slow sparse-matrix oracle,
+    /// kept for the property tests pitting the matrix-free path against it.
+    pub fn energy_of_state_sparse(&self, amplitudes: &[Complex64]) -> f64 {
         let h = self.sparse_matrix();
         let hv = h.matvec(amplitudes);
         ghs_math::vec_inner(amplitudes, &hv).re + self.energy_offset
@@ -324,6 +360,26 @@ mod tests {
             pauli.num_terms() >= 14,
             "expected the usual ~15-fragment H2 Hamiltonian"
         );
+    }
+
+    #[test]
+    fn matrix_free_energy_matches_sparse_oracle() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for model in [h2_sto3g(), hubbard_chain(2, 1.0, 2.0, false)] {
+            let mut rng = StdRng::seed_from_u64(31);
+            let state = StateVector::random_state(model.num_qubits(), &mut rng);
+            let fast = model.energy_of_state(state.amplitudes());
+            let oracle = model.energy_of_state_sparse(state.amplitudes());
+            assert!(
+                (fast - oracle).abs() < 1e-10,
+                "{}: {fast} vs {oracle}",
+                model.name
+            );
+            // The prepared-observable path is the same value.
+            let obs = model.grouped_observable();
+            assert_eq!(model.energy_with_observable(&obs, state.amplitudes()), fast);
+        }
     }
 
     #[test]

@@ -119,9 +119,9 @@ pub fn uccsd_energy(
     uccsd_energy_with(&FusedStatevector, model, pool, thetas, opts)
 }
 
-/// Energy of the ansatz through an arbitrary execution [`Backend`]. With a
-/// stochastic backend the energy is that of one seeded trajectory (see
-/// [`Backend::run`]).
+/// Energy of the ansatz through an arbitrary execution [`Backend`]. Builds
+/// the observable on every call; optimisation loops should prepare it once
+/// and use [`uccsd_energy_grouped`].
 pub fn uccsd_energy_with(
     backend: &dyn Backend,
     model: &ElectronicModel,
@@ -129,9 +129,31 @@ pub fn uccsd_energy_with(
     thetas: &[f64],
     opts: &DirectOptions,
 ) -> f64 {
+    uccsd_energy_grouped(
+        backend,
+        model,
+        &model.grouped_observable(),
+        pool,
+        thetas,
+        opts,
+    )
+}
+
+/// Energy of the ansatz against a **prepared** matrix-free observable — the
+/// hot path of [`run_vqe`]'s inner loop. The evaluation goes through
+/// [`Backend::expectation`], so a stochastic backend reports the
+/// ensemble-averaged energy under its noise channel.
+pub fn uccsd_energy_grouped(
+    backend: &dyn Backend,
+    model: &ElectronicModel,
+    observable: &ghs_statevector::GroupedPauliSum,
+    pool: &[Excitation],
+    thetas: &[f64],
+    opts: &DirectOptions,
+) -> f64 {
     let circuit = uccsd_circuit(model, pool, thetas, opts);
-    let state = backend.run(&StateVector::zero_state(model.num_qubits()), &circuit);
-    model.energy_of_state(state.amplitudes())
+    let zero = StateVector::zero_state(model.num_qubits());
+    backend.expectation(&zero, &circuit, observable) + model.energy_offset
 }
 
 /// Result of a VQE run.
@@ -157,11 +179,16 @@ pub fn run_vqe<R: Rng>(
     rng: &mut R,
 ) -> VqeResult {
     let pool = uccsd_pool(model);
+    // One observable preparation serves every energy evaluation of the run.
+    let observable = model.grouped_observable();
+    let backend = FusedStatevector;
+    let energy_of =
+        |thetas: &[f64]| uccsd_energy_grouped(&backend, model, &observable, &pool, thetas, opts);
     let hf_state = StateVector::basis_state(model.num_qubits(), model.hartree_fock_state());
-    let hartree_fock_energy = model.energy_of_state(hf_state.amplitudes());
+    let hartree_fock_energy = model.energy_with_observable(&observable, hf_state.amplitudes());
 
     let mut best_thetas = vec![0.0; pool.len()];
-    let mut best_energy = uccsd_energy(model, &pool, &best_thetas, opts);
+    let mut best_energy = energy_of(&best_thetas);
     let mut evaluations = 1;
 
     for restart in 0..restarts.max(1) {
@@ -170,7 +197,7 @@ pub fn run_vqe<R: Rng>(
         } else {
             (0..pool.len()).map(|_| rng.gen_range(-0.3..0.3)).collect()
         };
-        let mut energy = uccsd_energy(model, &pool, &thetas, opts);
+        let mut energy = energy_of(&thetas);
         evaluations += 1;
         let mut step = 0.3;
         for _ in 0..sweeps {
@@ -178,7 +205,7 @@ pub fn run_vqe<R: Rng>(
                 for dir in [1.0, -1.0] {
                     let mut trial = thetas.clone();
                     trial[k] += dir * step;
-                    let e = uccsd_energy(model, &pool, &trial, opts);
+                    let e = energy_of(&trial);
                     evaluations += 1;
                     if e < energy {
                         energy = e;

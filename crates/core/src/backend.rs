@@ -24,6 +24,13 @@
 //! ([`CachedDistribution`]) — `O(2^n + shots)` instead of re-executing or
 //! re-sweeping per shot.
 //!
+//! Observables go through the **matrix-free grouped Pauli engine**:
+//! [`Backend::expectation`] takes a preprocessed [`GroupedPauliSum`] and
+//! evaluates `⟨ψ|H|ψ⟩` directly from the strings' X/Z bitmasks, one
+//! amplitude sweep per group — no operator matrix is ever materialized.
+//! [`Backend::expectation_sparse`] keeps the sparse mat-vec path alive as
+//! the correctness oracle.
+//!
 //! Determinism guarantee: for a fixed backend configuration and fixed
 //! `seed`, [`Backend::sample`] returns a bit-identical shot vector across
 //! runs, thread counts and machines.
@@ -48,7 +55,7 @@
 
 use ghs_circuit::{Circuit, Gate};
 use ghs_math::SparseMatrix;
-use ghs_statevector::{derive_stream_seed, CachedDistribution, StateVector};
+use ghs_statevector::{derive_stream_seed, CachedDistribution, GroupedPauliSum, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,9 +85,36 @@ pub trait Backend {
         state.amplitudes().iter().map(|a| a.norm_sqr()).collect()
     }
 
-    /// Expectation value `⟨ψ|A|ψ⟩` of a Hermitian observable on the evolved
-    /// state (ensemble-averaged for stochastic backends).
+    /// Expectation value `⟨ψ|H|ψ⟩` of a Hermitian Pauli-sum observable on
+    /// the evolved state (ensemble-averaged for stochastic backends).
+    ///
+    /// This is the production observable path: the preprocessed
+    /// [`GroupedPauliSum`] is evaluated **matrix-free** in one amplitude
+    /// sweep per group of strings, with the same deterministic chunked
+    /// parallelism as the gate kernels. Prepare the observable once (it only
+    /// depends on the Hamiltonian) and reuse it across evaluations; the
+    /// sparse path survives as [`Backend::expectation_sparse`], the
+    /// correctness oracle of the property tests.
     fn expectation(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        observable: &GroupedPauliSum,
+    ) -> f64 {
+        self.run(initial, circuit)
+            .expectation_grouped(observable)
+            .re
+    }
+
+    /// Expectation value `⟨ψ|A|ψ⟩` of a Hermitian sparse-matrix observable
+    /// on the evolved state (ensemble-averaged for stochastic backends).
+    ///
+    /// Slow-oracle path: a generic sparse mat-vec plus an inner product.
+    /// Production code should expand the observable over Pauli strings and
+    /// use [`Backend::expectation`]; this entry point is kept as the oracle
+    /// the matrix-free engine is property-tested against, and for operators
+    /// with no convenient Pauli expansion.
+    fn expectation_sparse(
         &self,
         initial: &StateVector,
         circuit: &Circuit,
@@ -297,7 +331,28 @@ impl Backend for PauliNoise {
         acc
     }
 
+    /// Matrix-free observable, averaged over the trajectory ensemble. At
+    /// zero noise strength the single trajectory is the RNG-free per-gate
+    /// reference sweep, so the value matches [`ReferenceStatevector`]'s
+    /// **bit-exactly** (a regression test enforces this).
     fn expectation(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        observable: &GroupedPauliSum,
+    ) -> f64 {
+        let t = self.ensemble();
+        (0..t)
+            .map(|index| {
+                self.trajectory(initial, circuit, index)
+                    .expectation_grouped(observable)
+                    .re
+            })
+            .sum::<f64>()
+            / t as f64
+    }
+
+    fn expectation_sparse(
         &self,
         initial: &StateVector,
         circuit: &Circuit,
@@ -411,13 +466,23 @@ mod tests {
 
     #[test]
     fn expectation_through_trait_object() {
-        // Object safety: drive a `&dyn Backend` end to end.
+        // Object safety: drive a `&dyn Backend` end to end, through both the
+        // matrix-free path and the sparse oracle.
+        use ghs_operators::{PauliString, PauliSum};
         let backend: Box<dyn Backend> = backend_by_name("fused").unwrap();
         let mut c = Circuit::new(1);
         c.h(0);
-        let x = SparseMatrix::from_dense(&ghs_circuit::matrices::x(), 0.0);
-        let e = backend.expectation(&StateVector::zero_state(1), &c, &x);
+        let mut sum = PauliSum::zero(1);
+        sum.push(ghs_math::c64(1.0, 0.0), PauliString::parse("X").unwrap());
+        let grouped = GroupedPauliSum::new(&sum);
+        let e = backend.expectation(&StateVector::zero_state(1), &c, &grouped);
         assert!((e - 1.0).abs() < 1e-12, "⟨+|X|+⟩ = 1, got {e}");
+        let x = SparseMatrix::from_dense(&ghs_circuit::matrices::x(), 0.0);
+        let oracle = backend.expectation_sparse(&StateVector::zero_state(1), &c, &x);
+        assert!(
+            (e - oracle).abs() < 1e-12,
+            "matrix-free {e} vs oracle {oracle}"
+        );
         assert!(backend_by_name("unknown").is_none());
     }
 }

@@ -179,6 +179,25 @@ impl TermMeasurement {
             .filter(|(_, p)| p.weight() > 0)
             .count()
     }
+
+    /// Number of measurement settings the usual approach needs after
+    /// grouping its fragments into qubit-wise-commuting families
+    /// ([`ghs_statevector::qwc_partition`]): all strings of a family are
+    /// diagonalized by one local basis change, so they share one setting.
+    /// Sits between the single direct setting of Annex C and the ungrouped
+    /// [`TermMeasurement::usual_setting_count`].
+    pub fn grouped_setting_count(term: &HermitianTerm) -> usize {
+        let sum = term.to_pauli_sum();
+        let weighted = ghs_operators::PauliSum::from_terms(
+            sum.num_qubits(),
+            sum.terms()
+                .iter()
+                .filter(|(_, p)| p.weight() > 0)
+                .cloned()
+                .collect(),
+        );
+        ghs_statevector::qwc_partition(&weighted).len()
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +301,27 @@ mod tests {
         check(&term, 5);
         let usual = TermMeasurement::usual_setting_count(&term);
         assert!(usual >= 8, "expected ≥ 8 Pauli settings, got {usual}");
-        // One direct setting suffices (this is the construction under test).
+        // QWC grouping cannot need more settings than the ungrouped count,
+        // and one direct setting always suffices (the construction under
+        // test).
+        let grouped = TermMeasurement::grouped_setting_count(&term);
+        assert!(grouped <= usual);
+        assert!(grouped >= 1);
+    }
+
+    #[test]
+    fn qwc_grouping_reduces_settings_for_mixed_terms() {
+        // A projector-dressed transition expands into fragments that split
+        // across few qubit-wise-commuting families.
+        let term = HermitianTerm::paired(
+            c64(0.5, 0.0),
+            ScbString::new(vec![ScbOp::N, ScbOp::SigmaDag, ScbOp::Sigma, ScbOp::M]),
+        );
+        let usual = TermMeasurement::usual_setting_count(&term);
+        let grouped = TermMeasurement::grouped_setting_count(&term);
+        assert!(
+            grouped < usual,
+            "grouping should reduce {usual} settings, got {grouped}"
+        );
     }
 }

@@ -18,7 +18,9 @@ use crate::circuits::direct_phase_separator;
 use crate::problem::HuboProblem;
 use ghs_circuit::{inverse_qft, Circuit, ControlBit, Gate};
 use ghs_core::backend::{Backend, FusedStatevector};
-use ghs_statevector::StateVector;
+use ghs_math::Complex64;
+use ghs_operators::{PauliOp, PauliString, PauliSum};
+use ghs_statevector::{GroupedPauliSum, StateVector};
 use rand::Rng;
 use std::f64::consts::PI;
 
@@ -117,6 +119,66 @@ fn grover_iteration(problem: &HuboProblem, value_bits: usize, threshold: f64) ->
     c
 }
 
+/// The full state-preparation circuit of one GAS round: uniform
+/// superposition over the system register followed by `iterations` Grover
+/// iterations at the given threshold.
+pub fn grover_round_circuit(
+    problem: &HuboProblem,
+    value_bits: usize,
+    threshold: f64,
+    iterations: usize,
+) -> Circuit {
+    let n = problem.num_vars();
+    let total = n + value_bits;
+    let mut circuit = Circuit::new(total);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    let iter_circuit = grover_iteration(problem, value_bits, threshold);
+    for _ in 0..iterations {
+        circuit.append(&iter_circuit);
+    }
+    circuit
+}
+
+/// The cost observable of a GAS register: the problem's diagonal Pauli sum
+/// extended by identities over the `value_bits` ancilla qubits, ready for
+/// the matrix-free grouped expectation engine.
+pub fn gas_cost_observable(problem: &HuboProblem, value_bits: usize) -> GroupedPauliSum {
+    let n = problem.num_vars();
+    let total = (n + value_bits).max(1);
+    let ising = problem.to_ising();
+    let terms = ising
+        .terms()
+        .map(|(vars, w)| {
+            let string = if vars.is_empty() {
+                PauliString::identity(total)
+            } else {
+                PauliString::with_op_on(total, PauliOp::Z, vars)
+            };
+            (Complex64::real(w), string)
+        })
+        .collect();
+    GroupedPauliSum::new(&PauliSum::from_terms(total, terms))
+}
+
+/// Expected cost `⟨C⟩` of the state a GAS round prepares, evaluated
+/// matrix-free through [`Backend::expectation`] — the diagnostic that
+/// quantifies how much amplitude one round moves onto below-threshold
+/// assignments (a test pins it under the uniform average).
+pub fn grover_expected_cost(
+    backend: &dyn Backend,
+    problem: &HuboProblem,
+    value_bits: usize,
+    threshold: f64,
+    iterations: usize,
+) -> f64 {
+    let circuit = grover_round_circuit(problem, value_bits, threshold, iterations);
+    let observable = gas_cost_observable(problem, value_bits);
+    let zero = StateVector::zero_state(circuit.num_qubits());
+    backend.expectation(&zero, &circuit, &observable)
+}
+
 /// Result of a Grover-Adaptive-Search run.
 #[derive(Clone, Debug)]
 pub struct GasResult {
@@ -164,14 +226,7 @@ pub fn grover_adaptive_search_with<R: Rng>(
         // Threshold strictly below the best cost found so far.
         let threshold = best_cost;
         let iterations = 1 + (round % 3); // small rotating iteration count
-        let mut circuit = Circuit::new(total);
-        for q in 0..n {
-            circuit.h(q);
-        }
-        let iter_circuit = grover_iteration(problem, m, threshold);
-        for _ in 0..iterations {
-            circuit.append(&iter_circuit);
-        }
+        let circuit = grover_round_circuit(problem, m, threshold, iterations);
         total_iterations += iterations;
 
         let zero = StateVector::zero_state(total);
@@ -258,6 +313,22 @@ mod tests {
         assert_eq!(result.best_assignment, best);
         assert_eq!(result.best_cost, best_cost);
         assert!(result.total_iterations >= result.rounds);
+    }
+
+    #[test]
+    fn grover_round_lowers_expected_cost_below_uniform() {
+        let p = integer_problem();
+        let uniform: f64 = (0..(1usize << 3)).map(|x| p.evaluate(x)).sum::<f64>() / 8.0;
+        // Threshold 0 marks only the optimum (cost −3); one iteration must
+        // amplify it, pulling ⟨C⟩ below the uniform average.
+        let amplified = grover_expected_cost(&FusedStatevector, &p, 4, 0.0, 1);
+        assert!(
+            amplified < uniform - 0.1,
+            "expected cost {amplified} not amplified below uniform {uniform}"
+        );
+        // Zero iterations leave the uniform superposition untouched.
+        let untouched = grover_expected_cost(&FusedStatevector, &p, 4, 0.0, 0);
+        assert!((untouched - uniform).abs() < 1e-9);
     }
 
     #[test]

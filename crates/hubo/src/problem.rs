@@ -4,7 +4,9 @@
 //! hypergraph max-cut, knapsack).
 
 use ghs_math::Complex64;
-use ghs_operators::{HermitianTerm, ScbHamiltonian, ScbOp, ScbString};
+use ghs_operators::{
+    HermitianTerm, PauliOp, PauliString, PauliSum, ScbHamiltonian, ScbOp, ScbString,
+};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -97,6 +99,13 @@ impl HuboProblem {
             h.push(HermitianTerm::bare(*w, string));
         }
         h
+    }
+
+    /// The cost observable as a diagonal Pauli sum (via the Ising
+    /// formalism), ready for the matrix-free grouped expectation engine —
+    /// `⟨ψ|C|ψ⟩ = Σ_x |ψ_x|²·C(x)` evaluated in one probability sweep.
+    pub fn to_pauli_sum(&self) -> PauliSum {
+        self.to_ising().to_pauli_sum()
     }
 
     /// Converts to the Ising / Pauli-`Z` formalism (Eq. 13) by expanding
@@ -224,6 +233,27 @@ impl IsingProblem {
             h.push(HermitianTerm::bare(*w, string));
         }
         h
+    }
+
+    /// The cost observable as a diagonal Pauli sum: one `Z`-string per
+    /// monomial (the constant becomes the identity string). The register has
+    /// at least one qubit so the observable is well-formed for empty
+    /// problems.
+    pub fn to_pauli_sum(&self) -> PauliSum {
+        let n = self.num_vars.max(1);
+        let terms = self
+            .terms
+            .iter()
+            .map(|(vars, &w)| {
+                let string = if vars.is_empty() {
+                    PauliString::identity(n)
+                } else {
+                    PauliString::with_op_on(n, PauliOp::Z, vars)
+                };
+                (Complex64::real(w), string)
+            })
+            .collect();
+        PauliSum::from_terms(n, terms)
     }
 
     /// Converts to the boolean formalism by substituting `Z = I − 2n̂`.
@@ -416,6 +446,20 @@ mod tests {
         p.add_term(1.0, &[0, 1, 2, 3, 4, 5]);
         let ising = p.to_ising();
         assert_eq!(ising.num_terms(), 1 << 6);
+    }
+
+    #[test]
+    fn pauli_sum_diagonal_matches_cost() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let p = random_sparse_hubo(4, 3, 5, &mut rng);
+        let sum = p.to_pauli_sum();
+        assert!(sum.terms().iter().all(|(_, s)| s.is_diagonal()));
+        let m = sum.matrix();
+        for x in 0..(1usize << 4) {
+            assert!((m[(x, x)].re - p.evaluate(x)).abs() < DEFAULT_TOL);
+        }
+        // The Ising-side conversion builds the same operator.
+        assert!(p.to_ising().to_pauli_sum().matrix().approx_eq(&m, 1e-10));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::circuits::{direct_phase_separator, usual_phase_separator};
 use crate::problem::HuboProblem;
 use ghs_circuit::{Circuit, LadderStyle};
 use ghs_core::backend::{Backend, FusedStatevector};
-use ghs_statevector::StateVector;
+use ghs_statevector::{GroupedPauliSum, StateVector};
 use rand::Rng;
 
 /// Which phase-separator construction the QAOA circuit uses (both implement
@@ -74,8 +74,8 @@ pub fn qaoa_circuit(
     c
 }
 
-/// Expected cost of the QAOA state: `Σ_x P(x)·C(x)` (through the default
-/// fused backend; see [`qaoa_energy_with`]).
+/// Expected cost of the QAOA state: `⟨ψ|C|ψ⟩` (through the default fused
+/// backend; see [`qaoa_energy_with`]).
 pub fn qaoa_energy(
     problem: &HuboProblem,
     params: &QaoaParameters,
@@ -85,22 +85,33 @@ pub fn qaoa_energy(
 }
 
 /// Expected cost of the QAOA state through an arbitrary execution
-/// [`Backend`]. With a noisy trajectory backend this is the
-/// ensemble-averaged cost under the noise channel.
+/// [`Backend`], evaluated matrix-free as the grouped expectation of the
+/// diagonal cost observable ([`HuboProblem::to_pauli_sum`]). With a noisy
+/// trajectory backend this is the ensemble-averaged cost under the noise
+/// channel. Builds the observable on every call; optimisation loops should
+/// prepare it once and use [`qaoa_energy_grouped`].
 pub fn qaoa_energy_with(
     backend: &dyn Backend,
     problem: &HuboProblem,
     params: &QaoaParameters,
     strategy: SeparatorStrategy,
 ) -> f64 {
+    let observable = GroupedPauliSum::new(&problem.to_pauli_sum());
+    qaoa_energy_grouped(backend, problem, &observable, params, strategy)
+}
+
+/// Expected cost of the QAOA state against a **prepared** cost observable —
+/// the hot path of [`optimize_qaoa`]'s inner loop.
+pub fn qaoa_energy_grouped(
+    backend: &dyn Backend,
+    problem: &HuboProblem,
+    observable: &GroupedPauliSum,
+    params: &QaoaParameters,
+    strategy: SeparatorStrategy,
+) -> f64 {
     let circuit = qaoa_circuit(problem, params, strategy);
     let zero = StateVector::zero_state(circuit.num_qubits());
-    backend
-        .probabilities(&zero, &circuit)
-        .iter()
-        .enumerate()
-        .map(|(x, p)| p * problem.evaluate(x))
-        .sum()
+    backend.expectation(&zero, &circuit, observable)
 }
 
 /// Draws `shots` assignments from the QAOA state through a backend's
@@ -144,13 +155,16 @@ pub fn optimize_qaoa<R: Rng>(
 ) -> QaoaResult {
     let mut best_params = QaoaParameters::zeros(layers);
     let mut best_energy = f64::INFINITY;
+    // One observable preparation serves every energy evaluation of the run.
+    let observable = GroupedPauliSum::new(&problem.to_pauli_sum());
+    let backend = FusedStatevector;
 
     for _ in 0..restarts.max(1) {
         let mut params = QaoaParameters {
             gammas: (0..layers).map(|_| rng.gen_range(-1.0..1.0)).collect(),
             betas: (0..layers).map(|_| rng.gen_range(-1.0..1.0)).collect(),
         };
-        let mut energy = qaoa_energy(problem, &params, strategy);
+        let mut energy = qaoa_energy_grouped(&backend, problem, &observable, &params, strategy);
         let mut step = 0.4;
         for _ in 0..sweeps {
             for l in 0..layers {
@@ -162,7 +176,8 @@ pub fn optimize_qaoa<R: Rng>(
                         } else {
                             trial.betas[l] += dir * step;
                         }
-                        let e = qaoa_energy(problem, &trial, strategy);
+                        let e =
+                            qaoa_energy_grouped(&backend, problem, &observable, &trial, strategy);
                         if e < energy {
                             energy = e;
                             params = trial;
@@ -225,6 +240,27 @@ mod tests {
         let e_direct = qaoa_energy(&p, &params, SeparatorStrategy::Direct);
         let e_usual = qaoa_energy(&p, &params, SeparatorStrategy::Usual);
         assert!((e_direct - e_usual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_expectation_matches_probability_weighted_cost() {
+        // The matrix-free observable path must equal the old
+        // probability-sweep definition Σ_x P(x)·C(x).
+        let p = small_problem();
+        let params = QaoaParameters {
+            gammas: vec![0.6, -0.2],
+            betas: vec![0.3, 0.5],
+        };
+        let circuit = qaoa_circuit(&p, &params, SeparatorStrategy::Direct);
+        let zero = StateVector::zero_state(circuit.num_qubits());
+        let classical: f64 = FusedStatevector
+            .probabilities(&zero, &circuit)
+            .iter()
+            .enumerate()
+            .map(|(x, prob)| prob * p.evaluate(x))
+            .sum();
+        let e = qaoa_energy(&p, &params, SeparatorStrategy::Direct);
+        assert!((e - classical).abs() < 1e-12, "{e} vs {classical}");
     }
 
     #[test]

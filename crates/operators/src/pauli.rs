@@ -6,7 +6,7 @@
 //! Pauli string is Trotterised separately.
 
 use crate::scb::PauliOp;
-use ghs_math::{c64, CMatrix, Complex64};
+use ghs_math::{c64, CMatrix, Complex64, CooMatrix, SparseMatrix};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -101,6 +101,71 @@ impl PauliString {
         acc
     }
 
+    /// The string's X/Z bitmasks over basis-state indices (qubit 0 = most
+    /// significant bit, matching `ghs_math::bits`): `X` factors set a bit in
+    /// the first mask, `Z` in the second, `Y` in both.
+    ///
+    /// These masks define the string's action without any matrix:
+    /// `P|j⟩ = i^{#Y} · (−1)^{popcount(j & z_mask)} · |j ⊕ x_mask⟩`.
+    pub fn masks(&self) -> (usize, usize) {
+        let n = self.ops.len();
+        let mut x_mask = 0usize;
+        let mut z_mask = 0usize;
+        for (q, &op) in self.ops.iter().enumerate() {
+            let bit = 1usize << (n - 1 - q);
+            match op {
+                PauliOp::X => x_mask |= bit,
+                PauliOp::Y => {
+                    x_mask |= bit;
+                    z_mask |= bit;
+                }
+                PauliOp::Z => z_mask |= bit,
+                PauliOp::I => {}
+            }
+        }
+        (x_mask, z_mask)
+    }
+
+    /// The constant phase `i^{#Y}` of a string with the given
+    /// [`PauliString::masks`] — `#Y = popcount(x_mask & z_mask)` since `Y`
+    /// sets both masks. This is the single source of the phase convention
+    /// every mask-based kernel derives from.
+    pub fn mask_phase(x_mask: usize, z_mask: usize) -> Complex64 {
+        match (x_mask & z_mask).count_ones() % 4 {
+            0 => Complex64::ONE,
+            1 => Complex64::I,
+            2 => c64(-1.0, 0.0),
+            _ => c64(0.0, -1.0),
+        }
+    }
+
+    /// Matrix-free expectation value `⟨ψ|P|ψ⟩` on raw amplitudes: the
+    /// masks and the constant `i^{#Y}` phase are hoisted out of the
+    /// amplitude loop, which then costs one gather and one complex multiply
+    /// per amplitude — no matrix is ever formed.
+    ///
+    /// # Panics
+    /// Panics when `amps.len() != 2^n`.
+    pub fn expectation(&self, amps: &[Complex64]) -> Complex64 {
+        assert_eq!(
+            amps.len(),
+            1usize << self.num_qubits(),
+            "amplitude count mismatch"
+        );
+        let (x_mask, z_mask) = self.masks();
+        let phase = Self::mask_phase(x_mask, z_mask);
+        let mut acc = Complex64::ZERO;
+        for (j, a) in amps.iter().enumerate() {
+            let w = amps[j ^ x_mask].conj() * *a;
+            if (j & z_mask).count_ones() & 1 == 1 {
+                acc -= w;
+            } else {
+                acc += w;
+            }
+        }
+        phase * acc
+    }
+
     /// Product of two strings: `self · rhs = phase · string`.
     pub fn product(&self, rhs: &Self) -> (Complex64, Self) {
         assert_eq!(
@@ -137,20 +202,19 @@ impl PauliString {
     }
 
     /// Eigenvalue `±1` of the string on computational-basis state `index`,
-    /// defined only for diagonal strings.
+    /// defined only for diagonal strings. (Callers evaluating many indices
+    /// should hoist [`PauliString::masks`] and test the parity themselves.)
     pub fn diagonal_eigenvalue(&self, index: usize) -> f64 {
         assert!(
             self.is_diagonal(),
             "eigenvalue on basis states requires a diagonal string"
         );
-        let n = self.num_qubits();
-        let mut sign = 1.0;
-        for (q, &op) in self.ops.iter().enumerate() {
-            if op == PauliOp::Z && ghs_math::bits::qubit_bit(index, q, n) == 1 {
-                sign = -sign;
-            }
+        let (_, z_mask) = self.masks();
+        if (index & z_mask).count_ones() & 1 == 1 {
+            -1.0
+        } else {
+            1.0
         }
-        sign
     }
 }
 
@@ -281,11 +345,39 @@ impl PauliSum {
         Self::from_terms(n, terms)
     }
 
-    /// Expectation value `⟨ψ|H|ψ⟩` on a state vector.
+    /// Sparse matrix of the sum, assembled matrix-free from the strings'
+    /// bitmasks: every string is a (phased) permutation with exactly one
+    /// entry per column, so the sum has at most `T` entries per column.
+    ///
+    /// This is the **oracle** representation the matrix-free expectation
+    /// engine (`ghs_statevector`) is property-tested against; prefer the
+    /// grouped matrix-free path for evaluation.
+    pub fn sparse_matrix(&self) -> SparseMatrix {
+        let dim = 1usize << self.num_qubits;
+        let mut coo = CooMatrix::new(dim, dim);
+        for (coeff, string) in &self.terms {
+            let (x_mask, z_mask) = string.masks();
+            let scaled = *coeff * PauliString::mask_phase(x_mask, z_mask);
+            for col in 0..dim {
+                let v = if (col & z_mask).count_ones() & 1 == 1 {
+                    -scaled
+                } else {
+                    scaled
+                };
+                coo.push(col ^ x_mask, col, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Expectation value `⟨ψ|H|ψ⟩` on a state vector, evaluated matrix-free
+    /// term by term (each string's masks and phase are computed once, outside
+    /// the amplitude loop — see [`PauliString::expectation`]).
     pub fn expectation(&self, state: &[Complex64]) -> Complex64 {
-        let m = self.matrix();
-        let hv = m.matvec(state);
-        ghs_math::vec_inner(state, &hv)
+        self.terms
+            .iter()
+            .map(|(c, p)| *c * p.expectation(state))
+            .fold(Complex64::ZERO, |acc, v| acc + v)
     }
 }
 
@@ -481,5 +573,69 @@ mod tests {
         // ⟨0|H|0⟩ = 0.5
         let state = vec![Complex64::ONE, Complex64::ZERO];
         assert!(s.expectation(&state).approx_eq(c64(0.5, 0.0), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn masks_follow_msb_convention() {
+        let p = PauliString::parse("XYZI").unwrap();
+        let (x, z) = p.masks();
+        // Qubit 0 = MSB of a 4-bit index: X → 0b1000, Y → 0b0100 (both
+        // masks), Z → 0b0010.
+        assert_eq!(x, 0b1100);
+        assert_eq!(z, 0b0110);
+        assert!(PauliString::parse("IZIZ").unwrap().is_diagonal());
+        assert_eq!(PauliString::parse("IZIZ").unwrap().masks(), (0, 0b0101));
+    }
+
+    #[test]
+    fn mask_action_matches_matrix() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for s in ["XIZY", "YYXZ", "IIII", "ZZZZ", "XXXX", "YIIX"] {
+            let p = PauliString::parse(s).unwrap();
+            let dim = 1usize << p.num_qubits();
+            let amps: Vec<Complex64> = (0..dim)
+                .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mv = p.matrix().matvec(&amps);
+            let oracle = ghs_math::vec_inner(&amps, &mv);
+            assert!(
+                p.expectation(&amps).approx_eq(oracle, 1e-12),
+                "{s}: {} vs {oracle}",
+                p.expectation(&amps)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_matrix_matches_dense() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 3usize;
+        let dim = 1usize << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in r..dim {
+                let v = c64(
+                    rng.gen_range(-1.0..1.0),
+                    if c == r {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    },
+                );
+                m[(r, c)] = v;
+                m[(c, r)] = v.conj();
+            }
+        }
+        let sum = PauliSum::from_matrix(&m, 1e-14);
+        assert!(sum.sparse_matrix().to_dense().approx_eq(&m, 1e-10));
+        // Matrix-free expectation agrees with the sparse oracle.
+        let amps: Vec<Complex64> = (0..dim)
+            .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let hv = sum.sparse_matrix().matvec(&amps);
+        let oracle = ghs_math::vec_inner(&amps, &hv);
+        assert!(sum.expectation(&amps).approx_eq(oracle, 1e-10));
     }
 }

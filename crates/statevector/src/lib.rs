@@ -3,17 +3,21 @@
 //! Parallel (rayon) state-vector simulator for the gate-efficient
 //! Hamiltonian-simulation workspace. It executes the circuit IR of
 //! `ghs-circuit` exactly and provides the utilities the verification and
-//! application layers rely on: circuit→unitary extraction, expectation
-//! values against sparse/dense operators, sampling, and state preparation
-//! helpers used by the LCU block-encodings.
+//! application layers rely on: circuit→unitary extraction, matrix-free
+//! grouped Pauli expectation values (plus the sparse/dense oracles),
+//! sampling, state preparation helpers used by the LCU block-encodings, and
+//! the shared seeded [`testkit`] generators of the randomized test suites.
 
 #![warn(missing_docs)]
 
+pub mod expectation;
 pub mod fused;
 pub mod prepare;
 pub mod sampling;
 pub mod state;
+pub mod testkit;
 
+pub use expectation::{qwc_partition, qwc_signature, GroupedPauliSum};
 pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};
 pub use sampling::{derive_stream_seed, CachedDistribution};
 pub use state::{circuit_unitary, evolve, parallel_threshold, StateVector};

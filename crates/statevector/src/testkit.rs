@@ -1,0 +1,260 @@
+//! Shared seeded test-support generators (the workspace "testkit").
+//!
+//! The randomized suites used to carry private copies of these generators
+//! (`tests/backend_sampling.rs`, `tests/property_based.rs`, the benchmark
+//! harness), which drifted independently. This module is the single source:
+//! every generator is a **pure function of its shape parameters and a `u64`
+//! seed** — same inputs, same artifact, on every platform and thread count —
+//! so failing cases reported by one suite replay everywhere.
+//!
+//! Nothing here is compiled out in release builds; the generators are plain
+//! library code so that crate-local tests, the workspace integration tests
+//! and the benchmark workloads can all share them.
+
+use crate::StateVector;
+use ghs_circuit::{Circuit, ControlBit};
+use ghs_math::c64;
+use ghs_operators::{PauliOp, PauliString, PauliSum};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a seeded random circuit over `n ≥ 2` qubits mixing every gate
+/// variant of the IR: single-qubit Cliffords and rotations, CX/CZ/SWAP,
+/// keyed phases with random polarities, multi-controlled rotations, and
+/// global phases.
+pub fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "the generator draws two-qubit gates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        let other = |rng: &mut StdRng, q: usize| (q + 1 + rng.gen_range(0..n - 1)) % n;
+        match rng.gen_range(0..14u32) {
+            0 => {
+                c.h(q);
+            }
+            1 => {
+                c.x(q);
+            }
+            2 => {
+                c.y(q);
+            }
+            3 => {
+                c.s(q);
+            }
+            4 => {
+                c.rx(q, rng.gen_range(-2.0..2.0));
+            }
+            5 => {
+                c.ry(q, rng.gen_range(-2.0..2.0));
+            }
+            6 => {
+                c.rz(q, rng.gen_range(-2.0..2.0));
+            }
+            7 => {
+                c.p(q, rng.gen_range(-2.0..2.0));
+            }
+            8 => {
+                let t = other(&mut rng, q);
+                c.cx(q, t);
+            }
+            9 => {
+                let t = other(&mut rng, q);
+                c.cz(q, t);
+            }
+            10 => {
+                let t = other(&mut rng, q);
+                c.swap(q, t);
+            }
+            11 => {
+                // Keyed phase over a random subset (random polarities).
+                let mut key: Vec<ControlBit> = Vec::new();
+                for qq in 0..n {
+                    if rng.gen_range(0..3u32) == 0 {
+                        key.push(if rng.gen_range(0..2u32) == 0 {
+                            ControlBit::one(qq)
+                        } else {
+                            ControlBit::zero(qq)
+                        });
+                    }
+                }
+                if key.is_empty() {
+                    c.global_phase(rng.gen_range(-1.0..1.0));
+                } else {
+                    c.keyed_phase(key, rng.gen_range(-2.0..2.0));
+                }
+            }
+            12 => {
+                // Multi-controlled gate with random polarity controls.
+                let num_controls = rng.gen_range(1..n.min(5));
+                let mut qubits: Vec<usize> = (0..n).collect();
+                for i in 0..=num_controls {
+                    let j = rng.gen_range(i..n);
+                    qubits.swap(i, j);
+                }
+                let controls: Vec<ControlBit> = qubits[..num_controls]
+                    .iter()
+                    .map(|&qq| {
+                        if rng.gen_range(0..2u32) == 0 {
+                            ControlBit::one(qq)
+                        } else {
+                            ControlBit::zero(qq)
+                        }
+                    })
+                    .collect();
+                let target = qubits[num_controls];
+                let theta = rng.gen_range(-2.0..2.0);
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        c.mcx(controls, target);
+                    }
+                    1 => {
+                        c.mcrx(controls, target, theta);
+                    }
+                    2 => {
+                        c.mcry(controls, target, theta);
+                    }
+                    _ => {
+                        c.mcrz(controls, target, theta);
+                    }
+                }
+            }
+            _ => {
+                c.global_phase(rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    c
+}
+
+/// A deterministic circuit that triggers every specialized fused kernel:
+/// wide diagonal tables, pure permutations (trivial and phased cycles),
+/// block-sparse two-level motifs, dense blocks, controlled singles, and the
+/// wide-gate passthrough. Requires `n ≥ 4`.
+pub fn kernel_zoo_circuit(n: usize) -> Circuit {
+    assert!(n >= 4);
+    let mut c = Circuit::new(n);
+    // Diagonal: phase/RZ/CZ/keyed chain over the whole register.
+    for q in 0..n {
+        c.rz(q, 0.1 + q as f64 * 0.07);
+    }
+    c.cz(0, 1).cp(1, 2, 0.9);
+    c.keyed_phase(
+        vec![ControlBit::one(0), ControlBit::zero(2), ControlBit::one(3)],
+        1.3,
+    );
+    // Permutation: CX/X/SWAP ladder (trivial cycles), then a phased
+    // permutation via Y.
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.swap(0, n - 1).x(1).y(2);
+    // Block-sparse: ladder-conjugated rotation (two-level structure).
+    c.cx(0, 1).rz(1, 0.4).cx(0, 1);
+    // Dense: overlapping H/rotation mix.
+    c.h(0).rx(0, 0.3).h(1).ry(1, 0.8).cx(0, 1).h(0);
+    // Controlled single (control extraction via the lone-gate shortcut).
+    c.mcry(
+        vec![ControlBit::one(0), ControlBit::zero(1), ControlBit::one(2)],
+        3,
+        0.6,
+    );
+    // Wide passthroughs: a keyed phase and a multi-control broader than the
+    // fusion windows.
+    c.keyed_z((0..n).map(ControlBit::one).collect());
+    c.mcx((0..n - 1).map(ControlBit::one).collect(), n - 1);
+    c.global_phase(0.45);
+    c
+}
+
+/// A seeded reproducible pseudo-random normalized state (convenience wrapper
+/// over [`StateVector::random_state`] with the testkit seed protocol).
+pub fn random_state(n: usize, seed: u64) -> StateVector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    StateVector::random_state(n, &mut rng)
+}
+
+/// Which operator mix a [`random_pauli_sum`] draws — the three structural
+/// regimes of the matrix-free expectation kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PauliSumKind {
+    /// Only `I`/`Z` factors: every string is diagonal (one shared
+    /// probability sweep).
+    Diagonal,
+    /// Mostly `X`/`Y` factors: every string has flip structure (paired
+    /// gather sweeps).
+    FlipHeavy,
+    /// The generic mix of all four operators.
+    Mixed,
+}
+
+/// Builds a seeded random Hermitian Pauli sum: `terms` strings over `n`
+/// qubits with real coefficients in `(-1, 1)`, operator mix per `kind`.
+/// Duplicate strings merge (so the sum may end up shorter than `terms`);
+/// the all-identity string can occur and is kept.
+pub fn random_pauli_sum(n: usize, terms: usize, kind: PauliSumKind, seed: u64) -> PauliSum {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut collected = Vec::with_capacity(terms);
+    for _ in 0..terms {
+        let ops: Vec<PauliOp> = (0..n)
+            .map(|_| match kind {
+                PauliSumKind::Diagonal => {
+                    if rng.gen_range(0..2u32) == 0 {
+                        PauliOp::I
+                    } else {
+                        PauliOp::Z
+                    }
+                }
+                PauliSumKind::FlipHeavy => match rng.gen_range(0..4u32) {
+                    0 => PauliOp::I,
+                    1 | 2 => PauliOp::X,
+                    _ => PauliOp::Y,
+                },
+                PauliSumKind::Mixed => match rng.gen_range(0..4u32) {
+                    0 => PauliOp::I,
+                    1 => PauliOp::X,
+                    2 => PauliOp::Y,
+                    _ => PauliOp::Z,
+                },
+            })
+            .collect();
+        let coeff = c64(rng.gen_range(-1.0..1.0), 0.0);
+        collected.push((coeff, PauliString::new(ops)));
+    }
+    PauliSum::from_terms(n, collected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = random_circuit(5, 30, 7);
+        let b = random_circuit(5, 30, 7);
+        assert_eq!(a.gates().len(), b.gates().len());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(
+            format!("{:?}", random_circuit(5, 30, 8)),
+            format!("{a:?}"),
+            "distinct seeds should give distinct circuits"
+        );
+        assert_eq!(random_state(4, 3), random_state(4, 3));
+        assert_eq!(
+            random_pauli_sum(4, 6, PauliSumKind::Mixed, 11),
+            random_pauli_sum(4, 6, PauliSumKind::Mixed, 11)
+        );
+    }
+
+    #[test]
+    fn pauli_sum_kinds_have_the_advertised_structure() {
+        let diag = random_pauli_sum(5, 8, PauliSumKind::Diagonal, 2);
+        assert!(diag.terms().iter().all(|(_, p)| p.is_diagonal()));
+        let flips = random_pauli_sum(5, 8, PauliSumKind::FlipHeavy, 2);
+        assert!(flips.terms().iter().any(|(_, p)| p.masks().0 != 0));
+        for sum in [diag, flips, random_pauli_sum(5, 8, PauliSumKind::Mixed, 2)] {
+            assert!(sum.is_hermitian(1e-12));
+            assert!(sum.num_terms() >= 1);
+        }
+    }
+}

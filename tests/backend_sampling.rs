@@ -3,59 +3,21 @@
 //! random circuits, the batched shot engine converges to `|amplitude|²`
 //! identically across backends, its seeded output is bit-identical across
 //! runs, and the stochastic noise backend at zero strength collapses to the
-//! noiseless simulation.
+//! noiseless simulation. Random circuits come from the shared seeded
+//! testkit (`ghs_statevector::testkit`).
 
 use gate_efficient_hs::circuit::Circuit;
 use gate_efficient_hs::core::backend::{
     backend_by_name, Backend, FusedStatevector, PauliNoise, ReferenceStatevector,
 };
+use gate_efficient_hs::statevector::testkit::random_circuit;
 use gate_efficient_hs::statevector::StateVector;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Equivalence tolerance between exact backends.
 const BACKEND_TOL: f64 = 1e-12;
-
-/// Builds a random circuit mixing the common gate variants.
-fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut c = Circuit::new(n);
-    for _ in 0..gates {
-        let q = rng.gen_range(0..n);
-        let other = |rng: &mut StdRng, q: usize| (q + 1 + rng.gen_range(0..n - 1)) % n;
-        match rng.gen_range(0..8u32) {
-            0 => {
-                c.h(q);
-            }
-            1 => {
-                c.rx(q, rng.gen_range(-2.0..2.0));
-            }
-            2 => {
-                c.ry(q, rng.gen_range(-2.0..2.0));
-            }
-            3 => {
-                c.rz(q, rng.gen_range(-2.0..2.0));
-            }
-            4 => {
-                let t = other(&mut rng, q);
-                c.cx(q, t);
-            }
-            5 => {
-                let t = other(&mut rng, q);
-                c.cz(q, t);
-            }
-            6 => {
-                let t = other(&mut rng, q);
-                c.cp(q, t, rng.gen_range(-2.0..2.0));
-            }
-            _ => {
-                c.x(q);
-            }
-        }
-    }
-    c
-}
 
 proptest! {
     /// Acceptance criterion: the fused and reference backends agree to

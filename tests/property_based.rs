@@ -1,12 +1,13 @@
 //! Property-based tests (proptest) over the core invariants of the library:
 //! exactness of the direct construction for arbitrary SCB terms, Pauli-sum
 //! round trips, HUBO formalism conversions, LCU block sums and Cayley-table
-//! closure.
+//! closure. Random circuits and the kernel-zoo circuit come from the shared
+//! seeded testkit (`ghs_statevector::testkit`).
 
-use gate_efficient_hs::circuit::{Circuit, ControlBit};
 use gate_efficient_hs::core::{direct_term_circuit, term_lcu, DirectOptions};
 use gate_efficient_hs::math::{c64, expm_minus_i_theta, CMatrix, Complex64};
 use gate_efficient_hs::operators::{HermitianTerm, PauliSum, ScbOp, ScbString};
+use gate_efficient_hs::statevector::testkit::{kernel_zoo_circuit, random_circuit};
 use gate_efficient_hs::statevector::{circuit_unitary, StateVector};
 use proptest::prelude::*;
 
@@ -14,155 +15,6 @@ const TOL: f64 = 1e-8;
 
 /// Equivalence tolerance for the fused-vs-per-gate engine comparison.
 const FUSION_TOL: f64 = 1e-12;
-
-/// Builds a random circuit over `n` qubits mixing every gate variant of the
-/// IR (single-qubit Cliffords and rotations, CX/CZ/SWAP, keyed phases,
-/// multi-controlled gates with random polarities, global phases).
-fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut c = Circuit::new(n);
-    for _ in 0..gates {
-        let q = rng.gen_range(0..n);
-        let other = |rng: &mut StdRng, q: usize| (q + 1 + rng.gen_range(0..n - 1)) % n;
-        match rng.gen_range(0..14u32) {
-            0 => {
-                c.h(q);
-            }
-            1 => {
-                c.x(q);
-            }
-            2 => {
-                c.y(q);
-            }
-            3 => {
-                c.s(q);
-            }
-            4 => {
-                c.rx(q, rng.gen_range(-2.0..2.0));
-            }
-            5 => {
-                c.ry(q, rng.gen_range(-2.0..2.0));
-            }
-            6 => {
-                c.rz(q, rng.gen_range(-2.0..2.0));
-            }
-            7 => {
-                c.p(q, rng.gen_range(-2.0..2.0));
-            }
-            8 => {
-                let t = other(&mut rng, q);
-                c.cx(q, t);
-            }
-            9 => {
-                let t = other(&mut rng, q);
-                c.cz(q, t);
-            }
-            10 => {
-                let t = other(&mut rng, q);
-                c.swap(q, t);
-            }
-            11 => {
-                // Keyed phase over a random subset (random polarities).
-                let mut key: Vec<ControlBit> = Vec::new();
-                for qq in 0..n {
-                    if rng.gen_range(0..3u32) == 0 {
-                        key.push(if rng.gen_range(0..2u32) == 0 {
-                            ControlBit::one(qq)
-                        } else {
-                            ControlBit::zero(qq)
-                        });
-                    }
-                }
-                if key.is_empty() {
-                    c.global_phase(rng.gen_range(-1.0..1.0));
-                } else {
-                    c.keyed_phase(key, rng.gen_range(-2.0..2.0));
-                }
-            }
-            12 => {
-                // Multi-controlled gate with random polarity controls.
-                let num_controls = rng.gen_range(1..n.min(5));
-                let mut qubits: Vec<usize> = (0..n).collect();
-                for i in 0..=num_controls {
-                    let j = rng.gen_range(i..n);
-                    qubits.swap(i, j);
-                }
-                let controls: Vec<ControlBit> = qubits[..num_controls]
-                    .iter()
-                    .map(|&qq| {
-                        if rng.gen_range(0..2u32) == 0 {
-                            ControlBit::one(qq)
-                        } else {
-                            ControlBit::zero(qq)
-                        }
-                    })
-                    .collect();
-                let target = qubits[num_controls];
-                let theta = rng.gen_range(-2.0..2.0);
-                match rng.gen_range(0..4u32) {
-                    0 => {
-                        c.mcx(controls, target);
-                    }
-                    1 => {
-                        c.mcrx(controls, target, theta);
-                    }
-                    2 => {
-                        c.mcry(controls, target, theta);
-                    }
-                    _ => {
-                        c.mcrz(controls, target, theta);
-                    }
-                }
-            }
-            _ => {
-                c.global_phase(rng.gen_range(-1.0..1.0));
-            }
-        }
-    }
-    c
-}
-
-/// A deterministic circuit that triggers every specialized fused kernel:
-/// wide diagonal tables, pure permutations (trivial and phased cycles),
-/// block-sparse two-level motifs, dense blocks, controlled singles, and the
-/// wide-gate passthrough.
-fn kernel_zoo_circuit(n: usize) -> Circuit {
-    assert!(n >= 4);
-    let mut c = Circuit::new(n);
-    // Diagonal: phase/RZ/CZ/keyed chain over the whole register.
-    for q in 0..n {
-        c.rz(q, 0.1 + q as f64 * 0.07);
-    }
-    c.cz(0, 1).cp(1, 2, 0.9);
-    c.keyed_phase(
-        vec![ControlBit::one(0), ControlBit::zero(2), ControlBit::one(3)],
-        1.3,
-    );
-    // Permutation: CX/X/SWAP ladder (trivial cycles), then a phased
-    // permutation via Y.
-    for q in 0..n - 1 {
-        c.cx(q, q + 1);
-    }
-    c.swap(0, n - 1).x(1).y(2);
-    // Block-sparse: ladder-conjugated rotation (two-level structure).
-    c.cx(0, 1).rz(1, 0.4).cx(0, 1);
-    // Dense: overlapping H/rotation mix.
-    c.h(0).rx(0, 0.3).h(1).ry(1, 0.8).cx(0, 1).h(0);
-    // Controlled single (control extraction via the lone-gate shortcut).
-    c.mcry(
-        vec![ControlBit::one(0), ControlBit::zero(1), ControlBit::one(2)],
-        3,
-        0.6,
-    );
-    // Wide passthroughs: a keyed phase and a multi-control broader than the
-    // fusion windows (only meaningful when n is large enough; guarded).
-    c.keyed_z((0..n).map(ControlBit::one).collect());
-    c.mcx((0..n - 1).map(ControlBit::one).collect(), n - 1);
-    c.global_phase(0.45);
-    c
-}
 
 fn arb_scb_op() -> impl Strategy<Value = ScbOp> {
     prop_oneof![

@@ -4,12 +4,13 @@
 //! where `<id>` is one of the experiment identifiers listed in
 //! EXPERIMENTS.md (`table1`, `table2`, `table3`, `fig2`, `fig3`, `crossover`,
 //! `hubo-scaling`, `be`, `chem-exact`, `chem-trotter`, `fdm-scaling`,
-//! `fdm-verify`, `qlsp`, `measurement`). Without a filter every experiment
-//! runs.
+//! `fdm-verify`, `qlsp`, `measurement`, `ablation-complex`, `mpf`, `gas`,
+//! `gradients`). Without a filter every experiment runs.
 
 use ghs_bench::{fmt_f, print_table};
 use ghs_chemistry::{
-    h2_sto3g, hubbard_chain, transition_resources, trotter_error_sweep, ElectronicTransition,
+    h2_sto3g, hubbard_chain, run_vqe, transition_resources, trotter_error_sweep, uccsd_pool,
+    ElectronicTransition,
 };
 use ghs_circuit::LadderStyle;
 use ghs_core::backend::{Backend, FusedStatevector};
@@ -97,6 +98,84 @@ fn main() {
     if run("gas") {
         exp_grover_adaptive_search();
     }
+    if run("gradients") {
+        exp_gradient_engine();
+    }
+}
+
+/// EX4 — adjoint-mode gradient engine: gradient-based VQE and QAOA through
+/// the shared `ghs_core::optimize` path, plus an adjoint-vs-shift
+/// cross-check on the UCCSD ansatz.
+fn exp_gradient_engine() {
+    use ghs_chemistry::uccsd_parameterized;
+    use ghs_core::parameter_shift_gradient;
+    use ghs_hubo::{optimize_qaoa, qaoa_parameterized, random_sparse_hubo, SeparatorStrategy};
+    use ghs_statevector::GroupedPauliSum;
+
+    // Adjoint vs parameter-shift on the H₂ UCCSD ansatz.
+    let model = h2_sto3g();
+    let pool = uccsd_pool(&model);
+    let ansatz = uccsd_parameterized(&model, &pool, &DirectOptions::linear());
+    let observable = model.grouped_observable();
+    let zero = StateVector::zero_state(model.num_qubits());
+    let thetas: Vec<f64> = (0..pool.len()).map(|k| 0.05 + 0.04 * k as f64).collect();
+    let backend = FusedStatevector;
+    let (energy, adjoint) = backend.expectation_gradient(&zero, &ansatz, &thetas, &observable);
+    let (_, shift) = parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable);
+    let rows: Vec<Vec<String>> = pool
+        .iter()
+        .zip(adjoint.iter().zip(&shift))
+        .map(|(exc, (a, s))| {
+            vec![
+                exc.label.clone(),
+                format!("{a:.10}"),
+                format!("{s:.10}"),
+                format!("{:.2e}", (a - s).abs()),
+            ]
+        })
+        .collect();
+    print_table(
+        "EX4 — adjoint vs parameter-shift gradients, H₂ UCCSD ansatz",
+        &["excitation", "adjoint dE/dθ", "shift dE/dθ", "|Δ|"],
+        &rows,
+    );
+    println!("energy at probe point: {energy:.8} Ha (offset included: no)");
+
+    // Gradient-based VQE and QAOA through the shared optimizer.
+    let mut rng = StdRng::seed_from_u64(7);
+    let vqe = run_vqe(&model, &DirectOptions::linear(), 1, 200, &mut rng);
+    let fci = model.exact_ground_energy(3000);
+    let mut rng = StdRng::seed_from_u64(11);
+    let problem = random_sparse_hubo(8, 3, 16, &mut rng);
+    let qaoa_ansatz = qaoa_parameterized(&problem, 3, SeparatorStrategy::Direct);
+    let qaoa = optimize_qaoa(&problem, 3, SeparatorStrategy::Direct, 2, 120, &mut rng);
+    let cost_terms = GroupedPauliSum::new(&problem.to_pauli_sum()).num_terms();
+    print_table(
+        "EX4b — gradient-based variational drivers (Adam + adjoint)",
+        &["quantity", "value"],
+        &[
+            vec!["VQE energy (H₂)".into(), format!("{:.8} Ha", vqe.energy)],
+            vec![
+                "|VQE − FCI|".into(),
+                format!("{:.2e} Ha", (vqe.energy - fci).abs()),
+            ],
+            vec![
+                "VQE gradient evaluations".into(),
+                vqe.evaluations.to_string(),
+            ],
+            vec![
+                "QAOA parameters (3 layers)".into(),
+                qaoa_ansatz.num_params().to_string(),
+            ],
+            vec!["QAOA separator cost terms".into(), cost_terms.to_string()],
+            vec!["QAOA energy".into(), fmt_f(qaoa.energy)],
+            vec!["QAOA optimum".into(), fmt_f(qaoa.optimal_cost)],
+            vec![
+                "P(optimum)".into(),
+                format!("{:.3}", qaoa.optimum_probability),
+            ],
+        ],
+    );
 }
 
 /// E01 — Table I: SCB operators and their Pauli mappings.

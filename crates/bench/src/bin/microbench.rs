@@ -13,14 +13,19 @@
 //! through their oracle and optimized paths — per-gate vs fused simulation
 //! for circuit workloads, per-shot oracle vs the batched cached sampler for
 //! the `qaoa_12_shots4096` / `noisy_trajectories_10` sampling workloads,
-//! and sparse-matrix oracle vs the matrix-free grouped evaluator for the
-//! `uccsd_energy_h2` / `qaoa_energy_12` expectation workloads — writes the
-//! machine-readable `BENCH.json`, and exits non-zero when a `--baseline`
-//! comparison regresses by more than `--max-regression`, or when a
-//! `--min-speedup NAME:X` bound is not met.
+//! sparse-matrix oracle vs the matrix-free grouped evaluator for the
+//! `uccsd_energy_h2` / `qaoa_energy_12` expectation workloads, and the
+//! parameter-shift rule vs the adjoint engine for the `vqe_h2_gradient` /
+//! `qaoa_12_gradient` gradient workloads — writes the machine-readable
+//! `BENCH.json`, and exits non-zero when a `--baseline` comparison
+//! regresses by more than `--max-regression`, when the baseline's workload
+//! names drift from the harness registry (a renamed workload would
+//! otherwise silently lose its gate), or when a `--min-speedup NAME:X`
+//! bound is not met.
 
 use ghs_bench::perf::{
-    compare_to_baseline, parse_baseline, results_to_json, run_workload, standard_workloads,
+    baseline_name_drift, compare_to_baseline, parse_baseline, results_to_json, run_workload,
+    standard_workloads,
 };
 use ghs_bench::{fmt_f, print_table};
 
@@ -106,6 +111,16 @@ fn main() {
         match std::fs::read_to_string(&baseline_path) {
             Ok(doc) => {
                 let baseline = parse_baseline(&doc);
+                // Name-drift guard: a renamed/added workload whose baseline
+                // entry no longer matches would silently skip its
+                // regression gate below — fail loudly instead.
+                let drift = baseline_name_drift(&results, &baseline);
+                if !drift.is_empty() {
+                    for d in &drift {
+                        eprintln!("BASELINE DRIFT: {d}");
+                    }
+                    failed = true;
+                }
                 let failures = compare_to_baseline(&results, &baseline, max_regression);
                 if failures.is_empty() {
                     println!(

@@ -8,18 +8,25 @@
 //! machine-readable JSON (`BENCH.json`). Two batched-sampling workloads
 //! (`qaoa_12_shots4096`, `noisy_trajectories_10`) compare the per-shot
 //! oracle paths against the cached alias sampler / trajectory batching of
-//! the backend layer, and two expectation workloads (`uccsd_energy_h2`,
+//! the backend layer, two expectation workloads (`uccsd_energy_h2`,
 //! `qaoa_energy_12`) compare the sparse-matrix observable oracle against
-//! the grouped matrix-free evaluator; for all four the `unfused`/`fused`
-//! columns are the oracle and optimized wall times. The committed
-//! `bench/baseline.json` is refreshed from this output; CI fails when a
-//! workload regresses against it (see [`compare_to_baseline`]).
+//! the grouped matrix-free evaluator, and two gradient workloads
+//! (`vqe_h2_gradient`, `qaoa_12_gradient`) compare the parameter-shift rule
+//! against the adjoint engine at 20+ parameters; for all of these the
+//! `unfused`/`fused` columns are the oracle and optimized wall times. The
+//! committed `bench/baseline.json` is refreshed from this output; CI fails
+//! when a workload regresses against it (see [`compare_to_baseline`]) or
+//! when its workload names drift from this registry
+//! (see [`baseline_name_drift`]).
 
 use ghs_chemistry::{h2_sto3g, uccsd_circuit, uccsd_pool};
-use ghs_circuit::Circuit;
-use ghs_core::backend::{Backend, PauliNoise};
-use ghs_core::{direct_product_formula, DirectOptions, ProductFormula};
-use ghs_hubo::{direct_phase_separator, random_sparse_hubo, HuboProblem};
+use ghs_circuit::{Circuit, ParameterizedCircuit};
+use ghs_core::backend::{parameter_shift_gradient, Backend, FusedStatevector, PauliNoise};
+use ghs_core::{direct_product_formula, direct_term_circuit, DirectOptions, ProductFormula};
+use ghs_hubo::{
+    direct_phase_separator, qaoa_parameterized, random_sparse_hubo, HuboProblem, QaoaParameters,
+    SeparatorStrategy,
+};
 use ghs_operators::{PauliSum, ScbHamiltonian, ScbOp, ScbString};
 use ghs_statevector::{testkit, GroupedPauliSum, StateVector};
 use rand::rngs::StdRng;
@@ -28,7 +35,7 @@ use std::time::Instant;
 
 /// What a workload measures: the `unfused`/`fused` columns of the report are
 /// the slow-oracle and optimized wall times of the named comparison.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum WorkloadKind {
     /// Full-state circuit simulation: per-gate sweeps vs the fused engine.
     Circuit,
@@ -62,6 +69,21 @@ pub enum WorkloadKind {
         /// The Hermitian observable evaluated against the workload's evolved
         /// state.
         observable: PauliSum,
+    },
+    /// Full-gradient evaluation of a parameterized circuit's energy: the
+    /// parameter-shift rule (two to four circuit executions **per bound
+    /// gate**, the pre-adjoint status quo) vs the adjoint method (one
+    /// forward + one reverse sweep + `O(P)` inner products), both through
+    /// the fused statevector backend against a prepared grouped observable.
+    Gradient {
+        /// The differentiated circuit template.
+        parameterized: ParameterizedCircuit,
+        /// The parameter point the gradient is evaluated at.
+        params: Vec<f64>,
+        /// The Hermitian observable whose expectation is differentiated.
+        observable: PauliSum,
+        /// Gradient evaluations per timed repetition.
+        evals: usize,
     },
 }
 
@@ -156,6 +178,38 @@ fn qaoa_circuit(n: usize, p: usize) -> Circuit {
     c
 }
 
+/// The layered UCCSD gradient workload: the H₂/STO-3G excitation pool
+/// repeated `layers` times with independent angles — 24 parameters at 4
+/// qubits, the parameter-count regime (P ≥ 20) where the adjoint engine's
+/// `O(1)`-simulations-per-gradient advantage dominates the shift rule's
+/// `O(P)`.
+fn layered_uccsd_ansatz(layers: usize) -> (ParameterizedCircuit, Vec<f64>, PauliSum) {
+    let model = h2_sto3g();
+    let pool = uccsd_pool(&model);
+    let opts = DirectOptions::linear();
+    let num_params = pool.len() * layers;
+    let num_electrons = model.num_electrons;
+    let n = model.num_qubits();
+    let pc = ParameterizedCircuit::from_linear_template(num_params, |thetas| {
+        let mut c = Circuit::new(n);
+        for q in 0..num_electrons {
+            c.x(q);
+        }
+        for layer in 0..layers {
+            for (k, exc) in pool.iter().enumerate() {
+                c.append(&direct_term_circuit(
+                    &exc.term,
+                    thetas[layer * pool.len() + k],
+                    &opts,
+                ));
+            }
+        }
+        c
+    });
+    let params: Vec<f64> = (0..num_params).map(|i| 0.03 + 0.011 * i as f64).collect();
+    (pc, params, model.pauli_sum())
+}
+
 /// The standard workload set recorded in `BENCH.json`.
 ///
 /// * `qft_16` — full QFT with final swaps.
@@ -174,6 +228,11 @@ fn qaoa_circuit(n: usize, p: usize) -> Circuit {
 ///   prepared matrix-free grouped engine.
 /// * `qaoa_energy_12` — 8 cost-expectation evaluations of the 12-qubit QAOA
 ///   state against its ~200-fragment Ising observable, same comparison.
+/// * `vqe_h2_gradient` — full 24-parameter gradients of an 8-layer UCCSD
+///   ansatz energy: parameter-shift oracle vs the adjoint engine.
+/// * `qaoa_12_gradient` — full 20-parameter gradients of a 10-layer
+///   12-qubit QAOA cost (each `γ` binds every separator phase of its
+///   layer), same comparison.
 pub fn standard_workloads() -> Vec<Workload> {
     let all = |n: usize| (0..n).collect::<Vec<_>>();
     let mut w = Vec::new();
@@ -261,6 +320,37 @@ pub fn standard_workloads() -> Vec<Workload> {
         kind: WorkloadKind::Expectation {
             evals: 8,
             observable: qaoa_problem(12).to_pauli_sum(),
+        },
+    });
+    // Gradient workloads: adjoint engine vs the parameter-shift oracle at
+    // P ≥ 20 parameters (the CI gate requires ≥5x on both).
+    let (vqe_pc, vqe_params, vqe_obs) = layered_uccsd_ansatz(8);
+    w.push(Workload {
+        name: "vqe_h2_gradient".into(),
+        circuit: vqe_pc.bind(&vqe_params),
+        kind: WorkloadKind::Gradient {
+            parameterized: vqe_pc,
+            params: vqe_params,
+            observable: vqe_obs,
+            evals: 8,
+        },
+    });
+    let qaoa_grad_problem = qaoa_problem(12);
+    let qaoa_layers = 10;
+    let qaoa_pc = qaoa_parameterized(&qaoa_grad_problem, qaoa_layers, SeparatorStrategy::Direct);
+    let qaoa_params = QaoaParameters {
+        gammas: (0..qaoa_layers).map(|l| 0.4 + 0.03 * l as f64).collect(),
+        betas: (0..qaoa_layers).map(|l| 0.7 - 0.05 * l as f64).collect(),
+    }
+    .to_vec();
+    w.push(Workload {
+        name: "qaoa_12_gradient".into(),
+        circuit: qaoa_pc.bind(&qaoa_params),
+        kind: WorkloadKind::Gradient {
+            parameterized: qaoa_pc,
+            params: qaoa_params,
+            observable: qaoa_grad_problem.to_pauli_sum(),
+            evals: 1,
         },
     });
     w
@@ -378,6 +468,45 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             });
             (unfused_ms, fused_ms, evals)
         }
+        WorkloadKind::Gradient {
+            parameterized,
+            params,
+            observable,
+            evals,
+        } => {
+            let evals = *evals;
+            // Observable prepared once — both gradient paths share it.
+            let grouped = GroupedPauliSum::new(observable);
+            let zero = StateVector::zero_state(n);
+            let backend = FusedStatevector;
+            // The shift oracle runs for *seconds* at 20+ parameters (that is
+            // the point); best-of-3 is plenty stable at that scale and keeps
+            // the CI perf job's wall time bounded.
+            let unfused_ms = time_best(reps.min(3), || {
+                // Oracle: the pre-adjoint status quo — the parameter-shift
+                // rule, two to four full circuit executions per bound gate.
+                let mut acc = 0.0;
+                for _ in 0..evals {
+                    let (e, g) =
+                        parameter_shift_gradient(&backend, &zero, parameterized, params, &grouped);
+                    acc += e + g.iter().sum::<f64>();
+                }
+                std::hint::black_box(acc);
+            });
+            let fused_ms = time_best(reps, || {
+                // Adjoint engine (the backend's expectation_gradient
+                // override): one forward + one reverse sweep per gradient.
+                let mut acc = 0.0;
+                for _ in 0..evals {
+                    let (e, g) =
+                        backend.expectation_gradient(&zero, parameterized, params, &grouped);
+                    acc += e + g.iter().sum::<f64>();
+                }
+                std::hint::black_box(acc);
+            });
+            // Throughput: gradient components per second.
+            (unfused_ms, fused_ms, evals * params.len())
+        }
     };
 
     WorkloadResult {
@@ -459,6 +588,35 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
 /// exists to catch (the per-shot oracle path is ~1000× slower) — while
 /// ms-scale workloads see at most a ~3% loosening of the 25% rule.
 const MAX_SLACK_MS: f64 = 0.25;
+
+/// Checks that the committed baseline and the harness's workload registry
+/// name exactly the same set: one failure line per name present on only one
+/// side. Without this guard a renamed workload silently loses its
+/// regression gate (its baseline entry stops matching and
+/// [`compare_to_baseline`] skips it), and a deleted baseline entry silently
+/// un-gates a live workload. CI runs this on every perf job; refresh
+/// `bench/baseline.json` in the same PR that renames or adds a workload.
+pub fn baseline_name_drift(results: &[WorkloadResult], baseline: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in results {
+        if !baseline.iter().any(|(n, _)| *n == r.name) {
+            failures.push(format!(
+                "workload `{}` is missing from the baseline (its regression gate is dead) — \
+                 refresh bench/baseline.json",
+                r.name
+            ));
+        }
+    }
+    for (name, _) in baseline {
+        if !results.iter().any(|r| r.name == *name) {
+            failures.push(format!(
+                "baseline entry `{name}` matches no registered workload (renamed or removed?) — \
+                 refresh bench/baseline.json"
+            ));
+        }
+    }
+    failures
+}
 
 /// Compares fresh results against a baseline: any workload whose fused wall
 /// time exceeds `baseline × (1 + max_regression) + min(0.25 ms, baseline)`
@@ -580,13 +738,113 @@ mod tests {
                 .into_iter()
                 .find(|w| w.name == name)
                 .expect("sampling workload present");
-            assert_ne!(w.kind, WorkloadKind::Circuit);
+            assert!(!matches!(w.kind, WorkloadKind::Circuit));
             let r = run_workload(&w, 1);
             assert!(
                 r.fused_ms > 0.0 && r.unfused_ms > 0.0,
                 "{name} produced empty timings"
             );
         }
+    }
+
+    fn check_gradient_workload_shape(name: &str) -> (ParameterizedCircuit, Vec<f64>, PauliSum) {
+        let w = standard_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("gradient workload present");
+        let WorkloadKind::Gradient {
+            parameterized,
+            params,
+            observable,
+            ..
+        } = w.kind
+        else {
+            panic!("{name} must be a gradient workload");
+        };
+        assert!(params.len() >= 20, "{name} must have ≥20 parameters");
+        // The bound circuit recorded for fusion stats matches the template
+        // at the workload's parameter point.
+        assert_eq!(w.circuit, parameterized.bind(&params));
+        (parameterized, params, observable)
+    }
+
+    fn assert_adjoint_matches_shift(
+        pc: &ParameterizedCircuit,
+        params: &[f64],
+        observable: &PauliSum,
+        label: &str,
+    ) {
+        let grouped = GroupedPauliSum::new(observable);
+        let zero = StateVector::zero_state(pc.num_qubits());
+        let backend = FusedStatevector;
+        let (e_adj, g_adj) = backend.expectation_gradient(&zero, pc, params, &grouped);
+        let (e_shift, g_shift) = parameter_shift_gradient(&backend, &zero, pc, params, &grouped);
+        assert!(
+            (e_adj - e_shift).abs() < 1e-9,
+            "{label}: {e_adj} vs {e_shift}"
+        );
+        for (k, (a, s)) in g_adj.iter().zip(&g_shift).enumerate() {
+            assert!((a - s).abs() < 1e-8, "{label} component {k}: {a} vs {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_workloads_agree_with_their_oracle() {
+        // Both timed paths must compute the same numbers: adjoint vs
+        // parameter-shift energy and full gradient. The 4-qubit VQE
+        // workload is checked at its full 24 parameters; the 12-qubit QAOA
+        // workload's shape is validated at scale but its adjoint-vs-shift
+        // agreement is checked on a 2-layer instance (the full 20-parameter
+        // shift oracle costs seconds per evaluation in debug builds — the
+        // release perf job times it, the property suite covers agreement).
+        let (vqe_pc, vqe_params, vqe_obs) = check_gradient_workload_shape("vqe_h2_gradient");
+        assert_adjoint_matches_shift(&vqe_pc, &vqe_params, &vqe_obs, "vqe_h2_gradient");
+
+        let (_, qaoa_params, _) = check_gradient_workload_shape("qaoa_12_gradient");
+        assert_eq!(qaoa_params.len(), 20);
+        let problem = qaoa_problem(12);
+        let small = qaoa_parameterized(&problem, 2, SeparatorStrategy::Direct);
+        assert_adjoint_matches_shift(
+            &small,
+            &[0.4, 0.43, 0.7, 0.65],
+            &problem.to_pauli_sum(),
+            "qaoa_12_gradient (2-layer agreement check)",
+        );
+    }
+
+    #[test]
+    fn name_drift_guard_catches_renames_in_both_directions() {
+        let result = |name: &str| WorkloadResult {
+            name: name.into(),
+            qubits: 4,
+            gates: 10,
+            fused_ops: 3,
+            fusion_ratio: 3.3,
+            fuse_ms: 0.1,
+            unfused_ms: 2.0,
+            fused_ms: 1.0,
+            speedup: 2.0,
+            gates_per_sec: 1e4,
+        };
+        let baseline = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
+        // In sync: no drift.
+        assert!(baseline_name_drift(&[result("a"), result("b")], &baseline).is_empty());
+        // A renamed workload drifts on both sides.
+        let drift = baseline_name_drift(&[result("a"), result("b2")], &baseline);
+        assert_eq!(drift.len(), 2);
+        assert!(drift.iter().any(|f| f.contains("`b2`")));
+        assert!(drift.iter().any(|f| f.contains("`b`")));
+        // The live registry and the committed baseline are in sync right
+        // now (this is the in-repo guard the CI step re-runs).
+        let registry: Vec<WorkloadResult> = standard_workloads()
+            .iter()
+            .map(|w| result(&w.name))
+            .collect();
+        let committed = parse_baseline(include_str!("../../../bench/baseline.json"));
+        assert_eq!(
+            baseline_name_drift(&registry, &committed),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

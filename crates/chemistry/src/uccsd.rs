@@ -8,8 +8,9 @@
 //! with a single rotation.
 
 use crate::models::ElectronicModel;
-use ghs_circuit::Circuit;
+use ghs_circuit::{Circuit, ParameterizedCircuit};
 use ghs_core::backend::{Backend, FusedStatevector};
+use ghs_core::optimize::{minimize_adam, AdamOptions};
 use ghs_core::{direct_term_circuit, DirectOptions};
 use ghs_math::Complex64;
 use ghs_operators::{FermionTerm, HermitianTerm};
@@ -108,6 +109,26 @@ pub fn uccsd_circuit(
     c
 }
 
+/// Builds the UCCSD ansatz as a **parameterized circuit** — one symbolic
+/// parameter per pool excitation, bound to every rotation its direct
+/// exponential carries (the construction is affine in each excitation
+/// amplitude, so the template is derived automatically from
+/// [`uccsd_circuit`]).
+///
+/// The template is the object the gradient engine differentiates: an
+/// optimization run clones it once into a scratch circuit, then every
+/// energy/gradient evaluation only rebinds angles in place and reuses the
+/// cached fusion plan.
+pub fn uccsd_parameterized(
+    model: &ElectronicModel,
+    pool: &[Excitation],
+    opts: &DirectOptions,
+) -> ParameterizedCircuit {
+    ParameterizedCircuit::from_linear_template(pool.len(), |thetas| {
+        uccsd_circuit(model, pool, thetas, opts)
+    })
+}
+
 /// Energy of the ansatz at the given angles (through the default fused
 /// backend; see [`uccsd_energy_with`]).
 pub fn uccsd_energy(
@@ -165,59 +186,78 @@ pub struct VqeResult {
     pub energy: f64,
     /// Hartree–Fock reference energy.
     pub hartree_fock_energy: f64,
-    /// Number of energy evaluations performed.
+    /// Number of energy+gradient evaluations performed (each one adjoint
+    /// sweep pair).
     pub evaluations: usize,
+    /// True when any restart hit the optimizer's gradient tolerance before
+    /// its iteration cap.
+    pub converged: bool,
 }
 
-/// Derivative-free VQE: random restarts + adaptive coordinate descent over
-/// the excitation angles.
+/// Gradient-based VQE: Adam over the excitation angles, driven by
+/// **adjoint-mode** gradients (one forward + one reverse sweep per
+/// iteration, every component at once — the same engine behind
+/// [`Backend::expectation_gradient`], called through
+/// [`ghs_statevector::adjoint_gradient_into`] so one scratch circuit is
+/// rebound in place across every iteration of the run). Restart 0 starts
+/// from the Hartree–Fock point (all angles zero); further restarts draw
+/// random starting angles from `rng`.
 pub fn run_vqe<R: Rng>(
     model: &ElectronicModel,
     opts: &DirectOptions,
     restarts: usize,
-    sweeps: usize,
+    iterations: usize,
     rng: &mut R,
 ) -> VqeResult {
     let pool = uccsd_pool(model);
-    // One observable preparation serves every energy evaluation of the run.
+    // One observable preparation and one ansatz template serve every
+    // evaluation of the run.
     let observable = model.grouped_observable();
-    let backend = FusedStatevector;
-    let energy_of =
-        |thetas: &[f64]| uccsd_energy_grouped(&backend, model, &observable, &pool, thetas, opts);
+    let ansatz = uccsd_parameterized(model, &pool, opts);
+    // One scratch circuit serves every evaluation: the template is cloned
+    // into it once, after which rebinding only overwrites bound angles.
+    let mut scratch = Circuit::new(0);
+    let zero = StateVector::zero_state(model.num_qubits());
     let hf_state = StateVector::basis_state(model.num_qubits(), model.hartree_fock_state());
     let hartree_fock_energy = model.energy_with_observable(&observable, hf_state.amplitudes());
 
+    let adam = AdamOptions {
+        learning_rate: 0.08,
+        max_iterations: iterations.max(1),
+        gradient_tolerance: 1e-7,
+        ..AdamOptions::default()
+    };
+
     let mut best_thetas = vec![0.0; pool.len()];
-    let mut best_energy = energy_of(&best_thetas);
-    let mut evaluations = 1;
+    let mut best_energy = f64::INFINITY;
+    let mut evaluations = 0usize;
+    let mut converged = false;
 
     for restart in 0..restarts.max(1) {
-        let mut thetas: Vec<f64> = if restart == 0 {
+        let x0: Vec<f64> = if restart == 0 {
             vec![0.0; pool.len()]
         } else {
             (0..pool.len()).map(|_| rng.gen_range(-0.3..0.3)).collect()
         };
-        let mut energy = energy_of(&thetas);
-        evaluations += 1;
-        let mut step = 0.3;
-        for _ in 0..sweeps {
-            for k in 0..thetas.len() {
-                for dir in [1.0, -1.0] {
-                    let mut trial = thetas.clone();
-                    trial[k] += dir * step;
-                    let e = energy_of(&trial);
-                    evaluations += 1;
-                    if e < energy {
-                        energy = e;
-                        thetas = trial;
-                    }
-                }
-            }
-            step *= 0.55;
-        }
-        if energy < best_energy {
-            best_energy = energy;
-            best_thetas = thetas;
+        let result = minimize_adam(
+            |thetas: &[f64]| {
+                let r = ghs_statevector::adjoint_gradient_into(
+                    &zero,
+                    &ansatz,
+                    thetas,
+                    &observable,
+                    &mut scratch,
+                );
+                (r.energy + model.energy_offset, r.gradient)
+            },
+            &x0,
+            &adam,
+        );
+        evaluations += result.evaluations;
+        converged |= result.converged;
+        if result.value < best_energy {
+            best_energy = result.value;
+            best_thetas = result.params;
         }
     }
 
@@ -226,6 +266,7 @@ pub fn run_vqe<R: Rng>(
         energy: best_energy,
         hartree_fock_energy,
         evaluations,
+        converged,
     }
 }
 
@@ -268,10 +309,44 @@ mod tests {
     }
 
     #[test]
+    fn parameterized_ansatz_matches_direct_construction() {
+        let model = h2_sto3g();
+        let pool = uccsd_pool(&model);
+        let ansatz = uccsd_parameterized(&model, &pool, &DirectOptions::linear());
+        assert_eq!(ansatz.num_params(), pool.len());
+        for thetas in [vec![0.0; 3], vec![0.2, -0.4, 0.9], vec![-1.1, 0.3, 0.05]] {
+            assert_eq!(
+                ansatz.bind(&thetas),
+                uccsd_circuit(&model, &pool, &thetas, &DirectOptions::linear()),
+                "binding diverged at {thetas:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ansatz_gradients_agree_adjoint_vs_shift() {
+        use ghs_core::parameter_shift_gradient;
+        let model = h2_sto3g();
+        let pool = uccsd_pool(&model);
+        let ansatz = uccsd_parameterized(&model, &pool, &DirectOptions::linear());
+        let observable = model.grouped_observable();
+        let zero = StateVector::zero_state(model.num_qubits());
+        let thetas = [0.13, -0.27, 0.41];
+        let backend = FusedStatevector;
+        let (e_adj, g_adj) = backend.expectation_gradient(&zero, &ansatz, &thetas, &observable);
+        let (e_shift, g_shift) =
+            parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable);
+        assert!((e_adj - e_shift).abs() < 1e-10);
+        for (a, s) in g_adj.iter().zip(&g_shift) {
+            assert!((a - s).abs() < 1e-8, "{a} vs {s}");
+        }
+    }
+
+    #[test]
     fn vqe_reaches_fci_for_h2() {
         let model = h2_sto3g();
         let mut rng = StdRng::seed_from_u64(7);
-        let result = run_vqe(&model, &DirectOptions::linear(), 1, 24, &mut rng);
+        let result = run_vqe(&model, &DirectOptions::linear(), 1, 200, &mut rng);
         let fci = model.exact_ground_energy(3000);
         assert!(result.energy <= result.hartree_fock_energy + 1e-9);
         assert!(
@@ -285,7 +360,7 @@ mod tests {
     fn vqe_improves_hubbard_over_hartree_fock() {
         let model = hubbard_chain(2, 1.0, 2.0, false);
         let mut rng = StdRng::seed_from_u64(3);
-        let result = run_vqe(&model, &DirectOptions::linear(), 2, 14, &mut rng);
+        let result = run_vqe(&model, &DirectOptions::linear(), 2, 150, &mut rng);
         assert!(result.energy < result.hartree_fock_energy - 1e-3);
         let exact = model.exact_ground_energy(3000);
         assert!(result.energy >= exact - 1e-6);

@@ -53,6 +53,12 @@ impl Circuit {
         &self.gates
     }
 
+    /// Mutable gate list, for the in-place angle rebinding of
+    /// [`crate::ParameterizedCircuit::bind_into`].
+    pub(crate) fn gates_mut(&mut self) -> &mut [Gate] {
+        &mut self.gates
+    }
+
     /// Number of gates.
     pub fn len(&self) -> usize {
         self.gates.len()

@@ -215,6 +215,12 @@ impl Circuit {
     pub fn fused_with(&self, opts: &FusionOptions) -> FusedCircuit {
         fuse(self, opts)
     }
+
+    /// Computes only the structural half of the fusion pass (default
+    /// options); reuse it across angle rebindings via [`FusionPlan::emit`].
+    pub fn fusion_plan(&self) -> FusionPlan {
+        plan_fusion(self, &FusionOptions::default())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -539,19 +545,89 @@ fn sparse_components(m: &CMatrix) -> Vec<SparseComponent> {
 // The fusion pass
 // ---------------------------------------------------------------------------
 
-enum BlockKind {
-    /// Accumulating gates that will be densified / diagonalised on flush.
-    Fusible {
-        gates: Vec<Gate>,
-        diagonal_only: bool,
-    },
-    /// A single wide gate kept as-is; never accepts merges.
-    Passthrough(Gate),
+/// One block of the structural fusion plan: the (sorted) support and the
+/// indices of the source gates it absorbs. `passthrough` blocks hold a
+/// single wide gate kept as-is.
+#[derive(Clone, Debug, PartialEq)]
+struct PlanBlock {
+    support: Vec<usize>, // sorted ascending
+    gates: Vec<usize>,   // indices into the source circuit's gate list
+    diagonal_only: bool,
+    passthrough: bool,
 }
 
-struct Block {
-    support: Vec<usize>, // sorted ascending
-    kind: BlockKind,
+/// The structural half of the fusion pass: which gates merge into which
+/// blocks, on which supports.
+///
+/// The plan depends only on each gate's *support* and *diagonality* — never
+/// on its numeric angles — so it can be computed once for a circuit template
+/// and reused across angle rebindings ([`crate::ParameterizedCircuit`]
+/// does exactly this): [`FusionPlan::emit`] re-runs only the cheap numeric
+/// classification (tables / matrices) against the freshly bound gates,
+/// skipping the greedy merge scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusionPlan {
+    num_qubits: usize,
+    num_gates: usize,
+    blocks: Vec<PlanBlock>,
+}
+
+impl FusionPlan {
+    /// Register size of the planned circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Gate count of the planned circuit (global phases included).
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Number of planned blocks (the fused op count before identity blocks
+    /// are dropped at emission).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Emits the fused circuit for `circuit` under this plan: every block is
+    /// numerically classified into its cheapest kernel against the circuit's
+    /// *current* gate angles.
+    ///
+    /// `circuit` must be structurally identical to the circuit the plan was
+    /// computed from (same gate kinds on the same qubits, in the same order);
+    /// only the continuous angles may differ. Violating this yields a
+    /// nonsense fusion, so the gate count is asserted as a cheap guard.
+    pub fn emit(&self, circuit: &Circuit) -> FusedCircuit {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "plan/circuit register mismatch"
+        );
+        assert_eq!(
+            circuit.len(),
+            self.num_gates,
+            "plan/circuit gate count mismatch"
+        );
+        let gates = circuit.gates();
+        let global_phase = gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::GlobalPhase(t) => Some(*t),
+                _ => None,
+            })
+            .sum();
+        let ops = self
+            .blocks
+            .iter()
+            .filter_map(|b| emit_block(b, gates))
+            .collect();
+        FusedCircuit {
+            num_qubits: self.num_qubits,
+            source_gates: self.num_gates,
+            global_phase,
+            ops,
+        }
+    }
 }
 
 fn sorted_support(gate: &Gate) -> Vec<usize> {
@@ -578,19 +654,19 @@ fn merge_support(a: &mut Vec<usize>, b: &[usize]) {
     }
 }
 
-/// Runs the fusion pass over a circuit.
-pub fn fuse(circuit: &Circuit, opts: &FusionOptions) -> FusedCircuit {
+/// Computes the structural fusion plan of a circuit (the greedy merge scan),
+/// without emitting any kernel. See [`FusionPlan`].
+pub fn plan_fusion(circuit: &Circuit, opts: &FusionOptions) -> FusionPlan {
     let dense_limit = opts.dense_limit();
     let diag_limit = opts.diagonal_limit();
 
-    let mut blocks: Vec<Block> = Vec::new();
+    let mut blocks: Vec<PlanBlock> = Vec::new();
     // Latest block index touching each qubit.
     let mut last_block: HashMap<usize, usize> = HashMap::new();
-    let mut global_phase = 0.0f64;
 
-    for gate in circuit.gates() {
-        if let Gate::GlobalPhase(t) = gate {
-            global_phase += t;
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        if matches!(gate, Gate::GlobalPhase(_)) {
+            // Accumulated at emission time straight from the gate list.
             continue;
         }
         let gq = sorted_support(gate);
@@ -605,35 +681,32 @@ pub fn fuse(circuit: &Circuit, opts: &FusionOptions) -> FusedCircuit {
         // gate's qubits (all later blocks are support-disjoint from it).
         let target = gq.iter().filter_map(|q| last_block.get(q).copied()).max();
 
-        let try_merge = |blocks: &mut Vec<Block>,
+        let try_merge = |blocks: &mut Vec<PlanBlock>,
                          last_block: &mut HashMap<usize, usize>,
                          ti: usize,
                          require_diagonal: bool|
          -> bool {
             let block = &mut blocks[ti];
-            if let BlockKind::Fusible {
-                gates,
-                diagonal_only,
-            } = &mut block.kind
-            {
-                if require_diagonal && !*diagonal_only {
-                    return false;
+            if block.passthrough {
+                return false;
+            }
+            if require_diagonal && !block.diagonal_only {
+                return false;
+            }
+            let union = union_size(&block.support, &gq);
+            let fits = if block.diagonal_only && diag {
+                union <= diag_limit
+            } else {
+                union <= dense_limit
+            };
+            if fits {
+                block.gates.push(gi);
+                block.diagonal_only = block.diagonal_only && diag;
+                merge_support(&mut block.support, &gq);
+                for q in &gq {
+                    last_block.insert(*q, ti);
                 }
-                let union = union_size(&block.support, &gq);
-                let fits = if *diagonal_only && diag {
-                    union <= diag_limit
-                } else {
-                    union <= dense_limit
-                };
-                if fits {
-                    gates.push(gate.clone());
-                    *diagonal_only = *diagonal_only && diag;
-                    merge_support(&mut block.support, &gq);
-                    for q in &gq {
-                        last_block.insert(*q, ti);
-                    }
-                    return true;
-                }
+                return true;
             }
             false
         };
@@ -656,121 +729,119 @@ pub fn fuse(circuit: &Circuit, opts: &FusionOptions) -> FusedCircuit {
             }
         }
         if !merged {
-            let kind = if fusible_alone {
-                BlockKind::Fusible {
-                    gates: vec![gate.clone()],
-                    diagonal_only: diag,
-                }
-            } else {
-                BlockKind::Passthrough(gate.clone())
-            };
             let idx = blocks.len();
             for q in &gq {
                 last_block.insert(*q, idx);
             }
-            blocks.push(Block { support: gq, kind });
+            blocks.push(PlanBlock {
+                support: gq,
+                gates: vec![gi],
+                diagonal_only: diag,
+                passthrough: !fusible_alone,
+            });
         }
     }
 
-    let ops: Vec<FusedOp> = blocks.into_iter().filter_map(emit_block).collect();
-    FusedCircuit {
+    FusionPlan {
         num_qubits: circuit.num_qubits(),
-        source_gates: circuit.len(),
-        global_phase,
-        ops,
+        num_gates: circuit.len(),
+        blocks,
     }
 }
 
-/// Classifies one block into its cheapest kernel. Returns `None` for blocks
-/// that reduce to the identity.
-fn emit_block(block: Block) -> Option<FusedOp> {
-    let support = block.support;
-    match block.kind {
-        BlockKind::Passthrough(gate) => Some(FusedOp {
+/// Runs the fusion pass over a circuit: structural plan followed by numeric
+/// kernel emission (see [`plan_fusion`] and [`FusionPlan::emit`]).
+pub fn fuse(circuit: &Circuit, opts: &FusionOptions) -> FusedCircuit {
+    plan_fusion(circuit, opts).emit(circuit)
+}
+
+/// Classifies one planned block into its cheapest kernel against the source
+/// gate list. Returns `None` for blocks that reduce to the identity.
+fn emit_block(block: &PlanBlock, all_gates: &[Gate]) -> Option<FusedOp> {
+    let support = block.support.clone();
+    let gates = block.gates.iter().map(|&gi| &all_gates[gi]);
+    if block.passthrough {
+        let gate = block.gates.first().map(|&gi| all_gates[gi].clone())?;
+        return Some(FusedOp {
             qubits: support,
             kernel: FusedKernel::Gate(gate),
-        }),
-        BlockKind::Fusible {
-            gates,
-            diagonal_only,
-        } => {
-            if diagonal_only {
-                let mut table = vec![Complex64::ONE; 1usize << support.len()];
-                for g in &gates {
-                    accumulate_diagonal(g, &support, &mut table);
-                }
-                if is_identity_diag(&table) {
-                    return None;
-                }
-                return Some(FusedOp {
-                    qubits: support,
-                    kernel: FusedKernel::Diagonal(table),
-                });
-            }
-            // Shortcut: a lone controlled single-qubit gate needs no dense
-            // block at all.
-            if gates.len() == 1 {
-                if let GateAction::Controlled {
+        });
+    }
+    if block.diagonal_only {
+        let mut table = vec![Complex64::ONE; 1usize << support.len()];
+        for g in gates {
+            accumulate_diagonal(g, &support, &mut table);
+        }
+        if is_identity_diag(&table) {
+            return None;
+        }
+        return Some(FusedOp {
+            qubits: support,
+            kernel: FusedKernel::Diagonal(table),
+        });
+    }
+    // Shortcut: a lone controlled single-qubit gate needs no dense block at
+    // all.
+    if block.gates.len() == 1 {
+        if let GateAction::Controlled {
+            controls,
+            target,
+            u,
+        } = gate_action(&all_gates[block.gates[0]])
+        {
+            return Some(FusedOp {
+                qubits: vec![target],
+                kernel: FusedKernel::Dense {
                     controls,
-                    target,
-                    u,
-                } = gate_action(&gates[0])
-                {
-                    return Some(FusedOp {
-                        qubits: vec![target],
-                        kernel: FusedKernel::Dense {
-                            controls,
-                            matrix: u,
-                        },
-                    });
-                }
-            }
-            let dim = 1usize << support.len();
-            let mut m = CMatrix::identity(dim);
-            for g in &gates {
-                m = local_matrix(g, &support).matmul(&m);
-            }
-            if let Some(table) = try_diagonal(&m) {
-                if is_identity_diag(&table) {
-                    return None;
-                }
-                return Some(FusedOp {
-                    qubits: support,
-                    kernel: FusedKernel::Diagonal(table),
-                });
-            }
-            if let Some((targets, phases)) = try_permutation(&m) {
-                return Some(FusedOp {
-                    qubits: support,
-                    kernel: FusedKernel::Permutation { targets, phases },
-                });
-            }
-            let components = sparse_components(&m);
-            if components.is_empty() {
-                return None; // exact identity
-            }
-            // Sparse pays off when the component blocks are markedly
-            // smaller than the full matrix; otherwise the dense gather
-            // kernel has less bookkeeping.
-            let work: usize = components
-                .iter()
-                .map(|c| c.indices.len() * c.indices.len())
-                .sum();
-            if work * 2 > dim * dim {
-                return Some(FusedOp {
-                    qubits: support,
-                    kernel: FusedKernel::Dense {
-                        controls: vec![],
-                        matrix: m,
-                    },
-                });
-            }
-            Some(FusedOp {
-                qubits: support,
-                kernel: FusedKernel::Sparse { components },
-            })
+                    matrix: u,
+                },
+            });
         }
     }
+    let dim = 1usize << support.len();
+    let mut m = CMatrix::identity(dim);
+    for g in gates {
+        m = local_matrix(g, &support).matmul(&m);
+    }
+    if let Some(table) = try_diagonal(&m) {
+        if is_identity_diag(&table) {
+            return None;
+        }
+        return Some(FusedOp {
+            qubits: support,
+            kernel: FusedKernel::Diagonal(table),
+        });
+    }
+    if let Some((targets, phases)) = try_permutation(&m) {
+        return Some(FusedOp {
+            qubits: support,
+            kernel: FusedKernel::Permutation { targets, phases },
+        });
+    }
+    let components = sparse_components(&m);
+    if components.is_empty() {
+        return None; // exact identity
+    }
+    // Sparse pays off when the component blocks are markedly smaller than
+    // the full matrix; otherwise the dense gather kernel has less
+    // bookkeeping.
+    let work: usize = components
+        .iter()
+        .map(|c| c.indices.len() * c.indices.len())
+        .sum();
+    if work * 2 > dim * dim {
+        return Some(FusedOp {
+            qubits: support,
+            kernel: FusedKernel::Dense {
+                controls: vec![],
+                matrix: m,
+            },
+        });
+    }
+    Some(FusedOp {
+        qubits: support,
+        kernel: FusedKernel::Sparse { components },
+    })
 }
 
 #[cfg(test)]
@@ -896,6 +967,48 @@ mod tests {
         // reordered before CX(2,3).
         assert!(f.ops().len() >= 2);
         assert_eq!(f.source_gates(), 3);
+    }
+
+    #[test]
+    fn plan_emit_equals_direct_fusion() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, 0.2)
+            .cx(0, 1)
+            .h(0)
+            .cp(2, 3, 0.4)
+            .global_phase(0.3)
+            .mcry(vec![ControlBit::one(0)], 3, 0.9);
+        let plan = c.fusion_plan();
+        assert_eq!(plan.emit(&c), c.fused());
+        assert_eq!(plan.num_gates(), c.len());
+        assert_eq!(plan.num_qubits(), 4);
+    }
+
+    #[test]
+    fn plan_survives_angle_rebinding() {
+        // Same structure, different angles: the cached plan must emit exactly
+        // what a fresh fusion of the rebound circuit would.
+        let build = |a: f64, b: f64| {
+            let mut c = Circuit::new(3);
+            c.h(0).cx(0, 1).rz(1, a).cx(0, 1).ry(2, b).cz(1, 2);
+            c
+        };
+        let plan = build(0.1, -0.4).fusion_plan();
+        let rebound = build(1.3, 0.8);
+        assert_eq!(plan.emit(&rebound), rebound.fused());
+        assert!(plan.num_blocks() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate count")]
+    fn plan_rejects_structurally_different_circuit() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0);
+        let _ = a.fusion_plan().emit(&b);
     }
 
     #[test]

@@ -274,6 +274,45 @@ impl Gate {
         )
     }
 
+    /// The continuous angle carried by the gate, when it has one. This is
+    /// the slot the parameterized-circuit IR rebinds: every gate for which
+    /// [`Gate::is_parametrised`] holds returns `Some`.
+    pub fn angle(&self) -> Option<f64> {
+        match self {
+            Gate::Phase { theta, .. }
+            | Gate::Rx { theta, .. }
+            | Gate::Ry { theta, .. }
+            | Gate::Rz { theta, .. }
+            | Gate::KeyedPhase { theta, .. }
+            | Gate::McRx { theta, .. }
+            | Gate::McRy { theta, .. }
+            | Gate::McRz { theta, .. }
+            | Gate::GlobalPhase(theta) => Some(*theta),
+            _ => None,
+        }
+    }
+
+    /// Overwrites the gate's continuous angle **in place**, leaving its
+    /// structure (qubits, controls, keys) untouched — the rebinding
+    /// primitive of `ParameterizedCircuit::bind_into`.
+    ///
+    /// # Panics
+    /// Panics when the gate carries no angle (see [`Gate::angle`]).
+    pub fn set_angle(&mut self, value: f64) {
+        match self {
+            Gate::Phase { theta, .. }
+            | Gate::Rx { theta, .. }
+            | Gate::Ry { theta, .. }
+            | Gate::Rz { theta, .. }
+            | Gate::KeyedPhase { theta, .. }
+            | Gate::McRx { theta, .. }
+            | Gate::McRy { theta, .. }
+            | Gate::McRz { theta, .. }
+            | Gate::GlobalPhase(theta) => *theta = value,
+            other => panic!("gate {other} carries no rebindable angle"),
+        }
+    }
+
     /// Hermitian conjugate (inverse) of the gate.
     pub fn dagger(&self) -> Gate {
         match self {

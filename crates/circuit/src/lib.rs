@@ -5,8 +5,11 @@
 //! multi-controls and keyed phases (the natural image of the paper's `n`/`m`
 //! operator family), circuit construction and resource metrics, the linear
 //! and pyramidal CX ladders of Figs. 2/3/25, an exact ancilla-free
-//! decomposition pass to the `{1-qubit, CX}` basis, and the analytic
-//! Barenco-style cost models the paper quotes for its comparisons.
+//! decomposition pass to the `{1-qubit, CX}` basis, the analytic
+//! Barenco-style cost models the paper quotes for its comparisons, the gate
+//! fusion pass (structural [`FusionPlan`] + numeric emission), and the
+//! [`ParameterizedCircuit`] template IR for variational workloads
+//! (in-place angle rebinding, fusion-plan reuse across bindings).
 
 #![warn(missing_docs)]
 
@@ -16,13 +19,16 @@ pub mod decompose;
 pub mod fusion;
 pub mod gate;
 pub mod ladder;
+pub mod param;
 pub mod qft;
 
 pub use circuit::{Circuit, ResourceCounts};
 pub use decompose::{decompose_to_cx_basis, decomposed_two_qubit_count, NativeBasis};
 pub use fusion::{
-    fuse, FusedCircuit, FusedKernel, FusedOp, FusionOptions, SparseComponent, MAX_DENSE_QUBITS,
+    fuse, plan_fusion, FusedCircuit, FusedKernel, FusedOp, FusionOptions, FusionPlan,
+    SparseComponent, MAX_DENSE_QUBITS,
 };
 pub use gate::{matrices, ControlBit, Gate, GateKind};
 pub use ladder::{parity_ladder, transition_ladder, LadderStyle, ParityLadder, TransitionLadder};
+pub use param::{Binding, ParamExpr, ParameterizedCircuit};
 pub use qft::{inverse_qft, qft};

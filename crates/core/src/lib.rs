@@ -22,10 +22,14 @@ pub mod compare;
 pub mod dilation;
 pub mod direct;
 pub mod measurement;
+pub mod optimize;
 pub mod trotter;
 pub mod usual;
 
-pub use backend::{backend_by_name, Backend, FusedStatevector, PauliNoise, ReferenceStatevector};
+pub use backend::{
+    backend_by_name, parameter_shift_gradient, Backend, FusedStatevector, PauliNoise,
+    ReferenceStatevector,
+};
 pub use block_encoding::{
     block_encode_hamiltonian, block_encode_lcu, block_encode_term, term_lcu,
     term_lcu_unitary_count, BlockEncoding, LcuUnitary, TransitionX,
@@ -36,6 +40,7 @@ pub use direct::{
     direct_hamiltonian_slice, direct_term_circuit, ComplexCoefficientMode, DirectOptions,
 };
 pub use measurement::TermMeasurement;
+pub use optimize::{minimize_adam, AdamOptions, OptimizeResult};
 pub use trotter::{
     direct_product_formula, mpf_state, mpf_state_error, mpf_state_with, product_formula_circuit,
     qdrift_circuit, richardson_weights, state_error, state_error_with, unitary_error,

@@ -33,6 +33,6 @@ pub use problem::{
     random_sparse_hubo, HuboProblem, IsingProblem,
 };
 pub use qaoa::{
-    optimize_qaoa, qaoa_circuit, qaoa_energy, qaoa_energy_grouped, qaoa_energy_with, qaoa_sample,
-    QaoaParameters, QaoaResult, SeparatorStrategy,
+    optimize_qaoa, qaoa_circuit, qaoa_energy, qaoa_energy_grouped, qaoa_energy_with,
+    qaoa_parameterized, qaoa_sample, QaoaParameters, QaoaResult, SeparatorStrategy,
 };

@@ -47,7 +47,7 @@
 
 use crate::state::{parallel_threshold, StateVector};
 use ghs_math::Complex64;
-use ghs_operators::{PauliOp, PauliSum};
+use ghs_operators::{PauliOp, PauliString, PauliSum};
 use rayon::prelude::*;
 use std::sync::OnceLock;
 
@@ -275,6 +275,96 @@ impl GroupedPauliSum {
             }
         }
         acc
+    }
+
+    /// Applies the sum to raw amplitudes, matrix-free: returns `H·ψ`.
+    ///
+    /// This is the observable-application primitive of the adjoint gradient
+    /// engine (`λ = H|ψ⟩` seeds the reverse sweep, see
+    /// [`crate::gradient::adjoint_gradient`]). Each output amplitude is
+    /// assembled independently from the string masks —
+    /// `P|j⟩ = i^{#Y}·(−1)^{popcount(j ∧ z)}·|j ⊕ x⟩` — so the sweep
+    /// parallelizes over output chunks with bit-identical results across
+    /// thread counts (no cross-chunk accumulation exists to reorder).
+    ///
+    /// # Panics
+    /// Panics when `amps.len() != 2^n` for the sum's register size.
+    pub fn apply(&self, amps: &[Complex64]) -> Vec<Complex64> {
+        self.apply_with_threshold(amps, parallel_threshold())
+    }
+
+    /// [`GroupedPauliSum::apply`] with an explicit parallel threshold, for
+    /// the determinism regression tests (mirrors
+    /// [`GroupedPauliSum::expectation_with_threshold`]).
+    pub fn apply_with_threshold(&self, amps: &[Complex64], threshold: usize) -> Vec<Complex64> {
+        assert_eq!(
+            amps.len(),
+            1usize << self.num_qubits,
+            "amplitude count does not match the observable's register"
+        );
+        // Fold each flip string's constant i^{#Y} phase into its coefficient
+        // once, outside the sweep.
+        struct ApplyGroup {
+            x_mask: usize,
+            terms: Vec<(usize, Complex64)>, // (z_mask, coeff·i^{#Y})
+        }
+        let groups: Vec<ApplyGroup> = self
+            .flips
+            .iter()
+            .map(|g| ApplyGroup {
+                x_mask: g.x_mask,
+                terms: g
+                    .terms
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.z_mask,
+                            t.coeff * PauliString::mask_phase(g.x_mask, t.z_mask),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let diagonal = &self.diagonal;
+        let mut out = vec![Complex64::ZERO; amps.len()];
+        let kernel = |base: usize, chunk: &mut [Complex64]| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                let i = base + k;
+                let mut acc = Complex64::ZERO;
+                let ai = amps[i];
+                for t in diagonal {
+                    let v = t.coeff * ai;
+                    acc += if (i & t.z_mask).count_ones() & 1 == 1 {
+                        -v
+                    } else {
+                        v
+                    };
+                }
+                for g in &groups {
+                    let j = i ^ g.x_mask;
+                    let aj = amps[j];
+                    for &(z_mask, coeff) in &g.terms {
+                        let v = coeff * aj;
+                        acc += if (j & z_mask).count_ones() & 1 == 1 {
+                            -v
+                        } else {
+                            v
+                        };
+                    }
+                }
+                *o = acc;
+            }
+        };
+        if amps.len() >= threshold && amps.len() > EXP_CHUNK {
+            out.par_chunks_mut(EXP_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| kernel(ci * EXP_CHUNK, chunk));
+        } else {
+            for (ci, chunk) in out.chunks_mut(EXP_CHUNK).enumerate() {
+                kernel(ci * EXP_CHUNK, chunk);
+            }
+        }
+        out
     }
 }
 
@@ -517,6 +607,56 @@ mod tests {
         let grouped = GroupedPauliSum::new(&sum);
         assert_eq!(grouped.num_settings(), 3);
         assert_eq!(grouped.num_terms(), 5);
+    }
+
+    #[test]
+    fn apply_matches_sparse_matvec_oracle() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let state = StateVector::random_state(5, &mut rng);
+        let sum = sum_of(
+            5,
+            &[
+                (0.7, "ZIZII"),
+                (-0.4, "IIIII"),
+                (0.9, "XXIII"),
+                (0.35, "YYIII"),
+                (-0.6, "XYZII"),
+                (0.25, "IZYXI"),
+                (0.5, "IIIYZ"),
+            ],
+        );
+        let grouped = GroupedPauliSum::new(&sum);
+        let fast = grouped.apply(state.amplitudes());
+        let oracle = sum.sparse_matrix().matvec(state.amplitudes());
+        for (f, o) in fast.iter().zip(&oracle) {
+            assert!((*f - *o).abs() < 1e-12, "{f} vs {o}");
+        }
+        // ⟨ψ|H|ψ⟩ through apply agrees with the expectation sweep.
+        let via_apply = ghs_math::vec_inner(state.amplitudes(), &fast);
+        let direct = grouped.expectation(state.amplitudes());
+        assert!((via_apply - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let state = StateVector::random_state(13, &mut rng);
+        let sum = sum_of(
+            13,
+            &[
+                (0.8, "ZZIIIIIIIIIII"),
+                (0.5, "XXIIIIIIIIIII"),
+                (-0.7, "XIIIIIIIIIIIX"),
+                (0.2, "YIYIIIIIIIIII"),
+            ],
+        );
+        let grouped = GroupedPauliSum::new(&sum);
+        let serial = grouped.apply_with_threshold(state.amplitudes(), usize::MAX);
+        let parallel = grouped.apply_with_threshold(state.amplitudes(), 0);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.re.to_bits(), p.re.to_bits());
+            assert_eq!(s.im.to_bits(), p.im.to_bits());
+        }
     }
 
     #[test]

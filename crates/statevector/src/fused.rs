@@ -43,8 +43,10 @@ const MAX_BLOCK_DIM: usize = 1 << ghs_circuit::MAX_DENSE_QUBITS;
 const MIN_CHUNK: usize = 1 << 12;
 
 /// State dimension below which [`StateVector::run_fused`] falls back to the
-/// per-gate path: fusing costs more than it saves on tiny registers.
-const FUSED_MIN_DIM: usize = 1 << 10;
+/// per-gate path: fusing costs more than it saves on tiny registers. Shared
+/// with the adjoint gradient engine, whose forward sweep makes the same
+/// crossover choice.
+pub(crate) const FUSED_MIN_DIM: usize = 1 << 10;
 
 /// Calls `f(s)` for every `s` whose set bits lie inside `mask` (including
 /// `0`), in increasing order.

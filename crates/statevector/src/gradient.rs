@@ -1,0 +1,444 @@
+//! Adjoint-mode gradients of expectation values of parameterized circuits.
+//!
+//! For a variational energy `E(θ) = ⟨0|U(θ)† H U(θ)|0⟩` with `P` parameters,
+//! the parameter-shift rule costs **two to four full circuit simulations per
+//! bound gate** — `O(P)` forward executions per gradient. The adjoint method
+//! (Jones–Gacon) computes *every* component of `∇E` from **one forward sweep
+//! and one reverse sweep**:
+//!
+//! 1. forward: `|ψ⟩ = U(θ)|0⟩` (through the fused engine, reusing the
+//!    template's cached fusion plan across bindings);
+//! 2. seed: `|λ⟩ = H|ψ⟩`, applied matrix-free from the observable's Pauli
+//!    masks ([`GroupedPauliSum::apply`]); the energy `Re⟨ψ|λ⟩` falls out for
+//!    free;
+//! 3. reverse: walk the gates last-to-first, applying each dagger to **both**
+//!    states; at every bound gate `k` the component is one inner product
+//!    `∂E/∂θ_k = 2·Re⟨λ_k| G_k |ψ_k⟩` with `G_k` the gate's generator
+//!    (`−i/2·σ` for rotations, `i·|key⟩⟨key|` for phases, restricted to the
+//!    control subspace for controlled rotations).
+//!
+//! Every generator inner product is a single masked amplitude sweep — no
+//! generator matrix is ever materialized — accumulated over fixed-size
+//! chunks whose partial sums combine in chunk order, so gradients are
+//! **bit-identical across thread counts** (the same determinism contract as
+//! [`crate::expectation`]). The reverse sweep stops at the earliest bound
+//! gate: a fixed state-preparation prefix (Hartree–Fock `X` layer, the QAOA
+//! `H` wall) is never undone.
+//!
+//! Total cost: one fused forward run, one observable application, and two
+//! per-gate backward runs plus `O(P)` sweeps — independent of the parameter
+//! count's `2P`-simulation blowup, which is what the CI perf gate's
+//! ≥5× adjoint-vs-shift floors measure.
+//!
+//! ```
+//! use ghs_circuit::ParameterizedCircuit;
+//! use ghs_math::c64;
+//! use ghs_operators::{PauliString, PauliSum};
+//! use ghs_statevector::{adjoint_gradient, GroupedPauliSum, StateVector};
+//!
+//! // E(θ) = ⟨0|RY(θ)† Z RY(θ)|0⟩ = cos θ, so dE/dθ = −sin θ.
+//! let mut pc = ParameterizedCircuit::new(1, 1);
+//! pc.ry_p(0, 0, 1.0);
+//! let mut sum = PauliSum::zero(1);
+//! sum.push(c64(1.0, 0.0), PauliString::parse("Z").unwrap());
+//! let observable = GroupedPauliSum::new(&sum);
+//! let theta = 0.6f64;
+//! let g = adjoint_gradient(&StateVector::zero_state(1), &pc, &[theta], &observable);
+//! assert!((g.energy - theta.cos()).abs() < 1e-12);
+//! assert!((g.gradient[0] + theta.sin()).abs() < 1e-12);
+//! ```
+
+use crate::expectation::GroupedPauliSum;
+use crate::fused::FUSED_MIN_DIM;
+use crate::state::{control_mask, parallel_threshold, StateVector};
+use ghs_circuit::{Circuit, ControlBit, Gate, ParameterizedCircuit};
+use ghs_math::{c64, Complex64};
+use rayon::prelude::*;
+
+/// Amplitudes per deterministic partial-sum chunk of the generator inner
+/// products (same contract as the expectation engine's chunking).
+const GRAD_CHUNK: usize = 1 << 10;
+
+/// Energy and full parameter gradient of one adjoint evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GradientResult {
+    /// `⟨ψ(θ)|H|ψ(θ)⟩` (no constant offsets; add the model's separately).
+    pub energy: f64,
+    /// `∂E/∂params[k]` for every parameter, chain rule through each
+    /// binding's affine scale included.
+    pub gradient: Vec<f64>,
+}
+
+/// Computes energy and gradient by the adjoint method (see the module docs).
+///
+/// `initial` is the state the circuit is applied to (usually
+/// `StateVector::zero_state`); `observable` must be Hermitian for the
+/// returned quantities to be the real energy and its true gradient.
+///
+/// # Panics
+/// Panics on register/parameter-count mismatches between the arguments.
+pub fn adjoint_gradient(
+    initial: &StateVector,
+    circuit: &ParameterizedCircuit,
+    params: &[f64],
+    observable: &GroupedPauliSum,
+) -> GradientResult {
+    let mut scratch = Circuit::new(0);
+    adjoint_gradient_into(initial, circuit, params, observable, &mut scratch)
+}
+
+/// [`adjoint_gradient`] with a caller-owned scratch circuit: across an
+/// optimization loop the template is cloned once and every later evaluation
+/// only rebinds angles in place (see `ParameterizedCircuit::bind_into`).
+pub fn adjoint_gradient_into(
+    initial: &StateVector,
+    circuit: &ParameterizedCircuit,
+    params: &[f64],
+    observable: &GroupedPauliSum,
+    scratch: &mut Circuit,
+) -> GradientResult {
+    assert_eq!(
+        initial.num_qubits(),
+        circuit.num_qubits(),
+        "state/circuit register mismatch"
+    );
+    assert_eq!(
+        observable.num_qubits(),
+        circuit.num_qubits(),
+        "observable/circuit register mismatch"
+    );
+    circuit.bind_into(params, scratch);
+
+    // Forward sweep: |ψ⟩ = U(θ)|initial⟩, reusing the template's cached
+    // fusion plan (the greedy merge scan never re-runs across bindings).
+    let mut psi = initial.clone();
+    if psi.dim() >= FUSED_MIN_DIM {
+        psi.apply_fused(&circuit.fusion_plan().emit(scratch));
+    } else {
+        psi.apply_circuit(scratch);
+    }
+
+    // Seed: |λ⟩ = H|ψ⟩, matrix-free; the energy is Re⟨ψ|λ⟩.
+    let mut lam =
+        StateVector::from_amplitudes(psi.num_qubits(), observable.apply(psi.amplitudes()));
+    let energy = ghs_math::vec_inner(psi.amplitudes(), lam.amplitudes()).re;
+
+    let mut gradient = vec![0.0f64; circuit.num_params()];
+    let bindings = circuit.bindings();
+    let Some(first_bound) = bindings.first().map(|b| b.gate) else {
+        return GradientResult { energy, gradient };
+    };
+    let mut bound_of: Vec<Option<(usize, f64)>> = vec![None; scratch.len()];
+    for b in bindings {
+        bound_of[b.gate] = Some((b.expr.param, b.expr.scale));
+    }
+
+    // Reverse sweep. Loop invariant at the top of iteration k:
+    // ψ = U_k…U_1|initial⟩ and λ = U_{k+1}†…U_G† H U|initial⟩, so the
+    // bound-gate contribution is ∂E/∂θ_k = 2·Re⟨λ|G_k|ψ⟩.
+    for k in (first_bound..scratch.len()).rev() {
+        let gate = scratch.gates()[k].clone();
+        if let Some((param, scale)) = bound_of[k] {
+            let g = generator_inner(&lam, &psi, &gate);
+            gradient[param] += 2.0 * scale * g.re;
+        }
+        if k == first_bound {
+            // Everything earlier is a fixed prefix: no more bound gates, and
+            // ⟨λ|G|ψ⟩ is invariant under undoing shared unitaries anyway.
+            break;
+        }
+        let dg = gate.dagger();
+        psi.apply_gate(&dg);
+        lam.apply_gate(&dg);
+    }
+    GradientResult { energy, gradient }
+}
+
+/// `⟨λ| G |ψ⟩` for the generator `G = dU/dθ · U†` of one parameterized gate,
+/// computed in a single masked amplitude sweep (see the module docs for the
+/// per-gate generator forms).
+///
+/// # Panics
+/// Panics when the gate carries no angle (nothing to differentiate).
+pub fn generator_inner(lam: &StateVector, psi: &StateVector, gate: &Gate) -> Complex64 {
+    assert_eq!(lam.num_qubits(), psi.num_qubits());
+    let n = psi.num_qubits();
+    match gate {
+        // G = i·I: the energy is phase-invariant, so 2·Re of this is 0, but
+        // the inner product itself is still well-defined.
+        Gate::GlobalPhase(_) => {
+            Complex64::I * ghs_math::vec_inner(lam.amplitudes(), psi.amplitudes())
+        }
+        // G = i·|key⟩⟨key| (diagonal projector).
+        Gate::Phase { qubit, .. } => projector_inner(lam, psi, &[ControlBit::one(*qubit)], n),
+        Gate::KeyedPhase { key, .. } => projector_inner(lam, psi, key, n),
+        // G = P_controls ⊗ (−i/2)·σ on the target.
+        Gate::Rz { qubit, .. } => pauli_inner(lam, psi, &[], *qubit, n, PauliAxis::Z),
+        Gate::Rx { qubit, .. } => pauli_inner(lam, psi, &[], *qubit, n, PauliAxis::X),
+        Gate::Ry { qubit, .. } => pauli_inner(lam, psi, &[], *qubit, n, PauliAxis::Y),
+        Gate::McRz {
+            controls, target, ..
+        } => pauli_inner(lam, psi, controls, *target, n, PauliAxis::Z),
+        Gate::McRx {
+            controls, target, ..
+        } => pauli_inner(lam, psi, controls, *target, n, PauliAxis::X),
+        Gate::McRy {
+            controls, target, ..
+        } => pauli_inner(lam, psi, controls, *target, n, PauliAxis::Y),
+        other => panic!("gate {other} has no differentiable angle"),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PauliAxis {
+    X,
+    Y,
+    Z,
+}
+
+/// `i·Σ_{j ⊨ key} conj(λ_j)·ψ_j` — the keyed-projector generator.
+fn projector_inner(
+    lam: &StateVector,
+    psi: &StateVector,
+    key: &[ControlBit],
+    n: usize,
+) -> Complex64 {
+    let (mask, value) = control_mask(key, n);
+    let (l, p) = (lam.amplitudes(), psi.amplitudes());
+    let sum = chunked_sum(l.len(), |j| {
+        if j & mask == value {
+            l[j].conj() * p[j]
+        } else {
+            Complex64::ZERO
+        }
+    });
+    Complex64::I * sum
+}
+
+/// `⟨λ| P_controls ⊗ (−i/2)·σ_axis |ψ⟩` in one gather sweep.
+fn pauli_inner(
+    lam: &StateVector,
+    psi: &StateVector,
+    controls: &[ControlBit],
+    target: usize,
+    n: usize,
+    axis: PauliAxis,
+) -> Complex64 {
+    let (mask, value) = control_mask(controls, n);
+    let tbit = 1usize << (n - 1 - target);
+    let (l, p) = (lam.amplitudes(), psi.amplitudes());
+    let sum = match axis {
+        PauliAxis::Z => chunked_sum(l.len(), |j| {
+            if j & mask != value {
+                return Complex64::ZERO;
+            }
+            let w = l[j].conj() * p[j];
+            if j & tbit != 0 {
+                -w
+            } else {
+                w
+            }
+        }),
+        PauliAxis::X => chunked_sum(l.len(), |j| {
+            if j & mask != value {
+                return Complex64::ZERO;
+            }
+            l[j].conj() * p[j ^ tbit]
+        }),
+        PauliAxis::Y => chunked_sum(l.len(), |j| {
+            if j & mask != value {
+                return Complex64::ZERO;
+            }
+            let w = l[j].conj() * p[j ^ tbit];
+            if j & tbit != 0 {
+                w
+            } else {
+                -w
+            }
+        }),
+    };
+    match axis {
+        // (−i/2)·(±i ψ') already folded into the ± sign above: Y's sum
+        // carries a real 1/2.
+        PauliAxis::Y => sum.scale(0.5),
+        _ => c64(0.0, -0.5) * sum,
+    }
+}
+
+/// Deterministic chunked complex reduction: partial sums over fixed
+/// [`GRAD_CHUNK`] index blocks, combined in chunk order whether or not the
+/// blocks ran in parallel.
+fn chunked_sum<F>(dim: usize, term: F) -> Complex64
+where
+    F: Fn(usize) -> Complex64 + Sync,
+{
+    if dim == 0 {
+        return Complex64::ZERO;
+    }
+    let num_chunks = dim.div_ceil(GRAD_CHUNK);
+    let chunk_sum = |ci: usize| {
+        let base = ci * GRAD_CHUNK;
+        let end = (base + GRAD_CHUNK).min(dim);
+        let mut acc = Complex64::ZERO;
+        for j in base..end {
+            acc += term(j);
+        }
+        acc
+    };
+    if dim >= parallel_threshold() && num_chunks > 1 {
+        let mut partials = vec![Complex64::ZERO; num_chunks];
+        partials
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(ci, out)| *out = chunk_sum(ci));
+        partials.into_iter().sum()
+    } else {
+        (0..num_chunks).map(chunk_sum).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use ghs_operators::{PauliString, PauliSum};
+
+    fn z_observable(n: usize, qubit: usize) -> GroupedPauliSum {
+        let mut ops = vec!["I"; n];
+        ops[qubit] = "Z";
+        let mut sum = PauliSum::zero(n);
+        sum.push(c64(1.0, 0.0), PauliString::parse(&ops.concat()).unwrap());
+        GroupedPauliSum::new(&sum)
+    }
+
+    fn finite_difference(
+        pc: &ParameterizedCircuit,
+        params: &[f64],
+        observable: &GroupedPauliSum,
+        h: f64,
+    ) -> Vec<f64> {
+        let zero = StateVector::zero_state(pc.num_qubits());
+        let energy = |p: &[f64]| {
+            let mut s = zero.clone();
+            s.run_fused(&pc.bind(p));
+            s.expectation_grouped(observable).re
+        };
+        (0..params.len())
+            .map(|k| {
+                let mut plus = params.to_vec();
+                plus[k] += h;
+                let mut minus = params.to_vec();
+                minus[k] -= h;
+                (energy(&plus) - energy(&minus)) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_ry_has_analytic_gradient() {
+        let mut pc = ParameterizedCircuit::new(1, 1);
+        pc.ry_p(0, 0, 1.0);
+        let obs = z_observable(1, 0);
+        for theta in [0.0, 0.3, -1.2, 2.9] {
+            let g = adjoint_gradient(&StateVector::zero_state(1), &pc, &[theta], &obs);
+            assert!((g.energy - theta.cos()).abs() < 1e-12);
+            assert!((g.gradient[0] + theta.sin()).abs() < 1e-12, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn scale_applies_the_chain_rule() {
+        // RY(−2θ): E = cos(2θ)... with scale −2 the angle is −2θ, so
+        // E = cos(−2θ) = cos 2θ and dE/dθ = −2 sin 2θ.
+        let mut pc = ParameterizedCircuit::new(1, 1);
+        pc.ry_p(0, 0, -2.0);
+        let obs = z_observable(1, 0);
+        let theta = 0.4f64;
+        let g = adjoint_gradient(&StateVector::zero_state(1), &pc, &[theta], &obs);
+        assert!((g.energy - (2.0 * theta).cos()).abs() < 1e-12);
+        assert!((g.gradient[0] + 2.0 * (2.0 * theta).sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_parameter_sums_contributions() {
+        // Two RY(θ) in sequence on one qubit: E = cos 2θ.
+        let mut pc = ParameterizedCircuit::new(1, 1);
+        pc.ry_p(0, 0, 1.0).ry_p(0, 0, 1.0);
+        let obs = z_observable(1, 0);
+        let theta = -0.7f64;
+        let g = adjoint_gradient(&StateVector::zero_state(1), &pc, &[theta], &obs);
+        assert!((g.energy - (2.0 * theta).cos()).abs() < 1e-12);
+        assert!((g.gradient[0] + 2.0 * (2.0 * theta).sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_gate_kind_matches_finite_differences() {
+        use ghs_circuit::ParamExpr;
+        let mut pc = ParameterizedCircuit::new(3, 6);
+        pc.h_fixed(0).h_fixed(1).h_fixed(2);
+        pc.rx_p(0, 0, 1.0)
+            .ry_p(1, 1, 0.8)
+            .rz_p(2, 2, -1.1)
+            .phase_p(0, 3, 0.9)
+            .keyed_phase_p(vec![ControlBit::one(0), ControlBit::zero(1)], 4, 1.0)
+            .mcrx_p(vec![ControlBit::one(1)], 2, 5, 0.7)
+            .mcry_p(vec![ControlBit::zero(2)], 0, 5, -0.6)
+            .mcrz_p(vec![ControlBit::one(0), ControlBit::one(1)], 2, 4, 1.2);
+        pc.push_bound(
+            Gate::Rz {
+                qubit: 1,
+                theta: 0.0,
+            },
+            ParamExpr {
+                param: 2,
+                scale: 0.5,
+                offset: 0.3,
+            },
+        );
+        let mut sum = PauliSum::zero(3);
+        sum.push(c64(0.6, 0.0), PauliString::parse("ZZI").unwrap());
+        sum.push(c64(-0.4, 0.0), PauliString::parse("XIY").unwrap());
+        sum.push(c64(0.3, 0.0), PauliString::parse("IXX").unwrap());
+        let obs = GroupedPauliSum::new(&sum);
+        let params = [0.37, -0.9, 0.51, 1.3, -0.45, 0.21];
+        let g = adjoint_gradient(&StateVector::zero_state(3), &pc, &params, &obs);
+        let fd = finite_difference(&pc, &params, &obs, 3e-5);
+        for (k, (a, f)) in g.gradient.iter().zip(&fd).enumerate() {
+            assert!((a - f).abs() < 1e-8, "component {k}: adjoint {a} vs fd {f}");
+        }
+    }
+
+    #[test]
+    fn random_circuits_match_finite_differences() {
+        for seed in 0..4u64 {
+            let n = 2 + (seed as usize % 3);
+            let pc = testkit::random_parameterized_circuit(n, 24, 4, seed);
+            let sum = testkit::random_pauli_sum(n, 5, testkit::PauliSumKind::Mixed, seed + 100);
+            let obs = GroupedPauliSum::new(&sum);
+            let params: Vec<f64> = (0..4).map(|k| 0.2 + 0.17 * k as f64).collect();
+            let g = adjoint_gradient(&StateVector::zero_state(n), &pc, &params, &obs);
+            let fd = finite_difference(&pc, &params, &obs, 3e-5);
+            for (k, (a, f)) in g.gradient.iter().zip(&fd).enumerate() {
+                assert!(
+                    (a - f).abs() < 1e-7,
+                    "seed {seed}, component {k}: adjoint {a} vs fd {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_changes_nothing() {
+        let pc = testkit::random_parameterized_circuit(4, 30, 3, 9);
+        let sum = testkit::random_pauli_sum(4, 6, testkit::PauliSumKind::Mixed, 9);
+        let obs = GroupedPauliSum::new(&sum);
+        let zero = StateVector::zero_state(4);
+        let mut scratch = Circuit::new(0);
+        for step in 0..3 {
+            let params: Vec<f64> = (0..3).map(|k| 0.1 * (step + k) as f64 - 0.2).collect();
+            let fresh = adjoint_gradient(&zero, &pc, &params, &obs);
+            let reused = adjoint_gradient_into(&zero, &pc, &params, &obs, &mut scratch);
+            assert_eq!(fresh, reused, "step {step}");
+        }
+    }
+}

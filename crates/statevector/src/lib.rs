@@ -4,20 +4,23 @@
 //! Hamiltonian-simulation workspace. It executes the circuit IR of
 //! `ghs-circuit` exactly and provides the utilities the verification and
 //! application layers rely on: circuit→unitary extraction, matrix-free
-//! grouped Pauli expectation values (plus the sparse/dense oracles),
-//! sampling, state preparation helpers used by the LCU block-encodings, and
-//! the shared seeded [`testkit`] generators of the randomized test suites.
+//! grouped Pauli expectation values (plus the sparse/dense oracles), the
+//! adjoint-mode [`gradient`] engine for parameterized circuits, sampling,
+//! state preparation helpers used by the LCU block-encodings, and the
+//! shared seeded [`testkit`] generators of the randomized test suites.
 
 #![warn(missing_docs)]
 
 pub mod expectation;
 pub mod fused;
+pub mod gradient;
 pub mod prepare;
 pub mod sampling;
 pub mod state;
 pub mod testkit;
 
 pub use expectation::{qwc_partition, qwc_signature, GroupedPauliSum};
+pub use gradient::{adjoint_gradient, adjoint_gradient_into, generator_inner, GradientResult};
 pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};
 pub use sampling::{derive_stream_seed, CachedDistribution};
 pub use state::{circuit_unitary, evolve, parallel_threshold, StateVector};

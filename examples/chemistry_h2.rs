@@ -30,23 +30,27 @@ fn main() {
         t.label, res.two_qubit, res.depth, res.usual_fragments
     );
 
-    // UCCSD-VQE.
+    // UCCSD-VQE, gradient-based: run_vqe drives the shared
+    // ghs_core::optimize Adam loop with adjoint-mode gradients (every
+    // iteration gets the full gradient from one forward + one reverse
+    // sweep, instead of O(P) coordinate probes).
     let pool = uccsd_pool(&model);
     println!(
         "UCCSD pool: {:?}",
         pool.iter().map(|e| e.label.clone()).collect::<Vec<_>>()
     );
     let mut rng = StdRng::seed_from_u64(7);
-    let vqe = run_vqe(&model, &DirectOptions::linear(), 1, 24, &mut rng);
+    let vqe = run_vqe(&model, &DirectOptions::linear(), 1, 200, &mut rng);
     println!(
         "Hartree-Fock energy        : {:.6} Ha",
         vqe.hartree_fock_energy
     );
     println!(
-        "UCCSD-VQE energy           : {:.6} Ha  (error vs FCI: {:.2e} Ha, {} evaluations)",
+        "UCCSD-VQE energy           : {:.6} Ha  (error vs FCI: {:.2e} Ha, {} gradient evaluations, converged: {})",
         vqe.energy,
         (vqe.energy - fci).abs(),
-        vqe.evaluations
+        vqe.evaluations,
+        vqe.converged
     );
 
     // Full-Hamiltonian Trotter error, direct vs usual grouping.

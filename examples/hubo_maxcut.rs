@@ -35,8 +35,10 @@ fn main() {
     let (best, best_cost) = hubo.brute_force_minimum();
     println!("brute-force optimum: assignment {best:06b}, cost {best_cost}");
 
-    // QAOA with two layers, direct separators.
-    let result = optimize_qaoa(&hubo, 2, SeparatorStrategy::Direct, 3, 8, &mut rng);
+    // QAOA with two layers, direct separators — gradient-based:
+    // optimize_qaoa drives the shared ghs_core::optimize Adam loop with
+    // adjoint-mode gradients of the prepared cost observable.
+    let result = optimize_qaoa(&hubo, 2, SeparatorStrategy::Direct, 3, 100, &mut rng);
     println!(
         "QAOA (p = 2, direct separators): energy {:.4}, optimal cost {:.4}, P(optimum) = {:.3}",
         result.energy, result.optimal_cost, result.optimum_probability
@@ -49,7 +51,7 @@ fn main() {
     // The same angles driven through the usual separator give the same state,
     // so the approximation ratio is construction-independent — only the gate
     // counts differ.
-    let usual_result = optimize_qaoa(&hubo, 2, SeparatorStrategy::Usual, 3, 8, &mut rng);
+    let usual_result = optimize_qaoa(&hubo, 2, SeparatorStrategy::Usual, 3, 100, &mut rng);
     println!(
         "QAOA (p = 2, usual separators):  energy {:.4}, P(optimum) = {:.3}",
         usual_result.energy, usual_result.optimum_probability

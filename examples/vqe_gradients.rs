@@ -1,0 +1,99 @@
+//! Adjoint-mode gradients for variational workloads: parameterized
+//! circuits, `Backend::expectation_gradient`, and the shared Adam driver.
+//!
+//! Walks through the full gradient stack on H₂/STO-3G:
+//! 1. build the UCCSD ansatz once as a `ParameterizedCircuit`;
+//! 2. cross-check the adjoint gradient against the parameter-shift rule
+//!    and central finite differences at a probe point;
+//! 3. count the simulation work both methods pay as the ansatz deepens;
+//! 4. run gradient-based VQE through `ghs_core::optimize::minimize_adam` —
+//!    the same code path the library drivers and experiments use.
+//!
+//! Run with `cargo run --release --example vqe_gradients`.
+
+use gate_efficient_hs::chemistry::{h2_sto3g, run_vqe, uccsd_parameterized, uccsd_pool};
+use gate_efficient_hs::circuit::Circuit;
+use gate_efficient_hs::core::backend::{parameter_shift_gradient, Backend, FusedStatevector};
+use gate_efficient_hs::core::DirectOptions;
+use gate_efficient_hs::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = h2_sto3g();
+    let pool = uccsd_pool(&model);
+    let opts = DirectOptions::linear();
+    let ansatz = uccsd_parameterized(&model, &pool, &opts);
+    let observable = model.grouped_observable();
+    let zero = StateVector::zero_state(model.num_qubits());
+    let backend = FusedStatevector;
+
+    println!(
+        "UCCSD ansatz for {}: {} gates, {} parameters, {} bound angles",
+        model.name,
+        ansatz.len(),
+        ansatz.num_params(),
+        ansatz.bindings().len()
+    );
+
+    // 1. Adjoint vs parameter-shift vs finite differences at a probe point.
+    let thetas: Vec<f64> = (0..pool.len()).map(|k| 0.08 + 0.05 * k as f64).collect();
+    let (energy, adjoint) = backend.expectation_gradient(&zero, &ansatz, &thetas, &observable);
+    let (_, shift) = parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable);
+    let mut scratch = Circuit::new(0);
+    let mut energy_at = |p: &[f64]| {
+        ansatz.bind_into(p, &mut scratch);
+        backend.expectation(&zero, &scratch, &observable)
+    };
+    println!(
+        "\nE(θ) = {:.8} Ha at the probe point (nuclear repulsion included); gradients:",
+        energy + model.energy_offset
+    );
+    println!("excitation |      adjoint |        shift |   central FD");
+    for (k, exc) in pool.iter().enumerate() {
+        let h = 3e-5;
+        let mut plus = thetas.clone();
+        plus[k] += h;
+        let mut minus = thetas.clone();
+        minus[k] -= h;
+        let fd = (energy_at(&plus) - energy_at(&minus)) / (2.0 * h);
+        println!(
+            "{:>10} | {:>12.8} | {:>12.8} | {:>12.8}",
+            exc.label, adjoint[k], shift[k], fd
+        );
+    }
+
+    // 2. Cost model: simulations per full gradient as the ansatz deepens.
+    //    Parameter-shift pays 2–4 executions per bound gate; the adjoint
+    //    method pays a constant three sweep-equivalents plus O(P) inner
+    //    products, whatever the parameter count.
+    println!("\nsimulations per full gradient (shift counts 2–4 per bound gate):");
+    println!("layers | params | shift evals | adjoint sweeps");
+    for layers in [1usize, 4, 8, 16] {
+        let params = layers * pool.len();
+        let bound = layers * ansatz.bindings().len();
+        // 4-term rule applies to the controlled rotations of the pool.
+        let shift_evals: usize = bound * 4;
+        println!("{layers:>6} | {params:>6} | {shift_evals:>11} | {:>14}", 3);
+    }
+
+    // 3. Gradient-based VQE through the shared optimizer.
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = run_vqe(&model, &opts, 1, 200, &mut rng);
+    let fci = model.exact_ground_energy(3000);
+    println!("\ngradient-based VQE (Adam + adjoint):");
+    println!(
+        "  Hartree-Fock energy : {:.8} Ha",
+        result.hartree_fock_energy
+    );
+    println!("  VQE energy          : {:.8} Ha", result.energy);
+    println!("  FCI reference       : {fci:.8} Ha");
+    println!(
+        "  |VQE - FCI|         : {:.2e} Ha",
+        (result.energy - fci).abs()
+    );
+    println!(
+        "  gradient evaluations: {} (each = 1 forward + 1 reverse sweep), converged: {}",
+        result.evaluations, result.converged
+    );
+}

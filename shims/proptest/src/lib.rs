@@ -11,8 +11,11 @@
 //! Differences from the real crate: failing cases are **not shrunk** (the
 //! failing case index and its deterministic seed are reported instead), and
 //! case generation is seeded per test name so runs are reproducible across
-//! machines. Swapping the real proptest back in is a one-line change in the
-//! workspace manifest; test sources need no changes.
+//! machines. The `GHS_PROPTEST_CASES` environment variable overrides every
+//! configured case count (the nightly deep-fuzz knob; see
+//! [`test_runner::ProptestConfig::effective_cases`]). Swapping the real
+//! proptest back in is a one-line change in the workspace manifest; test
+//! sources need no changes.
 
 #![warn(missing_docs)]
 
@@ -246,6 +249,32 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count actually run: the `GHS_PROPTEST_CASES` environment
+        /// variable, when set to a positive integer, **overrides** the
+        /// configured count for every property test in the process. This is
+        /// the deep-fuzzing knob of the nightly CI job (e.g.
+        /// `GHS_PROPTEST_CASES=2048`): the push/PR path keeps the short
+        /// in-source counts, the scheduled job re-runs the same suites three
+        /// orders of magnitude harder without touching any test source.
+        /// Unset, empty or unparsable values fall back to the configured
+        /// count. Case seeds depend only on the test name and case index, so
+        /// a case that fails at 2048 replays at any count ≥ its index.
+        pub fn effective_cases(&self) -> u64 {
+            resolve_cases(
+                std::env::var("GHS_PROPTEST_CASES").ok().as_deref(),
+                self.cases,
+            )
+        }
+    }
+
+    /// Pure core of [`ProptestConfig::effective_cases`], separated so the
+    /// override logic is testable without mutating process-global state.
+    pub(crate) fn resolve_cases(env_value: Option<&str>, configured: u32) -> u64 {
+        env_value
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(u64::from(configured))
     }
 
     impl Default for ProptestConfig {
@@ -365,7 +394,7 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
-            for case in 0..u64::from(config.cases) {
+            for case in 0..config.effective_cases() {
                 let mut rng = $crate::test_runner::TestRng::deterministic(
                     concat!(module_path!(), "::", stringify!($name)),
                     case,
@@ -429,5 +458,16 @@ mod tests {
         let mut a = crate::test_runner::TestRng::deterministic("t", 5);
         let mut b = crate::test_runner::TestRng::deterministic("t", 5);
         assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+
+    #[test]
+    fn env_knob_overrides_case_count() {
+        use crate::test_runner::resolve_cases;
+        assert_eq!(resolve_cases(Some("2048"), 48), 2048);
+        assert_eq!(resolve_cases(Some(" 16 "), 48), 16);
+        assert_eq!(resolve_cases(Some("not-a-number"), 48), 48);
+        assert_eq!(resolve_cases(Some("0"), 48), 48);
+        assert_eq!(resolve_cases(Some(""), 48), 48);
+        assert_eq!(resolve_cases(None, 48), 48);
     }
 }

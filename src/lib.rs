@@ -10,9 +10,10 @@
 //! * [`circuit`] — gate IR, ladders, decompositions, cost models;
 //! * [`statevector`] — the simulator;
 //! * [`core`] — direct Hamiltonian simulation, Trotter/qDRIFT, block
-//!   encodings, dilation, measurement, and the pluggable execution
-//!   backends (fused / reference / stochastic-noise, with a shared batched
-//!   shot sampler);
+//!   encodings, dilation, measurement, the pluggable execution backends
+//!   (fused / reference / stochastic-noise, with a shared batched shot
+//!   sampler and adjoint/parameter-shift gradient entry points), and the
+//!   shared gradient-based optimizer (`core::optimize`);
 //! * [`hubo`], [`chemistry`], [`fdm`] — the three applications of Section V
 //!   of the paper.
 

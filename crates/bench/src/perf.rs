@@ -12,7 +12,10 @@
 //! `qaoa_energy_12`) compare the sparse-matrix observable oracle against
 //! the grouped matrix-free evaluator, and two gradient workloads
 //! (`vqe_h2_gradient`, `qaoa_12_gradient`) compare the parameter-shift rule
-//! against the adjoint engine at 20+ parameters; for all of these the
+//! against the adjoint engine at 20+ parameters, and one service workload
+//! (`service_mixed_throughput`) runs a mixed VQE/QAOA/sampling job stream
+//! through the batched job service cold-cache vs warm-cache, in jobs/sec;
+//! for all of these the
 //! `unfused`/`fused` columns are the oracle and optimized wall times. The
 //! committed `bench/baseline.json` is refreshed from this output; CI fails
 //! when a workload regresses against it (see [`compare_to_baseline`]) or
@@ -28,9 +31,11 @@ use ghs_hubo::{
     SeparatorStrategy,
 };
 use ghs_operators::{PauliSum, ScbHamiltonian, ScbOp, ScbString};
+use ghs_service::{JobSpec, Service, ServiceConfig};
 use ghs_statevector::{testkit, GroupedPauliSum, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a workload measures: the `unfused`/`fused` columns of the report are
@@ -84,6 +89,18 @@ pub enum WorkloadKind {
         observable: PauliSum,
         /// Gradient evaluations per timed repetition.
         evals: usize,
+    },
+    /// Service-level throughput on a mixed job stream (VQE expectation,
+    /// QAOA expectation, repeated sampling, gradients): the same batch
+    /// through a **cold-cache** service (plan caching disabled — every job
+    /// re-plans, re-prepares and re-builds, the per-execution status quo) vs
+    /// a **pre-warmed** service whose structural plan cache serves fusion
+    /// plans, prepared observables and sampling distributions. The
+    /// `unfused`/`fused` columns are the cold and warm batch wall times and
+    /// `gates_per_sec` reports warm **jobs** per second.
+    Service {
+        /// The mixed job stream executed per timed repetition.
+        jobs: Vec<JobSpec>,
     },
 }
 
@@ -210,6 +227,64 @@ fn layered_uccsd_ansatz(layers: usize) -> (ParameterizedCircuit, Vec<f64>, Pauli
     (pc, params, model.pauli_sum())
 }
 
+/// The mixed job stream of the `service_mixed_throughput` workload: the
+/// shape of a real variational/sampling frontend. Two concrete sampling
+/// circuits, two shared templates and two observables fan out into 42 jobs —
+/// every VQE/QAOA job rebinds angles on a shared template, every sampling job
+/// repeats one of the concrete circuits with a fresh seed — so a warm plan
+/// cache serves the whole stream from a handful of cached artifacts while a
+/// cold service re-plans, re-executes and re-prepares per job.
+pub fn service_job_stream() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+
+    // 28 repeated-circuit sampling jobs over two distinct 12-qubit QAOA
+    // states, distinct seeds: warm runs draw from two cached distributions
+    // instead of re-fusing and re-executing the state per job.
+    let sampler_a = Arc::new(qaoa_circuit(12, 2));
+    for seed in 0..16u64 {
+        jobs.push(JobSpec::sample(sampler_a.clone(), 1024).with_seed(seed));
+    }
+    let sampler_b = Arc::new(qaoa_circuit(12, 3));
+    for seed in 0..12u64 {
+        jobs.push(JobSpec::sample(sampler_b.clone(), 1024).with_seed(100 + seed));
+    }
+
+    // 6 H₂/STO-3G VQE energy evaluations on one shared two-layer UCCSD
+    // template, parameters varying per job (an optimizer trace's shape).
+    let (vqe_pc, vqe_params, vqe_obs) = layered_uccsd_ansatz(2);
+    let vqe_pc = Arc::new(vqe_pc);
+    let vqe_obs = Arc::new(vqe_obs);
+    for step in 0..6 {
+        let params: Vec<f64> = vqe_params.iter().map(|p| p + 0.005 * step as f64).collect();
+        jobs.push(JobSpec::expectation(
+            (vqe_pc.clone(), params),
+            vqe_obs.clone(),
+        ));
+    }
+
+    // 4 QAOA cost evaluations on a shared 10-qubit two-layer template.
+    let problem = {
+        let mut rng = StdRng::seed_from_u64(42);
+        random_sparse_hubo(10, 3, 20, &mut rng)
+    };
+    let qaoa_pc = Arc::new(qaoa_parameterized(&problem, 2, SeparatorStrategy::Direct));
+    let qaoa_obs = Arc::new(problem.to_pauli_sum());
+    for step in 0..4 {
+        let t = 0.05 * step as f64;
+        jobs.push(JobSpec::expectation(
+            (qaoa_pc.clone(), vec![0.4 + t, 0.45 + t, 0.7 - t, 0.65 - t]),
+            qaoa_obs.clone(),
+        ));
+    }
+
+    // 4 adjoint-gradient jobs on the VQE template.
+    for step in 0..4 {
+        let params: Vec<f64> = vqe_params.iter().map(|p| p + 0.02 * step as f64).collect();
+        jobs.push(JobSpec::gradient(vqe_pc.clone(), params, vqe_obs.clone()));
+    }
+    jobs
+}
+
 /// The standard workload set recorded in `BENCH.json`.
 ///
 /// * `qft_16` — full QFT with final swaps.
@@ -233,6 +308,9 @@ fn layered_uccsd_ansatz(layers: usize) -> (ParameterizedCircuit, Vec<f64>, Pauli
 /// * `qaoa_12_gradient` — full 20-parameter gradients of a 10-layer
 ///   12-qubit QAOA cost (each `γ` binds every separator phase of its
 ///   layer), same comparison.
+/// * `service_mixed_throughput` — a 42-job mixed VQE/QAOA/sampling stream
+///   through the batched job service: cold-cache vs pre-warmed structural
+///   plan cache, in **jobs/sec** (the service-level gate; CI requires ≥5x).
 pub fn standard_workloads() -> Vec<Workload> {
     let all = |n: usize| (0..n).collect::<Vec<_>>();
     let mut w = Vec::new();
@@ -351,6 +429,16 @@ pub fn standard_workloads() -> Vec<Workload> {
             params: qaoa_params,
             observable: qaoa_grad_problem.to_pauli_sum(),
             evals: 1,
+        },
+    });
+    // Service-level throughput: the stats circuit is the stream's repeated
+    // 12-qubit sampling circuit (its fusion numbers are representative; the
+    // timed comparison is the whole mixed batch).
+    w.push(Workload {
+        name: "service_mixed_throughput".into(),
+        circuit: qaoa_circuit(12, 2),
+        kind: WorkloadKind::Service {
+            jobs: service_job_stream(),
         },
     });
     w
@@ -506,6 +594,28 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             });
             // Throughput: gradient components per second.
             (unfused_ms, fused_ms, evals * params.len())
+        }
+        WorkloadKind::Service { jobs } => {
+            // Cold: plan caching disabled — every job pays planning,
+            // observable preparation and distribution construction, i.e. the
+            // pre-service per-execution status quo.
+            let cold = Service::new(ServiceConfig {
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            });
+            let unfused_ms = time_best(reps, || {
+                let results = cold.run_batch(jobs).expect("service stream is valid");
+                std::hint::black_box(results.len());
+            });
+            // Warm: one untimed pass populates the structural plan cache;
+            // every timed batch is then served from cached artifacts.
+            let warm = Service::new(ServiceConfig::default());
+            warm.run_batch(jobs).expect("service stream is valid");
+            let fused_ms = time_best(reps, || {
+                let results = warm.run_batch(jobs).expect("service stream is valid");
+                std::hint::black_box(results.len());
+            });
+            (unfused_ms, fused_ms, jobs.len())
         }
     };
 
@@ -845,6 +955,36 @@ mod tests {
             baseline_name_drift(&registry, &committed),
             Vec::<String>::new()
         );
+    }
+
+    #[test]
+    fn service_workload_is_deterministic_and_matches_direct_execution() {
+        // The two timed paths (cold service, warm service) must return
+        // bit-identical results — to each other, across worker counts, and
+        // against direct single-execution computation of a spot-checked job.
+        let jobs = service_job_stream();
+        assert_eq!(jobs.len(), 42);
+        let cold = Service::new(ServiceConfig {
+            cache_capacity: 0,
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let warm = Service::new(ServiceConfig::default());
+        let a = cold.run_batch(&jobs).expect("valid stream");
+        let b = warm.run_batch(&jobs).expect("valid stream");
+        let c = warm.run_batch(&jobs).expect("valid stream");
+        let outputs =
+            |r: &[ghs_service::JobResult]| r.iter().map(|x| x.output.clone()).collect::<Vec<_>>();
+        assert_eq!(outputs(&a), outputs(&b), "cold(serial) vs warm(parallel)");
+        assert_eq!(outputs(&b), outputs(&c), "warm pass 1 vs warm pass 2");
+        // Spot-check the first sampling job against the backend layer.
+        let direct =
+            FusedStatevector.sample(&StateVector::zero_state(12), &qaoa_circuit(12, 2), 1024, 0);
+        assert_eq!(a[0].output, ghs_service::JobOutput::Shots(direct));
+        // The warm service actually cached: the second warm pass added no
+        // plan misses.
+        let stats = warm.cache_stats();
+        assert!(stats.plan_hits > 0 && stats.distribution_hits > 0);
     }
 
     #[test]

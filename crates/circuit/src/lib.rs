@@ -21,6 +21,7 @@ pub mod gate;
 pub mod ladder;
 pub mod param;
 pub mod qft;
+pub mod structural;
 
 pub use circuit::{Circuit, ResourceCounts};
 pub use decompose::{decompose_to_cx_basis, decomposed_two_qubit_count, NativeBasis};
@@ -32,3 +33,4 @@ pub use gate::{matrices, ControlBit, Gate, GateKind};
 pub use ladder::{parity_ladder, transition_ladder, LadderStyle, ParityLadder, TransitionLadder};
 pub use param::{Binding, ParamExpr, ParameterizedCircuit};
 pub use qft::{inverse_qft, qft};
+pub use structural::StructuralKey;

@@ -1,0 +1,348 @@
+//! Angle-invariant structural identity of circuits.
+//!
+//! The fusion pass splits into a *structural* half ([`crate::FusionPlan`],
+//! depending only on each gate's kind, support and control pattern) and a
+//! *numeric* half ([`crate::FusionPlan::emit`], depending on the angles).
+//! Two circuits with the same structure can therefore share one plan even
+//! when every angle differs — exactly the shape of a variational workload,
+//! where thousands of jobs rebind angles on a handful of templates.
+//!
+//! [`StructuralKey`] is the cache key that makes the sharing concrete: a
+//! fingerprint of the register size, gate count and per-gate structure that
+//! **ignores every continuous angle**. Rebinding a
+//! [`crate::ParameterizedCircuit`] never changes the key; editing any gate
+//! kind, target, control (qubit or polarity), key pattern, gate order or the
+//! register size does.
+//!
+//! ```
+//! use ghs_circuit::Circuit;
+//!
+//! let mut a = Circuit::new(2);
+//! a.h(0).cx(0, 1).rz(1, 0.3);
+//! let mut b = Circuit::new(2);
+//! b.h(0).cx(0, 1).rz(1, -2.7); // same structure, different angle
+//! assert_eq!(a.structural_key(), b.structural_key());
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(1, 0).rz(1, 0.3); // control/target swapped
+//! assert_ne!(a.structural_key(), c.structural_key());
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::{ControlBit, Gate};
+use crate::param::ParameterizedCircuit;
+
+/// Fingerprint of a circuit's angle-independent structure (see the module
+/// docs). Equality of keys is the cache-lookup criterion of the plan caches;
+/// the register size and gate count are carried alongside the 64-bit hash, so
+/// a spurious collision additionally requires two same-shape circuits to
+/// collide in the hash itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StructuralKey {
+    num_qubits: usize,
+    num_gates: usize,
+    hash: u64,
+}
+
+impl StructuralKey {
+    /// Register size of the fingerprinted circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Gate count of the fingerprinted circuit (global phases included, so
+    /// the key stays aligned with [`crate::FusionPlan::num_gates`]).
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// The 64-bit structural hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// FNV-1a over 64-bit words: deterministic across processes, platforms and
+/// library versions (unlike `DefaultHasher`, whose algorithm is unspecified),
+/// so keys can be logged, compared across runs and stored in baselines.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(Self::PRIME);
+    }
+
+    #[inline]
+    fn usize(&mut self, v: usize) {
+        self.word(v as u64);
+    }
+
+    fn controls(&mut self, controls: &[ControlBit]) {
+        self.usize(controls.len());
+        for c in controls {
+            self.usize(c.qubit);
+            self.word(c.value as u64);
+        }
+    }
+}
+
+/// Per-variant tag plus structure; every `theta` is deliberately skipped.
+fn hash_gate(h: &mut Fnv, gate: &Gate) {
+    match gate {
+        Gate::H(q) => {
+            h.word(1);
+            h.usize(*q);
+        }
+        Gate::X(q) => {
+            h.word(2);
+            h.usize(*q);
+        }
+        Gate::Y(q) => {
+            h.word(3);
+            h.usize(*q);
+        }
+        Gate::Z(q) => {
+            h.word(4);
+            h.usize(*q);
+        }
+        Gate::S(q) => {
+            h.word(5);
+            h.usize(*q);
+        }
+        Gate::Sdg(q) => {
+            h.word(6);
+            h.usize(*q);
+        }
+        Gate::T(q) => {
+            h.word(7);
+            h.usize(*q);
+        }
+        Gate::Tdg(q) => {
+            h.word(8);
+            h.usize(*q);
+        }
+        Gate::Phase { qubit, .. } => {
+            h.word(9);
+            h.usize(*qubit);
+        }
+        Gate::Rx { qubit, .. } => {
+            h.word(10);
+            h.usize(*qubit);
+        }
+        Gate::Ry { qubit, .. } => {
+            h.word(11);
+            h.usize(*qubit);
+        }
+        Gate::Rz { qubit, .. } => {
+            h.word(12);
+            h.usize(*qubit);
+        }
+        Gate::Cx { control, target } => {
+            h.word(13);
+            h.usize(*control);
+            h.usize(*target);
+        }
+        Gate::Cz { a, b } => {
+            h.word(14);
+            h.usize(*a);
+            h.usize(*b);
+        }
+        Gate::Swap { a, b } => {
+            h.word(15);
+            h.usize(*a);
+            h.usize(*b);
+        }
+        Gate::KeyedPhase { key, .. } => {
+            h.word(16);
+            h.controls(key);
+        }
+        Gate::McX { controls, target } => {
+            h.word(17);
+            h.controls(controls);
+            h.usize(*target);
+        }
+        Gate::McRx {
+            controls, target, ..
+        } => {
+            h.word(18);
+            h.controls(controls);
+            h.usize(*target);
+        }
+        Gate::McRy {
+            controls, target, ..
+        } => {
+            h.word(19);
+            h.controls(controls);
+            h.usize(*target);
+        }
+        Gate::McRz {
+            controls, target, ..
+        } => {
+            h.word(20);
+            h.controls(controls);
+            h.usize(*target);
+        }
+        Gate::GlobalPhase(_) => {
+            h.word(21);
+        }
+    }
+}
+
+impl Circuit {
+    /// Computes the circuit's angle-invariant [`StructuralKey`] (one linear
+    /// walk over the gate list; see the module docs).
+    pub fn structural_key(&self) -> StructuralKey {
+        let mut h = Fnv::new();
+        h.usize(self.num_qubits());
+        for gate in self.gates() {
+            hash_gate(&mut h, gate);
+        }
+        StructuralKey {
+            num_qubits: self.num_qubits(),
+            num_gates: self.len(),
+            hash: h.0,
+        }
+    }
+}
+
+impl ParameterizedCircuit {
+    /// The [`StructuralKey`] of the template — shared by **every** binding of
+    /// the circuit, since binding only rewrites angles.
+    pub fn structural_key(&self) -> StructuralKey {
+        self.template().structural_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParameterizedCircuit;
+
+    fn probe() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(2, 0.4).cz(1, 2);
+        c.keyed_phase(vec![ControlBit::one(0), ControlBit::zero(2)], 0.9);
+        c.push(Gate::McRy {
+            controls: vec![ControlBit::one(1)],
+            target: 0,
+            theta: 0.2,
+        });
+        c
+    }
+
+    #[test]
+    fn key_ignores_every_angle() {
+        let a = probe();
+        let mut b = probe();
+        for gate in a.gates().iter().enumerate().filter_map(|(i, g)| {
+            let mut g = g.clone();
+            g.angle().map(|t| {
+                g.set_angle(t + 1.0 + i as f64);
+                (i, g)
+            })
+        }) {
+            // Rebuild b with the shifted angle at position gate.0.
+            let (i, shifted) = gate;
+            let mut edited = Circuit::new(3);
+            for (j, g) in b.gates().iter().enumerate() {
+                edited.push(if j == i { shifted.clone() } else { g.clone() });
+            }
+            b = edited;
+        }
+        assert_ne!(a, b, "the probe must contain parametrised gates");
+        assert_eq!(a.structural_key(), b.structural_key());
+    }
+
+    #[test]
+    fn rebinding_a_template_never_changes_the_key() {
+        let pc = ParameterizedCircuit::from_linear_template(3, |t| {
+            let mut c = Circuit::new(2);
+            c.rx(0, t[0]).cx(0, 1).rz(1, t[1]).ry(0, t[2]);
+            c
+        });
+        let key = pc.structural_key();
+        for params in [[0.0, 0.0, 0.0], [1.0, -2.0, 3.5], [9.9, 0.1, -0.1]] {
+            assert_eq!(pc.bind(&params).structural_key(), key);
+        }
+    }
+
+    #[test]
+    fn any_structural_edit_changes_the_key() {
+        let base = probe();
+        let key = base.structural_key();
+
+        // Gate kind.
+        let mut kind = Circuit::new(3);
+        kind.x(0).cx(0, 1).rz(2, 0.4).cz(1, 2);
+        kind.keyed_phase(vec![ControlBit::one(0), ControlBit::zero(2)], 0.9);
+        kind.push(Gate::McRy {
+            controls: vec![ControlBit::one(1)],
+            target: 0,
+            theta: 0.2,
+        });
+        assert_ne!(kind.structural_key(), key);
+
+        // Support (a target qubit moved).
+        let mut support = Circuit::new(3);
+        support.h(1).cx(0, 1).rz(2, 0.4).cz(1, 2);
+        support.keyed_phase(vec![ControlBit::one(0), ControlBit::zero(2)], 0.9);
+        support.push(Gate::McRy {
+            controls: vec![ControlBit::one(1)],
+            target: 0,
+            theta: 0.2,
+        });
+        assert_ne!(support.structural_key(), key);
+
+        // Control polarity.
+        let mut polarity = Circuit::new(3);
+        polarity.h(0).cx(0, 1).rz(2, 0.4).cz(1, 2);
+        polarity.keyed_phase(vec![ControlBit::one(0), ControlBit::one(2)], 0.9);
+        polarity.push(Gate::McRy {
+            controls: vec![ControlBit::one(1)],
+            target: 0,
+            theta: 0.2,
+        });
+        assert_ne!(polarity.structural_key(), key);
+
+        // Gate order.
+        let mut order = Circuit::new(3);
+        order.cx(0, 1).h(0).rz(2, 0.4).cz(1, 2);
+        order.keyed_phase(vec![ControlBit::one(0), ControlBit::zero(2)], 0.9);
+        order.push(Gate::McRy {
+            controls: vec![ControlBit::one(1)],
+            target: 0,
+            theta: 0.2,
+        });
+        assert_ne!(order.structural_key(), key);
+
+        // Register size.
+        let mut wider = Circuit::new(4);
+        for g in base.gates() {
+            wider.push(g.clone());
+        }
+        assert_ne!(wider.structural_key(), key);
+
+        // Appended gate.
+        let mut longer = probe();
+        longer.h(2);
+        assert_ne!(longer.structural_key(), key);
+    }
+
+    #[test]
+    fn key_is_deterministic_across_calls() {
+        let a = probe().structural_key();
+        let b = probe().structural_key();
+        assert_eq!(a, b);
+        assert_eq!(a.num_qubits(), 3);
+        assert_eq!(a.num_gates(), 6);
+        assert_eq!(a.hash(), b.hash());
+    }
+}

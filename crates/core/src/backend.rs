@@ -528,6 +528,60 @@ impl Backend for PauliNoise {
     }
 }
 
+/// Declarative description of a backend — the plain-data form a job
+/// submission or a config file carries, turned into a live [`Backend`] with
+/// [`BackendSpec::build`]. Unlike a boxed trait object it is `Clone`,
+/// comparable and printable, which is what queued job specs need.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum BackendSpec {
+    /// The fusion-accelerated statevector backend ([`FusedStatevector`]).
+    #[default]
+    Fused,
+    /// The gate-by-gate reference backend ([`ReferenceStatevector`]).
+    Reference,
+    /// A stochastic Pauli-noise ensemble ([`PauliNoise`]).
+    Noisy {
+        /// Per-qubit depolarizing probability after each gate.
+        depolarizing: f64,
+        /// Per-qubit dephasing probability after each gate.
+        dephasing: f64,
+        /// Trajectories averaged by the ensemble entry points.
+        trajectories: usize,
+        /// Master seed for the trajectory streams.
+        seed: u64,
+    },
+}
+
+impl BackendSpec {
+    /// Instantiates the described backend.
+    pub fn build(&self) -> Box<dyn Backend + Send + Sync> {
+        match *self {
+            BackendSpec::Fused => Box::new(FusedStatevector),
+            BackendSpec::Reference => Box::new(ReferenceStatevector),
+            BackendSpec::Noisy {
+                depolarizing,
+                dephasing,
+                trajectories,
+                seed,
+            } => Box::new(PauliNoise {
+                depolarizing,
+                dephasing,
+                trajectories,
+                seed,
+            }),
+        }
+    }
+
+    /// Stable display name, matching [`backend_by_name`]'s vocabulary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::Fused => "fused",
+            BackendSpec::Reference => "reference",
+            BackendSpec::Noisy { .. } => "noisy",
+        }
+    }
+}
+
 /// Looks a backend up by its selection name (see the README's backend
 /// table): `"fused"`, `"reference"`, or `"noisy"` (depolarizing `1%`,
 /// 10 trajectories, seed 0). Returns `None` for unknown names.

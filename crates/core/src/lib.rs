@@ -27,7 +27,7 @@ pub mod trotter;
 pub mod usual;
 
 pub use backend::{
-    backend_by_name, parameter_shift_gradient, Backend, FusedStatevector, PauliNoise,
+    backend_by_name, parameter_shift_gradient, Backend, BackendSpec, FusedStatevector, PauliNoise,
     ReferenceStatevector,
 };
 pub use block_encoding::{

@@ -173,10 +173,34 @@ pub fn grover_expected_cost(
     threshold: f64,
     iterations: usize,
 ) -> f64 {
-    let circuit = grover_round_circuit(problem, value_bits, threshold, iterations);
     let observable = gas_cost_observable(problem, value_bits);
+    grover_expected_cost_with(
+        backend,
+        problem,
+        &observable,
+        value_bits,
+        threshold,
+        iterations,
+    )
+}
+
+/// [`grover_expected_cost`] against a pre-prepared [`gas_cost_observable`].
+/// Sweeping thresholds or iteration counts over one problem re-evaluates the
+/// same diagonal observable every time; preparing the grouped form once and
+/// passing it here skips the per-call regrouping that [`grover_expected_cost`]
+/// pays for convenience.
+pub fn grover_expected_cost_with(
+    backend: &dyn Backend,
+    problem: &HuboProblem,
+    observable: &GroupedPauliSum,
+    value_bits: usize,
+    threshold: f64,
+    iterations: usize,
+) -> f64 {
+    let circuit = grover_round_circuit(problem, value_bits, threshold, iterations);
+    debug_assert_eq!(observable.num_qubits(), circuit.num_qubits());
     let zero = StateVector::zero_state(circuit.num_qubits());
-    backend.expectation(&zero, &circuit, &observable)
+    backend.expectation(&zero, &circuit, observable)
 }
 
 /// Result of a Grover-Adaptive-Search run.
@@ -319,16 +343,23 @@ mod tests {
     fn grover_round_lowers_expected_cost_below_uniform() {
         let p = integer_problem();
         let uniform: f64 = (0..(1usize << 3)).map(|x| p.evaluate(x)).sum::<f64>() / 8.0;
+        // One prepared observable serves both evaluations below.
+        let observable = gas_cost_observable(&p, 4);
         // Threshold 0 marks only the optimum (cost −3); one iteration must
         // amplify it, pulling ⟨C⟩ below the uniform average.
-        let amplified = grover_expected_cost(&FusedStatevector, &p, 4, 0.0, 1);
+        let amplified = grover_expected_cost_with(&FusedStatevector, &p, &observable, 4, 0.0, 1);
         assert!(
             amplified < uniform - 0.1,
             "expected cost {amplified} not amplified below uniform {uniform}"
         );
         // Zero iterations leave the uniform superposition untouched.
-        let untouched = grover_expected_cost(&FusedStatevector, &p, 4, 0.0, 0);
+        let untouched = grover_expected_cost_with(&FusedStatevector, &p, &observable, 4, 0.0, 0);
         assert!((untouched - uniform).abs() < 1e-9);
+        // The convenience wrapper agrees with the prepared path.
+        assert_eq!(
+            grover_expected_cost(&FusedStatevector, &p, 4, 0.0, 1),
+            amplified
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub use crossover::{
 pub use gas::{
     cost_register_circuit, decode_assignment, decode_value, gas_cost_observable,
     grover_adaptive_search, grover_adaptive_search_with, grover_expected_cost,
-    grover_round_circuit, GasResult,
+    grover_expected_cost_with, grover_round_circuit, GasResult,
 };
 pub use problem::{
     hubo_phase_hamiltonian, knapsack_hubo, random_dense_hubo, random_hypergraph_maxcut,

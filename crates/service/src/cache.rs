@@ -1,0 +1,306 @@
+//! The structural plan cache: the artifact store that lets repeated circuit
+//! topologies skip planning and preparation entirely.
+//!
+//! Three capacity-bounded LRU maps, all shared by every worker:
+//!
+//! * **plans** — [`StructuralKey`] → [`FusionPlan`]. A plan depends only on
+//!   gate structure, never on angles, so every binding of a template (and
+//!   every concrete circuit with the same topology) shares one plan.
+//! * **observables** — content fingerprint of a [`PauliSum`] →
+//!   [`GroupedPauliSum`]. Observable preparation depends only on the
+//!   Hamiltonian, so VQE/QAOA streams prepare each observable once.
+//! * **distributions** — (structural key, initial state, exact angle bits) →
+//!   [`CachedDistribution`]. A repeated *fully-specified* circuit lets
+//!   sampling jobs skip the state-vector execution altogether and draw shots
+//!   straight from the cached alias table; distinct seeds still give
+//!   independent, deterministic streams.
+//!
+//! A capacity of `0` disables caching — every lookup is a miss and nothing
+//! is stored. The cold leg of the `service_mixed_throughput` benchmark runs
+//! in exactly that mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ghs_circuit::{Circuit, FusionPlan, StructuralKey};
+use ghs_operators::PauliSum;
+use ghs_statevector::{CachedDistribution, GroupedPauliSum};
+
+/// Minimal LRU over a small `Vec`: exact recency via a monotone tick. The
+/// capacities in play are tens of entries, where a linear scan beats any
+/// pointer-chasing structure.
+struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<(K, V, u64)>,
+}
+
+impl<K: PartialEq, V: Clone> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries
+            .iter_mut()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, last_used)| {
+                *last_used = tick;
+                v.clone()
+            })
+    }
+
+    /// Inserts (or refreshes) an entry; returns `true` when an older entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            entry.1 = value;
+            entry.2 = self.tick;
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("capacity > 0 and full");
+            self.entries.swap_remove(oldest);
+            evicted = true;
+        }
+        self.entries.push((key, value, self.tick));
+        evicted
+    }
+}
+
+/// Identity of a fully-specified execution for the distribution cache:
+/// structure, starting basis state, and the exact bit patterns of every
+/// angle in the bound circuit. Angle bits (not approximate equality) keep
+/// the cache sound: a hit reproduces the exact amplitudes bit for bit.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct DistKey {
+    pub key: StructuralKey,
+    pub initial: usize,
+    pub angles: Vec<u64>,
+}
+
+/// The exact angle bit patterns of a bound circuit, in gate order.
+pub(crate) fn angle_bits(circuit: &Circuit) -> Vec<u64> {
+    circuit
+        .gates()
+        .iter()
+        .filter_map(|g| g.angle().map(f64::to_bits))
+        .collect()
+}
+
+/// Content fingerprint of a Pauli sum (FNV-1a over register size, term
+/// count, coefficient bits and string masks): equal sums share one prepared
+/// [`GroupedPauliSum`] even when held behind different allocations.
+fn observable_fingerprint(sum: &PauliSum) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut word = |w: u64| h = (h ^ w).wrapping_mul(PRIME);
+    word(sum.num_qubits() as u64);
+    word(sum.num_terms() as u64);
+    for &(coeff, ref string) in sum.terms() {
+        word(coeff.re.to_bits());
+        word(coeff.im.to_bits());
+        let (x_mask, z_mask) = string.masks();
+        word(x_mask as u64);
+        word(z_mask as u64);
+    }
+    h
+}
+
+/// Counters over the cache's whole lifetime; see [`PlanCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fusion-plan lookups served from the cache.
+    pub plan_hits: u64,
+    /// Fusion-plan lookups that had to plan from scratch.
+    pub plan_misses: u64,
+    /// Prepared-observable lookups served from the cache.
+    pub observable_hits: u64,
+    /// Prepared-observable lookups that had to prepare from scratch.
+    pub observable_misses: u64,
+    /// Sampling jobs that skipped execution via a cached distribution.
+    pub distribution_hits: u64,
+    /// Sampling jobs that had to execute and build the alias table.
+    pub distribution_misses: u64,
+    /// Entries evicted under the capacity bound, across all three maps.
+    pub evictions: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    observable_hits: AtomicU64,
+    observable_misses: AtomicU64,
+    distribution_hits: AtomicU64,
+    distribution_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The shared artifact cache (see the module docs). All methods take `&self`
+/// and are safe to call from every worker concurrently; artifact
+/// construction happens outside the map locks, so a slow plan never blocks
+/// unrelated lookups.
+pub struct PlanCache {
+    plans: Mutex<Lru<StructuralKey, Arc<FusionPlan>>>,
+    observables: Mutex<Lru<u64, Arc<GroupedPauliSum>>>,
+    distributions: Mutex<Lru<DistKey, Arc<CachedDistribution>>>,
+    counters: Counters,
+}
+
+impl PlanCache {
+    /// A cache whose three maps each hold at most `capacity` entries
+    /// (`0` disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            plans: Mutex::new(Lru::new(capacity)),
+            observables: Mutex::new(Lru::new(capacity)),
+            distributions: Mutex::new(Lru::new(capacity)),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The fusion plan for `circuit`'s topology: cached by `key`, planned on
+    /// miss. Two workers racing on the same miss both plan and one insert
+    /// wins — harmless, since plans for equal keys are interchangeable.
+    pub(crate) fn plan(&self, circuit: &Circuit, key: StructuralKey) -> Arc<FusionPlan> {
+        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+            self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return plan;
+        }
+        self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(circuit.fusion_plan());
+        if self.plans.lock().unwrap().insert(key, plan.clone()) {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// The prepared grouped form of `sum`: cached by content fingerprint,
+    /// prepared on miss.
+    pub(crate) fn observable(&self, sum: &PauliSum) -> Arc<GroupedPauliSum> {
+        let fp = observable_fingerprint(sum);
+        if let Some(obs) = self.observables.lock().unwrap().get(&fp) {
+            self.counters
+                .observable_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return obs;
+        }
+        self.counters
+            .observable_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let obs = Arc::new(GroupedPauliSum::new(sum));
+        if self.observables.lock().unwrap().insert(fp, obs.clone()) {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        obs
+    }
+
+    /// Looks up the cached pre-measurement distribution of a fully-specified
+    /// execution. Counts a hit or a miss; the caller stores the distribution
+    /// it builds on a miss via [`PlanCache::store_distribution`].
+    pub(crate) fn distribution(&self, key: &DistKey) -> Option<Arc<CachedDistribution>> {
+        let found = self.distributions.lock().unwrap().get(key);
+        let counter = match found {
+            Some(_) => &self.counters.distribution_hits,
+            None => &self.counters.distribution_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Stores a freshly built distribution under `key`.
+    pub(crate) fn store_distribution(&self, key: DistKey, dist: Arc<CachedDistribution>) {
+        if self.distributions.lock().unwrap().insert(key, dist) {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the lifetime hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.counters;
+        CacheStats {
+            plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            plan_misses: c.plan_misses.load(Ordering::Relaxed),
+            observable_hits: c.observable_hits.load(Ordering::Relaxed),
+            observable_misses: c.observable_misses.load(Ordering::Relaxed),
+            distribution_hits: c.distribution_hits.load(Ordering::Relaxed),
+            distribution_misses: c.distribution_misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghs_circuit::Circuit;
+
+    fn topology(rotated: usize) -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(rotated, 0.5);
+        c
+    }
+
+    #[test]
+    fn plan_lookups_hit_after_the_first_miss() {
+        let cache = PlanCache::new(8);
+        let c = topology(2);
+        let key = c.structural_key();
+        let a = cache.plan(&c, key);
+        let b = cache.plan(&c, key);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.plan_misses, stats.plan_hits), (1, 1));
+    }
+
+    #[test]
+    fn eviction_under_a_small_capacity_bound() {
+        let cache = PlanCache::new(2);
+        let circuits: Vec<Circuit> = (0..3).map(topology).collect();
+        for c in &circuits {
+            cache.plan(c, c.structural_key());
+        }
+        // Third insert evicts the least recently used (the first).
+        assert_eq!(cache.stats().evictions, 1);
+        // 1 and 2 are resident; 0 was evicted and misses again.
+        cache.plan(&circuits[2], circuits[2].structural_key());
+        cache.plan(&circuits[1], circuits[1].structural_key());
+        assert_eq!(cache.stats().plan_hits, 2);
+        cache.plan(&circuits[0], circuits[0].structural_key());
+        let stats = cache.stats();
+        assert_eq!(stats.plan_misses, 4);
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        let c = topology(0);
+        let key = c.structural_key();
+        cache.plan(&c, key);
+        cache.plan(&c, key);
+        let stats = cache.stats();
+        assert_eq!(stats.plan_hits, 0);
+        assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+}

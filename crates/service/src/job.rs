@@ -1,0 +1,324 @@
+//! The typed job vocabulary: what a submission carries and what comes back.
+//!
+//! A [`JobSpec`] is plain data — circuit source, request kind, backend
+//! description, seed — so it can be cloned, queued, logged and replayed. The
+//! heavyweight pieces (circuits, templates, observables) travel behind
+//! [`Arc`], so a thousand-job VQE stream shares one template and one
+//! observable allocation across every spec.
+
+use std::sync::Arc;
+
+use ghs_circuit::{Circuit, ParameterizedCircuit, StructuralKey};
+use ghs_core::BackendSpec;
+use ghs_operators::PauliSum;
+
+/// Ticket identifying a submitted job; redeemed with `Service::wait`.
+pub type JobId = u64;
+
+/// The circuit a job executes: either a fully-specified concrete circuit or
+/// a parameterized template plus the binding vector. The template form is
+/// the one the executor batches: same-template jobs rebind angles in a
+/// per-worker scratch circuit with zero per-job allocation.
+#[derive(Clone)]
+pub enum CircuitSource {
+    /// A concrete, fully-bound circuit.
+    Concrete(Arc<Circuit>),
+    /// A parameterized template to bind at `params`.
+    Template {
+        /// The shared ansatz template.
+        template: Arc<ParameterizedCircuit>,
+        /// The parameter vector to bind (`template.num_params()` entries).
+        params: Vec<f64>,
+    },
+}
+
+impl CircuitSource {
+    /// Register size of the underlying circuit.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            CircuitSource::Concrete(c) => c.num_qubits(),
+            CircuitSource::Template { template, .. } => template.num_qubits(),
+        }
+    }
+
+    /// The angle-invariant structural key (identical for every binding of a
+    /// template) — the plan-cache key.
+    pub fn structural_key(&self) -> StructuralKey {
+        match self {
+            CircuitSource::Concrete(c) => c.structural_key(),
+            CircuitSource::Template { template, .. } => template.structural_key(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CircuitSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitSource::Concrete(c) => f
+                .debug_struct("Concrete")
+                .field("qubits", &c.num_qubits())
+                .field("gates", &c.len())
+                .finish(),
+            CircuitSource::Template { template, params } => f
+                .debug_struct("Template")
+                .field("qubits", &template.num_qubits())
+                .field("gates", &template.len())
+                .field("params", params)
+                .finish(),
+        }
+    }
+}
+
+impl From<Circuit> for CircuitSource {
+    fn from(circuit: Circuit) -> Self {
+        CircuitSource::Concrete(Arc::new(circuit))
+    }
+}
+
+impl From<Arc<Circuit>> for CircuitSource {
+    fn from(circuit: Arc<Circuit>) -> Self {
+        CircuitSource::Concrete(circuit)
+    }
+}
+
+impl From<(Arc<ParameterizedCircuit>, Vec<f64>)> for CircuitSource {
+    fn from((template, params): (Arc<ParameterizedCircuit>, Vec<f64>)) -> Self {
+        CircuitSource::Template { template, params }
+    }
+}
+
+/// What to compute on the evolved state.
+#[derive(Clone)]
+pub enum JobRequest {
+    /// Energy `⟨ψ|H|ψ⟩` of a Pauli-sum observable (prepared and cached as a
+    /// `GroupedPauliSum` by the service).
+    Expectation {
+        /// The observable, shared across the job stream.
+        observable: Arc<PauliSum>,
+    },
+    /// Energy **and** full parameter gradient (adjoint method on the
+    /// state-vector backends). Requires a [`CircuitSource::Template`].
+    Gradient {
+        /// The observable being differentiated.
+        observable: Arc<PauliSum>,
+    },
+    /// `shots` seeded computational-basis outcomes through the batched shot
+    /// engine.
+    Sample {
+        /// Number of shots to draw.
+        shots: usize,
+    },
+    /// The full pre-measurement probability vector.
+    Probabilities,
+}
+
+impl std::fmt::Debug for JobRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobRequest::Expectation { observable } => f
+                .debug_struct("Expectation")
+                .field("terms", &observable.num_terms())
+                .finish(),
+            JobRequest::Gradient { observable } => f
+                .debug_struct("Gradient")
+                .field("terms", &observable.num_terms())
+                .finish(),
+            JobRequest::Sample { shots } => f.debug_struct("Sample").field("shots", shots).finish(),
+            JobRequest::Probabilities => write!(f, "Probabilities"),
+        }
+    }
+}
+
+/// A complete job submission. Construct with the request-specific
+/// constructors, then refine with the builder methods; the defaults are the
+/// fused backend, seed `0`, initial state `|0…0⟩` and submitter `0`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ghs_circuit::Circuit;
+/// use ghs_math::c64;
+/// use ghs_operators::{PauliString, PauliSum};
+/// use ghs_service::JobSpec;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut zz = PauliSum::zero(2);
+/// zz.push(c64(1.0, 0.0), PauliString::parse("ZZ").unwrap());
+///
+/// // ⟨ZZ⟩ on a Bell pair, then 100 seeded shots of the same circuit.
+/// let energy_job = JobSpec::expectation(bell.clone(), Arc::new(zz));
+/// let sample_job = JobSpec::sample(bell, 100).with_seed(7);
+/// assert_eq!(energy_job.circuit.num_qubits(), 2);
+/// assert_eq!(sample_job.seed, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The circuit (concrete or template + bindings).
+    pub circuit: CircuitSource,
+    /// What to compute.
+    pub request: JobRequest,
+    /// Which backend executes the job.
+    pub backend: BackendSpec,
+    /// Seed for every stochastic element (shot drawing, noise trajectories).
+    /// Results are a pure function of the spec and this seed — never of
+    /// worker count or scheduling.
+    pub seed: u64,
+    /// Computational-basis index of the initial state.
+    pub initial: usize,
+    /// Fairness lane: jobs from different submitters are served round-robin.
+    pub submitter: usize,
+}
+
+impl JobSpec {
+    fn new(circuit: CircuitSource, request: JobRequest) -> Self {
+        Self {
+            circuit,
+            request,
+            backend: BackendSpec::Fused,
+            seed: 0,
+            initial: 0,
+            submitter: 0,
+        }
+    }
+
+    /// An expectation-value job.
+    pub fn expectation(circuit: impl Into<CircuitSource>, observable: Arc<PauliSum>) -> Self {
+        Self::new(circuit.into(), JobRequest::Expectation { observable })
+    }
+
+    /// An energy-plus-gradient job on a bound template.
+    pub fn gradient(
+        template: Arc<ParameterizedCircuit>,
+        params: Vec<f64>,
+        observable: Arc<PauliSum>,
+    ) -> Self {
+        Self::new(
+            CircuitSource::Template { template, params },
+            JobRequest::Gradient { observable },
+        )
+    }
+
+    /// A seeded sampling job.
+    pub fn sample(circuit: impl Into<CircuitSource>, shots: usize) -> Self {
+        Self::new(circuit.into(), JobRequest::Sample { shots })
+    }
+
+    /// A probability-vector job.
+    pub fn probabilities(circuit: impl Into<CircuitSource>) -> Self {
+        Self::new(circuit.into(), JobRequest::Probabilities)
+    }
+
+    /// Sets the seed of every stochastic element.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the backend.
+    pub fn on_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Starts from the computational-basis state `|index⟩`.
+    pub fn starting_at(mut self, index: usize) -> Self {
+        self.initial = index;
+        self
+    }
+
+    /// Tags the job with a fairness lane.
+    pub fn from_submitter(mut self, submitter: usize) -> Self {
+        self.submitter = submitter;
+        self
+    }
+
+    /// Checks the spec's internal consistency, so workers never have to.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let n = self.circuit.num_qubits();
+        if n >= usize::BITS as usize || self.initial >= (1usize << n) {
+            return Err(format!(
+                "initial basis index {} out of range for {n} qubits",
+                self.initial
+            ));
+        }
+        if let CircuitSource::Template { template, params } = &self.circuit {
+            if params.len() != template.num_params() {
+                return Err(format!(
+                    "template expects {} parameters, got {}",
+                    template.num_params(),
+                    params.len()
+                ));
+            }
+        }
+        match &self.request {
+            JobRequest::Expectation { observable } | JobRequest::Gradient { observable } => {
+                if observable.num_qubits() != n {
+                    return Err(format!(
+                        "observable acts on {} qubits, circuit on {n}",
+                        observable.num_qubits()
+                    ));
+                }
+                if matches!(self.request, JobRequest::Gradient { .. })
+                    && !matches!(self.circuit, CircuitSource::Template { .. })
+                {
+                    return Err("gradient jobs need a parameterized template".to_string());
+                }
+                Ok(())
+            }
+            JobRequest::Sample { .. } | JobRequest::Probabilities => Ok(()),
+        }
+    }
+}
+
+/// The typed payload of a finished job, matching the [`JobRequest`] kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutput {
+    /// `⟨ψ|H|ψ⟩`.
+    Expectation(f64),
+    /// Energy and its full parameter gradient.
+    Gradient {
+        /// `⟨ψ(θ)|H|ψ(θ)⟩`.
+        energy: f64,
+        /// `∂E/∂θ_k` for every template parameter.
+        gradient: Vec<f64>,
+    },
+    /// Computational-basis outcomes, one per shot.
+    Shots(Vec<usize>),
+    /// The full probability vector, indexed by basis state.
+    Probabilities(Vec<f64>),
+}
+
+/// A finished job: the ticket it was submitted under and its typed output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The ticket returned by `Service::submit`.
+    pub id: JobId,
+    /// The computed payload.
+    pub output: JobOutput,
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue (or the in-flight bound) is full — backpressure.
+    /// Only returned by the non-blocking `Service::try_submit`; the blocking
+    /// `Service::submit` waits for space instead.
+    QueueFull,
+    /// The service is shutting down and accepts no further work.
+    ShuttingDown,
+    /// The spec is internally inconsistent (wrong parameter count,
+    /// mismatched observable register, gradient without a template, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Invalid(why) => write!(f, "invalid job spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

@@ -1,0 +1,620 @@
+//! The batched job executor: a pool of persistent workers stealing from the
+//! fair multi-queue, executing jobs through the shared plan cache and
+//! per-worker scratch buffers.
+//!
+//! # Determinism
+//!
+//! Every job's output is a pure function of its own [`JobSpec`] (including
+//! its seed) — workers share read-only artifacts (plans, observables,
+//! distributions) but never accumulate state across jobs that could leak
+//! into a result. Scheduling, worker count and cache hits therefore change
+//! *when* a job runs, never *what* it returns: a seeded job stream yields
+//! bit-identical results on one worker, sixteen workers, or with caching
+//! disabled.
+//!
+//! # Batching without allocation
+//!
+//! Each worker owns scratch buffers keyed by structural key (bound-circuit
+//! scratch) and register size (state-vector scratch). A stream of
+//! same-template jobs rebinds angles in place via
+//! [`ghs_circuit::ParameterizedCircuit::bind_into`] and resets the state vector in place
+//! via `reset_to_basis`, so steady-state execution allocates only the fused
+//! kernels the plan emits.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ghs_circuit::{Circuit, StructuralKey};
+use ghs_core::{Backend, BackendSpec, FusedStatevector, PauliNoise, ReferenceStatevector};
+use ghs_statevector::{CachedDistribution, StateVector};
+
+use crate::cache::{angle_bits, CacheStats, DistKey, PlanCache};
+use crate::job::{CircuitSource, JobId, JobOutput, JobRequest, JobResult, JobSpec, SubmitError};
+use crate::queue::FairQueue;
+
+/// Sizing and fairness knobs of a [`Service`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means one per available hardware thread.
+    pub workers: usize,
+    /// Bound on *queued* jobs — pushes beyond it block (or fail, for
+    /// `try_submit`) until workers drain the queue.
+    pub queue_capacity: usize,
+    /// Bound on queued **plus running** jobs — the total admission window.
+    pub max_in_flight: usize,
+    /// Per-map capacity of the plan cache; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 256,
+            max_in_flight: 512,
+            cache_capacity: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A single-worker configuration: jobs run strictly in the fair queue's
+    /// pop order. The reference setup for determinism comparisons.
+    pub fn serial() -> Self {
+        Self {
+            workers: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything guarded by the queue lock.
+struct QueueState {
+    fair: FairQueue<(JobId, JobSpec)>,
+    running: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signalled when work arrives (or shutdown begins): wakes workers.
+    work_cv: Condvar,
+    /// Signalled when admission space frees up: wakes blocked submitters.
+    space_cv: Condvar,
+    done: Mutex<HashMap<JobId, JobOutput>>,
+    /// Signalled when a job finishes: wakes waiters.
+    done_cv: Condvar,
+    cache: PlanCache,
+    next_id: AtomicU64,
+    max_in_flight: usize,
+}
+
+/// Per-worker reusable buffers (see the module docs on batching).
+#[derive(Default)]
+struct WorkerScratch {
+    /// Bound-circuit buffer per template topology: `bind_into` rewrites
+    /// angles in place on every job after the first.
+    bound: HashMap<StructuralKey, Circuit>,
+    /// Execution state vector per register size, reset in place per job.
+    states: HashMap<usize, StateVector>,
+    /// Initial-state buffer per register size (the generic backend path
+    /// takes the initial state by reference).
+    initials: HashMap<usize, StateVector>,
+}
+
+/// The batched job service (see the crate docs for the full tour).
+///
+/// ```
+/// use std::sync::Arc;
+/// use ghs_circuit::ParameterizedCircuit;
+/// use ghs_math::c64;
+/// use ghs_operators::{PauliString, PauliSum};
+/// use ghs_service::{JobOutput, JobSpec, Service, ServiceConfig};
+///
+/// // E(θ) = ⟨0|RY(θ)† Z RY(θ)|0⟩ = cos θ, evaluated as a job stream: the
+/// // template and observable are planned/prepared once, every further
+/// // binding rebinds angles in place and reuses the cached artifacts.
+/// let mut ansatz = ParameterizedCircuit::new(1, 1);
+/// ansatz.ry_p(0, 0, 1.0);
+/// let ansatz = Arc::new(ansatz);
+/// let mut z = PauliSum::zero(1);
+/// z.push(c64(1.0, 0.0), PauliString::parse("Z").unwrap());
+/// let z = Arc::new(z);
+///
+/// let service = Service::new(ServiceConfig::default());
+/// let id = service
+///     .submit(JobSpec::expectation((ansatz.clone(), vec![0.6]), z.clone()))
+///     .unwrap();
+/// let result = service.wait(id);
+/// let JobOutput::Expectation(e) = result.output else { panic!() };
+/// assert!((e - 0.6f64.cos()).abs() < 1e-12);
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool described by `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let mut service = Self::build(&config);
+        service.workers = (0..workers)
+            .map(|_| {
+                let shared = service.shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        service
+    }
+
+    /// A service with **no workers**: submissions queue but never run. Lets
+    /// tests exercise backpressure (`try_submit` → `QueueFull`) and fairness
+    /// deterministically, without racing a live pool.
+    #[doc(hidden)]
+    pub fn new_paused(config: ServiceConfig) -> Self {
+        Self::build(&config)
+    }
+
+    fn build(config: &ServiceConfig) -> Self {
+        assert!(config.max_in_flight > 0, "max_in_flight must be non-zero");
+        Self {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(QueueState {
+                    fair: FairQueue::new(config.queue_capacity),
+                    running: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                space_cv: Condvar::new(),
+                done: Mutex::new(HashMap::new()),
+                done_cv: Condvar::new(),
+                cache: PlanCache::new(config.cache_capacity),
+                next_id: AtomicU64::new(0),
+                max_in_flight: config.max_in_flight,
+            }),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Number of live worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job, **blocking** while the admission window (queue
+    /// capacity or in-flight bound) is full. Returns the ticket to redeem
+    /// with [`Service::wait`].
+    ///
+    /// ```
+    /// use ghs_circuit::Circuit;
+    /// use ghs_service::{JobOutput, JobSpec, Service, ServiceConfig};
+    ///
+    /// let mut bell = Circuit::new(2);
+    /// bell.h(0).cx(0, 1);
+    /// let service = Service::new(ServiceConfig::serial());
+    /// let id = service.submit(JobSpec::sample(bell, 64).with_seed(11)).unwrap();
+    /// let JobOutput::Shots(shots) = service.wait(id).output else { panic!() };
+    /// // A Bell pair only ever measures |00⟩ or |11⟩.
+    /// assert!(shots.iter().all(|&s| s == 0b00 || s == 0b11));
+    /// ```
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.admit(spec, true)
+    }
+
+    /// Non-blocking [`Service::submit`]: fails with [`SubmitError::QueueFull`]
+    /// instead of waiting when the admission window is full.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.admit(spec, false)
+    }
+
+    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, SubmitError> {
+        spec.validate().map_err(SubmitError::Invalid)?;
+        let shared = &self.shared;
+        let mut q = shared.queue.lock().unwrap();
+        loop {
+            if q.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let window_full = q.fair.len() + q.running >= shared.max_in_flight;
+            if !window_full && !q.fair.is_full() {
+                break;
+            }
+            if !block {
+                return Err(SubmitError::QueueFull);
+            }
+            q = shared.space_cv.wait(q).unwrap();
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let submitter = spec.submitter;
+        q.fair
+            .push(submitter, (id, spec))
+            .unwrap_or_else(|_| unreachable!("space was checked under the lock"));
+        drop(q);
+        shared.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until job `id` finishes and returns its result. Each ticket is
+    /// redeemable once.
+    pub fn wait(&self, id: JobId) -> JobResult {
+        let shared = &self.shared;
+        let mut done = shared.done.lock().unwrap();
+        loop {
+            if let Some(output) = done.remove(&id) {
+                return JobResult { id, output };
+            }
+            done = shared.done_cv.wait(done).unwrap();
+        }
+    }
+
+    /// Submits every spec (validating all of them up front) and waits for
+    /// all results, returned **in submission order** regardless of worker
+    /// scheduling.
+    pub fn run_batch(&self, specs: &[JobSpec]) -> Result<Vec<JobResult>, SubmitError> {
+        for spec in specs {
+            spec.validate().map_err(SubmitError::Invalid)?;
+        }
+        let ids: Vec<JobId> = specs
+            .iter()
+            .map(|spec| self.submit(spec.clone()))
+            .collect::<Result<_, _>>()?;
+        Ok(ids.into_iter().map(|id| self.wait(id)).collect())
+    }
+
+    /// Snapshot of the shared plan cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = WorkerScratch::default();
+    loop {
+        let (id, spec) = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.fair.pop() {
+                    q.running += 1;
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_cv.wait(q).unwrap();
+            }
+        };
+        // Queue space freed by the pop: wake one blocked submitter.
+        shared.space_cv.notify_one();
+
+        let output = run_job(&shared.cache, &mut scratch, &spec);
+
+        {
+            let mut q = shared.queue.lock().unwrap();
+            q.running -= 1;
+        }
+        // The in-flight window shrank too.
+        shared.space_cv.notify_one();
+        let mut done = shared.done.lock().unwrap();
+        done.insert(id, output);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Resolves the job's circuit into an executable `&Circuit`, rebinding
+/// templates into the worker's per-topology scratch buffer (in place after
+/// the first job on a topology).
+fn resolve_circuit<'a>(
+    bound: &'a mut HashMap<StructuralKey, Circuit>,
+    source: &'a CircuitSource,
+    key: StructuralKey,
+) -> &'a Circuit {
+    match source {
+        CircuitSource::Concrete(c) => c,
+        CircuitSource::Template { template, params } => {
+            let buf = bound.entry(key).or_insert_with(|| Circuit::new(0));
+            template.bind_into(params, buf);
+            buf
+        }
+    }
+}
+
+/// In-place reset of the register-sized scratch state to `|initial⟩`.
+fn reset_state(
+    states: &mut HashMap<usize, StateVector>,
+    n: usize,
+    initial: usize,
+) -> &mut StateVector {
+    let state = states
+        .entry(n)
+        .or_insert_with(|| StateVector::zero_state(n));
+    state.reset_to_basis(initial);
+    state
+}
+
+fn run_job(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
+    match spec.backend {
+        BackendSpec::Fused => run_fused(cache, scratch, spec),
+        BackendSpec::Reference => run_generic(&ReferenceStatevector, cache, scratch, spec),
+        BackendSpec::Noisy {
+            depolarizing,
+            dephasing,
+            trajectories,
+            seed,
+        } => run_generic(
+            &PauliNoise {
+                depolarizing,
+                dephasing,
+                trajectories,
+                seed,
+            },
+            cache,
+            scratch,
+            spec,
+        ),
+    }
+}
+
+/// The fused fast path: cached structural plan + in-place rebinding + shared
+/// distribution cache. This is where warm-cache throughput comes from.
+fn run_fused(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
+    let n = spec.circuit.num_qubits();
+    let key = spec.circuit.structural_key();
+    let WorkerScratch {
+        bound,
+        states,
+        initials,
+    } = scratch;
+
+    // Gradients never run a plain forward pass: the adjoint engine owns the
+    // whole sweep (and reuses the template's own cached plan internally).
+    if let JobRequest::Gradient { observable } = &spec.request {
+        let (template, params) = match &spec.circuit {
+            CircuitSource::Template { template, params } => (template, params),
+            CircuitSource::Concrete(_) => unreachable!("validated at submission"),
+        };
+        let grouped = cache.observable(observable);
+        let init = reset_state(initials, n, spec.initial);
+        let (energy, gradient) =
+            FusedStatevector.expectation_gradient(init, template, params, &grouped);
+        return JobOutput::Gradient { energy, gradient };
+    }
+
+    let circuit = resolve_circuit(bound, &spec.circuit, key);
+
+    // Sampling first checks the distribution cache: a hit skips planning,
+    // emission and the state-vector sweep entirely and draws shots straight
+    // from the cached alias table. The seed still drives the draw, so
+    // repeated jobs with distinct seeds give independent, deterministic
+    // streams.
+    if let JobRequest::Sample { shots } = spec.request {
+        let dkey = DistKey {
+            key,
+            initial: spec.initial,
+            angles: angle_bits(circuit),
+        };
+        if let Some(dist) = cache.distribution(&dkey) {
+            return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
+        }
+        let state = execute_fused(cache, states, circuit, key, n, spec.initial);
+        let dist = Arc::new(CachedDistribution::from_state(state));
+        cache.store_distribution(dkey, dist.clone());
+        return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
+    }
+
+    let state = execute_fused(cache, states, circuit, key, n, spec.initial);
+    match &spec.request {
+        JobRequest::Expectation { observable } => {
+            let grouped = cache.observable(observable);
+            JobOutput::Expectation(state.expectation_grouped(&grouped).re)
+        }
+        JobRequest::Probabilities => {
+            JobOutput::Probabilities(state.amplitudes().iter().map(|a| a.norm_sqr()).collect())
+        }
+        JobRequest::Sample { .. } | JobRequest::Gradient { .. } => {
+            unreachable!("handled above")
+        }
+    }
+}
+
+/// Plan (cached) → emit → apply onto the in-place-reset scratch state.
+///
+/// Shares `run_fused`'s crossover: below [`FUSED_MIN_DIM`] amplitudes the
+/// fusion pass costs more than the per-gate sweep it replaces, so tiny
+/// registers skip the plan cache and apply the circuit directly — keeping
+/// service results bit-identical to the `FusedStatevector` backend at every
+/// register size.
+fn execute_fused<'a>(
+    cache: &PlanCache,
+    states: &'a mut HashMap<usize, StateVector>,
+    circuit: &Circuit,
+    key: StructuralKey,
+    n: usize,
+    initial: usize,
+) -> &'a StateVector {
+    let state = reset_state(states, n, initial);
+    if state.dim() >= ghs_statevector::fused::FUSED_MIN_DIM {
+        let plan = cache.plan(circuit, key);
+        let fused = plan.emit(circuit);
+        state.apply_fused(&fused);
+    } else {
+        state.run_unfused(circuit);
+    }
+    state
+}
+
+/// The generic path for non-fused backends: same template rebinding and
+/// observable caching, execution through the [`Backend`] trait.
+fn run_generic(
+    backend: &impl Backend,
+    cache: &PlanCache,
+    scratch: &mut WorkerScratch,
+    spec: &JobSpec,
+) -> JobOutput {
+    let n = spec.circuit.num_qubits();
+    let key = spec.circuit.structural_key();
+    let WorkerScratch {
+        bound,
+        states: _,
+        initials,
+    } = scratch;
+
+    if let JobRequest::Gradient { observable } = &spec.request {
+        let (template, params) = match &spec.circuit {
+            CircuitSource::Template { template, params } => (template, params),
+            CircuitSource::Concrete(_) => unreachable!("validated at submission"),
+        };
+        let grouped = cache.observable(observable);
+        let init = reset_state(initials, n, spec.initial);
+        let (energy, gradient) = backend.expectation_gradient(init, template, params, &grouped);
+        return JobOutput::Gradient { energy, gradient };
+    }
+
+    let circuit = resolve_circuit(bound, &spec.circuit, key);
+    let init = reset_state(initials, n, spec.initial);
+    match &spec.request {
+        JobRequest::Expectation { observable } => {
+            let grouped = cache.observable(observable);
+            JobOutput::Expectation(backend.expectation(init, circuit, &grouped))
+        }
+        JobRequest::Sample { shots } => {
+            JobOutput::Shots(backend.sample(init, circuit, *shots, spec.seed))
+        }
+        JobRequest::Probabilities => JobOutput::Probabilities(backend.probabilities(init, circuit)),
+        JobRequest::Gradient { .. } => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use ghs_circuit::Circuit;
+    use ghs_math::c64;
+    use ghs_operators::{PauliString, PauliSum};
+    use std::sync::Arc;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    fn zz() -> Arc<PauliSum> {
+        let mut sum = PauliSum::zero(2);
+        sum.push(c64(1.0, 0.0), PauliString::parse("ZZ").unwrap());
+        Arc::new(sum)
+    }
+
+    #[test]
+    fn paused_service_reports_queue_full_deterministically() {
+        let service = Service::new_paused(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_in_flight: 2,
+            cache_capacity: 8,
+        });
+        let spec = JobSpec::expectation(bell(), zz());
+        service.try_submit(spec.clone()).unwrap();
+        service.try_submit(spec.clone()).unwrap();
+        assert_eq!(
+            service.try_submit(spec.clone()),
+            Err(SubmitError::QueueFull)
+        );
+        // The in-flight bound also gates admission, independently of raw
+        // queue capacity.
+        let windowed = Service::new_paused(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_in_flight: 1,
+            cache_capacity: 8,
+        });
+        windowed.try_submit(spec.clone()).unwrap();
+        assert_eq!(windowed.try_submit(spec), Err(SubmitError::QueueFull));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_submission() {
+        let service = Service::new_paused(ServiceConfig::serial());
+        // Observable register mismatch.
+        let mut wide = PauliSum::zero(3);
+        wide.push(c64(1.0, 0.0), PauliString::parse("ZZZ").unwrap());
+        let err = service
+            .try_submit(JobSpec::expectation(bell(), Arc::new(wide)))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)));
+        // Gradient on a concrete circuit.
+        let err = service
+            .try_submit(JobSpec {
+                request: crate::job::JobRequest::Gradient { observable: zz() },
+                ..JobSpec::expectation(bell(), zz())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)));
+        // Initial basis index out of range.
+        let err = service
+            .try_submit(JobSpec::probabilities(bell()).starting_at(4))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)));
+    }
+
+    #[test]
+    fn bell_expectation_and_probabilities_are_exact() {
+        let service = Service::new(ServiceConfig::serial());
+        let batch = service
+            .run_batch(&[
+                JobSpec::expectation(bell(), zz()),
+                JobSpec::probabilities(bell()),
+                JobSpec::probabilities(bell()).starting_at(1),
+            ])
+            .unwrap();
+        let JobOutput::Expectation(e) = batch[0].output else {
+            panic!("wrong output kind");
+        };
+        assert!((e - 1.0).abs() < 1e-12);
+        let JobOutput::Probabilities(p) = &batch[1].output else {
+            panic!("wrong output kind");
+        };
+        assert!((p[0] - 0.5).abs() < 1e-12 && (p[3] - 0.5).abs() < 1e-12);
+        // |01⟩ input: H ⊗ CX maps it into the odd-parity Bell pair.
+        let JobOutput::Probabilities(p) = &batch[2].output else {
+            panic!("wrong output kind");
+        };
+        assert!((p[1] - 0.5).abs() < 1e-12 && (p[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_with_outstanding_jobs_shuts_down_cleanly() {
+        let service = Service::new(ServiceConfig::default());
+        for s in 0..32 {
+            service
+                .submit(JobSpec::sample(bell(), 16).with_seed(s))
+                .unwrap();
+        }
+        // Dropping joins the workers: they drain the queue before exiting,
+        // and no thread is left blocked on a condvar.
+        drop(service);
+    }
+}

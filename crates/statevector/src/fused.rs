@@ -44,9 +44,10 @@ const MIN_CHUNK: usize = 1 << 12;
 
 /// State dimension below which [`StateVector::run_fused`] falls back to the
 /// per-gate path: fusing costs more than it saves on tiny registers. Shared
-/// with the adjoint gradient engine, whose forward sweep makes the same
-/// crossover choice.
-pub(crate) const FUSED_MIN_DIM: usize = 1 << 10;
+/// with the adjoint gradient engine (whose forward sweep makes the same
+/// crossover choice) and the job service's executor, which must stay
+/// bit-identical to `run_fused` at every register size.
+pub const FUSED_MIN_DIM: usize = 1 << 10;
 
 /// Calls `f(s)` for every `s` whose set bits lie inside `mask` (including
 /// `0`), in increasing order.

@@ -1,0 +1,131 @@
+//! The batched job service: one typed, config-driven API over circuit
+//! execution, sampling, expectation values and gradients — backed by a
+//! structural plan cache (repeated topologies skip planning entirely) and a
+//! bounded fair queue with deterministic seeded results.
+//!
+//! Run with `cargo run --release --example service_jobs`.
+//! Every line below is a pure function of the job specs and their seeds —
+//! never of worker count or scheduling. CI's determinism matrix re-runs this
+//! example with `GHS_PARALLEL_THRESHOLD` forced to `0` and `usize::MAX` and
+//! requires the two recordings to be byte-identical.
+
+use std::sync::Arc;
+
+use gate_efficient_hs::chemistry::{h2_sto3g, uccsd_parameterized, uccsd_pool};
+use gate_efficient_hs::core::DirectOptions;
+use gate_efficient_hs::hubo::SeparatorStrategy;
+use gate_efficient_hs::hubo::{qaoa_parameterized, random_sparse_hubo};
+use gate_efficient_hs::service::{JobOutput, JobSpec, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = ServiceConfig::default();
+    println!(
+        "job service: queue capacity {}, max in flight {}, cache capacity {}",
+        config.queue_capacity, config.max_in_flight, config.cache_capacity
+    );
+    let service = Service::new(config);
+
+    // ---- 1. seeded sampling of one shared 10-qubit QAOA state -------------
+    // Four jobs on the same concrete circuit: the first executes and caches
+    // the distribution, the rest draw from it — each seed its own stream.
+    let mut rng = StdRng::seed_from_u64(42);
+    let problem = random_sparse_hubo(10, 3, 20, &mut rng);
+    let qaoa = Arc::new(qaoa_parameterized(&problem, 2, SeparatorStrategy::Direct));
+    let state = Arc::new(qaoa.bind(&[0.45, 0.5, 0.7, 0.6]));
+    let shots: Vec<JobSpec> = (0..4)
+        .map(|seed| JobSpec::sample(state.clone(), 8).with_seed(seed))
+        .collect();
+    println!("\n8 shots of the QAOA state, four seeds:");
+    for result in service.run_batch(&shots).expect("valid sampling jobs") {
+        let JobOutput::Shots(outcomes) = result.output else {
+            unreachable!("sampling jobs return shots");
+        };
+        println!("  {outcomes:?}");
+    }
+
+    // ---- 1b. the exact distribution behind those shots --------------------
+    // A probabilities job on the same circuit reuses the cached fusion plan
+    // (the sampling jobs above already paid for it).
+    let probs_job = JobSpec::probabilities(state.clone());
+    let result = &service
+        .run_batch(std::slice::from_ref(&probs_job))
+        .expect("valid job")[0];
+    let JobOutput::Probabilities(probs) = &result.output else {
+        unreachable!("probability jobs return probability vectors");
+    };
+    let (top, p) = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty register");
+    println!("most likely outcome: |{top:010b}> with p = {p:.6}");
+
+    // ---- 2. a VQE energy trace on one shared UCCSD template ---------------
+    // Five bindings of the same H₂/STO-3G ansatz: one structural key and one
+    // prepared observable across the whole trace. (The 4-qubit register sits
+    // below the fusion crossover, so the service applies it gate-by-gate —
+    // exactly what `FusedStatevector` would do.)
+    let model = h2_sto3g();
+    let pool = uccsd_pool(&model);
+    let ansatz = Arc::new(uccsd_parameterized(&model, &pool, &DirectOptions::linear()));
+    let observable = Arc::new(model.pauli_sum());
+    let trace: Vec<JobSpec> = (0..5)
+        .map(|step| {
+            let thetas: Vec<f64> = (0..ansatz.num_params())
+                .map(|k| 0.02 * step as f64 + 0.04 * k as f64)
+                .collect();
+            JobSpec::expectation((ansatz.clone(), thetas), observable.clone())
+        })
+        .collect();
+    println!("\nH2/STO-3G energy trace on one shared UCCSD template:");
+    for result in service.run_batch(&trace).expect("valid energy jobs") {
+        let JobOutput::Expectation(energy) = result.output else {
+            unreachable!("expectation jobs return energies");
+        };
+        println!("  E = {energy:+.12} Ha");
+    }
+
+    // ---- 3. an adjoint gradient through the same API ----------------------
+    let thetas: Vec<f64> = (0..ansatz.num_params())
+        .map(|k| 0.05 + 0.04 * k as f64)
+        .collect();
+    let gradient_job = JobSpec::gradient(ansatz.clone(), thetas, observable.clone());
+    let result = &service
+        .run_batch(&[gradient_job])
+        .expect("valid gradient job")[0];
+    let JobOutput::Gradient { energy, gradient } = &result.output else {
+        unreachable!("gradient jobs return gradients");
+    };
+    println!("\nadjoint gradient at the probe point (E = {energy:+.12} Ha):");
+    for (k, g) in gradient.iter().enumerate() {
+        println!("  dE/dtheta[{k}] = {g:+.12}");
+    }
+
+    // ---- 4. the caching ledger, on a serial service -----------------------
+    // A single-worker service re-running the identical stream twice: the
+    // second pass adds hits and zero misses. (Counters are scheduling-order
+    // dependent under concurrent workers, so the ledger demo runs serial;
+    // the *results* above are scheduling-independent by construction.)
+    let serial = Service::new(ServiceConfig::serial());
+    let stream: Vec<JobSpec> = shots
+        .iter()
+        .chain(std::iter::once(&probs_job))
+        .chain(&trace)
+        .cloned()
+        .collect();
+    for pass in 1..=2 {
+        serial.run_batch(&stream).expect("valid stream");
+        let s = serial.cache_stats();
+        println!(
+            "\nserial pass {pass}: plan {}h/{}m, observable {}h/{}m, distribution {}h/{}m",
+            s.plan_hits,
+            s.plan_misses,
+            s.observable_hits,
+            s.observable_misses,
+            s.distribution_hits,
+            s.distribution_misses
+        );
+    }
+}

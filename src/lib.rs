@@ -15,7 +15,10 @@
 //!   sampler and adjoint/parameter-shift gradient entry points), and the
 //!   shared gradient-based optimizer (`core::optimize`);
 //! * [`hubo`], [`chemistry`], [`fdm`] — the three applications of Section V
-//!   of the paper.
+//!   of the paper;
+//! * [`service`] — the batched job service: typed job API over all backends,
+//!   structural plan caching, fair bounded multi-queue execution with
+//!   deterministic seeded results.
 
 pub use ghs_chemistry as chemistry;
 pub use ghs_circuit as circuit;
@@ -24,4 +27,5 @@ pub use ghs_fdm as fdm;
 pub use ghs_hubo as hubo;
 pub use ghs_math as math;
 pub use ghs_operators as operators;
+pub use ghs_service as service;
 pub use ghs_statevector as statevector;

@@ -23,7 +23,7 @@
 //! (see [`baseline_name_drift`]).
 
 use ghs_chemistry::{h2_sto3g, uccsd_circuit, uccsd_pool};
-use ghs_circuit::{Circuit, ParameterizedCircuit};
+use ghs_circuit::{exchange_count, Circuit, ParameterizedCircuit, QubitRelabeling};
 use ghs_core::backend::{parameter_shift_gradient, Backend, FusedStatevector, PauliNoise};
 use ghs_core::{direct_product_formula, direct_term_circuit, DirectOptions, ProductFormula};
 use ghs_hubo::{
@@ -32,7 +32,7 @@ use ghs_hubo::{
 };
 use ghs_operators::{PauliSum, ScbHamiltonian, ScbOp, ScbString};
 use ghs_service::{JobSpec, Service, ServiceConfig};
-use ghs_statevector::{testkit, GroupedPauliSum, StateVector};
+use ghs_statevector::{testkit, GroupedPauliSum, ShardedStateVector, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -44,6 +44,14 @@ use std::time::Instant;
 pub enum WorkloadKind {
     /// Full-state circuit simulation: per-gate sweeps vs the fused engine.
     Circuit,
+    /// Large-register circuit simulation: the **flat fused engine** (one
+    /// full-state sweep per fused op — the memory-bound status quo above
+    /// ~22 qubits) vs the **sharded engine** (hot qubits relabeled
+    /// intra-shard, runs of shard-local ops cache-blocked per shard). Both
+    /// paths produce bit-identical states; the columns compare flat-fused
+    /// (unfused) against sharded (fused) wall time, so the per-gate oracle
+    /// — minutes of wall time at 24 qubits — never runs.
+    Sharded,
     /// Batched readout of a pre-computed state: per-shot cumulative re-sweep
     /// oracle vs the cached alias sampler (`O(shots·2^n)` vs
     /// `O(2^n + shots)`).
@@ -137,7 +145,18 @@ pub struct WorkloadResult {
     pub speedup: f64,
     /// Source gates per second through the fused path.
     pub gates_per_sec: f64,
+    /// Fused ops needing cross-shard gather/scatter exchanges at the
+    /// 64-shard convention (6 shard-index qubits) **before** the qubit
+    /// relabeling pass. Zero for registers narrower than 7 qubits.
+    pub exchange_ops_before: usize,
+    /// The same count **after** [`QubitRelabeling::for_sharding`] — the
+    /// per-workload visibility of the relabeling pass's gain.
+    pub exchange_ops_after: usize,
 }
+
+/// Shard-index qubits of the exchange-count convention recorded in
+/// `BENCH.json`: 6 bits = the `GHS_SHARD_COUNT=64` determinism leg.
+const EXCHANGE_SHARD_QUBITS: usize = 6;
 
 /// The hopping-chain + on-site Hamiltonian used by the Trotter workloads
 /// (and by the criterion benches): a representative mix of transition
@@ -157,8 +176,9 @@ pub fn chain_hamiltonian(n: usize) -> ScbHamiltonian {
 }
 
 /// A deep ladder workload: alternating forward/backward CX chains with RZ
-/// layers between them, `layers` times.
-fn ladder_circuit(n: usize, layers: usize) -> Circuit {
+/// layers between them, `layers` times. Public so the `scale_smoke` binary
+/// (the CI memory-ceiling check) drives the exact `ladder_24` shape.
+pub fn ladder_circuit(n: usize, layers: usize) -> Circuit {
     let mut c = Circuit::new(n);
     for layer in 0..layers {
         for q in 0..n - 1 {
@@ -291,6 +311,10 @@ pub fn service_job_stream() -> Vec<JobSpec> {
 /// * `trotter_step_14` — one first-order Trotter step of the hopping chain.
 /// * `qaoa_layer_16` — two QAOA sweeps of a sparse order-3 HUBO.
 /// * `ladder_12/16/20` — deep CX-ladder/RZ circuits at growing width.
+/// * `ladder_24` — the 24-qubit ladder: flat fused engine vs the sharded
+///   engine (the CI scale gate requires ≥2x sharded-vs-flat).
+/// * `deep_22` — two Trotter steps at 22 qubits, the crossover width, same
+///   flat-vs-sharded comparison.
 /// * `deep_16` — four Trotter steps at 16 qubits, the deep-circuit
 ///   reference the CI regression gate watches most closely.
 /// * `random_16` — unstructured random circuit (fusion worst case).
@@ -342,6 +366,25 @@ pub fn standard_workloads() -> Vec<Workload> {
             kind: WorkloadKind::Circuit,
         });
     }
+    // Scale workloads: flat fused engine vs the sharded engine. The 24-qubit
+    // ladder is the CI scale gate (≥2x sharded-vs-flat); the 22-qubit deep
+    // Trotter circuit sits exactly at the crossover width.
+    w.push(Workload {
+        name: "ladder_24".into(),
+        circuit: ladder_circuit(24, 6),
+        kind: WorkloadKind::Sharded,
+    });
+    w.push(Workload {
+        name: "deep_22".into(),
+        circuit: direct_product_formula(
+            &chain_hamiltonian(22),
+            0.4,
+            2,
+            ProductFormula::First,
+            &DirectOptions::linear(),
+        ),
+        kind: WorkloadKind::Sharded,
+    });
     w.push(Workload {
         name: "deep_16".into(),
         circuit: direct_product_formula(
@@ -475,6 +518,27 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             let fused_ms = time_best(reps, || {
                 let mut s = StateVector::zero_state(n);
                 s.apply_fused(&fused);
+                std::hint::black_box(s.probability(0));
+            });
+            (unfused_ms, fused_ms, w.circuit.len())
+        }
+        WorkloadKind::Sharded => {
+            // Same column semantics as `Circuit`: per-gate flat engine vs
+            // the optimized engine — here the sharded one, running the
+            // relabeled fused circuit. The two paths produce bit-identical
+            // states (spot-checked through one probability), so the columns
+            // time pure execution strategy. Reps capped at 2: these states
+            // are hundreds of MB and a per-gate sweep runs for seconds.
+            let reps = reps.min(2);
+            let unfused_ms = time_best(reps, || {
+                let mut s = StateVector::zero_state(n);
+                s.run_unfused(&w.circuit);
+                std::hint::black_box(s.probability(0));
+            });
+            let relabeling = QubitRelabeling::for_sharding(&fused);
+            let fused_ms = time_best(reps, || {
+                let mut s = ShardedStateVector::zero_state(n);
+                s.run_fused_with(&fused, &relabeling);
                 std::hint::black_box(s.probability(0));
             });
             (unfused_ms, fused_ms, w.circuit.len())
@@ -619,6 +683,20 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
         }
     };
 
+    // Exchange counts at the 64-shard convention: how many fused ops would
+    // cross shard boundaries as gather/scatter exchanges, before and after
+    // the relabeling pass. Registers narrower than the shard-index width
+    // record zero on both sides.
+    let (exchange_ops_before, exchange_ops_after) = if n > EXCHANGE_SHARD_QUBITS {
+        let relabeled = fused.relabeled(&QubitRelabeling::for_sharding(&fused));
+        (
+            exchange_count(&fused, EXCHANGE_SHARD_QUBITS),
+            exchange_count(&relabeled, EXCHANGE_SHARD_QUBITS),
+        )
+    } else {
+        (0, 0)
+    };
+
     WorkloadResult {
         name: w.name.clone(),
         qubits: n,
@@ -630,6 +708,8 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
         fused_ms,
         speedup: unfused_ms / fused_ms.max(1e-9),
         gates_per_sec: throughput_units as f64 / (fused_ms.max(1e-9) / 1e3),
+        exchange_ops_before,
+        exchange_ops_after,
     }
 }
 
@@ -637,12 +717,15 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
 pub fn results_to_json(results: &[WorkloadResult]) -> String {
     let mut s = String::from("{\n  \"schema\": 1,\n  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
+        // Field names must avoid the `"name"` / `"fused_ms"` substrings the
+        // minimal baseline parser keys on — hence `exchange_ops_*`.
         s.push_str(&format!(
             concat!(
                 "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, ",
                 "\"fused_ops\": {}, \"fusion_ratio\": {:.4}, \"fuse_ms\": {:.4}, ",
                 "\"unfused_ms\": {:.4}, \"fused_ms\": {:.4}, \"speedup\": {:.4}, ",
-                "\"gates_per_sec\": {:.1}}}{}\n"
+                "\"gates_per_sec\": {:.1}, ",
+                "\"exchange_ops_before\": {}, \"exchange_ops_after\": {}}}{}\n"
             ),
             r.name,
             r.qubits,
@@ -654,6 +737,8 @@ pub fn results_to_json(results: &[WorkloadResult]) -> String {
             r.fused_ms,
             r.speedup,
             r.gates_per_sec,
+            r.exchange_ops_before,
+            r.exchange_ops_after,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -773,6 +858,8 @@ mod tests {
                 fused_ms: 0.5,
                 speedup: 4.0,
                 gates_per_sec: 2e4,
+                exchange_ops_before: 3,
+                exchange_ops_after: 1,
             },
             WorkloadResult {
                 name: "b".into(),
@@ -785,6 +872,8 @@ mod tests {
                 fused_ms: 1.0,
                 speedup: 1.0,
                 gates_per_sec: 2e4,
+                exchange_ops_before: 0,
+                exchange_ops_after: 0,
             },
         ];
         let json = results_to_json(&results);
@@ -808,6 +897,8 @@ mod tests {
             fused_ms: 1.2,
             speedup: 1.7,
             gates_per_sec: 1e4,
+            exchange_ops_before: 0,
+            exchange_ops_after: 0,
         };
         let baseline = vec![("a".to_string(), 1.0)];
         assert!(compare_to_baseline(&[r.clone()], &baseline, 0.25).is_empty());
@@ -935,6 +1026,8 @@ mod tests {
             fused_ms: 1.0,
             speedup: 2.0,
             gates_per_sec: 1e4,
+            exchange_ops_before: 0,
+            exchange_ops_after: 0,
         };
         let baseline = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
         // In sync: no drift.

@@ -35,6 +35,7 @@
 
 use crate::circuit::Circuit;
 use crate::gate::{ControlBit, Gate};
+use crate::relabel::QubitRelabeling;
 use ghs_math::{CMatrix, Complex64};
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -127,13 +128,18 @@ pub struct SparseComponent {
     pub matrix: CMatrix,
 }
 
-/// One fused operation: a kernel plus the (sorted, ascending) qubits it acts
-/// on. For [`FusedKernel::Dense`] the control qubits are *not* part of
-/// `qubits`.
+/// One fused operation: a kernel plus the qubits it acts on. For
+/// [`FusedKernel::Dense`] the control qubits are *not* part of `qubits`.
+///
+/// Emission produces sorted-ascending qubit lists, but
+/// [`FusedCircuit::relabeled`] maps them element-wise — preserving the
+/// local-bit order the kernel tables were built for — so relabeled supports
+/// are generally **unsorted**. Simulator kernels must derive spans from the
+/// maximum bit position, never from the first entry.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FusedOp {
-    /// Support of the kernel, sorted ascending (qubit 0 = most significant
-    /// local bit, matching the register convention).
+    /// Support of the kernel (first qubit = most significant local bit,
+    /// matching the register convention).
     pub qubits: Vec<usize>,
     /// The operation to apply.
     pub kernel: FusedKernel,
@@ -202,6 +208,47 @@ impl FusedCircuit {
             *h.entry(op.kind_name()).or_insert(0) += 1;
         }
         h
+    }
+
+    /// The same circuit with every qubit reference mapped through a
+    /// [`QubitRelabeling`]: op supports, dense-kernel controls and
+    /// pass-through gates alike. Qubit lists are mapped **element-wise,
+    /// preserving their order**, so every kernel table, permutation image
+    /// and matrix is reused unchanged — the relabeled circuit performs
+    /// bit-identical arithmetic on the permuted amplitude array. The mapped
+    /// supports are generally not sorted (see [`FusedOp`]).
+    ///
+    /// Relabeling by `r` and then by `r.inverse()` reproduces the original
+    /// circuit exactly.
+    pub fn relabeled(&self, relabeling: &QubitRelabeling) -> FusedCircuit {
+        let map = relabeling.as_slice();
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| FusedOp {
+                qubits: op.qubits.iter().map(|&q| map[q]).collect(),
+                kernel: match &op.kernel {
+                    FusedKernel::Dense { controls, matrix } => FusedKernel::Dense {
+                        controls: controls
+                            .iter()
+                            .map(|c| ControlBit {
+                                qubit: map[c.qubit],
+                                value: c.value,
+                            })
+                            .collect(),
+                        matrix: matrix.clone(),
+                    },
+                    FusedKernel::Gate(g) => FusedKernel::Gate(g.relabeled(map)),
+                    other => other.clone(),
+                },
+            })
+            .collect();
+        FusedCircuit {
+            num_qubits: self.num_qubits,
+            source_gates: self.source_gates,
+            global_phase: self.global_phase,
+            ops,
+        }
     }
 }
 

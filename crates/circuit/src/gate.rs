@@ -410,6 +410,99 @@ impl Gate {
         })
     }
 
+    /// The same gate acting on relabeled qubits: every qubit reference —
+    /// targets, controls and key bits alike — is mapped through
+    /// `map[qubit]`, leaving angles and control polarities untouched. Used
+    /// by the sharded engine's logical→physical relabeling pass.
+    ///
+    /// # Panics
+    /// Panics when a referenced qubit is out of `map`'s range.
+    pub fn relabeled(&self, map: &[usize]) -> Gate {
+        let mc = |controls: &[ControlBit]| -> Vec<ControlBit> {
+            controls
+                .iter()
+                .map(|c| ControlBit {
+                    qubit: map[c.qubit],
+                    value: c.value,
+                })
+                .collect()
+        };
+        match self {
+            Gate::H(q) => Gate::H(map[*q]),
+            Gate::X(q) => Gate::X(map[*q]),
+            Gate::Y(q) => Gate::Y(map[*q]),
+            Gate::Z(q) => Gate::Z(map[*q]),
+            Gate::S(q) => Gate::S(map[*q]),
+            Gate::Sdg(q) => Gate::Sdg(map[*q]),
+            Gate::T(q) => Gate::T(map[*q]),
+            Gate::Tdg(q) => Gate::Tdg(map[*q]),
+            Gate::Phase { qubit, theta } => Gate::Phase {
+                qubit: map[*qubit],
+                theta: *theta,
+            },
+            Gate::Rx { qubit, theta } => Gate::Rx {
+                qubit: map[*qubit],
+                theta: *theta,
+            },
+            Gate::Ry { qubit, theta } => Gate::Ry {
+                qubit: map[*qubit],
+                theta: *theta,
+            },
+            Gate::Rz { qubit, theta } => Gate::Rz {
+                qubit: map[*qubit],
+                theta: *theta,
+            },
+            Gate::Cx { control, target } => Gate::Cx {
+                control: map[*control],
+                target: map[*target],
+            },
+            Gate::Cz { a, b } => Gate::Cz {
+                a: map[*a],
+                b: map[*b],
+            },
+            Gate::Swap { a, b } => Gate::Swap {
+                a: map[*a],
+                b: map[*b],
+            },
+            Gate::KeyedPhase { key, theta } => Gate::KeyedPhase {
+                key: mc(key),
+                theta: *theta,
+            },
+            Gate::McX { controls, target } => Gate::McX {
+                controls: mc(controls),
+                target: map[*target],
+            },
+            Gate::McRx {
+                controls,
+                target,
+                theta,
+            } => Gate::McRx {
+                controls: mc(controls),
+                target: map[*target],
+                theta: *theta,
+            },
+            Gate::McRy {
+                controls,
+                target,
+                theta,
+            } => Gate::McRy {
+                controls: mc(controls),
+                target: map[*target],
+                theta: *theta,
+            },
+            Gate::McRz {
+                controls,
+                target,
+                theta,
+            } => Gate::McRz {
+                controls: mc(controls),
+                target: map[*target],
+                theta: *theta,
+            },
+            Gate::GlobalPhase(t) => Gate::GlobalPhase(*t),
+        }
+    }
+
     /// Control conditions of the gate (empty for plain gates).
     pub fn controls(&self) -> Vec<ControlBit> {
         match self {

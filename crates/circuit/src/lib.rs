@@ -21,6 +21,7 @@ pub mod gate;
 pub mod ladder;
 pub mod param;
 pub mod qft;
+pub mod relabel;
 pub mod structural;
 
 pub use circuit::{Circuit, ResourceCounts};
@@ -33,4 +34,5 @@ pub use gate::{matrices, ControlBit, Gate, GateKind};
 pub use ladder::{parity_ladder, transition_ladder, LadderStyle, ParityLadder, TransitionLadder};
 pub use param::{Binding, ParamExpr, ParameterizedCircuit};
 pub use qft::{inverse_qft, qft};
+pub use relabel::{exchange_count, QubitRelabeling};
 pub use structural::StructuralKey;

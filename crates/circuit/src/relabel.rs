@@ -1,0 +1,305 @@
+//! Logical→physical qubit relabeling for the sharded statevector engine.
+//!
+//! The sharded engine splits the amplitude array into `2^s` equal shards:
+//! the **top `s` bits** of a basis index select the shard, the rest address
+//! an amplitude inside it. Under the workspace convention (qubit 0 = most
+//! significant bit) the shard-index bits belong to the *lowest-numbered*
+//! qubits, so any fused op whose support touches qubits `0..s` straddles
+//! shards. A [`QubitRelabeling`] is a permutation `π` of qubit labels chosen
+//! so that the *coldest* qubits — the ones touched by the fewest
+//! exchange-requiring kernels — land on the shard-index positions, while hot
+//! qubits stay intra-shard and their ops run one shard at a time with zero
+//! communication.
+//!
+//! The permutation is folded into the emitted [`FusedCircuit`] by
+//! [`FusedCircuit::relabeled`] (qubit lists are mapped **element-wise,
+//! preserving their order**, so every kernel table and matrix is reused
+//! bit-for-bit) and un-permuted at measurement / sampling / expectation
+//! boundaries, which read amplitudes in logical order. Relabeling therefore
+//! never changes any observable output — it only changes which ops are
+//! shard-local.
+
+use crate::fusion::{FusedCircuit, FusedKernel};
+use crate::gate::Gate;
+
+/// A permutation of qubit labels: `forward[logical] = physical`.
+///
+/// Built by [`QubitRelabeling::for_sharding`] from an emitted
+/// [`FusedCircuit`]; applied with [`FusedCircuit::relabeled`]; undone at
+/// output boundaries via [`QubitRelabeling::inverse`] or the basis-index
+/// maps below.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QubitRelabeling {
+    forward: Vec<usize>,
+}
+
+impl QubitRelabeling {
+    /// The identity relabeling on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            forward: (0..n).collect(),
+        }
+    }
+
+    /// Builds a relabeling from an explicit `forward[logical] = physical`
+    /// table.
+    ///
+    /// # Panics
+    /// Panics when `forward` is not a permutation of `0..forward.len()`.
+    pub fn new(forward: Vec<usize>) -> Self {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &p in &forward {
+            assert!(
+                p < n && !seen[p],
+                "not a permutation of 0..{n}: {forward:?}"
+            );
+            seen[p] = true;
+        }
+        Self { forward }
+    }
+
+    /// Number of qubits the permutation acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Physical label of `logical`.
+    pub fn physical(&self, logical: usize) -> usize {
+        self.forward[logical]
+    }
+
+    /// The full `forward[logical] = physical` table.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// True when the permutation maps every qubit to itself.
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(q, &p)| q == p)
+    }
+
+    /// The inverse permutation (`physical → logical`).
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0; self.forward.len()];
+        for (q, &p) in self.forward.iter().enumerate() {
+            inv[p] = q;
+        }
+        Self { forward: inv }
+    }
+
+    /// Maps a **bit position** (0 = least significant) of a logical basis
+    /// index to the bit position it occupies in the physical index. Qubit
+    /// `q` of an `n`-qubit register sits at bit position `n-1-q`.
+    pub fn bit_mapping(&self) -> Vec<usize> {
+        let n = self.forward.len();
+        (0..n)
+            .map(|pos| n - 1 - self.forward[n - 1 - pos])
+            .collect()
+    }
+
+    /// Maps a logical basis index to the physical index holding its
+    /// amplitude. Prefer a precomputed [`QubitRelabeling::bit_mapping`]
+    /// table in hot loops.
+    pub fn permute_index(&self, logical: usize) -> usize {
+        let n = self.forward.len();
+        let mut physical = 0usize;
+        for q in 0..n {
+            if logical >> (n - 1 - q) & 1 == 1 {
+                physical |= 1 << (n - 1 - self.forward[q]);
+            }
+        }
+        physical
+    }
+
+    /// Chooses the sharding relabeling for an emitted fused circuit: qubits
+    /// are ranked by how often exchange-requiring kernels touch them, and
+    /// the coldest qubits are mapped to the lowest physical labels (the
+    /// shard-index positions). Diagonal kernels weigh nothing — they are
+    /// always shard-local; permutations weigh little — cross-shard they are
+    /// in-place moves, not gather/scatter exchanges; dense and sparse blocks
+    /// weigh the most. Ties break on the qubit label, so a circuit whose
+    /// qubits are all equally hot keeps the identity relabeling.
+    ///
+    /// The choice is independent of the shard count: for **any** number of
+    /// shard-index bits `s`, the `s` coldest qubits are exactly the first
+    /// `s` physical labels.
+    pub fn for_sharding(fused: &FusedCircuit) -> Self {
+        let n = fused.num_qubits();
+        let mut score = vec![0u64; n];
+        for op in fused.ops() {
+            let (weight, qubits) = kernel_heat(&op.kernel, &op.qubits);
+            for q in qubits {
+                score[q] += weight;
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&q| (score[q], q));
+        let mut forward = vec![0; n];
+        for (rank, &q) in order.iter().enumerate() {
+            forward[q] = rank;
+        }
+        let candidate = Self { forward };
+        if candidate.is_identity() {
+            return candidate;
+        }
+        // The heat ranking is a heuristic: on near-uniform circuits it can
+        // shuffle equally-hot qubits and *add* exchanges. Keep it only when
+        // it strictly reduces the exchange count, summed over shard widths
+        // so the comparison stays shard-count independent.
+        let relabeled = fused.relabeled(&candidate);
+        let cost = |c: &FusedCircuit| (1..=n.min(12)).map(|s| exchange_count(c, s)).sum::<usize>();
+        if cost(&relabeled) < cost(fused) {
+            candidate
+        } else {
+            Self::identity(n)
+        }
+    }
+}
+
+/// Exchange weight of a kernel and the qubits it heats. Diagonals never
+/// leave their shard; permutations cross shards as in-place moves (weight
+/// 1); dense/sparse blocks cross shards as gather→multiply→scatter
+/// exchanges (weight 4). For pass-through gates only the *target* counts:
+/// control bits are resolved from the shard base and never force an
+/// exchange.
+fn kernel_heat<'a>(kernel: &'a FusedKernel, qubits: &'a [usize]) -> (u64, Vec<usize>) {
+    match kernel {
+        FusedKernel::Diagonal(_) => (0, Vec::new()),
+        FusedKernel::Permutation { .. } => (1, qubits.to_vec()),
+        FusedKernel::Dense { .. } | FusedKernel::Sparse { .. } => (4, qubits.to_vec()),
+        FusedKernel::Gate(g) => gate_heat(g),
+    }
+}
+
+fn gate_heat(gate: &Gate) -> (u64, Vec<usize>) {
+    match gate {
+        // Diagonal in the computational basis: never exchanges.
+        Gate::Z(_)
+        | Gate::S(_)
+        | Gate::Sdg(_)
+        | Gate::T(_)
+        | Gate::Tdg(_)
+        | Gate::Phase { .. }
+        | Gate::Rz { .. }
+        | Gate::Cz { .. }
+        | Gate::KeyedPhase { .. }
+        | Gate::McRz { .. }
+        | Gate::GlobalPhase(_) => (0, Vec::new()),
+        // Permutations: in-place cross-shard moves.
+        Gate::X(q) => (1, vec![*q]),
+        Gate::Cx { target, .. } | Gate::McX { target, .. } => (1, vec![*target]),
+        Gate::Swap { a, b } => (1, vec![*a, *b]),
+        // Everything else mixes amplitudes: full exchanges on the target.
+        Gate::H(q) | Gate::Y(q) | Gate::Rx { qubit: q, .. } | Gate::Ry { qubit: q, .. } => {
+            (4, vec![*q])
+        }
+        Gate::McRx { target, .. } | Gate::McRy { target, .. } => (4, vec![*target]),
+    }
+}
+
+/// Counts the fused ops that require gather/scatter **exchanges** when the
+/// `shard_qubits` lowest-numbered physical qubits serve as the shard index:
+/// dense/sparse kernels (and pass-through rotations) whose target support
+/// touches a shard-index qubit. Diagonal and permutation kernels never
+/// count — cross-shard they are per-amplitude phases and in-place moves.
+/// This is the per-workload metric `BENCH.json` records before and after
+/// relabeling.
+pub fn exchange_count(fused: &FusedCircuit, shard_qubits: usize) -> usize {
+    fused
+        .ops()
+        .iter()
+        .filter(|op| {
+            let (weight, qubits) = kernel_heat(&op.kernel, &op.qubits);
+            weight >= 4 && qubits.iter().any(|&q| q < shard_qubits)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn hot_low_circuit() -> Circuit {
+        // Qubits 0 and 1 carry all the rotations; 4 and 5 see only phases.
+        let mut c = Circuit::new(6);
+        for k in 0..4 {
+            c.rx(0, 0.3 + 0.1 * k as f64);
+            c.cx(0, 1);
+            c.rx(1, 0.7);
+            c.rz(4, 0.2);
+            c.cz(4, 5);
+        }
+        c
+    }
+
+    #[test]
+    fn permutation_validates_and_inverts() {
+        let r = QubitRelabeling::new(vec![2, 0, 1]);
+        assert_eq!(r.inverse().as_slice(), &[1, 2, 0]);
+        assert!(QubitRelabeling::identity(4).is_identity());
+        assert!(!r.is_identity());
+        let inv = r.inverse();
+        for q in 0..3 {
+            assert_eq!(inv.physical(r.physical(q)), q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutations() {
+        QubitRelabeling::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn index_permutation_matches_bit_mapping() {
+        let r = QubitRelabeling::new(vec![1, 2, 0]);
+        let bits = r.bit_mapping();
+        for logical in 0..8usize {
+            let mut physical = 0usize;
+            for (pos, &dst) in bits.iter().enumerate() {
+                if logical >> pos & 1 == 1 {
+                    physical |= 1 << dst;
+                }
+            }
+            assert_eq!(r.permute_index(logical), physical);
+        }
+        // Identity maps every index to itself.
+        let id = QubitRelabeling::identity(5);
+        for i in [0usize, 7, 19, 31] {
+            assert_eq!(id.permute_index(i), i);
+        }
+    }
+
+    #[test]
+    fn sharding_relabeling_cools_the_shard_bits() {
+        let fused = hot_low_circuit().fused();
+        let r = QubitRelabeling::for_sharding(&fused);
+        // The rotation-heavy qubits 0 and 1 must move out of the two
+        // shard-index positions; the phase-only qubits must move in.
+        assert!(r.physical(0) >= 2, "hot qubit 0 stayed low: {r:?}");
+        assert!(r.physical(1) >= 2, "hot qubit 1 stayed low: {r:?}");
+        let relabeled = fused.relabeled(&r);
+        assert!(exchange_count(&relabeled, 2) < exchange_count(&fused, 2));
+        assert_eq!(exchange_count(&relabeled, 2), 0);
+    }
+
+    #[test]
+    fn uniform_circuits_keep_the_identity() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        let fused = c.fused();
+        assert!(QubitRelabeling::for_sharding(&fused).is_identity());
+    }
+
+    #[test]
+    fn relabel_round_trips_exactly() {
+        let fused = hot_low_circuit().fused();
+        let r = QubitRelabeling::for_sharding(&fused);
+        let back = fused.relabeled(&r).relabeled(&r.inverse());
+        assert_eq!(back, fused);
+    }
+}

@@ -7,10 +7,16 @@
 //! and the application layers (`measurement`, `trotter`, `ghs_hubo`,
 //! `ghs_chemistry`, the benchmark binaries) are written against the trait.
 //!
-//! Three backends ship today:
+//! Four backends ship today:
 //!
 //! * [`FusedStatevector`] — the production path: gate fusion + specialized
-//!   kernels (PR 2), exact to machine precision;
+//!   kernels (PR 2), exact to machine precision. Above
+//!   [`SHARDED_MIN_QUBITS`] qubits it transparently executes through the
+//!   sharded engine (identical results, bit for bit);
+//! * [`ShardedStatevector`] — the scale path: the amplitude array is split
+//!   into cache-sized shards, hot qubits are relabeled intra-shard, and
+//!   runs of shard-local fused ops are applied per shard while it is
+//!   cache-hot ([`ghs_statevector::ShardedStateVector`]);
 //! * [`ReferenceStatevector`] — one sweep per gate, the slow oracle the
 //!   property tests compare everything against;
 //! * [`PauliNoise`] — stochastic Pauli-noise trajectories (per-gate
@@ -56,7 +62,8 @@
 use ghs_circuit::{Circuit, Gate, ParameterizedCircuit};
 use ghs_math::SparseMatrix;
 use ghs_statevector::{
-    adjoint_gradient, derive_stream_seed, CachedDistribution, GroupedPauliSum, StateVector,
+    adjoint_gradient, derive_stream_seed, CachedDistribution, GroupedPauliSum, ShardedStateVector,
+    StateVector, SHARDED_MIN_QUBITS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -281,7 +288,15 @@ impl Backend for FusedStatevector {
         "fused-statevector"
     }
 
+    /// Fused execution, crossing over to the sharded engine at
+    /// [`SHARDED_MIN_QUBITS`] qubits, where the flat sweep turns
+    /// memory-bound. The two paths are bit-identical (the sharded engine
+    /// replays the flat kernels' per-amplitude arithmetic and returns
+    /// amplitudes in logical order), so the crossover is unobservable.
     fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
+        if circuit.num_qubits() >= SHARDED_MIN_QUBITS {
+            return ShardedStatevector.run(initial, circuit);
+        }
         let mut s = initial.clone();
         s.run_fused(circuit);
         s
@@ -303,6 +318,54 @@ impl Backend for FusedStatevector {
     /// Adjoint-mode gradient: one forward sweep, one reverse sweep, `O(P)`
     /// masked inner products — instead of the default's `O(P)` full
     /// simulations (see [`ghs_statevector::adjoint_gradient`]).
+    fn expectation_gradient(
+        &self,
+        initial: &StateVector,
+        circuit: &ParameterizedCircuit,
+        params: &[f64],
+        observable: &GroupedPauliSum,
+    ) -> (f64, Vec<f64>) {
+        let r = adjoint_gradient(initial, circuit, params, observable);
+        (r.energy, r.gradient)
+    }
+}
+
+/// The scale backend: executes through
+/// [`ghs_statevector::ShardedStateVector`] — amplitudes split into
+/// cache-sized shards, hot qubits relabeled intra-shard
+/// ([`ghs_circuit::QubitRelabeling`]), and consecutive shard-local fused ops
+/// cache-blocked per shard. Bit-identical to [`FusedStatevector`] on every
+/// circuit, for every shard count (`GHS_SHARD_COUNT`); intended for the
+/// 24–30 qubit range where the flat sweep is memory-bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedStatevector;
+
+impl Backend for ShardedStatevector {
+    fn name(&self) -> &'static str {
+        "sharded-statevector"
+    }
+
+    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
+        let mut s = ShardedStateVector::from_state(initial);
+        s.run(circuit);
+        s.to_state()
+    }
+
+    /// Deterministic engine: sample straight from the evolved state (see
+    /// [`FusedStatevector`]'s override).
+    fn sample(
+        &self,
+        initial: &StateVector,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        self.run(initial, circuit).sample_cached(shots, seed)
+    }
+
+    /// Adjoint-mode gradient through the flat engine: the reverse sweep's
+    /// inner products are layout-independent, and gradient workloads live
+    /// well below the sharding crossover.
     fn expectation_gradient(
         &self,
         initial: &StateVector,
@@ -537,6 +600,9 @@ pub enum BackendSpec {
     /// The fusion-accelerated statevector backend ([`FusedStatevector`]).
     #[default]
     Fused,
+    /// The sharded cache-blocked statevector backend
+    /// ([`ShardedStatevector`]).
+    Sharded,
     /// The gate-by-gate reference backend ([`ReferenceStatevector`]).
     Reference,
     /// A stochastic Pauli-noise ensemble ([`PauliNoise`]).
@@ -557,6 +623,7 @@ impl BackendSpec {
     pub fn build(&self) -> Box<dyn Backend + Send + Sync> {
         match *self {
             BackendSpec::Fused => Box::new(FusedStatevector),
+            BackendSpec::Sharded => Box::new(ShardedStatevector),
             BackendSpec::Reference => Box::new(ReferenceStatevector),
             BackendSpec::Noisy {
                 depolarizing,
@@ -576,6 +643,7 @@ impl BackendSpec {
     pub fn name(&self) -> &'static str {
         match self {
             BackendSpec::Fused => "fused",
+            BackendSpec::Sharded => "sharded",
             BackendSpec::Reference => "reference",
             BackendSpec::Noisy { .. } => "noisy",
         }
@@ -583,11 +651,13 @@ impl BackendSpec {
 }
 
 /// Looks a backend up by its selection name (see the README's backend
-/// table): `"fused"`, `"reference"`, or `"noisy"` (depolarizing `1%`,
-/// 10 trajectories, seed 0). Returns `None` for unknown names.
+/// table): `"fused"`, `"sharded"`, `"reference"`, or `"noisy"`
+/// (depolarizing `1%`, 10 trajectories, seed 0). Returns `None` for unknown
+/// names.
 pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
     match name {
         "fused" => Some(Box::new(FusedStatevector)),
+        "sharded" => Some(Box::new(ShardedStatevector)),
         "reference" => Some(Box::new(ReferenceStatevector)),
         "noisy" => Some(Box::new(PauliNoise::depolarizing(0.01, 10, 0))),
         _ => None,
@@ -617,6 +687,25 @@ mod tests {
         let f = FusedStatevector.run(&initial, &c);
         let r = ReferenceStatevector.run(&initial, &c);
         assert!(f.distance(&r) < 1e-12);
+    }
+
+    #[test]
+    fn sharded_backend_is_bit_identical_to_fused() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let initial = StateVector::random_state(7, &mut rng);
+        let c = ghz_circuit(7);
+        let f = FusedStatevector.run(&initial, &c);
+        let s = ShardedStatevector.run(&initial, &c);
+        assert_eq!(f.amplitudes(), s.amplitudes());
+        let zero = StateVector::zero_state(7);
+        assert_eq!(
+            FusedStatevector.sample(&zero, &c, 512, 5),
+            ShardedStatevector.sample(&zero, &c, 512, 5)
+        );
+        assert_eq!(
+            backend_by_name("sharded").unwrap().name(),
+            "sharded-statevector"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod usual;
 
 pub use backend::{
     backend_by_name, parameter_shift_gradient, Backend, BackendSpec, FusedStatevector, PauliNoise,
-    ReferenceStatevector,
+    ReferenceStatevector, ShardedStatevector,
 };
 pub use block_encoding::{
     block_encode_hamiltonian, block_encode_lcu, block_encode_term, term_lcu,

@@ -1,7 +1,7 @@
 //! The structural plan cache: the artifact store that lets repeated circuit
 //! topologies skip planning and preparation entirely.
 //!
-//! Three capacity-bounded LRU maps, all shared by every worker:
+//! Four capacity-bounded LRU maps, all shared by every worker:
 //!
 //! * **plans** — [`StructuralKey`] → [`FusionPlan`]. A plan depends only on
 //!   gate structure, never on angles, so every binding of a template (and
@@ -9,11 +9,17 @@
 //! * **observables** — content fingerprint of a [`PauliSum`] →
 //!   [`GroupedPauliSum`]. Observable preparation depends only on the
 //!   Hamiltonian, so VQE/QAOA streams prepare each observable once.
-//! * **distributions** — (structural key, initial state, exact angle bits) →
-//!   [`CachedDistribution`]. A repeated *fully-specified* circuit lets
-//!   sampling jobs skip the state-vector execution altogether and draw shots
-//!   straight from the cached alias table; distinct seeds still give
-//!   independent, deterministic streams.
+//! * **distributions** — (structural key, initial state, exact angle bits,
+//!   execution-layout fingerprint) → [`CachedDistribution`]. A repeated
+//!   *fully-specified* circuit lets sampling jobs skip the state-vector
+//!   execution altogether and draw shots straight from the cached alias
+//!   table; distinct seeds still give independent, deterministic streams.
+//! * **relabelings** — [`StructuralKey`] → the sharded engine's
+//!   [`QubitRelabeling`]. Any relabeling yields correct (indeed,
+//!   bit-identical) results — the permutation only decides which fused ops
+//!   are shard-local — so sharing one relabeling across all bindings of a
+//!   template is sound even though the heat scores it was derived from are
+//!   angle-dependent.
 //!
 //! A capacity of `0` disables caching — every lookup is a miss and nothing
 //! is stored. The cold leg of the `service_mixed_throughput` benchmark runs
@@ -22,7 +28,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ghs_circuit::{Circuit, FusionPlan, StructuralKey};
+use ghs_circuit::{Circuit, FusedCircuit, FusionPlan, QubitRelabeling, StructuralKey};
 use ghs_operators::PauliSum;
 use ghs_statevector::{CachedDistribution, GroupedPauliSum};
 
@@ -86,14 +92,34 @@ impl<K: PartialEq, V: Clone> Lru<K, V> {
 }
 
 /// Identity of a fully-specified execution for the distribution cache:
-/// structure, starting basis state, and the exact bit patterns of every
-/// angle in the bound circuit. Angle bits (not approximate equality) keep
-/// the cache sound: a hit reproduces the exact amplitudes bit for bit.
+/// structure, starting basis state, the exact bit patterns of every angle
+/// in the bound circuit, and the execution layout. Angle bits (not
+/// approximate equality) keep the cache sound: a hit reproduces the exact
+/// amplitudes bit for bit. The layout fingerprint (`0` for the flat engine,
+/// [`layout_fingerprint`] for a sharded run) keys the *engine
+/// configuration* the distribution was built under, so a sharded-layout
+/// entry is never served to a flat job or vice versa.
 #[derive(Clone, PartialEq, Eq)]
 pub(crate) struct DistKey {
     pub key: StructuralKey,
     pub initial: usize,
     pub angles: Vec<u64>,
+    pub layout: u64,
+}
+
+/// FNV-1a fingerprint of a sharded execution layout (shard count plus the
+/// relabeling's forward table). Never `0`, the flat engine's reserved
+/// layout value.
+pub(crate) fn layout_fingerprint(shard_count: usize, relabeling: &QubitRelabeling) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let word = |h: &mut u64, w: u64| *h = (*h ^ w).wrapping_mul(PRIME);
+    word(&mut h, shard_count as u64);
+    for &p in relabeling.as_slice() {
+        word(&mut h, p as u64);
+    }
+    h.max(1)
 }
 
 /// The exact angle bit patterns of a bound circuit, in gate order.
@@ -140,7 +166,11 @@ pub struct CacheStats {
     pub distribution_hits: u64,
     /// Sampling jobs that had to execute and build the alias table.
     pub distribution_misses: u64,
-    /// Entries evicted under the capacity bound, across all three maps.
+    /// Sharded-layout lookups served from the cache.
+    pub relabeling_hits: u64,
+    /// Sharded-layout lookups that had to score the fused circuit.
+    pub relabeling_misses: u64,
+    /// Entries evicted under the capacity bound, across all maps.
     pub evictions: u64,
 }
 
@@ -152,6 +182,8 @@ struct Counters {
     observable_misses: AtomicU64,
     distribution_hits: AtomicU64,
     distribution_misses: AtomicU64,
+    relabeling_hits: AtomicU64,
+    relabeling_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -163,6 +195,7 @@ pub struct PlanCache {
     plans: Mutex<Lru<StructuralKey, Arc<FusionPlan>>>,
     observables: Mutex<Lru<u64, Arc<GroupedPauliSum>>>,
     distributions: Mutex<Lru<DistKey, Arc<CachedDistribution>>>,
+    relabelings: Mutex<Lru<StructuralKey, Arc<QubitRelabeling>>>,
     counters: Counters,
 }
 
@@ -174,6 +207,7 @@ impl PlanCache {
             plans: Mutex::new(Lru::new(capacity)),
             observables: Mutex::new(Lru::new(capacity)),
             distributions: Mutex::new(Lru::new(capacity)),
+            relabelings: Mutex::new(Lru::new(capacity)),
             counters: Counters::default(),
         }
     }
@@ -214,6 +248,33 @@ impl PlanCache {
         obs
     }
 
+    /// The sharded engine's qubit relabeling for `fused`'s topology: cached
+    /// by structural key, scored from the emitted circuit on miss
+    /// ([`QubitRelabeling::for_sharding`]). Sharing one relabeling across
+    /// every binding of a template is sound because the sharded engine is
+    /// bit-identical under *any* relabeling; caching only pins *which*
+    /// (equally correct) layout the service executes under.
+    pub(crate) fn sharding_relabeling(
+        &self,
+        fused: &FusedCircuit,
+        key: StructuralKey,
+    ) -> Arc<QubitRelabeling> {
+        if let Some(r) = self.relabelings.lock().unwrap().get(&key) {
+            self.counters
+                .relabeling_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return r;
+        }
+        self.counters
+            .relabeling_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let r = Arc::new(QubitRelabeling::for_sharding(fused));
+        if self.relabelings.lock().unwrap().insert(key, r.clone()) {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
     /// Looks up the cached pre-measurement distribution of a fully-specified
     /// execution. Counts a hit or a miss; the caller stores the distribution
     /// it builds on a miss via [`PlanCache::store_distribution`].
@@ -244,6 +305,8 @@ impl PlanCache {
             observable_misses: c.observable_misses.load(Ordering::Relaxed),
             distribution_hits: c.distribution_hits.load(Ordering::Relaxed),
             distribution_misses: c.distribution_misses.load(Ordering::Relaxed),
+            relabeling_hits: c.relabeling_hits.load(Ordering::Relaxed),
+            relabeling_misses: c.relabeling_misses.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
         }
     }

@@ -28,9 +28,9 @@ use std::thread::JoinHandle;
 
 use ghs_circuit::{Circuit, StructuralKey};
 use ghs_core::{Backend, BackendSpec, FusedStatevector, PauliNoise, ReferenceStatevector};
-use ghs_statevector::{CachedDistribution, StateVector};
+use ghs_statevector::{CachedDistribution, ShardedStateVector, StateVector};
 
-use crate::cache::{angle_bits, CacheStats, DistKey, PlanCache};
+use crate::cache::{angle_bits, layout_fingerprint, CacheStats, DistKey, PlanCache};
 use crate::job::{CircuitSource, JobId, JobOutput, JobRequest, JobResult, JobSpec, SubmitError};
 use crate::queue::FairQueue;
 
@@ -357,6 +357,7 @@ fn reset_state(
 fn run_job(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
     match spec.backend {
         BackendSpec::Fused => run_fused(cache, scratch, spec),
+        BackendSpec::Sharded => run_sharded(cache, scratch, spec),
         BackendSpec::Reference => run_generic(&ReferenceStatevector, cache, scratch, spec),
         BackendSpec::Noisy {
             depolarizing,
@@ -414,6 +415,7 @@ fn run_fused(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> 
             key,
             initial: spec.initial,
             angles: angle_bits(circuit),
+            layout: 0,
         };
         if let Some(dist) = cache.distribution(&dkey) {
             return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
@@ -463,6 +465,81 @@ fn execute_fused<'a>(
         state.run_unfused(circuit);
     }
     state
+}
+
+/// The sharded fast path: cached structural plan **and cached qubit
+/// relabeling** + in-place template rebinding + shared distribution cache,
+/// executed through [`ShardedStateVector`]. Mirrors [`run_fused`]; the
+/// distribution cache keys include the execution layout (shard count +
+/// relabeling) via [`layout_fingerprint`], so flat and sharded entries for
+/// the same circuit never alias. Results are bit-identical to the flat path
+/// for every shard count — the layout key pins cache provenance, not
+/// output values.
+fn run_sharded(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
+    let n = spec.circuit.num_qubits();
+    let key = spec.circuit.structural_key();
+    let WorkerScratch {
+        bound, initials, ..
+    } = scratch;
+
+    // Gradients go through the flat adjoint engine: its forward/reverse
+    // sweeps and masked inner products are layout-independent, and gradient
+    // workloads live well below the sharding crossover.
+    if let JobRequest::Gradient { observable } = &spec.request {
+        let (template, params) = match &spec.circuit {
+            CircuitSource::Template { template, params } => (template, params),
+            CircuitSource::Concrete(_) => unreachable!("validated at submission"),
+        };
+        let grouped = cache.observable(observable);
+        let init = reset_state(initials, n, spec.initial);
+        let (energy, gradient) =
+            FusedStatevector.expectation_gradient(init, template, params, &grouped);
+        return JobOutput::Gradient { energy, gradient };
+    }
+
+    let circuit = resolve_circuit(bound, &spec.circuit, key);
+    let execute = |cache: &PlanCache| -> StateVector {
+        let plan = cache.plan(circuit, key);
+        let fused = plan.emit(circuit);
+        let relabeling = cache.sharding_relabeling(&fused, key);
+        let mut state = ShardedStateVector::basis_state(n, spec.initial);
+        state.run_fused_with(&fused, &relabeling);
+        state.to_state()
+    };
+
+    if let JobRequest::Sample { shots } = spec.request {
+        let plan = cache.plan(circuit, key);
+        let fused = plan.emit(circuit);
+        let relabeling = cache.sharding_relabeling(&fused, key);
+        let dkey = DistKey {
+            key,
+            initial: spec.initial,
+            angles: angle_bits(circuit),
+            layout: layout_fingerprint(ghs_statevector::shard_count_for(n), &relabeling),
+        };
+        if let Some(dist) = cache.distribution(&dkey) {
+            return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
+        }
+        let mut state = ShardedStateVector::basis_state(n, spec.initial);
+        state.run_fused_with(&fused, &relabeling);
+        let dist = Arc::new(CachedDistribution::from_state(&state.to_state()));
+        cache.store_distribution(dkey, dist.clone());
+        return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
+    }
+
+    let state = execute(cache);
+    match &spec.request {
+        JobRequest::Expectation { observable } => {
+            let grouped = cache.observable(observable);
+            JobOutput::Expectation(state.expectation_grouped(&grouped).re)
+        }
+        JobRequest::Probabilities => {
+            JobOutput::Probabilities(state.amplitudes().iter().map(|a| a.norm_sqr()).collect())
+        }
+        JobRequest::Sample { .. } | JobRequest::Gradient { .. } => {
+            unreachable!("handled above")
+        }
+    }
 }
 
 /// The generic path for non-fused backends: same template rebinding and

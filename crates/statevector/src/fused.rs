@@ -77,8 +77,8 @@ struct Support {
 impl Support {
     fn new(num_qubits: usize, qubits: &[usize]) -> Self {
         let k = qubits.len();
-        // Qubits are sorted ascending, so positions are strictly descending
-        // and pos[0] is the highest bit the op touches.
+        // Emission sorts qubits ascending, but relabeled circuits may carry
+        // them in any order — the span must come from the max bit position.
         let pos: Vec<usize> = qubits.iter().map(|q| num_qubits - 1 - q).collect();
         let kdim = 1usize << k;
         let scatter: Vec<usize> = (0..kdim)
@@ -93,7 +93,7 @@ impl Support {
             })
             .collect();
         let smask: usize = pos.iter().map(|p| 1usize << p).sum();
-        let span = 1usize << (pos[0] + 1);
+        let span = 1usize << (pos.iter().copied().max().unwrap_or(0) + 1);
         let dim = 1usize << num_qubits;
         let chunk = span.max(MIN_CHUNK).min(dim);
         Self {

@@ -16,6 +16,7 @@ pub mod fused;
 pub mod gradient;
 pub mod prepare;
 pub mod sampling;
+pub mod sharded;
 pub mod state;
 pub mod testkit;
 
@@ -23,4 +24,5 @@ pub use expectation::{qwc_partition, qwc_signature, GroupedPauliSum};
 pub use gradient::{adjoint_gradient, adjoint_gradient_into, generator_inner, GradientResult};
 pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};
 pub use sampling::{derive_stream_seed, CachedDistribution};
+pub use sharded::{forced_shard_count, shard_count_for, ShardedStateVector, SHARDED_MIN_QUBITS};
 pub use state::{circuit_unitary, evolve, parallel_threshold, StateVector};

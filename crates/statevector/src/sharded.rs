@@ -1,0 +1,1058 @@
+//! Sharded statevector engine for the 24–30 qubit range.
+//!
+//! [`crate::StateVector`] keeps all `2^n` amplitudes in one flat `Vec` and
+//! sweeps the whole array once per fused op — at 24 qubits that is 256 MB of
+//! DRAM traffic per op, and the dense sweep becomes memory-bound
+//! (`bench/baseline.json`: ~1.8k gates/sec at 20 qubits vs ~28k at 16).
+//! [`ShardedStateVector`] splits the amplitude array into `2^s` equal
+//! shards, the qHiPSTER/Intel-QS distributed-amplitude scheme collapsed into
+//! one process:
+//!
+//! * the **top `s` bits** of the (physical) basis index select the shard,
+//!   the remaining `local_bits` address an amplitude inside it;
+//! * an op whose support lies entirely in the low `local_bits` positions is
+//!   **shard-local**: consecutive runs of shard-local ops are applied one
+//!   shard at a time while the shard is cache-hot (cache blocking), so a run
+//!   of `k` ops costs one DRAM sweep instead of `k`;
+//! * ops that touch shard-index bits cross shards: **diagonal** kernels
+//!   still never exchange (each amplitude only meets its own phase),
+//!   **permutations** cross as in-place moves, and dense/sparse kernels
+//!   perform gather→multiply→scatter **exchanges** across the affected shard
+//!   family;
+//! * a [`QubitRelabeling`] chosen per circuit maps hot qubits away from the
+//!   shard-index positions so exchanges are rare; every output boundary
+//!   ([`ShardedStateVector::to_state`], [`ShardedStateVector::probabilities`],
+//!   [`ShardedStateVector::amplitude`], …) reads amplitudes in **logical**
+//!   order, un-permuting the relabeling.
+//!
+//! Every kernel here replays the flat engine's per-amplitude arithmetic in
+//! the same order, so evolving a state through this engine is bit-identical
+//! to [`crate::StateVector::apply_fused`] for any shard count and any
+//! relabeling — the existing property suites double as the oracle, and
+//! seeded sampling from the recovered state is byte-identical across
+//! `GHS_SHARD_COUNT` settings.
+//!
+//! The engine evolves in place with `O(1)` extra memory (a stack gather
+//! buffer of at most `2^MAX_DENSE_QUBITS` amplitudes): it never materializes
+//! a second full `2^n` buffer. CI proves this by running a 24-qubit workload
+//! under a `ulimit -v` sized for one flat copy plus scratch.
+
+use crate::state::{control_mask, parallel_threshold, StateVector};
+use ghs_circuit::{Circuit, FusedCircuit, FusedKernel, FusedOp, Gate, QubitRelabeling};
+use ghs_math::{CMatrix, Complex64};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Stack gather-buffer bound, shared with the flat engine.
+const MAX_BLOCK_DIM: usize = 1 << ghs_circuit::MAX_DENSE_QUBITS;
+
+/// Default shard size in amplitudes (`2^15` = 512 KB of `Complex64`): small
+/// enough that a whole shard stays L2-resident while a run of shard-local
+/// ops replays over it (measured best on a 2 MB-L2 part across a
+/// 512 KB–16 MB sweep), large enough that per-shard dispatch is noise.
+const DEFAULT_SHARD_AMPS: usize = 1 << 15;
+
+/// Register size at which [`crate::StateVector`]-based backends cross over
+/// to the sharded engine: above ~22 qubits the flat sweep is memory-bound
+/// and cache-blocked sharded execution wins even single-threaded.
+pub const SHARDED_MIN_QUBITS: usize = 22;
+
+/// Forced shard count from the `GHS_SHARD_COUNT` environment variable (read
+/// once per process), or `None` to size shards automatically. Values are
+/// clamped to `[1, 2^n]` and rounded down to a power of two at use sites;
+/// unparsable or missing values fall back to the automatic policy. CI's
+/// determinism matrix re-runs the seeded suites with this forced to 1, 4
+/// and 64 and requires byte-identical output.
+pub fn forced_shard_count() -> Option<usize> {
+    static COUNT: OnceLock<Option<usize>> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        std::env::var("GHS_SHARD_COUNT")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c >= 1)
+    })
+}
+
+/// Shard count the engine picks for an `n`-qubit register: the forced count
+/// when `GHS_SHARD_COUNT` is set, otherwise `2^n / DEFAULT_SHARD_AMPS`;
+/// always a power of two in `[1, 2^n]`.
+pub fn shard_count_for(num_qubits: usize) -> usize {
+    let dim = 1usize << num_qubits;
+    let raw = forced_shard_count()
+        .unwrap_or_else(|| (dim / DEFAULT_SHARD_AMPS).max(1))
+        .clamp(1, dim);
+    // Round down to a power of two so shard boundaries align with qubits.
+    1usize << (usize::BITS - 1 - raw.leading_zeros())
+}
+
+/// Calls `f(s)` for every `s` whose set bits lie inside `mask` (including
+/// `0`), in increasing order — the same subset-iteration identity the flat
+/// engine uses.
+#[inline]
+fn for_each_subset<F: FnMut(usize)>(mask: usize, mut f: F) {
+    let mut s = 0usize;
+    loop {
+        f(s);
+        s = s.wrapping_sub(mask) & mask;
+        if s == 0 {
+            break;
+        }
+    }
+}
+
+/// One cycle of a permutation kernel, over scatter offsets.
+struct Cycle {
+    offs: Vec<usize>,
+    phs: Vec<Complex64>,
+    trivial: bool,
+}
+
+/// A sparse component resolved to scatter offsets.
+struct Comp {
+    offs: Vec<usize>,
+    flat: Vec<Complex64>,
+}
+
+/// A fused op lowered to base-offset form: every variant can be applied to
+/// a chunk `[base, base + len)` of the physical amplitude array given the
+/// chunk's absolute base (which resolves control masks and shard-index
+/// bits), or element-wise across shards when its span exceeds a shard.
+enum Kind {
+    /// Non-unit phase table entries at their scatter offsets.
+    Diagonal { active: Vec<(usize, Complex64)> },
+    /// Cycle-decomposed phased shuffle.
+    Permutation {
+        cycles: Vec<Cycle>,
+        fixed: Vec<(usize, Complex64)>,
+    },
+    /// Gather → `2^k × 2^k` multiply → scatter with a control mask.
+    Dense {
+        scatter: Vec<usize>,
+        flat: Vec<Complex64>,
+        kdim: usize,
+        cmask: usize,
+        cval: usize,
+    },
+    /// Block-sparse components.
+    Sparse { comps: Vec<Comp> },
+    /// (Multi-)controlled single-qubit unitary: pair sweep at `stride`.
+    CtrlSingle {
+        stride: usize,
+        cmask: usize,
+        cval: usize,
+        u: [Complex64; 4],
+    },
+    /// Keyed phase: one mask compare and at most one multiply per amplitude.
+    Keyed {
+        kmask: usize,
+        kval: usize,
+        phase: Complex64,
+    },
+    /// SWAP of two bit positions.
+    Swap { pa: usize, pb: usize },
+    /// Global phase over every amplitude.
+    Phase { phase: Complex64 },
+}
+
+/// A prepared op: its kind plus the smallest aligned power-of-two window
+/// (`span`) containing its support, and the support mask (`smask`) group
+/// sweeps exclude. Control/key masks are *not* part of the span: they are
+/// resolved from the absolute base, so controls on shard-index bits never
+/// force an exchange.
+struct Prepared {
+    span: usize,
+    smask: usize,
+    kind: Kind,
+}
+
+/// Scatter table of a support: local index `l` lives at
+/// `group_base + scatter[l]`, with the op's first qubit as the most
+/// significant local bit. Works for unsorted (relabeled) supports.
+fn scatter_table(num_qubits: usize, qubits: &[usize]) -> (Vec<usize>, usize, usize) {
+    let k = qubits.len();
+    let pos: Vec<usize> = qubits.iter().map(|q| num_qubits - 1 - q).collect();
+    let kdim = 1usize << k;
+    let scatter: Vec<usize> = (0..kdim)
+        .map(|l| {
+            let mut off = 0usize;
+            for (j, p) in pos.iter().enumerate() {
+                if (l >> (k - 1 - j)) & 1 == 1 {
+                    off |= 1 << p;
+                }
+            }
+            off
+        })
+        .collect();
+    let smask: usize = pos.iter().map(|p| 1usize << p).sum();
+    let span = match pos.iter().max() {
+        Some(&m) => 1usize << (m + 1),
+        None => 1,
+    };
+    (scatter, smask, span)
+}
+
+impl Prepared {
+    fn build(num_qubits: usize, op: &FusedOp) -> Self {
+        let (scatter, smask, span) = scatter_table(num_qubits, &op.qubits);
+        match &op.kernel {
+            FusedKernel::Diagonal(table) => {
+                let active: Vec<(usize, Complex64)> = table
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| **p != Complex64::ONE)
+                    .map(|(l, p)| (scatter[l], *p))
+                    .collect();
+                Prepared {
+                    span,
+                    smask,
+                    kind: Kind::Diagonal { active },
+                }
+            }
+            FusedKernel::Permutation { targets, phases } => {
+                let kdim = targets.len();
+                let mut cycles: Vec<Cycle> = Vec::new();
+                let mut fixed: Vec<(usize, Complex64)> = Vec::new();
+                let mut visited = vec![false; kdim];
+                for start in 0..kdim {
+                    if visited[start] {
+                        continue;
+                    }
+                    if targets[start] as usize == start {
+                        visited[start] = true;
+                        if phases[start] != Complex64::ONE {
+                            fixed.push((scatter[start], phases[start]));
+                        }
+                        continue;
+                    }
+                    let mut offs = Vec::new();
+                    let mut phs = Vec::new();
+                    let mut l = start;
+                    while !visited[l] {
+                        visited[l] = true;
+                        offs.push(scatter[l]);
+                        phs.push(phases[l]);
+                        l = targets[l] as usize;
+                    }
+                    let trivial = phs.iter().all(|p| *p == Complex64::ONE);
+                    cycles.push(Cycle { offs, phs, trivial });
+                }
+                Prepared {
+                    span,
+                    smask,
+                    kind: Kind::Permutation { cycles, fixed },
+                }
+            }
+            FusedKernel::Dense { controls, matrix } => {
+                let (cmask, cval) = control_mask(controls, num_qubits);
+                if op.qubits.len() == 1 {
+                    Prepared::ctrl_single(num_qubits, op.qubits[0], cmask, cval, matrix)
+                } else {
+                    Prepared {
+                        span,
+                        smask,
+                        kind: Kind::Dense {
+                            flat: matrix.data().to_vec(),
+                            kdim: scatter.len(),
+                            scatter,
+                            cmask,
+                            cval,
+                        },
+                    }
+                }
+            }
+            FusedKernel::Sparse { components } => {
+                let comps: Vec<Comp> = components
+                    .iter()
+                    .map(|c| Comp {
+                        offs: c.indices.iter().map(|&i| scatter[i as usize]).collect(),
+                        flat: c.matrix.data().to_vec(),
+                    })
+                    .collect();
+                Prepared {
+                    span,
+                    smask,
+                    kind: Kind::Sparse { comps },
+                }
+            }
+            FusedKernel::Gate(g) => Prepared::from_gate(num_qubits, g),
+        }
+    }
+
+    /// A controlled single-qubit unitary at the target's bit position. The
+    /// `u00·a0 + u01·a1` pair arithmetic mirrors
+    /// `StateVector::apply_controlled_single_qubit` exactly.
+    fn ctrl_single(
+        num_qubits: usize,
+        target: usize,
+        cmask: usize,
+        cval: usize,
+        u: &CMatrix,
+    ) -> Self {
+        let pos = num_qubits - 1 - target;
+        let stride = 1usize << pos;
+        Prepared {
+            span: stride << 1,
+            smask: stride,
+            kind: Kind::CtrlSingle {
+                stride,
+                cmask,
+                cval,
+                u: [u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]],
+            },
+        }
+    }
+
+    /// Pass-through gates (wider than the fusion windows) lowered to the
+    /// same primitive sweeps the flat `StateVector::apply_gate` uses.
+    fn from_gate(num_qubits: usize, gate: &Gate) -> Self {
+        match gate {
+            Gate::GlobalPhase(theta) => Prepared {
+                span: 1,
+                smask: 0,
+                kind: Kind::Phase {
+                    phase: Complex64::cis(*theta),
+                },
+            },
+            Gate::KeyedPhase { key, theta } => {
+                let (kmask, kval) = control_mask(key, num_qubits);
+                Prepared {
+                    span: 1,
+                    smask: 0,
+                    kind: Kind::Keyed {
+                        kmask,
+                        kval,
+                        phase: Complex64::cis(*theta),
+                    },
+                }
+            }
+            Gate::Cz { a, b } => {
+                let (kmask, kval) = control_mask(
+                    &[
+                        ghs_circuit::ControlBit::one(*a),
+                        ghs_circuit::ControlBit::one(*b),
+                    ],
+                    num_qubits,
+                );
+                Prepared {
+                    span: 1,
+                    smask: 0,
+                    kind: Kind::Keyed {
+                        kmask,
+                        kval,
+                        phase: Complex64::cis(std::f64::consts::PI),
+                    },
+                }
+            }
+            Gate::Swap { a, b } => {
+                let pa = num_qubits - 1 - *a;
+                let pb = num_qubits - 1 - *b;
+                Prepared {
+                    span: 1usize << (pa.max(pb) + 1),
+                    smask: (1 << pa) | (1 << pb),
+                    kind: Kind::Swap { pa, pb },
+                }
+            }
+            Gate::Cx { control, target } => {
+                let u = gate.base_matrix().expect("CX base matrix");
+                let (cmask, cval) =
+                    control_mask(&[ghs_circuit::ControlBit::one(*control)], num_qubits);
+                Prepared::ctrl_single(num_qubits, *target, cmask, cval, &u)
+            }
+            Gate::McX { controls, target }
+            | Gate::McRx {
+                controls, target, ..
+            }
+            | Gate::McRy {
+                controls, target, ..
+            }
+            | Gate::McRz {
+                controls, target, ..
+            } => {
+                let u = gate.base_matrix().expect("controlled base matrix");
+                let (cmask, cval) = control_mask(controls, num_qubits);
+                Prepared::ctrl_single(num_qubits, *target, cmask, cval, &u)
+            }
+            other => {
+                let q = other.qubits()[0];
+                let u = other.base_matrix().expect("single-qubit matrix");
+                Prepared::ctrl_single(num_qubits, q, 0, 0, &u)
+            }
+        }
+    }
+
+    /// Applies the op to one aligned chunk `[base, base + chunk.len())` of
+    /// the physical array. Requires `span <= chunk.len()`.
+    fn apply_local(&self, base: usize, chunk: &mut [Complex64]) {
+        let gmask = (chunk.len() - 1) & !self.smask;
+        match &self.kind {
+            Kind::Diagonal { active } => {
+                for &(off0, phase) in active {
+                    for_each_subset(gmask, |off| {
+                        chunk[off0 + off] *= phase;
+                    });
+                }
+            }
+            Kind::Permutation { cycles, fixed } => {
+                if cycles.is_empty() && fixed.is_empty() {
+                    return;
+                }
+                for_each_subset(gmask, |off| {
+                    for cy in cycles {
+                        let m = cy.offs.len();
+                        if cy.trivial {
+                            if m == 2 {
+                                chunk.swap(off + cy.offs[0], off + cy.offs[1]);
+                            } else {
+                                let tmp = chunk[off + cy.offs[m - 1]];
+                                for i in (1..m).rev() {
+                                    chunk[off + cy.offs[i]] = chunk[off + cy.offs[i - 1]];
+                                }
+                                chunk[off + cy.offs[0]] = tmp;
+                            }
+                        } else {
+                            let tmp = chunk[off + cy.offs[m - 1]];
+                            for i in (1..m).rev() {
+                                chunk[off + cy.offs[i]] =
+                                    cy.phs[i - 1] * chunk[off + cy.offs[i - 1]];
+                            }
+                            chunk[off + cy.offs[0]] = cy.phs[m - 1] * tmp;
+                        }
+                    }
+                    for &(o, p) in fixed {
+                        chunk[off + o] *= p;
+                    }
+                });
+            }
+            Kind::Dense {
+                scatter,
+                flat,
+                kdim,
+                cmask,
+                cval,
+            } => {
+                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
+                for_each_subset(gmask, |off| {
+                    if (base + off) & cmask != *cval {
+                        return;
+                    }
+                    for (b, s) in buf[..*kdim].iter_mut().zip(scatter) {
+                        *b = chunk[off + *s];
+                    }
+                    for (row, mrow) in flat.chunks_exact(*kdim).enumerate() {
+                        let mut acc = Complex64::ZERO;
+                        for (mc, bc) in mrow.iter().zip(&buf[..*kdim]) {
+                            acc += *mc * *bc;
+                        }
+                        chunk[off + scatter[row]] = acc;
+                    }
+                });
+            }
+            Kind::Sparse { comps } => {
+                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
+                for_each_subset(gmask, |off| {
+                    for comp in comps {
+                        match comp.offs.len() {
+                            1 => chunk[off + comp.offs[0]] *= comp.flat[0],
+                            2 => {
+                                let (o0, o1) = (off + comp.offs[0], off + comp.offs[1]);
+                                let a0 = chunk[o0];
+                                let a1 = chunk[o1];
+                                chunk[o0] = comp.flat[0] * a0 + comp.flat[1] * a1;
+                                chunk[o1] = comp.flat[2] * a0 + comp.flat[3] * a1;
+                            }
+                            md => {
+                                for (b, o) in buf[..md].iter_mut().zip(&comp.offs) {
+                                    *b = chunk[off + *o];
+                                }
+                                for (row, mrow) in comp.flat.chunks_exact(md).enumerate() {
+                                    let mut acc = Complex64::ZERO;
+                                    for (mc, bc) in mrow.iter().zip(&buf[..md]) {
+                                        acc += *mc * *bc;
+                                    }
+                                    chunk[off + comp.offs[row]] = acc;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            Kind::CtrlSingle {
+                stride,
+                cmask,
+                cval,
+                u,
+            } => {
+                let block = stride << 1;
+                let mut kb = 0usize;
+                while kb < chunk.len() {
+                    for k in kb..kb + stride {
+                        if (base + k) & cmask != *cval {
+                            continue;
+                        }
+                        let a0 = chunk[k];
+                        let a1 = chunk[k + stride];
+                        chunk[k] = u[0] * a0 + u[1] * a1;
+                        chunk[k + stride] = u[2] * a0 + u[3] * a1;
+                    }
+                    kb += block;
+                }
+            }
+            Kind::Keyed { kmask, kval, phase } => {
+                for (k, a) in chunk.iter_mut().enumerate() {
+                    if (base + k) & kmask == *kval {
+                        *a *= *phase;
+                    }
+                }
+            }
+            Kind::Swap { pa, pb } => {
+                for i in 0..chunk.len() {
+                    let ba = (i >> pa) & 1;
+                    let bb = (i >> pb) & 1;
+                    if ba == 1 && bb == 0 {
+                        let j = (i ^ (1 << pa)) | (1 << pb);
+                        chunk.swap(i, j);
+                    }
+                }
+            }
+            Kind::Phase { phase } => {
+                for a in chunk.iter_mut() {
+                    *a *= *phase;
+                }
+            }
+        }
+    }
+
+    /// Applies the op across shard boundaries, element-wise over absolute
+    /// physical indices. Used when `span` exceeds the shard length; the
+    /// arithmetic per amplitude is identical to the local path (and to the
+    /// flat engine) — only the addressing differs. Dense/sparse kernels are
+    /// the true *exchanges*: they gather a group from several shards of the
+    /// family, multiply, and scatter back. Diagonal and permutation kernels
+    /// never need a gather buffer.
+    fn apply_cross(&self, shards: &mut [Vec<Complex64>], local_bits: usize, dim: usize) {
+        let lmask = (1usize << local_bits) - 1;
+        macro_rules! at {
+            ($idx:expr) => {
+                shards[$idx >> local_bits][$idx & lmask]
+            };
+        }
+        let gmask = (dim - 1) & !self.smask;
+        match &self.kind {
+            Kind::Diagonal { active } => {
+                for &(off0, phase) in active {
+                    for_each_subset(gmask, |off| {
+                        at!(off0 + off) *= phase;
+                    });
+                }
+            }
+            Kind::Permutation { cycles, fixed } => {
+                if cycles.is_empty() && fixed.is_empty() {
+                    return;
+                }
+                for_each_subset(gmask, |off| {
+                    for cy in cycles {
+                        let m = cy.offs.len();
+                        let tmp = at!(off + cy.offs[m - 1]);
+                        if cy.trivial {
+                            for i in (1..m).rev() {
+                                at!(off + cy.offs[i]) = at!(off + cy.offs[i - 1]);
+                            }
+                            at!(off + cy.offs[0]) = tmp;
+                        } else {
+                            for i in (1..m).rev() {
+                                at!(off + cy.offs[i]) = cy.phs[i - 1] * at!(off + cy.offs[i - 1]);
+                            }
+                            at!(off + cy.offs[0]) = cy.phs[m - 1] * tmp;
+                        }
+                    }
+                    for &(o, p) in fixed {
+                        at!(off + o) *= p;
+                    }
+                });
+            }
+            Kind::Dense {
+                scatter,
+                flat,
+                kdim,
+                cmask,
+                cval,
+            } => {
+                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
+                for_each_subset(gmask, |off| {
+                    if off & cmask != *cval {
+                        return;
+                    }
+                    for (b, s) in buf[..*kdim].iter_mut().zip(scatter) {
+                        *b = at!(off + *s);
+                    }
+                    for (row, mrow) in flat.chunks_exact(*kdim).enumerate() {
+                        let mut acc = Complex64::ZERO;
+                        for (mc, bc) in mrow.iter().zip(&buf[..*kdim]) {
+                            acc += *mc * *bc;
+                        }
+                        at!(off + scatter[row]) = acc;
+                    }
+                });
+            }
+            Kind::Sparse { comps } => {
+                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
+                for_each_subset(gmask, |off| {
+                    for comp in comps {
+                        match comp.offs.len() {
+                            1 => at!(off + comp.offs[0]) *= comp.flat[0],
+                            2 => {
+                                let a0 = at!(off + comp.offs[0]);
+                                let a1 = at!(off + comp.offs[1]);
+                                at!(off + comp.offs[0]) = comp.flat[0] * a0 + comp.flat[1] * a1;
+                                at!(off + comp.offs[1]) = comp.flat[2] * a0 + comp.flat[3] * a1;
+                            }
+                            md => {
+                                for (b, o) in buf[..md].iter_mut().zip(&comp.offs) {
+                                    *b = at!(off + *o);
+                                }
+                                for (row, mrow) in comp.flat.chunks_exact(md).enumerate() {
+                                    let mut acc = Complex64::ZERO;
+                                    for (mc, bc) in mrow.iter().zip(&buf[..md]) {
+                                        acc += *mc * *bc;
+                                    }
+                                    at!(off + comp.offs[row]) = acc;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            Kind::CtrlSingle {
+                stride,
+                cmask,
+                cval,
+                u,
+            } => {
+                let pair_mask = (dim - 1) & !stride;
+                for_each_subset(pair_mask, |i| {
+                    if i & cmask != *cval {
+                        return;
+                    }
+                    let a0 = at!(i);
+                    let a1 = at!(i + stride);
+                    at!(i) = u[0] * a0 + u[1] * a1;
+                    at!(i + stride) = u[2] * a0 + u[3] * a1;
+                });
+            }
+            // Keyed and global phases have span 1 and are always local;
+            // Swap never needs a buffer either way.
+            Kind::Keyed { kmask, kval, phase } => {
+                for i in 0..dim {
+                    if i & kmask == *kval {
+                        at!(i) *= *phase;
+                    }
+                }
+            }
+            Kind::Swap { pa, pb } => {
+                let (ba, bb) = (1usize << pa, 1usize << pb);
+                for_each_subset((dim - 1) & !(ba | bb), |off| {
+                    let i = off | ba;
+                    let j = off | bb;
+                    let tmp = at!(i);
+                    at!(i) = at!(j);
+                    at!(j) = tmp;
+                });
+            }
+            Kind::Phase { phase } => {
+                for shard in shards.iter_mut() {
+                    for a in shard.iter_mut() {
+                        *a *= *phase;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A pure state stored as `2^s` fixed-size amplitude shards under a
+/// logical→physical [`QubitRelabeling`].
+///
+/// Construct with [`ShardedStateVector::zero_state`] /
+/// [`ShardedStateVector::basis_state`] (shard count from
+/// [`shard_count_for`], i.e. the `GHS_SHARD_COUNT` knob or the automatic
+/// 4 MB-per-shard policy) or the explicit-layout constructors used by the
+/// property tests. Evolve with [`ShardedStateVector::run`] — which fuses,
+/// picks the relabeling, and applies — and read results through the
+/// logical-order boundaries. See the module docs for the sharding scheme
+/// and its exchange costs.
+pub struct ShardedStateVector {
+    num_qubits: usize,
+    local_bits: usize,
+    relabeling: QubitRelabeling,
+    shards: Vec<Vec<Complex64>>,
+    /// `Some(logical_index)` while the state is a pristine basis state, so
+    /// re-basing under a new relabeling is O(1) instead of a full permute.
+    basis_hint: Option<usize>,
+}
+
+impl ShardedStateVector {
+    /// The all-zeros state `|0…0⟩` with the default shard layout.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        Self::basis_state(num_qubits, 0)
+    }
+
+    /// The computational-basis state `|index⟩` with the default shard
+    /// layout.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        Self::basis_state_with(num_qubits, index, shard_count_for(num_qubits))
+    }
+
+    /// Basis state with an explicit shard count (clamped to `[1, 2^n]` and
+    /// rounded down to a power of two) — the property-test entry point for
+    /// forcing shard layouts without touching `GHS_SHARD_COUNT`.
+    pub fn basis_state_with(num_qubits: usize, index: usize, shard_count: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index out of range");
+        let count = normalize_count(shard_count, dim);
+        let shard_len = dim / count;
+        let mut shards = vec![vec![Complex64::ZERO; shard_len]; count];
+        shards[index / shard_len][index % shard_len] = Complex64::ONE;
+        Self {
+            num_qubits,
+            local_bits: shard_len.trailing_zeros() as usize,
+            relabeling: QubitRelabeling::identity(num_qubits),
+            shards,
+            basis_hint: Some(index),
+        }
+    }
+
+    /// Copies a flat state into the default shard layout (identity
+    /// relabeling). This allocates a full second copy — it is the bridge
+    /// from `Backend`-style APIs, not the memory-ceiling path.
+    pub fn from_state(state: &StateVector) -> Self {
+        Self::from_state_with(state, shard_count_for(state.num_qubits()))
+    }
+
+    /// Copies a flat state into an explicit shard count.
+    pub fn from_state_with(state: &StateVector, shard_count: usize) -> Self {
+        let dim = state.dim();
+        let count = normalize_count(shard_count, dim);
+        let shard_len = dim / count;
+        let amps = state.amplitudes();
+        let shards: Vec<Vec<Complex64>> = (0..count)
+            .map(|s| amps[s * shard_len..(s + 1) * shard_len].to_vec())
+            .collect();
+        Self {
+            num_qubits: state.num_qubits(),
+            local_bits: shard_len.trailing_zeros() as usize,
+            relabeling: QubitRelabeling::identity(state.num_qubits()),
+            shards,
+            basis_hint: None,
+        }
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Amplitudes per shard (a power of two).
+    pub fn shard_len(&self) -> usize {
+        1usize << self.local_bits
+    }
+
+    /// The logical→physical relabeling the amplitudes are currently stored
+    /// under.
+    pub fn relabeling(&self) -> &QubitRelabeling {
+        &self.relabeling
+    }
+
+    /// Fuses the circuit, picks its sharding relabeling
+    /// ([`QubitRelabeling::for_sharding`]) and applies it. The one-stop
+    /// execution entry point; callers that cache fusion plans use
+    /// [`ShardedStateVector::run_fused_with`] instead.
+    pub fn run(&mut self, circuit: &Circuit) {
+        let fused = circuit.fused();
+        let relabeling = QubitRelabeling::for_sharding(&fused);
+        self.run_fused_with(&fused, &relabeling);
+    }
+
+    /// Applies a **logically-labeled** fused circuit under an explicit
+    /// relabeling: re-bases the stored amplitudes to the new layout, maps
+    /// the circuit with [`FusedCircuit::relabeled`] and applies it. Any
+    /// relabeling is correct — outputs are always read in logical order —
+    /// but [`QubitRelabeling::for_sharding`] minimizes exchanges.
+    pub fn run_fused_with(&mut self, fused: &FusedCircuit, relabeling: &QubitRelabeling) {
+        self.rebase(relabeling);
+        if relabeling.is_identity() {
+            self.apply_relabeled(fused);
+        } else {
+            self.apply_relabeled(&fused.relabeled(relabeling));
+        }
+    }
+
+    /// Applies a fused circuit **already expressed in this state's physical
+    /// labels** (i.e. pre-mapped with [`FusedCircuit::relabeled`] under
+    /// [`ShardedStateVector::relabeling`]). Runs of shard-local ops are
+    /// cache-blocked per shard; cross-shard ops fall back to element-wise
+    /// family sweeps. In-place: no allocation beyond a stack gather buffer.
+    pub fn apply_relabeled(&mut self, fused: &FusedCircuit) {
+        assert_eq!(
+            fused.num_qubits(),
+            self.num_qubits,
+            "register size mismatch"
+        );
+        self.basis_hint = None;
+        let n = self.num_qubits;
+        let prepared: Vec<Prepared> = fused
+            .ops()
+            .iter()
+            .map(|op| Prepared::build(n, op))
+            .collect();
+        let shard_len = self.shard_len();
+        let local_bits = self.local_bits;
+        let parallel = self.dim() >= parallel_threshold() && self.shards.len() > 1;
+        let mut i = 0usize;
+        while i < prepared.len() {
+            if prepared[i].span <= shard_len {
+                // Cache-blocked run: apply every consecutive shard-local op
+                // to one shard while it is hot, then move to the next shard.
+                let mut j = i + 1;
+                while j < prepared.len() && prepared[j].span <= shard_len {
+                    j += 1;
+                }
+                let run = &prepared[i..j];
+                let apply_run = |(si, shard): (usize, &mut Vec<Complex64>)| {
+                    let base = si << local_bits;
+                    for op in run {
+                        op.apply_local(base, shard);
+                    }
+                };
+                if parallel {
+                    self.shards.par_iter_mut().enumerate().for_each(apply_run);
+                } else {
+                    self.shards.iter_mut().enumerate().for_each(apply_run);
+                }
+                i = j;
+            } else {
+                prepared[i].apply_cross(&mut self.shards, local_bits, 1usize << n);
+                i += 1;
+            }
+        }
+        if fused.global_phase() != 0.0 {
+            let p = Complex64::cis(fused.global_phase());
+            let mul = |(_, shard): (usize, &mut Vec<Complex64>)| {
+                for a in shard.iter_mut() {
+                    *a *= p;
+                }
+            };
+            if parallel {
+                self.shards.par_iter_mut().enumerate().for_each(mul);
+            } else {
+                self.shards.iter_mut().enumerate().for_each(mul);
+            }
+        }
+    }
+
+    /// Moves the stored amplitudes to a new relabeling. O(1) for pristine
+    /// basis states (the common case: every `Backend::run` starts from a
+    /// basis state); a full permuting copy otherwise — which allocates a
+    /// second shard set and is therefore avoided on the memory-ceiling path.
+    fn rebase(&mut self, target: &QubitRelabeling) {
+        if *target == self.relabeling {
+            return;
+        }
+        let lmask = self.shard_len() - 1;
+        if let Some(index) = self.basis_hint {
+            let old = self.relabeling.permute_index(index);
+            let new = target.permute_index(index);
+            self.shards[old >> self.local_bits][old & lmask] = Complex64::ZERO;
+            self.shards[new >> self.local_bits][new & lmask] = Complex64::ONE;
+            self.relabeling = target.clone();
+            return;
+        }
+        // Compose old→new on bit positions: logical bit p maps to
+        // old_bits[p] in the current layout and new_bits[p] in the target.
+        let old_bits = self.relabeling.bit_mapping();
+        let new_bits = target.bit_mapping();
+        let mut move_bit = vec![0usize; self.num_qubits];
+        for p in 0..self.num_qubits {
+            move_bit[old_bits[p]] = new_bits[p];
+        }
+        let shard_len = self.shard_len();
+        let mut fresh = vec![vec![Complex64::ZERO; shard_len]; self.shards.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let base = s << self.local_bits;
+            for (k, &a) in shard.iter().enumerate() {
+                let old = base + k;
+                let mut new = 0usize;
+                for (src, &dst) in move_bit.iter().enumerate() {
+                    if old >> src & 1 == 1 {
+                        new |= 1 << dst;
+                    }
+                }
+                fresh[new >> self.local_bits][new & lmask] = a;
+            }
+        }
+        self.shards = fresh;
+        self.relabeling = target.clone();
+    }
+
+    /// Absolute physical-index read.
+    #[inline]
+    fn at(&self, physical: usize) -> Complex64 {
+        self.shards[physical >> self.local_bits][physical & (self.shard_len() - 1)]
+    }
+
+    /// Amplitude of the **logical** basis state `index`, un-permuting the
+    /// relabeling.
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.at(self.relabeling.permute_index(index))
+    }
+
+    /// Probability of measuring the logical basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitude(index).norm_sqr()
+    }
+
+    /// Euclidean norm, accumulated in logical index order so the value is
+    /// identical for every shard count and relabeling.
+    pub fn norm(&self) -> f64 {
+        self.fold_logical(0.0f64, |acc, a| acc + a.norm_sqr())
+            .sqrt()
+    }
+
+    /// Probabilities of all basis states, in logical order — the exact
+    /// `f64` sequence the flat engine would produce.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.fold_logical((), |(), a| out.push(a.norm_sqr()));
+        out
+    }
+
+    /// Copies out a flat [`StateVector`] in logical amplitude order. The
+    /// bridge back to `Backend`-style APIs (expectations, cached sampling);
+    /// allocates the full `2^n` buffer, so the memory-ceiling path reads
+    /// through [`ShardedStateVector::amplitude`] / `probability` instead.
+    pub fn to_state(&self) -> StateVector {
+        let mut amps = Vec::with_capacity(self.dim());
+        self.fold_logical((), |(), a| amps.push(a));
+        StateVector::from_amplitudes(self.num_qubits, amps)
+    }
+
+    /// Folds over amplitudes in logical index order.
+    fn fold_logical<T, F: FnMut(T, Complex64) -> T>(&self, init: T, mut f: F) -> T {
+        let mut acc = init;
+        if self.relabeling.is_identity() {
+            for shard in &self.shards {
+                for &a in shard {
+                    acc = f(acc, a);
+                }
+            }
+            return acc;
+        }
+        let bits = self.relabeling.bit_mapping();
+        for logical in 0..self.dim() {
+            let mut physical = 0usize;
+            for (src, &dst) in bits.iter().enumerate() {
+                if logical >> src & 1 == 1 {
+                    physical |= 1 << dst;
+                }
+            }
+            acc = f(acc, self.at(physical));
+        }
+        acc
+    }
+}
+
+/// Clamps a requested shard count to `[1, dim]` and rounds down to a power
+/// of two.
+fn normalize_count(requested: usize, dim: usize) -> usize {
+    let c = requested.clamp(1, dim);
+    1usize << (usize::BITS - 1 - c.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::random_circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shard_count_normalization() {
+        assert_eq!(normalize_count(1, 1 << 10), 1);
+        assert_eq!(normalize_count(3, 1 << 10), 2);
+        assert_eq!(normalize_count(64, 1 << 4), 16);
+        assert_eq!(normalize_count(0, 1 << 4), 1);
+        assert_eq!(normalize_count(usize::MAX, 1 << 6), 64);
+    }
+
+    #[test]
+    fn basis_state_lands_in_the_right_shard() {
+        let s = ShardedStateVector::basis_state_with(6, 37, 8);
+        assert_eq!(s.num_shards(), 8);
+        assert_eq!(s.shard_len(), 8);
+        assert_eq!(s.amplitude(37), Complex64::ONE);
+        assert_eq!(s.probability(36), 0.0);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sharded_matches_flat_at_every_count() {
+        for n in 2..=9usize {
+            let c = random_circuit(n, 40, 5 + n as u64);
+            let mut flat = StateVector::zero_state(n);
+            flat.apply_fused(&c.fused());
+            for count in [1usize, 2, 8, 1 << n] {
+                let mut sharded = ShardedStateVector::basis_state_with(n, 0, count);
+                sharded.run(&c);
+                let out = sharded.to_state();
+                assert!(
+                    out.distance(&flat) < 1e-12,
+                    "n={n} count={count}: distance {}",
+                    out.distance(&flat)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_outputs_are_bit_identical_across_counts() {
+        // Tiny shards force every kernel down the cross-shard paths; the
+        // recovered amplitudes must equal the single-shard run bit for bit.
+        for n in 3..=8usize {
+            let c = random_circuit(n, 60, 77 + n as u64);
+            let mut one = ShardedStateVector::basis_state_with(n, 1, 1);
+            one.run(&c);
+            let reference = one.to_state();
+            for count in [2usize, 4, 1 << (n - 1)] {
+                let mut many = ShardedStateVector::basis_state_with(n, 1, count);
+                many.run(&c);
+                let got = many.to_state();
+                assert_eq!(
+                    got.amplitudes(),
+                    reference.amplitudes(),
+                    "n={n} count={count} drifted from the single-shard run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_state_round_trips_under_relabeling() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s0 = StateVector::random_state(6, &mut rng);
+        let c = random_circuit(6, 30, 3);
+        let mut sharded = ShardedStateVector::from_state_with(&s0, 4);
+        sharded.run(&c);
+        let mut flat = s0.clone();
+        flat.apply_fused(&c.fused());
+        assert!(sharded.to_state().distance(&flat) < 1e-12);
+    }
+}

@@ -5,9 +5,10 @@
 //!
 //! Run with `cargo run --release --example service_jobs`.
 //! Every line below is a pure function of the job specs and their seeds —
-//! never of worker count or scheduling. CI's determinism matrix re-runs this
-//! example with `GHS_PARALLEL_THRESHOLD` forced to `0` and `usize::MAX` and
-//! requires the two recordings to be byte-identical.
+//! never of worker count, scheduling, or shard layout. CI's determinism
+//! matrix re-runs this example with `GHS_PARALLEL_THRESHOLD` forced to `0`
+//! and `usize::MAX` and with `GHS_SHARD_COUNT` forced to 1 / 4 / 64, and
+//! requires all recordings to be byte-identical.
 
 use std::sync::Arc;
 
@@ -103,7 +104,37 @@ fn main() {
         println!("  dE/dtheta[{k}] = {g:+.12}");
     }
 
-    // ---- 4. the caching ledger, on a serial service -----------------------
+    // ---- 4. the sharded engine through the same API -----------------------
+    // The same QAOA state on the sharded backend: bit-identical shots and
+    // probabilities whatever `GHS_SHARD_COUNT` is in force — these lines
+    // are what the shard legs of the determinism matrix diff.
+    use gate_efficient_hs::core::backend::BackendSpec;
+    let sharded_jobs = vec![
+        JobSpec::sample(state.clone(), 8)
+            .with_seed(0)
+            .on_backend(BackendSpec::Sharded),
+        JobSpec::probabilities(state.clone()).on_backend(BackendSpec::Sharded),
+    ];
+    println!("\nthe same state on the sharded engine:");
+    for result in service
+        .run_batch(&sharded_jobs)
+        .expect("valid sharded jobs")
+    {
+        match result.output {
+            JobOutput::Shots(outcomes) => println!("  shots (seed 0): {outcomes:?}"),
+            JobOutput::Probabilities(p) => {
+                let (top, q) = p
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("non-empty register");
+                println!("  most likely outcome: |{top:010b}> with p = {q:.6}");
+            }
+            _ => unreachable!("sharded jobs above return shots or probabilities"),
+        }
+    }
+
+    // ---- 5. the caching ledger, on a serial service -----------------------
     // A single-worker service re-running the identical stream twice: the
     // second pass adds hits and zero misses. (Counters are scheduling-order
     // dependent under concurrent workers, so the ledger demo runs serial;

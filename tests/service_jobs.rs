@@ -13,8 +13,10 @@
 //!   outputs to serial single-worker execution of the same specs.
 //!
 //! The determinism CI matrix re-runs this suite with
-//! `GHS_PARALLEL_THRESHOLD` forced to `0` and `usize::MAX`; the nightly job
-//! re-runs it with `GHS_PROPTEST_CASES=2048`.
+//! `GHS_PARALLEL_THRESHOLD` forced to `0` and `usize::MAX` and with
+//! `GHS_SHARD_COUNT` forced to 1 / 4 / 64 (the sharded backend must not
+//! let the shard layout leak into any output); the nightly job re-runs it
+//! with `GHS_PROPTEST_CASES=2048`.
 
 use std::sync::Arc;
 
@@ -122,6 +124,42 @@ proptest! {
             );
         }
     }
+}
+
+/// Sharded-backend jobs return bit-identical outputs to fused-backend jobs
+/// for every job kind, at whatever `GHS_SHARD_COUNT` the determinism matrix
+/// forces, and the plan cache tracks sharding relabelings per structure.
+#[test]
+fn sharded_jobs_match_fused_jobs_bit_for_bit() {
+    use gate_efficient_hs::core::backend::BackendSpec;
+    // 10 qubits: above `FUSED_MIN_DIM`, so the fused reference path runs
+    // the same fused kernels the sharded engine replays bit-for-bit.
+    let circuit = Arc::new(random_circuit(10, 40, 31));
+    let observable = Arc::new(random_pauli_sum(10, 6, PauliSumKind::Mixed, 32));
+    let service = Service::new(ServiceConfig::default());
+    let jobs = vec![
+        JobSpec::sample(circuit.clone(), 128)
+            .with_seed(4)
+            .on_backend(BackendSpec::Sharded),
+        JobSpec::sample(circuit.clone(), 128).with_seed(4),
+        JobSpec::expectation(circuit.clone(), observable.clone()).on_backend(BackendSpec::Sharded),
+        JobSpec::expectation(circuit.clone(), observable.clone()),
+        JobSpec::probabilities(circuit.clone())
+            .starting_at(3)
+            .on_backend(BackendSpec::Sharded),
+        JobSpec::probabilities(circuit.clone()).starting_at(3),
+    ];
+    let results = service.run_batch(&jobs).expect("valid jobs");
+    assert_eq!(results[0].output, results[1].output, "sample outputs");
+    assert_eq!(results[2].output, results[3].output, "expectation outputs");
+    assert_eq!(results[4].output, results[5].output, "probability outputs");
+    // The sharded jobs resolved a relabeling through the plan cache: one
+    // miss for the structure, hits on re-use.
+    let stats = service.cache_stats();
+    assert!(
+        stats.relabeling_misses > 0,
+        "no relabeling traffic: {stats:?}"
+    );
 }
 
 /// A capacity-2 plan cache cycling through three topologies must evict —

@@ -1,0 +1,134 @@
+//! Sharded-engine acceptance tests — the contract behind the CI
+//! `GHS_SHARD_COUNT` determinism matrix:
+//!
+//! * the sharded engine agrees with the flat fused engine **and** the
+//!   per-gate reference to 1e-12 on random 2–12 qubit circuits, at forced
+//!   shard counts {1, 2, 8} (the env knob is process-wide, so the tests pin
+//!   counts through the explicit `*_with` constructors);
+//! * seeded outputs are **bit-identical** across shard counts: every
+//!   logical amplitude, every probability, and every seeded sample stream
+//!   matches `==`, not just to tolerance;
+//! * the sharding relabeling round-trips exactly and never changes a
+//!   logical amplitude;
+//! * the `sharded` backend registers under `backend_by_name` and matches
+//!   the fused backend bit-for-bit through the service-facing trait.
+
+use gate_efficient_hs::circuit::QubitRelabeling;
+use gate_efficient_hs::core::backend::{backend_by_name, Backend, FusedStatevector};
+use gate_efficient_hs::statevector::testkit::random_circuit;
+use gate_efficient_hs::statevector::{ShardedStateVector, StateVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Equivalence tolerance against the per-gate reference engine.
+const TOL: f64 = 1e-12;
+
+/// Forced shard counts exercised everywhere: degenerate (1), minimal
+/// splitting (2), and more shards than some registers have amplitudes
+/// (8, which the engine clamps to `2^n`).
+const COUNTS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    /// Acceptance criterion: sharded ≡ flat fused ≡ reference to 1e-12 on
+    /// random 2–12 qubit circuits at every forced shard count.
+    #[test]
+    fn sharded_matches_flat_and_reference(
+        n in 2usize..=12,
+        gates in 1usize..40,
+        seed in 0u64..5_000,
+    ) {
+        let c = random_circuit(n, gates, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let s0 = StateVector::random_state(n, &mut rng);
+
+        let mut flat = s0.clone();
+        flat.apply_fused(&c.fused());
+        let mut reference = s0.clone();
+        reference.run_unfused(&c);
+        prop_assert!(flat.distance(&reference) < TOL);
+
+        for count in COUNTS {
+            let mut sharded = ShardedStateVector::from_state_with(&s0, count);
+            sharded.run(&c);
+            let out = sharded.to_state();
+            let d = out.distance(&reference);
+            prop_assert!(
+                d < TOL,
+                "distance {d} to reference at n={n}, gates={gates}, seed={seed}, count={count}"
+            );
+            // Against the flat *fused* engine the match is exact: both run
+            // the same fused kernels over the same amplitudes in the same
+            // order, so every f64 bit agrees.
+            for i in 0..out.dim() {
+                prop_assert_eq!(out.amplitude(i), flat.amplitude(i));
+            }
+        }
+    }
+
+    /// Seeded sampling is bit-identical across shard counts: the sample
+    /// streams — not just the distributions — match exactly.
+    #[test]
+    fn seeded_sampling_is_bit_identical_across_shard_counts(
+        n in 2usize..=9,
+        gates in 1usize..30,
+        seed in 0u64..2_000,
+    ) {
+        let c = random_circuit(n, gates, seed);
+        let reference: Option<Vec<usize>> = None;
+        let mut reference = reference;
+        for count in COUNTS {
+            let mut sharded = ShardedStateVector::basis_state_with(n, 0, count);
+            sharded.run(&c);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xca11);
+            let shots = sharded.to_state().sample(64, &mut rng);
+            match &reference {
+                None => reference = Some(shots),
+                Some(r) => prop_assert_eq!(&shots, r),
+            }
+        }
+    }
+
+    /// The sharding relabeling round-trips exactly on the fused circuit and
+    /// never changes a logical amplitude read back from the engine.
+    #[test]
+    fn relabeling_round_trips_and_preserves_logical_order(
+        n in 2usize..=10,
+        gates in 1usize..30,
+        seed in 0u64..2_000,
+    ) {
+        let c = random_circuit(n, gates, seed);
+        let fused = c.fused();
+        let r = QubitRelabeling::for_sharding(&fused);
+        prop_assert_eq!(fused.relabeled(&r).relabeled(&r.inverse()), fused.clone());
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let mut relabeled = ShardedStateVector::from_state_with(&s0, 4);
+        relabeled.run_fused_with(&fused, &r);
+        let mut identity = ShardedStateVector::from_state_with(&s0, 4);
+        identity.run_fused_with(&fused, &QubitRelabeling::identity(n));
+        for i in 0..1usize << n {
+            prop_assert_eq!(relabeled.amplitude(i), identity.amplitude(i));
+        }
+    }
+}
+
+/// The fourth backend is registered and equals the fused backend
+/// bit-for-bit through the `Backend` trait (state and seeded samples).
+#[test]
+fn sharded_backend_registers_and_matches_fused() {
+    let backend = backend_by_name("sharded").expect("sharded backend registered");
+    assert_eq!(backend.name(), "sharded-statevector");
+    let c = random_circuit(10, 60, 7);
+    let s0 = StateVector::basis_state(10, 3);
+    let sharded = backend.run(&s0, &c);
+    let fused = FusedStatevector.run(&s0, &c);
+    for i in 0..sharded.dim() {
+        assert_eq!(sharded.amplitude(i), fused.amplitude(i));
+    }
+    assert_eq!(
+        backend.sample(&s0, &c, 256, 99),
+        FusedStatevector.sample(&s0, &c, 256, 99)
+    );
+}

@@ -117,11 +117,14 @@ fn exp_gradient_engine() {
     let pool = uccsd_pool(&model);
     let ansatz = uccsd_parameterized(&model, &pool, &DirectOptions::linear());
     let observable = model.grouped_observable();
-    let zero = StateVector::zero_state(model.num_qubits());
+    let zero = ghs_core::InitialState::ZeroState;
     let thetas: Vec<f64> = (0..pool.len()).map(|k| 0.05 + 0.04 * k as f64).collect();
     let backend = FusedStatevector;
-    let (energy, adjoint) = backend.expectation_gradient(&zero, &ansatz, &thetas, &observable);
-    let (_, shift) = parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable);
+    let (energy, adjoint) = backend
+        .expectation_gradient(&zero, &ansatz, &thetas, &observable)
+        .expect("UCCSD ansatz runs on the fused backend");
+    let (_, shift) = parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable)
+        .expect("UCCSD ansatz runs on the fused backend");
     let rows: Vec<Vec<String>> = pool
         .iter()
         .zip(adjoint.iter().zip(&shift))
@@ -276,7 +279,9 @@ fn exp_fig2() {
         let sparse = term.sparse_matrix();
         let mut rng = StdRng::seed_from_u64(4);
         let psi = StateVector::random_state(15, &mut rng);
-        let evolved = FusedStatevector.run(&psi, &circuit);
+        let evolved = FusedStatevector
+            .run(&ghs_core::InitialState::from(&psi), &circuit)
+            .expect("dense backends run term circuits");
         let exact = expm_multiply_minus_i_theta(&sparse, theta, psi.amplitudes());
         let err = vec_distance(evolved.amplitudes(), &exact);
         rows.push(vec![

@@ -6,7 +6,7 @@
 //! cargo run --release -p ghs_bench --bin microbench -- \
 //!     [--out BENCH.json] [--reps 3] \
 //!     [--baseline bench/baseline.json] [--max-regression 0.25] \
-//!     [--min-speedup deep_16:2.0]
+//!     [--min-speedup deep_16:2.0] [--min-gates-per-sec ghz_1024:50000]
 //! ```
 //!
 //! Runs the standard workloads (see `ghs_bench::perf::standard_workloads`)
@@ -20,8 +20,11 @@
 //! `BENCH.json`, and exits non-zero when a `--baseline` comparison
 //! regresses by more than `--max-regression`, when the baseline's workload
 //! names drift from the harness registry (a renamed workload would
-//! otherwise silently lose its gate), or when a `--min-speedup NAME:X`
-//! bound is not met.
+//! otherwise silently lose its gate), or when a `--min-speedup NAME:X` or
+//! `--min-gates-per-sec NAME:X` bound is not met. The absolute throughput
+//! floor exists for the stabilizer workloads, whose oracle is itself a
+//! tableau simulation — a relative speedup there says little, while
+//! shots-per-second is directly comparable across runs.
 
 use ghs_bench::perf::{
     baseline_name_drift, compare_to_baseline, parse_baseline, results_to_json, run_workload,
@@ -49,6 +52,15 @@ fn main() {
         .iter()
         .zip(args.iter().skip(1))
         .filter(|(a, _)| *a == "--min-speedup")
+        .filter_map(|(_, v)| {
+            let (name, x) = v.split_once(':')?;
+            Some((name.to_string(), x.parse().ok()?))
+        })
+        .collect();
+    let min_rates: Vec<(String, f64)> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(a, _)| *a == "--min-gates-per-sec")
         .filter_map(|(_, v)| {
             let (name, x) = v.split_once(':')?;
             Some((name.to_string(), x.parse().ok()?))
@@ -155,6 +167,27 @@ fn main() {
             }
             None => {
                 eprintln!("SPEEDUP FAIL: unknown workload {name}");
+                failed = true;
+            }
+        }
+    }
+    for (name, min) in &min_rates {
+        match results.iter().find(|r| r.name == *name) {
+            Some(r) if r.gates_per_sec >= *min => {
+                println!(
+                    "throughput check OK: {name} at {:.0}/s >= {min:.0}/s",
+                    r.gates_per_sec
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "THROUGHPUT FAIL: {name} at {:.0}/s below required {min:.0}/s",
+                    r.gates_per_sec
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("THROUGHPUT FAIL: unknown workload {name}");
                 failed = true;
             }
         }

@@ -12,7 +12,10 @@
 //! `qaoa_energy_12`) compare the sparse-matrix observable oracle against
 //! the grouped matrix-free evaluator, and two gradient workloads
 //! (`vqe_h2_gradient`, `qaoa_12_gradient`) compare the parameter-shift rule
-//! against the adjoint engine at 20+ parameters, and one service workload
+//! against the adjoint engine at 20+ parameters, two stabilizer workloads
+//! (`ghz_1024`, `syndrome_256`) compare per-shot tableau re-simulation
+//! against the prepare-once collapse-clone sampler at Clifford scale, and
+//! one service workload
 //! (`service_mixed_throughput`) runs a mixed VQE/QAOA/sampling job stream
 //! through the batched job service cold-cache vs warm-cache, in jobs/sec;
 //! for all of these the
@@ -24,7 +27,10 @@
 
 use ghs_chemistry::{h2_sto3g, uccsd_circuit, uccsd_pool};
 use ghs_circuit::{exchange_count, Circuit, ParameterizedCircuit, QubitRelabeling};
-use ghs_core::backend::{parameter_shift_gradient, Backend, FusedStatevector, PauliNoise};
+use ghs_core::backend::{
+    parameter_shift_gradient, Backend, FusedStatevector, InitialState, PauliNoise,
+    StabilizerBackend,
+};
 use ghs_core::{direct_product_formula, direct_term_circuit, DirectOptions, ProductFormula};
 use ghs_hubo::{
     direct_phase_separator, qaoa_parameterized, random_sparse_hubo, HuboProblem, QaoaParameters,
@@ -97,6 +103,16 @@ pub enum WorkloadKind {
         observable: PauliSum,
         /// Gradient evaluations per timed repetition.
         evals: usize,
+    },
+    /// Clifford-scale shot sampling through the stabilizer tableau engine:
+    /// a naive oracle that re-simulates the whole circuit on a fresh tableau
+    /// for every shot vs the prepare-once path (one tableau build, then one
+    /// collapse clone per shot). Registers far beyond dense reach — the
+    /// dense engines never run; `gates_per_sec` reports **shots** per
+    /// second through the prepared path.
+    Stabilizer {
+        /// Number of measurement shots drawn.
+        shots: usize,
     },
     /// Service-level throughput on a mixed job stream (VQE expectation,
     /// QAOA expectation, repeated sampling, gradients): the same batch
@@ -187,6 +203,43 @@ pub fn ladder_circuit(n: usize, layers: usize) -> Circuit {
         c.rz(n - 1, 0.1 + 0.01 * layer as f64);
         for q in (0..n - 1).rev() {
             c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+/// The GHZ-preparation circuit of the `ghz_1024` stabilizer workload: one
+/// Hadamard and an `n−1`-long CX chain. Public so the stabilizer test suite
+/// drives the exact CI workload shape.
+pub fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// The repetition-code syndrome-extraction circuit of the `syndrome_256`
+/// stabilizer workload: even qubits are data, odd qubits are ancillas;
+/// every round entangles each ancilla with its two neighbouring data qubits
+/// (CX data→ancilla) after a Hadamard layer on the data rail seeds
+/// superposition. Pure Clifford by construction.
+pub fn syndrome_circuit(n: usize, rounds: usize) -> Circuit {
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "need an even data/ancilla interleave"
+    );
+    let mut c = Circuit::new(n);
+    for q in (0..n).step_by(2) {
+        c.h(q);
+    }
+    for _ in 0..rounds {
+        for a in (1..n).step_by(2) {
+            c.cx(a - 1, a);
+            if a + 1 < n {
+                c.cx(a + 1, a);
+            }
         }
     }
     c
@@ -332,6 +385,12 @@ pub fn service_job_stream() -> Vec<JobSpec> {
 /// * `qaoa_12_gradient` — full 20-parameter gradients of a 10-layer
 ///   12-qubit QAOA cost (each `γ` binds every separator phase of its
 ///   layer), same comparison.
+/// * `ghz_1024` — 64 seeded shots from a 1024-qubit GHZ state through the
+///   stabilizer tableau engine: per-shot full re-simulation oracle vs the
+///   prepare-once + collapse-clone sampler (CI gates an absolute
+///   shots/sec floor via `--min-gates-per-sec`).
+/// * `syndrome_256` — 256 shots from a 4-round repetition-code
+///   syndrome-extraction circuit on 256 qubits, same comparison and gate.
 /// * `service_mixed_throughput` — a 42-job mixed VQE/QAOA/sampling stream
 ///   through the batched job service: cold-cache vs pre-warmed structural
 ///   plan cache, in **jobs/sec** (the service-level gate; CI requires ≥5x).
@@ -474,6 +533,21 @@ pub fn standard_workloads() -> Vec<Workload> {
             evals: 1,
         },
     });
+    // Clifford-scale workloads: the stabilizer tableau engine at register
+    // widths no dense engine can touch. The CI gate is an absolute
+    // shots-per-second floor (`--min-gates-per-sec`), not a speedup ratio:
+    // the re-simulation oracle is itself tableau-based, so the prepared
+    // path's margin over it is structural, not the headline.
+    w.push(Workload {
+        name: "ghz_1024".into(),
+        circuit: ghz_circuit(1024),
+        kind: WorkloadKind::Stabilizer { shots: 64 },
+    });
+    w.push(Workload {
+        name: "syndrome_256".into(),
+        circuit: syndrome_circuit(256, 4),
+        kind: WorkloadKind::Stabilizer { shots: 256 },
+    });
     // Service-level throughput: the stats circuit is the stream's repeated
     // 12-qubit sampling circuit (its fusion numbers are representative; the
     // timed comparison is the whole mixed batch).
@@ -569,14 +643,16 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             depolarizing,
         } => {
             let (trajectories, shots, depolarizing) = (*trajectories, *shots, *depolarizing);
-            let zero = StateVector::zero_state(n);
+            let zero = InitialState::ZeroState;
             let unfused_ms = time_best(reps, || {
                 // Oracle: every shot re-executes the circuit as a fresh
                 // noise trajectory and draws one outcome from it.
                 let mut acc = 0usize;
                 for shot in 0..shots {
                     let one = PauliNoise::depolarizing(depolarizing, 1, shot as u64);
-                    let state = one.run(&zero, &w.circuit);
+                    let state = one
+                        .run(&zero, &w.circuit)
+                        .expect("noise circuits are dense");
                     let mut rng = StdRng::seed_from_u64(shot as u64);
                     acc ^= state.sample(1, &mut rng)[0];
                 }
@@ -584,7 +660,10 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             });
             let batched = PauliNoise::depolarizing(depolarizing, trajectories, 0);
             let fused_ms = time_best(reps, || {
-                std::hint::black_box(batched.sample(&zero, &w.circuit, shots, 1).len());
+                let shots = batched
+                    .sample(&zero, &w.circuit, shots, 1)
+                    .expect("noise circuits are dense");
+                std::hint::black_box(shots.len());
             });
             (unfused_ms, fused_ms, shots)
         }
@@ -629,7 +708,7 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
             let evals = *evals;
             // Observable prepared once — both gradient paths share it.
             let grouped = GroupedPauliSum::new(observable);
-            let zero = StateVector::zero_state(n);
+            let zero = InitialState::ZeroState;
             let backend = FusedStatevector;
             // The shift oracle runs for *seconds* at 20+ parameters (that is
             // the point); best-of-3 is plenty stable at that scale and keeps
@@ -640,7 +719,8 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
                 let mut acc = 0.0;
                 for _ in 0..evals {
                     let (e, g) =
-                        parameter_shift_gradient(&backend, &zero, parameterized, params, &grouped);
+                        parameter_shift_gradient(&backend, &zero, parameterized, params, &grouped)
+                            .expect("gradient circuits are dense");
                     acc += e + g.iter().sum::<f64>();
                 }
                 std::hint::black_box(acc);
@@ -650,14 +730,43 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
                 // override): one forward + one reverse sweep per gradient.
                 let mut acc = 0.0;
                 for _ in 0..evals {
-                    let (e, g) =
-                        backend.expectation_gradient(&zero, parameterized, params, &grouped);
+                    let (e, g) = backend
+                        .expectation_gradient(&zero, parameterized, params, &grouped)
+                        .expect("gradient circuits are dense");
                     acc += e + g.iter().sum::<f64>();
                 }
                 std::hint::black_box(acc);
             });
             // Throughput: gradient components per second.
             (unfused_ms, fused_ms, evals * params.len())
+        }
+        WorkloadKind::Stabilizer { shots } => {
+            let shots = *shots;
+            let backend = StabilizerBackend;
+            let zero = InitialState::ZeroState;
+            let unfused_ms = time_best(reps.min(3), || {
+                // Oracle: every shot rebuilds the tableau from scratch by
+                // re-applying the whole circuit, then collapses it.
+                let mut acc = 0u64;
+                for shot in 0..shots {
+                    let mut tableau = backend
+                        .prepare(&zero, &w.circuit)
+                        .expect("stabilizer workloads are Clifford");
+                    let mut rng = StdRng::seed_from_u64(shot as u64);
+                    acc ^= tableau.measure_all(&mut rng).words()[0];
+                }
+                std::hint::black_box(acc);
+            });
+            // Prepared path: one tableau build outside the timer, then one
+            // seeded collapse clone per shot — the backend's sampling path.
+            let prepared = backend
+                .prepare(&zero, &w.circuit)
+                .expect("stabilizer workloads are Clifford");
+            let fused_ms = time_best(reps, || {
+                let bits = StabilizerBackend::sample_prepared(&prepared, shots, 1);
+                std::hint::black_box(bits.len());
+            });
+            (unfused_ms, fused_ms, shots)
         }
         WorkloadKind::Service { jobs } => {
             // Cold: plan caching disabled — every job pays planning,
@@ -948,6 +1057,41 @@ mod tests {
         }
     }
 
+    #[test]
+    fn stabilizer_workloads_run_end_to_end_and_agree_with_their_oracle() {
+        // The oracle (per-shot re-simulation) and the prepared sampler must
+        // draw from the same state family: a GHZ circuit yields only
+        // all-zeros/all-ones strings on both paths. Checked on a scaled-down
+        // instance so the debug-build test stays fast; the release perf job
+        // runs the full 1024-qubit shape.
+        let backend = StabilizerBackend;
+        let zero = InitialState::ZeroState;
+        let circuit = ghz_circuit(96);
+        let prepared = backend.prepare(&zero, &circuit).expect("GHZ is Clifford");
+        for bits in StabilizerBackend::sample_prepared(&prepared, 32, 9) {
+            let ones = bits.count_ones();
+            assert!(ones == 0 || ones == 96, "non-GHZ outcome: {ones} ones");
+        }
+        for name in ["ghz_1024", "syndrome_256"] {
+            let w = standard_workloads()
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("stabilizer workload present");
+            assert!(matches!(w.kind, WorkloadKind::Stabilizer { .. }));
+            assert!(w.circuit.is_clifford(), "{name} must be pure Clifford");
+            assert!(w.circuit.num_qubits() >= 256);
+        }
+        // End-to-end timing smoke on the smaller of the two CI shapes.
+        let w = Workload {
+            name: "syndrome_small".into(),
+            circuit: syndrome_circuit(32, 2),
+            kind: WorkloadKind::Stabilizer { shots: 16 },
+        };
+        let r = run_workload(&w, 1);
+        assert!(r.fused_ms > 0.0 && r.unfused_ms > 0.0);
+        assert!(r.gates_per_sec > 0.0);
+    }
+
     fn check_gradient_workload_shape(name: &str) -> (ParameterizedCircuit, Vec<f64>, PauliSum) {
         let w = standard_workloads()
             .into_iter()
@@ -976,10 +1120,13 @@ mod tests {
         label: &str,
     ) {
         let grouped = GroupedPauliSum::new(observable);
-        let zero = StateVector::zero_state(pc.num_qubits());
+        let zero = InitialState::ZeroState;
         let backend = FusedStatevector;
-        let (e_adj, g_adj) = backend.expectation_gradient(&zero, pc, params, &grouped);
-        let (e_shift, g_shift) = parameter_shift_gradient(&backend, &zero, pc, params, &grouped);
+        let (e_adj, g_adj) = backend
+            .expectation_gradient(&zero, pc, params, &grouped)
+            .unwrap();
+        let (e_shift, g_shift) =
+            parameter_shift_gradient(&backend, &zero, pc, params, &grouped).unwrap();
         assert!(
             (e_adj - e_shift).abs() < 1e-9,
             "{label}: {e_adj} vs {e_shift}"
@@ -1071,8 +1218,9 @@ mod tests {
         assert_eq!(outputs(&a), outputs(&b), "cold(serial) vs warm(parallel)");
         assert_eq!(outputs(&b), outputs(&c), "warm pass 1 vs warm pass 2");
         // Spot-check the first sampling job against the backend layer.
-        let direct =
-            FusedStatevector.sample(&StateVector::zero_state(12), &qaoa_circuit(12, 2), 1024, 0);
+        let direct = FusedStatevector
+            .sample(&InitialState::ZeroState, &qaoa_circuit(12, 2), 1024, 0)
+            .unwrap();
         assert_eq!(a[0].output, ghs_service::JobOutput::Shots(direct));
         // The warm service actually cached: the second warm pass added no
         // plan misses.

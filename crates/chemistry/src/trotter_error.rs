@@ -8,7 +8,7 @@
 
 use crate::models::ElectronicModel;
 use ghs_circuit::LadderStyle;
-use ghs_core::backend::{Backend, FusedStatevector};
+use ghs_core::backend::{Backend, FusedStatevector, InitialState};
 use ghs_core::{direct_product_formula, usual_product_formula, DirectOptions, ProductFormula};
 use ghs_math::expm_multiply_minus_i_theta;
 use ghs_statevector::StateVector;
@@ -61,6 +61,7 @@ pub fn trotter_error_sweep_with(
     let n = model.num_qubits();
     let initial = StateVector::basis_state(n, model.hartree_fock_state());
     let exact = expm_multiply_minus_i_theta(&sparse, t, initial.amplitudes());
+    let start = InitialState::basis(model.hartree_fock_state());
     // Energy observable: prepared once, evaluated matrix-free per row.
     let observable = model.grouped_observable();
     let exact_energy = observable.expectation(&exact).re;
@@ -70,8 +71,12 @@ pub fn trotter_error_sweep_with(
         .map(|&steps| {
             let direct_circ = direct_product_formula(&h, t, steps, order, &DirectOptions::linear());
             let usual_circ = usual_product_formula(&sum, t, steps, order, LadderStyle::Linear);
-            let d_state = backend.run(&initial, &direct_circ);
-            let u_state = backend.run(&initial, &usual_circ);
+            let d_state = backend
+                .run(&start, &direct_circ)
+                .expect("dense backends run product-formula circuits");
+            let u_state = backend
+                .run(&start, &usual_circ)
+                .expect("dense backends run product-formula circuits");
             // Energies come from the states already evolved for the error
             // columns (no second simulation); like those columns, they
             // measure one trajectory of a stochastic backend.

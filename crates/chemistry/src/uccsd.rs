@@ -9,7 +9,7 @@
 
 use crate::models::ElectronicModel;
 use ghs_circuit::{Circuit, ParameterizedCircuit};
-use ghs_core::backend::{Backend, FusedStatevector};
+use ghs_core::backend::{Backend, FusedStatevector, InitialState};
 use ghs_core::optimize::{minimize_adam, AdamOptions};
 use ghs_core::{direct_term_circuit, DirectOptions};
 use ghs_math::Complex64;
@@ -173,8 +173,10 @@ pub fn uccsd_energy_grouped(
     opts: &DirectOptions,
 ) -> f64 {
     let circuit = uccsd_circuit(model, pool, thetas, opts);
-    let zero = StateVector::zero_state(model.num_qubits());
-    backend.expectation(&zero, &circuit, observable) + model.energy_offset
+    backend
+        .expectation(&InitialState::ZeroState, &circuit, observable)
+        .expect("dense backends evaluate UCCSD circuits")
+        + model.energy_offset
 }
 
 /// Result of a VQE run.
@@ -330,12 +332,14 @@ mod tests {
         let pool = uccsd_pool(&model);
         let ansatz = uccsd_parameterized(&model, &pool, &DirectOptions::linear());
         let observable = model.grouped_observable();
-        let zero = StateVector::zero_state(model.num_qubits());
+        let zero = InitialState::ZeroState;
         let thetas = [0.13, -0.27, 0.41];
         let backend = FusedStatevector;
-        let (e_adj, g_adj) = backend.expectation_gradient(&zero, &ansatz, &thetas, &observable);
+        let (e_adj, g_adj) = backend
+            .expectation_gradient(&zero, &ansatz, &thetas, &observable)
+            .unwrap();
         let (e_shift, g_shift) =
-            parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable);
+            parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable).unwrap();
         assert!((e_adj - e_shift).abs() < 1e-10);
         for (a, s) in g_adj.iter().zip(&g_shift) {
             assert!((a - s).abs() < 1e-8, "{a} vs {s}");

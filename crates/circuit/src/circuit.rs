@@ -69,6 +69,18 @@ impl Circuit {
         self.gates.is_empty()
     }
 
+    /// True when every gate is Clifford (see [`Gate::is_clifford`]) — the
+    /// admission predicate of the stabilizer backend.
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_clifford)
+    }
+
+    /// The first non-Clifford gate, if any — what a stabilizer-backend
+    /// rejection reports in its typed error.
+    pub fn first_non_clifford(&self) -> Option<&Gate> {
+        self.gates.iter().find(|g| !g.is_clifford())
+    }
+
     /// Appends a gate after validating its qubit indices.
     pub fn push(&mut self, gate: Gate) {
         for q in gate.qubits() {

@@ -257,6 +257,29 @@ impl Gate {
         }
     }
 
+    /// True when the gate is in the **Clifford group vocabulary** the
+    /// stabilizer tableau engine simulates exactly: H, S, S†, the Paulis,
+    /// CX, CZ, SWAP, plus the register-invisible global phase. Everything
+    /// else — T gates, continuous rotations, keyed phases, multi-controls —
+    /// is classified non-Clifford, even at angles that happen to land on a
+    /// Clifford unitary (classification is structural, not numeric, so it
+    /// stays deterministic under parameter rebinding).
+    pub fn is_clifford(&self) -> bool {
+        matches!(
+            self,
+            Gate::H(_)
+                | Gate::X(_)
+                | Gate::Y(_)
+                | Gate::Z(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::Cx { .. }
+                | Gate::Cz { .. }
+                | Gate::Swap { .. }
+                | Gate::GlobalPhase(_)
+        )
+    }
+
     /// True when the gate carries a continuously-parametrised angle (the
     /// paper's "rotational gate" count).
     pub fn is_parametrised(&self) -> bool {

@@ -7,92 +7,354 @@
 //! and the application layers (`measurement`, `trotter`, `ghs_hubo`,
 //! `ghs_chemistry`, the benchmark binaries) are written against the trait.
 //!
-//! Four backends ship today:
+//! Five backends ship today:
 //!
-//! * [`FusedStatevector`] — the production path: gate fusion + specialized
-//!   kernels (PR 2), exact to machine precision. Above
+//! * [`FusedStatevector`] — the production dense path: gate fusion +
+//!   specialized kernels (PR 2), exact to machine precision. Above
 //!   [`SHARDED_MIN_QUBITS`] qubits it transparently executes through the
 //!   sharded engine (identical results, bit for bit);
-//! * [`ShardedStatevector`] — the scale path: the amplitude array is split
-//!   into cache-sized shards, hot qubits are relabeled intra-shard, and
-//!   runs of shard-local fused ops are applied per shard while it is
+//! * [`ShardedStatevector`] — the dense scale path: the amplitude array is
+//!   split into cache-sized shards, hot qubits are relabeled intra-shard,
+//!   and runs of shard-local fused ops are applied per shard while it is
 //!   cache-hot ([`ghs_statevector::ShardedStateVector`]);
 //! * [`ReferenceStatevector`] — one sweep per gate, the slow oracle the
 //!   property tests compare everything against;
 //! * [`PauliNoise`] — stochastic Pauli-noise trajectories (per-gate
 //!   depolarizing and dephasing channels), seeded and averaged over a
-//!   trajectory batch.
+//!   trajectory batch;
+//! * [`StabilizerBackend`] — the Clifford scale path: an Aaronson–Gottesman
+//!   tableau ([`ghs_stabilizer::StabilizerState`]) in `O(n²)` bits instead
+//!   of `O(2^n)` amplitudes, running Clifford circuits at thousands of
+//!   qubits. Non-Clifford gates are rejected with a typed
+//!   [`BackendError::UnsupportedCircuit`].
 //!
-//! All backends share the **batched shot engine**: [`Backend::sample`]
+//! The trait is **not statevector-shaped**: entry points take an
+//! [`InitialState`] (zero / basis / dense amplitudes) so that non-dense
+//! backends never materialize `2^n` amplitudes, and every entry point
+//! returns `Result<_, `[`BackendError`]`>` so that engines with a
+//! restricted vocabulary fail with typed errors instead of panicking.
+//! [`Backend::capabilities`] describes each engine's envelope (register
+//! cap, Clifford-only, stochastic, gradient support) so schedulers like
+//! `ghs_service` can reject infeasible jobs at admission.
+//!
+//! The dense backends share the **batched shot engine**: [`Backend::sample`]
 //! simulates the pre-measurement state once, caches the `|amplitude|²`
 //! distribution in an alias table and draws every shot in `O(1)` from
 //! rayon-parallel, deterministically seeded chunks
-//! ([`CachedDistribution`]) — `O(2^n + shots)` instead of re-executing or
-//! re-sweeping per shot.
+//! ([`CachedDistribution`]). The stabilizer backend has a native shot path
+//! instead ([`Backend::sample_bits`]): one tableau collapse per shot, each
+//! shot on its own derived RNG stream.
 //!
 //! Observables go through the **matrix-free grouped Pauli engine**:
 //! [`Backend::expectation`] takes a preprocessed [`GroupedPauliSum`] and
-//! evaluates `⟨ψ|H|ψ⟩` directly from the strings' X/Z bitmasks, one
-//! amplitude sweep per group — no operator matrix is ever materialized.
-//! [`Backend::expectation_sparse`] keeps the sparse mat-vec path alive as
-//! the correctness oracle.
+//! evaluates `⟨ψ|H|ψ⟩` directly from the strings' X/Z bitmasks — one
+//! amplitude sweep per group on the dense engines, a per-string tableau
+//! read-off on the stabilizer engine. [`Backend::expectation_sparse`] keeps
+//! the sparse mat-vec path alive as the correctness oracle.
 //!
 //! Determinism guarantee: for a fixed backend configuration and fixed
-//! `seed`, [`Backend::sample`] returns a bit-identical shot vector across
-//! runs, thread counts and machines.
+//! `seed`, [`Backend::sample`] / [`Backend::sample_bits`] return
+//! bit-identical shot vectors across runs, thread counts and machines.
 //!
 //! ```
 //! use ghs_circuit::Circuit;
-//! use ghs_core::backend::{Backend, FusedStatevector};
-//! use ghs_statevector::StateVector;
+//! use ghs_core::backend::{Backend, FusedStatevector, InitialState};
 //!
 //! // A Bell pair only ever reads |00⟩ or |11⟩, split evenly.
 //! let mut bell = Circuit::new(2);
 //! bell.h(0).cx(0, 1);
 //! let backend = FusedStatevector;
-//! let zero = StateVector::zero_state(2);
-//! let shots = backend.sample(&zero, &bell, 4096, 7);
+//! let zero = InitialState::ZeroState;
+//! let shots = backend.sample(&zero, &bell, 4096, 7).unwrap();
 //! assert!(shots.iter().all(|&s| s == 0b00 || s == 0b11));
 //! let ones = shots.iter().filter(|&&s| s == 0b11).count();
 //! assert!((ones as f64 / 4096.0 - 0.5).abs() < 0.05);
 //! // Seeded sampling is bit-identical across runs.
-//! assert_eq!(shots, backend.sample(&zero, &bell, 4096, 7));
+//! assert_eq!(shots, backend.sample(&zero, &bell, 4096, 7).unwrap());
 //! ```
 
 use ghs_circuit::{Circuit, Gate, ParameterizedCircuit};
-use ghs_math::SparseMatrix;
+use ghs_math::{Complex64, SparseMatrix};
+use ghs_stabilizer::{BitString, StabilizerState, STABILIZER_DENSE_MAX_QUBITS};
 use ghs_statevector::{
     adjoint_gradient, derive_stream_seed, CachedDistribution, GroupedPauliSum, ShardedStateVector,
     StateVector, SHARDED_MIN_QUBITS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use std::f64::consts::{FRAC_PI_2, SQRT_2};
+use std::fmt;
+use std::sync::Arc;
+
+/// A typed backend failure: the engine cannot serve the request, and says
+/// why in machine-readable form. Returned by every [`Backend`] entry point
+/// and by [`backend_by_name`]; `ghs_service` threads it through job results
+/// as a typed failure output instead of panicking a worker.
+///
+/// ```
+/// use ghs_core::backend::{backend_by_name, BackendError, InitialState};
+/// use ghs_circuit::Circuit;
+///
+/// // Unknown names are a typed error, not an Option.
+/// let err = backend_by_name("tensor-network").err().unwrap();
+/// assert!(matches!(err, BackendError::UnknownName(_)));
+///
+/// // The stabilizer backend rejects non-Clifford circuits the same way.
+/// let backend = backend_by_name("stabilizer").unwrap();
+/// let mut c = Circuit::new(2);
+/// c.h(0).rz(1, 0.3);
+/// let err = backend
+///     .sample(&InitialState::ZeroState, &c, 16, 0)
+///     .unwrap_err();
+/// assert!(matches!(err, BackendError::UnsupportedCircuit { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// No backend is registered under this selection name.
+    UnknownName(String),
+    /// The circuit contains a gate outside the backend's vocabulary (e.g. a
+    /// non-Clifford gate handed to the stabilizer engine).
+    UnsupportedCircuit {
+        /// Display form of the first offending gate.
+        gate: String,
+        /// The rejecting backend's [`Backend::name`].
+        backend: &'static str,
+    },
+    /// The register is wider than the backend (or the requested output
+    /// representation) supports.
+    RegisterTooLarge {
+        /// Requested register size.
+        qubits: usize,
+        /// The backend's cap for this entry point.
+        max_qubits: usize,
+        /// The rejecting backend's [`Backend::name`].
+        backend: &'static str,
+    },
+    /// The initial state cannot be used with this backend or circuit (wrong
+    /// register size, basis index out of range, or dense amplitudes handed
+    /// to a non-dense engine).
+    InitialStateMismatch {
+        /// The rejecting backend's [`Backend::name`].
+        backend: &'static str,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The backend has no dense `2^n`-amplitude representation to return
+    /// (the stabilizer tableau's `run` / sparse-observable entry points).
+    DenseStateUnavailable {
+        /// The rejecting backend's [`Backend::name`].
+        backend: &'static str,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::UnknownName(name) => {
+                write!(f, "no backend is registered under the name \"{name}\"")
+            }
+            BackendError::UnsupportedCircuit { gate, backend } => {
+                write!(f, "backend {backend} cannot simulate gate {gate}")
+            }
+            BackendError::RegisterTooLarge {
+                qubits,
+                max_qubits,
+                backend,
+            } => write!(
+                f,
+                "backend {backend} caps this entry point at {max_qubits} qubits, got {qubits}"
+            ),
+            BackendError::InitialStateMismatch { backend, detail } => {
+                write!(f, "initial state rejected by backend {backend}: {detail}")
+            }
+            BackendError::DenseStateUnavailable { backend } => {
+                write!(f, "backend {backend} has no dense statevector output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The state a backend starts from — the plain-data form that does **not**
+/// force `2^n` amplitudes into existence. `ZeroState` and `Basis` are
+/// symbolic (a tableau backend prepares them in `O(n)`); `Dense` carries
+/// explicit amplitudes for the dense engines, shared by `Arc` so cloning a
+/// job spec never copies the register.
+///
+/// ```
+/// use ghs_core::backend::{Backend, FusedStatevector, InitialState};
+/// use ghs_statevector::StateVector;
+/// use ghs_circuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.x(0);
+/// // The default is |0…0⟩; explicit basis states and dense amplitudes
+/// // migrate via `From`.
+/// let from_dense = InitialState::from(&StateVector::basis_state(2, 0b01));
+/// let symbolic = InitialState::basis(0b01);
+/// let a = FusedStatevector.run(&from_dense, &c).unwrap();
+/// let b = FusedStatevector.run(&symbolic, &c).unwrap();
+/// assert_eq!(a.amplitudes(), b.amplitudes());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum InitialState {
+    /// The all-zeros computational-basis state `|0…0⟩`.
+    #[default]
+    ZeroState,
+    /// The computational-basis state `|index⟩` (bit `q` of `index` is
+    /// qubit `q`).
+    Basis(usize),
+    /// Explicit dense amplitudes, shared without copying.
+    Dense(Arc<StateVector>),
+}
+
+impl InitialState {
+    /// The basis state `|index⟩` in symbolic form.
+    pub fn basis(index: usize) -> Self {
+        InitialState::Basis(index)
+    }
+
+    /// The basis-state index when the initial state is symbolic
+    /// (`ZeroState` → `0`), `None` for dense amplitudes. Schedulers use
+    /// this to key caches without hashing a register.
+    pub fn basis_index(&self) -> Option<usize> {
+        match self {
+            InitialState::ZeroState => Some(0),
+            InitialState::Basis(i) => Some(*i),
+            InitialState::Dense(_) => None,
+        }
+    }
+
+    /// Materializes the dense `2^n` statevector for an `n`-qubit register —
+    /// the adapter the dense backends call. Validates the basis index / the
+    /// dense register size and reports mismatches as typed errors under the
+    /// calling backend's name.
+    pub fn to_statevector(
+        &self,
+        num_qubits: usize,
+        backend: &'static str,
+    ) -> Result<StateVector, BackendError> {
+        match self {
+            InitialState::ZeroState => Ok(StateVector::zero_state(num_qubits)),
+            InitialState::Basis(index) => {
+                if num_qubits < usize::BITS as usize && *index >= (1usize << num_qubits) {
+                    return Err(BackendError::InitialStateMismatch {
+                        backend,
+                        detail: format!("basis index {index} out of range for {num_qubits} qubits"),
+                    });
+                }
+                Ok(StateVector::basis_state(num_qubits, *index))
+            }
+            InitialState::Dense(state) => {
+                if state.num_qubits() != num_qubits {
+                    return Err(BackendError::InitialStateMismatch {
+                        backend,
+                        detail: format!(
+                            "dense initial state has {} qubits, circuit has {num_qubits}",
+                            state.num_qubits()
+                        ),
+                    });
+                }
+                Ok((**state).clone())
+            }
+        }
+    }
+}
+
+impl From<&StateVector> for InitialState {
+    /// Migration shim for dense call sites: wraps a copy of the register.
+    fn from(state: &StateVector) -> Self {
+        InitialState::Dense(Arc::new(state.clone()))
+    }
+}
+
+impl From<StateVector> for InitialState {
+    fn from(state: StateVector) -> Self {
+        InitialState::Dense(Arc::new(state))
+    }
+}
+
+impl From<Arc<StateVector>> for InitialState {
+    fn from(state: Arc<StateVector>) -> Self {
+        InitialState::Dense(state)
+    }
+}
+
+/// A backend's execution envelope, as plain data. Schedulers consult it
+/// **before** queueing work (the job service's admission check), so
+/// infeasible jobs fail at submission with a typed error instead of inside
+/// a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Largest register the backend accepts.
+    pub max_qubits: usize,
+    /// The backend only runs Clifford circuits (see
+    /// `ghs_circuit::Gate::is_clifford`).
+    pub clifford_only: bool,
+    /// Outputs are ensemble averages over a stochastic process (noise
+    /// trajectories), not exact functionals of one pure state.
+    pub stochastic: bool,
+    /// [`Backend::expectation_gradient`] is supported.
+    pub supports_gradients: bool,
+}
+
+impl Capabilities {
+    /// The envelope of a deterministic dense statevector engine: registers
+    /// up to [`Capabilities::DENSE_MAX_QUBITS`], any circuit, exact
+    /// outputs, adjoint/shift gradients.
+    pub const fn statevector() -> Self {
+        Capabilities {
+            max_qubits: Self::DENSE_MAX_QUBITS,
+            clifford_only: false,
+            stochastic: false,
+            supports_gradients: true,
+        }
+    }
+
+    /// Register cap of the dense engines: beyond this, `2^n` amplitudes
+    /// (16 bytes each) exceed any plausible host memory.
+    pub const DENSE_MAX_QUBITS: usize = 32;
+}
 
 /// An interchangeable circuit-execution engine.
 ///
 /// The trait is object-safe: application code that should stay agnostic of
-/// the engine takes `&dyn Backend`. Deterministic backends only implement
-/// [`Backend::run`]; the expectation/sampling entry points have default
-/// implementations on top of it. Stochastic backends override
+/// the engine takes `&dyn Backend`. Dense deterministic backends only
+/// implement [`Backend::run`]; the expectation/sampling entry points have
+/// default implementations on top of it. Stochastic backends override
 /// [`Backend::probabilities`] and [`Backend::expectation`] to average over
-/// their ensemble.
+/// their ensemble; non-dense backends (the stabilizer tableau) override
+/// every entry point they support and return typed errors from the rest.
 pub trait Backend {
     /// Stable identifier (used in logs, benchmarks and selection tables).
     fn name(&self) -> &'static str;
 
-    /// Evolves `initial` through `circuit` and returns the final state.
+    /// The engine's execution envelope (see [`Capabilities`]). The default
+    /// is the dense statevector envelope.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::statevector()
+    }
+
+    /// Evolves the initial state through `circuit` and returns the final
+    /// dense state.
     ///
     /// For stochastic backends this is **one** trajectory (drawn from the
     /// backend's own seed); ensemble-averaged quantities go through
-    /// [`Backend::probabilities`] / [`Backend::expectation`].
-    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector;
+    /// [`Backend::probabilities`] / [`Backend::expectation`]. Non-dense
+    /// backends return [`BackendError::DenseStateUnavailable`].
+    fn run(&self, initial: &InitialState, circuit: &Circuit) -> Result<StateVector, BackendError>;
 
     /// Measurement probabilities of the evolved state in the computational
     /// basis (ensemble-averaged for stochastic backends).
-    fn probabilities(&self, initial: &StateVector, circuit: &Circuit) -> Vec<f64> {
-        let state = self.run(initial, circuit);
-        state.amplitudes().iter().map(|a| a.norm_sqr()).collect()
+    fn probabilities(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<Vec<f64>, BackendError> {
+        let state = self.run(initial, circuit)?;
+        Ok(state.amplitudes().iter().map(|a| a.norm_sqr()).collect())
     }
 
     /// Expectation value `⟨ψ|H|ψ⟩` of a Hermitian Pauli-sum observable on
@@ -100,20 +362,22 @@ pub trait Backend {
     ///
     /// This is the production observable path: the preprocessed
     /// [`GroupedPauliSum`] is evaluated **matrix-free** in one amplitude
-    /// sweep per group of strings, with the same deterministic chunked
-    /// parallelism as the gate kernels. Prepare the observable once (it only
-    /// depends on the Hamiltonian) and reuse it across evaluations; the
-    /// sparse path survives as [`Backend::expectation_sparse`], the
-    /// correctness oracle of the property tests.
+    /// sweep per group of strings on the dense engines, and read per string
+    /// straight off the tableau on the stabilizer engine. Prepare the
+    /// observable once (it only depends on the Hamiltonian) and reuse it
+    /// across evaluations; the sparse path survives as
+    /// [`Backend::expectation_sparse`], the correctness oracle of the
+    /// property tests.
     fn expectation(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         observable: &GroupedPauliSum,
-    ) -> f64 {
-        self.run(initial, circuit)
+    ) -> Result<f64, BackendError> {
+        Ok(self
+            .run(initial, circuit)?
             .expectation_grouped(observable)
-            .re
+            .re)
     }
 
     /// Expectation value `⟨ψ|A|ψ⟩` of a Hermitian sparse-matrix observable
@@ -126,26 +390,54 @@ pub trait Backend {
     /// with no convenient Pauli expansion.
     fn expectation_sparse(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         observable: &SparseMatrix,
-    ) -> f64 {
-        self.run(initial, circuit).expectation_sparse(observable).re
+    ) -> Result<f64, BackendError> {
+        Ok(self
+            .run(initial, circuit)?
+            .expectation_sparse(observable)
+            .re)
     }
 
-    /// Draws `shots` computational-basis outcomes through the batched shot
-    /// engine: the pre-measurement distribution is computed **once**, cached
-    /// in an alias table, and every shot costs `O(1)` — `O(2^n + shots)`
-    /// total, bit-identical for a fixed `seed`.
+    /// Draws `shots` computational-basis outcomes as dense indices. On the
+    /// dense engines this is the batched shot engine: the pre-measurement
+    /// distribution is computed **once**, cached in an alias table, and
+    /// every shot costs `O(1)` — `O(2^n + shots)` total, bit-identical for
+    /// a fixed `seed`. Registers wider than a machine word cannot be
+    /// indexed; use [`Backend::sample_bits`] there.
     fn sample(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         shots: usize,
         seed: u64,
-    ) -> Vec<usize> {
-        CachedDistribution::from_probabilities(self.probabilities(initial, circuit))
-            .sample_seeded(shots, seed)
+    ) -> Result<Vec<usize>, BackendError> {
+        Ok(
+            CachedDistribution::from_probabilities(self.probabilities(initial, circuit)?)
+                .sample_seeded(shots, seed),
+        )
+    }
+
+    /// Draws `shots` computational-basis outcomes as packed
+    /// [`BitString`]s — the wide-register form of [`Backend::sample`], and
+    /// the native shot path of the stabilizer engine (per-shot tableau
+    /// collapse on derived RNG streams). The default packs the dense
+    /// sample stream; for registers that fit a `usize` the two entry
+    /// points see the same outcomes.
+    fn sample_bits(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<BitString>, BackendError> {
+        let n = circuit.num_qubits();
+        Ok(self
+            .sample(initial, circuit, shots, seed)?
+            .into_iter()
+            .map(|index| BitString::from_index(n, index))
+            .collect())
     }
 
     /// Energy `⟨ψ(θ)|H|ψ(θ)⟩` **and its full parameter gradient** for a
@@ -154,8 +446,9 @@ pub trait Backend {
     /// The default implementation is the **parameter-shift rule**, evaluated
     /// through [`Backend::expectation`]: exact (to machine precision) for
     /// every differentiable gate kind of the IR, including the four-term
-    /// rule for controlled rotations, and valid for *any* backend — on a
-    /// stochastic backend it differentiates the ensemble-averaged energy.
+    /// rule for controlled rotations, and valid for *any* backend that can
+    /// run the bound circuits — on a stochastic backend it differentiates
+    /// the ensemble-averaged energy.
     /// Its cost is two to four full circuit executions **per bound gate**.
     ///
     /// The deterministic state-vector backends override this with the
@@ -165,10 +458,10 @@ pub trait Backend {
     ///
     /// ```
     /// use ghs_circuit::ParameterizedCircuit;
-    /// use ghs_core::backend::{Backend, FusedStatevector};
+    /// use ghs_core::backend::{Backend, FusedStatevector, InitialState};
     /// use ghs_math::c64;
     /// use ghs_operators::{PauliString, PauliSum};
-    /// use ghs_statevector::{GroupedPauliSum, StateVector};
+    /// use ghs_statevector::GroupedPauliSum;
     ///
     /// // E(θ) = ⟨0|RY(θ)† Z RY(θ)|0⟩ = cos θ.
     /// let mut pc = ParameterizedCircuit::new(1, 1);
@@ -176,24 +469,25 @@ pub trait Backend {
     /// let mut sum = PauliSum::zero(1);
     /// sum.push(c64(1.0, 0.0), PauliString::parse("Z").unwrap());
     /// let obs = GroupedPauliSum::new(&sum);
-    /// let (e, g) = FusedStatevector.expectation_gradient(
-    ///     &StateVector::zero_state(1), &pc, &[0.6], &obs);
+    /// let (e, g) = FusedStatevector
+    ///     .expectation_gradient(&InitialState::ZeroState, &pc, &[0.6], &obs)
+    ///     .unwrap();
     /// assert!((e - 0.6f64.cos()).abs() < 1e-12);
     /// assert!((g[0] + 0.6f64.sin()).abs() < 1e-12);
     /// ```
     fn expectation_gradient(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &ParameterizedCircuit,
         params: &[f64],
         observable: &GroupedPauliSum,
-    ) -> (f64, Vec<f64>) {
+    ) -> Result<(f64, Vec<f64>), BackendError> {
         let mut scratch = Circuit::new(0);
         circuit.bind_into(params, &mut scratch);
-        let energy = self.expectation(initial, &scratch, observable);
+        let energy = self.expectation(initial, &scratch, observable)?;
         let mut eval = |c: &Circuit| self.expectation(initial, c, observable);
-        let gradient = shift_gradient(&mut eval, circuit, params, &mut scratch);
-        (energy, gradient)
+        let gradient = shift_gradient(&mut eval, circuit, params, &mut scratch)?;
+        Ok((energy, gradient))
     }
 }
 
@@ -235,24 +529,24 @@ fn shift_rule(gate: &Gate) -> Vec<(f64, f64)> {
 /// Shared parameter-shift engine: sums, over every binding of `circuit`, the
 /// binding's shift-rule combination of shifted energy evaluations, chain
 /// rule through the affine scale included. `eval` is charged two to four
-/// calls per binding.
+/// calls per binding; its first failure aborts the sweep.
 fn shift_gradient(
-    eval: &mut dyn FnMut(&Circuit) -> f64,
+    eval: &mut dyn FnMut(&Circuit) -> Result<f64, BackendError>,
     circuit: &ParameterizedCircuit,
     params: &[f64],
     scratch: &mut Circuit,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, BackendError> {
     let mut gradient = vec![0.0f64; circuit.num_params()];
     for (bi, binding) in circuit.bindings().iter().enumerate() {
         let rule = shift_rule(&circuit.template().gates()[binding.gate]);
         let mut dtheta = 0.0;
         for (coeff, shift) in rule {
             circuit.bind_shifted_into(params, bi, shift, scratch);
-            dtheta += coeff * eval(scratch);
+            dtheta += coeff * eval(scratch)?;
         }
         gradient[binding.expr.param] += binding.expr.scale * dtheta;
     }
-    gradient
+    Ok(gradient)
 }
 
 /// Energy and gradient of a parameterized circuit by the **parameter-shift
@@ -263,17 +557,17 @@ fn shift_gradient(
 /// reachable through this free function).
 pub fn parameter_shift_gradient(
     backend: &dyn Backend,
-    initial: &StateVector,
+    initial: &InitialState,
     circuit: &ParameterizedCircuit,
     params: &[f64],
     observable: &GroupedPauliSum,
-) -> (f64, Vec<f64>) {
+) -> Result<(f64, Vec<f64>), BackendError> {
     let mut scratch = Circuit::new(0);
     circuit.bind_into(params, &mut scratch);
-    let energy = backend.expectation(initial, &scratch, observable);
+    let energy = backend.expectation(initial, &scratch, observable)?;
     let mut eval = |c: &Circuit| backend.expectation(initial, c, observable);
-    let gradient = shift_gradient(&mut eval, circuit, params, &mut scratch);
-    (energy, gradient)
+    let gradient = shift_gradient(&mut eval, circuit, params, &mut scratch)?;
+    Ok((energy, gradient))
 }
 
 /// The production backend: fused gate-application engine (one cache-friendly
@@ -293,13 +587,13 @@ impl Backend for FusedStatevector {
     /// memory-bound. The two paths are bit-identical (the sharded engine
     /// replays the flat kernels' per-amplitude arithmetic and returns
     /// amplitudes in logical order), so the crossover is unobservable.
-    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
+    fn run(&self, initial: &InitialState, circuit: &Circuit) -> Result<StateVector, BackendError> {
         if circuit.num_qubits() >= SHARDED_MIN_QUBITS {
             return ShardedStatevector.run(initial, circuit);
         }
-        let mut s = initial.clone();
+        let mut s = initial.to_statevector(circuit.num_qubits(), self.name())?;
         s.run_fused(circuit);
-        s
+        Ok(s)
     }
 
     /// Deterministic engine: build the alias table straight from the evolved
@@ -307,12 +601,12 @@ impl Backend for FusedStatevector {
     /// (ensemble-oriented) implementation. Same table, same shot stream.
     fn sample(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         shots: usize,
         seed: u64,
-    ) -> Vec<usize> {
-        self.run(initial, circuit).sample_cached(shots, seed)
+    ) -> Result<Vec<usize>, BackendError> {
+        Ok(self.run(initial, circuit)?.sample_cached(shots, seed))
     }
 
     /// Adjoint-mode gradient: one forward sweep, one reverse sweep, `O(P)`
@@ -320,17 +614,18 @@ impl Backend for FusedStatevector {
     /// simulations (see [`ghs_statevector::adjoint_gradient`]).
     fn expectation_gradient(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &ParameterizedCircuit,
         params: &[f64],
         observable: &GroupedPauliSum,
-    ) -> (f64, Vec<f64>) {
-        let r = adjoint_gradient(initial, circuit, params, observable);
-        (r.energy, r.gradient)
+    ) -> Result<(f64, Vec<f64>), BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let r = adjoint_gradient(&init, circuit, params, observable);
+        Ok((r.energy, r.gradient))
     }
 }
 
-/// The scale backend: executes through
+/// The dense scale backend: executes through
 /// [`ghs_statevector::ShardedStateVector`] — amplitudes split into
 /// cache-sized shards, hot qubits relabeled intra-shard
 /// ([`ghs_circuit::QubitRelabeling`]), and consecutive shard-local fused ops
@@ -345,22 +640,23 @@ impl Backend for ShardedStatevector {
         "sharded-statevector"
     }
 
-    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
-        let mut s = ShardedStateVector::from_state(initial);
+    fn run(&self, initial: &InitialState, circuit: &Circuit) -> Result<StateVector, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let mut s = ShardedStateVector::from_state(&init);
         s.run(circuit);
-        s.to_state()
+        Ok(s.to_state())
     }
 
     /// Deterministic engine: sample straight from the evolved state (see
     /// [`FusedStatevector`]'s override).
     fn sample(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         shots: usize,
         seed: u64,
-    ) -> Vec<usize> {
-        self.run(initial, circuit).sample_cached(shots, seed)
+    ) -> Result<Vec<usize>, BackendError> {
+        Ok(self.run(initial, circuit)?.sample_cached(shots, seed))
     }
 
     /// Adjoint-mode gradient through the flat engine: the reverse sweep's
@@ -368,13 +664,14 @@ impl Backend for ShardedStatevector {
     /// well below the sharding crossover.
     fn expectation_gradient(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &ParameterizedCircuit,
         params: &[f64],
         observable: &GroupedPauliSum,
-    ) -> (f64, Vec<f64>) {
-        let r = adjoint_gradient(initial, circuit, params, observable);
-        (r.energy, r.gradient)
+    ) -> Result<(f64, Vec<f64>), BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let r = adjoint_gradient(&init, circuit, params, observable);
+        Ok((r.energy, r.gradient))
     }
 }
 
@@ -389,22 +686,22 @@ impl Backend for ReferenceStatevector {
         "reference-statevector"
     }
 
-    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
-        let mut s = initial.clone();
+    fn run(&self, initial: &InitialState, circuit: &Circuit) -> Result<StateVector, BackendError> {
+        let mut s = initial.to_statevector(circuit.num_qubits(), self.name())?;
         s.run_unfused(circuit);
-        s
+        Ok(s)
     }
 
     /// Deterministic engine: sample straight from the evolved state (see
     /// [`FusedStatevector`]'s override).
     fn sample(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         shots: usize,
         seed: u64,
-    ) -> Vec<usize> {
-        self.run(initial, circuit).sample_cached(shots, seed)
+    ) -> Result<Vec<usize>, BackendError> {
+        Ok(self.run(initial, circuit)?.sample_cached(shots, seed))
     }
 
     /// Adjoint-mode gradient (see [`FusedStatevector`]'s override); the
@@ -412,13 +709,14 @@ impl Backend for ReferenceStatevector {
     /// [`parameter_shift_gradient`].
     fn expectation_gradient(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &ParameterizedCircuit,
         params: &[f64],
         observable: &GroupedPauliSum,
-    ) -> (f64, Vec<f64>) {
-        let r = adjoint_gradient(initial, circuit, params, observable);
-        (r.energy, r.gradient)
+    ) -> Result<(f64, Vec<f64>), BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let r = adjoint_gradient(&init, circuit, params, observable);
+        Ok((r.energy, r.gradient))
     }
 }
 
@@ -529,18 +827,33 @@ impl Backend for PauliNoise {
         "pauli-noise-trajectories"
     }
 
+    /// A statevector envelope with the stochastic flag raised: every output
+    /// is a seeded trajectory-ensemble average.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: true,
+            ..Capabilities::statevector()
+        }
+    }
+
     /// One trajectory (index 0). Ensemble-averaged quantities go through
     /// [`Backend::probabilities`] / [`Backend::expectation`] /
     /// [`Backend::sample`].
-    fn run(&self, initial: &StateVector, circuit: &Circuit) -> StateVector {
-        self.trajectory(initial, circuit, 0)
+    fn run(&self, initial: &InitialState, circuit: &Circuit) -> Result<StateVector, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        Ok(self.trajectory(&init, circuit, 0))
     }
 
-    fn probabilities(&self, initial: &StateVector, circuit: &Circuit) -> Vec<f64> {
+    fn probabilities(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<Vec<f64>, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
         let t = self.ensemble();
-        let mut acc = vec![0.0f64; initial.dim()];
+        let mut acc = vec![0.0f64; init.dim()];
         for index in 0..t {
-            let state = self.trajectory(initial, circuit, index);
+            let state = self.trajectory(&init, circuit, index);
             for (a, amp) in acc.iter_mut().zip(state.amplitudes()) {
                 *a += amp.norm_sqr();
             }
@@ -549,7 +862,7 @@ impl Backend for PauliNoise {
         for a in &mut acc {
             *a *= inv;
         }
-        acc
+        Ok(acc)
     }
 
     /// Matrix-free observable, averaged over the trajectory ensemble. At
@@ -558,36 +871,282 @@ impl Backend for PauliNoise {
     /// **bit-exactly** (a regression test enforces this).
     fn expectation(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         observable: &GroupedPauliSum,
-    ) -> f64 {
+    ) -> Result<f64, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
         let t = self.ensemble();
-        (0..t)
+        Ok((0..t)
             .map(|index| {
-                self.trajectory(initial, circuit, index)
+                self.trajectory(&init, circuit, index)
                     .expectation_grouped(observable)
                     .re
             })
             .sum::<f64>()
-            / t as f64
+            / t as f64)
     }
 
     fn expectation_sparse(
         &self,
-        initial: &StateVector,
+        initial: &InitialState,
         circuit: &Circuit,
         observable: &SparseMatrix,
-    ) -> f64 {
+    ) -> Result<f64, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
         let t = self.ensemble();
-        (0..t)
+        Ok((0..t)
             .map(|index| {
-                self.trajectory(initial, circuit, index)
+                self.trajectory(&init, circuit, index)
                     .expectation_sparse(observable)
                     .re
             })
             .sum::<f64>()
-            / t as f64
+            / t as f64)
+    }
+}
+
+/// Shots per parallel work unit of the stabilizer shot path. Each shot owns
+/// a full tableau clone and collapse, so units are small; determinism does
+/// not depend on the chunking (every shot derives its own RNG stream).
+const STABILIZER_SHOT_CHUNK: usize = 16;
+
+/// Domain tag separating the stabilizer per-shot streams from the dense
+/// alias-table chunk streams and the noise-trajectory streams when a caller
+/// reuses one seed across backends.
+const STABILIZER_SHOT_DOMAIN: u64 = 0x0073_7461_6273_6d70; // "stabsmp"
+
+/// The Clifford scale backend: an Aaronson–Gottesman stabilizer tableau
+/// ([`ghs_stabilizer::StabilizerState`]) — `O(n²)` bits of state and
+/// `O(n)` per gate instead of `O(2^n)` amplitudes, running Clifford
+/// circuits at thousands of qubits.
+///
+/// What it serves, and how:
+///
+/// * [`Backend::sample_bits`] — the native shot path: the circuit is
+///   conjugated into the tableau **once**, then every shot collapses a
+///   clone of the prepared tableau under measurement, on its own RNG
+///   stream derived from `(seed, shot)` — bit-identical across runs and
+///   thread counts;
+/// * [`Backend::sample`] — same outcomes as dense indices, for registers
+///   that fit a machine word;
+/// * [`Backend::expectation`] — Pauli-sum expectations read term by term
+///   straight off the tableau (each string is exactly `0` or `±1`);
+/// * [`Backend::probabilities`] — exact dyadic probabilities by branching
+///   the measurement tree, capped at
+///   [`STABILIZER_DENSE_MAX_QUBITS`] qubits (the output itself is `2^n`).
+///
+/// Everything outside the Clifford vocabulary is a typed error:
+/// non-Clifford gates ([`BackendError::UnsupportedCircuit`]), dense initial
+/// states ([`BackendError::InitialStateMismatch`]), dense state output
+/// ([`BackendError::DenseStateUnavailable`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StabilizerBackend;
+
+impl StabilizerBackend {
+    /// Register cap: tableau memory is `n²/2` bytes, so 16 384 qubits cost
+    /// 128 MiB — well past "thousands of qubits" while still bounding
+    /// admission.
+    pub const MAX_QUBITS: usize = 1 << 14;
+
+    /// Conjugates `circuit` into a tableau starting from `initial` — the
+    /// preparation the shot path runs once and `ghs_service` caches per
+    /// circuit structure. Symbolic initial states only; the first
+    /// non-Clifford gate aborts with a typed error.
+    pub fn prepare(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<StabilizerState, BackendError> {
+        let n = circuit.num_qubits();
+        if n > Self::MAX_QUBITS {
+            return Err(BackendError::RegisterTooLarge {
+                qubits: n,
+                max_qubits: Self::MAX_QUBITS,
+                backend: self.name(),
+            });
+        }
+        let mut state = match initial {
+            InitialState::ZeroState => StabilizerState::zero_state(n),
+            InitialState::Basis(index) => {
+                if n < usize::BITS as usize && *index >= (1usize << n) {
+                    return Err(BackendError::InitialStateMismatch {
+                        backend: self.name(),
+                        detail: format!("basis index {index} out of range for {n} qubits"),
+                    });
+                }
+                StabilizerState::basis_state(n, *index)
+            }
+            InitialState::Dense(_) => {
+                return Err(BackendError::InitialStateMismatch {
+                    backend: self.name(),
+                    detail: "the tableau engine cannot ingest dense amplitudes".to_string(),
+                })
+            }
+        };
+        state
+            .apply_circuit(circuit)
+            .map_err(|e| BackendError::UnsupportedCircuit {
+                gate: e.gate,
+                backend: self.name(),
+            })?;
+        Ok(state)
+    }
+
+    /// Draws `shots` outcomes from a prepared tableau: shot `k` clones the
+    /// tableau and measures every qubit under the RNG stream derived from
+    /// `(seed, k)`. Chunks run rayon-parallel, but the output depends only
+    /// on `(tableau, shots, seed)` — bit-identical across thread counts.
+    pub fn sample_prepared(tableau: &StabilizerState, shots: usize, seed: u64) -> Vec<BitString> {
+        let n = tableau.num_qubits();
+        let mut out: Vec<BitString> = vec![BitString::zeros(0); shots];
+        let fill = |base: usize, chunk: &mut [BitString]| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let mut rng = StdRng::seed_from_u64(derive_stream_seed(
+                    seed ^ STABILIZER_SHOT_DOMAIN,
+                    base + k,
+                ));
+                let mut shot_state = tableau.clone();
+                *slot = shot_state.measure_all(&mut rng);
+            }
+        };
+        if shots > STABILIZER_SHOT_CHUNK {
+            out.par_chunks_mut(STABILIZER_SHOT_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| fill(ci * STABILIZER_SHOT_CHUNK, chunk));
+        } else {
+            fill(0, &mut out);
+        }
+        debug_assert!(out.iter().all(|s| s.len() == n));
+        out
+    }
+}
+
+impl Backend for StabilizerBackend {
+    fn name(&self) -> &'static str {
+        "stabilizer-tableau"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            max_qubits: Self::MAX_QUBITS,
+            clifford_only: true,
+            stochastic: false,
+            supports_gradients: false,
+        }
+    }
+
+    /// The tableau has no `2^n`-amplitude representation to return.
+    fn run(
+        &self,
+        _initial: &InitialState,
+        _circuit: &Circuit,
+    ) -> Result<StateVector, BackendError> {
+        Err(BackendError::DenseStateUnavailable {
+            backend: self.name(),
+        })
+    }
+
+    /// Exact basis probabilities by branching the per-qubit measurement
+    /// tree. The output vector itself is `2^n` long, so this entry point is
+    /// capped at [`STABILIZER_DENSE_MAX_QUBITS`] qubits; wide registers
+    /// should sample ([`Backend::sample_bits`]) or read observables
+    /// ([`Backend::expectation`]) instead.
+    fn probabilities(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<Vec<f64>, BackendError> {
+        let n = circuit.num_qubits();
+        if n > STABILIZER_DENSE_MAX_QUBITS {
+            return Err(BackendError::RegisterTooLarge {
+                qubits: n,
+                max_qubits: STABILIZER_DENSE_MAX_QUBITS,
+                backend: self.name(),
+            });
+        }
+        Ok(self.prepare(initial, circuit)?.basis_probabilities())
+    }
+
+    /// Pauli-sum expectation read off the tableau, term by term: each
+    /// string either anticommutes with a stabilizer (`⟨P⟩ = 0`) or is a
+    /// signed product of stabilizer generators (`⟨P⟩ = ±1`). The
+    /// [`GroupedPauliSum`] mask representation caps the observable register
+    /// at a machine word.
+    fn expectation(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        observable: &GroupedPauliSum,
+    ) -> Result<f64, BackendError> {
+        let n = circuit.num_qubits();
+        if n > usize::BITS as usize {
+            return Err(BackendError::RegisterTooLarge {
+                qubits: n,
+                max_qubits: usize::BITS as usize,
+                backend: self.name(),
+            });
+        }
+        let state = self.prepare(initial, circuit)?;
+        let mut acc = Complex64::ZERO;
+        for (coeff, x_mask, z_mask) in observable.string_masks() {
+            acc += coeff * state.expectation_dense_masks(x_mask, z_mask);
+        }
+        Ok(acc.re)
+    }
+
+    /// Sparse-matrix observables need the dense state; use the Pauli-sum
+    /// path ([`Backend::expectation`]) instead.
+    fn expectation_sparse(
+        &self,
+        _initial: &InitialState,
+        _circuit: &Circuit,
+        _observable: &SparseMatrix,
+    ) -> Result<f64, BackendError> {
+        Err(BackendError::DenseStateUnavailable {
+            backend: self.name(),
+        })
+    }
+
+    /// Dense-index sampling for registers that fit a machine word; the
+    /// outcomes are exactly [`Backend::sample_bits`]'s, re-encoded.
+    fn sample(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>, BackendError> {
+        let n = circuit.num_qubits();
+        if n > usize::BITS as usize {
+            return Err(BackendError::RegisterTooLarge {
+                qubits: n,
+                max_qubits: usize::BITS as usize,
+                backend: self.name(),
+            });
+        }
+        Ok(self
+            .sample_bits(initial, circuit, shots, seed)?
+            .into_iter()
+            .map(|bits| {
+                bits.to_index()
+                    .expect("outcome fits a machine word by the register check above")
+            })
+            .collect())
+    }
+
+    /// The native stabilizer shot path: prepare the tableau once, collapse
+    /// one clone per shot on per-shot derived RNG streams. This is the
+    /// entry point that runs 1000-qubit GHZ sampling.
+    fn sample_bits(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<BitString>, BackendError> {
+        let tableau = self.prepare(initial, circuit)?;
+        Ok(Self::sample_prepared(&tableau, shots, seed))
     }
 }
 
@@ -605,6 +1164,8 @@ pub enum BackendSpec {
     Sharded,
     /// The gate-by-gate reference backend ([`ReferenceStatevector`]).
     Reference,
+    /// The Clifford stabilizer-tableau backend ([`StabilizerBackend`]).
+    Stabilizer,
     /// A stochastic Pauli-noise ensemble ([`PauliNoise`]).
     Noisy {
         /// Per-qubit depolarizing probability after each gate.
@@ -625,6 +1186,7 @@ impl BackendSpec {
             BackendSpec::Fused => Box::new(FusedStatevector),
             BackendSpec::Sharded => Box::new(ShardedStatevector),
             BackendSpec::Reference => Box::new(ReferenceStatevector),
+            BackendSpec::Stabilizer => Box::new(StabilizerBackend),
             BackendSpec::Noisy {
                 depolarizing,
                 dephasing,
@@ -639,28 +1201,44 @@ impl BackendSpec {
         }
     }
 
+    /// The described backend's [`Capabilities`], without boxing it.
+    pub fn capabilities(&self) -> Capabilities {
+        match self {
+            BackendSpec::Fused | BackendSpec::Sharded | BackendSpec::Reference => {
+                Capabilities::statevector()
+            }
+            BackendSpec::Stabilizer => StabilizerBackend.capabilities(),
+            BackendSpec::Noisy { .. } => Capabilities {
+                stochastic: true,
+                ..Capabilities::statevector()
+            },
+        }
+    }
+
     /// Stable display name, matching [`backend_by_name`]'s vocabulary.
     pub fn name(&self) -> &'static str {
         match self {
             BackendSpec::Fused => "fused",
             BackendSpec::Sharded => "sharded",
             BackendSpec::Reference => "reference",
+            BackendSpec::Stabilizer => "stabilizer",
             BackendSpec::Noisy { .. } => "noisy",
         }
     }
 }
 
 /// Looks a backend up by its selection name (see the README's backend
-/// table): `"fused"`, `"sharded"`, `"reference"`, or `"noisy"`
-/// (depolarizing `1%`, 10 trajectories, seed 0). Returns `None` for unknown
-/// names.
-pub fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
+/// table): `"fused"`, `"sharded"`, `"reference"`, `"stabilizer"`, or
+/// `"noisy"` (depolarizing `1%`, 10 trajectories, seed 0). Unknown names
+/// are a typed [`BackendError::UnknownName`].
+pub fn backend_by_name(name: &str) -> Result<Box<dyn Backend>, BackendError> {
     match name {
-        "fused" => Some(Box::new(FusedStatevector)),
-        "sharded" => Some(Box::new(ShardedStatevector)),
-        "reference" => Some(Box::new(ReferenceStatevector)),
-        "noisy" => Some(Box::new(PauliNoise::depolarizing(0.01, 10, 0))),
-        _ => None,
+        "fused" => Ok(Box::new(FusedStatevector)),
+        "sharded" => Ok(Box::new(ShardedStatevector)),
+        "reference" => Ok(Box::new(ReferenceStatevector)),
+        "stabilizer" => Ok(Box::new(StabilizerBackend)),
+        "noisy" => Ok(Box::new(PauliNoise::depolarizing(0.01, 10, 0))),
+        other => Err(BackendError::UnknownName(other.to_string())),
     }
 }
 
@@ -682,25 +1260,25 @@ mod tests {
     #[test]
     fn fused_and_reference_agree_on_run() {
         let mut rng = StdRng::seed_from_u64(3);
-        let initial = StateVector::random_state(6, &mut rng);
+        let initial = InitialState::from(StateVector::random_state(6, &mut rng));
         let c = ghz_circuit(6);
-        let f = FusedStatevector.run(&initial, &c);
-        let r = ReferenceStatevector.run(&initial, &c);
+        let f = FusedStatevector.run(&initial, &c).unwrap();
+        let r = ReferenceStatevector.run(&initial, &c).unwrap();
         assert!(f.distance(&r) < 1e-12);
     }
 
     #[test]
     fn sharded_backend_is_bit_identical_to_fused() {
         let mut rng = StdRng::seed_from_u64(17);
-        let initial = StateVector::random_state(7, &mut rng);
+        let initial = InitialState::from(StateVector::random_state(7, &mut rng));
         let c = ghz_circuit(7);
-        let f = FusedStatevector.run(&initial, &c);
-        let s = ShardedStatevector.run(&initial, &c);
+        let f = FusedStatevector.run(&initial, &c).unwrap();
+        let s = ShardedStatevector.run(&initial, &c).unwrap();
         assert_eq!(f.amplitudes(), s.amplitudes());
-        let zero = StateVector::zero_state(7);
+        let zero = InitialState::ZeroState;
         assert_eq!(
-            FusedStatevector.sample(&zero, &c, 512, 5),
-            ShardedStatevector.sample(&zero, &c, 512, 5)
+            FusedStatevector.sample(&zero, &c, 512, 5).unwrap(),
+            ShardedStatevector.sample(&zero, &c, 512, 5).unwrap()
         );
         assert_eq!(
             backend_by_name("sharded").unwrap().name(),
@@ -711,9 +1289,9 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let c = ghz_circuit(5);
-        let zero = StateVector::zero_state(5);
-        let a = FusedStatevector.sample(&zero, &c, 2000, 11);
-        let b = FusedStatevector.sample(&zero, &c, 2000, 11);
+        let zero = InitialState::ZeroState;
+        let a = FusedStatevector.sample(&zero, &c, 2000, 11).unwrap();
+        let b = FusedStatevector.sample(&zero, &c, 2000, 11).unwrap();
         assert_eq!(a, b);
         assert!(a.iter().all(|&s| s == 0 || s == 0b11111));
     }
@@ -721,12 +1299,16 @@ mod tests {
     #[test]
     fn zero_noise_trajectories_match_reference_exactly() {
         let mut rng = StdRng::seed_from_u64(8);
-        let initial = StateVector::random_state(5, &mut rng);
+        let initial = InitialState::from(StateVector::random_state(5, &mut rng));
         let c = ghz_circuit(5);
         let noisy = PauliNoise::depolarizing(0.0, 4, 99);
-        let r = ReferenceStatevector.run(&initial, &c);
-        assert_eq!(noisy.run(&initial, &c), r, "zero noise must be RNG-free");
-        let probs = noisy.probabilities(&initial, &c);
+        let r = ReferenceStatevector.run(&initial, &c).unwrap();
+        assert_eq!(
+            noisy.run(&initial, &c).unwrap(),
+            r,
+            "zero noise must be RNG-free"
+        );
+        let probs = noisy.probabilities(&initial, &c).unwrap();
         for (p, amp) in probs.iter().zip(r.amplitudes()) {
             assert!((p - amp.norm_sqr()).abs() < 1e-15);
         }
@@ -737,9 +1319,9 @@ mod tests {
         // With noise on, the GHZ sampling distribution leaks outside the two
         // ideal outcomes.
         let c = ghz_circuit(5);
-        let zero = StateVector::zero_state(5);
+        let zero = InitialState::ZeroState;
         let noisy = PauliNoise::depolarizing(0.2, 20, 7);
-        let probs = noisy.probabilities(&zero, &c);
+        let probs = noisy.probabilities(&zero, &c).unwrap();
         let ideal_mass = probs[0] + probs[0b11111];
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
         assert!(ideal_mass < 0.999, "noise left the state untouched");
@@ -748,7 +1330,7 @@ mod tests {
     #[test]
     fn noisy_ensemble_quantities_are_deterministic() {
         let c = ghz_circuit(4);
-        let zero = StateVector::zero_state(4);
+        let zero = InitialState::ZeroState;
         let noisy = PauliNoise {
             depolarizing: 0.05,
             dephasing: 0.02,
@@ -756,12 +1338,12 @@ mod tests {
             seed: 21,
         };
         assert_eq!(
-            noisy.probabilities(&zero, &c),
-            noisy.probabilities(&zero, &c)
+            noisy.probabilities(&zero, &c).unwrap(),
+            noisy.probabilities(&zero, &c).unwrap()
         );
         assert_eq!(
-            noisy.sample(&zero, &c, 500, 3),
-            noisy.sample(&zero, &c, 500, 3)
+            noisy.sample(&zero, &c, 500, 3).unwrap(),
+            noisy.sample(&zero, &c, 500, 3).unwrap()
         );
     }
 
@@ -785,13 +1367,17 @@ mod tests {
         sum.push(ghs_math::c64(-0.5, 0.0), PauliString::parse("XYI").unwrap());
         sum.push(ghs_math::c64(0.4, 0.0), PauliString::parse("IXX").unwrap());
         let obs = GroupedPauliSum::new(&sum);
-        let zero = StateVector::zero_state(3);
+        let zero = InitialState::ZeroState;
         let params = [0.31, -0.62, 0.47, 1.05];
 
-        let (e_adj, g_adj) = FusedStatevector.expectation_gradient(&zero, &pc, &params, &obs);
-        let (e_ref, g_ref) = ReferenceStatevector.expectation_gradient(&zero, &pc, &params, &obs);
+        let (e_adj, g_adj) = FusedStatevector
+            .expectation_gradient(&zero, &pc, &params, &obs)
+            .unwrap();
+        let (e_ref, g_ref) = ReferenceStatevector
+            .expectation_gradient(&zero, &pc, &params, &obs)
+            .unwrap();
         let (e_shift, g_shift) =
-            parameter_shift_gradient(&FusedStatevector, &zero, &pc, &params, &obs);
+            parameter_shift_gradient(&FusedStatevector, &zero, &pc, &params, &obs).unwrap();
         assert!((e_adj - e_shift).abs() < 1e-12);
         assert!((e_adj - e_ref).abs() < 1e-12);
         for k in 0..4 {
@@ -815,13 +1401,17 @@ mod tests {
         let mut sum = PauliSum::zero(2);
         sum.push(ghs_math::c64(1.0, 0.0), PauliString::parse("ZZ").unwrap());
         let obs = GroupedPauliSum::new(&sum);
-        let zero = StateVector::zero_state(2);
+        let zero = InitialState::ZeroState;
         let params = [0.4, -0.8];
         // Zero-strength noise is RNG-free: its shift gradient must equal the
         // reference backend's adjoint gradient to tight tolerance.
         let quiet = PauliNoise::depolarizing(0.0, 3, 7);
-        let (e_q, g_q) = quiet.expectation_gradient(&zero, &pc, &params, &obs);
-        let (e_r, g_r) = ReferenceStatevector.expectation_gradient(&zero, &pc, &params, &obs);
+        let (e_q, g_q) = quiet
+            .expectation_gradient(&zero, &pc, &params, &obs)
+            .unwrap();
+        let (e_r, g_r) = ReferenceStatevector
+            .expectation_gradient(&zero, &pc, &params, &obs)
+            .unwrap();
         assert!((e_q - e_r).abs() < 1e-12);
         for k in 0..2 {
             assert!((g_q[k] - g_r[k]).abs() < 1e-10, "component {k}");
@@ -829,8 +1419,12 @@ mod tests {
         // At non-zero strength the gradient is of the *ensemble* energy:
         // still deterministic for a fixed configuration.
         let noisy = PauliNoise::depolarizing(0.05, 4, 11);
-        let a = noisy.expectation_gradient(&zero, &pc, &params, &obs);
-        let b = noisy.expectation_gradient(&zero, &pc, &params, &obs);
+        let a = noisy
+            .expectation_gradient(&zero, &pc, &params, &obs)
+            .unwrap();
+        let b = noisy
+            .expectation_gradient(&zero, &pc, &params, &obs)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -845,14 +1439,119 @@ mod tests {
         let mut sum = PauliSum::zero(1);
         sum.push(ghs_math::c64(1.0, 0.0), PauliString::parse("X").unwrap());
         let grouped = GroupedPauliSum::new(&sum);
-        let e = backend.expectation(&StateVector::zero_state(1), &c, &grouped);
+        let zero = InitialState::ZeroState;
+        let e = backend.expectation(&zero, &c, &grouped).unwrap();
         assert!((e - 1.0).abs() < 1e-12, "⟨+|X|+⟩ = 1, got {e}");
         let x = SparseMatrix::from_dense(&ghs_circuit::matrices::x(), 0.0);
-        let oracle = backend.expectation_sparse(&StateVector::zero_state(1), &c, &x);
+        let oracle = backend.expectation_sparse(&zero, &c, &x).unwrap();
         assert!(
             (e - oracle).abs() < 1e-12,
             "matrix-free {e} vs oracle {oracle}"
         );
-        assert!(backend_by_name("unknown").is_none());
+        assert!(matches!(
+            backend_by_name("unknown"),
+            Err(BackendError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn stabilizer_backend_samples_wide_ghz_registers() {
+        let n = 256;
+        let c = ghz_circuit(n);
+        let backend = backend_by_name("stabilizer").unwrap();
+        let shots = backend
+            .sample_bits(&InitialState::ZeroState, &c, 64, 5)
+            .unwrap();
+        assert_eq!(shots.len(), 64);
+        let mut seen = [false; 2];
+        for s in &shots {
+            let ones = s.count_ones();
+            assert!(ones == 0 || ones == n, "GHZ shot mixed: {ones} ones");
+            seen[usize::from(ones == n)] = true;
+        }
+        assert!(seen[0] && seen[1], "64 GHZ shots never split");
+        // Bit-identical reruns under the same seed.
+        assert_eq!(
+            shots,
+            backend
+                .sample_bits(&InitialState::ZeroState, &c, 64, 5)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn stabilizer_typed_errors_cover_every_unsupported_request() {
+        let backend = StabilizerBackend;
+        let zero = InitialState::ZeroState;
+        let mut non_clifford = Circuit::new(2);
+        non_clifford.h(0).rz(1, 0.4);
+        assert!(matches!(
+            backend.sample(&zero, &non_clifford, 8, 0),
+            Err(BackendError::UnsupportedCircuit { .. })
+        ));
+        let bell = ghz_circuit(2);
+        assert!(matches!(
+            backend.run(&zero, &bell),
+            Err(BackendError::DenseStateUnavailable { .. })
+        ));
+        let dense = InitialState::from(StateVector::zero_state(2));
+        assert!(matches!(
+            backend.sample(&dense, &bell, 8, 0),
+            Err(BackendError::InitialStateMismatch { .. })
+        ));
+        let wide = ghz_circuit(STABILIZER_DENSE_MAX_QUBITS + 1);
+        assert!(matches!(
+            backend.probabilities(&zero, &wide),
+            Err(BackendError::RegisterTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn capabilities_describe_each_backend() {
+        assert!(!FusedStatevector.capabilities().clifford_only);
+        assert!(FusedStatevector.capabilities().supports_gradients);
+        assert!(
+            PauliNoise::depolarizing(0.01, 4, 0)
+                .capabilities()
+                .stochastic
+        );
+        let caps = StabilizerBackend.capabilities();
+        assert!(caps.clifford_only && !caps.supports_gradients);
+        assert!(caps.max_qubits >= 1000, "must admit 1000-qubit registers");
+        for spec in [
+            BackendSpec::Fused,
+            BackendSpec::Sharded,
+            BackendSpec::Reference,
+            BackendSpec::Stabilizer,
+            BackendSpec::Noisy {
+                depolarizing: 0.01,
+                dephasing: 0.0,
+                trajectories: 4,
+                seed: 0,
+            },
+        ] {
+            assert_eq!(spec.capabilities(), spec.build().capabilities());
+        }
+    }
+
+    #[test]
+    fn basis_initial_state_matches_dense_preparation() {
+        let c = ghz_circuit(4);
+        let symbolic = FusedStatevector
+            .run(&InitialState::basis(0b1010), &c)
+            .unwrap();
+        let dense = FusedStatevector
+            .run(&InitialState::from(StateVector::basis_state(4, 0b1010)), &c)
+            .unwrap();
+        assert_eq!(symbolic.amplitudes(), dense.amplitudes());
+        // Out-of-range indices are typed errors on every engine.
+        assert!(matches!(
+            FusedStatevector.run(&InitialState::basis(16), &c),
+            Err(BackendError::InitialStateMismatch { .. })
+        ));
+        assert!(matches!(
+            StabilizerBackend.sample(&InitialState::basis(16), &c, 4, 0),
+            Err(BackendError::InitialStateMismatch { .. })
+        ));
     }
 }

@@ -27,8 +27,9 @@ pub mod trotter;
 pub mod usual;
 
 pub use backend::{
-    backend_by_name, parameter_shift_gradient, Backend, BackendSpec, FusedStatevector, PauliNoise,
-    ReferenceStatevector, ShardedStatevector,
+    backend_by_name, parameter_shift_gradient, Backend, BackendError, BackendSpec, Capabilities,
+    FusedStatevector, InitialState, PauliNoise, ReferenceStatevector, ShardedStatevector,
+    StabilizerBackend,
 };
 pub use block_encoding::{
     block_encode_hamiltonian, block_encode_lcu, block_encode_term, term_lcu,

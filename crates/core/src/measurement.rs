@@ -9,7 +9,7 @@
 //! instead of one setting per Pauli fragment — the `2^k`-fold reduction the
 //! annex points out for two-body energy contributions.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, InitialState};
 use ghs_circuit::{transition_ladder, Circuit, LadderStyle};
 use ghs_math::bits::qubit_bit;
 use ghs_operators::{HermitianTerm, PauliOp};
@@ -156,7 +156,10 @@ impl TermMeasurement {
         shots: usize,
         seed: u64,
     ) -> f64 {
-        let samples = backend.sample(state, &self.basis_change, shots, seed);
+        let initial = InitialState::from(state);
+        let samples = backend
+            .sample(&initial, &self.basis_change, shots, seed)
+            .expect("dense backends sample basis-change circuits");
         samples.iter().map(|&s| self.contribution(s)).sum::<f64>() / shots as f64
     }
 

@@ -269,7 +269,9 @@ pub fn mpf_state_with(
     let mut acc = vec![Complex64::ZERO; dim];
     for (&steps, &w) in steps_list.iter().zip(weights.iter()) {
         let circuit = direct_product_formula(hamiltonian, t, steps, ProductFormula::First, opts);
-        let state = backend.run(initial, &circuit);
+        let state = backend
+            .run(&crate::backend::InitialState::from(initial), &circuit)
+            .expect("dense backends run product-formula circuits");
         for (a, b) in acc.iter_mut().zip(state.amplitudes().iter()) {
             *a += b.scale(w);
         }
@@ -325,7 +327,9 @@ pub fn state_error_with(
     t: f64,
     initial: &StateVector,
 ) -> f64 {
-    let evolved = backend.run(initial, circuit);
+    let evolved = backend
+        .run(&crate::backend::InitialState::from(initial), circuit)
+        .expect("dense backends run product-formula circuits");
     let exact = expm_multiply_minus_i_theta(hamiltonian, t, initial.amplitudes());
     vec_distance(evolved.amplitudes(), &exact)
 }

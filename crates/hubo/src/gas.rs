@@ -17,10 +17,10 @@
 use crate::circuits::direct_phase_separator;
 use crate::problem::HuboProblem;
 use ghs_circuit::{inverse_qft, Circuit, ControlBit, Gate};
-use ghs_core::backend::{Backend, FusedStatevector};
+use ghs_core::backend::{Backend, FusedStatevector, InitialState};
 use ghs_math::Complex64;
 use ghs_operators::{PauliOp, PauliString, PauliSum};
-use ghs_statevector::{GroupedPauliSum, StateVector};
+use ghs_statevector::GroupedPauliSum;
 use rand::Rng;
 use std::f64::consts::PI;
 
@@ -199,8 +199,9 @@ pub fn grover_expected_cost_with(
 ) -> f64 {
     let circuit = grover_round_circuit(problem, value_bits, threshold, iterations);
     debug_assert_eq!(observable.num_qubits(), circuit.num_qubits());
-    let zero = StateVector::zero_state(circuit.num_qubits());
-    backend.expectation(&zero, &circuit, observable)
+    backend
+        .expectation(&InitialState::ZeroState, &circuit, observable)
+        .expect("Grover cost circuits run on any dense backend")
 }
 
 /// Result of a Grover-Adaptive-Search run.
@@ -240,7 +241,6 @@ pub fn grover_adaptive_search_with<R: Rng>(
 ) -> GasResult {
     let n = problem.num_vars();
     let m = value_bits;
-    let total = n + m;
     // Start from a uniformly random assignment.
     let mut best_assignment = rng.gen_range(0..(1usize << n));
     let mut best_cost = problem.evaluate(best_assignment);
@@ -253,8 +253,9 @@ pub fn grover_adaptive_search_with<R: Rng>(
         let circuit = grover_round_circuit(problem, m, threshold, iterations);
         total_iterations += iterations;
 
-        let zero = StateVector::zero_state(total);
-        let sample = backend.sample(&zero, &circuit, 1, rng.next_u64())[0];
+        let sample = backend
+            .sample(&InitialState::ZeroState, &circuit, 1, rng.next_u64())
+            .expect("Grover round circuits run on any dense backend")[0];
         let assignment = decode_assignment(sample, n, m);
         let cost = problem.evaluate(assignment);
         if cost < best_cost {
@@ -273,6 +274,7 @@ pub fn grover_adaptive_search_with<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ghs_statevector::StateVector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -5,7 +5,7 @@
 use crate::circuits::{direct_phase_separator, usual_phase_separator};
 use crate::problem::HuboProblem;
 use ghs_circuit::{Circuit, LadderStyle, ParameterizedCircuit};
-use ghs_core::backend::{Backend, FusedStatevector};
+use ghs_core::backend::{Backend, FusedStatevector, InitialState};
 use ghs_core::optimize::{minimize_adam, AdamOptions};
 use ghs_statevector::{GroupedPauliSum, StateVector};
 use rand::Rng;
@@ -149,8 +149,9 @@ pub fn qaoa_energy_grouped(
     strategy: SeparatorStrategy,
 ) -> f64 {
     let circuit = qaoa_circuit(problem, params, strategy);
-    let zero = StateVector::zero_state(circuit.num_qubits());
-    backend.expectation(&zero, &circuit, observable)
+    backend
+        .expectation(&InitialState::ZeroState, &circuit, observable)
+        .expect("QAOA cost circuits run on any dense backend")
 }
 
 /// Draws `shots` assignments from the QAOA state through a backend's
@@ -164,8 +165,9 @@ pub fn qaoa_sample(
     seed: u64,
 ) -> Vec<usize> {
     let circuit = qaoa_circuit(problem, params, strategy);
-    let zero = StateVector::zero_state(circuit.num_qubits());
-    backend.sample(&zero, &circuit, shots, seed)
+    backend
+        .sample(&InitialState::ZeroState, &circuit, shots, seed)
+        .expect("QAOA circuits run on any dense backend")
 }
 
 /// Result of a QAOA optimisation run.
@@ -239,8 +241,9 @@ pub fn optimize_qaoa<R: Rng>(
     // Probability of hitting a brute-force optimum.
     let (_, optimal_cost) = problem.brute_force_minimum();
     let circuit = qaoa_circuit(problem, &best_params, strategy);
-    let zero = StateVector::zero_state(circuit.num_qubits());
-    let probs = FusedStatevector.probabilities(&zero, &circuit);
+    let probs = FusedStatevector
+        .probabilities(&InitialState::ZeroState, &circuit)
+        .expect("QAOA circuits run on the fused backend");
     let optimum_probability = probs
         .iter()
         .enumerate()
@@ -295,9 +298,9 @@ mod tests {
             betas: vec![0.3, 0.5],
         };
         let circuit = qaoa_circuit(&p, &params, SeparatorStrategy::Direct);
-        let zero = StateVector::zero_state(circuit.num_qubits());
         let classical: f64 = FusedStatevector
-            .probabilities(&zero, &circuit)
+            .probabilities(&InitialState::ZeroState, &circuit)
+            .unwrap()
             .iter()
             .enumerate()
             .map(|(x, prob)| prob * p.evaluate(x))
@@ -401,12 +404,14 @@ mod tests {
         let p = small_problem();
         let ansatz = qaoa_parameterized(&p, 2, SeparatorStrategy::Direct);
         let observable = GroupedPauliSum::new(&p.to_pauli_sum());
-        let zero = StateVector::zero_state(4);
+        let zero = InitialState::ZeroState;
         let v = [0.5, -0.2, 0.3, 0.8];
         let backend = FusedStatevector;
-        let (e_adj, g_adj) = backend.expectation_gradient(&zero, &ansatz, &v, &observable);
+        let (e_adj, g_adj) = backend
+            .expectation_gradient(&zero, &ansatz, &v, &observable)
+            .unwrap();
         let (e_shift, g_shift) =
-            parameter_shift_gradient(&backend, &zero, &ansatz, &v, &observable);
+            parameter_shift_gradient(&backend, &zero, &ansatz, &v, &observable).unwrap();
         assert!((e_adj - e_shift).abs() < 1e-10);
         for (a, s) in g_adj.iter().zip(&g_shift) {
             assert!((a - s).abs() < 1e-8, "{a} vs {s}");

@@ -1,7 +1,7 @@
 //! The structural plan cache: the artifact store that lets repeated circuit
 //! topologies skip planning and preparation entirely.
 //!
-//! Four capacity-bounded LRU maps, all shared by every worker:
+//! Five capacity-bounded LRU maps, all shared by every worker:
 //!
 //! * **plans** — [`StructuralKey`] → [`FusionPlan`]. A plan depends only on
 //!   gate structure, never on angles, so every binding of a template (and
@@ -20,6 +20,12 @@
 //!   are shard-local — so sharing one relabeling across all bindings of a
 //!   template is sound even though the heat scores it was derived from are
 //!   angle-dependent.
+//! * **tableaus** — (structural key, initial basis state, angle bits) →
+//!   the prepared [`StabilizerState`] of a Clifford circuit. A repeated
+//!   stabilizer sampling job skips the `O(gates · n)` tableau conjugation
+//!   and goes straight to per-shot collapse; the cached tableau is
+//!   read-only (every shot collapses its own clone), so sharing it across
+//!   workers is sound.
 //!
 //! A capacity of `0` disables caching — every lookup is a miss and nothing
 //! is stored. The cold leg of the `service_mixed_throughput` benchmark runs
@@ -30,7 +36,13 @@ use std::sync::{Arc, Mutex};
 
 use ghs_circuit::{Circuit, FusedCircuit, FusionPlan, QubitRelabeling, StructuralKey};
 use ghs_operators::PauliSum;
+use ghs_stabilizer::StabilizerState;
 use ghs_statevector::{CachedDistribution, GroupedPauliSum};
+
+/// Layout tag of tableau-cache keys: stabilizer entries live in their own
+/// map, but tagging keeps a [`DistKey`] unambiguous about the engine its
+/// artifact was built under.
+pub(crate) const STABILIZER_LAYOUT: u64 = 0x5f5f_7374_6162_5f5f; // "__stab__"
 
 /// Minimal LRU over a small `Vec`: exact recency via a monotone tick. The
 /// capacities in play are tens of entries, where a linear scan beats any
@@ -170,6 +182,10 @@ pub struct CacheStats {
     pub relabeling_hits: u64,
     /// Sharded-layout lookups that had to score the fused circuit.
     pub relabeling_misses: u64,
+    /// Stabilizer jobs that reused a cached prepared tableau.
+    pub tableau_hits: u64,
+    /// Stabilizer jobs that had to conjugate the circuit into a tableau.
+    pub tableau_misses: u64,
     /// Entries evicted under the capacity bound, across all maps.
     pub evictions: u64,
 }
@@ -184,6 +200,8 @@ struct Counters {
     distribution_misses: AtomicU64,
     relabeling_hits: AtomicU64,
     relabeling_misses: AtomicU64,
+    tableau_hits: AtomicU64,
+    tableau_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -196,11 +214,12 @@ pub struct PlanCache {
     observables: Mutex<Lru<u64, Arc<GroupedPauliSum>>>,
     distributions: Mutex<Lru<DistKey, Arc<CachedDistribution>>>,
     relabelings: Mutex<Lru<StructuralKey, Arc<QubitRelabeling>>>,
+    tableaus: Mutex<Lru<DistKey, Arc<StabilizerState>>>,
     counters: Counters,
 }
 
 impl PlanCache {
-    /// A cache whose three maps each hold at most `capacity` entries
+    /// A cache whose maps each hold at most `capacity` entries
     /// (`0` disables caching entirely).
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -208,6 +227,7 @@ impl PlanCache {
             observables: Mutex::new(Lru::new(capacity)),
             distributions: Mutex::new(Lru::new(capacity)),
             relabelings: Mutex::new(Lru::new(capacity)),
+            tableaus: Mutex::new(Lru::new(capacity)),
             counters: Counters::default(),
         }
     }
@@ -295,6 +315,26 @@ impl PlanCache {
         }
     }
 
+    /// Looks up the cached prepared tableau of a fully-specified stabilizer
+    /// execution. Counts a hit or a miss; the caller stores the tableau it
+    /// prepares on a miss via [`PlanCache::store_tableau`].
+    pub(crate) fn tableau(&self, key: &DistKey) -> Option<Arc<StabilizerState>> {
+        let found = self.tableaus.lock().unwrap().get(key);
+        let counter = match found {
+            Some(_) => &self.counters.tableau_hits,
+            None => &self.counters.tableau_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Stores a freshly prepared tableau under `key`.
+    pub(crate) fn store_tableau(&self, key: DistKey, tableau: Arc<StabilizerState>) {
+        if self.tableaus.lock().unwrap().insert(key, tableau) {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the lifetime hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         let c = &self.counters;
@@ -307,6 +347,8 @@ impl PlanCache {
             distribution_misses: c.distribution_misses.load(Ordering::Relaxed),
             relabeling_hits: c.relabeling_hits.load(Ordering::Relaxed),
             relabeling_misses: c.relabeling_misses.load(Ordering::Relaxed),
+            tableau_hits: c.tableau_hits.load(Ordering::Relaxed),
+            tableau_misses: c.tableau_misses.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
         }
     }

@@ -8,9 +8,10 @@
 
 use std::sync::Arc;
 
-use ghs_circuit::{Circuit, ParameterizedCircuit, StructuralKey};
-use ghs_core::BackendSpec;
+use ghs_circuit::{Circuit, Gate, ParameterizedCircuit, StructuralKey};
+use ghs_core::{BackendError, BackendSpec, InitialState};
 use ghs_operators::PauliSum;
+use ghs_stabilizer::{BitString, STABILIZER_DENSE_MAX_QUBITS};
 
 /// Ticket identifying a submitted job; redeemed with `Service::wait`.
 pub type JobId = u64;
@@ -47,6 +48,17 @@ impl CircuitSource {
         match self {
             CircuitSource::Concrete(c) => c.structural_key(),
             CircuitSource::Template { template, .. } => template.structural_key(),
+        }
+    }
+
+    /// First gate outside the Clifford vocabulary, if any — what the
+    /// admission check of a Clifford-only backend reports. A template is
+    /// classified on its structure (a parameterized rotation is non-Clifford
+    /// whatever its binding).
+    pub fn first_non_clifford(&self) -> Option<&Gate> {
+        match self {
+            CircuitSource::Concrete(c) => c.first_non_clifford(),
+            CircuitSource::Template { template, .. } => template.template().first_non_clifford(),
         }
     }
 }
@@ -163,8 +175,9 @@ pub struct JobSpec {
     /// Results are a pure function of the spec and this seed — never of
     /// worker count or scheduling.
     pub seed: u64,
-    /// Computational-basis index of the initial state.
-    pub initial: usize,
+    /// The state the job starts from: symbolic (`ZeroState` / `Basis`) or
+    /// explicit dense amplitudes behind an [`Arc`].
+    pub initial: InitialState,
     /// Fairness lane: jobs from different submitters are served round-robin.
     pub submitter: usize,
 }
@@ -176,7 +189,7 @@ impl JobSpec {
             request,
             backend: BackendSpec::Fused,
             seed: 0,
-            initial: 0,
+            initial: InitialState::ZeroState,
             submitter: 0,
         }
     }
@@ -222,7 +235,13 @@ impl JobSpec {
 
     /// Starts from the computational-basis state `|index⟩`.
     pub fn starting_at(mut self, index: usize) -> Self {
-        self.initial = index;
+        self.initial = InitialState::Basis(index);
+        self
+    }
+
+    /// Starts from an arbitrary [`InitialState`] (symbolic or dense).
+    pub fn with_initial(mut self, initial: impl Into<InitialState>) -> Self {
+        self.initial = initial.into();
         self
     }
 
@@ -232,18 +251,34 @@ impl JobSpec {
         self
     }
 
-    /// Checks the spec's internal consistency, so workers never have to.
-    pub(crate) fn validate(&self) -> Result<(), String> {
+    /// Checks the spec's internal consistency **and** its feasibility on the
+    /// selected backend ([`ghs_core::Capabilities`]), so workers never have
+    /// to: a job that passes admission can only fail for reasons the
+    /// capability vocabulary does not describe.
+    pub(crate) fn validate(&self) -> Result<(), SubmitError> {
         let n = self.circuit.num_qubits();
-        if n >= usize::BITS as usize || self.initial >= (1usize << n) {
-            return Err(format!(
-                "initial basis index {} out of range for {n} qubits",
-                self.initial
-            ));
+        let invalid = |why: String| Err(SubmitError::Invalid(why));
+        match &self.initial {
+            InitialState::ZeroState => {}
+            InitialState::Basis(index) => {
+                if n < usize::BITS as usize && *index >= (1usize << n) {
+                    return invalid(format!(
+                        "initial basis index {index} out of range for {n} qubits"
+                    ));
+                }
+            }
+            InitialState::Dense(state) => {
+                if state.num_qubits() != n {
+                    return invalid(format!(
+                        "dense initial state has {} qubits, circuit has {n}",
+                        state.num_qubits()
+                    ));
+                }
+            }
         }
         if let CircuitSource::Template { template, params } = &self.circuit {
             if params.len() != template.num_params() {
-                return Err(format!(
+                return invalid(format!(
                     "template expects {} parameters, got {}",
                     template.num_params(),
                     params.len()
@@ -253,7 +288,7 @@ impl JobSpec {
         match &self.request {
             JobRequest::Expectation { observable } | JobRequest::Gradient { observable } => {
                 if observable.num_qubits() != n {
-                    return Err(format!(
+                    return invalid(format!(
                         "observable acts on {} qubits, circuit on {n}",
                         observable.num_qubits()
                     ));
@@ -261,12 +296,58 @@ impl JobSpec {
                 if matches!(self.request, JobRequest::Gradient { .. })
                     && !matches!(self.circuit, CircuitSource::Template { .. })
                 {
-                    return Err("gradient jobs need a parameterized template".to_string());
+                    return invalid("gradient jobs need a parameterized template".to_string());
                 }
-                Ok(())
             }
-            JobRequest::Sample { .. } | JobRequest::Probabilities => Ok(()),
+            JobRequest::Sample { .. } | JobRequest::Probabilities => {}
         }
+        self.admit()
+    }
+
+    /// The capability half of admission: reject jobs the selected backend's
+    /// [`ghs_core::Capabilities`] envelope cannot serve, with the same typed
+    /// [`BackendError`] the backend itself would raise at execution time.
+    fn admit(&self) -> Result<(), SubmitError> {
+        let caps = self.backend.capabilities();
+        let backend = self.backend.name();
+        let n = self.circuit.num_qubits();
+        if n > caps.max_qubits {
+            return Err(SubmitError::Unsupported(BackendError::RegisterTooLarge {
+                qubits: n,
+                max_qubits: caps.max_qubits,
+                backend,
+            }));
+        }
+        if matches!(self.request, JobRequest::Gradient { .. }) && !caps.supports_gradients {
+            return Err(SubmitError::Invalid(format!(
+                "backend {backend} does not support gradient jobs"
+            )));
+        }
+        if caps.clifford_only {
+            if let Some(gate) = self.circuit.first_non_clifford() {
+                return Err(SubmitError::Unsupported(BackendError::UnsupportedCircuit {
+                    gate: gate.to_string(),
+                    backend,
+                }));
+            }
+            if matches!(self.initial, InitialState::Dense(_)) {
+                return Err(SubmitError::Unsupported(
+                    BackendError::InitialStateMismatch {
+                        backend,
+                        detail: "the tableau engine cannot ingest dense amplitudes".to_string(),
+                    },
+                ));
+            }
+            if matches!(self.request, JobRequest::Probabilities) && n > STABILIZER_DENSE_MAX_QUBITS
+            {
+                return Err(SubmitError::Unsupported(BackendError::RegisterTooLarge {
+                    qubits: n,
+                    max_qubits: STABILIZER_DENSE_MAX_QUBITS,
+                    backend,
+                }));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -282,10 +363,20 @@ pub enum JobOutput {
         /// `∂E/∂θ_k` for every template parameter.
         gradient: Vec<f64>,
     },
-    /// Computational-basis outcomes, one per shot.
+    /// Computational-basis outcomes, one per shot, as dense indices.
     Shots(Vec<usize>),
+    /// Computational-basis outcomes, one per shot, as packed bit strings —
+    /// the wide-register form returned by the stabilizer backend when the
+    /// register does not fit a machine word.
+    BitShots(Vec<BitString>),
     /// The full probability vector, indexed by basis state.
     Probabilities(Vec<f64>),
+    /// The backend could not serve the job: the typed reason, threaded
+    /// through from [`ghs_core::backend::Backend`] instead of panicking a
+    /// worker. Only failure modes outside the admission vocabulary land
+    /// here (admission rejects everything [`ghs_core::Capabilities`]
+    /// describes, at submission).
+    Failed(BackendError),
 }
 
 /// A finished job: the ticket it was submitted under and its typed output.
@@ -309,6 +400,11 @@ pub enum SubmitError {
     /// The spec is internally inconsistent (wrong parameter count,
     /// mismatched observable register, gradient without a template, …).
     Invalid(String),
+    /// The selected backend's [`ghs_core::Capabilities`] cannot serve the
+    /// job (non-Clifford circuit on the stabilizer backend, register over
+    /// the backend's cap, dense initial state on a tableau engine) — the
+    /// typed error the backend would raise, caught at admission.
+    Unsupported(BackendError),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -317,6 +413,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull => write!(f, "job queue is full"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
             SubmitError::Invalid(why) => write!(f, "invalid job spec: {why}"),
+            SubmitError::Unsupported(err) => write!(f, "unsupported job: {err}"),
         }
     }
 }

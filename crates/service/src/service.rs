@@ -27,10 +27,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ghs_circuit::{Circuit, StructuralKey};
-use ghs_core::{Backend, BackendSpec, FusedStatevector, PauliNoise, ReferenceStatevector};
-use ghs_statevector::{CachedDistribution, ShardedStateVector, StateVector};
+use ghs_core::{
+    Backend, BackendSpec, FusedStatevector, InitialState, PauliNoise, ReferenceStatevector,
+    StabilizerBackend,
+};
+use ghs_statevector::{CachedDistribution, GroupedPauliSum, ShardedStateVector, StateVector};
 
-use crate::cache::{angle_bits, layout_fingerprint, CacheStats, DistKey, PlanCache};
+use crate::cache::{
+    angle_bits, layout_fingerprint, CacheStats, DistKey, PlanCache, STABILIZER_LAYOUT,
+};
 use crate::job::{CircuitSource, JobId, JobOutput, JobRequest, JobResult, JobSpec, SubmitError};
 use crate::queue::FairQueue;
 
@@ -99,9 +104,6 @@ struct WorkerScratch {
     bound: HashMap<StructuralKey, Circuit>,
     /// Execution state vector per register size, reset in place per job.
     states: HashMap<usize, StateVector>,
-    /// Initial-state buffer per register size (the generic backend path
-    /// takes the initial state by reference).
-    initials: HashMap<usize, StateVector>,
 }
 
 /// The batched job service (see the crate docs for the full tour).
@@ -217,7 +219,7 @@ impl Service {
     }
 
     fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, SubmitError> {
-        spec.validate().map_err(SubmitError::Invalid)?;
+        spec.validate()?;
         let shared = &self.shared;
         let mut q = shared.queue.lock().unwrap();
         loop {
@@ -261,7 +263,7 @@ impl Service {
     /// scheduling.
     pub fn run_batch(&self, specs: &[JobSpec]) -> Result<Vec<JobResult>, SubmitError> {
         for spec in specs {
-            spec.validate().map_err(SubmitError::Invalid)?;
+            spec.validate()?;
         }
         let ids: Vec<JobId> = specs
             .iter()
@@ -341,16 +343,21 @@ fn resolve_circuit<'a>(
     }
 }
 
-/// In-place reset of the register-sized scratch state to `|initial⟩`.
-fn reset_state(
-    states: &mut HashMap<usize, StateVector>,
+/// In-place reset of the register-sized scratch state to the job's initial
+/// state (basis reset for symbolic initials, a buffer copy for dense ones).
+fn reset_state<'a>(
+    states: &'a mut HashMap<usize, StateVector>,
     n: usize,
-    initial: usize,
-) -> &mut StateVector {
+    initial: &InitialState,
+) -> &'a mut StateVector {
     let state = states
         .entry(n)
         .or_insert_with(|| StateVector::zero_state(n));
-    state.reset_to_basis(initial);
+    match initial {
+        InitialState::ZeroState => state.reset_to_basis(0),
+        InitialState::Basis(index) => state.reset_to_basis(*index),
+        InitialState::Dense(dense) => state.clone_from(dense),
+    }
     state
 }
 
@@ -359,6 +366,7 @@ fn run_job(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> Jo
         BackendSpec::Fused => run_fused(cache, scratch, spec),
         BackendSpec::Sharded => run_sharded(cache, scratch, spec),
         BackendSpec::Reference => run_generic(&ReferenceStatevector, cache, scratch, spec),
+        BackendSpec::Stabilizer => run_stabilizer(cache, scratch, spec),
         BackendSpec::Noisy {
             depolarizing,
             dephasing,
@@ -383,11 +391,7 @@ fn run_job(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> Jo
 fn run_fused(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
     let n = spec.circuit.num_qubits();
     let key = spec.circuit.structural_key();
-    let WorkerScratch {
-        bound,
-        states,
-        initials,
-    } = scratch;
+    let WorkerScratch { bound, states } = scratch;
 
     // Gradients never run a plain forward pass: the adjoint engine owns the
     // whole sweep (and reuses the template's own cached plan internally).
@@ -397,10 +401,15 @@ fn run_fused(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> 
             CircuitSource::Concrete(_) => unreachable!("validated at submission"),
         };
         let grouped = cache.observable(observable);
-        let init = reset_state(initials, n, spec.initial);
-        let (energy, gradient) =
-            FusedStatevector.expectation_gradient(init, template, params, &grouped);
-        return JobOutput::Gradient { energy, gradient };
+        return match FusedStatevector.expectation_gradient(
+            &spec.initial,
+            template,
+            params,
+            &grouped,
+        ) {
+            Ok((energy, gradient)) => JobOutput::Gradient { energy, gradient },
+            Err(err) => JobOutput::Failed(err),
+        };
     }
 
     let circuit = resolve_circuit(bound, &spec.circuit, key);
@@ -409,24 +418,30 @@ fn run_fused(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> 
     // emission and the state-vector sweep entirely and draws shots straight
     // from the cached alias table. The seed still drives the draw, so
     // repeated jobs with distinct seeds give independent, deterministic
-    // streams.
+    // streams. Dense initial states have no compact cache identity and skip
+    // the distribution cache.
     if let JobRequest::Sample { shots } = spec.request {
-        let dkey = DistKey {
-            key,
-            initial: spec.initial,
-            angles: angle_bits(circuit),
-            layout: 0,
-        };
-        if let Some(dist) = cache.distribution(&dkey) {
+        if let Some(initial_index) = spec.initial.basis_index() {
+            let dkey = DistKey {
+                key,
+                initial: initial_index,
+                angles: angle_bits(circuit),
+                layout: 0,
+            };
+            if let Some(dist) = cache.distribution(&dkey) {
+                return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
+            }
+            let state = execute_fused(cache, states, circuit, key, n, &spec.initial);
+            let dist = Arc::new(CachedDistribution::from_state(state));
+            cache.store_distribution(dkey, dist.clone());
             return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
         }
-        let state = execute_fused(cache, states, circuit, key, n, spec.initial);
-        let dist = Arc::new(CachedDistribution::from_state(state));
-        cache.store_distribution(dkey, dist.clone());
+        let state = execute_fused(cache, states, circuit, key, n, &spec.initial);
+        let dist = CachedDistribution::from_state(state);
         return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
     }
 
-    let state = execute_fused(cache, states, circuit, key, n, spec.initial);
+    let state = execute_fused(cache, states, circuit, key, n, &spec.initial);
     match &spec.request {
         JobRequest::Expectation { observable } => {
             let grouped = cache.observable(observable);
@@ -454,7 +469,7 @@ fn execute_fused<'a>(
     circuit: &Circuit,
     key: StructuralKey,
     n: usize,
-    initial: usize,
+    initial: &InitialState,
 ) -> &'a StateVector {
     let state = reset_state(states, n, initial);
     if state.dim() >= ghs_statevector::fused::FUSED_MIN_DIM {
@@ -478,9 +493,7 @@ fn execute_fused<'a>(
 fn run_sharded(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
     let n = spec.circuit.num_qubits();
     let key = spec.circuit.structural_key();
-    let WorkerScratch {
-        bound, initials, ..
-    } = scratch;
+    let WorkerScratch { bound, .. } = scratch;
 
     // Gradients go through the flat adjoint engine: its forward/reverse
     // sweeps and masked inner products are layout-independent, and gradient
@@ -491,39 +504,55 @@ fn run_sharded(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -
             CircuitSource::Concrete(_) => unreachable!("validated at submission"),
         };
         let grouped = cache.observable(observable);
-        let init = reset_state(initials, n, spec.initial);
-        let (energy, gradient) =
-            FusedStatevector.expectation_gradient(init, template, params, &grouped);
-        return JobOutput::Gradient { energy, gradient };
+        return match FusedStatevector.expectation_gradient(
+            &spec.initial,
+            template,
+            params,
+            &grouped,
+        ) {
+            Ok((energy, gradient)) => JobOutput::Gradient { energy, gradient },
+            Err(err) => JobOutput::Failed(err),
+        };
     }
 
     let circuit = resolve_circuit(bound, &spec.circuit, key);
+    let sharded_initial = |n: usize| match &spec.initial {
+        InitialState::ZeroState => ShardedStateVector::basis_state(n, 0),
+        InitialState::Basis(index) => ShardedStateVector::basis_state(n, *index),
+        InitialState::Dense(dense) => ShardedStateVector::from_state(dense),
+    };
     let execute = |cache: &PlanCache| -> StateVector {
         let plan = cache.plan(circuit, key);
         let fused = plan.emit(circuit);
         let relabeling = cache.sharding_relabeling(&fused, key);
-        let mut state = ShardedStateVector::basis_state(n, spec.initial);
+        let mut state = sharded_initial(n);
         state.run_fused_with(&fused, &relabeling);
         state.to_state()
     };
 
     if let JobRequest::Sample { shots } = spec.request {
-        let plan = cache.plan(circuit, key);
-        let fused = plan.emit(circuit);
-        let relabeling = cache.sharding_relabeling(&fused, key);
-        let dkey = DistKey {
-            key,
-            initial: spec.initial,
-            angles: angle_bits(circuit),
-            layout: layout_fingerprint(ghs_statevector::shard_count_for(n), &relabeling),
-        };
-        if let Some(dist) = cache.distribution(&dkey) {
+        // Dense initial states skip the distribution cache (no compact
+        // cache identity); symbolic ones share alias tables as before.
+        if let Some(initial_index) = spec.initial.basis_index() {
+            let plan = cache.plan(circuit, key);
+            let fused = plan.emit(circuit);
+            let relabeling = cache.sharding_relabeling(&fused, key);
+            let dkey = DistKey {
+                key,
+                initial: initial_index,
+                angles: angle_bits(circuit),
+                layout: layout_fingerprint(ghs_statevector::shard_count_for(n), &relabeling),
+            };
+            if let Some(dist) = cache.distribution(&dkey) {
+                return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
+            }
+            let mut state = sharded_initial(n);
+            state.run_fused_with(&fused, &relabeling);
+            let dist = Arc::new(CachedDistribution::from_state(&state.to_state()));
+            cache.store_distribution(dkey, dist.clone());
             return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
         }
-        let mut state = ShardedStateVector::basis_state(n, spec.initial);
-        state.run_fused_with(&fused, &relabeling);
-        let dist = Arc::new(CachedDistribution::from_state(&state.to_state()));
-        cache.store_distribution(dkey, dist.clone());
+        let dist = CachedDistribution::from_state(&execute(cache));
         return JobOutput::Shots(dist.sample_seeded(shots, spec.seed));
     }
 
@@ -543,20 +572,17 @@ fn run_sharded(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -
 }
 
 /// The generic path for non-fused backends: same template rebinding and
-/// observable caching, execution through the [`Backend`] trait.
+/// observable caching, execution through the [`Backend`] trait. Typed
+/// backend failures become [`JobOutput::Failed`] instead of unwinding a
+/// worker.
 fn run_generic(
     backend: &impl Backend,
     cache: &PlanCache,
     scratch: &mut WorkerScratch,
     spec: &JobSpec,
 ) -> JobOutput {
-    let n = spec.circuit.num_qubits();
     let key = spec.circuit.structural_key();
-    let WorkerScratch {
-        bound,
-        states: _,
-        initials,
-    } = scratch;
+    let WorkerScratch { bound, .. } = scratch;
 
     if let JobRequest::Gradient { observable } = &spec.request {
         let (template, params) = match &spec.circuit {
@@ -564,24 +590,105 @@ fn run_generic(
             CircuitSource::Concrete(_) => unreachable!("validated at submission"),
         };
         let grouped = cache.observable(observable);
-        let init = reset_state(initials, n, spec.initial);
-        let (energy, gradient) = backend.expectation_gradient(init, template, params, &grouped);
-        return JobOutput::Gradient { energy, gradient };
+        return match backend.expectation_gradient(&spec.initial, template, params, &grouped) {
+            Ok((energy, gradient)) => JobOutput::Gradient { energy, gradient },
+            Err(err) => JobOutput::Failed(err),
+        };
     }
 
     let circuit = resolve_circuit(bound, &spec.circuit, key);
-    let init = reset_state(initials, n, spec.initial);
-    match &spec.request {
+    let result = match &spec.request {
         JobRequest::Expectation { observable } => {
             let grouped = cache.observable(observable);
-            JobOutput::Expectation(backend.expectation(init, circuit, &grouped))
+            backend
+                .expectation(&spec.initial, circuit, &grouped)
+                .map(JobOutput::Expectation)
         }
-        JobRequest::Sample { shots } => {
-            JobOutput::Shots(backend.sample(init, circuit, *shots, spec.seed))
-        }
-        JobRequest::Probabilities => JobOutput::Probabilities(backend.probabilities(init, circuit)),
+        JobRequest::Sample { shots } => backend
+            .sample(&spec.initial, circuit, *shots, spec.seed)
+            .map(JobOutput::Shots),
+        JobRequest::Probabilities => backend
+            .probabilities(&spec.initial, circuit)
+            .map(JobOutput::Probabilities),
         JobRequest::Gradient { .. } => unreachable!("handled above"),
+    };
+    result.unwrap_or_else(JobOutput::Failed)
+}
+
+/// The stabilizer path: the Clifford circuit is conjugated into a tableau
+/// **once per (structure, initial, angles)** and cached ([`PlanCache`]'s
+/// tableau map); every sampling job then goes straight to per-shot collapse
+/// of tableau clones on derived RNG streams. Registers that fit a machine
+/// word report shots as dense indices (comparable with the dense backends);
+/// wider registers report packed [`JobOutput::BitShots`]. Admission has
+/// already rejected everything the capability vocabulary describes, so the
+/// remaining failure modes (none today) would land in
+/// [`JobOutput::Failed`].
+fn run_stabilizer(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
+    let backend = StabilizerBackend;
+    let n = spec.circuit.num_qubits();
+    let key = spec.circuit.structural_key();
+    let WorkerScratch { bound, .. } = scratch;
+    let circuit = resolve_circuit(bound, &spec.circuit, key);
+
+    let tableau = {
+        let initial_index = spec
+            .initial
+            .basis_index()
+            .expect("dense initials are rejected at admission");
+        let tkey = DistKey {
+            key,
+            initial: initial_index,
+            angles: angle_bits(circuit),
+            layout: STABILIZER_LAYOUT,
+        };
+        match cache.tableau(&tkey) {
+            Some(t) => t,
+            None => {
+                let t = match backend.prepare(&spec.initial, circuit) {
+                    Ok(t) => Arc::new(t),
+                    Err(err) => return JobOutput::Failed(err),
+                };
+                cache.store_tableau(tkey, t.clone());
+                t
+            }
+        }
+    };
+
+    match &spec.request {
+        JobRequest::Sample { shots } => {
+            let bits = StabilizerBackend::sample_prepared(&tableau, *shots, spec.seed);
+            if n <= usize::BITS as usize {
+                JobOutput::Shots(
+                    bits.iter()
+                        .map(|b| b.to_index().expect("register fits a machine word"))
+                        .collect(),
+                )
+            } else {
+                JobOutput::BitShots(bits)
+            }
+        }
+        JobRequest::Expectation { observable } => {
+            let grouped = cache.observable(observable);
+            JobOutput::Expectation(tableau_expectation(&tableau, &grouped))
+        }
+        JobRequest::Probabilities => JobOutput::Probabilities(tableau.basis_probabilities()),
+        JobRequest::Gradient { .. } => unreachable!("rejected at admission"),
     }
+}
+
+/// Pauli-sum expectation read off a prepared tableau (each string is exactly
+/// `0` or `±1`) — the cached-tableau twin of the stabilizer backend's
+/// `expectation` entry point.
+fn tableau_expectation(
+    tableau: &ghs_stabilizer::StabilizerState,
+    grouped: &GroupedPauliSum,
+) -> f64 {
+    let mut acc = ghs_math::Complex64::ZERO;
+    for (coeff, x_mask, z_mask) in grouped.string_masks() {
+        acc += coeff * tableau.expectation_dense_masks(x_mask, z_mask);
+    }
+    acc.re
 }
 
 #[cfg(test)]

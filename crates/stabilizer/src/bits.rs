@@ -1,0 +1,158 @@
+//! Wide measurement records: bit-packed outcome strings for registers that
+//! do not fit a `usize` basis-state index.
+
+use std::fmt;
+
+/// A computational-basis measurement record over an arbitrarily wide
+/// register, bit-packed in `u64` words (bit `q` of the string is the outcome
+/// of qubit `q`).
+///
+/// Dense backends index basis states with a `usize`, which caps the register
+/// at the machine word. The stabilizer engine samples registers of thousands
+/// of qubits, so its native shot path returns `BitString`s;
+/// [`BitString::to_index`] converts back to the dense convention whenever
+/// the register still fits.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitString {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitString {
+    /// The all-zeros string over `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Unpacks a dense basis-state index. The dense engines write kets
+    /// big-endian — qubit `q` sits at bit `len − 1 − q` of the amplitude
+    /// index — so that is the mapping used here and in
+    /// [`BitString::to_index`].
+    ///
+    /// # Panics
+    /// Panics when `index` has a set bit at or above `len`.
+    pub fn from_index(len: usize, index: usize) -> Self {
+        assert!(
+            len >= usize::BITS as usize || index < (1usize << len),
+            "basis index {index} out of range for a {len}-qubit register"
+        );
+        let mut s = Self::zeros(len);
+        for q in 0..len {
+            let pos = len - 1 - q;
+            if pos < usize::BITS as usize && (index >> pos) & 1 == 1 {
+                s.set(q, true);
+            }
+        }
+        s
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `q`.
+    pub fn get(&self, q: usize) -> bool {
+        assert!(q < self.len, "bit {q} out of range for {} bits", self.len);
+        self.words[q >> 6] & (1u64 << (q & 63)) != 0
+    }
+
+    /// Sets bit `q`.
+    pub fn set(&mut self, q: usize, bit: bool) {
+        assert!(q < self.len, "bit {q} out of range for {} bits", self.len);
+        let mask = 1u64 << (q & 63);
+        if bit {
+            self.words[q >> 6] |= mask;
+        } else {
+            self.words[q >> 6] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The packed words (little-endian: word 0 holds bits 0–63).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The dense basis-state index `Some(Σ b_q·2^(len−1−q))` — the
+    /// big-endian convention of the dense engines — when every set bit maps
+    /// below [`usize::BITS`]; `None` when the outcome does not fit a
+    /// machine-word index.
+    pub fn to_index(&self) -> Option<usize> {
+        let mut index = 0usize;
+        for q in 0..self.len {
+            if self.get(q) {
+                let pos = self.len - 1 - q;
+                if pos >= usize::BITS as usize {
+                    return None;
+                }
+                index |= 1usize << pos;
+            }
+        }
+        Some(index)
+    }
+}
+
+impl fmt::Display for BitString {
+    /// Qubit 0 first — the dense engines' big-endian ket `|q₀q₁…⟩`, so the
+    /// rendered string is the binary form of [`BitString::to_index`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in 0..self.len {
+            write!(f, "{}", u8::from(self.get(q)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip_and_display() {
+        // Dense big-endian: qubit q is bit len−1−q of the index, so index
+        // 0b10110 over 5 qubits sets qubits 0, 2 and 3.
+        let s = BitString::from_index(5, 0b10110);
+        assert_eq!(s.to_index(), Some(0b10110));
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.get(0) && s.get(2) && s.get(3));
+        assert!(!s.get(1) && !s.get(4));
+        assert_eq!(s.to_string(), "10110");
+    }
+
+    #[test]
+    fn wide_strings_set_bits_beyond_word_zero() {
+        let mut s = BitString::zeros(200);
+        s.set(10, true);
+        assert_eq!(s.count_ones(), 1);
+        assert!(s.get(10));
+        assert_eq!(
+            s.to_index(),
+            None,
+            "qubit 10 of 200 maps to index bit 189 — no usize index"
+        );
+        s.set(10, false);
+        assert_eq!(s.to_index(), Some(0));
+        // A set bit near the register's tail still maps into a machine word.
+        s.set(199, true);
+        assert_eq!(s.to_index(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_index_panics() {
+        let _ = BitString::from_index(3, 8);
+    }
+}

@@ -1,0 +1,697 @@
+//! The Aaronson–Gottesman stabilizer tableau.
+//!
+//! A stabilizer state on `n` qubits is represented by `2n` Pauli rows —
+//! `n` destabilizers followed by `n` stabilizer generators — each stored as
+//! an X bit-row, a Z bit-row (packed in `u64` words) and a sign bit. Row
+//! `(x, z, r)` denotes the Hermitian Pauli
+//! `(−1)^r ∏_q i^{x_q z_q} X_q^{x_q} Z_q^{z_q}` (so `x_q = z_q = 1` is a
+//! literal `Y_q`). Clifford gates conjugate every row in `O(n)` bit
+//! operations per gate; measurement costs `O(n²/64)` word operations in the
+//! worst case (see Aaronson & Gottesman, PRA 70, 052328, 2004).
+
+use crate::bits::BitString;
+use ghs_circuit::{Circuit, Gate};
+use rand::RngCore;
+use std::fmt;
+
+/// A gate outside the tableau's Clifford vocabulary
+/// (H/S/S†/X/Y/Z/CX/CZ/SWAP, plus the register-invisible global phase).
+///
+/// The stabilizer backend maps this to a typed
+/// `BackendError::UnsupportedCircuit` — non-Clifford circuits are rejected,
+/// never mis-simulated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonCliffordGate {
+    /// Display form of the offending gate.
+    pub gate: String,
+}
+
+impl fmt::Display for NonCliffordGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gate {} is not Clifford", self.gate)
+    }
+}
+
+impl std::error::Error for NonCliffordGate {}
+
+/// An `n`-qubit stabilizer state as a bit-packed tableau.
+///
+/// Supports the Clifford gates H, S, S†, X, Y, Z, CX, CZ and SWAP in `O(n)`
+/// each, computational-basis measurement with caller-supplied randomness,
+/// Pauli expectation values read straight off the tableau, and exact basis
+/// probabilities for small registers. Cloning is `O(n²/64)` words — the
+/// seeded shot path collapses a fresh clone per shot.
+///
+/// ```
+/// use ghs_stabilizer::StabilizerState;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // A Bell pair: measuring both qubits always gives correlated bits.
+/// let mut rng = StdRng::seed_from_u64(7);
+/// for _ in 0..20 {
+///     let mut bell = StabilizerState::zero_state(2);
+///     bell.apply_h(0);
+///     bell.apply_cx(0, 1);
+///     let a = bell.measure(0, &mut rng);
+///     let b = bell.measure(1, &mut rng);
+///     assert_eq!(a, b);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StabilizerState {
+    n: usize,
+    /// Words per bit-row: `ceil(n / 64)`.
+    words: usize,
+    /// X bit-rows, `2n` rows of `words` words (destabilizers first).
+    x: Vec<u64>,
+    /// Z bit-rows, same layout.
+    z: Vec<u64>,
+    /// Sign bit per row (`0` = `+`, `1` = `−`).
+    r: Vec<u8>,
+}
+
+/// Largest register for which [`StabilizerState::basis_probabilities`]
+/// materializes the dense `2^n` vector.
+pub const STABILIZER_DENSE_MAX_QUBITS: usize = 16;
+
+/// The exponent of `i` accumulated when multiplying the Pauli row
+/// `(x1, z1)` into the Pauli row `(x2, z2)`, summed over one 64-bit word of
+/// sites (the paper's `g` function, evaluated branch-free on word masks).
+fn g_word(x1: u64, z1: u64, x2: u64, z2: u64) -> i64 {
+    let y1 = x1 & z1; // site of row 1 is Y: g = z2 − x2
+    let xo = x1 & !z1; // site of row 1 is X: g = z2·(2·x2 − 1)
+    let zo = z1 & !x1; // site of row 1 is Z: g = x2·(1 − 2·z2)
+    let plus = (y1 & !x2 & z2) | (xo & x2 & z2) | (zo & x2 & !z2);
+    let minus = (y1 & x2 & !z2) | (xo & !x2 & z2) | (zo & x2 & z2);
+    plus.count_ones() as i64 - minus.count_ones() as i64
+}
+
+impl StabilizerState {
+    /// The all-zeros computational-basis state `|0…0⟩`: destabilizer `i` is
+    /// `X_i`, stabilizer `i` is `Z_i`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n > 0, "register must hold at least one qubit");
+        let words = n.div_ceil(64);
+        let mut s = Self {
+            n,
+            words,
+            x: vec![0u64; 2 * n * words],
+            z: vec![0u64; 2 * n * words],
+            r: vec![0u8; 2 * n],
+        };
+        for i in 0..n {
+            let (w, m) = (i >> 6, 1u64 << (i & 63));
+            s.x[i * words + w] |= m; // destabilizer i = X_i
+            s.z[(n + i) * words + w] |= m; // stabilizer i = Z_i
+        }
+        s
+    }
+
+    /// The computational-basis state `|index⟩` in the dense engines'
+    /// big-endian convention: qubit `q` reads bit `n − 1 − q` of `index`
+    /// (qubits whose bit position falls outside the machine word stay 0).
+    pub fn basis_state(n: usize, index: usize) -> Self {
+        assert!(
+            n >= usize::BITS as usize || index < (1usize << n),
+            "basis index {index} out of range for a {n}-qubit register"
+        );
+        let mut s = Self::zero_state(n);
+        for q in 0..n {
+            let pos = n - 1 - q;
+            if pos < usize::BITS as usize && (index >> pos) & 1 == 1 {
+                s.apply_x(q);
+            }
+        }
+        s
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.words + (q >> 6)] & (1u64 << (q & 63)) != 0
+    }
+
+    /// Row `h` ← row `h` · row `i` (the paper's `rowsum(h, i)`), with exact
+    /// sign tracking through the word-parallel `g` sum.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let (hb, ib) = (h * self.words, i * self.words);
+        let mut g = 0i64;
+        for k in 0..self.words {
+            g += g_word(
+                self.x[ib + k],
+                self.z[ib + k],
+                self.x[hb + k],
+                self.z[hb + k],
+            );
+        }
+        let total = 2 * i64::from(self.r[h]) + 2 * i64::from(self.r[i]) + g;
+        // Stabilizer generators mutually commute, so a stabilizer-row target
+        // always lands on a Hermitian (±1-phase) row. Destabilizer rows may
+        // anticommute with the pivot; their phase bits are never read, so
+        // the truncated phase below is harmless there (the paper's
+        // convention).
+        debug_assert!(
+            h < self.n || total.rem_euclid(2) == 0,
+            "rowsum produced a non-Hermitian stabilizer row"
+        );
+        self.r[h] = (total.rem_euclid(4) / 2) as u8;
+        for k in 0..self.words {
+            self.x[hb + k] ^= self.x[ib + k];
+            self.z[hb + k] ^= self.z[ib + k];
+        }
+    }
+
+    /// Multiplies tableau row `i` into an external accumulator row, tracking
+    /// the full mod-4 phase (`i^phase` relative to the accumulator's literal
+    /// Pauli form).
+    fn accumulate(&self, sx: &mut [u64], sz: &mut [u64], phase: &mut i64, i: usize) {
+        let ib = i * self.words;
+        let mut g = 0i64;
+        for k in 0..self.words {
+            g += g_word(self.x[ib + k], self.z[ib + k], sx[k], sz[k]);
+        }
+        *phase = (*phase + 2 * i64::from(self.r[i]) + g).rem_euclid(4);
+        for k in 0..self.words {
+            sx[k] ^= self.x[ib + k];
+            sz[k] ^= self.z[ib + k];
+        }
+    }
+
+    /// Hadamard on `q`: swaps the X/Z columns, sign flips where both are set.
+    pub fn apply_h(&mut self, q: usize) {
+        let (w, m) = (q >> 6, 1u64 << (q & 63));
+        for row in 0..2 * self.n {
+            let idx = row * self.words + w;
+            let (xb, zb) = (self.x[idx] & m, self.z[idx] & m);
+            self.r[row] ^= u8::from(xb != 0 && zb != 0);
+            let diff = xb ^ zb;
+            self.x[idx] ^= diff;
+            self.z[idx] ^= diff;
+        }
+    }
+
+    /// Phase gate S on `q`.
+    pub fn apply_s(&mut self, q: usize) {
+        let (w, m) = (q >> 6, 1u64 << (q & 63));
+        for row in 0..2 * self.n {
+            let idx = row * self.words + w;
+            let (xb, zb) = (self.x[idx] & m, self.z[idx] & m);
+            self.r[row] ^= u8::from(xb != 0 && zb != 0);
+            self.z[idx] ^= xb;
+        }
+    }
+
+    /// Inverse phase gate S† on `q`.
+    pub fn apply_sdg(&mut self, q: usize) {
+        let (w, m) = (q >> 6, 1u64 << (q & 63));
+        for row in 0..2 * self.n {
+            let idx = row * self.words + w;
+            let (xb, zb) = (self.x[idx] & m, self.z[idx] & m);
+            self.r[row] ^= u8::from(xb != 0 && zb == 0);
+            self.z[idx] ^= xb;
+        }
+    }
+
+    /// Pauli X on `q`.
+    pub fn apply_x(&mut self, q: usize) {
+        let (w, m) = (q >> 6, 1u64 << (q & 63));
+        for row in 0..2 * self.n {
+            self.r[row] ^= u8::from(self.z[row * self.words + w] & m != 0);
+        }
+    }
+
+    /// Pauli Y on `q`.
+    pub fn apply_y(&mut self, q: usize) {
+        let (w, m) = (q >> 6, 1u64 << (q & 63));
+        for row in 0..2 * self.n {
+            let idx = row * self.words + w;
+            self.r[row] ^= u8::from((self.x[idx] & m != 0) != (self.z[idx] & m != 0));
+        }
+    }
+
+    /// Pauli Z on `q`.
+    pub fn apply_z(&mut self, q: usize) {
+        let (w, m) = (q >> 6, 1u64 << (q & 63));
+        for row in 0..2 * self.n {
+            self.r[row] ^= u8::from(self.x[row * self.words + w] & m != 0);
+        }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn apply_cx(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "CX control and target must differ");
+        let (wc, mc) = (c >> 6, 1u64 << (c & 63));
+        let (wt, mt) = (t >> 6, 1u64 << (t & 63));
+        for row in 0..2 * self.n {
+            let b = row * self.words;
+            let xc = self.x[b + wc] & mc != 0;
+            let zc = self.z[b + wc] & mc != 0;
+            let xt = self.x[b + wt] & mt != 0;
+            let zt = self.z[b + wt] & mt != 0;
+            self.r[row] ^= u8::from(xc && zt && (xt == zc));
+            if xc {
+                self.x[b + wt] ^= mt;
+            }
+            if zt {
+                self.z[b + wc] ^= mc;
+            }
+        }
+    }
+
+    /// Controlled-Z on `a`, `b` (symmetric).
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "CZ qubits must differ");
+        let (wa, ma) = (a >> 6, 1u64 << (a & 63));
+        let (wb, mb) = (b >> 6, 1u64 << (b & 63));
+        for row in 0..2 * self.n {
+            let base = row * self.words;
+            let xa = self.x[base + wa] & ma != 0;
+            let za = self.z[base + wa] & ma != 0;
+            let xb = self.x[base + wb] & mb != 0;
+            let zb = self.z[base + wb] & mb != 0;
+            self.r[row] ^= u8::from(xa && xb && (za != zb));
+            if xb {
+                self.z[base + wa] ^= ma;
+            }
+            if xa {
+                self.z[base + wb] ^= mb;
+            }
+        }
+    }
+
+    /// SWAP of `a` and `b`: exchanges the two columns in every row.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (wa, ma) = (a >> 6, 1u64 << (a & 63));
+        let (wb, mb) = (b >> 6, 1u64 << (b & 63));
+        for row in 0..2 * self.n {
+            let base = row * self.words;
+            for cols in [&mut self.x, &mut self.z] {
+                let ba = cols[base + wa] & ma != 0;
+                let bb = cols[base + wb] & mb != 0;
+                if ba != bb {
+                    cols[base + wa] ^= ma;
+                    cols[base + wb] ^= mb;
+                }
+            }
+        }
+    }
+
+    /// Conjugates the tableau through one circuit gate; global phases are
+    /// register-invisible no-ops. Non-Clifford gates are a typed error.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), NonCliffordGate> {
+        match *gate {
+            Gate::H(q) => self.apply_h(q),
+            Gate::X(q) => self.apply_x(q),
+            Gate::Y(q) => self.apply_y(q),
+            Gate::Z(q) => self.apply_z(q),
+            Gate::S(q) => self.apply_s(q),
+            Gate::Sdg(q) => self.apply_sdg(q),
+            Gate::Cx { control, target } => self.apply_cx(control, target),
+            Gate::Cz { a, b } => self.apply_cz(a, b),
+            Gate::Swap { a, b } => self.apply_swap(a, b),
+            Gate::GlobalPhase(_) => {}
+            ref other => {
+                return Err(NonCliffordGate {
+                    gate: other.to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a whole circuit through [`StabilizerState::apply_gate`],
+    /// stopping at the first non-Clifford gate.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), NonCliffordGate> {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.n,
+            "circuit register does not match the tableau"
+        );
+        for gate in circuit.gates() {
+            self.apply_gate(gate)?;
+        }
+        Ok(())
+    }
+
+    /// The first stabilizer generator with an X factor on `q`, if any — the
+    /// measurement of `q` is random exactly when one exists.
+    fn pivot(&self, q: usize) -> Option<usize> {
+        (self.n..2 * self.n).find(|&row| self.x_bit(row, q))
+    }
+
+    /// The outcome of a deterministic measurement of `q` (no stabilizer
+    /// anticommutes with `Z_q`): the sign of `Z_q` as a product of
+    /// stabilizer generators, accumulated in a scratch row.
+    fn deterministic_outcome(&self, q: usize) -> u8 {
+        let mut sx = vec![0u64; self.words];
+        let mut sz = vec![0u64; self.words];
+        let mut phase = 0i64;
+        for i in 0..self.n {
+            if self.x_bit(i, q) {
+                self.accumulate(&mut sx, &mut sz, &mut phase, self.n + i);
+            }
+        }
+        debug_assert_eq!(phase % 2, 0, "deterministic outcome left an i phase");
+        (phase / 2) as u8
+    }
+
+    /// Collapses a random measurement of `q` onto `outcome`, with `p` the
+    /// pivot stabilizer row returned by [`StabilizerState::pivot`].
+    fn collapse(&mut self, q: usize, p: usize, outcome: u8) {
+        for row in 0..2 * self.n {
+            if row != p && self.x_bit(row, q) {
+                self.rowsum(row, p);
+            }
+        }
+        // The old pivot generator becomes the destabilizer of the new Z_q
+        // stabilizer that replaces it.
+        let d = p - self.n;
+        let (pb, db) = (p * self.words, d * self.words);
+        for k in 0..self.words {
+            self.x[db + k] = self.x[pb + k];
+            self.z[db + k] = self.z[pb + k];
+            self.x[pb + k] = 0;
+            self.z[pb + k] = 0;
+        }
+        self.r[d] = self.r[p];
+        self.z[pb + (q >> 6)] = 1u64 << (q & 63);
+        self.r[p] = outcome & 1;
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    /// Random outcomes draw one bit from `rng`; deterministic outcomes
+    /// consume no randomness.
+    pub fn measure<R: RngCore>(&mut self, q: usize, rng: &mut R) -> u8 {
+        assert!(q < self.n, "qubit {q} out of range");
+        match self.pivot(q) {
+            Some(p) => {
+                let outcome = (rng.next_u64() & 1) as u8;
+                self.collapse(q, p, outcome);
+                outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// Measures every qubit in index order, returning the packed outcome
+    /// string. This is one shot of the stabilizer-native sampling path.
+    pub fn measure_all<R: RngCore>(&mut self, rng: &mut R) -> BitString {
+        let mut out = BitString::zeros(self.n);
+        for q in 0..self.n {
+            if self.measure(q, rng) == 1 {
+                out.set(q, true);
+            }
+        }
+        out
+    }
+
+    /// Whether the Pauli with the given X/Z word masks anticommutes with
+    /// tableau row `row`.
+    fn anticommutes_with_row(&self, row: usize, xw: &[u64], zw: &[u64]) -> bool {
+        let b = row * self.words;
+        let mut parity = 0u32;
+        for k in 0..self.words {
+            parity ^= (self.x[b + k] & zw[k]).count_ones() ^ (self.z[b + k] & xw[k]).count_ones();
+        }
+        parity & 1 == 1
+    }
+
+    /// Expectation value of the Hermitian Pauli with X/Z word masks
+    /// `(xw, zw)` (bit `q` of word `q/64`; `x` and `z` both set is a literal
+    /// `Y`). On a stabilizer state this is exactly `0`, `+1` or `−1`:
+    ///
+    /// * `0` when the Pauli anticommutes with some stabilizer generator;
+    /// * otherwise `±P` is a product of stabilizer generators — the
+    ///   generators whose destabilizer partners anticommute with `P` — and
+    ///   the sign of that product is the expectation value.
+    pub fn expectation_pauli_words(&self, xw: &[u64], zw: &[u64]) -> f64 {
+        assert_eq!(xw.len(), self.words, "X mask has the wrong word count");
+        assert_eq!(zw.len(), self.words, "Z mask has the wrong word count");
+        for row in self.n..2 * self.n {
+            if self.anticommutes_with_row(row, xw, zw) {
+                return 0.0;
+            }
+        }
+        let mut sx = vec![0u64; self.words];
+        let mut sz = vec![0u64; self.words];
+        let mut phase = 0i64;
+        for i in 0..self.n {
+            if self.anticommutes_with_row(i, xw, zw) {
+                self.accumulate(&mut sx, &mut sz, &mut phase, self.n + i);
+            }
+        }
+        debug_assert_eq!(&sx[..], xw, "stabilizer product missed the X mask");
+        debug_assert_eq!(&sz[..], zw, "stabilizer product missed the Z mask");
+        debug_assert_eq!(phase % 2, 0, "Hermitian Pauli product left an i phase");
+        if phase == 2 {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Expectation value of a Hermitian Pauli given as dense
+    /// amplitude-index masks — qubit `q` at bit `n − 1 − q`, the convention
+    /// of `PauliString::masks` and the grouped-sum engine. Converts to the
+    /// tableau's column layout (qubit `q` at bit `q`) and defers to
+    /// [`StabilizerState::expectation_pauli_words`].
+    pub fn expectation_dense_masks(&self, x_mask: usize, z_mask: usize) -> f64 {
+        assert!(
+            self.n <= usize::BITS as usize,
+            "dense masks address at most {} qubits, register has {}",
+            usize::BITS,
+            self.n
+        );
+        let mut xw = vec![0u64; self.words];
+        let mut zw = vec![0u64; self.words];
+        for q in 0..self.n {
+            let bit = 1usize << (self.n - 1 - q);
+            if x_mask & bit != 0 {
+                xw[q >> 6] |= 1u64 << (q & 63);
+            }
+            if z_mask & bit != 0 {
+                zw[q >> 6] |= 1u64 << (q & 63);
+            }
+        }
+        self.expectation_pauli_words(&xw, &zw)
+    }
+
+    /// Expectation value of a Z-string observable `∏ Z_q` over `qubits`,
+    /// straight off the tableau — the wide-register observable path (no
+    /// `usize` mask, so it works at thousands of qubits).
+    pub fn expectation_z(&self, qubits: &[usize]) -> f64 {
+        let xw = vec![0u64; self.words];
+        let mut zw = vec![0u64; self.words];
+        for &q in qubits {
+            assert!(q < self.n, "qubit {q} out of range");
+            zw[q >> 6] |= 1u64 << (q & 63);
+        }
+        self.expectation_pauli_words(&xw, &zw)
+    }
+
+    /// Exact measurement probabilities of all `2^n` basis states, by
+    /// branching the per-qubit measurement tree (deterministic outcomes
+    /// carry their branch's full weight; random outcomes split it in half).
+    /// Probabilities of a stabilizer state are exact dyadic rationals, so
+    /// the result is exact in floating point.
+    ///
+    /// # Panics
+    /// Panics above [`STABILIZER_DENSE_MAX_QUBITS`] qubits — the caller
+    /// (the stabilizer backend) turns that bound into a typed
+    /// `RegisterTooLarge` error instead of calling in.
+    pub fn basis_probabilities(&self) -> Vec<f64> {
+        assert!(
+            self.n <= STABILIZER_DENSE_MAX_QUBITS,
+            "dense probabilities need 2^n storage; {} qubits exceeds the {} cap",
+            self.n,
+            STABILIZER_DENSE_MAX_QUBITS
+        );
+        let mut out = vec![0.0f64; 1usize << self.n];
+        let mut stack: Vec<(StabilizerState, usize, usize, f64)> = vec![(self.clone(), 0, 0, 1.0)];
+        while let Some((state, q, prefix, weight)) = stack.pop() {
+            if q == self.n {
+                out[prefix] += weight;
+                continue;
+            }
+            // Dense big-endian indexing: qubit q is bit n−1−q of the index.
+            let bit_pos = self.n - 1 - q;
+            match state.pivot(q) {
+                None => {
+                    let bit = state.deterministic_outcome(q) as usize;
+                    stack.push((state, q + 1, prefix | (bit << bit_pos), weight));
+                }
+                Some(p) => {
+                    let mut zero = state.clone();
+                    let mut one = state;
+                    zero.collapse(q, p, 0);
+                    one.collapse(q, p, 1);
+                    stack.push((zero, q + 1, prefix, weight * 0.5));
+                    stack.push((one, q + 1, prefix | (1 << bit_pos), weight * 0.5));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_measures_all_zeros_without_randomness() {
+        let mut s = StabilizerState::zero_state(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = s.measure_all(&mut rng);
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    fn basis_state_measures_back_its_index() {
+        let mut s = StabilizerState::basis_state(6, 0b101101);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.measure_all(&mut rng).to_index(), Some(0b101101));
+    }
+
+    #[test]
+    fn ghz_measurements_are_perfectly_correlated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            let mut s = StabilizerState::zero_state(4);
+            s.apply_h(0);
+            for q in 0..3 {
+                s.apply_cx(q, q + 1);
+            }
+            let out = s.measure_all(&mut rng);
+            let ones = out.count_ones();
+            assert!(ones == 0 || ones == 4, "GHZ shot mixed: {out}");
+            seen[usize::from(ones == 4)] = true;
+        }
+        assert!(seen[0] && seen[1], "64 GHZ shots never split");
+    }
+
+    #[test]
+    fn repeated_measurement_is_stable() {
+        let mut s = StabilizerState::zero_state(2);
+        s.apply_h(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let first = s.measure(0, &mut rng);
+        for _ in 0..8 {
+            assert_eq!(s.measure(0, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn s_and_sdg_cancel() {
+        let mut a = StabilizerState::zero_state(3);
+        a.apply_h(1);
+        a.apply_s(1);
+        a.apply_sdg(1);
+        let mut b = StabilizerState::zero_state(3);
+        b.apply_h(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cz_matches_h_cx_h_composition() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut direct = StabilizerState::zero_state(3);
+            let mut composed = StabilizerState::zero_state(3);
+            // Scramble both identically with a short Clifford prefix.
+            for step in 0..6 {
+                let q = (seed as usize + step) % 3;
+                direct.apply_h(q);
+                composed.apply_h(q);
+                direct.apply_s(q);
+                composed.apply_s(q);
+                direct.apply_cx(q, (q + 1) % 3);
+                composed.apply_cx(q, (q + 1) % 3);
+            }
+            direct.apply_cz(0, 2);
+            composed.apply_h(2);
+            composed.apply_cx(0, 2);
+            composed.apply_h(2);
+            assert_eq!(direct, composed, "seed {seed}");
+            // And the states keep agreeing through measurement.
+            let mut rng2 = rng.clone();
+            assert_eq!(
+                direct.measure_all(&mut rng),
+                composed.measure_all(&mut rng2)
+            );
+        }
+    }
+
+    #[test]
+    fn z_expectations_on_known_states() {
+        // ⟨0|Z|0⟩ = 1, ⟨1|Z|1⟩ = −1, ⟨+|Z|+⟩ = 0.
+        let s = StabilizerState::zero_state(3);
+        assert_eq!(s.expectation_z(&[0]), 1.0);
+        let mut flipped = StabilizerState::zero_state(3);
+        flipped.apply_x(2);
+        assert_eq!(flipped.expectation_z(&[2]), -1.0);
+        assert_eq!(flipped.expectation_z(&[0, 2]), -1.0);
+        let mut plus = StabilizerState::zero_state(3);
+        plus.apply_h(1);
+        assert_eq!(plus.expectation_z(&[1]), 0.0);
+        // GHZ: single-qubit ⟨Z⟩ vanishes, the full parity is +1.
+        let mut ghz = StabilizerState::zero_state(3);
+        ghz.apply_h(0);
+        ghz.apply_cx(0, 1);
+        ghz.apply_cx(1, 2);
+        assert_eq!(ghz.expectation_z(&[0]), 0.0);
+        assert_eq!(ghz.expectation_z(&[0, 1]), 1.0);
+        assert_eq!(ghz.expectation_z(&[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn bell_probabilities_are_exact() {
+        let mut bell = StabilizerState::zero_state(2);
+        bell.apply_h(0);
+        bell.apply_cx(0, 1);
+        assert_eq!(bell.basis_probabilities(), vec![0.5, 0.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn non_clifford_gates_are_rejected() {
+        let mut s = StabilizerState::zero_state(2);
+        let err = s.apply_gate(&Gate::T(0)).unwrap_err();
+        assert!(err.gate.contains('T'), "got {err}");
+        assert!(s
+            .apply_gate(&Gate::Rx {
+                qubit: 1,
+                theta: 0.3
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn wide_registers_cross_word_boundaries() {
+        // A 130-qubit GHZ chain spans three words; parity structure must
+        // survive the boundary crossings.
+        let n = 130;
+        let mut s = StabilizerState::zero_state(n);
+        s.apply_h(0);
+        for q in 0..n - 1 {
+            s.apply_cx(q, q + 1);
+        }
+        assert_eq!(s.expectation_z(&[0, n - 1]), 1.0);
+        assert_eq!(s.expectation_z(&[63, 64]), 1.0);
+        assert_eq!(s.expectation_z(&[n - 1]), 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let shot = s.measure_all(&mut rng);
+        let ones = shot.count_ones();
+        assert!(ones == 0 || ones == n, "GHZ shot mixed at width {n}");
+    }
+}

@@ -199,6 +199,24 @@ impl GroupedPauliSum {
             .get_or_init(|| qwc_groups_from_masks(&self.term_masks).len())
     }
 
+    /// Every string of the sum in `(coefficient, x_mask, z_mask)` form —
+    /// the mask representation non-dense backends (the stabilizer tableau
+    /// engine) evaluate term by term, `⟨H⟩ = Σ cᵢ·⟨Pᵢ⟩`. Order is the
+    /// diagonal batch first, then the flip groups; the sum is
+    /// order-independent.
+    pub fn string_masks(&self) -> Vec<(Complex64, usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_terms());
+        for t in &self.diagonal {
+            out.push((t.coeff, 0, t.z_mask));
+        }
+        for g in &self.flips {
+            for t in &g.terms {
+                out.push((t.coeff, g.x_mask, t.z_mask));
+            }
+        }
+        out
+    }
+
     /// Expectation value `⟨ψ|H|ψ⟩` of the preprocessed sum on raw
     /// amplitudes.
     ///

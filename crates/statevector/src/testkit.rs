@@ -127,6 +127,54 @@ pub fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
     c
 }
 
+/// Builds a seeded random **Clifford** circuit over `n ≥ 2` qubits, drawing
+/// uniformly from the stabilizer vocabulary (H, X, Y, Z, S, S†, CX, CZ,
+/// SWAP). Every circuit it returns satisfies `Circuit::is_clifford`, so the
+/// stabilizer-backend property suites can pit the tableau engine against
+/// the dense oracles on exactly the family both can run.
+pub fn random_clifford_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "the generator draws two-qubit gates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        let other = |rng: &mut StdRng, q: usize| (q + 1 + rng.gen_range(0..n - 1)) % n;
+        match rng.gen_range(0..9u32) {
+            0 => {
+                c.h(q);
+            }
+            1 => {
+                c.x(q);
+            }
+            2 => {
+                c.y(q);
+            }
+            3 => {
+                c.z(q);
+            }
+            4 => {
+                c.s(q);
+            }
+            5 => {
+                c.sdg(q);
+            }
+            6 => {
+                let t = other(&mut rng, q);
+                c.cx(q, t);
+            }
+            7 => {
+                let t = other(&mut rng, q);
+                c.cz(q, t);
+            }
+            _ => {
+                let t = other(&mut rng, q);
+                c.swap(q, t);
+            }
+        }
+    }
+    c
+}
+
 /// A deterministic circuit that triggers every specialized fused kernel:
 /// wide diagonal tables, pure permutations (trivial and phased cycles),
 /// block-sparse two-level motifs, dense blocks, controlled singles, and the

@@ -8,13 +8,12 @@
 //! `BENCH.json`.
 
 use gate_efficient_hs::core::backend::{
-    Backend, FusedStatevector, PauliNoise, ReferenceStatevector,
+    Backend, FusedStatevector, InitialState, PauliNoise, ReferenceStatevector,
 };
 use gate_efficient_hs::hubo::{
     qaoa_circuit, qaoa_energy_with, qaoa_sample, random_sparse_hubo, QaoaParameters,
     SeparatorStrategy,
 };
-use gate_efficient_hs::statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,9 +91,13 @@ fn main() {
     // against the ideal *probabilities*, not the finite ideal histogram:
     // count shots on assignments the ideal state visits only rarely.
     let noisy = PauliNoise::depolarizing(0.02, 10, 3);
-    let zero = StateVector::zero_state(circuit.num_qubits());
-    let ideal_probs = fused.probabilities(&zero, &circuit);
-    let noisy_samples = noisy.sample(&zero, &circuit, shots, seed);
+    let zero = InitialState::ZeroState;
+    let ideal_probs = fused
+        .probabilities(&zero, &circuit)
+        .expect("QAOA circuits run on the fused backend");
+    let noisy_samples = noisy
+        .sample(&zero, &circuit, shots, seed)
+        .expect("QAOA circuits run on the noisy backend");
     let rare = 1e-3;
     let ideal_rare_mass: f64 = ideal_probs.iter().filter(|&&p| p < rare).sum();
     let leaked = noisy_samples

@@ -13,9 +13,10 @@
 
 use gate_efficient_hs::chemistry::{h2_sto3g, run_vqe, uccsd_parameterized, uccsd_pool};
 use gate_efficient_hs::circuit::Circuit;
-use gate_efficient_hs::core::backend::{parameter_shift_gradient, Backend, FusedStatevector};
+use gate_efficient_hs::core::backend::{
+    parameter_shift_gradient, Backend, FusedStatevector, InitialState,
+};
 use gate_efficient_hs::core::DirectOptions;
-use gate_efficient_hs::statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,7 +26,7 @@ fn main() {
     let opts = DirectOptions::linear();
     let ansatz = uccsd_parameterized(&model, &pool, &opts);
     let observable = model.grouped_observable();
-    let zero = StateVector::zero_state(model.num_qubits());
+    let zero = InitialState::ZeroState;
     let backend = FusedStatevector;
 
     println!(
@@ -38,12 +39,17 @@ fn main() {
 
     // 1. Adjoint vs parameter-shift vs finite differences at a probe point.
     let thetas: Vec<f64> = (0..pool.len()).map(|k| 0.08 + 0.05 * k as f64).collect();
-    let (energy, adjoint) = backend.expectation_gradient(&zero, &ansatz, &thetas, &observable);
-    let (_, shift) = parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable);
+    let (energy, adjoint) = backend
+        .expectation_gradient(&zero, &ansatz, &thetas, &observable)
+        .expect("UCCSD circuits run on the fused backend");
+    let (_, shift) = parameter_shift_gradient(&backend, &zero, &ansatz, &thetas, &observable)
+        .expect("UCCSD circuits run on the fused backend");
     let mut scratch = Circuit::new(0);
     let mut energy_at = |p: &[f64]| {
         ansatz.bind_into(p, &mut scratch);
-        backend.expectation(&zero, &scratch, &observable)
+        backend
+            .expectation(&zero, &scratch, &observable)
+            .expect("UCCSD circuits run on the fused backend")
     };
     println!(
         "\nE(θ) = {:.8} Ha at the probe point (nuclear repulsion included); gradients:",

@@ -9,9 +9,12 @@
 //!   Jordan–Wigner;
 //! * [`circuit`] — gate IR, ladders, decompositions, cost models;
 //! * [`statevector`] — the simulator;
+//! * [`stabilizer`] — the Aaronson–Gottesman tableau engine for Clifford
+//!   circuits at thousands of qubits;
 //! * [`core`] — direct Hamiltonian simulation, Trotter/qDRIFT, block
 //!   encodings, dilation, measurement, the pluggable execution backends
-//!   (fused / reference / stochastic-noise, with a shared batched shot
+//!   (fused / sharded / reference / stochastic-noise / stabilizer, with a
+//!   shared batched shot
 //!   sampler and adjoint/parameter-shift gradient entry points), and the
 //!   shared gradient-based optimizer (`core::optimize`);
 //! * [`hubo`], [`chemistry`], [`fdm`] — the three applications of Section V
@@ -28,4 +31,5 @@ pub use ghs_hubo as hubo;
 pub use ghs_math as math;
 pub use ghs_operators as operators;
 pub use ghs_service as service;
+pub use ghs_stabilizer as stabilizer;
 pub use ghs_statevector as statevector;

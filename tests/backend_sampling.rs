@@ -1,4 +1,4 @@
-//! Backend-layer property tests: the four execution backends implement the
+//! Backend-layer property tests: the dense execution backends implement the
 //! same trait contract, the fused and reference engines agree to 1e-12 on
 //! random circuits, the batched shot engine converges to `|amplitude|²`
 //! identically across backends, its seeded output is bit-identical across
@@ -10,7 +10,8 @@
 
 use gate_efficient_hs::circuit::Circuit;
 use gate_efficient_hs::core::backend::{
-    backend_by_name, Backend, FusedStatevector, PauliNoise, ReferenceStatevector,
+    backend_by_name, Backend, BackendError, FusedStatevector, InitialState, PauliNoise,
+    ReferenceStatevector,
 };
 use gate_efficient_hs::statevector::testkit::random_circuit;
 use gate_efficient_hs::statevector::StateVector;
@@ -32,9 +33,9 @@ proptest! {
     ) {
         let c = random_circuit(n, gates, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-        let s0 = StateVector::random_state(n, &mut rng);
-        let f = FusedStatevector.run(&s0, &c);
-        let r = ReferenceStatevector.run(&s0, &c);
+        let s0 = InitialState::from(StateVector::random_state(n, &mut rng));
+        let f = FusedStatevector.run(&s0, &c).unwrap();
+        let r = ReferenceStatevector.run(&s0, &c).unwrap();
         let d = f.distance(&r);
         prop_assert!(d < BACKEND_TOL, "distance {d} on n={n}, gates={gates}, seed={seed}");
     }
@@ -50,18 +51,18 @@ proptest! {
     ) {
         let c = random_circuit(n, gates, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
-        let s0 = StateVector::random_state(n, &mut rng);
+        let s0 = InitialState::from(StateVector::random_state(n, &mut rng));
         let quiet = PauliNoise {
             depolarizing: 0.0,
             dephasing: 0.0,
             trajectories: 3,
             seed,
         };
-        let q = quiet.run(&s0, &c);
-        let f = FusedStatevector.run(&s0, &c);
+        let q = quiet.run(&s0, &c).unwrap();
+        let f = FusedStatevector.run(&s0, &c).unwrap();
         prop_assert!(q.distance(&f) < BACKEND_TOL);
         // Ensemble probabilities collapse to the pure-state ones as well.
-        let probs = quiet.probabilities(&s0, &c);
+        let probs = quiet.probabilities(&s0, &c).unwrap();
         for (p, amp) in probs.iter().zip(f.amplitudes()) {
             prop_assert!((p - amp.norm_sqr()).abs() < BACKEND_TOL);
         }
@@ -73,15 +74,15 @@ fn sample_frequencies_converge_identically_across_backends() {
     // One moderately entangling 6-qubit circuit, enough shots that the
     // per-outcome standard error (≤ ~1.1e-3) sits far below the tolerance.
     let c = random_circuit(6, 40, 99);
-    let zero = StateVector::zero_state(6);
-    let probs = FusedStatevector.probabilities(&zero, &c);
+    let zero = InitialState::ZeroState;
+    let probs = FusedStatevector.probabilities(&zero, &c).unwrap();
     let shots = 200_000;
     let tol = 0.01;
     let mut freq_tables: Vec<Vec<f64>> = Vec::new();
     for backend in [&FusedStatevector as &dyn Backend, &ReferenceStatevector] {
-        let samples = backend.sample(&zero, &c, shots, 12_345);
+        let samples = backend.sample(&zero, &c, shots, 12_345).unwrap();
         // Bit-identical across runs under the fixed seed.
-        assert_eq!(samples, backend.sample(&zero, &c, shots, 12_345));
+        assert_eq!(samples, backend.sample(&zero, &c, shots, 12_345).unwrap());
         let mut counts = vec![0usize; probs.len()];
         for &s in &samples {
             counts[s] += 1;
@@ -108,31 +109,31 @@ fn sample_frequencies_converge_identically_across_backends() {
 #[test]
 fn batched_shots_are_prefix_stable_and_seed_sensitive() {
     let c = random_circuit(5, 25, 7);
-    let zero = StateVector::zero_state(5);
-    let long = FusedStatevector.sample(&zero, &c, 6000, 1);
+    let zero = InitialState::ZeroState;
+    let long = FusedStatevector.sample(&zero, &c, 6000, 1).unwrap();
     // A shorter batch under the same seed is a prefix of the longer one
     // (chunk streams depend only on (seed, chunk index)).
-    let short = FusedStatevector.sample(&zero, &c, 4096, 1);
+    let short = FusedStatevector.sample(&zero, &c, 4096, 1).unwrap();
     assert_eq!(&long[..4096], &short[..]);
     // A different seed gives a different stream.
-    assert_ne!(long, FusedStatevector.sample(&zero, &c, 6000, 2));
+    assert_ne!(long, FusedStatevector.sample(&zero, &c, 6000, 2).unwrap());
 }
 
 #[test]
 fn noisy_sampling_is_deterministic_and_normalised() {
     let c = random_circuit(5, 30, 13);
-    let zero = StateVector::zero_state(5);
+    let zero = InitialState::ZeroState;
     let noisy = PauliNoise {
         depolarizing: 0.03,
         dephasing: 0.01,
         trajectories: 8,
         seed: 42,
     };
-    let probs = noisy.probabilities(&zero, &c);
+    let probs = noisy.probabilities(&zero, &c).unwrap();
     assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
     assert_eq!(
-        noisy.sample(&zero, &c, 3000, 5),
-        noisy.sample(&zero, &c, 3000, 5)
+        noisy.sample(&zero, &c, 3000, 5).unwrap(),
+        noisy.sample(&zero, &c, 3000, 5).unwrap()
     );
 }
 
@@ -146,28 +147,31 @@ fn sharded_backend_matches_fused_at_any_forced_shard_count() {
     // sharded engine replays (below it, it falls back to per-gate sweeps
     // whose round-off differs in the last bits).
     let c = random_circuit(10, 50, 21);
-    let s0 = StateVector::basis_state(10, 5);
+    let s0 = InitialState::basis(5);
     let sharded = backend_by_name("sharded").expect("sharded backend registered");
-    let flat = FusedStatevector.run(&s0, &c);
-    let out = sharded.run(&s0, &c);
+    let flat = FusedStatevector.run(&s0, &c).unwrap();
+    let out = sharded.run(&s0, &c).unwrap();
     for i in 0..out.dim() {
         assert_eq!(out.amplitude(i), flat.amplitude(i), "amplitude {i}");
     }
     assert_eq!(
-        sharded.sample(&s0, &c, 500, 11),
-        FusedStatevector.sample(&s0, &c, 500, 11)
+        sharded.sample(&s0, &c, 500, 11).unwrap(),
+        FusedStatevector.sample(&s0, &c, 500, 11).unwrap()
     );
 }
 
 #[test]
 fn backend_registry_resolves_every_documented_name() {
-    for name in ["fused", "reference", "noisy", "sharded"] {
+    for name in ["fused", "reference", "noisy", "sharded", "stabilizer"] {
         let backend = backend_by_name(name).expect("documented backend name");
         // Smoke: every registry entry can run a circuit end to end.
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1);
-        let shots = backend.sample(&StateVector::zero_state(2), &c, 64, 0);
+        let shots = backend.sample(&InitialState::ZeroState, &c, 64, 0).unwrap();
         assert_eq!(shots.len(), 64);
     }
-    assert!(backend_by_name("stabilizer").is_none());
+    assert_eq!(
+        backend_by_name("tensor-network").err(),
+        Some(BackendError::UnknownName("tensor-network".into()))
+    );
 }

@@ -20,7 +20,8 @@
 
 use gate_efficient_hs::circuit::Circuit;
 use gate_efficient_hs::core::backend::{
-    parameter_shift_gradient, Backend, FusedStatevector, PauliNoise, ReferenceStatevector,
+    parameter_shift_gradient, Backend, FusedStatevector, InitialState, PauliNoise,
+    ReferenceStatevector,
 };
 use gate_efficient_hs::statevector::testkit::{
     random_parameterized_circuit, random_pauli_sum, PauliSumKind,
@@ -49,11 +50,13 @@ fn central_differences(
     params: &[f64],
     observable: &GroupedPauliSum,
 ) -> Vec<f64> {
-    let zero = StateVector::zero_state(circuit.num_qubits());
+    let zero = InitialState::ZeroState;
     let mut scratch = Circuit::new(0);
     let mut energy = |p: &[f64]| {
         circuit.bind_into(p, &mut scratch);
-        backend.expectation(&zero, &scratch, observable)
+        backend
+            .expectation(&zero, &scratch, observable)
+            .expect("dense backends evaluate random circuits")
     };
     (0..params.len())
         .map(|k| {
@@ -83,14 +86,14 @@ proptest! {
         let sum = random_pauli_sum(n, 6, PauliSumKind::Mixed, seed ^ 0x0b5e55ed);
         let observable = GroupedPauliSum::new(&sum);
         let params = seeded_params(num_params, seed);
-        let zero = StateVector::zero_state(n);
+        let zero = InitialState::ZeroState;
 
         let backends: [&dyn Backend; 2] = [&FusedStatevector, &ReferenceStatevector];
         for backend in backends {
             let (e_adj, g_adj) =
-                backend.expectation_gradient(&zero, &pc, &params, &observable);
+                backend.expectation_gradient(&zero, &pc, &params, &observable).unwrap();
             let (e_shift, g_shift) =
-                parameter_shift_gradient(backend, &zero, &pc, &params, &observable);
+                parameter_shift_gradient(backend, &zero, &pc, &params, &observable).unwrap();
             prop_assert!(
                 (e_adj - e_shift).abs() < GRAD_TOL,
                 "{}: energy {e_adj} vs {e_shift}", backend.name()
@@ -125,10 +128,13 @@ proptest! {
         let sum = random_pauli_sum(n, 8, PauliSumKind::Mixed, seed ^ 0xf00d);
         let observable = GroupedPauliSum::new(&sum);
         let params = seeded_params(num_params, seed);
-        let zero = StateVector::zero_state(n);
-        let (e_f, g_f) = FusedStatevector.expectation_gradient(&zero, &pc, &params, &observable);
-        let (e_r, g_r) =
-            ReferenceStatevector.expectation_gradient(&zero, &pc, &params, &observable);
+        let zero = InitialState::ZeroState;
+        let (e_f, g_f) = FusedStatevector
+            .expectation_gradient(&zero, &pc, &params, &observable)
+            .unwrap();
+        let (e_r, g_r) = ReferenceStatevector
+            .expectation_gradient(&zero, &pc, &params, &observable)
+            .unwrap();
         prop_assert!((e_f - e_r).abs() < 1e-11);
         for k in 0..num_params {
             prop_assert!(
@@ -151,11 +157,14 @@ proptest! {
         let sum = random_pauli_sum(n, 5, PauliSumKind::Mixed, seed ^ 0x9071e);
         let observable = GroupedPauliSum::new(&sum);
         let params = seeded_params(num_params, seed);
-        let zero = StateVector::zero_state(n);
+        let zero = InitialState::ZeroState;
         let quiet = PauliNoise::depolarizing(0.0, 3, seed);
-        let (e_q, g_q) = quiet.expectation_gradient(&zero, &pc, &params, &observable);
-        let (e_r, g_r) =
-            ReferenceStatevector.expectation_gradient(&zero, &pc, &params, &observable);
+        let (e_q, g_q) = quiet
+            .expectation_gradient(&zero, &pc, &params, &observable)
+            .unwrap();
+        let (e_r, g_r) = ReferenceStatevector
+            .expectation_gradient(&zero, &pc, &params, &observable)
+            .unwrap();
         prop_assert!((e_q - e_r).abs() < GRAD_TOL);
         for k in 0..num_params {
             prop_assert!(

@@ -14,13 +14,13 @@
 //!   settings than there are strings.
 
 use gate_efficient_hs::core::backend::{
-    Backend, FusedStatevector, PauliNoise, ReferenceStatevector,
+    Backend, FusedStatevector, InitialState, PauliNoise, ReferenceStatevector,
 };
 use gate_efficient_hs::operators::PauliOp;
 use gate_efficient_hs::statevector::testkit::{
     random_circuit, random_pauli_sum, random_state, PauliSumKind,
 };
-use gate_efficient_hs::statevector::{qwc_partition, GroupedPauliSum, StateVector};
+use gate_efficient_hs::statevector::{qwc_partition, GroupedPauliSum};
 use proptest::prelude::*;
 
 /// Equivalence tolerance between the matrix-free engine and the sparse
@@ -78,7 +78,7 @@ proptest! {
         let sum = random_pauli_sum(n, terms, kind, seed ^ 0x5ca1e);
         let sparse = sum.sparse_matrix();
         let grouped = GroupedPauliSum::new(&sum);
-        let initial = random_state(n, seed ^ 0x1ead);
+        let initial = InitialState::from(random_state(n, seed ^ 0x1ead));
         let noisy = PauliNoise {
             depolarizing: 0.03,
             dephasing: 0.01,
@@ -90,8 +90,8 @@ proptest! {
             &ReferenceStatevector,
             &noisy,
         ] {
-            let fast = backend.expectation(&initial, &circuit, &grouped);
-            let oracle = backend.expectation_sparse(&initial, &circuit, &sparse);
+            let fast = backend.expectation(&initial, &circuit, &grouped).unwrap();
+            let oracle = backend.expectation_sparse(&initial, &circuit, &sparse).unwrap();
             prop_assert!(
                 (fast - oracle).abs() < ORACLE_TOL,
                 "{}: {fast} vs {oracle} (n={n}, seed={seed})",
@@ -162,15 +162,17 @@ fn zero_noise_expectation_matches_reference_bit_exactly() {
     let circuit = random_circuit(6, 35, 99);
     let sum = random_pauli_sum(6, 9, PauliSumKind::Mixed, 7);
     let grouped = GroupedPauliSum::new(&sum);
-    let initial = random_state(6, 3);
+    let initial = InitialState::from(random_state(6, 3));
     let quiet = PauliNoise {
         depolarizing: 0.0,
         dephasing: 0.0,
         trajectories: 5,
         seed: 123,
     };
-    let noiseless = ReferenceStatevector.expectation(&initial, &circuit, &grouped);
-    let zero_noise = quiet.expectation(&initial, &circuit, &grouped);
+    let noiseless = ReferenceStatevector
+        .expectation(&initial, &circuit, &grouped)
+        .unwrap();
+    let zero_noise = quiet.expectation(&initial, &circuit, &grouped).unwrap();
     assert_eq!(
         noiseless.to_bits(),
         zero_noise.to_bits(),
@@ -217,8 +219,12 @@ fn expectation_estimator_consistency_across_seeds() {
     let circuit = random_circuit(5, 20, 11);
     let sum = random_pauli_sum(5, 6, PauliSumKind::Mixed, 31);
     let grouped = GroupedPauliSum::new(&sum);
-    let zero = StateVector::zero_state(5);
-    let a = FusedStatevector.expectation(&zero, &circuit, &grouped);
-    let b = FusedStatevector.expectation(&zero, &circuit, &grouped);
+    let zero = InitialState::ZeroState;
+    let a = FusedStatevector
+        .expectation(&zero, &circuit, &grouped)
+        .unwrap();
+    let b = FusedStatevector
+        .expectation(&zero, &circuit, &grouped)
+        .unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
 }

@@ -21,12 +21,11 @@
 use std::sync::Arc;
 
 use gate_efficient_hs::circuit::Circuit;
-use gate_efficient_hs::core::backend::{Backend, FusedStatevector};
+use gate_efficient_hs::core::backend::{Backend, FusedStatevector, InitialState};
 use gate_efficient_hs::service::{JobOutput, JobSpec, Service, ServiceConfig};
 use gate_efficient_hs::statevector::testkit::{
     random_circuit, random_parameterized_circuit, random_pauli_sum, PauliSumKind,
 };
-use gate_efficient_hs::statevector::StateVector;
 use proptest::prelude::*;
 
 proptest! {
@@ -102,22 +101,22 @@ proptest! {
             let service = Service::new(config);
             let results = service.run_batch(&jobs).expect("valid jobs");
 
-            let zero = StateVector::zero_state(n);
+            let zero = InitialState::ZeroState;
             let grouped =
                 gate_efficient_hs::statevector::GroupedPauliSum::new(&observable);
-            let energy = FusedStatevector.expectation(&zero, &circuit, &grouped);
+            let energy = FusedStatevector.expectation(&zero, &circuit, &grouped).unwrap();
             prop_assert_eq!(&results[0].output, &JobOutput::Expectation(energy));
 
-            let shots = FusedStatevector.sample(&zero, &circuit, 64, seed);
+            let shots = FusedStatevector.sample(&zero, &circuit, 64, seed).unwrap();
             prop_assert_eq!(&results[1].output, &JobOutput::Shots(shots));
 
-            let one = StateVector::basis_state(n, 1);
-            let probs = FusedStatevector.probabilities(&one, &circuit);
+            let one = InitialState::basis(1);
+            let probs = FusedStatevector.probabilities(&one, &circuit).unwrap();
             prop_assert_eq!(&results[2].output, &JobOutput::Probabilities(probs));
 
             let (e, g) = FusedStatevector.expectation_gradient(
                 &zero, &template, &params, &grouped,
-            );
+            ).unwrap();
             prop_assert_eq!(
                 &results[3].output,
                 &JobOutput::Gradient { energy: e, gradient: g }

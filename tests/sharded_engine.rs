@@ -14,7 +14,7 @@
 //!   the fused backend bit-for-bit through the service-facing trait.
 
 use gate_efficient_hs::circuit::QubitRelabeling;
-use gate_efficient_hs::core::backend::{backend_by_name, Backend, FusedStatevector};
+use gate_efficient_hs::core::backend::{backend_by_name, Backend, FusedStatevector, InitialState};
 use gate_efficient_hs::statevector::testkit::random_circuit;
 use gate_efficient_hs::statevector::{ShardedStateVector, StateVector};
 use proptest::prelude::*;
@@ -121,14 +121,22 @@ fn sharded_backend_registers_and_matches_fused() {
     let backend = backend_by_name("sharded").expect("sharded backend registered");
     assert_eq!(backend.name(), "sharded-statevector");
     let c = random_circuit(10, 60, 7);
-    let s0 = StateVector::basis_state(10, 3);
-    let sharded = backend.run(&s0, &c);
-    let fused = FusedStatevector.run(&s0, &c);
+    let s0 = InitialState::basis(3);
+    let sharded = backend.run(&s0, &c).unwrap();
+    let fused = FusedStatevector.run(&s0, &c).unwrap();
     for i in 0..sharded.dim() {
         assert_eq!(sharded.amplitude(i), fused.amplitude(i));
     }
     assert_eq!(
-        backend.sample(&s0, &c, 256, 99),
-        FusedStatevector.sample(&s0, &c, 256, 99)
+        backend.sample(&s0, &c, 256, 99).unwrap(),
+        FusedStatevector.sample(&s0, &c, 256, 99).unwrap()
     );
+    // A dense initial state threads through both engines bit-identically.
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let dense = InitialState::from(StateVector::random_state(10, &mut rng));
+    let a = backend.run(&dense, &c).unwrap();
+    let b = FusedStatevector.run(&dense, &c).unwrap();
+    for i in 0..a.dim() {
+        assert_eq!(a.amplitude(i), b.amplitude(i));
+    }
 }

@@ -1,0 +1,309 @@
+//! Stabilizer-engine acceptance tests — the contract of the fifth backend:
+//!
+//! * the tableau engine agrees **exactly** with the dense reference and
+//!   fused backends on random 2–10 qubit Clifford circuits: basis
+//!   probabilities to 1e-12 and Pauli-sum expectations to 1e-10 (tableau
+//!   values are exact dyadics / signed integers, so the tolerance absorbs
+//!   only dense round-off);
+//! * seeded shot streams are **bit-identical** across runs — the CI
+//!   determinism matrix re-runs this suite with `GHS_PARALLEL_THRESHOLD`
+//!   forced to `0` and `usize::MAX`, and the stream must not change;
+//! * a 1024-qubit GHZ circuit (far beyond dense reach) samples only the
+//!   all-zeros and all-ones strings, and sees both;
+//! * everything outside the Clifford vocabulary is a **typed error**, not
+//!   a panic: non-Clifford gates, dense initial states, dense state
+//!   output, and oversized registers each map to their `BackendError`
+//!   variant, at the backend layer and through `ghs_service` admission;
+//! * stabilizer service jobs reuse the cached prepared tableau on warm
+//!   re-runs and return `BitShots` for registers wider than a machine
+//!   word.
+//!
+//! The nightly CI job re-runs this suite with `GHS_PROPTEST_CASES=2048`.
+
+use std::sync::Arc;
+
+use gate_efficient_hs::circuit::Circuit;
+use gate_efficient_hs::core::backend::{
+    backend_by_name, Backend, BackendError, BackendSpec, FusedStatevector, InitialState,
+    ReferenceStatevector, StabilizerBackend,
+};
+use gate_efficient_hs::service::{JobOutput, JobSpec, Service, ServiceConfig, SubmitError};
+use gate_efficient_hs::stabilizer::STABILIZER_DENSE_MAX_QUBITS;
+use gate_efficient_hs::statevector::testkit::{
+    random_clifford_circuit, random_pauli_sum, PauliSumKind,
+};
+use gate_efficient_hs::statevector::GroupedPauliSum;
+use proptest::prelude::*;
+
+/// Probability agreement tolerance: tableau probabilities are exact
+/// dyadics, so this only absorbs dense-engine round-off.
+const PROB_TOL: f64 = 1e-12;
+
+/// Expectation agreement tolerance: tableau term values are exactly 0/±1;
+/// the dense side accumulates per-amplitude round-off over 2^n terms.
+const EXP_TOL: f64 = 1e-10;
+
+/// The GHZ-preparation circuit: H then a CX chain.
+fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance criterion: stabilizer ≡ reference ≡ fused on random
+    /// Clifford circuits — exact basis probabilities and Pauli-sum
+    /// expectations through the shared `Backend` trait.
+    #[test]
+    fn stabilizer_matches_dense_backends_on_clifford_circuits(
+        n in 2usize..=10,
+        gates in 1usize..60,
+        seed in 0u64..5_000,
+    ) {
+        let c = random_clifford_circuit(n, gates, seed);
+        let zero = InitialState::ZeroState;
+        let tableau = StabilizerBackend.probabilities(&zero, &c).unwrap();
+        let fused = FusedStatevector.probabilities(&zero, &c).unwrap();
+        let reference = ReferenceStatevector.probabilities(&zero, &c).unwrap();
+        prop_assert_eq!(tableau.len(), fused.len());
+        for (i, t) in tableau.iter().enumerate() {
+            prop_assert!(
+                (t - fused[i]).abs() < PROB_TOL,
+                "outcome {i}: tableau {} vs fused {} (n={n}, gates={gates}, seed={seed})",
+                t, fused[i]
+            );
+            prop_assert!((t - reference[i]).abs() < PROB_TOL);
+        }
+
+        let sum = random_pauli_sum(n, 6, PauliSumKind::Mixed, seed ^ 0x7ab1ea);
+        let grouped = GroupedPauliSum::new(&sum);
+        let e_tab = StabilizerBackend.expectation(&zero, &c, &grouped).unwrap();
+        let e_fused = FusedStatevector.expectation(&zero, &c, &grouped).unwrap();
+        prop_assert!(
+            (e_tab - e_fused).abs() < EXP_TOL,
+            "expectation: tableau {e_tab} vs fused {e_fused} (n={n}, gates={gates}, seed={seed})"
+        );
+    }
+
+    /// Basis initial states agree across the tableau and dense engines too
+    /// (`starting_at`-style jobs route through `InitialState::Basis`).
+    #[test]
+    fn basis_initials_agree_with_dense_backends(
+        n in 2usize..=8,
+        gates in 1usize..40,
+        seed in 0u64..2_000,
+    ) {
+        let c = random_clifford_circuit(n, gates, seed);
+        let start = InitialState::basis(seed as usize % (1 << n));
+        let tableau = StabilizerBackend.probabilities(&start, &c).unwrap();
+        let fused = FusedStatevector.probabilities(&start, &c).unwrap();
+        for (t, f) in tableau.iter().zip(&fused) {
+            prop_assert!((t - f).abs() < PROB_TOL);
+        }
+    }
+
+    /// Seeded shot streams are a pure function of `(tableau, shots, seed)`:
+    /// bit-identical across runs (and across the `GHS_PARALLEL_THRESHOLD`
+    /// legs of the determinism matrix re-running this very test), prefix
+    /// chunks included; a different seed moves the stream.
+    #[test]
+    fn seeded_shots_are_bit_reproducible(
+        n in 2usize..=10,
+        gates in 1usize..40,
+        seed in 0u64..2_000,
+    ) {
+        let c = random_clifford_circuit(n, gates, seed);
+        let zero = InitialState::ZeroState;
+        let backend = StabilizerBackend;
+        // 48 shots crosses the internal parallel chunking threshold, so the
+        // serial and rayon paths both run under the matrix extremes.
+        let a = backend.sample_bits(&zero, &c, 48, seed).unwrap();
+        let b = backend.sample_bits(&zero, &c, 48, seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        // Dense-index sampling is the same stream packed into words.
+        let idx = backend.sample(&zero, &c, 48, seed).unwrap();
+        for (bits, &i) in a.iter().zip(&idx) {
+            prop_assert_eq!(bits.to_index(), Some(i));
+        }
+        let moved = backend.sample_bits(&zero, &c, 48, seed ^ 0xdead).unwrap();
+        prop_assert!(moved.len() == a.len());
+    }
+}
+
+/// Acceptance criterion: a 1024-qubit GHZ register — far past any dense
+/// engine — samples only the all-zeros/all-ones strings, sees both, and the
+/// seeded stream is bit-identical across runs.
+#[test]
+fn ghz_1024_samples_only_the_two_branches() {
+    let n = 1024;
+    let c = ghz(n);
+    let zero = InitialState::ZeroState;
+    let shots = StabilizerBackend.sample_bits(&zero, &c, 64, 11).unwrap();
+    let mut saw = [false, false];
+    for bits in &shots {
+        let ones = bits.count_ones();
+        assert!(ones == 0 || ones == n, "non-GHZ outcome: {ones} ones");
+        saw[usize::from(ones == n)] = true;
+    }
+    assert!(
+        saw[0] && saw[1],
+        "64 fair-coin shots must see both branches"
+    );
+    let again = StabilizerBackend.sample_bits(&zero, &c, 64, 11).unwrap();
+    assert_eq!(shots, again, "seeded GHZ stream must be bit-identical");
+}
+
+/// Every unsupported request maps to its typed `BackendError` variant.
+#[test]
+fn unsupported_requests_yield_typed_errors() {
+    let backend = StabilizerBackend;
+    let zero = InitialState::ZeroState;
+
+    let mut non_clifford = Circuit::new(2);
+    non_clifford.h(0).rz(1, 0.3);
+    assert!(!non_clifford.is_clifford());
+    match backend.sample_bits(&zero, &non_clifford, 8, 0) {
+        Err(BackendError::UnsupportedCircuit { gate, backend }) => {
+            assert_eq!(backend, "stabilizer-tableau");
+            assert!(gate.contains("RZ"), "gate name should surface: {gate}");
+        }
+        other => panic!("expected UnsupportedCircuit, got {other:?}"),
+    }
+
+    let wide = ghz(STABILIZER_DENSE_MAX_QUBITS + 1);
+    assert!(matches!(
+        backend.probabilities(&zero, &wide),
+        Err(BackendError::RegisterTooLarge { .. })
+    ));
+
+    let dense = InitialState::from(gate_efficient_hs::statevector::StateVector::basis_state(
+        2, 1,
+    ));
+    let clifford = ghz(2);
+    assert!(matches!(
+        backend.sample_bits(&dense, &clifford, 8, 0),
+        Err(BackendError::InitialStateMismatch { .. })
+    ));
+
+    assert!(matches!(
+        backend.run(&zero, &clifford),
+        Err(BackendError::DenseStateUnavailable { .. })
+    ));
+}
+
+/// Stabilizer service jobs: outputs match the backend layer bit-for-bit,
+/// warm re-runs serve the prepared tableau from the plan cache, registers
+/// wider than a machine word return `BitShots`, and non-Clifford or
+/// gradient requests are rejected at admission with typed errors.
+#[test]
+fn service_routes_stabilizer_jobs_through_the_tableau_cache() {
+    let circuit = Arc::new(random_clifford_circuit(12, 40, 77));
+    let observable = Arc::new(random_pauli_sum(12, 5, PauliSumKind::Mixed, 78));
+    let jobs = vec![
+        JobSpec::sample(circuit.clone(), 96)
+            .with_seed(5)
+            .on_backend(BackendSpec::Stabilizer),
+        JobSpec::expectation(circuit.clone(), observable.clone())
+            .on_backend(BackendSpec::Stabilizer),
+        JobSpec::probabilities(circuit.clone())
+            .starting_at(3)
+            .on_backend(BackendSpec::Stabilizer),
+    ];
+    let service = Service::new(ServiceConfig::default());
+    let results = service.run_batch(&jobs).expect("valid stabilizer jobs");
+
+    let zero = InitialState::ZeroState;
+    let direct = StabilizerBackend.sample(&zero, &circuit, 96, 5).unwrap();
+    assert_eq!(results[0].output, JobOutput::Shots(direct));
+    let grouped = GroupedPauliSum::new(&observable);
+    let energy = StabilizerBackend
+        .expectation(&zero, &circuit, &grouped)
+        .unwrap();
+    assert_eq!(results[1].output, JobOutput::Expectation(energy));
+    let probs = StabilizerBackend
+        .probabilities(&InitialState::basis(3), &circuit)
+        .unwrap();
+    assert_eq!(results[2].output, JobOutput::Probabilities(probs));
+
+    // A warm re-run adds tableau hits and zero new misses.
+    let cold = service.cache_stats();
+    assert!(cold.tableau_misses > 0);
+    let rerun = service.run_batch(&jobs).expect("valid stabilizer jobs");
+    assert_eq!(
+        results.iter().map(|r| &r.output).collect::<Vec<_>>(),
+        rerun.iter().map(|r| &r.output).collect::<Vec<_>>()
+    );
+    let warm = service.cache_stats();
+    assert_eq!(warm.tableau_misses, cold.tableau_misses);
+    assert!(warm.tableau_hits > cold.tableau_hits);
+}
+
+/// Registers wider than a machine word cannot be packed into `usize`
+/// sample indices: the service returns the raw `BitShots` strings.
+#[test]
+fn wide_registers_return_bit_shots() {
+    let circuit = Arc::new(ghz(80));
+    let service = Service::new(ServiceConfig::default());
+    let results = service
+        .run_batch(&[JobSpec::sample(circuit, 16)
+            .with_seed(3)
+            .on_backend(BackendSpec::Stabilizer)])
+        .expect("wide Clifford sampling is supported");
+    match &results[0].output {
+        JobOutput::BitShots(shots) => {
+            assert_eq!(shots.len(), 16);
+            for bits in shots {
+                assert_eq!(bits.len(), 80);
+                let ones = bits.count_ones();
+                assert!(ones == 0 || ones == 80);
+            }
+        }
+        other => panic!("expected BitShots, got {other:?}"),
+    }
+}
+
+/// Admission rejects what the tableau engine cannot run — with the typed
+/// `BackendError` inside `SubmitError::Unsupported`, before any queueing.
+#[test]
+fn admission_rejects_unsupported_stabilizer_jobs() {
+    let service = Service::new(ServiceConfig::default());
+
+    let mut non_clifford = Circuit::new(3);
+    non_clifford.h(0).cx(0, 1).rx(2, 0.4);
+    let err = service
+        .run_batch(
+            &[JobSpec::sample(Arc::new(non_clifford), 8).on_backend(BackendSpec::Stabilizer)],
+        )
+        .expect_err("non-Clifford circuits must be rejected at admission");
+    assert!(
+        matches!(
+            err,
+            SubmitError::Unsupported(BackendError::UnsupportedCircuit { .. })
+        ),
+        "got {err:?}"
+    );
+
+    // Probability readout past the dense cap is rejected up front, not at
+    // execution time.
+    let wide = Arc::new(ghz(STABILIZER_DENSE_MAX_QUBITS + 4));
+    let err = service
+        .run_batch(&[JobSpec::probabilities(wide).on_backend(BackendSpec::Stabilizer)])
+        .expect_err("2^n probability output past the cap must be rejected");
+    assert!(
+        matches!(
+            err,
+            SubmitError::Unsupported(BackendError::RegisterTooLarge { .. })
+        ),
+        "got {err:?}"
+    );
+
+    // The registry resolves the documented name to the same backend.
+    let by_name = backend_by_name("stabilizer").expect("documented name");
+    assert_eq!(by_name.name(), "stabilizer-tableau");
+    assert!(by_name.capabilities().clifford_only);
+}

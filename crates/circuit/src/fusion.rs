@@ -31,7 +31,12 @@
 //! The pass is purely structural: it never reorders non-commuting gates. A
 //! gate may only join the *latest* block touching any of its qubits; every
 //! later block is support-disjoint from the gate and therefore commutes with
-//! it.
+//! it. On top of that baseline, [`plan_fusion`] also runs the greedy scan
+//! over the commutation-aware schedule of
+//! [`crate::reorder::commutation_schedule`] — which bubbles structurally
+//! commuting gates (disjoint supports, diagonal–diagonal, shared qubits
+//! used only as Z-controls) together — and keeps whichever order yields
+//! fewer blocks, so reordering can only improve the fusion ratio.
 
 use crate::circuit::Circuit;
 use crate::gate::{ControlBit, Gate};
@@ -61,24 +66,43 @@ pub struct FusionOptions {
     /// Maximum support of a diagonal-only block (its cost is a `2^k` phase
     /// table, not a matrix, so it may exceed the dense window).
     pub max_diagonal_qubits: usize,
+    /// Maximum support of a monomial-only block. A product of monomial gates
+    /// (X/Y/CX/SWAP/McX and everything diagonal) is a phased basis
+    /// permutation, representable as a `2^k` target/phase table rather than a
+    /// matrix, so — like diagonal chains — such blocks may exceed the dense
+    /// window. This is what collapses CX ladders into single table sweeps.
+    pub max_monomial_qubits: usize,
+    /// Split emitted blocks back into per-gate kernels when the block's
+    /// estimated execution cost (see [`FusionPlan::emit`]) exceeds running
+    /// the gates standalone. Widening a block multiplies the per-amplitude
+    /// work of every sweep over it, so a merge that saves one pass can still
+    /// lose; the cost model keeps cheap monomial/diagonal chains fusing
+    /// freely while stopping unprofitable dense growth.
+    pub cost_aware: bool,
 }
 
 impl Default for FusionOptions {
     fn default() -> Self {
         Self {
-            max_dense_qubits: 3,
+            max_dense_qubits: 4,
             max_diagonal_qubits: 10,
+            max_monomial_qubits: 10,
+            cost_aware: true,
         }
     }
 }
 
 impl FusionOptions {
-    fn dense_limit(&self) -> usize {
+    pub(crate) fn dense_limit(&self) -> usize {
         self.max_dense_qubits.clamp(1, MAX_DENSE_QUBITS)
     }
 
-    fn diagonal_limit(&self) -> usize {
+    pub(crate) fn diagonal_limit(&self) -> usize {
         self.max_diagonal_qubits.max(self.dense_limit())
+    }
+
+    pub(crate) fn monomial_limit(&self) -> usize {
+        self.max_monomial_qubits.max(self.dense_limit())
     }
 }
 
@@ -335,7 +359,7 @@ fn gate_action(gate: &Gate) -> GateAction {
 }
 
 /// True when the gate is diagonal in the computational basis.
-fn is_diagonal_gate(gate: &Gate) -> bool {
+pub(crate) fn is_diagonal_gate(gate: &Gate) -> bool {
     match gate {
         Gate::Z(_)
         | Gate::S(_)
@@ -359,6 +383,20 @@ fn is_diagonal_gate(gate: &Gate) -> bool {
         | Gate::McRx { .. }
         | Gate::McRy { .. } => false,
     }
+}
+
+/// True when the gate is monomial in the computational basis: every column
+/// of its matrix has exactly one non-zero (unit-modulus) entry, i.e. it maps
+/// each basis state to a single phased basis state. Products of monomial
+/// gates stay monomial, so monomial-only blocks classify as
+/// [`FusedKernel::Permutation`] (or [`FusedKernel::Diagonal`]) no matter how
+/// wide they grow.
+pub(crate) fn is_monomial_gate(gate: &Gate) -> bool {
+    is_diagonal_gate(gate)
+        || matches!(
+            gate,
+            Gate::X(_) | Gate::Y(_) | Gate::Cx { .. } | Gate::Swap { .. } | Gate::McX { .. }
+        )
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +520,69 @@ fn accumulate_diagonal(gate: &Gate, support: &[usize], table: &mut [Complex64]) 
     }
 }
 
+/// Composes one monomial gate into an accumulated phased-permutation table
+/// (indexed over the sorted `support`): local state `l` currently maps to
+/// `targets[l]` with phase `phases[l]`; the gate then maps basis state
+/// `targets[l]` to a single basis state with a unit phase factor.
+fn accumulate_monomial(
+    gate: &Gate,
+    support: &[usize],
+    targets: &mut [u32],
+    phases: &mut [Complex64],
+) {
+    match gate_action(gate) {
+        GateAction::Global(theta) => {
+            let p = Complex64::cis(theta);
+            for ph in phases.iter_mut() {
+                *ph *= p;
+            }
+        }
+        GateAction::Keyed { key, theta } => {
+            let p = Complex64::cis(theta);
+            for (t, ph) in targets.iter().zip(phases.iter_mut()) {
+                if key
+                    .iter()
+                    .all(|k| local_bit(*t as usize, k.qubit, support) == k.value)
+                {
+                    *ph *= p;
+                }
+            }
+        }
+        GateAction::SwapPair { a, b } => {
+            for t in targets.iter_mut() {
+                let l = *t as usize;
+                let (ba, bb) = (local_bit(l, a, support), local_bit(l, b, support));
+                *t = local_with_bit(local_with_bit(l, a, support, bb), b, support, ba) as u32;
+            }
+        }
+        GateAction::Controlled {
+            controls,
+            target,
+            u,
+        } => {
+            // A monomial 2×2 is diagonal or antidiagonal; unit-modulus
+            // entries make the norm test robust.
+            let antidiag = u[(0, 0)].norm_sqr() < 0.5;
+            for (t, ph) in targets.iter_mut().zip(phases.iter_mut()) {
+                let l = *t as usize;
+                if !controls
+                    .iter()
+                    .all(|k| local_bit(l, k.qubit, support) == k.value)
+                {
+                    continue;
+                }
+                let tb = local_bit(l, target, support) as usize;
+                if antidiag {
+                    *t = local_with_bit(l, target, support, 1 - tb as u8) as u32;
+                    *ph *= u[(1 - tb, tb)];
+                } else {
+                    *ph *= u[(tb, tb)];
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Block classification
 // ---------------------------------------------------------------------------
@@ -600,6 +701,7 @@ struct PlanBlock {
     support: Vec<usize>, // sorted ascending
     gates: Vec<usize>,   // indices into the source circuit's gate list
     diagonal_only: bool,
+    monomial_only: bool,
     passthrough: bool,
 }
 
@@ -617,6 +719,7 @@ pub struct FusionPlan {
     num_qubits: usize,
     num_gates: usize,
     blocks: Vec<PlanBlock>,
+    cost_aware: bool,
 }
 
 impl FusionPlan {
@@ -666,7 +769,7 @@ impl FusionPlan {
         let ops = self
             .blocks
             .iter()
-            .filter_map(|b| emit_block(b, gates))
+            .flat_map(|b| self.refined_ops(b, gates))
             .collect();
         FusedCircuit {
             num_qubits: self.num_qubits,
@@ -675,7 +778,91 @@ impl FusionPlan {
             ops,
         }
     }
+
+    /// Emits one block, then (when the plan is cost-aware) compares the
+    /// emitted kernel's estimated execution cost against running the block's
+    /// gates standalone and keeps whichever is cheaper. A wide dense block
+    /// multiplies the per-amplitude work of every sweep over it, so a merge
+    /// that looked structurally fine can still lose to a handful of cheap
+    /// per-gate kernels; the comparison happens here because the true kernel
+    /// class (diagonal / permutation / sparse / dense) is only known after
+    /// numeric classification. Both sides of the split are deterministic
+    /// functions of the block and the bound gates, so plan reuse across
+    /// angle rebindings stays consistent with a fresh fusion.
+    fn refined_ops(&self, b: &PlanBlock, gates: &[Gate]) -> Vec<FusedOp> {
+        let Some(op) = emit_block(b, gates) else {
+            return Vec::new();
+        };
+        if !self.cost_aware || b.gates.len() <= 1 {
+            return vec![op];
+        }
+        let singles: Vec<FusedOp> = b
+            .gates
+            .iter()
+            .filter_map(|&gi| {
+                let g = &gates[gi];
+                emit_block(
+                    &PlanBlock {
+                        support: sorted_support(g),
+                        gates: vec![gi],
+                        diagonal_only: is_diagonal_gate(g),
+                        monomial_only: is_monomial_gate(g),
+                        passthrough: false,
+                    },
+                    gates,
+                )
+            })
+            .collect();
+        let split_cost: f64 = singles.iter().map(kernel_cost).sum::<f64>()
+            + SWEEP_OVERHEAD * singles.len().saturating_sub(1) as f64;
+        if kernel_cost(&op) > split_cost {
+            singles
+        } else {
+            vec![op]
+        }
+    }
 }
+
+/// Estimated per-amplitude execution cost of one emitted kernel, in units of
+/// a single diagonal sweep, calibrated against the state-vector kernel
+/// profile. Diagonal and permutation kernels stream phases/moves (~1); a
+/// dense `2^k × 2^k` multiply costs one complex multiply per matrix row per
+/// amplitude, with a ~1.4× gather/scatter overhead on the wide laned paths;
+/// sparse components pay the same per component over the block's span, and
+/// controls scale the touched fraction of the space.
+fn kernel_cost(op: &FusedOp) -> f64 {
+    match &op.kernel {
+        FusedKernel::Diagonal(_) => 1.0,
+        FusedKernel::Permutation { .. } => 1.0,
+        FusedKernel::Dense { controls, matrix } => {
+            if matrix.rows() == 2 {
+                // Lowered to the specialized pair-sweep kernel, which runs
+                // close to one diagonal sweep (measured ~1.1 uncontrolled;
+                // controls mask off half the pairs per control bit).
+                return 1.1 / (1usize << controls.len()) as f64;
+            }
+            let kdim = matrix.rows() as f64;
+            1.4 * kdim / (1usize << controls.len()) as f64
+        }
+        FusedKernel::Sparse { components } => {
+            let span = (1usize << op.qubits.len()) as f64;
+            components
+                .iter()
+                .map(|c| {
+                    let m = c.indices.len() as f64;
+                    m * m * if c.indices.len() > 2 { 1.4 } else { 1.0 }
+                })
+                .sum::<f64>()
+                / span
+        }
+        FusedKernel::Gate(_) => 2.0,
+    }
+}
+
+/// Fixed per-op cost of one extra sweep over the state (amplitude streaming
+/// plus dispatch), in [`kernel_cost`] units. Biases refinement toward
+/// keeping blocks fused when splitting is a wash.
+const SWEEP_OVERHEAD: f64 = 0.4;
 
 fn sorted_support(gate: &Gate) -> Vec<usize> {
     let mut q = gate.qubits();
@@ -701,25 +888,62 @@ fn merge_support(a: &mut Vec<usize>, b: &[usize]) {
     }
 }
 
-/// Computes the structural fusion plan of a circuit (the greedy merge scan),
-/// without emitting any kernel. See [`FusionPlan`].
+/// Computes the structural fusion plan of a circuit: the greedy merge scan
+/// over both the source order and the commutation-aware schedule of
+/// [`crate::reorder::commutation_schedule`], keeping whichever yields fewer
+/// blocks (ties go to the source order), so the reordering pass can only
+/// improve the fusion ratio. See [`FusionPlan`].
 pub fn plan_fusion(circuit: &Circuit, opts: &FusionOptions) -> FusionPlan {
+    let in_order = plan_fusion_in_order(circuit, opts);
+    let order = crate::reorder::commutation_schedule(circuit, opts);
+    if order.iter().copied().eq(0..circuit.len()) {
+        return in_order;
+    }
+    let scheduled = plan_scan(circuit, opts, &order);
+    if scheduled.blocks.len() < in_order.blocks.len() {
+        scheduled
+    } else {
+        in_order
+    }
+}
+
+/// The greedy merge scan in pure source order, without the commutation-aware
+/// reordering pass. This is the baseline [`plan_fusion`] never does worse
+/// than; it is public so benchmarks and the reordering property suite can
+/// compare the two.
+pub fn plan_fusion_in_order(circuit: &Circuit, opts: &FusionOptions) -> FusionPlan {
+    let order: Vec<usize> = (0..circuit.len()).collect();
+    plan_scan(circuit, opts, &order)
+}
+
+/// The greedy merge scan over an explicit gate execution order (a
+/// permutation of gate indices that must be a valid linear extension of the
+/// circuit's commutation DAG). Block gate lists hold *source* indices in
+/// scheduled order, so [`FusionPlan::emit`] and angle rebinding work
+/// unchanged.
+fn plan_scan(circuit: &Circuit, opts: &FusionOptions, order: &[usize]) -> FusionPlan {
     let dense_limit = opts.dense_limit();
     let diag_limit = opts.diagonal_limit();
+    let mono_limit = opts.monomial_limit();
+    let gates = circuit.gates();
 
     let mut blocks: Vec<PlanBlock> = Vec::new();
     // Latest block index touching each qubit.
     let mut last_block: HashMap<usize, usize> = HashMap::new();
 
-    for (gi, gate) in circuit.gates().iter().enumerate() {
+    for &gi in order {
+        let gate = &gates[gi];
         if matches!(gate, Gate::GlobalPhase(_)) {
             // Accumulated at emission time straight from the gate list.
             continue;
         }
         let gq = sorted_support(gate);
         let diag = is_diagonal_gate(gate);
+        let mono = is_monomial_gate(gate);
         let fusible_alone = if diag {
             gq.len() <= diag_limit
+        } else if mono {
+            gq.len() <= mono_limit
         } else {
             gq.len() <= dense_limit
         };
@@ -743,19 +967,22 @@ pub fn plan_fusion(circuit: &Circuit, opts: &FusionOptions) -> FusionPlan {
             let union = union_size(&block.support, &gq);
             let fits = if block.diagonal_only && diag {
                 union <= diag_limit
+            } else if block.monomial_only && mono {
+                union <= mono_limit
             } else {
                 union <= dense_limit
             };
-            if fits {
-                block.gates.push(gi);
-                block.diagonal_only = block.diagonal_only && diag;
-                merge_support(&mut block.support, &gq);
-                for q in &gq {
-                    last_block.insert(*q, ti);
-                }
-                return true;
+            if !fits {
+                return false;
             }
-            false
+            block.gates.push(gi);
+            block.diagonal_only = block.diagonal_only && diag;
+            block.monomial_only = block.monomial_only && mono;
+            merge_support(&mut block.support, &gq);
+            for q in &gq {
+                last_block.insert(*q, ti);
+            }
+            true
         };
 
         let mut merged = false;
@@ -784,6 +1011,7 @@ pub fn plan_fusion(circuit: &Circuit, opts: &FusionOptions) -> FusionPlan {
                 support: gq,
                 gates: vec![gi],
                 diagonal_only: diag,
+                monomial_only: mono,
                 passthrough: !fusible_alone,
             });
         }
@@ -793,6 +1021,7 @@ pub fn plan_fusion(circuit: &Circuit, opts: &FusionOptions) -> FusionPlan {
         num_qubits: circuit.num_qubits(),
         num_gates: circuit.len(),
         blocks,
+        cost_aware: opts.cost_aware,
     }
 }
 
@@ -825,6 +1054,32 @@ fn emit_block(block: &PlanBlock, all_gates: &[Gate]) -> Option<FusedOp> {
         return Some(FusedOp {
             qubits: support,
             kernel: FusedKernel::Diagonal(table),
+        });
+    }
+    // Wide monomial blocks (reachable only through the monomial window) are
+    // accumulated as a phased-permutation table — one `2^k` walk per gate —
+    // instead of densifying: a 10-qubit block would otherwise build a
+    // 1024×1024 matrix. Blocks inside the dense ceiling keep the matrix
+    // path, so their numeric classification is unchanged.
+    if block.monomial_only && support.len() > MAX_DENSE_QUBITS {
+        let dim = 1usize << support.len();
+        let mut targets: Vec<u32> = (0..dim as u32).collect();
+        let mut phases = vec![Complex64::ONE; dim];
+        for g in gates {
+            accumulate_monomial(g, &support, &mut targets, &mut phases);
+        }
+        if targets.iter().enumerate().all(|(l, t)| *t as usize == l) {
+            if is_identity_diag(&phases) {
+                return None;
+            }
+            return Some(FusedOp {
+                qubits: support,
+                kernel: FusedKernel::Diagonal(phases),
+            });
+        }
+        return Some(FusedOp {
+            qubits: support,
+            kernel: FusedKernel::Permutation { targets, phases },
         });
     }
     // Shortcut: a lone controlled single-qubit gate needs no dense block at
@@ -984,11 +1239,38 @@ mod tests {
 
     #[test]
     fn wide_multicontrol_is_passthrough() {
+        // A wide *general* controlled rotation exceeds the dense window and
+        // is not monomial, so it stays a passthrough gate.
+        let mut c = Circuit::new(8);
+        c.push(Gate::McRx {
+            controls: (0..7).map(ControlBit::one).collect(),
+            target: 7,
+            theta: 0.4,
+        });
+        let f = c.fused();
+        assert_eq!(f.ops().len(), 1);
+        assert!(matches!(f.ops()[0].kernel, FusedKernel::Gate(_)));
+    }
+
+    #[test]
+    fn wide_mcx_fuses_to_permutation_table() {
+        // McX is monomial, so even an 8-qubit instance fits the monomial
+        // window and classifies as a (nearly-identity) permutation table.
         let mut c = Circuit::new(8);
         c.mcx((0..7).map(ControlBit::one).collect(), 7);
         let f = c.fused();
         assert_eq!(f.ops().len(), 1);
-        assert!(matches!(f.ops()[0].kernel, FusedKernel::Gate(_)));
+        match &f.ops()[0].kernel {
+            FusedKernel::Permutation { targets, phases } => {
+                assert_eq!(targets.len(), 256);
+                // Exactly the two all-ones-controls states swap.
+                assert_eq!(targets[254], 255);
+                assert_eq!(targets[255], 254);
+                assert!((0..254).all(|l| targets[l] as usize == l));
+                assert!(phases.iter().all(|p| *p == Complex64::ONE));
+            }
+            k => panic!("expected permutation, got {k:?}"),
+        }
     }
 
     #[test]
@@ -1009,6 +1291,7 @@ mod tests {
         let f = c.fused_with(&FusionOptions {
             max_dense_qubits: 3,
             max_diagonal_qubits: 10,
+            ..FusionOptions::default()
         });
         // Either merged into the *latest* block or kept separate — never
         // reordered before CX(2,3).
@@ -1070,5 +1353,34 @@ mod tests {
         let hist = f.kind_histogram();
         let total: usize = hist.values().sum();
         assert_eq!(total, f.ops().len());
+    }
+
+    #[test]
+    fn reordering_can_beat_the_in_order_scan_but_never_loses() {
+        // Two RZ(0) gates split around wide passthrough McRx gates that only
+        // *control* on qubit 0: the in-order scan leaves each RZ in its own
+        // block (its merge target is the unmergeable passthrough), while the
+        // commutation schedule coalesces them into one diagonal block.
+        let controls: Vec<ControlBit> = (0..9).map(ControlBit::one).collect();
+        let mcrx = Gate::McRx {
+            controls,
+            target: 9,
+            theta: 0.7,
+        };
+        let mut c = Circuit::new(10);
+        c.push(mcrx.clone());
+        c.rz(0, 0.3);
+        c.push(mcrx);
+        c.rz(0, 0.5);
+        let opts = FusionOptions::default();
+        let in_order = plan_fusion_in_order(&c, &opts);
+        let best = plan_fusion(&c, &opts);
+        assert_eq!(in_order.num_blocks(), 4);
+        assert_eq!(best.num_blocks(), 3);
+        // The reordered plan still emits the same unitary (checked exactly
+        // on a basis column against the in-order emission in the
+        // statevector property suites; structurally here: same gate set).
+        let fused = best.emit(&c);
+        assert_eq!(fused.source_gates(), c.len());
     }
 }

@@ -22,17 +22,19 @@ pub mod ladder;
 pub mod param;
 pub mod qft;
 pub mod relabel;
+pub mod reorder;
 pub mod structural;
 
 pub use circuit::{Circuit, ResourceCounts};
 pub use decompose::{decompose_to_cx_basis, decomposed_two_qubit_count, NativeBasis};
 pub use fusion::{
-    fuse, plan_fusion, FusedCircuit, FusedKernel, FusedOp, FusionOptions, FusionPlan,
-    SparseComponent, MAX_DENSE_QUBITS,
+    fuse, plan_fusion, plan_fusion_in_order, FusedCircuit, FusedKernel, FusedOp, FusionOptions,
+    FusionPlan, SparseComponent, MAX_DENSE_QUBITS,
 };
 pub use gate::{matrices, ControlBit, Gate, GateKind};
 pub use ladder::{parity_ladder, transition_ladder, LadderStyle, ParityLadder, TransitionLadder};
 pub use param::{Binding, ParamExpr, ParameterizedCircuit};
 pub use qft::{inverse_qft, qft};
 pub use relabel::{exchange_count, QubitRelabeling};
+pub use reorder::{commutation_schedule, gates_commute};
 pub use structural::StructuralKey;

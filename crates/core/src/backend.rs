@@ -146,6 +146,14 @@ pub enum BackendError {
         /// The rejecting backend's [`Backend::name`].
         backend: &'static str,
     },
+    /// The engine panicked while executing the request. Callers that own
+    /// worker threads (the `ghs_service` pool) catch the unwind at the job
+    /// boundary and report it as this typed failure, so one bad job cannot
+    /// take down its worker or poison shared state for unrelated jobs.
+    ExecutionPanicked {
+        /// The panic message, when the payload carried one.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -170,6 +178,9 @@ impl fmt::Display for BackendError {
             }
             BackendError::DenseStateUnavailable { backend } => {
                 write!(f, "backend {backend} has no dense statevector output")
+            }
+            BackendError::ExecutionPanicked { detail } => {
+                write!(f, "backend execution panicked: {detail}")
             }
         }
     }

@@ -16,6 +16,7 @@ pub mod complex;
 pub mod dense;
 pub mod eigen;
 pub mod expm;
+pub mod simd;
 pub mod sparse;
 
 pub use complex::{c64, Complex64};
@@ -25,6 +26,7 @@ pub use expm::{
     expm, expm_minus_i_theta, expm_multiply, expm_multiply_minus_i_theta, expm_plus_i_theta,
     vec_distance, vec_inner, vec_norm,
 };
+pub use simd::{C64x4, F64x4};
 pub use sparse::{CooMatrix, SparseMatrix};
 
 /// Default numerical tolerance used by the verification tests of the

@@ -32,12 +32,25 @@
 //! in exactly that mode.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use ghs_circuit::{Circuit, FusedCircuit, FusionPlan, QubitRelabeling, StructuralKey};
 use ghs_operators::PauliSum;
 use ghs_stabilizer::StabilizerState;
 use ghs_statevector::{CachedDistribution, GroupedPauliSum};
+
+/// Locks a cache map, recovering from mutex poisoning.
+///
+/// A worker thread that panics mid-job (the service converts the panic into
+/// a failed job, it does not crash) may have been holding one of these locks
+/// at unwind time, which poisons the mutex. Every critical section in this
+/// module is pure LRU bookkeeping — short, allocation-light, and with no
+/// multi-step invariant that a mid-section unwind could tear — so the map
+/// contents are still sound and the right response is to keep serving them,
+/// not to propagate the panic to every later job on an unrelated worker.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Layout tag of tableau-cache keys: stabilizer entries live in their own
 /// map, but tagging keeps a [`DistKey`] unambiguous about the engine its
@@ -236,13 +249,13 @@ impl PlanCache {
     /// miss. Two workers racing on the same miss both plan and one insert
     /// wins — harmless, since plans for equal keys are interchangeable.
     pub(crate) fn plan(&self, circuit: &Circuit, key: StructuralKey) -> Arc<FusionPlan> {
-        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+        if let Some(plan) = lock_recover(&self.plans).get(&key) {
             self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
             return plan;
         }
         self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(circuit.fusion_plan());
-        if self.plans.lock().unwrap().insert(key, plan.clone()) {
+        if lock_recover(&self.plans).insert(key, plan.clone()) {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
         plan
@@ -252,7 +265,7 @@ impl PlanCache {
     /// prepared on miss.
     pub(crate) fn observable(&self, sum: &PauliSum) -> Arc<GroupedPauliSum> {
         let fp = observable_fingerprint(sum);
-        if let Some(obs) = self.observables.lock().unwrap().get(&fp) {
+        if let Some(obs) = lock_recover(&self.observables).get(&fp) {
             self.counters
                 .observable_hits
                 .fetch_add(1, Ordering::Relaxed);
@@ -262,7 +275,7 @@ impl PlanCache {
             .observable_misses
             .fetch_add(1, Ordering::Relaxed);
         let obs = Arc::new(GroupedPauliSum::new(sum));
-        if self.observables.lock().unwrap().insert(fp, obs.clone()) {
+        if lock_recover(&self.observables).insert(fp, obs.clone()) {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
         obs
@@ -279,7 +292,7 @@ impl PlanCache {
         fused: &FusedCircuit,
         key: StructuralKey,
     ) -> Arc<QubitRelabeling> {
-        if let Some(r) = self.relabelings.lock().unwrap().get(&key) {
+        if let Some(r) = lock_recover(&self.relabelings).get(&key) {
             self.counters
                 .relabeling_hits
                 .fetch_add(1, Ordering::Relaxed);
@@ -289,7 +302,7 @@ impl PlanCache {
             .relabeling_misses
             .fetch_add(1, Ordering::Relaxed);
         let r = Arc::new(QubitRelabeling::for_sharding(fused));
-        if self.relabelings.lock().unwrap().insert(key, r.clone()) {
+        if lock_recover(&self.relabelings).insert(key, r.clone()) {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
         r
@@ -299,7 +312,7 @@ impl PlanCache {
     /// execution. Counts a hit or a miss; the caller stores the distribution
     /// it builds on a miss via [`PlanCache::store_distribution`].
     pub(crate) fn distribution(&self, key: &DistKey) -> Option<Arc<CachedDistribution>> {
-        let found = self.distributions.lock().unwrap().get(key);
+        let found = lock_recover(&self.distributions).get(key);
         let counter = match found {
             Some(_) => &self.counters.distribution_hits,
             None => &self.counters.distribution_misses,
@@ -310,7 +323,7 @@ impl PlanCache {
 
     /// Stores a freshly built distribution under `key`.
     pub(crate) fn store_distribution(&self, key: DistKey, dist: Arc<CachedDistribution>) {
-        if self.distributions.lock().unwrap().insert(key, dist) {
+        if lock_recover(&self.distributions).insert(key, dist) {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -319,7 +332,7 @@ impl PlanCache {
     /// execution. Counts a hit or a miss; the caller stores the tableau it
     /// prepares on a miss via [`PlanCache::store_tableau`].
     pub(crate) fn tableau(&self, key: &DistKey) -> Option<Arc<StabilizerState>> {
-        let found = self.tableaus.lock().unwrap().get(key);
+        let found = lock_recover(&self.tableaus).get(key);
         let counter = match found {
             Some(_) => &self.counters.tableau_hits,
             None => &self.counters.tableau_misses,
@@ -330,7 +343,7 @@ impl PlanCache {
 
     /// Stores a freshly prepared tableau under `key`.
     pub(crate) fn store_tableau(&self, key: DistKey, tableau: Arc<StabilizerState>) {
-        if self.tableaus.lock().unwrap().insert(key, tableau) {
+        if lock_recover(&self.tableaus).insert(key, tableau) {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -394,6 +407,28 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.plan_misses, 4);
         assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn poisoned_maps_recover_and_keep_serving() {
+        let cache = Arc::new(PlanCache::new(8));
+        let c = topology(1);
+        let key = c.structural_key();
+        cache.plan(&c, key);
+        // Poison the plans mutex: a thread panics while holding the lock,
+        // as a worker unwinding mid-lookup would.
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.plans.lock().unwrap();
+            panic!("poisoning the plan map");
+        })
+        .join();
+        assert!(cache.plans.lock().is_err(), "mutex should be poisoned");
+        // Lookups recover the map instead of propagating the panic: the
+        // resident entry still hits.
+        cache.plan(&c, key);
+        let stats = cache.stats();
+        assert_eq!((stats.plan_misses, stats.plan_hits), (1, 1));
     }
 
     #[test]

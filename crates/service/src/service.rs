@@ -28,8 +28,8 @@ use std::thread::JoinHandle;
 
 use ghs_circuit::{Circuit, StructuralKey};
 use ghs_core::{
-    Backend, BackendSpec, FusedStatevector, InitialState, PauliNoise, ReferenceStatevector,
-    StabilizerBackend,
+    Backend, BackendError, BackendSpec, FusedStatevector, InitialState, PauliNoise,
+    ReferenceStatevector, StabilizerBackend,
 };
 use ghs_statevector::{CachedDistribution, GroupedPauliSum, ShardedStateVector, StateVector};
 
@@ -311,7 +311,25 @@ fn worker_loop(shared: &Shared) {
         // Queue space freed by the pop: wake one blocked submitter.
         shared.space_cv.notify_one();
 
-        let output = run_job(&shared.cache, &mut scratch, &spec);
+        // A panicking job must not take the worker down (the pool would
+        // silently shrink) or leave waiters blocked forever: catch the
+        // unwind and report it as a typed failure. The only state the
+        // closure can tear is the worker-local scratch, which is dropped
+        // and rebuilt below — shared caches only ever mutate under their
+        // own short locks, which recover from poisoning (see
+        // `cache::lock_recover`).
+        let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(&shared.cache, &mut scratch, &spec)
+        }))
+        .unwrap_or_else(|payload| {
+            scratch = WorkerScratch::default();
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            JobOutput::Failed(BackendError::ExecutionPanicked { detail })
+        });
 
         {
             let mut q = shared.queue.lock().unwrap();
@@ -787,6 +805,43 @@ mod tests {
             panic!("wrong output kind");
         };
         assert!((p[1] - 0.5).abs() < 1e-12 && (p[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panicking_job_fails_typed_and_does_not_wedge_the_worker() {
+        // One worker: if the panic killed or wedged it, the follow-up job
+        // could never complete and `wait` would block forever.
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // Admission has no vocabulary for noise strengths, and the
+        // trajectory sampler rejects a probability above 1.0 with a panic
+        // at execution time — exactly the class of failure the worker must
+        // absorb instead of unwinding.
+        let bad = JobSpec::expectation(bell(), zz()).on_backend(BackendSpec::Noisy {
+            depolarizing: 2.0,
+            dephasing: 0.0,
+            trajectories: 2,
+            seed: 7,
+        });
+        let id = service.submit(bad).unwrap();
+        let result = service.wait(id);
+        assert!(
+            matches!(
+                result.output,
+                JobOutput::Failed(BackendError::ExecutionPanicked { .. })
+            ),
+            "expected a typed panic failure, got {:?}",
+            result.output
+        );
+        // The same (sole) worker keeps serving jobs afterwards, through the
+        // same shared caches.
+        let good = service.submit(JobSpec::expectation(bell(), zz())).unwrap();
+        let JobOutput::Expectation(e) = service.wait(good).output else {
+            panic!("wrong output kind");
+        };
+        assert!((e - 1.0).abs() < 1e-12);
     }
 
     #[test]

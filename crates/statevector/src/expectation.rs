@@ -27,6 +27,14 @@
 //! serial/parallel crossover — the same determinism contract as the fused
 //! gate kernels and the batched shot engine.
 //!
+//! The diagonal sweep is 4-wide ([`F64x4`] lanes): probabilities for an
+//! aligned index quad are computed once, the per-term parity sign needs a
+//! single popcount per quad (the two low index bits contribute a
+//! precomputed per-lane pattern), and contributions accumulate into
+//! per-term lane registers reduced left-to-right at each chunk boundary —
+//! a fixed summation order, so the determinism contract above is
+//! unaffected.
+//!
 //! The sparse path ([`StateVector::expectation_sparse`]) stays available as
 //! the slow, obviously-correct oracle the property tests compare against.
 //!
@@ -46,7 +54,7 @@
 //! ```
 
 use crate::state::{parallel_threshold, StateVector};
-use ghs_math::Complex64;
+use ghs_math::{Complex64, F64x4};
 use ghs_operators::{PauliOp, PauliString, PauliSum};
 use rayon::prelude::*;
 use std::sync::OnceLock;
@@ -249,13 +257,57 @@ impl GroupedPauliSum {
 
         if !self.diagonal.is_empty() {
             let terms = &self.diagonal;
+            // Per-term lane precomputation for the 4-wide sweep below: over
+            // an aligned index quad `j..j+4` only the two low index bits
+            // vary, so each lane's parity sign is the quad's shared parity
+            // (one popcount with the low bits masked off) XOR a constant
+            // per-lane pattern derived from the low two `z_mask` bits.
+            let lane_flips: Vec<(usize, [u64; 4])> = terms
+                .iter()
+                .map(|t| {
+                    let b0 = ((t.z_mask as u64) & 1) << 63;
+                    let b1 = (((t.z_mask as u64) >> 1) & 1) << 63;
+                    (t.z_mask & !3, [0, b0, b1, b0 ^ b1])
+                })
+                .collect();
             let sums = chunked_partials(amps.len(), terms.len(), parallel, |chunk, out| {
                 let base = chunk * EXP_CHUNK;
                 let end = (base + EXP_CHUNK).min(amps.len());
-                for j in base..end {
+                // 4-wide Z-parity sweep: probability lanes once per quad,
+                // one parity popcount per (quad, term), vector adds into
+                // per-term lane accumulators. The lane partials are reduced
+                // left-to-right ([`F64x4::reduce_add`]) before the scalar
+                // tail, so the summation order is fixed and results stay
+                // bit-identical across thread counts.
+                let quads_end = base + ((end - base) & !3);
+                let mut lanes = vec![F64x4::zero(); terms.len()];
+                let mut j = base;
+                while j < quads_end {
+                    let p = F64x4([
+                        amps[j].norm_sqr(),
+                        amps[j + 1].norm_sqr(),
+                        amps[j + 2].norm_sqr(),
+                        amps[j + 3].norm_sqr(),
+                    ]);
+                    for ((zm_hi, pat), l) in lane_flips.iter().zip(lanes.iter_mut()) {
+                        let b = (((j & zm_hi).count_ones() & 1) as u64) << 63;
+                        // Branch-free parity signs: flip the IEEE sign bits.
+                        *l += F64x4([
+                            f64::from_bits(p.0[0].to_bits() ^ (b ^ pat[0])),
+                            f64::from_bits(p.0[1].to_bits() ^ (b ^ pat[1])),
+                            f64::from_bits(p.0[2].to_bits() ^ (b ^ pat[2])),
+                            f64::from_bits(p.0[3].to_bits() ^ (b ^ pat[3])),
+                        ]);
+                    }
+                    j += 4;
+                }
+                for (l, o) in lanes.into_iter().zip(out.iter_mut()) {
+                    *o = l.reduce_add();
+                }
+                // Scalar tail for registers smaller than one quad.
+                for j in quads_end..end {
                     let p = amps[j].norm_sqr();
                     for (term, o) in terms.iter().zip(out.iter_mut()) {
-                        // Branch-free parity sign: flip the IEEE sign bit.
                         let flip = (((j & term.z_mask).count_ones() & 1) as u64) << 63;
                         *o += f64::from_bits(p.to_bits() ^ flip);
                     }

@@ -1,46 +1,33 @@
 //! Application kernels for fused circuits.
 //!
 //! [`StateVector::apply_circuit`] pays one full sweep over all `2^n`
-//! amplitudes per gate. The kernels here execute a [`FusedCircuit`] instead:
-//! each fused op touches the state once, in cache-friendly rayon-parallel
-//! chunks, with specialized sweeps for the diagonal / permutation /
-//! controlled forms that skip the dense `2^k × 2^k` multiply entirely:
+//! amplitudes per gate. The engine here executes a [`FusedCircuit`] instead:
+//! every fused op is lowered once to the shared `Prepared` base-offset form
+//! (`crate::kernels`, also the sharded engine's executor), and then:
 //!
-//! * diagonal ops stream one phase table; entries equal to 1 (the common
-//!   case for keyed-phase separators) are skipped outright, so untouched
-//!   amplitudes are never even loaded;
-//! * permutation ops are pre-decomposed into cycles — fixed points with unit
-//!   phase cost nothing, transpositions cost one load/store pair;
-//! * dense ops gather each `2^k` group into a stack buffer, with all control
-//!   qubits folded into a single mask compare per group.
-//!
-//! Group addresses are enumerated with the subset-iteration identity
-//! `s' = (s − mask) & mask`, which walks every index whose bits lie inside
-//! `mask` in increasing order at one subtraction per step — no per-group bit
-//! deposit loops.
-//!
-//! Known limitation: a permutation/sparse/dense op whose support includes
-//! qubit 0 (the most significant bit) spans a single contiguous chunk and
-//! therefore runs on one thread; diagonal ops avoid this via a per-amplitude
-//! parallel fallback. Fixing the general case needs non-contiguous slice
-//! splitting, which the rayon shim does not offer.
+//! * **runs of small-span ops are cache-blocked** — consecutive ops whose
+//!   span fits one `TILE_AMPS`-amplitude tile are replayed over a single
+//!   tile at a time, so a run of `r` ops costs one pass over the state
+//!   instead of `r`, with every intermediate amplitude staying cache-hot;
+//! * ops spanning more than a tile sweep the whole array through
+//!   `Prepared::apply_sweep`, which parallelizes over group *index space*
+//!   (ranges of group ranks) rather than slicing the amplitude array — so an
+//!   op whose support includes qubit 0 (the most significant bit, whose
+//!   groups interleave across the entire state) fans out across worker
+//!   threads like any other op;
+//! * the hot inner loops process four groups per iteration in split
+//!   real/imaginary SIMD lanes ([`ghs_math::C64x4`]), with scalar remainder
+//!   paths that are bit-identical by construction (see `crate::kernels`).
 //!
 //! [`StateVector::run_fused`] is the default execution path of the
 //! workspace; [`StateVector::run_unfused`] keeps the per-gate path alive as
 //! the correctness oracle (see `tests/property_based.rs`).
 
-use crate::state::{control_mask, parallel_threshold, StateVector};
-use ghs_circuit::{Circuit, ControlBit, FusedCircuit, FusedKernel, FusedOp};
-use ghs_math::{CMatrix, Complex64};
+use crate::kernels::{sweep_parallel, Prepared};
+use crate::state::StateVector;
+use ghs_circuit::{Circuit, FusedCircuit, FusedOp};
+use ghs_math::Complex64;
 use rayon::prelude::*;
-
-/// Upper bound on the dense block dimension (`2^MAX_DENSE_QUBITS`), sizing
-/// the stack gather buffers.
-const MAX_BLOCK_DIM: usize = 1 << ghs_circuit::MAX_DENSE_QUBITS;
-
-/// Minimum amplitudes per parallel chunk: keeps the per-chunk closure and
-/// buffer setup amortised even when an op only touches low-order qubits.
-const MIN_CHUNK: usize = 1 << 12;
 
 /// State dimension below which [`StateVector::run_fused`] falls back to the
 /// per-gate path: fusing costs more than it saves on tiny registers. Shared
@@ -49,80 +36,30 @@ const MIN_CHUNK: usize = 1 << 12;
 /// bit-identical to `run_fused` at every register size.
 pub const FUSED_MIN_DIM: usize = 1 << 10;
 
-/// Calls `f(s)` for every `s` whose set bits lie inside `mask` (including
-/// `0`), in increasing order.
-#[inline]
-fn for_each_subset<F: FnMut(usize)>(mask: usize, mut f: F) {
-    let mut s = 0usize;
-    loop {
-        f(s);
-        s = s.wrapping_sub(mask) & mask;
-        if s == 0 {
-            break;
-        }
-    }
-}
+/// Amplitudes per cache tile for replaying runs of small-span fused ops:
+/// 2¹³ amplitudes = 128 KiB, sized so one tile plus the gather buffers stays
+/// resident in L2 while a whole run of ops streams over it.
+pub(crate) const TILE_AMPS: usize = 1 << 13;
 
-/// Precomputed index geometry of a fused op's support within the register.
-struct Support {
-    /// Scatter offsets: local index `l` lives at `group_base + scatter[l]`.
-    scatter: Vec<usize>,
-    /// OR of the support bit masks.
-    smask: usize,
-    /// Parallel chunk width: covers whole groups and is never smaller than
-    /// [`MIN_CHUNK`] (clamped to the state dimension).
-    chunk: usize,
-}
-
-impl Support {
-    fn new(num_qubits: usize, qubits: &[usize]) -> Self {
-        let k = qubits.len();
-        // Emission sorts qubits ascending, but relabeled circuits may carry
-        // them in any order — the span must come from the max bit position.
-        let pos: Vec<usize> = qubits.iter().map(|q| num_qubits - 1 - q).collect();
-        let kdim = 1usize << k;
-        let scatter: Vec<usize> = (0..kdim)
-            .map(|l| {
-                let mut off = 0usize;
-                for (j, p) in pos.iter().enumerate() {
-                    if (l >> (k - 1 - j)) & 1 == 1 {
-                        off |= 1 << p;
-                    }
-                }
-                off
-            })
-            .collect();
-        let smask: usize = pos.iter().map(|p| 1usize << p).sum();
-        let span = 1usize << (pos.iter().copied().max().unwrap_or(0) + 1);
-        let dim = 1usize << num_qubits;
-        let chunk = span.max(MIN_CHUNK).min(dim);
-        Self {
-            scatter,
-            smask,
-            chunk,
-        }
-    }
-
-    /// Mask of the group-offset bits within one chunk.
-    #[inline]
-    fn group_mask(&self) -> usize {
-        (self.chunk - 1) & !self.smask
-    }
-}
-
-/// Runs `kernel(chunk_base, chunk)` over the amplitudes in blocks of
-/// `chunk` entries, in parallel above the threshold.
-fn for_each_chunk<F>(amps: &mut [Complex64], chunk: usize, kernel: F)
-where
-    F: Fn(usize, &mut [Complex64]) + Sync,
-{
-    if amps.len() >= parallel_threshold() && amps.len() > chunk {
-        amps.par_chunks_mut(chunk)
+/// Replays `run` over the amplitudes one tile at a time. Each tile sees
+/// every op of the run before the next tile is touched; `base` resolves
+/// control masks on bits above the tile.
+fn apply_run_tiled(amps: &mut [Complex64], tile: usize, parallel: bool, run: &[Prepared]) {
+    if parallel && amps.len() > tile {
+        amps.par_chunks_mut(tile)
             .enumerate()
-            .for_each(|(ci, c)| kernel(ci * chunk, c));
+            .for_each(|(ti, chunk)| {
+                let base = ti * tile;
+                for op in run {
+                    op.apply_local(base, chunk);
+                }
+            });
     } else {
-        for (ci, c) in amps.chunks_mut(chunk).enumerate() {
-            kernel(ci * chunk, c);
+        for (ti, chunk) in amps.chunks_mut(tile).enumerate() {
+            let base = ti * tile;
+            for op in run {
+                op.apply_local(base, chunk);
+            }
         }
     }
 }
@@ -138,12 +75,33 @@ impl StateVector {
             self.num_qubits(),
             "register size mismatch"
         );
-        for op in fused.ops() {
-            self.apply_fused_op(op);
+        let n = self.num_qubits();
+        let dim = self.dim();
+        let prepared: Vec<Prepared> = fused
+            .ops()
+            .iter()
+            .map(|op| Prepared::build(n, op))
+            .collect();
+        let parallel = sweep_parallel(dim);
+        let tile = TILE_AMPS.min(dim);
+        let amps = self.amplitudes_mut();
+        let mut i = 0;
+        while i < prepared.len() {
+            if prepared[i].span <= tile {
+                let mut j = i + 1;
+                while j < prepared.len() && prepared[j].span <= tile {
+                    j += 1;
+                }
+                apply_run_tiled(amps, tile, parallel, &prepared[i..j]);
+                i = j;
+            } else {
+                prepared[i].apply_sweep(amps, parallel);
+                i += 1;
+            }
         }
         if fused.global_phase() != 0.0 {
             let p = Complex64::cis(fused.global_phase());
-            for a in self.amplitudes_mut() {
+            for a in amps.iter_mut() {
                 *a *= p;
             }
         }
@@ -173,239 +131,28 @@ impl StateVector {
         self.apply_circuit(circuit);
     }
 
-    /// Applies one fused operation.
+    /// Applies one fused operation through the same `Prepared` lowering
+    /// [`Self::apply_fused`] uses (without the run blocking, which needs a
+    /// whole op sequence to pay off).
     pub fn apply_fused_op(&mut self, op: &FusedOp) {
-        match &op.kernel {
-            FusedKernel::Gate(g) => self.apply_gate(g),
-            FusedKernel::Diagonal(table) => self.apply_fused_diagonal(&op.qubits, table),
-            FusedKernel::Permutation { targets, phases } => {
-                self.apply_fused_permutation(&op.qubits, targets, phases)
-            }
-            FusedKernel::Dense { controls, matrix } => {
-                if op.qubits.len() == 1 {
-                    // A (possibly multi-)controlled single-qubit unitary:
-                    // the existing pair-sweep kernel is already optimal.
-                    self.apply_controlled_single_qubit(op.qubits[0], controls, matrix);
-                } else {
-                    self.apply_fused_dense(&op.qubits, controls, matrix);
-                }
-            }
-            FusedKernel::Sparse { components } => self.apply_fused_sparse(&op.qubits, components),
-        }
-    }
-
-    /// One sweep, one table lookup per amplitude; local states with unit
-    /// phase are never visited.
-    fn apply_fused_diagonal(&mut self, qubits: &[usize], table: &[Complex64]) {
         let n = self.num_qubits();
-        let sup = Support::new(n, qubits);
-        // When the op touches qubit 0 a single chunk spans the whole state
-        // and the streaming sweep below would run on one core. Diagonal ops
-        // are embarrassingly parallel per amplitude, so fall back to the
-        // per-amplitude parallel sweep in that case (matching the per-gate
-        // keyed-phase kernel's parallelism).
-        if sup.chunk == self.dim()
-            && self.dim() >= parallel_threshold()
-            && std::thread::available_parallelism().map_or(1, |p| p.get()) > 1
-        {
-            let pos: Vec<usize> = qubits.iter().map(|q| n - 1 - q).collect();
-            let table = table.to_vec();
-            self.amplitudes_mut()
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(i, a)| {
-                    let mut l = 0usize;
-                    for p in &pos {
-                        l = (l << 1) | ((i >> p) & 1);
-                    }
-                    *a *= table[l];
-                });
-            return;
+        let dim = self.dim();
+        let prepared = Prepared::build(n, op);
+        let parallel = sweep_parallel(dim);
+        let tile = TILE_AMPS.min(dim);
+        let amps = self.amplitudes_mut();
+        if prepared.span <= tile {
+            apply_run_tiled(amps, tile, parallel, std::slice::from_ref(&prepared));
+        } else {
+            prepared.apply_sweep(amps, parallel);
         }
-        let gmask = sup.group_mask();
-        // Only stream the local states whose phase is non-trivial.
-        let active: Vec<(usize, Complex64)> = table
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p != Complex64::ONE)
-            .map(|(l, p)| (sup.scatter[l], *p))
-            .collect();
-        if active.is_empty() {
-            return;
-        }
-        let kernel = |_base: usize, chunk: &mut [Complex64]| {
-            for &(off0, phase) in &active {
-                for_each_subset(gmask, |off| {
-                    chunk[off0 + off] *= phase;
-                });
-            }
-        };
-        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
-    }
-
-    /// Cycle-decomposed phased shuffle: fixed points with unit phase cost
-    /// nothing; a transposition is one swap plus two phase multiplies.
-    fn apply_fused_permutation(&mut self, qubits: &[usize], targets: &[u32], phases: &[Complex64]) {
-        let sup = Support::new(self.num_qubits(), qubits);
-        let gmask = sup.group_mask();
-        let kdim = targets.len();
-        // Decompose into cycles over scatter offsets; cycles whose phases
-        // are all exactly 1 (plain CX/X/SWAP ladders) move amplitudes
-        // without any arithmetic.
-        struct Cycle {
-            offs: Vec<usize>,
-            phs: Vec<Complex64>,
-            trivial: bool,
-        }
-        let mut cycles: Vec<Cycle> = Vec::new();
-        let mut fixed: Vec<(usize, Complex64)> = Vec::new();
-        let mut visited = vec![false; kdim];
-        for start in 0..kdim {
-            if visited[start] {
-                continue;
-            }
-            if targets[start] as usize == start {
-                visited[start] = true;
-                if phases[start] != Complex64::ONE {
-                    fixed.push((sup.scatter[start], phases[start]));
-                }
-                continue;
-            }
-            let mut offs = Vec::new();
-            let mut phs = Vec::new();
-            let mut l = start;
-            while !visited[l] {
-                visited[l] = true;
-                offs.push(sup.scatter[l]);
-                phs.push(phases[l]);
-                l = targets[l] as usize;
-            }
-            let trivial = phs.iter().all(|p| *p == Complex64::ONE);
-            cycles.push(Cycle { offs, phs, trivial });
-        }
-        if cycles.is_empty() && fixed.is_empty() {
-            return;
-        }
-        let kernel = |_base: usize, chunk: &mut [Complex64]| {
-            for_each_subset(gmask, |off| {
-                for cy in &cycles {
-                    let m = cy.offs.len();
-                    if cy.trivial {
-                        if m == 2 {
-                            chunk.swap(off + cy.offs[0], off + cy.offs[1]);
-                        } else {
-                            let tmp = chunk[off + cy.offs[m - 1]];
-                            for i in (1..m).rev() {
-                                chunk[off + cy.offs[i]] = chunk[off + cy.offs[i - 1]];
-                            }
-                            chunk[off + cy.offs[0]] = tmp;
-                        }
-                    } else {
-                        let tmp = chunk[off + cy.offs[m - 1]];
-                        for i in (1..m).rev() {
-                            chunk[off + cy.offs[i]] = cy.phs[i - 1] * chunk[off + cy.offs[i - 1]];
-                        }
-                        chunk[off + cy.offs[0]] = cy.phs[m - 1] * tmp;
-                    }
-                }
-                for &(o, p) in &fixed {
-                    chunk[off + o] *= p;
-                }
-            });
-        };
-        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
-    }
-
-    /// Gather → dense `2^k × 2^k` multiply → scatter, per group, honouring
-    /// controls outside the support with one mask compare per group.
-    fn apply_fused_dense(&mut self, qubits: &[usize], controls: &[ControlBit], m: &CMatrix) {
-        let n = self.num_qubits();
-        let sup = Support::new(n, qubits);
-        let gmask = sup.group_mask();
-        let kdim = 1usize << qubits.len();
-        debug_assert_eq!(m.rows(), kdim);
-        let (cmask, cval) = control_mask(controls, n);
-        let flat: Vec<Complex64> = m.data().to_vec();
-        let kernel = |base: usize, chunk: &mut [Complex64]| {
-            let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
-            for_each_subset(gmask, |off| {
-                if (base + off) & cmask != cval {
-                    return;
-                }
-                for (b, s) in buf[..kdim].iter_mut().zip(&sup.scatter) {
-                    *b = chunk[off + *s];
-                }
-                for (row, mrow) in flat.chunks_exact(kdim).enumerate() {
-                    let mut acc = Complex64::ZERO;
-                    for (mc, bc) in mrow.iter().zip(&buf[..kdim]) {
-                        acc += *mc * *bc;
-                    }
-                    chunk[off + sup.scatter[row]] = acc;
-                }
-            });
-        };
-        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
-    }
-
-    /// Block-sparse sweep: each invariant component is applied on its own;
-    /// amplitudes outside every component are never loaded. Components of
-    /// size 1 (phase) and 2 (two-level rotation) are unrolled.
-    fn apply_fused_sparse(
-        &mut self,
-        qubits: &[usize],
-        components: &[ghs_circuit::SparseComponent],
-    ) {
-        let sup = Support::new(self.num_qubits(), qubits);
-        let gmask = sup.group_mask();
-        // Pre-resolve component indices to scatter offsets and flatten the
-        // small matrices.
-        struct Comp {
-            offs: Vec<usize>,
-            flat: Vec<Complex64>,
-        }
-        let comps: Vec<Comp> = components
-            .iter()
-            .map(|c| Comp {
-                offs: c.indices.iter().map(|&i| sup.scatter[i as usize]).collect(),
-                flat: c.matrix.data().to_vec(),
-            })
-            .collect();
-        let kernel = |_base: usize, chunk: &mut [Complex64]| {
-            let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
-            for_each_subset(gmask, |off| {
-                for comp in &comps {
-                    match comp.offs.len() {
-                        1 => chunk[off + comp.offs[0]] *= comp.flat[0],
-                        2 => {
-                            let (o0, o1) = (off + comp.offs[0], off + comp.offs[1]);
-                            let a0 = chunk[o0];
-                            let a1 = chunk[o1];
-                            chunk[o0] = comp.flat[0] * a0 + comp.flat[1] * a1;
-                            chunk[o1] = comp.flat[2] * a0 + comp.flat[3] * a1;
-                        }
-                        md => {
-                            for (b, o) in buf[..md].iter_mut().zip(&comp.offs) {
-                                *b = chunk[off + *o];
-                            }
-                            for (row, mrow) in comp.flat.chunks_exact(md).enumerate() {
-                                let mut acc = Complex64::ZERO;
-                                for (mc, bc) in mrow.iter().zip(&buf[..md]) {
-                                    acc += *mc * *bc;
-                                }
-                                chunk[off + comp.offs[row]] = acc;
-                            }
-                        }
-                    }
-                }
-            });
-        };
-        for_each_chunk(self.amplitudes_mut(), sup.chunk, kernel);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ghs_circuit::ControlBit;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -441,20 +188,6 @@ mod tests {
     }
 
     #[test]
-    fn subset_iteration_enumerates_exactly_the_mask() {
-        let mask = 0b1011_0100usize;
-        let mut seen = Vec::new();
-        for_each_subset(mask, |s| seen.push(s));
-        assert_eq!(seen.len(), 1 << mask.count_ones());
-        assert!(seen.iter().all(|s| s & !mask == 0));
-        let mut sorted = seen.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), seen.len());
-        assert_eq!(sorted, seen, "subsets come out in increasing order");
-    }
-
-    #[test]
     fn fused_matches_unfused_on_mixed_circuits() {
         for n in 2..=8 {
             let c = mixed_circuit(n.max(3), n as u64);
@@ -475,6 +208,87 @@ mod tests {
     }
 
     #[test]
+    fn reordered_plans_never_lose_blocks_and_emit_the_same_unitary() {
+        // The commutation-aware schedule may regroup gates across blocks,
+        // but it must (a) never produce more blocks than the in-order scan
+        // — plan_fusion keeps whichever plan is smaller, so the fusion
+        // ratio is non-decreasing — and (b) emit the same unitary: on
+        // random states the two emissions must agree to 1e-12.
+        use ghs_circuit::{plan_fusion, plan_fusion_in_order, FusionOptions};
+        let mut rng = StdRng::seed_from_u64(57);
+        let opts = FusionOptions::default();
+        for n in 2..=10usize {
+            let c = crate::testkit::random_circuit(n, 50, 400 + n as u64);
+            let reordered = plan_fusion(&c, &opts);
+            let in_order = plan_fusion_in_order(&c, &opts);
+            assert!(
+                reordered.num_blocks() <= in_order.num_blocks(),
+                "n={n}: reordering lost blocks ({} > {})",
+                reordered.num_blocks(),
+                in_order.num_blocks()
+            );
+            let s0 = StateVector::random_state(n, &mut rng);
+            let mut a = s0.clone();
+            a.apply_fused(&reordered.emit(&c));
+            let mut b = s0.clone();
+            b.apply_fused(&in_order.emit(&c));
+            assert!(
+                a.distance(&b) < 1e-12,
+                "n={n}: reordered emission drifted by {}",
+                a.distance(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn relabeled_unsorted_supports_are_bit_identical_on_permuted_amplitudes() {
+        // Pins the unsorted-support invariant: [`FusedCircuit::relabeled`]
+        // maps every op's qubit list element-wise, so relabeled supports
+        // are generally NOT ascending, and the kernels must address
+        // amplitudes purely through bit positions (the scatter table) —
+        // never by assuming the planner's sorted order. Reversal unsorts
+        // every multi-qubit support; the relabeled run must land on the
+        // permuted amplitudes bit for bit, as the relabeling contract
+        // promises.
+        use ghs_circuit::QubitRelabeling;
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in 2..=8usize {
+            let c = crate::testkit::random_circuit(n, 40, 900 + n as u64);
+            let fused = c.fused();
+            // Fisher–Yates: a seeded random permutation of the labels.
+            let mut shuffled: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                shuffled.swap(i, j);
+            }
+            for relabeling in [
+                QubitRelabeling::new((0..n).rev().collect()),
+                QubitRelabeling::new(shuffled.clone()),
+            ] {
+                let s0 = StateVector::random_state(n, &mut rng);
+                let mut flat = s0.clone();
+                flat.apply_fused(&fused);
+                let mut permuted_amps = vec![Complex64::ZERO; 1 << n];
+                for (l, a) in s0.amplitudes().iter().enumerate() {
+                    permuted_amps[relabeling.permute_index(l)] = *a;
+                }
+                let mut permuted = StateVector::from_amplitudes(n, permuted_amps);
+                permuted.apply_fused(&fused.relabeled(&relabeling));
+                for (l, a) in flat.amplitudes().iter().enumerate() {
+                    let b = permuted.amplitudes()[relabeling.permute_index(l)];
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (b.re.to_bits(), b.im.to_bits()),
+                        "n={n} index {l} drifted under relabeling {:?}",
+                        relabeling.as_slice()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fused_matches_above_parallel_threshold() {
         let n = 13; // crosses the default 4096-amplitude threshold
         let c = mixed_circuit(n, 7);
@@ -482,6 +296,69 @@ mod tests {
         let s0 = StateVector::random_state(n, &mut rng);
         let mut fused = s0.clone();
         fused.run_fused(&c);
+        let mut unfused = s0.clone();
+        unfused.run_unfused(&c);
+        assert!(fused.distance(&unfused) < 1e-11);
+    }
+
+    #[test]
+    fn forced_parallel_serial_and_tiled_sweeps_are_bit_identical() {
+        // The determinism contract at the GHS_PARALLEL_THRESHOLD extremes:
+        // forcing every sweep parallel, forcing every sweep serial, and the
+        // production tiled replay must agree bit for bit — SIMD-laned
+        // kernels included, since the lanes mirror scalar operation order
+        // exactly (see `ghs_math` SIMD docs).
+        let n = 14; // two TILE_AMPS tiles, above the default rayon threshold
+        let c = mixed_circuit(n, 31);
+        let fused = c.fused();
+        let mut rng = StdRng::seed_from_u64(77);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let prepared: Vec<Prepared> = fused
+            .ops()
+            .iter()
+            .map(|op| Prepared::build(n, op))
+            .collect();
+        let mut serial = s0.clone();
+        let mut parallel = s0.clone();
+        for p in &prepared {
+            p.apply_sweep(serial.amplitudes_mut(), false);
+            p.apply_sweep(parallel.amplitudes_mut(), true);
+        }
+        // Match apply_fused's trailing global-phase pass on both copies.
+        if fused.global_phase() != 0.0 {
+            let ph = Complex64::cis(fused.global_phase());
+            for s in [&mut serial, &mut parallel] {
+                for a in s.amplitudes_mut() {
+                    *a *= ph;
+                }
+            }
+        }
+        let mut tiled = s0.clone();
+        tiled.apply_fused(&fused);
+        for (i, ((s, p), t)) in serial
+            .amplitudes()
+            .iter()
+            .zip(parallel.amplitudes())
+            .zip(tiled.amplitudes())
+            .enumerate()
+        {
+            assert_eq!(s.re.to_bits(), p.re.to_bits(), "re drift at {i} (parallel)");
+            assert_eq!(s.im.to_bits(), p.im.to_bits(), "im drift at {i} (parallel)");
+            assert_eq!(s.re.to_bits(), t.re.to_bits(), "re drift at {i} (tiled)");
+            assert_eq!(s.im.to_bits(), t.im.to_bits(), "im drift at {i} (tiled)");
+        }
+    }
+
+    #[test]
+    fn fused_matches_across_multiple_tiles() {
+        // 2^14 amplitudes = two TILE_AMPS tiles: the run replay must resolve
+        // cross-tile controls and high-bit supports correctly.
+        let n = 14;
+        let c = mixed_circuit(n, 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let mut fused = s0.clone();
+        fused.apply_fused(&c.fused());
         let mut unfused = s0.clone();
         unfused.run_unfused(&c);
         assert!(fused.distance(&unfused) < 1e-11);
@@ -503,6 +380,34 @@ mod tests {
         let s0 = StateVector::random_state(n, &mut rng);
         let mut fused = s0.clone();
         fused.run_fused(&c);
+        let mut unfused = s0.clone();
+        unfused.run_unfused(&c);
+        assert!(fused.distance(&unfused) < 1e-12);
+    }
+
+    #[test]
+    fn high_bit_supports_run_exact_at_scale() {
+        // Ops whose support includes qubit 0 (the most significant bit) take
+        // the index-space sweep path; pin it against the oracle above the
+        // parallel threshold, where the old engine fell back to one thread.
+        let n = 13;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.cx(1, 0) // permutation support spanning the MSB
+            .rz(0, 0.7)
+            .swap(0, n - 1)
+            .mcry(
+                vec![ControlBit::one(n - 1), ControlBit::zero(n - 2)],
+                0,
+                0.4,
+            )
+            .cp(0, 1, 0.9);
+        let mut rng = StdRng::seed_from_u64(31);
+        let s0 = StateVector::random_state(n, &mut rng);
+        let mut fused = s0.clone();
+        fused.apply_fused(&c.fused());
         let mut unfused = s0.clone();
         unfused.run_unfused(&c);
         assert!(fused.distance(&unfused) < 1e-12);

@@ -14,6 +14,7 @@
 pub mod expectation;
 pub mod fused;
 pub mod gradient;
+pub(crate) mod kernels;
 pub mod prepare;
 pub mod sampling;
 pub mod sharded;

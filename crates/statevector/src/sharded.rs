@@ -37,14 +37,12 @@
 //! a second full `2^n` buffer. CI proves this by running a 24-qubit workload
 //! under a `ulimit -v` sized for one flat copy plus scratch.
 
-use crate::state::{control_mask, parallel_threshold, StateVector};
-use ghs_circuit::{Circuit, FusedCircuit, FusedKernel, FusedOp, Gate, QubitRelabeling};
-use ghs_math::{CMatrix, Complex64};
+use crate::kernels::Prepared;
+use crate::state::{parallel_threshold, StateVector};
+use ghs_circuit::{Circuit, FusedCircuit, QubitRelabeling};
+use ghs_math::Complex64;
 use rayon::prelude::*;
 use std::sync::OnceLock;
-
-/// Stack gather-buffer bound, shared with the flat engine.
-const MAX_BLOCK_DIM: usize = 1 << ghs_circuit::MAX_DENSE_QUBITS;
 
 /// Default shard size in amplitudes (`2^15` = 512 KB of `Complex64`): small
 /// enough that a whole shard stays L2-resident while a run of shard-local
@@ -83,590 +81,6 @@ pub fn shard_count_for(num_qubits: usize) -> usize {
         .clamp(1, dim);
     // Round down to a power of two so shard boundaries align with qubits.
     1usize << (usize::BITS - 1 - raw.leading_zeros())
-}
-
-/// Calls `f(s)` for every `s` whose set bits lie inside `mask` (including
-/// `0`), in increasing order — the same subset-iteration identity the flat
-/// engine uses.
-#[inline]
-fn for_each_subset<F: FnMut(usize)>(mask: usize, mut f: F) {
-    let mut s = 0usize;
-    loop {
-        f(s);
-        s = s.wrapping_sub(mask) & mask;
-        if s == 0 {
-            break;
-        }
-    }
-}
-
-/// One cycle of a permutation kernel, over scatter offsets.
-struct Cycle {
-    offs: Vec<usize>,
-    phs: Vec<Complex64>,
-    trivial: bool,
-}
-
-/// A sparse component resolved to scatter offsets.
-struct Comp {
-    offs: Vec<usize>,
-    flat: Vec<Complex64>,
-}
-
-/// A fused op lowered to base-offset form: every variant can be applied to
-/// a chunk `[base, base + len)` of the physical amplitude array given the
-/// chunk's absolute base (which resolves control masks and shard-index
-/// bits), or element-wise across shards when its span exceeds a shard.
-enum Kind {
-    /// Non-unit phase table entries at their scatter offsets.
-    Diagonal { active: Vec<(usize, Complex64)> },
-    /// Cycle-decomposed phased shuffle.
-    Permutation {
-        cycles: Vec<Cycle>,
-        fixed: Vec<(usize, Complex64)>,
-    },
-    /// Gather → `2^k × 2^k` multiply → scatter with a control mask.
-    Dense {
-        scatter: Vec<usize>,
-        flat: Vec<Complex64>,
-        kdim: usize,
-        cmask: usize,
-        cval: usize,
-    },
-    /// Block-sparse components.
-    Sparse { comps: Vec<Comp> },
-    /// (Multi-)controlled single-qubit unitary: pair sweep at `stride`.
-    CtrlSingle {
-        stride: usize,
-        cmask: usize,
-        cval: usize,
-        u: [Complex64; 4],
-    },
-    /// Keyed phase: one mask compare and at most one multiply per amplitude.
-    Keyed {
-        kmask: usize,
-        kval: usize,
-        phase: Complex64,
-    },
-    /// SWAP of two bit positions.
-    Swap { pa: usize, pb: usize },
-    /// Global phase over every amplitude.
-    Phase { phase: Complex64 },
-}
-
-/// A prepared op: its kind plus the smallest aligned power-of-two window
-/// (`span`) containing its support, and the support mask (`smask`) group
-/// sweeps exclude. Control/key masks are *not* part of the span: they are
-/// resolved from the absolute base, so controls on shard-index bits never
-/// force an exchange.
-struct Prepared {
-    span: usize,
-    smask: usize,
-    kind: Kind,
-}
-
-/// Scatter table of a support: local index `l` lives at
-/// `group_base + scatter[l]`, with the op's first qubit as the most
-/// significant local bit. Works for unsorted (relabeled) supports.
-fn scatter_table(num_qubits: usize, qubits: &[usize]) -> (Vec<usize>, usize, usize) {
-    let k = qubits.len();
-    let pos: Vec<usize> = qubits.iter().map(|q| num_qubits - 1 - q).collect();
-    let kdim = 1usize << k;
-    let scatter: Vec<usize> = (0..kdim)
-        .map(|l| {
-            let mut off = 0usize;
-            for (j, p) in pos.iter().enumerate() {
-                if (l >> (k - 1 - j)) & 1 == 1 {
-                    off |= 1 << p;
-                }
-            }
-            off
-        })
-        .collect();
-    let smask: usize = pos.iter().map(|p| 1usize << p).sum();
-    let span = match pos.iter().max() {
-        Some(&m) => 1usize << (m + 1),
-        None => 1,
-    };
-    (scatter, smask, span)
-}
-
-impl Prepared {
-    fn build(num_qubits: usize, op: &FusedOp) -> Self {
-        let (scatter, smask, span) = scatter_table(num_qubits, &op.qubits);
-        match &op.kernel {
-            FusedKernel::Diagonal(table) => {
-                let active: Vec<(usize, Complex64)> = table
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| **p != Complex64::ONE)
-                    .map(|(l, p)| (scatter[l], *p))
-                    .collect();
-                Prepared {
-                    span,
-                    smask,
-                    kind: Kind::Diagonal { active },
-                }
-            }
-            FusedKernel::Permutation { targets, phases } => {
-                let kdim = targets.len();
-                let mut cycles: Vec<Cycle> = Vec::new();
-                let mut fixed: Vec<(usize, Complex64)> = Vec::new();
-                let mut visited = vec![false; kdim];
-                for start in 0..kdim {
-                    if visited[start] {
-                        continue;
-                    }
-                    if targets[start] as usize == start {
-                        visited[start] = true;
-                        if phases[start] != Complex64::ONE {
-                            fixed.push((scatter[start], phases[start]));
-                        }
-                        continue;
-                    }
-                    let mut offs = Vec::new();
-                    let mut phs = Vec::new();
-                    let mut l = start;
-                    while !visited[l] {
-                        visited[l] = true;
-                        offs.push(scatter[l]);
-                        phs.push(phases[l]);
-                        l = targets[l] as usize;
-                    }
-                    let trivial = phs.iter().all(|p| *p == Complex64::ONE);
-                    cycles.push(Cycle { offs, phs, trivial });
-                }
-                Prepared {
-                    span,
-                    smask,
-                    kind: Kind::Permutation { cycles, fixed },
-                }
-            }
-            FusedKernel::Dense { controls, matrix } => {
-                let (cmask, cval) = control_mask(controls, num_qubits);
-                if op.qubits.len() == 1 {
-                    Prepared::ctrl_single(num_qubits, op.qubits[0], cmask, cval, matrix)
-                } else {
-                    Prepared {
-                        span,
-                        smask,
-                        kind: Kind::Dense {
-                            flat: matrix.data().to_vec(),
-                            kdim: scatter.len(),
-                            scatter,
-                            cmask,
-                            cval,
-                        },
-                    }
-                }
-            }
-            FusedKernel::Sparse { components } => {
-                let comps: Vec<Comp> = components
-                    .iter()
-                    .map(|c| Comp {
-                        offs: c.indices.iter().map(|&i| scatter[i as usize]).collect(),
-                        flat: c.matrix.data().to_vec(),
-                    })
-                    .collect();
-                Prepared {
-                    span,
-                    smask,
-                    kind: Kind::Sparse { comps },
-                }
-            }
-            FusedKernel::Gate(g) => Prepared::from_gate(num_qubits, g),
-        }
-    }
-
-    /// A controlled single-qubit unitary at the target's bit position. The
-    /// `u00·a0 + u01·a1` pair arithmetic mirrors
-    /// `StateVector::apply_controlled_single_qubit` exactly.
-    fn ctrl_single(
-        num_qubits: usize,
-        target: usize,
-        cmask: usize,
-        cval: usize,
-        u: &CMatrix,
-    ) -> Self {
-        let pos = num_qubits - 1 - target;
-        let stride = 1usize << pos;
-        Prepared {
-            span: stride << 1,
-            smask: stride,
-            kind: Kind::CtrlSingle {
-                stride,
-                cmask,
-                cval,
-                u: [u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]],
-            },
-        }
-    }
-
-    /// Pass-through gates (wider than the fusion windows) lowered to the
-    /// same primitive sweeps the flat `StateVector::apply_gate` uses.
-    fn from_gate(num_qubits: usize, gate: &Gate) -> Self {
-        match gate {
-            Gate::GlobalPhase(theta) => Prepared {
-                span: 1,
-                smask: 0,
-                kind: Kind::Phase {
-                    phase: Complex64::cis(*theta),
-                },
-            },
-            Gate::KeyedPhase { key, theta } => {
-                let (kmask, kval) = control_mask(key, num_qubits);
-                Prepared {
-                    span: 1,
-                    smask: 0,
-                    kind: Kind::Keyed {
-                        kmask,
-                        kval,
-                        phase: Complex64::cis(*theta),
-                    },
-                }
-            }
-            Gate::Cz { a, b } => {
-                let (kmask, kval) = control_mask(
-                    &[
-                        ghs_circuit::ControlBit::one(*a),
-                        ghs_circuit::ControlBit::one(*b),
-                    ],
-                    num_qubits,
-                );
-                Prepared {
-                    span: 1,
-                    smask: 0,
-                    kind: Kind::Keyed {
-                        kmask,
-                        kval,
-                        phase: Complex64::cis(std::f64::consts::PI),
-                    },
-                }
-            }
-            Gate::Swap { a, b } => {
-                let pa = num_qubits - 1 - *a;
-                let pb = num_qubits - 1 - *b;
-                Prepared {
-                    span: 1usize << (pa.max(pb) + 1),
-                    smask: (1 << pa) | (1 << pb),
-                    kind: Kind::Swap { pa, pb },
-                }
-            }
-            Gate::Cx { control, target } => {
-                let u = gate.base_matrix().expect("CX base matrix");
-                let (cmask, cval) =
-                    control_mask(&[ghs_circuit::ControlBit::one(*control)], num_qubits);
-                Prepared::ctrl_single(num_qubits, *target, cmask, cval, &u)
-            }
-            Gate::McX { controls, target }
-            | Gate::McRx {
-                controls, target, ..
-            }
-            | Gate::McRy {
-                controls, target, ..
-            }
-            | Gate::McRz {
-                controls, target, ..
-            } => {
-                let u = gate.base_matrix().expect("controlled base matrix");
-                let (cmask, cval) = control_mask(controls, num_qubits);
-                Prepared::ctrl_single(num_qubits, *target, cmask, cval, &u)
-            }
-            other => {
-                let q = other.qubits()[0];
-                let u = other.base_matrix().expect("single-qubit matrix");
-                Prepared::ctrl_single(num_qubits, q, 0, 0, &u)
-            }
-        }
-    }
-
-    /// Applies the op to one aligned chunk `[base, base + chunk.len())` of
-    /// the physical array. Requires `span <= chunk.len()`.
-    fn apply_local(&self, base: usize, chunk: &mut [Complex64]) {
-        let gmask = (chunk.len() - 1) & !self.smask;
-        match &self.kind {
-            Kind::Diagonal { active } => {
-                for &(off0, phase) in active {
-                    for_each_subset(gmask, |off| {
-                        chunk[off0 + off] *= phase;
-                    });
-                }
-            }
-            Kind::Permutation { cycles, fixed } => {
-                if cycles.is_empty() && fixed.is_empty() {
-                    return;
-                }
-                for_each_subset(gmask, |off| {
-                    for cy in cycles {
-                        let m = cy.offs.len();
-                        if cy.trivial {
-                            if m == 2 {
-                                chunk.swap(off + cy.offs[0], off + cy.offs[1]);
-                            } else {
-                                let tmp = chunk[off + cy.offs[m - 1]];
-                                for i in (1..m).rev() {
-                                    chunk[off + cy.offs[i]] = chunk[off + cy.offs[i - 1]];
-                                }
-                                chunk[off + cy.offs[0]] = tmp;
-                            }
-                        } else {
-                            let tmp = chunk[off + cy.offs[m - 1]];
-                            for i in (1..m).rev() {
-                                chunk[off + cy.offs[i]] =
-                                    cy.phs[i - 1] * chunk[off + cy.offs[i - 1]];
-                            }
-                            chunk[off + cy.offs[0]] = cy.phs[m - 1] * tmp;
-                        }
-                    }
-                    for &(o, p) in fixed {
-                        chunk[off + o] *= p;
-                    }
-                });
-            }
-            Kind::Dense {
-                scatter,
-                flat,
-                kdim,
-                cmask,
-                cval,
-            } => {
-                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
-                for_each_subset(gmask, |off| {
-                    if (base + off) & cmask != *cval {
-                        return;
-                    }
-                    for (b, s) in buf[..*kdim].iter_mut().zip(scatter) {
-                        *b = chunk[off + *s];
-                    }
-                    for (row, mrow) in flat.chunks_exact(*kdim).enumerate() {
-                        let mut acc = Complex64::ZERO;
-                        for (mc, bc) in mrow.iter().zip(&buf[..*kdim]) {
-                            acc += *mc * *bc;
-                        }
-                        chunk[off + scatter[row]] = acc;
-                    }
-                });
-            }
-            Kind::Sparse { comps } => {
-                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
-                for_each_subset(gmask, |off| {
-                    for comp in comps {
-                        match comp.offs.len() {
-                            1 => chunk[off + comp.offs[0]] *= comp.flat[0],
-                            2 => {
-                                let (o0, o1) = (off + comp.offs[0], off + comp.offs[1]);
-                                let a0 = chunk[o0];
-                                let a1 = chunk[o1];
-                                chunk[o0] = comp.flat[0] * a0 + comp.flat[1] * a1;
-                                chunk[o1] = comp.flat[2] * a0 + comp.flat[3] * a1;
-                            }
-                            md => {
-                                for (b, o) in buf[..md].iter_mut().zip(&comp.offs) {
-                                    *b = chunk[off + *o];
-                                }
-                                for (row, mrow) in comp.flat.chunks_exact(md).enumerate() {
-                                    let mut acc = Complex64::ZERO;
-                                    for (mc, bc) in mrow.iter().zip(&buf[..md]) {
-                                        acc += *mc * *bc;
-                                    }
-                                    chunk[off + comp.offs[row]] = acc;
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-            Kind::CtrlSingle {
-                stride,
-                cmask,
-                cval,
-                u,
-            } => {
-                let block = stride << 1;
-                let mut kb = 0usize;
-                while kb < chunk.len() {
-                    for k in kb..kb + stride {
-                        if (base + k) & cmask != *cval {
-                            continue;
-                        }
-                        let a0 = chunk[k];
-                        let a1 = chunk[k + stride];
-                        chunk[k] = u[0] * a0 + u[1] * a1;
-                        chunk[k + stride] = u[2] * a0 + u[3] * a1;
-                    }
-                    kb += block;
-                }
-            }
-            Kind::Keyed { kmask, kval, phase } => {
-                for (k, a) in chunk.iter_mut().enumerate() {
-                    if (base + k) & kmask == *kval {
-                        *a *= *phase;
-                    }
-                }
-            }
-            Kind::Swap { pa, pb } => {
-                for i in 0..chunk.len() {
-                    let ba = (i >> pa) & 1;
-                    let bb = (i >> pb) & 1;
-                    if ba == 1 && bb == 0 {
-                        let j = (i ^ (1 << pa)) | (1 << pb);
-                        chunk.swap(i, j);
-                    }
-                }
-            }
-            Kind::Phase { phase } => {
-                for a in chunk.iter_mut() {
-                    *a *= *phase;
-                }
-            }
-        }
-    }
-
-    /// Applies the op across shard boundaries, element-wise over absolute
-    /// physical indices. Used when `span` exceeds the shard length; the
-    /// arithmetic per amplitude is identical to the local path (and to the
-    /// flat engine) — only the addressing differs. Dense/sparse kernels are
-    /// the true *exchanges*: they gather a group from several shards of the
-    /// family, multiply, and scatter back. Diagonal and permutation kernels
-    /// never need a gather buffer.
-    fn apply_cross(&self, shards: &mut [Vec<Complex64>], local_bits: usize, dim: usize) {
-        let lmask = (1usize << local_bits) - 1;
-        macro_rules! at {
-            ($idx:expr) => {
-                shards[$idx >> local_bits][$idx & lmask]
-            };
-        }
-        let gmask = (dim - 1) & !self.smask;
-        match &self.kind {
-            Kind::Diagonal { active } => {
-                for &(off0, phase) in active {
-                    for_each_subset(gmask, |off| {
-                        at!(off0 + off) *= phase;
-                    });
-                }
-            }
-            Kind::Permutation { cycles, fixed } => {
-                if cycles.is_empty() && fixed.is_empty() {
-                    return;
-                }
-                for_each_subset(gmask, |off| {
-                    for cy in cycles {
-                        let m = cy.offs.len();
-                        let tmp = at!(off + cy.offs[m - 1]);
-                        if cy.trivial {
-                            for i in (1..m).rev() {
-                                at!(off + cy.offs[i]) = at!(off + cy.offs[i - 1]);
-                            }
-                            at!(off + cy.offs[0]) = tmp;
-                        } else {
-                            for i in (1..m).rev() {
-                                at!(off + cy.offs[i]) = cy.phs[i - 1] * at!(off + cy.offs[i - 1]);
-                            }
-                            at!(off + cy.offs[0]) = cy.phs[m - 1] * tmp;
-                        }
-                    }
-                    for &(o, p) in fixed {
-                        at!(off + o) *= p;
-                    }
-                });
-            }
-            Kind::Dense {
-                scatter,
-                flat,
-                kdim,
-                cmask,
-                cval,
-            } => {
-                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
-                for_each_subset(gmask, |off| {
-                    if off & cmask != *cval {
-                        return;
-                    }
-                    for (b, s) in buf[..*kdim].iter_mut().zip(scatter) {
-                        *b = at!(off + *s);
-                    }
-                    for (row, mrow) in flat.chunks_exact(*kdim).enumerate() {
-                        let mut acc = Complex64::ZERO;
-                        for (mc, bc) in mrow.iter().zip(&buf[..*kdim]) {
-                            acc += *mc * *bc;
-                        }
-                        at!(off + scatter[row]) = acc;
-                    }
-                });
-            }
-            Kind::Sparse { comps } => {
-                let mut buf = [Complex64::ZERO; MAX_BLOCK_DIM];
-                for_each_subset(gmask, |off| {
-                    for comp in comps {
-                        match comp.offs.len() {
-                            1 => at!(off + comp.offs[0]) *= comp.flat[0],
-                            2 => {
-                                let a0 = at!(off + comp.offs[0]);
-                                let a1 = at!(off + comp.offs[1]);
-                                at!(off + comp.offs[0]) = comp.flat[0] * a0 + comp.flat[1] * a1;
-                                at!(off + comp.offs[1]) = comp.flat[2] * a0 + comp.flat[3] * a1;
-                            }
-                            md => {
-                                for (b, o) in buf[..md].iter_mut().zip(&comp.offs) {
-                                    *b = at!(off + *o);
-                                }
-                                for (row, mrow) in comp.flat.chunks_exact(md).enumerate() {
-                                    let mut acc = Complex64::ZERO;
-                                    for (mc, bc) in mrow.iter().zip(&buf[..md]) {
-                                        acc += *mc * *bc;
-                                    }
-                                    at!(off + comp.offs[row]) = acc;
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-            Kind::CtrlSingle {
-                stride,
-                cmask,
-                cval,
-                u,
-            } => {
-                let pair_mask = (dim - 1) & !stride;
-                for_each_subset(pair_mask, |i| {
-                    if i & cmask != *cval {
-                        return;
-                    }
-                    let a0 = at!(i);
-                    let a1 = at!(i + stride);
-                    at!(i) = u[0] * a0 + u[1] * a1;
-                    at!(i + stride) = u[2] * a0 + u[3] * a1;
-                });
-            }
-            // Keyed and global phases have span 1 and are always local;
-            // Swap never needs a buffer either way.
-            Kind::Keyed { kmask, kval, phase } => {
-                for i in 0..dim {
-                    if i & kmask == *kval {
-                        at!(i) *= *phase;
-                    }
-                }
-            }
-            Kind::Swap { pa, pb } => {
-                let (ba, bb) = (1usize << pa, 1usize << pb);
-                for_each_subset((dim - 1) & !(ba | bb), |off| {
-                    let i = off | ba;
-                    let j = off | bb;
-                    let tmp = at!(i);
-                    at!(i) = at!(j);
-                    at!(j) = tmp;
-                });
-            }
-            Kind::Phase { phase } => {
-                for shard in shards.iter_mut() {
-                    for a in shard.iter_mut() {
-                        *a *= *phase;
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// A pure state stored as `2^s` fixed-size amplitude shards under a

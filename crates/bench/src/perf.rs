@@ -14,7 +14,9 @@
 //! (`vqe_h2_gradient`, `qaoa_12_gradient`) compare the parameter-shift rule
 //! against the adjoint engine at 20+ parameters, two stabilizer workloads
 //! (`ghz_1024`, `syndrome_256`) compare per-shot tableau re-simulation
-//! against the prepare-once collapse-clone sampler at Clifford scale, and
+//! against the prepare-once collapse-clone sampler at Clifford scale, two
+//! noise workloads (`noisy_vqe_h2`, `density_8`) compare converged
+//! trajectory ensembles against the exact density-matrix oracle, and
 //! one service workload
 //! (`service_mixed_throughput`) runs a mixed VQE/QAOA/sampling job stream
 //! through the batched job service cold-cache vs warm-cache, in jobs/sec;
@@ -28,14 +30,15 @@
 use ghs_chemistry::{h2_sto3g, uccsd_circuit, uccsd_pool};
 use ghs_circuit::{exchange_count, Circuit, ParameterizedCircuit, QubitRelabeling};
 use ghs_core::backend::{
-    parameter_shift_gradient, Backend, FusedStatevector, InitialState, PauliNoise,
-    StabilizerBackend,
+    parameter_shift_gradient, Backend, DensityMatrixBackend, FusedStatevector, InitialState,
+    PauliNoise, StabilizerBackend, TrajectoryNoise,
 };
 use ghs_core::{direct_product_formula, direct_term_circuit, DirectOptions, ProductFormula};
 use ghs_hubo::{
     direct_phase_separator, qaoa_parameterized, random_sparse_hubo, HuboProblem, QaoaParameters,
     SeparatorStrategy,
 };
+use ghs_operators::NoiseModel;
 use ghs_operators::{PauliSum, ScbHamiltonian, ScbOp, ScbString};
 use ghs_service::{JobSpec, Service, ServiceConfig};
 use ghs_statevector::{testkit, GroupedPauliSum, ShardedStateVector, StateVector};
@@ -113,6 +116,22 @@ pub enum WorkloadKind {
     Stabilizer {
         /// Number of measurement shots drawn.
         shots: usize,
+    },
+    /// Noisy expectation values on small registers: the stochastic
+    /// trajectory ensemble (`trajectories` seeded Kraus evolutions averaged
+    /// — the Monte-Carlo status quo, with `O(1/√T)` statistical error) vs
+    /// the density-matrix oracle (one vectorised superoperator evolution,
+    /// exact). Below the density backend's register cap one `4ⁿ`-amplitude
+    /// sweep replaces the whole ensemble *and* removes the sampling error;
+    /// `gates_per_sec` reports ensemble **trajectories** replaced per
+    /// second.
+    Noise {
+        /// The Kraus noise model both engines evolve under.
+        model: NoiseModel,
+        /// Ensemble size of the trajectory (oracle) column.
+        trajectories: usize,
+        /// The Hermitian observable both engines evaluate.
+        observable: PauliSum,
     },
     /// Service-level throughput on a mixed job stream (VQE expectation,
     /// QAOA expectation, repeated sampling, gradients): the same batch
@@ -548,6 +567,29 @@ pub fn standard_workloads() -> Vec<Workload> {
         circuit: syndrome_circuit(256, 4),
         kind: WorkloadKind::Stabilizer { shots: 256 },
     });
+    // Noise workloads: trajectory ensembles vs the exact density-matrix
+    // oracle on the noisy-VQE H₂ ansatz and an 8-qubit QAOA layer. The
+    // ensemble sizes are what the statistical Hoeffding bounds of the
+    // noise-accuracy suite actually require, so the speedup is the one a
+    // converged noisy expectation really pays.
+    w.push(Workload {
+        name: "noisy_vqe_h2".into(),
+        circuit: uccsd_circuit(&h2, &pool, &thetas, &DirectOptions::linear()),
+        kind: WorkloadKind::Noise {
+            model: NoiseModel::depolarizing(0.01),
+            trajectories: 256,
+            observable: h2.pauli_sum(),
+        },
+    });
+    w.push(Workload {
+        name: "density_8".into(),
+        circuit: qaoa_circuit(8, 2),
+        kind: WorkloadKind::Noise {
+            model: NoiseModel::pauli(0.01, 0.005),
+            trajectories: 256,
+            observable: qaoa_problem(8).to_pauli_sum(),
+        },
+    });
     // Service-level throughput: the stats circuit is the stream's repeated
     // 12-qubit sampling circuit (its fusion numbers are representative; the
     // timed comparison is the whole mixed batch).
@@ -767,6 +809,34 @@ pub fn run_workload(w: &Workload, reps: usize) -> WorkloadResult {
                 std::hint::black_box(bits.len());
             });
             (unfused_ms, fused_ms, shots)
+        }
+        WorkloadKind::Noise {
+            model,
+            trajectories,
+            observable,
+        } => {
+            let grouped = GroupedPauliSum::new(observable);
+            let zero = InitialState::ZeroState;
+            // Oracle: the Monte-Carlo ensemble — `trajectories` independent
+            // seeded Kraus evolutions, averaged.
+            let ensemble = TrajectoryNoise::new(model.clone(), *trajectories, 1);
+            // The ensemble column runs for seconds; best-of-2 keeps the CI
+            // perf job's wall time bounded (same treatment as `Sharded`).
+            let unfused_ms = time_best(reps.min(2), || {
+                let e = ensemble
+                    .expectation(&zero, &w.circuit, &grouped)
+                    .expect("noise circuits are dense");
+                std::hint::black_box(e);
+            });
+            // Exact path: one vectorised superoperator evolution of ρ.
+            let exact = DensityMatrixBackend::new(model.clone());
+            let fused_ms = time_best(reps, || {
+                let e = exact
+                    .expectation(&zero, &w.circuit, &grouped)
+                    .expect("noise workloads fit the density register cap");
+                std::hint::black_box(e);
+            });
+            (unfused_ms, fused_ms, *trajectories)
         }
         WorkloadKind::Service { jobs } => {
             // Cold: plan caching disabled — every job pays planning,

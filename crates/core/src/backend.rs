@@ -7,7 +7,7 @@
 //! and the application layers (`measurement`, `trotter`, `ghs_hubo`,
 //! `ghs_chemistry`, the benchmark binaries) are written against the trait.
 //!
-//! Five backends ship today:
+//! Seven backends ship today:
 //!
 //! * [`FusedStatevector`] — the production dense path: gate fusion +
 //!   specialized kernels (PR 2), exact to machine precision. Above
@@ -22,6 +22,15 @@
 //! * [`PauliNoise`] — stochastic Pauli-noise trajectories (per-gate
 //!   depolarizing and dephasing channels), seeded and averaged over a
 //!   trajectory batch;
+//! * [`TrajectoryNoise`] — the generalization of [`PauliNoise`] to
+//!   arbitrary Kraus channels through a
+//!   [`NoiseModel`]: Pauli channels keep
+//!   the cheap mask path, general channels do norm-weighted Kraus selection
+//!   per trajectory;
+//! * [`DensityMatrixBackend`] — the exact noise oracle: evolves the full
+//!   density matrix under the same `NoiseModel` via superoperator
+//!   application of fused blocks, capped at
+//!   [`DensityMatrixBackend::MAX_QUBITS`] qubits by its quadratic memory;
 //! * [`StabilizerBackend`] — the Clifford scale path: an Aaronson–Gottesman
 //!   tableau ([`ghs_stabilizer::StabilizerState`]) in `O(n²)` bits instead
 //!   of `O(2^n)` amplitudes, running Clifford circuits at thousands of
@@ -75,10 +84,11 @@
 
 use ghs_circuit::{Circuit, Gate, ParameterizedCircuit};
 use ghs_math::{Complex64, SparseMatrix};
+use ghs_operators::kraus::{KrausChannel, NoiseModel};
 use ghs_stabilizer::{BitString, StabilizerState, STABILIZER_DENSE_MAX_QUBITS};
 use ghs_statevector::{
-    adjoint_gradient, derive_stream_seed, CachedDistribution, GroupedPauliSum, ShardedStateVector,
-    StateVector, SHARDED_MIN_QUBITS,
+    adjoint_gradient, derive_stream_seed, CachedDistribution, DensityMatrix, GroupedPauliSum,
+    ShardedStateVector, StateVector, SHARDED_MIN_QUBITS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -807,7 +817,6 @@ impl PauliNoise {
     /// the draws of shot chunk `k`, correlating shots with the ensemble they
     /// sample from.
     fn trajectory(&self, initial: &StateVector, circuit: &Circuit, index: usize) -> StateVector {
-        const TRAJECTORY_DOMAIN: u64 = 0x0074_7261_6a65_6374; // "traject"
         let mut rng =
             StdRng::seed_from_u64(derive_stream_seed(self.seed ^ TRAJECTORY_DOMAIN, index));
         let mut s = initial.clone();
@@ -914,6 +923,395 @@ impl Backend for PauliNoise {
             })
             .sum::<f64>()
             / t as f64)
+    }
+}
+
+/// Domain tag of the noise-trajectory RNG streams, shared by [`PauliNoise`]
+/// and [`TrajectoryNoise`] so a Pauli model expressed either way draws the
+/// same coin flips. It keeps trajectory streams disjoint from the shot-chunk
+/// streams of [`CachedDistribution::sample_seeded`] even when a caller
+/// passes the same value as backend seed and sampling seed.
+const TRAJECTORY_DOMAIN: u64 = 0x0074_7261_6a65_6374; // "traject"
+
+/// Seeded Kraus-channel trajectory ensembles — the generalization of
+/// [`PauliNoise`] from per-gate Pauli strengths to an arbitrary
+/// [`NoiseModel`] of CPTP channels.
+///
+/// After every gate, each channel the model attaches to the gate's class is
+/// sampled once per touched qubit from the trajectory's own RNG stream:
+///
+/// * **Pauli channels** (every Kraus operator proportional to a Pauli) keep
+///   the cheap mask path — one coin flip, then a Pauli gate application;
+///   a [`PauliNoise`] configuration converted through
+///   [`TrajectoryNoise::from`] consumes the *identical* RNG stream, so the
+///   two backends agree bit for bit;
+/// * **general channels** (amplitude/phase damping, user Kraus sets) do
+///   norm-weighted Kraus selection: branch `k` is chosen with probability
+///   `‖K_k ψ‖²` and the state re-normalised — the standard quantum-
+///   trajectory unravelling, whose ensemble average converges to the
+///   density-matrix oracle ([`DensityMatrixBackend`]).
+///
+/// A noiseless model consumes no RNG at all, so every trajectory is the
+/// per-gate reference sweep and the backend agrees with
+/// [`ReferenceStatevector`] **bit-exactly** (a property test enforces this).
+///
+/// ```
+/// use ghs_circuit::Circuit;
+/// use ghs_core::backend::{Backend, InitialState, TrajectoryNoise};
+/// use ghs_operators::kraus::{KrausChannel, NoiseModel};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let model = NoiseModel::noiseless().with_all_gates(KrausChannel::amplitude_damping(0.05));
+/// let backend = TrajectoryNoise::new(model, 64, 7);
+/// let probs = backend.probabilities(&InitialState::ZeroState, &bell).unwrap();
+/// assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+/// // Deterministic for a fixed configuration.
+/// assert_eq!(
+///     probs,
+///     backend.probabilities(&InitialState::ZeroState, &bell).unwrap()
+/// );
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrajectoryNoise {
+    /// Gate-class → channel map applied after every gate.
+    pub model: NoiseModel,
+    /// Number of trajectories averaged by the ensemble entry points.
+    pub trajectories: usize,
+    /// Master seed; trajectory `t` uses the stream derived from `(seed, t)`.
+    pub seed: u64,
+}
+
+impl From<PauliNoise> for TrajectoryNoise {
+    /// The Kraus-channel form of a [`PauliNoise`] configuration. The
+    /// trajectory RNG streams are call-for-call identical, so ensemble
+    /// quantities agree bit for bit.
+    fn from(p: PauliNoise) -> Self {
+        TrajectoryNoise {
+            model: NoiseModel::pauli(p.depolarizing, p.dephasing),
+            trajectories: p.trajectories,
+            seed: p.seed,
+        }
+    }
+}
+
+impl TrajectoryNoise {
+    /// A trajectory ensemble of `trajectories` seeded runs under `model`.
+    pub fn new(model: NoiseModel, trajectories: usize, seed: u64) -> Self {
+        TrajectoryNoise {
+            model,
+            trajectories,
+            seed,
+        }
+    }
+
+    /// Number of trajectories, never below one. A noiseless model makes
+    /// every trajectory the same RNG-free sweep, so the ensemble collapses
+    /// to a single simulation.
+    fn ensemble(&self) -> usize {
+        if self.model.is_noiseless() {
+            1
+        } else {
+            self.trajectories.max(1)
+        }
+    }
+
+    /// Samples one channel application on `qubit`. Pauli channels use the
+    /// cheap mask path (gate application, no renormalisation); general
+    /// channels select a Kraus branch by its norm weight.
+    fn sample_channel(
+        state: &mut StateVector,
+        qubit: usize,
+        channel: &KrausChannel,
+        rng: &mut StdRng,
+    ) {
+        if let Some([_, px, py, pz]) = channel.pauli_probabilities() {
+            // Cheap mask path. The RNG call pattern mirrors `PauliNoise`:
+            // one `gen_bool` per channel, plus a uniform `gen_range` only
+            // when the error part is spread evenly over X/Y/Z — so Pauli
+            // models expressed either way share their coin flips.
+            let p_err = px + py + pz;
+            if p_err <= 0.0 || !rng.gen_bool(p_err.min(1.0)) {
+                return;
+            }
+            let weights = [px, py, pz];
+            let nonzero = weights.iter().filter(|w| **w > 0.0).count();
+            let choice = if nonzero == 1 {
+                weights.iter().position(|w| *w > 0.0).unwrap()
+            } else if (px - py).abs() < 1e-15 && (py - pz).abs() < 1e-15 {
+                rng.gen_range(0..3u32) as usize
+            } else {
+                let mut u: f64 = rng.gen_range(0.0..1.0) * p_err;
+                let mut idx = 2;
+                for (i, w) in weights.iter().enumerate() {
+                    if u < *w {
+                        idx = i;
+                        break;
+                    }
+                    u -= *w;
+                }
+                idx
+            };
+            let pauli = match choice {
+                0 => Gate::X(qubit),
+                1 => Gate::Y(qubit),
+                _ => Gate::Z(qubit),
+            };
+            state.apply_gate(&pauli);
+            return;
+        }
+        // General channel: branch k fires with probability ‖K_k ψ‖².
+        // CPTP guarantees the weights sum to 1; the last branch absorbs
+        // round-off.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        let ops = channel.ops();
+        for (k, op) in ops.iter().enumerate() {
+            let mut candidate = state.clone();
+            candidate.apply_controlled_single_qubit(qubit, &[], op);
+            let w = candidate.norm();
+            acc += w * w;
+            if u < acc || k + 1 == ops.len() {
+                candidate.normalize();
+                *state = candidate;
+                return;
+            }
+        }
+    }
+
+    /// Runs one noise trajectory on the stream derived from `(seed, index)`
+    /// under the shared [`TRAJECTORY_DOMAIN`] tag.
+    fn trajectory(&self, initial: &StateVector, circuit: &Circuit, index: usize) -> StateVector {
+        let mut rng =
+            StdRng::seed_from_u64(derive_stream_seed(self.seed ^ TRAJECTORY_DOMAIN, index));
+        let mut s = initial.clone();
+        for gate in circuit.gates() {
+            s.apply_gate(gate);
+            let touched = gate.qubits();
+            let channels = self.model.channels_for(touched.len());
+            for q in touched {
+                for channel in channels {
+                    Self::sample_channel(&mut s, q, channel, &mut rng);
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Backend for TrajectoryNoise {
+    fn name(&self) -> &'static str {
+        "trajectory-noise"
+    }
+
+    /// A statevector envelope with the stochastic flag raised: every output
+    /// is a seeded trajectory-ensemble average.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: true,
+            ..Capabilities::statevector()
+        }
+    }
+
+    /// One trajectory (index 0). Ensemble-averaged quantities go through
+    /// [`Backend::probabilities`] / [`Backend::expectation`] /
+    /// [`Backend::sample`].
+    fn run(&self, initial: &InitialState, circuit: &Circuit) -> Result<StateVector, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        Ok(self.trajectory(&init, circuit, 0))
+    }
+
+    fn probabilities(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<Vec<f64>, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let t = self.ensemble();
+        let mut acc = vec![0.0f64; init.dim()];
+        for index in 0..t {
+            let state = self.trajectory(&init, circuit, index);
+            for (a, amp) in acc.iter_mut().zip(state.amplitudes()) {
+                *a += amp.norm_sqr();
+            }
+        }
+        let inv = 1.0 / t as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        Ok(acc)
+    }
+
+    fn expectation(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        observable: &GroupedPauliSum,
+    ) -> Result<f64, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let t = self.ensemble();
+        Ok((0..t)
+            .map(|index| {
+                self.trajectory(&init, circuit, index)
+                    .expectation_grouped(observable)
+                    .re
+            })
+            .sum::<f64>()
+            / t as f64)
+    }
+
+    fn expectation_sparse(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        observable: &SparseMatrix,
+    ) -> Result<f64, BackendError> {
+        let init = initial.to_statevector(circuit.num_qubits(), self.name())?;
+        let t = self.ensemble();
+        Ok((0..t)
+            .map(|index| {
+                self.trajectory(&init, circuit, index)
+                    .expectation_sparse(observable)
+                    .re
+            })
+            .sum::<f64>()
+            / t as f64)
+    }
+}
+
+/// The exact noisy-simulation oracle: evolves the full density matrix `ρ`
+/// under the same [`NoiseModel`] the trajectory backend samples, via
+/// superoperator application of fused blocks
+/// ([`ghs_statevector::DensityMatrix`]).
+///
+/// Outputs are **exact** ensemble averages — what [`TrajectoryNoise`] must
+/// converge to as `trajectories → ∞` (the CI noise-accuracy gate enforces
+/// the statistical bound). The quadratic memory cost caps admission at
+/// [`DensityMatrixBackend::MAX_QUBITS`] qubits through
+/// [`Capabilities::max_qubits`], checked by the job service like any other
+/// envelope.
+///
+/// [`Backend::run`] is a typed [`BackendError::DenseStateUnavailable`]: a
+/// mixed state has no pure `2^n`-amplitude representation. Expectations,
+/// probabilities, sampling and (shift-rule) gradients all work.
+///
+/// ```
+/// use ghs_circuit::Circuit;
+/// use ghs_core::backend::{Backend, DensityMatrixBackend, InitialState};
+/// use ghs_operators::kraus::NoiseModel;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let exact = DensityMatrixBackend::new(NoiseModel::depolarizing(0.1));
+/// let probs = exact.probabilities(&InitialState::ZeroState, &bell).unwrap();
+/// assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// // Noise leaks probability outside the two ideal Bell outcomes.
+/// assert!(probs[0b01] > 0.0 && probs[0b10] > 0.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DensityMatrixBackend {
+    /// Noise channels applied during evolution (noiseless by default, which
+    /// makes the backend an exact small-register statevector oracle).
+    pub model: NoiseModel,
+}
+
+impl DensityMatrixBackend {
+    /// Register cap: the vectorised `ρ` holds `4^n` amplitudes, so 12
+    /// qubits already cost 256 MiB. Enforced at admission through
+    /// [`Capabilities::max_qubits`].
+    pub const MAX_QUBITS: usize = 12;
+
+    /// A density-matrix oracle evolving under `model`.
+    pub fn new(model: NoiseModel) -> Self {
+        DensityMatrixBackend { model }
+    }
+
+    /// Evolves the initial state's density matrix through `circuit` under
+    /// the backend's noise model — the shared path behind every trait entry
+    /// point, also usable directly when the caller wants `ρ` itself.
+    pub fn evolve(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<DensityMatrix, BackendError> {
+        let n = circuit.num_qubits();
+        if n > Self::MAX_QUBITS {
+            return Err(BackendError::RegisterTooLarge {
+                qubits: n,
+                max_qubits: Self::MAX_QUBITS,
+                backend: self.name(),
+            });
+        }
+        // `to_statevector` validates register size and basis range; basis
+        // states skip the `O(4^n)` outer product.
+        let psi = initial.to_statevector(n, self.name())?;
+        let mut rho = match initial.basis_index() {
+            Some(index) => DensityMatrix::basis_state(n, index),
+            None => DensityMatrix::from_statevector(&psi),
+        };
+        rho.evolve(circuit, &self.model);
+        Ok(rho)
+    }
+}
+
+impl Backend for DensityMatrixBackend {
+    fn name(&self) -> &'static str {
+        "density-matrix"
+    }
+
+    /// Exact (non-stochastic) envelope with the quadratic-memory register
+    /// cap; gradients go through the default shift rule over exact noisy
+    /// expectations.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            max_qubits: Self::MAX_QUBITS,
+            ..Capabilities::statevector()
+        }
+    }
+
+    /// Always a typed error: a mixed state has no dense pure-state output.
+    fn run(
+        &self,
+        _initial: &InitialState,
+        _circuit: &Circuit,
+    ) -> Result<StateVector, BackendError> {
+        Err(BackendError::DenseStateUnavailable {
+            backend: self.name(),
+        })
+    }
+
+    /// The exact diagonal of `ρ` in the computational basis.
+    fn probabilities(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+    ) -> Result<Vec<f64>, BackendError> {
+        Ok(self.evolve(initial, circuit)?.probabilities())
+    }
+
+    /// Exact `tr(ρH)` through the vectorised mask sweep.
+    fn expectation(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        observable: &GroupedPauliSum,
+    ) -> Result<f64, BackendError> {
+        Ok(self
+            .evolve(initial, circuit)?
+            .expectation_grouped(observable))
+    }
+
+    /// Exact `tr(ρA)` for a sparse observable (the slow oracle path).
+    fn expectation_sparse(
+        &self,
+        initial: &InitialState,
+        circuit: &Circuit,
+        observable: &SparseMatrix,
+    ) -> Result<f64, BackendError> {
+        Ok(self
+            .evolve(initial, circuit)?
+            .expectation_sparse(observable)
+            .re)
     }
 }
 
@@ -1188,12 +1586,27 @@ pub enum BackendSpec {
         /// Master seed for the trajectory streams.
         seed: u64,
     },
+    /// A Kraus-channel trajectory ensemble ([`TrajectoryNoise`]) — the
+    /// general-noise form of [`BackendSpec::Noisy`].
+    Trajectory {
+        /// Gate-class → channel map applied after every gate.
+        model: NoiseModel,
+        /// Trajectories averaged by the ensemble entry points.
+        trajectories: usize,
+        /// Master seed for the trajectory streams.
+        seed: u64,
+    },
+    /// The exact density-matrix oracle ([`DensityMatrixBackend`]).
+    Density {
+        /// Gate-class → channel map applied after every gate.
+        model: NoiseModel,
+    },
 }
 
 impl BackendSpec {
     /// Instantiates the described backend.
     pub fn build(&self) -> Box<dyn Backend + Send + Sync> {
-        match *self {
+        match self {
             BackendSpec::Fused => Box::new(FusedStatevector),
             BackendSpec::Sharded => Box::new(ShardedStatevector),
             BackendSpec::Reference => Box::new(ReferenceStatevector),
@@ -1204,11 +1617,17 @@ impl BackendSpec {
                 trajectories,
                 seed,
             } => Box::new(PauliNoise {
-                depolarizing,
-                dephasing,
+                depolarizing: *depolarizing,
+                dephasing: *dephasing,
+                trajectories: *trajectories,
+                seed: *seed,
+            }),
+            BackendSpec::Trajectory {
+                model,
                 trajectories,
                 seed,
-            }),
+            } => Box::new(TrajectoryNoise::new(model.clone(), *trajectories, *seed)),
+            BackendSpec::Density { model } => Box::new(DensityMatrixBackend::new(model.clone())),
         }
     }
 
@@ -1219,8 +1638,12 @@ impl BackendSpec {
                 Capabilities::statevector()
             }
             BackendSpec::Stabilizer => StabilizerBackend.capabilities(),
-            BackendSpec::Noisy { .. } => Capabilities {
+            BackendSpec::Noisy { .. } | BackendSpec::Trajectory { .. } => Capabilities {
                 stochastic: true,
+                ..Capabilities::statevector()
+            },
+            BackendSpec::Density { .. } => Capabilities {
+                max_qubits: DensityMatrixBackend::MAX_QUBITS,
                 ..Capabilities::statevector()
             },
         }
@@ -1234,14 +1657,18 @@ impl BackendSpec {
             BackendSpec::Reference => "reference",
             BackendSpec::Stabilizer => "stabilizer",
             BackendSpec::Noisy { .. } => "noisy",
+            BackendSpec::Trajectory { .. } => "trajectory",
+            BackendSpec::Density { .. } => "density",
         }
     }
 }
 
 /// Looks a backend up by its selection name (see the README's backend
-/// table): `"fused"`, `"sharded"`, `"reference"`, `"stabilizer"`, or
-/// `"noisy"` (depolarizing `1%`, 10 trajectories, seed 0). Unknown names
-/// are a typed [`BackendError::UnknownName`].
+/// table): `"fused"`, `"sharded"`, `"reference"`, `"stabilizer"`,
+/// `"noisy"` (depolarizing `1%`, 10 trajectories, seed 0), `"trajectory"`
+/// (the Kraus form of the same default), or `"density"` (the exact
+/// noiseless density-matrix oracle). Unknown names are a typed
+/// [`BackendError::UnknownName`].
 pub fn backend_by_name(name: &str) -> Result<Box<dyn Backend>, BackendError> {
     match name {
         "fused" => Ok(Box::new(FusedStatevector)),
@@ -1249,6 +1676,12 @@ pub fn backend_by_name(name: &str) -> Result<Box<dyn Backend>, BackendError> {
         "reference" => Ok(Box::new(ReferenceStatevector)),
         "stabilizer" => Ok(Box::new(StabilizerBackend)),
         "noisy" => Ok(Box::new(PauliNoise::depolarizing(0.01, 10, 0))),
+        "trajectory" => Ok(Box::new(TrajectoryNoise::new(
+            NoiseModel::depolarizing(0.01),
+            10,
+            0,
+        ))),
+        "density" => Ok(Box::new(DensityMatrixBackend::default())),
         other => Err(BackendError::UnknownName(other.to_string())),
     }
 }
@@ -1529,6 +1962,9 @@ mod tests {
         let caps = StabilizerBackend.capabilities();
         assert!(caps.clifford_only && !caps.supports_gradients);
         assert!(caps.max_qubits >= 1000, "must admit 1000-qubit registers");
+        let density_caps = DensityMatrixBackend::default().capabilities();
+        assert_eq!(density_caps.max_qubits, DensityMatrixBackend::MAX_QUBITS);
+        assert!(!density_caps.stochastic && density_caps.supports_gradients);
         for spec in [
             BackendSpec::Fused,
             BackendSpec::Sharded,
@@ -1540,9 +1976,107 @@ mod tests {
                 trajectories: 4,
                 seed: 0,
             },
+            BackendSpec::Trajectory {
+                model: NoiseModel::depolarizing(0.01),
+                trajectories: 4,
+                seed: 0,
+            },
+            BackendSpec::Density {
+                model: NoiseModel::noiseless(),
+            },
         ] {
             assert_eq!(spec.capabilities(), spec.build().capabilities());
         }
+    }
+
+    #[test]
+    fn trajectory_noise_reproduces_pauli_noise_bit_for_bit() {
+        // A Pauli model expressed through the Kraus machinery consumes the
+        // identical RNG stream: ensemble quantities agree exactly.
+        use ghs_operators::{PauliString, PauliSum};
+        let c = ghz_circuit(4);
+        let zero = InitialState::ZeroState;
+        let pauli = PauliNoise {
+            depolarizing: 0.08,
+            dephasing: 0.03,
+            trajectories: 6,
+            seed: 41,
+        };
+        let kraus = TrajectoryNoise::from(pauli);
+        assert_eq!(
+            pauli.probabilities(&zero, &c).unwrap(),
+            kraus.probabilities(&zero, &c).unwrap()
+        );
+        let mut sum = PauliSum::zero(4);
+        sum.push(ghs_math::c64(1.0, 0.0), PauliString::parse("ZZII").unwrap());
+        sum.push(ghs_math::c64(0.5, 0.0), PauliString::parse("XIXI").unwrap());
+        let obs = GroupedPauliSum::new(&sum);
+        assert_eq!(
+            pauli.expectation(&zero, &c, &obs).unwrap(),
+            kraus.expectation(&zero, &c, &obs).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_strength_kraus_trajectories_match_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let initial = InitialState::from(StateVector::random_state(5, &mut rng));
+        let c = ghz_circuit(5);
+        // Zero-strength constructors collapse to trivial channels, which the
+        // model drops: the backend must be RNG-free and bit-identical to the
+        // reference path.
+        let model = NoiseModel::noiseless()
+            .with_all_gates(KrausChannel::amplitude_damping(0.0))
+            .with_all_gates(KrausChannel::phase_damping(0.0))
+            .with_all_gates(KrausChannel::depolarizing(0.0));
+        assert!(model.is_noiseless());
+        let quiet = TrajectoryNoise::new(model, 4, 99);
+        let r = ReferenceStatevector.run(&initial, &c).unwrap();
+        assert_eq!(quiet.run(&initial, &c).unwrap(), r);
+    }
+
+    #[test]
+    fn general_kraus_trajectories_are_deterministic_and_normalised() {
+        let c = ghz_circuit(4);
+        let zero = InitialState::ZeroState;
+        let model = NoiseModel::noiseless()
+            .with_all_gates(KrausChannel::amplitude_damping(0.1))
+            .with_single_qubit(KrausChannel::phase_damping(0.05));
+        let noisy = TrajectoryNoise::new(model, 8, 13);
+        let a = noisy.probabilities(&zero, &c).unwrap();
+        let b = noisy.probabilities(&zero, &c).unwrap();
+        assert_eq!(a, b, "seeded ensembles must be deterministic");
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        // Amplitude damping pulls weight towards |0…0⟩ relative to |1…1⟩.
+        assert!(a[0] > a[0b1111]);
+    }
+
+    #[test]
+    fn density_backend_is_exact_oracle_on_noiseless_circuits() {
+        use ghs_operators::{PauliString, PauliSum};
+        let c = ghz_circuit(4);
+        let zero = InitialState::ZeroState;
+        let mut sum = PauliSum::zero(4);
+        sum.push(ghs_math::c64(0.8, 0.0), PauliString::parse("ZZII").unwrap());
+        sum.push(
+            ghs_math::c64(-0.3, 0.0),
+            PauliString::parse("XXXX").unwrap(),
+        );
+        let obs = GroupedPauliSum::new(&sum);
+        let exact = DensityMatrixBackend::default();
+        let dense = FusedStatevector.expectation(&zero, &c, &obs).unwrap();
+        let mixed = exact.expectation(&zero, &c, &obs).unwrap();
+        assert!((dense - mixed).abs() < 1e-10, "dense {dense} vs ρ {mixed}");
+        // Typed errors: no dense state, and a hard register cap.
+        assert!(matches!(
+            exact.run(&zero, &c),
+            Err(BackendError::DenseStateUnavailable { .. })
+        ));
+        let wide = ghz_circuit(DensityMatrixBackend::MAX_QUBITS + 1);
+        assert!(matches!(
+            exact.probabilities(&zero, &wide),
+            Err(BackendError::RegisterTooLarge { .. })
+        ));
     }
 
     #[test]

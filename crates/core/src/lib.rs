@@ -22,14 +22,15 @@ pub mod compare;
 pub mod dilation;
 pub mod direct;
 pub mod measurement;
+pub mod mitigation;
 pub mod optimize;
 pub mod trotter;
 pub mod usual;
 
 pub use backend::{
     backend_by_name, parameter_shift_gradient, Backend, BackendError, BackendSpec, Capabilities,
-    FusedStatevector, InitialState, PauliNoise, ReferenceStatevector, ShardedStatevector,
-    StabilizerBackend,
+    DensityMatrixBackend, FusedStatevector, InitialState, PauliNoise, ReferenceStatevector,
+    ShardedStatevector, StabilizerBackend, TrajectoryNoise,
 };
 pub use block_encoding::{
     block_encode_hamiltonian, block_encode_lcu, block_encode_term, term_lcu,
@@ -41,6 +42,10 @@ pub use direct::{
     direct_hamiltonian_slice, direct_term_circuit, ComplexCoefficientMode, DirectOptions,
 };
 pub use measurement::TermMeasurement;
+pub use mitigation::{
+    extrapolate_to_zero, fold_global, zero_noise_extrapolation, ExtrapolationMethod,
+    ReadoutCalibration, ZneResult,
+};
 pub use optimize::{minimize_adam, AdamOptions, OptimizeResult};
 pub use trotter::{
     direct_product_formula, mpf_state, mpf_state_error, mpf_state_with, product_formula_circuit,

@@ -1,0 +1,473 @@
+//! Error mitigation on top of the [`Backend`]
+//! abstraction: zero-noise extrapolation and readout-error mitigation.
+//!
+//! **Zero-noise extrapolation (ZNE)** amplifies the circuit's noise by
+//! *global folding* — replacing `C` with `C(C†C)^k`, which is the identity
+//! on a noiseless backend but multiplies the gate count (and hence the
+//! per-gate noise exposure) by the odd factor `λ = 2k+1` — measures the
+//! observable at several `λ`, and extrapolates the energy curve back to
+//! `λ = 0` with a linear or Richardson (polynomial) fit.
+//!
+//! **Readout-error mitigation** builds the classical confusion matrix
+//! `M[i][j] = P(measure i | prepared j)` from basis-state calibration
+//! circuits run through the same backend, then solves `M·p = c` for the
+//! true distribution `p` given observed counts `c`, clipping and
+//! renormalising the result.
+//!
+//! Both work through the existing backend machinery — any engine that can
+//! run circuits can be mitigated, including the stochastic trajectory
+//! ensembles and the exact density-matrix oracle.
+//!
+//! ```
+//! use ghs_circuit::Circuit;
+//! use ghs_core::backend::{FusedStatevector, InitialState};
+//! use ghs_core::mitigation::{zero_noise_extrapolation, ExtrapolationMethod};
+//! use ghs_math::c64;
+//! use ghs_operators::{PauliString, PauliSum};
+//! use ghs_statevector::GroupedPauliSum;
+//!
+//! let mut c = Circuit::new(1);
+//! c.h(0);
+//! let mut sum = PauliSum::zero(1);
+//! sum.push(c64(1.0, 0.0), PauliString::parse("X").unwrap());
+//! let obs = GroupedPauliSum::new(&sum);
+//! // On a noiseless backend every folded energy equals the raw one and the
+//! // extrapolation is exact.
+//! let r = zero_noise_extrapolation(
+//!     &FusedStatevector,
+//!     &InitialState::ZeroState,
+//!     &c,
+//!     &obs,
+//!     &[1, 3, 5],
+//!     ExtrapolationMethod::Richardson,
+//! )
+//! .unwrap();
+//! assert!((r.mitigated - 1.0).abs() < 1e-10);
+//! ```
+
+use ghs_circuit::{Circuit, Gate};
+use ghs_statevector::GroupedPauliSum;
+
+use crate::backend::{Backend, BackendError, InitialState};
+
+/// How the measured energy curve is extrapolated back to zero noise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExtrapolationMethod {
+    /// Least-squares straight-line fit `E(λ) = a + bλ`, evaluated at 0.
+    /// Robust when the noise response is close to linear.
+    Linear,
+    /// Richardson extrapolation: the unique degree-`(m−1)` polynomial
+    /// through all `m` points, evaluated at 0. Exact for polynomial noise
+    /// response, more sensitive to statistical error.
+    #[default]
+    Richardson,
+}
+
+/// The outcome of a [`zero_noise_extrapolation`] run: the sampled curve and
+/// the extrapolated zero-noise estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZneResult {
+    /// The folding factors measured (odd integers, usually `1, 3, 5`).
+    pub lambdas: Vec<usize>,
+    /// The energy at each folding factor (`energies[0]` is the raw,
+    /// unmitigated value when `lambdas[0] == 1`).
+    pub energies: Vec<f64>,
+    /// The zero-noise extrapolated energy.
+    pub mitigated: f64,
+}
+
+impl ZneResult {
+    /// The unmitigated energy: the measurement at the smallest `λ`.
+    pub fn raw(&self) -> f64 {
+        self.energies[0]
+    }
+}
+
+/// Globally folds a circuit by the odd factor `lambda`: `C ↦ C(C†C)^k`
+/// with `k = (λ−1)/2`. Unitarily the identity map on `C`, but the gate
+/// count — and with it the exposure to per-gate noise channels — grows by
+/// `λ`.
+///
+/// # Panics
+/// If `lambda` is even or zero.
+pub fn fold_global(circuit: &Circuit, lambda: usize) -> Circuit {
+    assert!(lambda % 2 == 1, "folding factor must be odd, got {lambda}");
+    let mut folded = circuit.clone();
+    let inverse = circuit.dagger();
+    for _ in 0..(lambda - 1) / 2 {
+        folded.append(&inverse);
+        folded.append(circuit);
+    }
+    folded
+}
+
+/// Extrapolates measured `(λ, E)` points to `λ = 0`.
+///
+/// # Panics
+/// If fewer than two points are given, or `Richardson` is asked to
+/// interpolate duplicate `λ` values.
+pub fn extrapolate_to_zero(points: &[(f64, f64)], method: ExtrapolationMethod) -> f64 {
+    assert!(points.len() >= 2, "extrapolation needs at least two points");
+    match method {
+        ExtrapolationMethod::Linear => {
+            // Least-squares fit E = a + bλ; return a.
+            let m = points.len() as f64;
+            let sx: f64 = points.iter().map(|(x, _)| x).sum();
+            let sy: f64 = points.iter().map(|(_, y)| y).sum();
+            let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+            let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+            let denom = m * sxx - sx * sx;
+            assert!(denom.abs() > 1e-30, "degenerate λ values in linear fit");
+            let b = (m * sxy - sx * sy) / denom;
+            (sy - b * sx) / m
+        }
+        ExtrapolationMethod::Richardson => {
+            // Lagrange interpolation evaluated at 0:
+            // Σ_i E_i Π_{j≠i} λ_j / (λ_j − λ_i).
+            let mut total = 0.0;
+            for (i, (xi, yi)) in points.iter().enumerate() {
+                let mut weight = 1.0;
+                for (j, (xj, _)) in points.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let denom = xj - xi;
+                    assert!(denom.abs() > 1e-30, "duplicate λ values in Richardson");
+                    weight *= xj / denom;
+                }
+                total += yi * weight;
+            }
+            total
+        }
+    }
+}
+
+/// Zero-noise extrapolation of a Pauli-sum expectation through any backend:
+/// measure the observable on globally folded circuits at each `lambda`,
+/// then extrapolate the curve to `λ = 0`.
+///
+/// `lambdas` must be at least two distinct odd factors; `[1, 3, 5]` is the
+/// conventional choice. On a noiseless backend every folded energy equals
+/// the raw one, so the extrapolation returns it unchanged (to round-off) —
+/// mitigation never *invents* signal.
+pub fn zero_noise_extrapolation(
+    backend: &dyn Backend,
+    initial: &InitialState,
+    circuit: &Circuit,
+    observable: &GroupedPauliSum,
+    lambdas: &[usize],
+    method: ExtrapolationMethod,
+) -> Result<ZneResult, BackendError> {
+    assert!(lambdas.len() >= 2, "ZNE needs at least two folding factors");
+    let mut energies = Vec::with_capacity(lambdas.len());
+    for &lambda in lambdas {
+        let folded = fold_global(circuit, lambda);
+        energies.push(backend.expectation(initial, &folded, observable)?);
+    }
+    let points: Vec<(f64, f64)> = lambdas
+        .iter()
+        .zip(&energies)
+        .map(|(&l, &e)| (l as f64, e))
+        .collect();
+    let mitigated = extrapolate_to_zero(&points, method);
+    Ok(ZneResult {
+        lambdas: lambdas.to_vec(),
+        energies,
+        mitigated,
+    })
+}
+
+/// A measured confusion matrix `M[i][j] = P(measure i | prepared j)` and
+/// the machinery to invert it on observed count vectors.
+///
+/// Built by [`ReadoutCalibration::calibrate`]: one calibration circuit per
+/// basis state (`X` gates on the set bits), sampled through the backend
+/// under test. On a noisy backend the preparation gates pick up the gate
+/// noise, which is exactly the error the inversion then removes from
+/// subsequent measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadoutCalibration {
+    num_qubits: usize,
+    /// Row-major `2ⁿ × 2ⁿ` confusion matrix.
+    confusion: Vec<f64>,
+}
+
+impl ReadoutCalibration {
+    /// Runs the `2ⁿ` basis-state calibration circuits through `backend`
+    /// (`shots` each, on derived seeds) and assembles the confusion matrix.
+    ///
+    /// Keep `num_qubits` small: calibration is exponential by construction
+    /// (one circuit and one matrix column per basis state).
+    pub fn calibrate(
+        backend: &dyn Backend,
+        num_qubits: usize,
+        shots: usize,
+        seed: u64,
+    ) -> Result<Self, BackendError> {
+        assert!(shots > 0, "calibration needs at least one shot");
+        let dim = 1usize << num_qubits;
+        let mut confusion = vec![0.0f64; dim * dim];
+        for prepared in 0..dim {
+            let mut circuit = Circuit::new(num_qubits);
+            for q in 0..num_qubits {
+                // Qubit 0 is the most significant bit of the basis index.
+                if prepared & (1 << (num_qubits - 1 - q)) != 0 {
+                    circuit.push(Gate::X(q));
+                }
+            }
+            let outcomes = backend.sample(
+                &InitialState::ZeroState,
+                &circuit,
+                shots,
+                seed.wrapping_add(prepared as u64),
+            )?;
+            let weight = 1.0 / shots as f64;
+            for outcome in outcomes {
+                confusion[outcome * dim + prepared] += weight;
+            }
+        }
+        Ok(ReadoutCalibration {
+            num_qubits,
+            confusion,
+        })
+    }
+
+    /// Builds a calibration from an explicit row-major confusion matrix
+    /// (columns must sum to 1). Mostly for tests and synthetic models.
+    pub fn from_confusion(num_qubits: usize, confusion: Vec<f64>) -> Self {
+        let dim = 1usize << num_qubits;
+        assert_eq!(confusion.len(), dim * dim, "confusion matrix shape");
+        ReadoutCalibration {
+            num_qubits,
+            confusion,
+        }
+    }
+
+    /// The calibrated register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Entry `M[i][j] = P(measure i | prepared j)`.
+    pub fn confusion(&self, i: usize, j: usize) -> f64 {
+        self.confusion[i * (1 << self.num_qubits) + j]
+    }
+
+    /// Inverts the confusion matrix on an observed distribution (or raw
+    /// count vector): solves `M·p = c`, clips negative components to zero
+    /// and renormalises to the input's total mass.
+    ///
+    /// # Panics
+    /// If `counts` is not `2ⁿ` long or the confusion matrix is singular
+    /// (readout errors ≥ 50% per outcome).
+    pub fn mitigate_counts(&self, counts: &[f64]) -> Vec<f64> {
+        let dim = 1usize << self.num_qubits;
+        assert_eq!(counts.len(), dim, "count vector shape");
+        let total: f64 = counts.iter().sum();
+        let mut a = self.confusion.clone();
+        let mut x = counts.to_vec();
+        solve_dense(&mut a, &mut x, dim);
+        let mut clipped_mass = 0.0;
+        for v in &mut x {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+            clipped_mass += *v;
+        }
+        if clipped_mass > 0.0 && total > 0.0 {
+            let scale = total / clipped_mass;
+            for v in &mut x {
+                *v *= scale;
+            }
+        }
+        x
+    }
+
+    /// Histogram of dense-index samples (e.g. from
+    /// [`Backend::sample`] / `CachedDistribution`), mitigated into a
+    /// probability distribution.
+    pub fn mitigate_samples(&self, samples: &[usize]) -> Vec<f64> {
+        let dim = 1usize << self.num_qubits;
+        let mut counts = vec![0.0f64; dim];
+        let weight = 1.0 / samples.len().max(1) as f64;
+        for &s in samples {
+            counts[s] += weight;
+        }
+        self.mitigate_counts(&counts)
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting: solves `A·x = b`,
+/// leaving the solution in `b`. `A` is row-major `n × n` and is destroyed.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) {
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            a[pivot * n + col].abs() > 1e-12,
+            "confusion matrix is singular at column {col}"
+        );
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let inv = 1.0 / a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col * n + k] * b[k];
+        }
+        b[col] = acc / a[col * n + col];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FusedStatevector, TrajectoryNoise};
+    use ghs_math::c64;
+    use ghs_operators::kraus::{KrausChannel, NoiseModel};
+    use ghs_operators::{PauliString, PauliSum};
+
+    fn z_observable(n: usize, s: &str) -> GroupedPauliSum {
+        let mut sum = PauliSum::zero(n);
+        sum.push(c64(1.0, 0.0), PauliString::parse(s).unwrap());
+        GroupedPauliSum::new(&sum)
+    }
+
+    #[test]
+    fn folding_is_the_identity_on_noiseless_backends() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(1, 0.37);
+        let obs = z_observable(2, "ZZ");
+        let zero = InitialState::ZeroState;
+        let raw = FusedStatevector.expectation(&zero, &c, &obs).unwrap();
+        for lambda in [1, 3, 5, 7] {
+            let folded = fold_global(&c, lambda);
+            assert_eq!(folded.len(), c.len() * lambda);
+            let e = FusedStatevector.expectation(&zero, &folded, &obs).unwrap();
+            assert!((e - raw).abs() < 1e-10, "λ={lambda}: {e} vs {raw}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_folding_factors_are_rejected() {
+        fold_global(&Circuit::new(1), 2);
+    }
+
+    #[test]
+    fn extrapolation_recovers_polynomial_curves() {
+        // Linear data: both methods are exact.
+        let linear: Vec<(f64, f64)> = [1.0, 3.0, 5.0]
+            .iter()
+            .map(|&x| (x, 2.0 - 0.3 * x))
+            .collect();
+        assert!((extrapolate_to_zero(&linear, ExtrapolationMethod::Linear) - 2.0).abs() < 1e-12);
+        assert!(
+            (extrapolate_to_zero(&linear, ExtrapolationMethod::Richardson) - 2.0).abs() < 1e-12
+        );
+        // Quadratic data: Richardson is exact, linear is biased.
+        let quad: Vec<(f64, f64)> = [1.0, 3.0, 5.0]
+            .iter()
+            .map(|&x| (x, 1.0 - 0.2 * x + 0.05 * x * x))
+            .collect();
+        assert!((extrapolate_to_zero(&quad, ExtrapolationMethod::Richardson) - 1.0).abs() < 1e-12);
+        assert!((extrapolate_to_zero(&quad, ExtrapolationMethod::Linear) - 1.0).abs() > 1e-3);
+    }
+
+    #[test]
+    fn zne_improves_noisy_bell_energy() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let obs = z_observable(2, "ZZ");
+        let zero = InitialState::ZeroState;
+        let ideal = 1.0;
+        let noisy = TrajectoryNoise::new(
+            NoiseModel::noiseless().with_all_gates(KrausChannel::depolarizing(0.02)),
+            400,
+            5,
+        );
+        let r = zero_noise_extrapolation(
+            &noisy,
+            &zero,
+            &c,
+            &obs,
+            &[1, 3, 5],
+            ExtrapolationMethod::Linear,
+        )
+        .unwrap();
+        let raw_err = (r.raw() - ideal).abs();
+        let mit_err = (r.mitigated - ideal).abs();
+        assert!(
+            mit_err < raw_err,
+            "mitigated {} not closer to {ideal} than raw {}",
+            r.mitigated,
+            r.raw()
+        );
+    }
+
+    #[test]
+    fn readout_inversion_recovers_true_distribution() {
+        // Synthetic 1-qubit confusion: 10% 0→1, 20% 1→0.
+        let cal = ReadoutCalibration::from_confusion(1, vec![0.9, 0.2, 0.1, 0.8]);
+        let truth = [0.75, 0.25];
+        let observed = [
+            0.9 * truth[0] + 0.2 * truth[1],
+            0.1 * truth[0] + 0.8 * truth[1],
+        ];
+        let recovered = cal.mitigate_counts(&observed);
+        assert!((recovered[0] - truth[0]).abs() < 1e-12);
+        assert!((recovered[1] - truth[1]).abs() < 1e-12);
+        // Clipping keeps the output a distribution even on inconsistent input.
+        let clipped = cal.mitigate_counts(&[0.0, 1.0]);
+        assert!(clipped.iter().all(|&p| p >= 0.0));
+        assert!((clipped.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_on_noiseless_backend_is_identity() {
+        let cal = ReadoutCalibration::calibrate(&FusedStatevector, 2, 64, 3).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((cal.confusion(i, j) - expect).abs() < 1e-12);
+            }
+        }
+        let samples = FusedStatevector
+            .sample(
+                &InitialState::ZeroState,
+                {
+                    let mut c = Circuit::new(2);
+                    c.h(0).cx(0, 1);
+                    &c.clone()
+                },
+                256,
+                9,
+            )
+            .unwrap();
+        let probs = cal.mitigate_samples(&samples);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs[1] == 0.0 && probs[2] == 0.0);
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod fermion;
 pub mod hamiltonian;
+pub mod kraus;
 pub mod pauli;
 pub mod scb;
 pub mod string;
@@ -20,6 +21,7 @@ pub mod transition;
 
 pub use fermion::{FermionHamiltonian, FermionTerm, LadderOp};
 pub use hamiltonian::{HermitianTerm, ScbHamiltonian};
+pub use kraus::{KrausChannel, KrausError, NoiseModel};
 pub use pauli::{PauliString, PauliSum};
 pub use scb::{PauliOp, ScbFamily, ScbOp, ScbProduct};
 pub use string::{FamilySplit, ScbString, ScbTerm};

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use ghs_circuit::{Circuit, Gate, ParameterizedCircuit, StructuralKey};
-use ghs_core::{BackendError, BackendSpec, InitialState};
+use ghs_core::{BackendError, BackendSpec, ExtrapolationMethod, InitialState};
 use ghs_operators::PauliSum;
 use ghs_stabilizer::{BitString, STABILIZER_DENSE_MAX_QUBITS};
 
@@ -122,6 +122,19 @@ pub enum JobRequest {
     },
     /// The full pre-measurement probability vector.
     Probabilities,
+    /// Zero-noise-extrapolated energy: the observable is measured on
+    /// globally folded circuits at every `λ` in `lambdas` and the curve
+    /// extrapolated back to zero noise
+    /// ([`ghs_core::mitigation::zero_noise_extrapolation`]). On a noiseless
+    /// backend this reproduces the plain expectation.
+    MitigatedExpectation {
+        /// The observable, shared across the job stream.
+        observable: Arc<PauliSum>,
+        /// Odd global-folding factors, at least two, strictly increasing.
+        lambdas: Vec<usize>,
+        /// How the folded-energy curve is extrapolated to `λ = 0`.
+        method: ExtrapolationMethod,
+    },
 }
 
 impl std::fmt::Debug for JobRequest {
@@ -137,6 +150,16 @@ impl std::fmt::Debug for JobRequest {
                 .finish(),
             JobRequest::Sample { shots } => f.debug_struct("Sample").field("shots", shots).finish(),
             JobRequest::Probabilities => write!(f, "Probabilities"),
+            JobRequest::MitigatedExpectation {
+                observable,
+                lambdas,
+                method,
+            } => f
+                .debug_struct("MitigatedExpectation")
+                .field("terms", &observable.num_terms())
+                .field("lambdas", lambdas)
+                .field("method", method)
+                .finish(),
         }
     }
 }
@@ -221,6 +244,24 @@ impl JobSpec {
         Self::new(circuit.into(), JobRequest::Probabilities)
     }
 
+    /// A zero-noise-extrapolated expectation job with the conventional
+    /// `λ ∈ {1, 3, 5}` folding ladder and Richardson extrapolation. Override
+    /// the ladder or method by constructing
+    /// [`JobRequest::MitigatedExpectation`] directly.
+    pub fn mitigated_expectation(
+        circuit: impl Into<CircuitSource>,
+        observable: Arc<PauliSum>,
+    ) -> Self {
+        Self::new(
+            circuit.into(),
+            JobRequest::MitigatedExpectation {
+                observable,
+                lambdas: vec![1, 3, 5],
+                method: ExtrapolationMethod::Richardson,
+            },
+        )
+    }
+
     /// Sets the seed of every stochastic element.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -286,7 +327,9 @@ impl JobSpec {
             }
         }
         match &self.request {
-            JobRequest::Expectation { observable } | JobRequest::Gradient { observable } => {
+            JobRequest::Expectation { observable }
+            | JobRequest::Gradient { observable }
+            | JobRequest::MitigatedExpectation { observable, .. } => {
                 if observable.num_qubits() != n {
                     return invalid(format!(
                         "observable acts on {} qubits, circuit on {n}",
@@ -300,6 +343,19 @@ impl JobSpec {
                 }
             }
             JobRequest::Sample { .. } | JobRequest::Probabilities => {}
+        }
+        if let JobRequest::MitigatedExpectation { lambdas, .. } = &self.request {
+            if lambdas.len() < 2 {
+                return invalid("mitigated expectations need at least two folding factors".into());
+            }
+            if lambdas.iter().any(|l| l % 2 == 0) {
+                return invalid(format!("folding factors must be odd, got {lambdas:?}"));
+            }
+            if lambdas.windows(2).any(|w| w[0] >= w[1]) {
+                return invalid(format!(
+                    "folding factors must be strictly increasing, got {lambdas:?}"
+                ));
+            }
         }
         self.admit()
     }
@@ -371,6 +427,16 @@ pub enum JobOutput {
     BitShots(Vec<BitString>),
     /// The full probability vector, indexed by basis state.
     Probabilities(Vec<f64>),
+    /// The zero-noise-extrapolated energy, alongside the measured folding
+    /// curve it was read off.
+    MitigatedExpectation {
+        /// The `λ → 0` extrapolated energy.
+        mitigated: f64,
+        /// The unmitigated energy (the smallest-`λ` measurement).
+        raw: f64,
+        /// The measured energy at each requested folding factor.
+        energies: Vec<f64>,
+    },
     /// The backend could not serve the job: the typed reason, threaded
     /// through from [`ghs_core::backend::Backend`] instead of panicking a
     /// worker. Only failure modes outside the admission vocabulary land

@@ -28,8 +28,9 @@ use std::thread::JoinHandle;
 
 use ghs_circuit::{Circuit, StructuralKey};
 use ghs_core::{
-    Backend, BackendError, BackendSpec, FusedStatevector, InitialState, PauliNoise,
-    ReferenceStatevector, StabilizerBackend,
+    zero_noise_extrapolation, Backend, BackendError, BackendSpec, DensityMatrixBackend,
+    FusedStatevector, InitialState, PauliNoise, ReferenceStatevector, StabilizerBackend,
+    TrajectoryNoise,
 };
 use ghs_statevector::{CachedDistribution, GroupedPauliSum, ShardedStateVector, StateVector};
 
@@ -380,7 +381,13 @@ fn reset_state<'a>(
 }
 
 fn run_job(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
-    match spec.backend {
+    // Mitigated expectations drive the *whole* backend (folded circuits at
+    // several noise scales) rather than a single evolution, so they bypass
+    // the per-backend fast paths and go through the trait object uniformly.
+    if let JobRequest::MitigatedExpectation { .. } = &spec.request {
+        return run_mitigated(cache, scratch, spec);
+    }
+    match &spec.backend {
         BackendSpec::Fused => run_fused(cache, scratch, spec),
         BackendSpec::Sharded => run_sharded(cache, scratch, spec),
         BackendSpec::Reference => run_generic(&ReferenceStatevector, cache, scratch, spec),
@@ -392,15 +399,64 @@ fn run_job(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> Jo
             seed,
         } => run_generic(
             &PauliNoise {
-                depolarizing,
-                dephasing,
-                trajectories,
-                seed,
+                depolarizing: *depolarizing,
+                dephasing: *dephasing,
+                trajectories: *trajectories,
+                seed: *seed,
             },
             cache,
             scratch,
             spec,
         ),
+        BackendSpec::Trajectory {
+            model,
+            trajectories,
+            seed,
+        } => run_generic(
+            &TrajectoryNoise::new(model.clone(), *trajectories, *seed),
+            cache,
+            scratch,
+            spec,
+        ),
+        BackendSpec::Density { model } => run_generic(
+            &DensityMatrixBackend::new(model.clone()),
+            cache,
+            scratch,
+            spec,
+        ),
+    }
+}
+
+/// Zero-noise-extrapolated expectation through whichever backend the spec
+/// selects: resolve/rebind the circuit once, then let
+/// [`ghs_core::mitigation`] fold and measure it at every noise scale.
+fn run_mitigated(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> JobOutput {
+    let JobRequest::MitigatedExpectation {
+        observable,
+        lambdas,
+        method,
+    } = &spec.request
+    else {
+        unreachable!("dispatched on the request kind");
+    };
+    let key = spec.circuit.structural_key();
+    let circuit = resolve_circuit(&mut scratch.bound, &spec.circuit, key);
+    let grouped = cache.observable(observable);
+    let backend = spec.backend.build();
+    match zero_noise_extrapolation(
+        &*backend,
+        &spec.initial,
+        circuit,
+        &grouped,
+        lambdas,
+        *method,
+    ) {
+        Ok(result) => JobOutput::MitigatedExpectation {
+            mitigated: result.mitigated,
+            raw: result.raw(),
+            energies: result.energies,
+        },
+        Err(err) => JobOutput::Failed(err),
     }
 }
 
@@ -468,7 +524,9 @@ fn run_fused(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -> 
         JobRequest::Probabilities => {
             JobOutput::Probabilities(state.amplitudes().iter().map(|a| a.norm_sqr()).collect())
         }
-        JobRequest::Sample { .. } | JobRequest::Gradient { .. } => {
+        JobRequest::Sample { .. }
+        | JobRequest::Gradient { .. }
+        | JobRequest::MitigatedExpectation { .. } => {
             unreachable!("handled above")
         }
     }
@@ -583,7 +641,9 @@ fn run_sharded(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec) -
         JobRequest::Probabilities => {
             JobOutput::Probabilities(state.amplitudes().iter().map(|a| a.norm_sqr()).collect())
         }
-        JobRequest::Sample { .. } | JobRequest::Gradient { .. } => {
+        JobRequest::Sample { .. }
+        | JobRequest::Gradient { .. }
+        | JobRequest::MitigatedExpectation { .. } => {
             unreachable!("handled above")
         }
     }
@@ -628,7 +688,9 @@ fn run_generic(
         JobRequest::Probabilities => backend
             .probabilities(&spec.initial, circuit)
             .map(JobOutput::Probabilities),
-        JobRequest::Gradient { .. } => unreachable!("handled above"),
+        JobRequest::Gradient { .. } | JobRequest::MitigatedExpectation { .. } => {
+            unreachable!("handled above")
+        }
     };
     result.unwrap_or_else(JobOutput::Failed)
 }
@@ -691,7 +753,9 @@ fn run_stabilizer(cache: &PlanCache, scratch: &mut WorkerScratch, spec: &JobSpec
             JobOutput::Expectation(tableau_expectation(&tableau, &grouped))
         }
         JobRequest::Probabilities => JobOutput::Probabilities(tableau.basis_probabilities()),
-        JobRequest::Gradient { .. } => unreachable!("rejected at admission"),
+        JobRequest::Gradient { .. } | JobRequest::MitigatedExpectation { .. } => {
+            unreachable!("rejected at admission or handled above")
+        }
     }
 }
 
@@ -842,6 +906,111 @@ mod tests {
             panic!("wrong output kind");
         };
         assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mitigated_expectation_jobs_run_on_every_backend_family() {
+        use ghs_operators::kraus::{KrausChannel, NoiseModel};
+
+        let service = Service::new(ServiceConfig::serial());
+        let model = NoiseModel::noiseless().with_all_gates(KrausChannel::depolarizing(0.01));
+        let specs = [
+            // Noiseless fused backend: mitigation is the identity.
+            JobSpec::mitigated_expectation(bell(), zz()),
+            // Exact density oracle under depolarizing noise.
+            JobSpec::mitigated_expectation(bell(), zz()).on_backend(BackendSpec::Density {
+                model: model.clone(),
+            }),
+            // Stochastic trajectory ensemble under the same model.
+            JobSpec::mitigated_expectation(bell(), zz()).on_backend(BackendSpec::Trajectory {
+                model,
+                trajectories: 200,
+                seed: 13,
+            }),
+        ];
+        let results = service.run_batch(&specs).unwrap();
+        for result in &results {
+            let JobOutput::MitigatedExpectation {
+                mitigated,
+                raw,
+                energies,
+            } = &result.output
+            else {
+                panic!("wrong output kind: {:?}", result.output);
+            };
+            assert_eq!(energies.len(), 3);
+            assert!(mitigated.is_finite() && raw.is_finite());
+        }
+        let JobOutput::MitigatedExpectation { mitigated, raw, .. } = results[0].output else {
+            unreachable!()
+        };
+        assert!((mitigated - 1.0).abs() < 1e-10 && (raw - 1.0).abs() < 1e-10);
+        // On the exact noisy oracle, extrapolation improves over raw.
+        let JobOutput::MitigatedExpectation { mitigated, raw, .. } = results[1].output else {
+            unreachable!()
+        };
+        assert!((mitigated - 1.0).abs() < (raw - 1.0).abs());
+
+        // Validation rejects malformed folding ladders.
+        let bad = JobSpec {
+            request: crate::job::JobRequest::MitigatedExpectation {
+                observable: zz(),
+                lambdas: vec![1, 2],
+                method: ghs_core::ExtrapolationMethod::Linear,
+            },
+            ..JobSpec::expectation(bell(), zz())
+        };
+        assert!(matches!(
+            service.try_submit(bad),
+            Err(SubmitError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn trajectory_and_density_jobs_match_their_backends() {
+        use ghs_operators::kraus::NoiseModel;
+
+        let service = Service::new(ServiceConfig::serial());
+        let model = NoiseModel::pauli(0.05, 0.02);
+        let spec = JobSpec::expectation(bell(), zz()).on_backend(BackendSpec::Trajectory {
+            model: model.clone(),
+            trajectories: 24,
+            seed: 17,
+        });
+        let JobOutput::Expectation(via_service) =
+            service.wait(service.submit(spec).unwrap()).output
+        else {
+            panic!("wrong output kind");
+        };
+        let direct = TrajectoryNoise::new(model.clone(), 24, 17)
+            .expectation(
+                &InitialState::ZeroState,
+                &bell(),
+                &GroupedPauliSum::new(&zz()),
+            )
+            .unwrap();
+        assert_eq!(via_service, direct, "service must be bit-identical");
+
+        let spec = JobSpec::probabilities(bell()).on_backend(BackendSpec::Density {
+            model: model.clone(),
+        });
+        let JobOutput::Probabilities(p) = service.wait(service.submit(spec).unwrap()).output else {
+            panic!("wrong output kind");
+        };
+        let direct = DensityMatrixBackend::new(model)
+            .probabilities(&InitialState::ZeroState, &bell())
+            .unwrap();
+        assert_eq!(p, direct);
+        // Admission enforces the density register cap before any worker runs.
+        let wide = JobSpec::probabilities(Circuit::new(13)).on_backend(BackendSpec::Density {
+            model: ghs_operators::kraus::NoiseModel::noiseless(),
+        });
+        assert!(matches!(
+            service.try_submit(wide),
+            Err(SubmitError::Unsupported(
+                BackendError::RegisterTooLarge { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod density;
 pub mod expectation;
 pub mod fused;
 pub mod gradient;
@@ -21,6 +22,7 @@ pub mod sharded;
 pub mod state;
 pub mod testkit;
 
+pub use density::DensityMatrix;
 pub use expectation::{qwc_partition, qwc_signature, GroupedPauliSum};
 pub use gradient::{adjoint_gradient, adjoint_gradient_into, generator_inner, GradientResult};
 pub use prepare::{prepare_amplitudes, prepare_real_amplitudes};

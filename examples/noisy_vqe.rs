@@ -1,0 +1,87 @@
+//! Noisy VQE on H₂/STO-3G: the optimised UCCSD energy under a depolarizing
+//! Kraus channel, raw vs zero-noise-extrapolated, with the density-matrix
+//! backend as the exact oracle at every noise strength and a stochastic
+//! trajectory ensemble converging to it.
+//!
+//! Run with `cargo run --release --example noisy_vqe`.
+//! The output is fully seeded and byte-deterministic; CI's noise-accuracy
+//! job archives it and the determinism matrix diffs it across platforms.
+
+use gate_efficient_hs::chemistry::{h2_sto3g, run_vqe, uccsd_circuit, uccsd_pool};
+use gate_efficient_hs::core::backend::{
+    Backend, DensityMatrixBackend, FusedStatevector, InitialState, TrajectoryNoise,
+};
+use gate_efficient_hs::core::mitigation::{zero_noise_extrapolation, ExtrapolationMethod};
+use gate_efficient_hs::core::DirectOptions;
+use gate_efficient_hs::operators::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = h2_sto3g();
+    let opts = DirectOptions::linear();
+
+    // Optimise the ansatz on the noiseless backend first (seeded, so every
+    // run of this example reproduces the same angles bit-for-bit) …
+    let mut rng = StdRng::seed_from_u64(7);
+    let vqe = run_vqe(&model, &opts, 1, 200, &mut rng);
+    let pool = uccsd_pool(&model);
+    let circuit = uccsd_circuit(&model, &pool, &vqe.thetas, &opts);
+    let observable = model.grouped_observable();
+    let zero = InitialState::ZeroState;
+
+    let ideal = FusedStatevector
+        .expectation(&zero, &circuit, &observable)
+        .unwrap()
+        + model.energy_offset;
+    println!(
+        "H2/STO-3G UCCSD ansatz: {} qubits, {} gates",
+        model.num_qubits(),
+        circuit.len()
+    );
+    println!("noiseless VQE energy : {ideal:+.9} Ha");
+    println!(
+        "exact (FCI) energy   : {:+.9} Ha",
+        model.exact_ground_energy(4000)
+    );
+
+    // … then sweep the depolarizing strength. At every strength the density
+    // backend gives the *exact* noisy energy (the oracle), the trajectory
+    // ensemble a stochastic estimate of the same quantity, and global-fold
+    // ZNE (λ = 1, 3, 5, Richardson) the mitigated estimate read off the
+    // exact curve.
+    println!("\n     p | exact noisy |  trajectory |         ZNE | raw error | ZNE error");
+    for p in [0.0, 0.001, 0.002, 0.005, 0.01, 0.02] {
+        let noise = NoiseModel::depolarizing(p);
+        let density = DensityMatrixBackend::new(noise.clone());
+        let raw = density.expectation(&zero, &circuit, &observable).unwrap() + model.energy_offset;
+        let ensemble = TrajectoryNoise::new(noise, 64, 2026)
+            .expectation(&zero, &circuit, &observable)
+            .unwrap()
+            + model.energy_offset;
+        let zne = zero_noise_extrapolation(
+            &density,
+            &zero,
+            &circuit,
+            &observable,
+            &[1, 3, 5],
+            ExtrapolationMethod::Richardson,
+        )
+        .unwrap()
+        .mitigated
+            + model.energy_offset;
+        println!(
+            "{p:>6.3} | {raw:+.8} | {ensemble:+.8} | {zne:+.8} | {:.3e} | {:.3e}",
+            (raw - ideal).abs(),
+            (zne - ideal).abs(),
+        );
+        if p > 0.0 {
+            assert!(
+                (zne - ideal).abs() < (raw - ideal).abs(),
+                "ZNE must beat the unmitigated energy at p = {p}"
+            );
+        }
+    }
+    println!("\nZNE is strictly closer to the noiseless energy than the raw");
+    println!("estimate at every nonzero strength (asserted above).");
+}
